@@ -1,0 +1,70 @@
+//===- BenchUtil.h - Shared helpers for experiment harnesses ----*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the bench/ binaries. Each binary regenerates one table
+/// or figure of the paper's evaluation (§4): it prints the paper's rows
+/// next to the reproduction's, then runs google-benchmark timings.
+///
+/// Set DART_BENCH_FULL=1 to include the long-running rows (the Dolev-Yao
+/// depth-4 search takes minutes, as it did in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_BENCH_BENCHUTIL_H
+#define DART_BENCH_BENCHUTIL_H
+
+#include "core/Dart.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace dart::bench {
+
+inline bool fullMode() {
+  const char *Env = std::getenv("DART_BENCH_FULL");
+  return Env && Env[0] == '1';
+}
+
+inline std::unique_ptr<Dart> compileOrDie(const std::string &Source,
+                                          const char *What) {
+  std::string Errors;
+  auto D = Dart::fromSource(Source, &Errors);
+  if (!D) {
+    std::fprintf(stderr, "failed to compile %s:\n%s\n", What,
+                 Errors.c_str());
+    std::exit(1);
+  }
+  return D;
+}
+
+/// One DART session with the common experiment knobs.
+inline DartReport session(const Dart &D, const std::string &Toplevel,
+                          unsigned Depth, unsigned MaxRuns,
+                          uint64_t Seed = 2005, bool RandomOnly = false) {
+  DartOptions Opts;
+  Opts.ToplevelName = Toplevel;
+  Opts.Depth = Depth;
+  Opts.MaxRuns = MaxRuns;
+  Opts.Seed = Seed;
+  Opts.RandomOnly = RandomOnly;
+  return D.run(Opts);
+}
+
+inline void printHeader(const char *Title) {
+  std::printf("\n================================================================\n"
+              "%s\n"
+              "================================================================\n",
+              Title);
+}
+
+} // namespace dart::bench
+
+#endif // DART_BENCH_BENCHUTIL_H

@@ -1,0 +1,75 @@
+//===- bench_ac_controller.cpp - Reproduces paper §4.1 ---------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Paper §4.1 (AC-controller, Fig. 6):
+//   depth 1: no error; directed search explores all paths in 6 iterations,
+//            < 1 second. Random search would run forever.
+//   depth 2: assertion violation (messages 3 then 0) found by the directed
+//            search in 7 iterations, < 1 second; random search finds
+//            nothing in hours (chance 2^-64 per try).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "workloads/Workloads.h"
+
+using namespace dart;
+using namespace dart::bench;
+
+namespace {
+
+void printTable() {
+  auto D = compileOrDie(workloads::acControllerSource(), "AC-controller");
+  printHeader("Section 4.1 - AC-controller (paper Fig. 6 program)");
+  std::printf("%-7s %-22s %-22s %s\n", "depth", "paper directed", "ours directed",
+              "ours random (capped)");
+
+  for (unsigned Depth = 1; Depth <= 2; ++Depth) {
+    DartReport Directed = session(*D, "ac_controller", Depth, 100000);
+    DartReport Random = session(*D, "ac_controller", Depth, 100000,
+                                /*Seed=*/99, /*RandomOnly=*/true);
+    const char *PaperRow = Depth == 1 ? "no error, 6 runs" : "error, 7 runs";
+    char Ours[64], Rand[64];
+    std::snprintf(Ours, sizeof(Ours), "%s, %u runs",
+                  Directed.BugFound ? "error" : "no error", Directed.Runs);
+    std::snprintf(Rand, sizeof(Rand), "%s after %u runs",
+                  Random.BugFound ? "error" : "no error", Random.Runs);
+    std::printf("%-7u %-22s %-22s %s\n", Depth, PaperRow, Ours, Rand);
+    if (Depth == 1 && Directed.CompleteExploration)
+      std::printf("        (depth 1 exploration complete: Theorem 1(b))\n");
+    if (Depth == 2 && Directed.BugFound)
+      std::printf("        failing inputs: %s\n",
+                  Directed.Bugs[0].toString().c_str());
+  }
+}
+
+void BM_AcControllerDirectedDepth2(benchmark::State &State) {
+  auto D = compileOrDie(workloads::acControllerSource(), "AC-controller");
+  for (auto _ : State) {
+    DartReport R = session(*D, "ac_controller", 2, 1000);
+    benchmark::DoNotOptimize(R.Runs);
+    State.counters["runs_to_bug"] = R.Runs;
+  }
+}
+BENCHMARK(BM_AcControllerDirectedDepth2);
+
+void BM_AcControllerRandom1000Runs(benchmark::State &State) {
+  auto D = compileOrDie(workloads::acControllerSource(), "AC-controller");
+  for (auto _ : State) {
+    DartReport R = session(*D, "ac_controller", 2, 1000, 3, true);
+    benchmark::DoNotOptimize(R.Runs);
+  }
+}
+BENCHMARK(BM_AcControllerRandom1000Runs);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

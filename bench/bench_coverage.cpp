@@ -1,0 +1,98 @@
+//===- bench_coverage.cpp - §4.1's coverage claim as a series --------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Paper §1/§4.1: "it is well-known that random testing usually provides
+// low code coverage" while a directed search "will eventually discover
+// every path through the input-filtering code and start exercising the
+// core application code". This harness plots cumulative branch-direction
+// coverage against the number of runs, directed vs. random, on the
+// AC-controller and on a miniSIP function with an input filter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "workloads/Workloads.h"
+
+using namespace dart;
+using namespace dart::bench;
+
+namespace {
+
+void printSeries(const Dart &D, const char *Title, const char *Toplevel,
+                 unsigned Depth, unsigned MaxRuns) {
+  printHeader(Title);
+  std::printf("%-8s %-22s %s\n", "runs", "directed coverage",
+              "random coverage");
+
+  auto Timeline = [&](bool RandomOnly) {
+    DartOptions Opts;
+    Opts.ToplevelName = Toplevel;
+    Opts.Depth = Depth;
+    Opts.MaxRuns = MaxRuns;
+    Opts.Seed = 2005;
+    Opts.RandomOnly = RandomOnly;
+    Opts.StopAtFirstError = false; // keep covering past errors
+    Opts.TrackCoverageTimeline = true;
+    return D.run(Opts);
+  };
+  DartReport Directed = Timeline(false);
+  DartReport Random = Timeline(true);
+  unsigned Total = 2 * Directed.BranchSitesTotal;
+
+  for (unsigned Runs : {1u, 2u, 5u, 10u, 20u, 50u, 100u, MaxRuns}) {
+    auto At = [&](const DartReport &R) {
+      if (R.CoverageTimeline.empty())
+        return 0u;
+      size_t Index = std::min<size_t>(Runs, R.CoverageTimeline.size()) - 1;
+      return R.CoverageTimeline[Index];
+    };
+    char DirCell[32], RndCell[32];
+    std::snprintf(DirCell, sizeof(DirCell), "%u/%u", At(Directed), Total);
+    std::snprintf(RndCell, sizeof(RndCell), "%u/%u", At(Random), Total);
+    std::printf("%-8u %-22s %s\n", Runs, DirCell, RndCell);
+    if (Runs >= MaxRuns)
+      break;
+  }
+}
+
+void BM_CoverageTimelineDirected(benchmark::State &State) {
+  auto D = compileOrDie(workloads::acControllerSource(), "AC-controller");
+  for (auto _ : State) {
+    DartOptions Opts;
+    Opts.ToplevelName = "ac_controller";
+    Opts.Depth = 2;
+    Opts.MaxRuns = 100;
+    Opts.StopAtFirstError = false;
+    Opts.TrackCoverageTimeline = true;
+    DartReport R = D->run(Opts);
+    State.counters["covered"] =
+        R.CoverageTimeline.empty() ? 0 : R.CoverageTimeline.back();
+  }
+}
+BENCHMARK(BM_CoverageTimelineDirected);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  {
+    auto D = compileOrDie(workloads::acControllerSource(), "AC-controller");
+    printSeries(*D, "Coverage vs. runs - AC-controller, depth 2 (4.1)",
+                "ac_controller", 2, 500);
+  }
+  {
+    auto D = compileOrDie(workloads::miniSipSource(), "miniSIP");
+    printSeries(*D,
+                "Coverage vs. runs - miniSIP sip_auth_check (input filter)",
+                "sip_auth_check", 1, 500);
+  }
+  std::printf("\npaper: directed search penetrates input filters and keeps "
+              "gaining coverage;\nrandom testing plateaus at the filter "
+              "(reaches the equality tests with\nprobability 2^-32 per "
+              "run).\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

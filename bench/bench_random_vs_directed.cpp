@@ -1,0 +1,129 @@
+//===- bench_random_vs_directed.cpp - Reproduces §1/§2 micro-claims --------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's motivating comparisons:
+//  - §1: the then-branch of `if (x == 10)` has one chance in 2^32 under
+//    random testing, but "can be viewed as 0.5 with DART".
+//  - §2.1: the h/f example — random testing is unlikely to ever find the
+//    abort; DART's directed search finds it on the second run.
+//  - §2.5: the foobar example with the nonlinear condition — DART finds
+//    the reachable abort with high probability despite the solver knowing
+//    nothing about x*x*x.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dart;
+using namespace dart::bench;
+
+namespace {
+
+const char *EqualityFilter = "void check(int x) { if (x == 10) abort(); }";
+
+const char *IntroExample = R"(
+  int f(int x) { return 2 * x; }
+  int h(int x, int y) {
+    if (x != y)
+      if (f(x) == x + 10)
+        abort();
+    return 0;
+  }
+)";
+
+const char *FoobarExample = R"(
+  void foobar(char x, int y) {
+    if (x * x * x > 0) {
+      if (x > 0 && y == 10)
+        abort();
+    } else {
+      if (x > 0 && y == 20)
+        abort();
+    }
+  }
+)";
+
+void printTable() {
+  printHeader("Sections 1, 2.1, 2.5 - random vs. directed search");
+  std::printf("%-28s %-26s %s\n", "program", "directed (runs to bug)",
+              "random (capped at 100000)");
+
+  struct Row {
+    const char *Name;
+    const char *Source;
+    const char *Toplevel;
+  } Rows[] = {
+      {"if (x == 10) filter", EqualityFilter, "check"},
+      {"h/f intro example", IntroExample, "h"},
+      {"foobar (nonlinear)", FoobarExample, "foobar"},
+  };
+
+  for (const Row &R : Rows) {
+    auto D = compileOrDie(R.Source, R.Name);
+    DartReport Directed = session(*D, R.Toplevel, 1, 100000, 2005);
+    DartReport Random =
+        session(*D, R.Toplevel, 1, 100000, 7, /*RandomOnly=*/true);
+    char DirectedCell[48], RandomCell[48];
+    std::snprintf(DirectedCell, sizeof(DirectedCell), "%s in %u runs",
+                  Directed.BugFound ? "bug" : "no bug", Directed.Runs);
+    std::snprintf(RandomCell, sizeof(RandomCell), "%s in %u runs",
+                  Random.BugFound ? "bug" : "no bug", Random.Runs);
+    std::printf("%-28s %-26s %s\n", R.Name, DirectedCell, RandomCell);
+  }
+  std::printf("\npaper: random reach-probability of x==10 is 2^-32 per run;"
+              "\n       DART reaches it by flipping the branch constraint "
+              "(~run 2).\n");
+
+  // The "probability 0.5" claim: across seeds, DART's first flip succeeds.
+  unsigned FoundIn2 = 0;
+  const unsigned Trials = 50;
+  auto D = compileOrDie(EqualityFilter, "filter");
+  for (uint64_t Seed = 1; Seed <= Trials; ++Seed) {
+    DartReport R = session(*D, "check", 1, 10, Seed);
+    if (R.BugFound && R.Runs <= 2)
+      ++FoundIn2;
+  }
+  std::printf("\nacross %u seeds: found within 2 runs in %u cases "
+              "(paper: branch probability ~0.5 -> here deterministic,\n"
+              "the equality constraint is always solvable)\n",
+              Trials, FoundIn2);
+}
+
+void BM_DirectedEqualityFilter(benchmark::State &State) {
+  auto D = compileOrDie(EqualityFilter, "filter");
+  for (auto _ : State) {
+    DartReport R = session(*D, "check", 1, 10);
+    benchmark::DoNotOptimize(R.BugFound);
+  }
+}
+BENCHMARK(BM_DirectedEqualityFilter);
+
+void BM_DirectedIntroExample(benchmark::State &State) {
+  auto D = compileOrDie(IntroExample, "intro");
+  for (auto _ : State) {
+    DartReport R = session(*D, "h", 1, 10);
+    benchmark::DoNotOptimize(R.BugFound);
+  }
+}
+BENCHMARK(BM_DirectedIntroExample);
+
+void BM_Random1000RunsBaseline(benchmark::State &State) {
+  auto D = compileOrDie(EqualityFilter, "filter");
+  for (auto _ : State) {
+    DartReport R = session(*D, "check", 1, 1000, 3, true);
+    benchmark::DoNotOptimize(R.Runs);
+  }
+}
+BENCHMARK(BM_Random1000RunsBaseline);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

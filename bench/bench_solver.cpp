@@ -1,0 +1,131 @@
+//===- bench_solver.cpp - Solver ablations (DESIGN.md) ----------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation of the lp_solve-substitute (DESIGN.md "Design choices worth
+// ablating"): the univariate fast path vs. the general Fourier-Motzkin
+// pipeline, and solver throughput on the constraint shapes DART's
+// workloads generate (input filters = univariate equality chains; protocol
+// state = small multivariate systems).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "solver/LinearSolver.h"
+
+#include <chrono>
+
+using namespace dart;
+using namespace dart::bench;
+
+namespace {
+
+std::function<VarDomain(InputId)> intDomains() {
+  return [](InputId) { return VarDomain{INT32_MIN, INT32_MAX}; };
+}
+
+/// The constraint shape of an input filter at depth k: a chain of
+/// equalities/disequalities on one variable per level.
+std::vector<SymPred> filterChain(unsigned Length) {
+  std::vector<SymPred> Cs;
+  for (unsigned I = 0; I < Length; ++I) {
+    auto L = *LinearExpr::variable(I).add(LinearExpr(-int64_t(I) - 3));
+    Cs.push_back(SymPred(I % 2 ? CmpPred::Ne : CmpPred::Eq, L));
+  }
+  return Cs;
+}
+
+/// A small multivariate system (protocol-state shape).
+std::vector<SymPred> multivariate(unsigned Vars) {
+  std::vector<SymPred> Cs;
+  for (unsigned I = 0; I + 1 < Vars; ++I) {
+    auto Diff = *LinearExpr::variable(I).sub(LinearExpr::variable(I + 1));
+    Cs.push_back(SymPred(CmpPred::Lt, Diff)); // x_i < x_{i+1}
+  }
+  auto Sum = LinearExpr(0);
+  for (unsigned I = 0; I < Vars; ++I)
+    Sum = *Sum.add(LinearExpr::variable(I));
+  Cs.push_back(SymPred(CmpPred::Ge, *Sum.add(LinearExpr(-100))));
+  return Cs;
+}
+
+void printTable() {
+  printHeader("Solver ablation - univariate fast path (DESIGN.md)");
+  std::printf("%-30s %-14s %-14s\n", "system", "fast path", "general path");
+  for (unsigned Len : {1u, 4u, 16u, 64u}) {
+    auto Cs = filterChain(Len);
+    SolverOptions Fast, Slow;
+    Slow.EnableFastPath = false;
+    std::map<InputId, int64_t> Model;
+    LinearSolver SF(Fast), SS(Slow);
+    auto Time = [&](LinearSolver &S) {
+      auto T0 = std::chrono::steady_clock::now();
+      for (int I = 0; I < 1000; ++I)
+        S.solve(Cs, intDomains(), {}, Model);
+      return std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count() /
+             1000.0;
+    };
+    double TF = Time(SF), TS = Time(SS);
+    char Name[48];
+    std::snprintf(Name, sizeof(Name), "filter chain, %u constraints", Len);
+    std::printf("%-30s %10.2f us %10.2f us  (%.1fx)\n", Name, TF, TS,
+                TS / TF);
+  }
+}
+
+void BM_SolverFastPathFilter16(benchmark::State &State) {
+  auto Cs = filterChain(16);
+  LinearSolver S;
+  std::map<InputId, int64_t> Model;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.solve(Cs, intDomains(), {}, Model));
+}
+BENCHMARK(BM_SolverFastPathFilter16);
+
+void BM_SolverGeneralFilter16(benchmark::State &State) {
+  auto Cs = filterChain(16);
+  SolverOptions Opts;
+  Opts.EnableFastPath = false;
+  LinearSolver S(Opts);
+  std::map<InputId, int64_t> Model;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.solve(Cs, intDomains(), {}, Model));
+}
+BENCHMARK(BM_SolverGeneralFilter16);
+
+void BM_SolverFourierMotzkin8Vars(benchmark::State &State) {
+  auto Cs = multivariate(8);
+  LinearSolver S;
+  std::map<InputId, int64_t> Model;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.solve(Cs, intDomains(), {}, Model));
+}
+BENCHMARK(BM_SolverFourierMotzkin8Vars);
+
+void BM_SolverDisequalityBranching(benchmark::State &State) {
+  // x + y == 0, x != 0, y != 5: forces disequality branching.
+  std::vector<SymPred> Cs;
+  auto Sum = *LinearExpr::variable(0).add(LinearExpr::variable(1));
+  Cs.push_back(SymPred(CmpPred::Eq, Sum));
+  Cs.push_back(SymPred(CmpPred::Ne, LinearExpr::variable(0)));
+  Cs.push_back(
+      SymPred(CmpPred::Ne, *LinearExpr::variable(1).add(LinearExpr(-5))));
+  LinearSolver S;
+  std::map<InputId, int64_t> Model;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.solve(Cs, intDomains(), {}, Model));
+}
+BENCHMARK(BM_SolverDisequalityBranching);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

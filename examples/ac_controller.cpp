@@ -1,0 +1,50 @@
+//===- ac_controller.cpp - Paper §4.1: the AC-controller example -----------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The Fig. 6 program: a toy air-conditioning controller driven by integer
+// messages. Only messages 0..3 are meaningful; everything else is ignored
+// by the input-filtering conditionals — the situation where directed
+// search shines and random testing stalls (§4.1's discussion).
+//
+// At depth 1 no assertion violation exists and DART proves it by complete
+// exploration; at depth 2 the sequence (3, 0) — close the door while the
+// room is hot, then mark the room hot again without the AC reacting —
+// violates the safety assertion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dart.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+int main() {
+  auto D = dart::Dart::fromSource(dart::workloads::acControllerSource());
+  if (!D) {
+    std::fprintf(stderr, "AC-controller failed to compile\n");
+    return 1;
+  }
+
+  std::printf("== interface ==\n%s\n",
+              D->interfaceFor("ac_controller").toString().c_str());
+  std::printf("== generated driver (depth 2) ==\n%s\n",
+              D->driverSourceFor("ac_controller", 2).c_str());
+
+  for (unsigned Depth = 1; Depth <= 2; ++Depth) {
+    dart::DartOptions Opts;
+    Opts.ToplevelName = "ac_controller";
+    Opts.Depth = Depth;
+    Opts.Seed = 2005;
+    Opts.MaxRuns = 10000;
+    dart::DartReport R = D->run(Opts);
+    std::printf("== depth %u ==\n%s\n", Depth, R.toString().c_str());
+  }
+
+  std::printf("Paper §4.1: depth 1 -> all paths in 6 iterations, no "
+              "error;\n            depth 2 -> assertion violation "
+              "(messages 3 then 0) in 7 iterations.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===- sip_audit.cpp - Paper §4.3: auditing a library with DART ------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The oSIP experiment in miniature: treat every exported function of the
+// miniSIP library as a toplevel, give DART a 1000-run budget per function,
+// and report which functions it can crash and how. This is the workflow
+// the paper applied to oSIP's ~600 functions, finding crashes in 65% of
+// them (mostly unchecked NULL pointer arguments).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dart.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+int main(int argc, char **argv) {
+  unsigned Budget = argc > 1 ? static_cast<unsigned>(atoi(argv[1])) : 1000;
+  auto D = dart::Dart::fromSource(dart::workloads::miniSipSource());
+  if (!D) {
+    std::fprintf(stderr, "miniSIP failed to compile\n");
+    return 1;
+  }
+
+  unsigned Crashed = 0, Total = 0;
+  std::printf("%-32s %-10s %s\n", "function", "runs", "result");
+  for (const std::string &Fn : D->definedFunctions()) {
+    ++Total;
+    dart::DartOptions Opts;
+    Opts.ToplevelName = Fn;
+    Opts.MaxRuns = Budget;
+    Opts.Seed = 2005;
+    Opts.Interp.MaxSteps = 1u << 18;
+    dart::DartReport R = D->run(Opts);
+    if (R.BugFound) {
+      ++Crashed;
+      std::printf("%-32s %-10u CRASH: %s\n", Fn.c_str(), R.Runs,
+                  R.Bugs[0].Error.toString().c_str());
+    } else {
+      std::printf("%-32s %-10u ok%s\n", Fn.c_str(), R.Runs,
+                  R.CompleteExploration ? " (all paths explored)" : "");
+    }
+  }
+  std::printf("\n%u/%u functions crashed (%.0f%%); paper: 65%% of oSIP's "
+              "~600 functions.\n",
+              Crashed, Total, 100.0 * Crashed / Total);
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- AST.cpp - MiniC abstract syntax tree -------------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AST.h"
+
+using namespace dart;
+
+Stmt *FunctionDecl::body() const { return Body.get(); }
+void FunctionDecl::setBody(StmtPtr B) { Body = std::move(B); }
+
+bool dart::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *dart::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::LogNot:
+    return "!";
+  case UnaryOp::BitNot:
+    return "~";
+  case UnaryOp::Deref:
+    return "*";
+  case UnaryOp::AddrOf:
+    return "&";
+  case UnaryOp::PreInc:
+  case UnaryOp::PostInc:
+    return "++";
+  case UnaryOp::PreDec:
+  case UnaryOp::PostDec:
+    return "--";
+  }
+  return "?";
+}
+
+const char *dart::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitOr:
+    return "|";
+  case BinaryOp::BitXor:
+    return "^";
+  case BinaryOp::LogAnd:
+    return "&&";
+  case BinaryOp::LogOr:
+    return "||";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  }
+  return "?";
+}

@@ -1,0 +1,745 @@
+//===- AST.h - MiniC abstract syntax tree -----------------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarations, statements and expressions of MiniC. The parser builds this
+/// tree; sema resolves names, checks types, and annotates every Expr with its
+/// Type; the IR lowering (src/ir) consumes the checked tree.
+///
+/// Node lifetimes: children are owned via unique_ptr by their parent and the
+/// TranslationUnit owns all top-level declarations. Cross-references
+/// (VarRefExpr -> VarDecl, CallExpr -> FunctionDecl, ...) are non-owning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_AST_AST_H
+#define DART_AST_AST_H
+
+#include "ast/Type.h"
+#include "support/Casting.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+class Expr;
+class Stmt;
+class VarDecl;
+class FunctionDecl;
+
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+class Decl {
+public:
+  enum class Kind { Var, Field, Function, Struct };
+
+  Kind kind() const { return K; }
+  SourceLocation loc() const { return Loc; }
+  const std::string &name() const { return Name; }
+
+  virtual ~Decl() = default;
+
+protected:
+  Decl(Kind K, SourceLocation Loc, std::string Name)
+      : K(K), Loc(Loc), Name(std::move(Name)) {}
+
+private:
+  const Kind K;
+  SourceLocation Loc;
+  std::string Name;
+};
+
+/// A variable: global, local, or function parameter.
+///
+/// Globals declared `extern` with no initializer form part of the external
+/// interface of the program (paper §3.1) and become DART inputs.
+class VarDecl : public Decl {
+public:
+  enum class Storage { Global, Local, Param };
+
+  VarDecl(SourceLocation Loc, std::string Name, const Type *Ty,
+          Storage StorageKind, bool IsExtern, ExprPtr Init)
+      : Decl(Kind::Var, Loc, std::move(Name)), Ty(Ty),
+        StorageKind(StorageKind), IsExtern(IsExtern), Init(std::move(Init)) {}
+
+  const Type *type() const { return Ty; }
+  Storage storage() const { return StorageKind; }
+  bool isExtern() const { return IsExtern; }
+  Expr *init() const { return Init.get(); }
+  ExprPtr &initRef() { return Init; }
+
+  static bool classof(const Decl *D) { return D->kind() == Kind::Var; }
+
+private:
+  const Type *Ty;
+  Storage StorageKind;
+  bool IsExtern;
+  ExprPtr Init;
+};
+
+/// One field of a struct. Byte offset is assigned by sema during layout.
+class FieldDecl : public Decl {
+public:
+  FieldDecl(SourceLocation Loc, std::string Name, const Type *Ty)
+      : Decl(Kind::Field, Loc, std::move(Name)), Ty(Ty) {}
+
+  const Type *type() const { return Ty; }
+  unsigned offset() const { return Offset; }
+  void setOffset(unsigned O) { Offset = O; }
+  unsigned index() const { return Index; }
+  void setIndex(unsigned I) { Index = I; }
+
+  static bool classof(const Decl *D) { return D->kind() == Kind::Field; }
+
+private:
+  const Type *Ty;
+  unsigned Offset = 0;
+  unsigned Index = 0;
+};
+
+/// A struct definition. Size/alignment are filled in by sema's layout pass;
+/// Type::size() on the corresponding StructType reads them from here.
+class StructDecl : public Decl {
+public:
+  StructDecl(SourceLocation Loc, std::string Name)
+      : Decl(Kind::Struct, Loc, std::move(Name)) {}
+
+  void addField(std::unique_ptr<FieldDecl> Field) {
+    Fields.push_back(std::move(Field));
+  }
+  const std::vector<std::unique_ptr<FieldDecl>> &fields() const {
+    return Fields;
+  }
+  FieldDecl *findField(const std::string &Name) const {
+    for (const auto &F : Fields)
+      if (F->name() == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  bool isComplete() const { return Complete; }
+  void setComplete() { Complete = true; }
+  bool isLaidOut() const { return LaidOut; }
+  unsigned size() const {
+    assert(LaidOut && "struct not laid out");
+    return Size;
+  }
+  unsigned align() const {
+    assert(LaidOut && "struct not laid out");
+    return Align;
+  }
+  void setLayout(unsigned S, unsigned A) {
+    Size = S;
+    Align = A;
+    LaidOut = true;
+  }
+
+  static bool classof(const Decl *D) { return D->kind() == Kind::Struct; }
+
+private:
+  std::vector<std::unique_ptr<FieldDecl>> Fields;
+  bool Complete = false;
+  bool LaidOut = false;
+  unsigned Size = 0;
+  unsigned Align = 1;
+};
+
+/// A function. A declaration without a body that is never defined is an
+/// *external function* — part of the program's environment interface; DART's
+/// driver simulates it by returning a fresh random/symbolic value per call
+/// (paper §3.1, §3.2). Functions registered as native "library functions"
+/// (malloc, abort, ...) are black boxes executed concretely (paper §3.1).
+class FunctionDecl : public Decl {
+public:
+  FunctionDecl(SourceLocation Loc, std::string Name, const Type *ReturnTy)
+      : Decl(Kind::Function, Loc, std::move(Name)), ReturnTy(ReturnTy) {}
+
+  const Type *returnType() const { return ReturnTy; }
+
+  void addParam(std::unique_ptr<VarDecl> Param) {
+    Params.push_back(std::move(Param));
+  }
+  const std::vector<std::unique_ptr<VarDecl>> &params() const {
+    return Params;
+  }
+
+  bool hasBody() const { return Body != nullptr; }
+  Stmt *body() const;
+  void setBody(StmtPtr B);
+
+  static bool classof(const Decl *D) { return D->kind() == Kind::Function; }
+
+private:
+  const Type *ReturnTy;
+  std::vector<std::unique_ptr<VarDecl>> Params;
+  StmtPtr Body;
+};
+
+/// Root of one parsed MiniC program.
+class TranslationUnit {
+public:
+  void addDecl(std::unique_ptr<Decl> D) { Decls.push_back(std::move(D)); }
+  const std::vector<std::unique_ptr<Decl>> &decls() const { return Decls; }
+
+  FunctionDecl *findFunction(const std::string &Name) const {
+    for (const auto &D : Decls)
+      if (auto *F = dyn_cast<FunctionDecl>(D.get()))
+        if (F->name() == Name)
+          return F;
+    return nullptr;
+  }
+
+  TypeContext &types() { return Types; }
+  const TypeContext &types() const { return Types; }
+
+private:
+  std::vector<std::unique_ptr<Decl>> Decls;
+  // Mutable: parser and sema intern new types while analysing.
+  mutable TypeContext Types;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class UnaryOp {
+  Neg,     // -e
+  LogNot,  // !e
+  BitNot,  // ~e
+  Deref,   // *e
+  AddrOf,  // &e
+  PreInc,  // ++e
+  PreDec,  // --e
+  PostInc, // e++
+  PostDec, // e--
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  BitAnd,
+  BitOr,
+  BitXor,
+  LogAnd, // short-circuit
+  LogOr,  // short-circuit
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+};
+
+/// True for ==, !=, <, <=, >, >=.
+bool isComparisonOp(BinaryOp Op);
+const char *unaryOpSpelling(UnaryOp Op);
+const char *binaryOpSpelling(BinaryOp Op);
+
+class Expr {
+public:
+  enum class Kind {
+    IntLiteral,
+    StringLiteral,
+    VarRef,
+    Unary,
+    Binary,
+    Assign,
+    Call,
+    Index,
+    Member,
+    Cast,
+    SizeofType,
+    Conditional,
+  };
+
+  Kind kind() const { return K; }
+  SourceLocation loc() const { return Loc; }
+
+  /// Type assigned by sema; null before checking.
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  /// Set by sema: true if this expression designates an object (can be
+  /// assigned to / have its address taken).
+  bool isLValue() const { return LValue; }
+  void setLValue(bool V) { LValue = V; }
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind K, SourceLocation Loc) : K(K), Loc(Loc) {}
+
+private:
+  const Kind K;
+  SourceLocation Loc;
+  const Type *Ty = nullptr;
+  bool LValue = false;
+};
+
+/// Integer or character literal (characters are just small ints in MiniC).
+/// Also represents `NULL` (value 0, flagged so sema gives it pointer
+/// compatibility).
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(SourceLocation Loc, int64_t Value, bool IsNull = false)
+      : Expr(Kind::IntLiteral, Loc), Value(Value), Null(IsNull) {}
+
+  int64_t value() const { return Value; }
+  bool isNullLiteral() const { return Null; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLiteral; }
+
+private:
+  int64_t Value;
+  bool Null;
+};
+
+/// A string literal. Lowered to a read-only global char array; the
+/// expression evaluates to the array's address.
+class StringLiteralExpr : public Expr {
+public:
+  StringLiteralExpr(SourceLocation Loc, std::string Bytes)
+      : Expr(Kind::StringLiteral, Loc), Bytes(std::move(Bytes)) {}
+
+  /// Literal contents without the implicit NUL terminator.
+  const std::string &bytes() const { return Bytes; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::StringLiteral;
+  }
+
+private:
+  std::string Bytes;
+};
+
+/// A name use. `decl()` is resolved by sema.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(SourceLocation Loc, std::string Name)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  VarDecl *decl() const { return ResolvedDecl; }
+  void setDecl(VarDecl *D) { ResolvedDecl = D; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+  VarDecl *ResolvedDecl = nullptr;
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLocation Loc, UnaryOp Op, ExprPtr Operand)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Operand.get(); }
+  /// Mutable child slot, used by sema to wrap operands in implicit casts.
+  ExprPtr &operandRef() { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLocation Loc, BinaryOp Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return LHS.get(); }
+  Expr *rhs() const { return RHS.get(); }
+  ExprPtr &lhsRef() { return LHS; }
+  ExprPtr &rhsRef() { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  ExprPtr LHS, RHS;
+};
+
+/// Assignment, plain (`=`) or compound (`+=` etc. — Op holds the arithmetic
+/// operator; plain assignment has no Op).
+class AssignExpr : public Expr {
+public:
+  AssignExpr(SourceLocation Loc, ExprPtr Target, ExprPtr Value)
+      : Expr(Kind::Assign, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  AssignExpr(SourceLocation Loc, BinaryOp CompoundOp, ExprPtr Target,
+             ExprPtr Value)
+      : Expr(Kind::Assign, Loc), Target(std::move(Target)),
+        Value(std::move(Value)), HasCompoundOp(true), CompoundOp(CompoundOp) {}
+
+  Expr *target() const { return Target.get(); }
+  Expr *value() const { return Value.get(); }
+  ExprPtr &targetRef() { return Target; }
+  ExprPtr &valueRef() { return Value; }
+  bool isCompound() const { return HasCompoundOp; }
+  BinaryOp compoundOp() const {
+    assert(HasCompoundOp);
+    return CompoundOp;
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Assign; }
+
+private:
+  ExprPtr Target, Value;
+  bool HasCompoundOp = false;
+  BinaryOp CompoundOp = BinaryOp::Add;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLocation Loc, std::string Callee)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)) {}
+
+  const std::string &callee() const { return Callee; }
+  void addArg(ExprPtr Arg) { Args.push_back(std::move(Arg)); }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  std::vector<ExprPtr> &argsRef() { return Args; }
+
+  FunctionDecl *calleeDecl() const { return ResolvedCallee; }
+  void setCalleeDecl(FunctionDecl *F) { ResolvedCallee = F; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  FunctionDecl *ResolvedCallee = nullptr;
+};
+
+/// Array subscript `base[index]`. Base may be an array lvalue or a pointer.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLocation Loc, ExprPtr Base, ExprPtr Index)
+      : Expr(Kind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+
+  Expr *base() const { return Base.get(); }
+  Expr *index() const { return Index.get(); }
+  ExprPtr &baseRef() { return Base; }
+  ExprPtr &indexRef() { return Index; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Index; }
+
+private:
+  ExprPtr Base, Index;
+};
+
+/// Member access `base.field` or `base->field`.
+class MemberExpr : public Expr {
+public:
+  MemberExpr(SourceLocation Loc, ExprPtr Base, std::string FieldName,
+             bool IsArrow)
+      : Expr(Kind::Member, Loc), Base(std::move(Base)),
+        FieldName(std::move(FieldName)), Arrow(IsArrow) {}
+
+  Expr *base() const { return Base.get(); }
+  const std::string &fieldName() const { return FieldName; }
+  ExprPtr &baseRef() { return Base; }
+  bool isArrow() const { return Arrow; }
+  FieldDecl *field() const { return ResolvedField; }
+  void setField(FieldDecl *F) { ResolvedField = F; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Member; }
+
+private:
+  ExprPtr Base;
+  std::string FieldName;
+  bool Arrow;
+  FieldDecl *ResolvedField = nullptr;
+};
+
+/// Explicit cast `(type)expr`. Implicit conversions inserted by sema reuse
+/// this node with `Implicit` set, so lowering has a single conversion point.
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLocation Loc, const Type *TargetTy, ExprPtr Operand,
+           bool Implicit = false)
+      : Expr(Kind::Cast, Loc), TargetTy(TargetTy), Operand(std::move(Operand)),
+        Implicit(Implicit) {}
+
+  const Type *targetType() const { return TargetTy; }
+  Expr *operand() const { return Operand.get(); }
+  bool isImplicit() const { return Implicit; }
+  ExprPtr &operandRef() { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Cast; }
+
+private:
+  const Type *TargetTy;
+  ExprPtr Operand;
+  bool Implicit;
+};
+
+/// `sizeof(type)`. `sizeof expr` is folded to this form by the parser.
+class SizeofTypeExpr : public Expr {
+public:
+  SizeofTypeExpr(SourceLocation Loc, const Type *QueriedTy)
+      : Expr(Kind::SizeofType, Loc), QueriedTy(QueriedTy) {}
+
+  const Type *queriedType() const { return QueriedTy; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::SizeofType; }
+
+private:
+  const Type *QueriedTy;
+};
+
+/// Ternary conditional `cond ? then : else`.
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(SourceLocation Loc, ExprPtr Cond, ExprPtr Then, ExprPtr Else)
+      : Expr(Kind::Conditional, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  Expr *thenExpr() const { return Then.get(); }
+  Expr *elseExpr() const { return Else.get(); }
+  ExprPtr &condRef() { return Cond; }
+  ExprPtr &thenRef() { return Then; }
+  ExprPtr &elseRef() { return Else; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Conditional; }
+
+private:
+  ExprPtr Cond, Then, Else;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind {
+    Compound,
+    Decl,
+    Expr,
+    If,
+    While,
+    DoWhile,
+    For,
+    Switch,
+    Return,
+    Break,
+    Continue,
+    Null,
+  };
+
+  Kind kind() const { return K; }
+  SourceLocation loc() const { return Loc; }
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, SourceLocation Loc) : K(K), Loc(Loc) {}
+
+private:
+  const Kind K;
+  SourceLocation Loc;
+};
+
+class CompoundStmt : public Stmt {
+public:
+  explicit CompoundStmt(SourceLocation Loc) : Stmt(Kind::Compound, Loc) {}
+
+  void addStmt(StmtPtr S) { Body.push_back(std::move(S)); }
+  const std::vector<StmtPtr> &body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Compound; }
+
+private:
+  std::vector<StmtPtr> Body;
+};
+
+/// A local variable declaration statement.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLocation Loc, std::unique_ptr<VarDecl> Var)
+      : Stmt(Kind::Decl, Loc), Var(std::move(Var)) {}
+
+  VarDecl *var() const { return Var.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Decl; }
+
+private:
+  std::unique_ptr<VarDecl> Var;
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLocation Loc, ExprPtr E)
+      : Stmt(Kind::Expr, Loc), E(std::move(E)) {}
+
+  Expr *expr() const { return E.get(); }
+  ExprPtr &exprRef() { return E; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Expr; }
+
+private:
+  ExprPtr E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLocation Loc, ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  Stmt *thenStmt() const { return Then.get(); }
+  Stmt *elseStmt() const { return Else.get(); }
+  ExprPtr &condRef() { return Cond; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then, Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLocation Loc, ExprPtr Cond, StmtPtr Body)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  ExprPtr &condRef() { return Cond; }
+  Stmt *body() const { return Body.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class DoWhileStmt : public Stmt {
+public:
+  DoWhileStmt(SourceLocation Loc, StmtPtr Body, ExprPtr Cond)
+      : Stmt(Kind::DoWhile, Loc), Body(std::move(Body)),
+        Cond(std::move(Cond)) {}
+
+  Stmt *body() const { return Body.get(); }
+  Expr *cond() const { return Cond.get(); }
+  ExprPtr &condRef() { return Cond; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::DoWhile; }
+
+private:
+  StmtPtr Body;
+  ExprPtr Cond;
+};
+
+/// `for (init; cond; step) body`; any of the three headers may be absent.
+/// Init is a statement so it can be either a declaration or an expression.
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLocation Loc, StmtPtr Init, ExprPtr Cond, ExprPtr Step,
+          StmtPtr Body)
+      : Stmt(Kind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+
+  Stmt *init() const { return Init.get(); }
+  Expr *cond() const { return Cond.get(); }
+  Expr *step() const { return Step.get(); }
+  Stmt *body() const { return Body.get(); }
+  ExprPtr &condRef() { return Cond; }
+  ExprPtr &stepRef() { return Step; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  StmtPtr Init;
+  ExprPtr Cond, Step;
+  StmtPtr Body;
+};
+
+/// One arm of a switch: `case K:` (Value set) or `default:` (Value empty),
+/// followed by its statements. C fallthrough semantics: execution continues
+/// into the next arm unless it breaks.
+struct SwitchCase {
+  std::optional<int64_t> Value;
+  std::vector<StmtPtr> Body;
+  SourceLocation Loc;
+};
+
+class SwitchStmt : public Stmt {
+public:
+  SwitchStmt(SourceLocation Loc, ExprPtr Cond)
+      : Stmt(Kind::Switch, Loc), Cond(std::move(Cond)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  ExprPtr &condRef() { return Cond; }
+  void addCase(SwitchCase Case) { Cases.push_back(std::move(Case)); }
+  const std::vector<SwitchCase> &cases() const { return Cases; }
+  std::vector<SwitchCase> &casesRef() { return Cases; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Switch; }
+
+private:
+  ExprPtr Cond;
+  std::vector<SwitchCase> Cases;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLocation Loc, ExprPtr Value)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+
+  Expr *value() const { return Value.get(); }
+  ExprPtr &valueRef() { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  ExprPtr Value;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLocation Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLocation Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Continue; }
+};
+
+class NullStmt : public Stmt {
+public:
+  explicit NullStmt(SourceLocation Loc) : Stmt(Kind::Null, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Null; }
+};
+
+} // namespace dart
+
+#endif // DART_AST_AST_H

@@ -1,0 +1,258 @@
+//===- ASTPrinter.cpp - Render MiniC ASTs back to source ------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+
+#include <cassert>
+
+using namespace dart;
+
+namespace {
+
+std::string indentStr(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+std::string escapeChar(char C) {
+  switch (C) {
+  case '\n':
+    return "\\n";
+  case '\t':
+    return "\\t";
+  case '\r':
+    return "\\r";
+  case '\0':
+    return "\\0";
+  case '\\':
+    return "\\\\";
+  case '"':
+    return "\\\"";
+  case '\'':
+    return "\\'";
+  default:
+    if (C >= 32 && C < 127)
+      return std::string(1, C);
+    char Buf[8];
+    std::snprintf(Buf, sizeof(Buf), "\\x%02x", static_cast<unsigned char>(C));
+    return Buf;
+  }
+}
+
+} // namespace
+
+std::string dart::printTypedName(const Type *Ty, const std::string &Name) {
+  // Arrays need the suffix declarator form; everything else is prefix.
+  if (const auto *A = dyn_cast<ArrayType>(Ty))
+    return printTypedName(A->element(),
+                          Name + "[" + std::to_string(A->numElements()) + "]");
+  if (Name.empty())
+    return Ty->toString();
+  return Ty->toString() + " " + Name;
+}
+
+std::string dart::printExpr(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLiteral: {
+    const auto &L = *cast<IntLiteralExpr>(&E);
+    if (L.isNullLiteral())
+      return "NULL";
+    return std::to_string(L.value());
+  }
+  case Expr::Kind::StringLiteral: {
+    const auto &S = *cast<StringLiteralExpr>(&E);
+    std::string Out = "\"";
+    for (char C : S.bytes())
+      Out += escapeChar(C);
+    Out += '"';
+    return Out;
+  }
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(&E)->name();
+  case Expr::Kind::Unary: {
+    const auto &U = *cast<UnaryExpr>(&E);
+    std::string Inner = printExpr(*U.operand());
+    if (U.op() == UnaryOp::PostInc || U.op() == UnaryOp::PostDec)
+      return "(" + Inner + unaryOpSpelling(U.op()) + ")";
+    return "(" + std::string(unaryOpSpelling(U.op())) + Inner + ")";
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = *cast<BinaryExpr>(&E);
+    return "(" + printExpr(*B.lhs()) + " " + binaryOpSpelling(B.op()) + " " +
+           printExpr(*B.rhs()) + ")";
+  }
+  case Expr::Kind::Assign: {
+    const auto &A = *cast<AssignExpr>(&E);
+    std::string Op =
+        A.isCompound() ? std::string(binaryOpSpelling(A.compoundOp())) + "="
+                       : "=";
+    return "(" + printExpr(*A.target()) + " " + Op + " " +
+           printExpr(*A.value()) + ")";
+  }
+  case Expr::Kind::Call: {
+    const auto &C = *cast<CallExpr>(&E);
+    std::string Out = C.callee() + "(";
+    bool First = true;
+    for (const auto &Arg : C.args()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += printExpr(*Arg);
+    }
+    return Out + ")";
+  }
+  case Expr::Kind::Index: {
+    const auto &I = *cast<IndexExpr>(&E);
+    return printExpr(*I.base()) + "[" + printExpr(*I.index()) + "]";
+  }
+  case Expr::Kind::Member: {
+    const auto &M = *cast<MemberExpr>(&E);
+    return printExpr(*M.base()) + (M.isArrow() ? "->" : ".") + M.fieldName();
+  }
+  case Expr::Kind::Cast: {
+    const auto &C = *cast<CastExpr>(&E);
+    if (C.isImplicit())
+      return printExpr(*C.operand());
+    return "((" + C.targetType()->toString() + ")" + printExpr(*C.operand()) +
+           ")";
+  }
+  case Expr::Kind::SizeofType:
+    return "sizeof(" + cast<SizeofTypeExpr>(&E)->queriedType()->toString() +
+           ")";
+  case Expr::Kind::Conditional: {
+    const auto &C = *cast<ConditionalExpr>(&E);
+    return "(" + printExpr(*C.cond()) + " ? " + printExpr(*C.thenExpr()) +
+           " : " + printExpr(*C.elseExpr()) + ")";
+  }
+  }
+  return "<expr>";
+}
+
+std::string dart::printStmt(const Stmt &S, unsigned Indent) {
+  const std::string Pad = indentStr(Indent);
+  switch (S.kind()) {
+  case Stmt::Kind::Compound: {
+    std::string Out = Pad + "{\n";
+    for (const auto &Child : cast<CompoundStmt>(&S)->body())
+      Out += printStmt(*Child, Indent + 1);
+    return Out + Pad + "}\n";
+  }
+  case Stmt::Kind::Decl: {
+    const VarDecl *V = cast<DeclStmt>(&S)->var();
+    std::string Out = Pad + printTypedName(V->type(), V->name());
+    if (V->init())
+      Out += " = " + printExpr(*V->init());
+    return Out + ";\n";
+  }
+  case Stmt::Kind::Expr:
+    return Pad + printExpr(*cast<ExprStmt>(&S)->expr()) + ";\n";
+  case Stmt::Kind::If: {
+    const auto &I = *cast<IfStmt>(&S);
+    std::string Out = Pad + "if (" + printExpr(*I.cond()) + ")\n";
+    Out += printStmt(*I.thenStmt(), Indent + 1);
+    if (I.elseStmt()) {
+      Out += Pad + "else\n";
+      Out += printStmt(*I.elseStmt(), Indent + 1);
+    }
+    return Out;
+  }
+  case Stmt::Kind::While: {
+    const auto &W = *cast<WhileStmt>(&S);
+    return Pad + "while (" + printExpr(*W.cond()) + ")\n" +
+           printStmt(*W.body(), Indent + 1);
+  }
+  case Stmt::Kind::DoWhile: {
+    const auto &D = *cast<DoWhileStmt>(&S);
+    return Pad + "do\n" + printStmt(*D.body(), Indent + 1) + Pad + "while (" +
+           printExpr(*D.cond()) + ");\n";
+  }
+  case Stmt::Kind::For: {
+    const auto &F = *cast<ForStmt>(&S);
+    std::string Init;
+    if (F.init()) {
+      // Reuse statement printing but strip the trailing newline and padding.
+      Init = printStmt(*F.init(), 0);
+      while (!Init.empty() && (Init.back() == '\n' || Init.back() == ';'))
+        Init.pop_back();
+    }
+    std::string Out = Pad + "for (" + Init + "; " +
+                      (F.cond() ? printExpr(*F.cond()) : std::string()) +
+                      "; " +
+                      (F.step() ? printExpr(*F.step()) : std::string()) +
+                      ")\n";
+    return Out + printStmt(*F.body(), Indent + 1);
+  }
+  case Stmt::Kind::Switch: {
+    const auto &Sw = *cast<SwitchStmt>(&S);
+    std::string Out = Pad + "switch (" + printExpr(*Sw.cond()) + ") {\n";
+    for (const SwitchCase &Case : Sw.cases()) {
+      if (Case.Value)
+        Out += Pad + "case " + std::to_string(*Case.Value) + ":\n";
+      else
+        Out += Pad + "default:\n";
+      for (const auto &Child : Case.Body)
+        Out += printStmt(*Child, Indent + 1);
+    }
+    return Out + Pad + "}\n";
+  }
+  case Stmt::Kind::Return: {
+    const auto &R = *cast<ReturnStmt>(&S);
+    if (R.value())
+      return Pad + "return " + printExpr(*R.value()) + ";\n";
+    return Pad + "return;\n";
+  }
+  case Stmt::Kind::Break:
+    return Pad + "break;\n";
+  case Stmt::Kind::Continue:
+    return Pad + "continue;\n";
+  case Stmt::Kind::Null:
+    return Pad + ";\n";
+  }
+  return Pad + "<stmt>;\n";
+}
+
+std::string dart::printDecl(const Decl &D, unsigned Indent) {
+  const std::string Pad = indentStr(Indent);
+  if (const auto *V = dyn_cast<VarDecl>(&D)) {
+    std::string Out = Pad;
+    if (V->isExtern())
+      Out += "extern ";
+    Out += printTypedName(V->type(), V->name());
+    if (V->init())
+      Out += " = " + printExpr(*V->init());
+    return Out + ";\n";
+  }
+  if (const auto *SD = dyn_cast<StructDecl>(&D)) {
+    std::string Out = Pad + "struct " + SD->name() + " {\n";
+    for (const auto &F : SD->fields())
+      Out += Pad + "  " + printTypedName(F->type(), F->name()) + ";\n";
+    return Out + Pad + "};\n";
+  }
+  if (const auto *F = dyn_cast<FunctionDecl>(&D)) {
+    std::string Out = Pad + F->returnType()->toString() + " " + F->name() +
+                      "(";
+    bool First = true;
+    for (const auto &P : F->params()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += printTypedName(P->type(), P->name());
+    }
+    if (F->params().empty())
+      Out += "void";
+    Out += ")";
+    if (!F->hasBody())
+      return Out + ";\n";
+    return Out + "\n" + printStmt(*F->body(), Indent);
+  }
+  return Pad + "/* decl */\n";
+}
+
+std::string dart::printTranslationUnit(const TranslationUnit &TU) {
+  std::string Out;
+  for (const auto &D : TU.decls()) {
+    Out += printDecl(*D);
+    Out += '\n';
+  }
+  return Out;
+}

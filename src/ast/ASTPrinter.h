@@ -1,0 +1,41 @@
+//===- ASTPrinter.h - Render MiniC ASTs back to source ----------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints an AST back to compilable MiniC. Used by the driver
+/// generator (to show the Fig. 7-style test driver as source) and by the
+/// parser round-trip property tests (print → reparse → print is a fixpoint).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_AST_ASTPRINTER_H
+#define DART_AST_ASTPRINTER_H
+
+#include "ast/AST.h"
+
+#include <string>
+
+namespace dart {
+
+/// Renders \p TU as MiniC source text.
+std::string printTranslationUnit(const TranslationUnit &TU);
+
+/// Renders a single expression (fully parenthesized, so precedence is
+/// preserved under reparsing).
+std::string printExpr(const Expr &E);
+
+/// Renders a single statement at the given indentation depth.
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+/// Renders a declaration (function, global, struct).
+std::string printDecl(const Decl &D, unsigned Indent = 0);
+
+/// Renders a type and declarator name, e.g. "int *x" / "char buf[16]".
+std::string printTypedName(const Type *Ty, const std::string &Name);
+
+} // namespace dart
+
+#endif // DART_AST_ASTPRINTER_H

@@ -1,0 +1,112 @@
+//===- Type.cpp - MiniC type system ---------------------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Type.h"
+
+#include "ast/AST.h"
+
+using namespace dart;
+
+unsigned Type::size() const {
+  switch (K) {
+  case Kind::Void:
+    return 0;
+  case Kind::Char:
+    return 1;
+  case Kind::Int:
+  case Kind::Unsigned:
+    return 4;
+  case Kind::Long:
+  case Kind::Pointer:
+    return 8;
+  case Kind::Array: {
+    const auto *A = cast<ArrayType>(this);
+    return A->element()->size() * static_cast<unsigned>(A->numElements());
+  }
+  case Kind::Struct:
+    return cast<StructType>(this)->decl()->size();
+  }
+  return 0;
+}
+
+unsigned Type::align() const {
+  switch (K) {
+  case Kind::Void:
+    return 1;
+  case Kind::Char:
+    return 1;
+  case Kind::Int:
+  case Kind::Unsigned:
+    return 4;
+  case Kind::Long:
+  case Kind::Pointer:
+    return 8;
+  case Kind::Array:
+    return cast<ArrayType>(this)->element()->align();
+  case Kind::Struct:
+    return cast<StructType>(this)->decl()->align();
+  }
+  return 1;
+}
+
+std::string Type::toString() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Char:
+    return "char";
+  case Kind::Int:
+    return "int";
+  case Kind::Unsigned:
+    return "unsigned";
+  case Kind::Long:
+    return "long";
+  case Kind::Pointer: {
+    const Type *Pointee = cast<PointerType>(this)->pointee();
+    std::string S = Pointee->toString();
+    if (S.back() == '*')
+      return S + "*";
+    return S + " *";
+  }
+  case Kind::Array: {
+    const auto *A = cast<ArrayType>(this);
+    return A->element()->toString() + " [" +
+           std::to_string(A->numElements()) + "]";
+  }
+  case Kind::Struct:
+    return "struct " + cast<StructType>(this)->decl()->name();
+  }
+  return "<invalid>";
+}
+
+TypeContext::TypeContext()
+    : VoidTy(std::make_unique<BasicType>(Type::Kind::Void)),
+      CharTy(std::make_unique<BasicType>(Type::Kind::Char)),
+      IntTy(std::make_unique<BasicType>(Type::Kind::Int)),
+      UnsignedTy(std::make_unique<BasicType>(Type::Kind::Unsigned)),
+      LongTy(std::make_unique<BasicType>(Type::Kind::Long)) {}
+
+const PointerType *TypeContext::pointerTo(const Type *Pointee) {
+  auto &Slot = PointerTypes[Pointee];
+  if (!Slot)
+    Slot = std::make_unique<PointerType>(Pointee);
+  return Slot.get();
+}
+
+const ArrayType *TypeContext::arrayOf(const Type *Element,
+                                      uint64_t NumElements) {
+  auto &Slot = ArrayTypes[{Element, NumElements}];
+  if (!Slot)
+    Slot = std::make_unique<ArrayType>(Element, NumElements);
+  return Slot.get();
+}
+
+const StructType *TypeContext::structType(StructDecl *Decl) {
+  auto &Slot = StructTypes[Decl];
+  if (!Slot)
+    Slot = std::make_unique<StructType>(Decl);
+  return Slot.get();
+}

@@ -1,0 +1,162 @@
+//===- Type.h - MiniC type system -------------------------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniC type system: void, the integer types (char, int, unsigned,
+/// long), pointers, fixed-size arrays, and structs. Types are immutable and
+/// uniqued by a TypeContext, so Type* identity is type equality. The paper
+/// (§3.1) defines C types recursively in exactly these terms; `random_init`
+/// (Fig. 8) walks this structure to build random inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_AST_TYPE_H
+#define DART_AST_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+class StructDecl;
+
+/// Base of the MiniC type hierarchy. Sizes follow an LP64-like model with
+/// 32-bit int, matching the paper's 32-bit-word RAM machine for `int`.
+class Type {
+public:
+  enum class Kind { Void, Char, Int, Unsigned, Long, Pointer, Array, Struct };
+
+  Kind kind() const { return K; }
+
+  bool isVoid() const { return K == Kind::Void; }
+  bool isInteger() const {
+    return K == Kind::Char || K == Kind::Int || K == Kind::Unsigned ||
+           K == Kind::Long;
+  }
+  bool isPointer() const { return K == Kind::Pointer; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isStruct() const { return K == Kind::Struct; }
+  /// Scalars are the types that fit in one machine word: integers and
+  /// pointers. Only scalars can be assigned, compared, or passed by value
+  /// through registers in the RAM machine (structs are copied bytewise).
+  bool isScalar() const { return isInteger() || isPointer(); }
+
+  /// Object size in bytes. Arrays and structs must be laid out (sema).
+  unsigned size() const;
+  /// Alignment in bytes.
+  unsigned align() const;
+  /// For integers: width in bits (8/32/64). Pointers are 64-bit.
+  unsigned bitWidth() const {
+    assert(isInteger() || isPointer());
+    return size() * 8;
+  }
+  /// For integers: true if the type is signed. Pointers compare unsigned.
+  bool isSigned() const {
+    return K == Kind::Char || K == Kind::Int || K == Kind::Long;
+  }
+
+  /// C-like rendering, e.g. "struct foo *" or "int [4]".
+  std::string toString() const;
+
+  virtual ~Type() = default;
+
+protected:
+  explicit Type(Kind K) : K(K) {}
+
+private:
+  const Kind K;
+};
+
+/// Built-in non-composite types. One instance per kind, owned by the
+/// TypeContext.
+class BasicType : public Type {
+public:
+  explicit BasicType(Kind K) : Type(K) {
+    assert(K != Kind::Pointer && K != Kind::Array && K != Kind::Struct);
+  }
+  static bool classof(const Type *T) {
+    return !T->isPointer() && !T->isArray() && !T->isStruct();
+  }
+};
+
+/// Pointer to another type. `void *` is allowed and convertible.
+class PointerType : public Type {
+public:
+  explicit PointerType(const Type *Pointee)
+      : Type(Kind::Pointer), Pointee(Pointee) {}
+
+  const Type *pointee() const { return Pointee; }
+
+  static bool classof(const Type *T) { return T->isPointer(); }
+
+private:
+  const Type *Pointee;
+};
+
+/// Fixed-size array. MiniC has no VLAs; DART only needs statically sized
+/// arrays for its input model.
+class ArrayType : public Type {
+public:
+  ArrayType(const Type *Element, uint64_t NumElements)
+      : Type(Kind::Array), Element(Element), NumElements(NumElements) {}
+
+  const Type *element() const { return Element; }
+  uint64_t numElements() const { return NumElements; }
+
+  static bool classof(const Type *T) { return T->isArray(); }
+
+private:
+  const Type *Element;
+  uint64_t NumElements;
+};
+
+/// A named struct type. Field layout lives on the StructDecl (it is computed
+/// by sema once the whole translation unit is known).
+class StructType : public Type {
+public:
+  explicit StructType(StructDecl *Decl) : Type(Kind::Struct), Decl(Decl) {}
+
+  StructDecl *decl() const { return Decl; }
+
+  static bool classof(const Type *T) { return T->isStruct(); }
+
+private:
+  StructDecl *Decl;
+};
+
+/// Owns and uniques all types of one translation unit. Pointer/array types
+/// are interned so `Type *` equality is type equality.
+class TypeContext {
+public:
+  TypeContext();
+
+  const Type *voidType() const { return VoidTy.get(); }
+  const Type *charType() const { return CharTy.get(); }
+  const Type *intType() const { return IntTy.get(); }
+  const Type *unsignedType() const { return UnsignedTy.get(); }
+  const Type *longType() const { return LongTy.get(); }
+
+  const PointerType *pointerTo(const Type *Pointee);
+  const ArrayType *arrayOf(const Type *Element, uint64_t NumElements);
+  const StructType *structType(StructDecl *Decl);
+
+private:
+  std::unique_ptr<BasicType> VoidTy, CharTy, IntTy, UnsignedTy, LongTy;
+  std::map<const Type *, std::unique_ptr<PointerType>> PointerTypes;
+  std::map<std::pair<const Type *, uint64_t>, std::unique_ptr<ArrayType>>
+      ArrayTypes;
+  std::map<StructDecl *, std::unique_ptr<StructType>> StructTypes;
+};
+
+} // namespace dart
+
+#endif // DART_AST_TYPE_H

@@ -1,0 +1,388 @@
+//===- Concolic.cpp - Intertwined concrete/symbolic execution --------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/Concolic.h"
+
+#include <cassert>
+
+using namespace dart;
+
+bool SymbolicEvaluator::mentionsPointerChoice(const LinearExpr &L) const {
+  for (const auto &[Id, C] : L.coeffs()) {
+    (void)C;
+    if (Id < Inputs.size() && Inputs[Id].Kind == InputKind::PointerChoice)
+      return true;
+  }
+  return false;
+}
+
+std::optional<LinearExpr>
+SymbolicEvaluator::linearOperand(EvalContext &Ctx, const IRExpr *E,
+                                 const std::optional<SymValue> &Sym,
+                                 CompletenessFlags &Flags) const {
+  if (!Sym)
+    return LinearExpr(Ctx.evalConcrete(E));
+  if (Sym->isPred()) {
+    // Arithmetic over a stored comparison result leaves the theory.
+    Flags.AllLinear = false;
+    return std::nullopt;
+  }
+  if (mentionsPointerChoice(Sym->linear())) {
+    // Pointer values are only compared, never computed with; arithmetic on
+    // an input-dependent pointer is an address we cannot reason about.
+    Flags.AllLocsDefinite = false;
+    return std::nullopt;
+  }
+  return Sym->linear();
+}
+
+std::optional<SymValue>
+SymbolicEvaluator::evaluate(EvalContext &Ctx, const IRExpr *E,
+                            CompletenessFlags &Flags) const {
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+  case IRExpr::Kind::GlobalAddr:
+  case IRExpr::Kind::FrameAddr:
+    return std::nullopt; // concrete
+
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    // The address is always resolved concretely (this is the key dynamic
+    // advantage over static analysis, §2.5): no alias analysis, just the
+    // actual runtime address. If the address *computation* was symbolic,
+    // constraints we emit assume this fixed address — record the
+    // incompleteness (Fig. 1's all_locs_definite).
+    std::optional<SymValue> AddrSym =
+        evaluate(Ctx, L->address(), Flags);
+    if (AddrSym && !AddrSym->isConstant())
+      Flags.AllLocsDefinite = false;
+    Addr A = static_cast<Addr>(Ctx.evalConcrete(L->address()));
+    return S.get(A, L->valType().SizeBytes);
+  }
+
+  case IRExpr::Kind::Unary: {
+    const auto *U = cast<UnaryIRExpr>(E);
+    std::optional<SymValue> Op = evaluate(Ctx, U->operand(), Flags);
+    if (!Op)
+      return std::nullopt;
+    if (U->op() == IRUnOp::Neg) {
+      std::optional<LinearExpr> L =
+          linearOperand(Ctx, U->operand(), Op, Flags);
+      if (!L)
+        return std::nullopt;
+      std::optional<LinearExpr> Negated = L->negate();
+      if (!Negated) {
+        Flags.AllLinear = false;
+        return std::nullopt;
+      }
+      return SymValue(std::move(*Negated));
+    }
+    // Bitwise complement of a symbolic value leaves the theory.
+    Flags.AllLinear = false;
+    return std::nullopt;
+  }
+
+  case IRExpr::Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(E);
+    std::optional<SymValue> LS = evaluate(Ctx, B->lhs(), Flags);
+    std::optional<SymValue> RS = evaluate(Ctx, B->rhs(), Flags);
+    if (!LS && !RS)
+      return std::nullopt; // fully concrete
+
+    switch (B->op()) {
+    case IRBinOp::Add:
+    case IRBinOp::Sub: {
+      std::optional<LinearExpr> L = linearOperand(Ctx, B->lhs(), LS, Flags);
+      std::optional<LinearExpr> R = linearOperand(Ctx, B->rhs(), RS, Flags);
+      if (!L || !R)
+        return std::nullopt;
+      std::optional<LinearExpr> Result =
+          B->op() == IRBinOp::Add ? L->add(*R) : L->sub(*R);
+      if (!Result) {
+        Flags.AllLinear = false;
+        return std::nullopt;
+      }
+      return SymValue(std::move(*Result));
+    }
+    case IRBinOp::Mul: {
+      // Fig. 1: the product of two non-constant expressions is nonlinear.
+      if (LS && RS && !LS->isConstant() && !RS->isConstant()) {
+        Flags.AllLinear = false;
+        return std::nullopt;
+      }
+      const IRExpr *SymSide = LS ? B->lhs() : B->rhs();
+      const std::optional<SymValue> &SymVal = LS ? LS : RS;
+      const IRExpr *ConstSide = LS ? B->rhs() : B->lhs();
+      std::optional<LinearExpr> L =
+          linearOperand(Ctx, SymSide, SymVal, Flags);
+      if (!L)
+        return std::nullopt;
+      int64_t Factor = Ctx.evalConcrete(ConstSide);
+      std::optional<LinearExpr> Result = L->scale(Factor);
+      if (!Result) {
+        Flags.AllLinear = false;
+        return std::nullopt;
+      }
+      return SymValue(std::move(*Result));
+    }
+    case IRBinOp::Shl: {
+      // x << k with concrete k is x * 2^k: still linear.
+      if (LS && !RS && !LS->isPred()) {
+        int64_t Count = Ctx.evalConcrete(B->rhs());
+        if (Count >= 0 && Count < 62) {
+          std::optional<LinearExpr> L =
+              linearOperand(Ctx, B->lhs(), LS, Flags);
+          if (!L)
+            return std::nullopt;
+          std::optional<LinearExpr> Result =
+              L->scale(int64_t(1) << Count);
+          if (Result)
+            return SymValue(std::move(*Result));
+        }
+      }
+      Flags.AllLinear = false;
+      return std::nullopt;
+    }
+    case IRBinOp::Div:
+    case IRBinOp::Rem:
+    case IRBinOp::Shr:
+    case IRBinOp::And:
+    case IRBinOp::Or:
+    case IRBinOp::Xor:
+      // Outside linear integer arithmetic: concrete fallback (Fig. 1).
+      Flags.AllLinear = false;
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  case IRExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(E);
+    std::optional<SymValue> LS = evaluate(Ctx, C->lhs(), Flags);
+    std::optional<SymValue> RS = evaluate(Ctx, C->rhs(), Flags);
+    if (!LS && !RS)
+      return std::nullopt;
+
+    // Comparisons against a stored comparison result: `flag == 0/1` style
+    // tests reduce to the stored predicate (or its negation).
+    if ((LS && LS->isPred()) || (RS && RS->isPred())) {
+      const SymValue &PredSide = (LS && LS->isPred()) ? *LS : *RS;
+      const IRExpr *OtherE = (LS && LS->isPred()) ? C->rhs() : C->lhs();
+      const std::optional<SymValue> &OtherS =
+          (LS && LS->isPred()) ? RS : LS;
+      if (!OtherS || OtherS->isConstant()) {
+        int64_t K = OtherS && OtherS->isLinear()
+                        ? OtherS->linear().constant()
+                        : Ctx.evalConcrete(OtherE);
+        if (C->pred() == CmpPred::Eq && K == 1)
+          return SymValue(PredSide.pred());
+        if (C->pred() == CmpPred::Eq && K == 0)
+          return SymValue(PredSide.pred().negated());
+        if (C->pred() == CmpPred::Ne && K == 0)
+          return SymValue(PredSide.pred());
+        if (C->pred() == CmpPred::Ne && K == 1)
+          return SymValue(PredSide.pred().negated());
+      }
+      Flags.AllLinear = false;
+      return std::nullopt;
+    }
+
+    // Pointer comparisons: concrete values decide them (the dynamic-alias
+    // advantage of §2.5). With the symbolic-pointer extension, equality
+    // against NULL is expressible through the allocation-choice input.
+    if (C->operandValType().IsPointer) {
+      auto BareChoice =
+          [&](const std::optional<SymValue> &V) -> std::optional<InputId> {
+        if (!V || !V->isLinear())
+          return std::nullopt;
+        const LinearExpr &L = V->linear();
+        if (L.constant() != 0 || L.coeffs().size() != 1)
+          return std::nullopt;
+        const auto &[Id, Coef] = *L.coeffs().begin();
+        if (Coef != 1 || Id >= Inputs.size() ||
+            Inputs[Id].Kind != InputKind::PointerChoice)
+          return std::nullopt;
+        return Id;
+      };
+      if (Options.SymbolicPointers &&
+          (C->pred() == CmpPred::Eq || C->pred() == CmpPred::Ne)) {
+        std::optional<InputId> LC = BareChoice(LS);
+        std::optional<InputId> RC = BareChoice(RS);
+        const IRExpr *OtherE = LC ? C->rhs() : C->lhs();
+        const std::optional<SymValue> &OtherS = LC ? RS : LS;
+        std::optional<InputId> Choice = LC ? LC : RC;
+        if (Choice && !OtherS && Ctx.evalConcrete(OtherE) == 0) {
+          // p ==/!= NULL  <=>  choice ==/!= 0.
+          return SymValue(
+              SymPred(C->pred(), LinearExpr::variable(*Choice)));
+        }
+      }
+      Flags.AllLocsDefinite = false;
+      return std::nullopt;
+    }
+
+    std::optional<LinearExpr> L = linearOperand(Ctx, C->lhs(), LS, Flags);
+    std::optional<LinearExpr> R = linearOperand(Ctx, C->rhs(), RS, Flags);
+    if (!L || !R)
+      return std::nullopt;
+    std::optional<SymPred> P = SymPred::make(C->pred(), *L, *R);
+    if (!P) {
+      Flags.AllLinear = false;
+      return std::nullopt;
+    }
+    return SymValue(std::move(*P));
+  }
+
+  case IRExpr::Kind::Cast: {
+    // Width/sign conversions pass through: the theory works over ideal
+    // integers, the same (documented) approximation the paper's lp_solve
+    // backend makes for C's modular arithmetic.
+    const auto *C = cast<CastIRExpr>(E);
+    return evaluate(Ctx, C->operand(), Flags);
+  }
+  }
+  return std::nullopt;
+}
+
+std::optional<SymPred>
+SymbolicEvaluator::branchPredicate(EvalContext &Ctx, const IRExpr *Cond,
+                                   bool Taken,
+                                   CompletenessFlags &Flags) const {
+  std::optional<SymValue> V = evaluate(Ctx, Cond, Flags);
+  if (!V || V->isConstant())
+    return std::nullopt;
+  if (V->isPred())
+    return Taken ? V->pred() : V->pred().negated();
+  const LinearExpr &L = V->linear();
+  if (mentionsPointerChoice(L)) {
+    // `if (p)` on a pointer input: expressible only as a choice predicate,
+    // and only when the value is exactly the choice variable.
+    if (Options.SymbolicPointers && L.constant() == 0 &&
+        L.coeffs().size() == 1 && L.coeffs().begin()->second == 1) {
+      SymPred P(CmpPred::Ne, L);
+      return Taken ? P : P.negated();
+    }
+    Flags.AllLocsDefinite = false;
+    return std::nullopt;
+  }
+  SymPred P(CmpPred::Ne, L);
+  return Taken ? P : P.negated();
+}
+
+//===----------------------------------------------------------------------===//
+// ConcolicRun: the instrumented program of Fig. 3
+//===----------------------------------------------------------------------===//
+
+void ConcolicRun::onStore(EvalContext &Ctx, Addr Address, ValType VT,
+                          const IRExpr *ValueExpr, int64_t Value) {
+  (void)Value;
+  if (!ValueExpr) {
+    // No expression (native-call result, ...): the cell becomes concrete.
+    S.eraseRange(Address, VT.SizeBytes);
+    return;
+  }
+  // Fig. 3, assignment case: S := S + [m -> evaluate_symbolic(e, M, S)].
+  std::optional<SymValue> Sym = Eval.evaluate(Ctx, ValueExpr, Flags);
+  if (Sym && !Sym->isConstant())
+    S.set(Address, VT.SizeBytes, std::move(*Sym));
+  else
+    S.eraseRange(Address, VT.SizeBytes);
+}
+
+void ConcolicRun::onCopy(EvalContext &Ctx, Addr Dst, Addr Src,
+                         uint64_t Size) {
+  (void)Ctx;
+  S.copyRange(Dst, Src, Size);
+}
+
+bool ConcolicRun::onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
+                           bool Taken) {
+  // Path constraint contribution (Fig. 3, conditional case).
+  std::optional<SymPred> C =
+      Eval.branchPredicate(Ctx, Branch.cond(), Taken, Flags);
+  bool Flippable = C.has_value();
+  if (!Flippable && !Options.MarkConcreteBranchesDone) {
+    // Literal Fig. 3: conditions outside the theory contribute their
+    // concrete truth value — a constant predicate whose negation the
+    // solver will (vainly) be asked to satisfy, exactly like lp_solve
+    // receiving a constant-false system.
+    C = SymPred(CmpPred::Eq, LinearExpr(0)); // trivially true
+  }
+  Constraints.push_back(C);
+  Covered.insert({Branch.siteId(), Taken});
+
+  // compare_and_update_stack (Fig. 4).
+  if (K < Stack.size()) {
+    if (Stack[K].Branch != Taken) {
+      // The prediction failed: a prior incompleteness misled the solver.
+      ForcingOk = false;
+      ++K;
+      return false; // VM reports RunStatus::ForcingMismatch
+    }
+    if (K == Stack.size() - 1)
+      Stack[K].Done = true;
+  } else {
+    BranchRecord R;
+    R.Branch = Taken;
+    R.SiteId = Branch.siteId();
+    // Optimization (off by default): a branch with no flippable constraint
+    // may be born `done`, sparing the solver the doomed negation attempts.
+    R.Done = Options.MarkConcreteBranchesDone && !Flippable;
+    Stack.push_back(R);
+  }
+  ++K;
+  return true;
+}
+
+void ConcolicRun::onCallArg(EvalContext &CallerCtx, const IRExpr *ArgExpr,
+                            ValType ParamVT, int64_t Value,
+                            unsigned ArgIndex) {
+  (void)ParamVT;
+  (void)Value;
+  if (PendingArgs.size() <= ArgIndex)
+    PendingArgs.resize(ArgIndex + 1);
+  PendingArgs[ArgIndex] = Eval.evaluate(CallerCtx, ArgExpr, Flags);
+}
+
+void ConcolicRun::onParamBound(Addr ParamAddr, unsigned ArgIndex, ValType VT,
+                               int64_t Value) {
+  (void)Value;
+  std::optional<SymValue> Sym;
+  if (ArgIndex < PendingArgs.size())
+    Sym = std::move(PendingArgs[ArgIndex]);
+  if (Sym && !Sym->isConstant())
+    S.set(ParamAddr, VT.SizeBytes, std::move(*Sym));
+  else
+    S.eraseRange(ParamAddr, VT.SizeBytes);
+  if (ArgIndex + 1 == PendingArgs.size())
+    PendingArgs.clear();
+}
+
+void ConcolicRun::onNativeCall(EvalContext &Ctx, const CallInstr &Call,
+                               const std::vector<int64_t> &ArgValues) {
+  (void)ArgValues;
+  // Library functions are black boxes (paper §3.1): executing them on
+  // symbolic data is fine concretely, but the symbolic trace cannot follow
+  // — record the incompleteness if any argument is symbolic.
+  for (const auto &Arg : Call.args()) {
+    std::optional<SymValue> Sym = Eval.evaluate(Ctx, Arg.get(), Flags);
+    if (Sym && !Sym->isConstant()) {
+      Flags.AllLinear = false;
+      break;
+    }
+  }
+}
+
+int64_t ConcolicRun::onExternalCall(EvalContext &Ctx, const CallInstr &Call,
+                                    Addr DestAddr, ValType RetVT) {
+  if (ExternalFn)
+    return ExternalFn(Ctx, Call, DestAddr, RetVT);
+  return 0;
+}
+
+void ConcolicRun::onRegionDead(Addr Base, uint64_t Size) {
+  S.eraseRange(Base, Size);
+}

@@ -1,0 +1,184 @@
+//===- Concolic.h - Intertwined concrete/symbolic execution -----*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heart of DART (paper §2): one *instrumented run* of the program,
+/// executing concretely in the VM while this module shadows it
+/// symbolically.
+///
+///  - SymbolicEvaluator is Fig. 1's evaluate_symbolic: it maps pure IR
+///    expressions to symbolic values over inputs, falling back to the
+///    concrete value — and clearing the completeness flags `all_linear` /
+///    `all_locs_definite` — whenever the expression leaves the linear
+///    theory or dereferences input-dependent addresses.
+///  - ConcolicRun is Fig. 3's instrumented_program body: it implements the
+///    VM hooks, maintains the symbolic memory S, collects the path
+///    constraint, and runs Fig. 4's compare_and_update_stack on every
+///    conditional (raising the forcing_ok exception by stopping the VM).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_CONCOLIC_CONCOLIC_H
+#define DART_CONCOLIC_CONCOLIC_H
+
+#include "concolic/SymbolicMemory.h"
+#include "interp/Interp.h"
+#include "symbolic/SymExpr.h"
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace dart {
+
+/// The two completeness flags of the paper (§2.3). They start true and are
+/// cleared — never re-set — during a directed search; if either is false
+/// when the directed search finishes, exploration was incomplete and
+/// run_DART restarts with fresh random inputs instead of terminating.
+struct CompletenessFlags {
+  bool AllLinear = true;
+  bool AllLocsDefinite = true;
+
+  bool allSet() const { return AllLinear && AllLocsDefinite; }
+};
+
+/// Per-engine knobs for the symbolic layer.
+struct ConcolicOptions {
+  /// CUTE-style extension (off = paper behaviour): treat the NULL/allocate
+  /// coin of pointer inputs as a solvable boolean, so `p == NULL` branches
+  /// can be flipped by the solver instead of by random restarts.
+  bool SymbolicPointers = false;
+  /// Optimization (off = literal Fig. 5): branches whose condition carried
+  /// no symbolic variable are born `done`, so the search never asks the
+  /// solver to negate a constraint that does not exist.
+  bool MarkConcreteBranchesDone = false;
+};
+
+/// Fig. 1's evaluate_symbolic. Stateless w.r.t. the run; reads S.
+class SymbolicEvaluator {
+public:
+  SymbolicEvaluator(const SymbolicMemory &S,
+                    const std::vector<InputInfo> &Inputs,
+                    const ConcolicOptions &Options)
+      : S(S), Inputs(Inputs), Options(Options) {}
+
+  /// Symbolic value of \p E, or nullopt = "use the concrete value".
+  /// Clears flags in \p Flags on theory fallbacks.
+  std::optional<SymValue> evaluate(EvalContext &Ctx, const IRExpr *E,
+                                   CompletenessFlags &Flags) const;
+
+  /// The path-constraint contribution of branching on \p Cond with outcome
+  /// \p Taken: a predicate that *holds* on the executed path. nullopt when
+  /// the condition is concrete or outside the theory.
+  std::optional<SymPred> branchPredicate(EvalContext &Ctx, const IRExpr *Cond,
+                                         bool Taken,
+                                         CompletenessFlags &Flags) const;
+
+private:
+  bool mentionsPointerChoice(const LinearExpr &L) const;
+  /// Linear image of an operand: its symbolic value if present, else its
+  /// concrete value as a constant. nullopt if the symbolic value is a
+  /// predicate (outside arithmetic) or mentions a pointer choice.
+  std::optional<LinearExpr> linearOperand(EvalContext &Ctx, const IRExpr *E,
+                                          const std::optional<SymValue> &Sym,
+                                          CompletenessFlags &Flags) const;
+
+  const SymbolicMemory &S;
+  const std::vector<InputInfo> &Inputs;
+  const ConcolicOptions &Options;
+};
+
+/// One entry of the inter-run `stack` (paper §2.3): the branch value taken
+/// at the i-th conditional and whether both directions have been explored.
+struct BranchRecord {
+  bool Branch = false;
+  bool Done = false;
+  unsigned SiteId = 0;
+};
+
+/// Everything one instrumented run produced for solve_path_constraint.
+struct PathData {
+  std::vector<BranchRecord> Stack;
+  /// Aligned with Stack: the predicate that held at each conditional, or
+  /// nullopt for concrete/out-of-theory conditions.
+  std::vector<std::optional<SymPred>> Constraints;
+};
+
+/// The instrumentation for one run. Create fresh per run with the stack
+/// predicted by the previous run's solve_path_constraint.
+class ConcolicRun : public ExecHooks {
+public:
+  ConcolicRun(const std::vector<InputInfo> &Inputs,
+              std::vector<BranchRecord> PredictedStack,
+              const ConcolicOptions &Options)
+      : Inputs(Inputs), Options(Options), Eval(S, Inputs, Options),
+        Stack(std::move(PredictedStack)) {}
+
+  /// Environment model for external functions, installed by the driver:
+  /// must return the concrete value and perform any input bookkeeping
+  /// (fresh InputId, S binding via bindInput).
+  std::function<int64_t(EvalContext &, const CallInstr &, Addr, ValType)>
+      ExternalFn;
+
+  /// Binds a fresh input cell: S[Address] := x_Id (driver initialization
+  /// and external-function returns).
+  void bindInput(Addr Address, ValType VT, InputId Id) {
+    S.set(Address, VT.SizeBytes, SymValue(LinearExpr::variable(Id)));
+  }
+
+  SymbolicMemory &symbolicMemory() { return S; }
+  CompletenessFlags &flags() { return Flags; }
+  bool forcingOk() const { return ForcingOk; }
+  /// Number of conditionals executed (k in Fig. 3).
+  size_t conditionalsExecuted() const { return K; }
+  /// (site id, direction) pairs covered this run.
+  const std::set<std::pair<unsigned, bool>> &coveredBranches() const {
+    return Covered;
+  }
+  /// Extracts the run's path data (call after the run).
+  PathData takePath() {
+    PathData P;
+    P.Stack = std::move(Stack);
+    P.Constraints = std::move(Constraints);
+    return P;
+  }
+
+  // --- ExecHooks ----------------------------------------------------------
+  void onStore(EvalContext &Ctx, Addr Address, ValType VT,
+               const IRExpr *ValueExpr, int64_t Value) override;
+  void onCopy(EvalContext &Ctx, Addr Dst, Addr Src, uint64_t Size) override;
+  bool onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
+                bool Taken) override;
+  void onCallArg(EvalContext &CallerCtx, const IRExpr *ArgExpr,
+                 ValType ParamVT, int64_t Value, unsigned ArgIndex) override;
+  void onParamBound(Addr ParamAddr, unsigned ArgIndex, ValType VT,
+                    int64_t Value) override;
+  void onNativeCall(EvalContext &Ctx, const CallInstr &Call,
+                    const std::vector<int64_t> &ArgValues) override;
+  int64_t onExternalCall(EvalContext &Ctx, const CallInstr &Call,
+                         Addr DestAddr, ValType RetVT) override;
+  void onRegionDead(Addr Base, uint64_t Size) override;
+
+private:
+  const std::vector<InputInfo> &Inputs;
+  ConcolicOptions Options;
+  SymbolicMemory S;
+  SymbolicEvaluator Eval;
+  CompletenessFlags Flags;
+
+  std::vector<BranchRecord> Stack;
+  std::vector<std::optional<SymPred>> Constraints;
+  size_t K = 0;
+  bool ForcingOk = true;
+  std::set<std::pair<unsigned, bool>> Covered;
+  /// Symbolic images of call arguments between onCallArg and onParamBound.
+  std::vector<std::optional<SymValue>> PendingArgs;
+};
+
+} // namespace dart
+
+#endif // DART_CONCOLIC_CONCOLIC_H

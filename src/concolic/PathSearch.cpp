@@ -1,0 +1,84 @@
+//===- PathSearch.cpp - solve_path_constraint and search strategies --------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/PathSearch.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dart;
+
+const char *dart::searchStrategyName(SearchStrategy S) {
+  switch (S) {
+  case SearchStrategy::DepthFirst:
+    return "dfs";
+  case SearchStrategy::BreadthFirst:
+    return "bfs";
+  case SearchStrategy::RandomBranch:
+    return "random";
+  }
+  return "?";
+}
+
+SolveOutcome dart::solvePathConstraint(
+    const PathData &Path, LinearSolver &Solver,
+    const std::function<VarDomain(InputId)> &DomainOf,
+    const std::map<InputId, int64_t> &Hint, SearchStrategy Strategy,
+    Rng &Rng) {
+  assert(Path.Stack.size() == Path.Constraints.size() &&
+         "stack and path constraint must stay aligned");
+  SolveOutcome Outcome;
+
+  // Candidate branches: not yet done. Order per strategy; depth-first
+  // (descending index) reproduces Fig. 5's recursion exactly.
+  std::vector<size_t> Candidates;
+  for (size_t I = 0; I < Path.Stack.size(); ++I)
+    if (!Path.Stack[I].Done)
+      Candidates.push_back(I);
+  switch (Strategy) {
+  case SearchStrategy::DepthFirst:
+    std::reverse(Candidates.begin(), Candidates.end());
+    break;
+  case SearchStrategy::BreadthFirst:
+    break; // ascending
+  case SearchStrategy::RandomBranch:
+    for (size_t I = Candidates.size(); I > 1; --I)
+      std::swap(Candidates[I - 1], Candidates[Rng.nextBelow(I)]);
+    break;
+  }
+
+  for (size_t J : Candidates) {
+    // A conditional without a constraint (concrete or out-of-theory
+    // condition) negates to nothing the solver can satisfy; Fig. 5 then
+    // recurses to the next candidate.
+    if (!Path.Constraints[J])
+      continue;
+
+    std::vector<SymPred> System;
+    System.reserve(J + 1);
+    for (size_t H = 0; H < J; ++H)
+      if (Path.Constraints[H])
+        System.push_back(*Path.Constraints[H]);
+    System.push_back(Path.Constraints[J]->negated());
+
+    std::map<InputId, int64_t> Model;
+    ++Outcome.SolverCalls;
+    if (Solver.solve(System, DomainOf, Hint, Model) != SolveStatus::Sat)
+      continue;
+
+    Outcome.Found = true;
+    Outcome.FlippedIndex = J;
+    Outcome.Model = std::move(Model);
+    Outcome.NextStack.assign(Path.Stack.begin(),
+                             Path.Stack.begin() + J + 1);
+    Outcome.NextStack[J].Branch = !Outcome.NextStack[J].Branch;
+    // Done stays false: compare_and_update_stack sets it when the next run
+    // actually reaches this conditional (Fig. 4).
+    Outcome.NextStack[J].Done = false;
+    return Outcome;
+  }
+  return Outcome;
+}

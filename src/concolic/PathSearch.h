@@ -1,0 +1,57 @@
+//===- PathSearch.h - solve_path_constraint and search strategies -*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 5's solve_path_constraint: pick the deepest not-yet-done branch of
+/// the last execution, negate its constraint, and solve the prefix to get
+/// the next run's inputs. The paper's search is depth-first; footnote 4
+/// allows other orders, implemented here as breadth-first and random
+/// branch-selection strategies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_CONCOLIC_PATHSEARCH_H
+#define DART_CONCOLIC_PATHSEARCH_H
+
+#include "concolic/Concolic.h"
+#include "solver/LinearSolver.h"
+#include "support/Rng.h"
+
+#include <map>
+
+namespace dart {
+
+/// Branch-selection order for the directed search (paper footnote 4).
+enum class SearchStrategy { DepthFirst, BreadthFirst, RandomBranch };
+
+const char *searchStrategyName(SearchStrategy S);
+
+/// Outcome of solve_path_constraint.
+struct SolveOutcome {
+  /// True if a flippable branch with a satisfiable negation was found.
+  bool Found = false;
+  /// The stack to predict the next run with: Stack[0..j] with branch j
+  /// flipped (its done flag is set on arrival, Fig. 4).
+  std::vector<BranchRecord> NextStack;
+  /// Solver model: new values for the inputs in the constraint prefix
+  /// (IM' of Fig. 5; apply over the previous IM).
+  std::map<InputId, int64_t> Model;
+  /// Index of the flipped branch.
+  size_t FlippedIndex = 0;
+  /// Number of solver queries issued.
+  unsigned SolverCalls = 0;
+};
+
+/// Fig. 5. \p Hint is the previous IM restricted to known inputs: solutions
+/// prefer old values so unrelated inputs stay put (IM + IM').
+SolveOutcome solvePathConstraint(const PathData &Path, LinearSolver &Solver,
+                                 const std::function<VarDomain(InputId)> &DomainOf,
+                                 const std::map<InputId, int64_t> &Hint,
+                                 SearchStrategy Strategy, Rng &Rng);
+
+} // namespace dart
+
+#endif // DART_CONCOLIC_PATHSEARCH_H

@@ -1,0 +1,64 @@
+//===- SymbolicMemory.cpp - The paper's symbolic memory S ------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/SymbolicMemory.h"
+
+#include <vector>
+
+using namespace dart;
+
+void SymbolicMemory::eraseRange(Addr Address, uint64_t SizeBytes) {
+  if (SizeBytes == 0)
+    return;
+  Addr End = Address + SizeBytes;
+  // Find the first cell that could overlap: start a little earlier to catch
+  // cells beginning before Address but extending into the range (max cell
+  // width is 8 bytes).
+  Addr ScanFrom = Address >= 8 ? Address - 8 : 0;
+  auto It = Cells.lower_bound(ScanFrom);
+  while (It != Cells.end() && It->first < End) {
+    Addr CellBegin = It->first;
+    Addr CellEnd = CellBegin + It->second.first;
+    if (CellEnd > Address && CellBegin < End)
+      It = Cells.erase(It);
+    else
+      ++It;
+  }
+}
+
+void SymbolicMemory::set(Addr Address, unsigned SizeBytes, SymValue Value) {
+  eraseRange(Address, SizeBytes);
+  if (Value.isConstant())
+    return; // concrete values are represented by absence
+  Cells.emplace(Address, std::make_pair(SizeBytes, std::move(Value)));
+}
+
+std::optional<SymValue> SymbolicMemory::get(Addr Address,
+                                            unsigned SizeBytes) const {
+  auto It = Cells.find(Address);
+  if (It == Cells.end() || It->second.first != SizeBytes)
+    return std::nullopt;
+  return It->second.second;
+}
+
+void SymbolicMemory::copyRange(Addr Dst, Addr Src, uint64_t SizeBytes) {
+  if (SizeBytes == 0 || Dst == Src)
+    return;
+  // Collect source cells fully inside the range first (the erase below may
+  // touch them when ranges overlap).
+  std::vector<std::pair<uint64_t, std::pair<unsigned, SymValue>>> Moved;
+  Addr SrcEnd = Src + SizeBytes;
+  for (auto It = Cells.lower_bound(Src); It != Cells.end() && It->first < SrcEnd;
+       ++It) {
+    Addr CellBegin = It->first;
+    Addr CellEnd = CellBegin + It->second.first;
+    if (CellEnd <= SrcEnd)
+      Moved.emplace_back(CellBegin - Src, It->second);
+  }
+  eraseRange(Dst, SizeBytes);
+  for (auto &[Offset, Cell] : Moved)
+    Cells.emplace(Dst + Offset, std::move(Cell));
+}

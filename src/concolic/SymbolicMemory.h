@@ -1,0 +1,60 @@
+//===- SymbolicMemory.h - The paper's symbolic memory S ---------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic memory S (paper §2.3): a map from memory addresses to
+/// symbolic expressions. Cells are keyed by exact address and record the
+/// scalar width they describe. Stores of concrete values erase overlapping
+/// cells (equivalent to the paper's storing of constant expressions, but
+/// keeps S small); region death (frame pop, free) scrubs the region's
+/// address range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_CONCOLIC_SYMBOLICMEMORY_H
+#define DART_CONCOLIC_SYMBOLICMEMORY_H
+
+#include "interp/Memory.h"
+#include "symbolic/SymExpr.h"
+
+#include <map>
+#include <optional>
+
+namespace dart {
+
+class SymbolicMemory {
+public:
+  /// Binds S[Address] (a \p SizeBytes-wide cell) to \p Value. Constant
+  /// values erase instead (concrete fallback).
+  void set(Addr Address, unsigned SizeBytes, SymValue Value);
+
+  /// The symbolic value of the cell at \p Address if it was bound with the
+  /// same width; nullopt otherwise (including partial overlaps).
+  std::optional<SymValue> get(Addr Address, unsigned SizeBytes) const;
+
+  /// Erases every cell overlapping [Address, Address+SizeBytes).
+  void eraseRange(Addr Address, uint64_t SizeBytes);
+
+  /// Struct copy: replays S entries from the source range into the
+  /// destination range (same offsets), erasing stale destination cells.
+  void copyRange(Addr Dst, Addr Src, uint64_t SizeBytes);
+
+  size_t size() const { return Cells.size(); }
+  void clear() { Cells.clear(); }
+
+  /// Iteration support (tests, debugging).
+  const std::map<Addr, std::pair<unsigned, SymValue>> &cells() const {
+    return Cells;
+  }
+
+private:
+  /// Address -> (width, value). Cells never overlap: set() scrubs first.
+  std::map<Addr, std::pair<unsigned, SymValue>> Cells;
+};
+
+} // namespace dart
+
+#endif // DART_CONCOLIC_SYMBOLICMEMORY_H

@@ -1,0 +1,46 @@
+//===- Dart.cpp - Public DART API ------------------------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dart.h"
+
+#include "sema/Sema.h"
+
+using namespace dart;
+
+std::unique_ptr<Dart> Dart::fromSource(std::string_view Source,
+                                       std::string *ErrorsOut) {
+  DiagnosticsEngine Diags;
+  auto TU = parseAndCheck(Source, Diags);
+  if (!TU) {
+    if (ErrorsOut)
+      *ErrorsOut = Diags.toString();
+    return nullptr;
+  }
+  LoweredProgram Program = lowerToIR(*TU, Diags);
+  if (Diags.hasErrors()) {
+    if (ErrorsOut)
+      *ErrorsOut = Diags.toString();
+    return nullptr;
+  }
+  auto D = std::unique_ptr<Dart>(new Dart());
+  D->TU = std::move(TU);
+  D->Program = std::move(Program);
+  return D;
+}
+
+DartReport Dart::run(const DartOptions &Options) const {
+  DartEngine Engine(*TU, Program, Options);
+  return Engine.run();
+}
+
+std::vector<std::string> Dart::definedFunctions() const {
+  std::vector<std::string> Names;
+  for (const auto &D : TU->decls())
+    if (const auto *F = dyn_cast<FunctionDecl>(D.get()))
+      if (F->hasBody())
+        Names.push_back(F->name());
+  return Names;
+}

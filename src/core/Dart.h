@@ -1,0 +1,74 @@
+//===- Dart.h - Public DART API ---------------------------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-stop API of the library. Typical use:
+///
+/// \code
+///   std::string Errors;
+///   auto D = dart::Dart::fromSource(MiniCProgram, &Errors);
+///   if (!D) { /* report Errors */ }
+///   dart::DartOptions Opts;
+///   Opts.ToplevelName = "h";
+///   dart::DartReport Report = D->run(Opts);
+///   if (Report.BugFound) { /* Report.Bugs[0] has the inputs */ }
+/// \endcode
+///
+/// A Dart instance owns the parsed, checked and lowered program and can run
+/// any number of sessions over it (different toplevel functions, depths,
+/// seeds, strategies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_CORE_DART_H
+#define DART_CORE_DART_H
+
+#include "core/DartEngine.h"
+
+#include <memory>
+#include <string>
+
+namespace dart {
+
+class Dart {
+public:
+  /// Compiles a MiniC program. On error returns null and, if \p ErrorsOut
+  /// is non-null, stores the diagnostics there.
+  static std::unique_ptr<Dart> fromSource(std::string_view Source,
+                                          std::string *ErrorsOut = nullptr);
+
+  /// Runs one DART session (Fig. 2's run_DART).
+  DartReport run(const DartOptions &Options) const;
+
+  /// Extracted interface for \p ToplevelName (paper §3.1).
+  ProgramInterface interfaceFor(const std::string &ToplevelName) const {
+    return extractInterface(*TU, ToplevelName);
+  }
+
+  /// The Fig. 7-style driver source for documentation/inspection.
+  std::string driverSourceFor(const std::string &ToplevelName,
+                              unsigned Depth) const {
+    ProgramInterface I = interfaceFor(ToplevelName);
+    return emitDriverSource(I, Depth);
+  }
+
+  /// Names of all functions with bodies (candidate toplevels), in source
+  /// order — used by the oSIP-style library audit (§4.3).
+  std::vector<std::string> definedFunctions() const;
+
+  const TranslationUnit &ast() const { return *TU; }
+  const IRModule &module() const { return *Program.Module; }
+
+private:
+  Dart() = default;
+
+  std::unique_ptr<TranslationUnit> TU;
+  LoweredProgram Program;
+};
+
+} // namespace dart
+
+#endif // DART_CORE_DART_H

@@ -1,0 +1,232 @@
+//===- DartEngine.cpp - run_DART: the outer testing loop -------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DartEngine.h"
+
+#include <cassert>
+#include <set>
+#include <utility>
+
+using namespace dart;
+
+namespace {
+
+/// Minimal instrumentation for pure random testing: branch coverage only,
+/// no symbolic shadow (used for the §4.1 coverage-vs-runs comparison).
+class CoverageOnlyHooks : public ExecHooks {
+public:
+  bool onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
+                bool Taken) override {
+    (void)Ctx;
+    Covered.insert({Branch.siteId(), Taken});
+    return true;
+  }
+  std::set<std::pair<unsigned, bool>> Covered;
+};
+
+} // namespace
+
+std::string BugInfo::toString() const {
+  std::string Out = Error.toString() + " (run " +
+                    std::to_string(FoundAtRun) + ")";
+  if (!Inputs.empty()) {
+    Out += " inputs:";
+    for (const auto &[Name, Value] : Inputs)
+      Out += " " + Name + "=" + std::to_string(Value);
+  }
+  return Out;
+}
+
+std::string DartReport::toString() const {
+  std::string Out;
+  Out += "runs: " + std::to_string(Runs) + "\n";
+  Out += "restarts: " + std::to_string(Restarts) + "\n";
+  Out += "bug found: " + std::string(BugFound ? "yes" : "no") + "\n";
+  for (const BugInfo &B : Bugs)
+    Out += "  " + B.toString() + "\n";
+  Out += "complete exploration: " +
+         std::string(CompleteExploration ? "yes" : "no") + "\n";
+  Out += "flags: all_linear=" +
+         std::to_string(FinalFlags.AllLinear ? 1 : 0) +
+         " all_locs_definite=" +
+         std::to_string(FinalFlags.AllLocsDefinite ? 1 : 0) + "\n";
+  Out += "branch coverage: " + std::to_string(BranchDirectionsCovered) +
+         "/" + std::to_string(2 * BranchSitesTotal) + " directions\n";
+  Out += "solver calls: " + std::to_string(SolverCalls) + "\n";
+  return Out;
+}
+
+DartEngine::DartEngine(const TranslationUnit &TU,
+                       const LoweredProgram &Program, DartOptions Options)
+    : TU(TU), Program(Program), Options(std::move(Options)),
+      Interface(extractInterface(TU, this->Options.ToplevelName)) {
+  assert(Interface.Toplevel && "toplevel function not found or has no body");
+}
+
+RunResult DartEngine::executeRun(ConcolicRun *Hooks, TestDriver &Driver,
+                                 Interp &VM) {
+  (void)Hooks;
+  Driver.initExternVariables();
+  Driver.installExternalModel(TU);
+  RunResult Result;
+  for (unsigned Call = 0; Call < Options.Depth; ++Call) {
+    PreparedArgs Args = Driver.prepareToplevelArgs(Call);
+    std::optional<std::vector<Addr>> ParamAddrs =
+        VM.beginCall(Options.ToplevelName, Args.Values);
+    if (!ParamAddrs) {
+      Result.Status = RunStatus::Errored;
+      Result.Error.Kind = RunErrorKind::MissingFunction;
+      Result.Error.Message = Options.ToplevelName;
+      return Result;
+    }
+    Driver.bindParams(*ParamAddrs, Args);
+    Result = VM.finishCall();
+    if (Result.Status != RunStatus::Halted)
+      return Result;
+  }
+  return Result;
+}
+
+DartReport DartEngine::run() {
+  DartReport Report;
+  Report.BranchSitesTotal = Program.Module->numBranchSites();
+
+  Rng R(Options.Seed);
+  InputManager Inputs(R);
+  LinearSolver Solver(Options.Solver);
+  CompletenessFlags GlobalFlags;
+  std::set<std::pair<unsigned, bool>> Covered;
+
+  bool Stop = false;
+  while (!Stop && Report.Runs < Options.MaxRuns) {
+    // Outer loop of Fig. 2: fresh random search state.
+    Inputs.reset();
+    std::vector<BranchRecord> PredictedStack;
+    if (Report.Runs > 0)
+      ++Report.Restarts;
+
+    bool Directed = true;
+    while (Directed && Report.Runs < Options.MaxRuns) {
+      Inputs.beginRun();
+      Interp VM(*Program.Module, Options.Interp);
+      std::unique_ptr<ConcolicRun> Hooks;
+      std::unique_ptr<CoverageOnlyHooks> CovHooks;
+      if (!Options.RandomOnly) {
+        Hooks = std::make_unique<ConcolicRun>(
+            Inputs.registry(), PredictedStack, Options.Concolic);
+        VM.setHooks(Hooks.get());
+      } else if (Options.TrackCoverageTimeline) {
+        CovHooks = std::make_unique<CoverageOnlyHooks>();
+        VM.setHooks(CovHooks.get());
+      }
+      TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
+                        Hooks.get(), Options.Driver);
+      RunResult Result = executeRun(Hooks.get(), Driver, VM);
+      ++Report.Runs;
+      Report.TotalSteps += Result.Steps;
+      if (Options.LogRuns) {
+        std::string Line = "run " + std::to_string(Report.Runs) + ": ";
+        switch (Result.Status) {
+        case RunStatus::Halted:
+          Line += "halted";
+          break;
+        case RunStatus::Errored:
+          Line += "ERROR " + Result.Error.toString();
+          break;
+        case RunStatus::ForcingMismatch:
+          Line += "forcing mismatch";
+          break;
+        }
+        if (Hooks)
+          Line += ", " + std::to_string(Hooks->conditionalsExecuted()) +
+                  " conditionals";
+        Line += ", inputs:";
+        for (InputId Id = 0; Id < Inputs.inputsThisRun(); ++Id) {
+          auto It = Inputs.im().find(Id);
+          if (It != Inputs.im().end())
+            Line += " " + Inputs.registry()[Id].Name + "=" +
+                    std::to_string(It->second);
+        }
+        Report.RunLog.push_back(std::move(Line));
+      }
+      if (Hooks) {
+        GlobalFlags.AllLinear &= Hooks->flags().AllLinear;
+        GlobalFlags.AllLocsDefinite &= Hooks->flags().AllLocsDefinite;
+        for (const auto &Edge : Hooks->coveredBranches())
+          Covered.insert(Edge);
+      }
+      if (CovHooks)
+        for (const auto &Edge : CovHooks->Covered)
+          Covered.insert(Edge);
+      if (Options.TrackCoverageTimeline)
+        Report.CoverageTimeline.push_back(
+            static_cast<unsigned>(Covered.size()));
+
+      if (Result.Status == RunStatus::Errored) {
+        // Fig. 2: an exception with forcing_ok set is a real bug.
+        BugInfo Bug;
+        Bug.Error = Result.Error;
+        Bug.FoundAtRun = Report.Runs;
+        for (InputId Id = 0; Id < Inputs.inputsThisRun(); ++Id) {
+          auto It = Inputs.im().find(Id);
+          if (It != Inputs.im().end())
+            Bug.Inputs.emplace_back(Inputs.registry()[Id].Name,
+                                    It->second);
+        }
+        Report.Bugs.push_back(std::move(Bug));
+        Report.BugFound = true;
+        if (Options.StopAtFirstError) {
+          Stop = true;
+          break;
+        }
+        // Otherwise keep searching: the errored path is terminal; fall
+        // through to solve_path_constraint on the collected prefix.
+      } else if (Result.Status == RunStatus::ForcingMismatch) {
+        // Fig. 4 exception with forcing_ok = 0: a prior incompleteness
+        // misled the prediction (including integer-overflow corners the
+        // ideal-integer theory cannot see). Restart the outer loop.
+        ++Report.ForcingMismatches;
+        GlobalFlags.AllLinear = false;
+        break;
+      }
+
+      if (Options.RandomOnly) {
+        // Fresh random inputs every run; no directed component.
+        Inputs.reset();
+        continue;
+      }
+
+      // solve_path_constraint (Fig. 5).
+      PathData Path = Hooks->takePath();
+      auto DomainOf = [&Inputs](InputId Id) { return Inputs.domainOf(Id); };
+      SolveOutcome Outcome = solvePathConstraint(
+          Path, Solver, DomainOf, Inputs.im(), Options.Strategy, R);
+      Report.SolverCalls += Outcome.SolverCalls;
+      if (Outcome.Found) {
+        Inputs.applyModel(Outcome.Model);
+        PredictedStack = std::move(Outcome.NextStack);
+      } else {
+        // Directed search exhausted.
+        Directed = false;
+        // Theorem 1(b) holds only for the paper's depth-first negation:
+        // flipping a shallow branch under BFS/random discards the deeper
+        // unexplored branches of the truncated stack, so those strategies
+        // are heuristics and may never claim completeness.
+        if (GlobalFlags.allSet() &&
+            Options.Strategy == SearchStrategy::DepthFirst) {
+          // Theorem 1(b): all feasible paths have been exercised.
+          Report.CompleteExploration = true;
+          Stop = true;
+        }
+      }
+    }
+  }
+
+  Report.FinalFlags = GlobalFlags;
+  Report.BranchDirectionsCovered = static_cast<unsigned>(Covered.size());
+  Report.Solver = Solver.stats();
+  return Report;
+}

@@ -1,0 +1,120 @@
+//===- DartEngine.h - run_DART: the outer testing loop ----------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 2's run_DART: the directed search (inner loop, one instrumented run
+/// per iteration, next inputs from solve_path_constraint) wrapped in random
+/// restarts (outer loop) that continue while any completeness flag is off.
+/// A pure random-testing mode (fresh random inputs every run, no symbolic
+/// work) provides the baseline the paper compares against in §4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_CORE_DARTENGINE_H
+#define DART_CORE_DARTENGINE_H
+
+#include "concolic/PathSearch.h"
+#include "core/Interface.h"
+#include "core/TestDriver.h"
+#include "ir/Lowering.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// All knobs of one DART session.
+struct DartOptions {
+  std::string ToplevelName;
+  /// Number of times the toplevel function is called per run (paper §3.2).
+  unsigned Depth = 1;
+  uint64_t Seed = 1;
+  /// Total instrumented-run budget (the oSIP experiment caps this at 1000
+  /// per function, §4.3).
+  unsigned MaxRuns = 1000000;
+  /// Stop after the first error (Fig. 2 exits at the first bug). Disable
+  /// to keep exploring and collect every distinct error path.
+  bool StopAtFirstError = true;
+  /// Pure random testing: no symbolic shadow, fresh random inputs per run.
+  bool RandomOnly = false;
+  SearchStrategy Strategy = SearchStrategy::DepthFirst;
+  ConcolicOptions Concolic;
+  SolverOptions Solver;
+  InterpOptions Interp;
+  DriverOptions Driver;
+  /// Record a one-line summary of every run in DartReport::RunLog
+  /// (inputs, outcome, path length). For debugging searches; off by
+  /// default — the Dolev-Yao searches make millions of runs.
+  bool LogRuns = false;
+  /// Record cumulative branch-direction coverage after every run in
+  /// DartReport::CoverageTimeline (one entry per run). Off by default.
+  bool TrackCoverageTimeline = false;
+};
+
+/// One error found, with the inputs that trigger it.
+struct BugInfo {
+  RunError Error;
+  unsigned FoundAtRun = 0;
+  /// (input name, value) pairs of the failing run.
+  std::vector<std::pair<std::string, int64_t>> Inputs;
+
+  std::string toString() const;
+};
+
+/// Session outcome and statistics.
+struct DartReport {
+  unsigned Runs = 0;
+  unsigned Restarts = 0;
+  unsigned ForcingMismatches = 0;
+  bool BugFound = false;
+  std::vector<BugInfo> Bugs;
+  /// Theorem 1(b): the directed search finished with both completeness
+  /// flags intact — every feasible path was exercised, no input can abort.
+  bool CompleteExploration = false;
+  CompletenessFlags FinalFlags;
+  unsigned BranchSitesTotal = 0;
+  unsigned BranchDirectionsCovered = 0;
+  SolverStats Solver;
+  uint64_t SolverCalls = 0;
+  uint64_t TotalSteps = 0;
+  /// One line per run when DartOptions::LogRuns is set.
+  std::vector<std::string> RunLog;
+  /// Cumulative covered branch directions after each run, when
+  /// DartOptions::TrackCoverageTimeline is set (the §4.1 coverage-vs-runs
+  /// comparison of directed and random search).
+  std::vector<unsigned> CoverageTimeline;
+
+  std::string toString() const;
+};
+
+/// Drives DART over one lowered program. The TranslationUnit and
+/// LoweredProgram must outlive the engine.
+class DartEngine {
+public:
+  DartEngine(const TranslationUnit &TU, const LoweredProgram &Program,
+             DartOptions Options);
+
+  /// Runs the session to completion (bug, completeness, or budget).
+  DartReport run();
+
+  const ProgramInterface &interface() const { return Interface; }
+
+private:
+  /// Executes one instrumented run; returns its result and (out) the
+  /// concolic data.
+  RunResult executeRun(ConcolicRun *Hooks, TestDriver &Driver,
+                       Interp &VM);
+
+  const TranslationUnit &TU;
+  const LoweredProgram &Program;
+  DartOptions Options;
+  ProgramInterface Interface;
+};
+
+} // namespace dart
+
+#endif // DART_CORE_DARTENGINE_H

@@ -1,0 +1,68 @@
+//===- Interface.cpp - Automatic interface extraction ----------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Interface.h"
+
+#include "sema/Sema.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace dart;
+
+std::string ProgramInterface::toString() const {
+  std::string Out;
+  if (!Toplevel)
+    return "<no toplevel>\n";
+  Out += "toplevel: " + Toplevel->name() + "\n";
+  for (const VarDecl *P : ToplevelParams)
+    Out += "  param " + P->name() + " : " + P->type()->toString() + "\n";
+  for (const VarDecl *V : ExternVariables)
+    Out += "  extern var " + V->name() + " : " + V->type()->toString() +
+           "\n";
+  for (const ExternalFunctionInfo &F : ExternalFunctions)
+    Out += "  external function " + F.Name + "\n";
+  return Out;
+}
+
+ProgramInterface dart::extractInterface(const TranslationUnit &TU,
+                                        const std::string &ToplevelName) {
+  ProgramInterface Info;
+
+  std::set<std::string> Defined;
+  for (const auto &D : TU.decls())
+    if (const auto *F = dyn_cast<FunctionDecl>(D.get()))
+      if (F->hasBody())
+        Defined.insert(F->name());
+
+  const auto &Builtins = Sema::builtinNames();
+  std::set<std::string> SeenExternal;
+  for (const auto &D : TU.decls()) {
+    if (const auto *F = dyn_cast<FunctionDecl>(D.get())) {
+      if (F->hasBody()) {
+        if (F->name() == ToplevelName)
+          Info.Toplevel = F;
+        continue;
+      }
+      if (Defined.count(F->name()) || SeenExternal.count(F->name()))
+        continue;
+      if (std::find(Builtins.begin(), Builtins.end(), F->name()) !=
+          Builtins.end())
+        continue; // library function, not environment
+      SeenExternal.insert(F->name());
+      Info.ExternalFunctions.push_back({F, F->name()});
+      continue;
+    }
+    if (const auto *V = dyn_cast<VarDecl>(D.get()))
+      if (V->isExtern() && !V->init())
+        Info.ExternVariables.push_back(V);
+  }
+
+  if (Info.Toplevel)
+    for (const auto &P : Info.Toplevel->params())
+      Info.ToplevelParams.push_back(P.get());
+  return Info;
+}

@@ -1,0 +1,57 @@
+//===- Interface.h - Automatic interface extraction -------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Technique (1) of DART (paper §3.1): static extraction of a program's
+/// external interface, i.e. the channels through which the environment can
+/// feed it inputs:
+///
+///   - the arguments of the user-chosen toplevel function,
+///   - external variables (`extern`, never defined/initialized),
+///   - external functions (declared or called, never defined, and not a
+///     built-in library function).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_CORE_INTERFACE_H
+#define DART_CORE_INTERFACE_H
+
+#include "ast/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// One external function of the interface.
+struct ExternalFunctionInfo {
+  const FunctionDecl *Decl = nullptr;
+  std::string Name;
+};
+
+/// The extracted external interface of a program w.r.t. a toplevel
+/// function.
+struct ProgramInterface {
+  const FunctionDecl *Toplevel = nullptr;
+  /// Toplevel parameters (inputs on every call).
+  std::vector<const VarDecl *> ToplevelParams;
+  /// `extern` variables: inputs initialized once per run.
+  std::vector<const VarDecl *> ExternVariables;
+  /// Environment-controlled functions: fresh input per call.
+  std::vector<ExternalFunctionInfo> ExternalFunctions;
+
+  /// Human-readable summary for tools/tests.
+  std::string toString() const;
+};
+
+/// Extracts the interface. Returns nullopt-equivalent (Toplevel == nullptr)
+/// if \p ToplevelName has no definition in \p TU.
+ProgramInterface extractInterface(const TranslationUnit &TU,
+                                  const std::string &ToplevelName);
+
+} // namespace dart
+
+#endif // DART_CORE_INTERFACE_H

@@ -1,0 +1,248 @@
+//===- TestDriver.cpp - Random test driver generation ----------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TestDriver.h"
+
+#include "ast/ASTPrinter.h"
+#include "ir/Lowering.h"
+
+#include <cassert>
+
+using namespace dart;
+
+//===----------------------------------------------------------------------===//
+// InputManager
+//===----------------------------------------------------------------------===//
+
+InputId InputManager::createInput(InputKind Kind, ValType VT,
+                                  std::string Name) {
+  InputId Id = NextId++;
+  InputInfo Info;
+  Info.Kind = Kind;
+  Info.VT = VT;
+  Info.Name = std::move(Name);
+  if (Id < Registry.size())
+    Registry[Id] = std::move(Info);
+  else
+    Registry.push_back(std::move(Info));
+  return Id;
+}
+
+int64_t InputManager::valueFor(InputId Id) {
+  auto It = IM.find(Id);
+  if (It != IM.end())
+    return It->second;
+  assert(Id < Registry.size() && "value requested for unregistered input");
+  const InputInfo &Info = Registry[Id];
+  int64_t V;
+  if (Info.Kind == InputKind::PointerChoice)
+    V = R.coinToss() ? 1 : 0; // Fig. 8's fair coin
+  else
+    V = R.nextBits(Info.VT.bits());
+  IM[Id] = V;
+  return V;
+}
+
+void InputManager::applyModel(const std::map<InputId, int64_t> &Model) {
+  for (const auto &[Id, V] : Model)
+    IM[Id] = V;
+}
+
+VarDomain InputManager::domainOf(InputId Id) const {
+  if (Id >= Registry.size())
+    return VarDomain{INT32_MIN, INT32_MAX};
+  return VarDomain{Registry[Id].domainMin(), Registry[Id].domainMax()};
+}
+
+//===----------------------------------------------------------------------===//
+// TestDriver
+//===----------------------------------------------------------------------===//
+
+TestDriver::TestDriver(const ProgramInterface &Interface,
+                       const std::map<const VarDecl *, unsigned> &GlobalIndexOf,
+                       InputManager &Inputs, Interp &VM, ConcolicRun *Hooks,
+                       DriverOptions Options)
+    : Interface(Interface), GlobalIndexOf(GlobalIndexOf), Inputs(Inputs),
+      VM(VM), Hooks(Hooks), Options(Options) {}
+
+std::pair<int64_t, InputId>
+TestDriver::makePointerInput(const PointerType *Ty, const std::string &Name,
+                             unsigned Depth) {
+  InputId ChoiceId =
+      Inputs.createInput(InputKind::PointerChoice, ValType::pointer(), Name);
+  bool Allocate = (Inputs.valueFor(ChoiceId) & 1) != 0;
+  if (Depth > Options.MaxPointerInitDepth)
+    Allocate = false; // force termination of recursive shapes
+  if (!Allocate)
+    return {0, ChoiceId};
+  const Type *Pointee = Ty->pointee();
+  // void* inputs point at an opaque byte.
+  uint64_t Size = Pointee->isVoid() ? 1 : Pointee->size();
+  Addr Cell = VM.memory().allocate(Size, RegionKind::Heap, Name + "@cell");
+  if (!Pointee->isVoid())
+    randomInitCell(Cell, Pointee, Name + "[0]", Depth + 1);
+  return {static_cast<int64_t>(Cell), ChoiceId};
+}
+
+void TestDriver::randomInitCell(Addr A, const Type *Ty,
+                                const std::string &Name, unsigned Depth) {
+  if (Ty->isInteger()) {
+    ValType VT = valTypeFor(Ty);
+    InputId Id = Inputs.createInput(InputKind::Integer, VT, Name);
+    int64_t V = VT.canonicalize(Inputs.valueFor(Id));
+    VM.memory().store(A, VT.SizeBytes, static_cast<uint64_t>(V));
+    if (Hooks)
+      Hooks->bindInput(A, VT, Id);
+    return;
+  }
+  if (const auto *P = dyn_cast<PointerType>(Ty)) {
+    auto [V, ChoiceId] = makePointerInput(P, Name, Depth);
+    VM.memory().store(A, 8, static_cast<uint64_t>(V));
+    if (Hooks)
+      Hooks->bindInput(A, ValType::pointer(), ChoiceId);
+    return;
+  }
+  if (const auto *S = dyn_cast<StructType>(Ty)) {
+    for (const auto &F : S->decl()->fields())
+      randomInitCell(A + F->offset(), F->type(), Name + "." + F->name(),
+                     Depth);
+    return;
+  }
+  if (const auto *Arr = dyn_cast<ArrayType>(Ty)) {
+    uint64_t ElemSize = Arr->element()->size();
+    for (uint64_t I = 0; I < Arr->numElements(); ++I)
+      randomInitCell(A + I * ElemSize, Arr->element(),
+                     Name + "[" + std::to_string(I) + "]", Depth);
+    return;
+  }
+  // void or other non-value type: nothing to initialize.
+}
+
+void TestDriver::initExternVariables() {
+  for (const VarDecl *V : Interface.ExternVariables) {
+    auto It = GlobalIndexOf.find(V);
+    assert(It != GlobalIndexOf.end() && "extern variable not lowered");
+    Addr Base = VM.globalAddr(It->second);
+    randomInitCell(Base, V->type(), V->name(), 0);
+  }
+}
+
+PreparedArgs TestDriver::prepareToplevelArgs(unsigned CallIndex) {
+  PreparedArgs Args;
+  const std::string Prefix =
+      Interface.Toplevel->name() + "#" + std::to_string(CallIndex) + ".";
+  unsigned Index = 0;
+  for (const VarDecl *P : Interface.ToplevelParams) {
+    const std::string Name =
+        Prefix + (P->name().empty() ? "arg" + std::to_string(Index)
+                                    : P->name());
+    const Type *Ty = P->type();
+    if (Ty->isInteger()) {
+      ValType VT = valTypeFor(Ty);
+      InputId Id = Inputs.createInput(InputKind::Integer, VT, Name);
+      Args.Values.push_back(VT.canonicalize(Inputs.valueFor(Id)));
+      Args.Bindings.push_back({Index, Id, VT});
+    } else if (const auto *Ptr = dyn_cast<PointerType>(Ty)) {
+      auto [V, ChoiceId] = makePointerInput(Ptr, Name, 0);
+      Args.Values.push_back(V);
+      Args.Bindings.push_back({Index, ChoiceId, ValType::pointer()});
+    } else {
+      // Aggregate by value: rejected earlier; defensive zero.
+      Args.Values.push_back(0);
+    }
+    ++Index;
+  }
+  return Args;
+}
+
+void TestDriver::bindParams(const std::vector<Addr> &ParamAddrs,
+                            const PreparedArgs &Args) {
+  if (!Hooks)
+    return;
+  for (const PreparedArgs::Binding &B : Args.Bindings) {
+    assert(B.ParamIndex < ParamAddrs.size() && "parameter index mismatch");
+    Hooks->bindInput(ParamAddrs[B.ParamIndex], B.VT, B.Id);
+  }
+}
+
+void TestDriver::installExternalModel(const TranslationUnit &TU) {
+  ExternalReturnTypes.clear();
+  for (const ExternalFunctionInfo &F : Interface.ExternalFunctions)
+    if (F.Decl)
+      ExternalReturnTypes[F.Name] = F.Decl->returnType();
+  (void)TU;
+  if (!Hooks)
+    return;
+  Hooks->ExternalFn = [this](EvalContext &Ctx, const CallInstr &Call,
+                             Addr Dest, ValType RetVT) -> int64_t {
+    (void)Ctx;
+    const std::string Name = "ext:" + Call.callee();
+    auto It = ExternalReturnTypes.find(Call.callee());
+    const Type *RetTy = It == ExternalReturnTypes.end() ? nullptr
+                                                        : It->second;
+    if (RetTy && RetTy->isPointer()) {
+      // External function returning a pointer: NULL or a fresh cell
+      // (paper §3.4 — never a previously defined object).
+      auto [V, ChoiceId] =
+          makePointerInput(cast<PointerType>(RetTy), Name, 0);
+      if (Dest != 0)
+        Hooks->bindInput(Dest, ValType::pointer(), ChoiceId);
+      return V;
+    }
+    InputId Id = Inputs.createInput(InputKind::Integer, RetVT, Name);
+    int64_t V = RetVT.canonicalize(Inputs.valueFor(Id));
+    if (Dest != 0)
+      Hooks->bindInput(Dest, RetVT, Id);
+    return V;
+  };
+}
+
+//===----------------------------------------------------------------------===//
+// Driver source emission (Fig. 7)
+//===----------------------------------------------------------------------===//
+
+std::string dart::emitDriverSource(const ProgramInterface &Interface,
+                                   unsigned Depth) {
+  std::string Out;
+  Out += "/* Test driver generated by DART (cf. paper Fig. 7).\n";
+  Out += " * Simulates the most general environment of the program. */\n\n";
+
+  for (const ExternalFunctionInfo &F : Interface.ExternalFunctions) {
+    const Type *RetTy =
+        F.Decl ? F.Decl->returnType() : nullptr;
+    std::string RetName = RetTy ? RetTy->toString() : "int";
+    Out += RetName + " " + F.Name + "() {\n";
+    Out += "  " + RetName + " tmp;\n";
+    Out += "  random_init(&tmp, " + RetName + ");\n";
+    Out += "  return tmp;\n";
+    Out += "}\n\n";
+  }
+
+  Out += "void main() {\n";
+  for (const VarDecl *V : Interface.ExternVariables)
+    Out += "  random_init(&" + V->name() + ", " + V->type()->toString() +
+           ");\n";
+  Out += "  int i;\n";
+  Out += "  for (i = 0; i < " + std::to_string(Depth) + "; i++) {\n";
+  std::string CallArgs;
+  unsigned Index = 0;
+  for (const VarDecl *P : Interface.ToplevelParams) {
+    std::string Name =
+        P->name().empty() ? "tmp" + std::to_string(Index) : P->name();
+    Out += "    " + printTypedName(P->type(), Name) + ";\n";
+    Out += "    random_init(&" + Name + ", " + P->type()->toString() +
+           ");\n";
+    if (!CallArgs.empty())
+      CallArgs += ", ";
+    CallArgs += Name;
+    ++Index;
+  }
+  if (Interface.Toplevel)
+    Out += "    " + Interface.Toplevel->name() + "(" + CallArgs + ");\n";
+  Out += "  }\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,151 @@
+//===- TestDriver.h - Random test driver generation -------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Technique (2) of DART (paper §3.2): an automatically generated test
+/// driver simulating the most general environment.
+///
+///  - InputManager owns the input registry and the input vector IM that
+///    solve_path_constraint updates between runs. Inputs get dense ids in
+///    creation order; values come from IM when defined, otherwise from
+///    `random_bits` (and are memoized into IM, Fig. 3's random
+///    initialization).
+///  - TestDriver performs Fig. 8's random_init over MiniC types directly on
+///    VM memory: basic types become integer inputs, pointers toss a fair
+///    coin between NULL and a fresh heap cell initialized recursively,
+///    structs/arrays recurse over their elements. It also models external
+///    functions (fresh input per call) and can emit the equivalent MiniC
+///    driver source (Fig. 7) for inspection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_CORE_TESTDRIVER_H
+#define DART_CORE_TESTDRIVER_H
+
+#include "concolic/Concolic.h"
+#include "core/Interface.h"
+#include "interp/Interp.h"
+#include "solver/LinearSolver.h"
+#include "support/Rng.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// Owns the input registry and the inter-run input vector IM.
+class InputManager {
+public:
+  explicit InputManager(Rng &R) : R(R) {}
+
+  /// Starts a new run: input ids restart from 0; IM persists.
+  void beginRun() { NextId = 0; }
+
+  /// Registers the next input. If a previous run already created an input
+  /// with this id, the registry entry is overwritten (ids are positional).
+  InputId createInput(InputKind Kind, ValType VT, std::string Name);
+
+  /// The concrete value for input \p Id this run: IM[Id] if defined, else
+  /// fresh random bits (memoized into IM).
+  int64_t valueFor(InputId Id);
+
+  /// Applies a solver model (IM := IM + IM', Fig. 5).
+  void applyModel(const std::map<InputId, int64_t> &Model);
+
+  /// Fresh random restart (outer loop of Fig. 2).
+  void reset() {
+    IM.clear();
+    Registry.clear();
+    NextId = 0;
+  }
+
+  VarDomain domainOf(InputId Id) const;
+  const std::vector<InputInfo> &registry() const { return Registry; }
+  const std::map<InputId, int64_t> &im() const { return IM; }
+  /// Number of inputs created in the current run.
+  InputId inputsThisRun() const { return NextId; }
+
+private:
+  Rng &R;
+  std::vector<InputInfo> Registry;
+  std::map<InputId, int64_t> IM;
+  InputId NextId = 0;
+};
+
+/// Driver options (see DartOptions for the engine-level view).
+struct DriverOptions {
+  /// Pointer chains longer than this are forced NULL so recursive types
+  /// terminate even with multiple pointer fields.
+  unsigned MaxPointerInitDepth = 32;
+};
+
+/// Prepared toplevel arguments: concrete values plus the deferred symbolic
+/// bindings for the parameter slots (applied after Interp::beginCall).
+struct PreparedArgs {
+  std::vector<int64_t> Values;
+  /// (param index, input id, width) to bind at the parameter addresses.
+  struct Binding {
+    unsigned ParamIndex;
+    InputId Id;
+    ValType VT;
+  };
+  std::vector<Binding> Bindings;
+};
+
+/// One run's driver: initializes extern variables, builds toplevel
+/// arguments, and models external functions.
+class TestDriver {
+public:
+  /// \p Hooks may be null (pure random testing without symbolic shadow).
+  TestDriver(const ProgramInterface &Interface,
+             const std::map<const VarDecl *, unsigned> &GlobalIndexOf,
+             InputManager &Inputs, Interp &VM, ConcolicRun *Hooks,
+             DriverOptions Options = {});
+
+  /// Randomly initializes all extern variables (once per run).
+  void initExternVariables();
+
+  /// Creates the inputs for one toplevel call (\p CallIndex for naming).
+  PreparedArgs prepareToplevelArgs(unsigned CallIndex);
+
+  /// Binds the deferred parameter inputs; call right after beginCall.
+  void bindParams(const std::vector<Addr> &ParamAddrs,
+                  const PreparedArgs &Args);
+
+  /// Installs the external-function environment model on \p Hooks (or
+  /// keeps it internal when Hooks is null): each call returns a fresh
+  /// input of the declared return type (Fig. 7's stub functions).
+  void installExternalModel(const TranslationUnit &TU);
+
+private:
+  /// Fig. 8's random_init: initializes the cell at \p A of type \p Ty.
+  void randomInitCell(Addr A, const Type *Ty, const std::string &Name,
+                      unsigned Depth);
+  /// Builds the value of a fresh pointer input (NULL or new cell) and
+  /// returns (value, choice input id).
+  std::pair<int64_t, InputId> makePointerInput(const PointerType *Ty,
+                                               const std::string &Name,
+                                               unsigned Depth);
+
+  const ProgramInterface &Interface;
+  const std::map<const VarDecl *, unsigned> &GlobalIndexOf;
+  InputManager &Inputs;
+  Interp &VM;
+  ConcolicRun *Hooks;
+  DriverOptions Options;
+  /// Return types of external functions, by name (for pointer returns).
+  std::map<std::string, const Type *> ExternalReturnTypes;
+};
+
+/// Emits the MiniC source of the Fig. 7-style driver (main + random_init
+/// calls + external function stubs) for documentation and inspection.
+std::string emitDriverSource(const ProgramInterface &Interface,
+                             unsigned Depth);
+
+} // namespace dart
+
+#endif // DART_CORE_TESTDRIVER_H

@@ -1,0 +1,570 @@
+//===- Interp.cpp - Concrete VM for the RAM-machine IR ---------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include <cassert>
+
+using namespace dart;
+
+std::string RunError::toString() const {
+  std::string Out;
+  switch (Kind) {
+  case RunErrorKind::AbortCall:
+    Out = "abort() reached";
+    break;
+  case RunErrorKind::AssertFailure:
+    Out = "assertion violation";
+    break;
+  case RunErrorKind::MemoryFault:
+    Out = memFaultName(Fault);
+    break;
+  case RunErrorKind::DivByZero:
+    Out = "division by zero";
+    break;
+  case RunErrorKind::DivOverflow:
+    Out = "signed division overflow";
+    break;
+  case RunErrorKind::StepLimit:
+    Out = "non-termination (step budget exhausted)";
+    break;
+  case RunErrorKind::StackOverflow:
+    Out = "stack overflow (call depth budget exhausted)";
+    break;
+  case RunErrorKind::MissingFunction:
+    Out = "call to unknown function";
+    break;
+  }
+  if (!Message.empty())
+    Out += ": " + Message;
+  if (Loc.isValid())
+    Out += " at " + Loc.toString();
+  return Out;
+}
+
+Interp::Interp(const IRModule &M, InterpOptions Options)
+    : M(M), Options(Options) {
+  // Built-in library functions, overridable via registerNative.
+  Natives["malloc"] = [](Interp &I,
+                         const std::vector<int64_t> &Args) -> NativeResult {
+    int64_t Size = Args.empty() ? 0 : Args[0];
+    if (Size <= 0)
+      return {0, std::nullopt};
+    return {static_cast<int64_t>(I.heapAlloc(static_cast<uint64_t>(Size))),
+            std::nullopt};
+  };
+  Natives["free"] = [](Interp &I,
+                       const std::vector<int64_t> &Args) -> NativeResult {
+    Addr Base = Args.empty() ? 0 : static_cast<Addr>(Args[0]);
+    uint64_t Size = I.memory().regionSize(Base);
+    MemFault F = I.memory().free(Base);
+    if (F != MemFault::None) {
+      RunError E;
+      E.Kind = RunErrorKind::MemoryFault;
+      E.Fault = F;
+      return {0, E};
+    }
+    if (!isNullAddr(Base) && I.Hooks)
+      I.Hooks->onRegionDead(Base, Size);
+    return {0, std::nullopt};
+  };
+  materializeGlobals();
+}
+
+void Interp::registerNative(const std::string &Name, NativeFn Fn) {
+  Natives[Name] = std::move(Fn);
+}
+
+Addr Interp::heapAlloc(uint64_t Size) {
+  if (Mem.heapBytesInUse() + Size > Options.HeapLimitBytes)
+    return 0; // allocation failure: malloc returns NULL
+  return Mem.allocate(Size, RegionKind::Heap, "heap");
+}
+
+void Interp::materializeGlobals() {
+  for (const IRGlobal &G : M.globals()) {
+    Addr Base = Mem.allocate(G.SizeBytes, RegionKind::Global, G.Name,
+                             G.ReadOnly);
+    if (!G.Init.empty())
+      Mem.writeInitialImage(Base, G.Init);
+    GlobalAddrs.push_back(Base);
+  }
+}
+
+Addr Interp::currentSlotAddr(unsigned SlotIndex) {
+  assert(!Stack.empty() && "no active frame");
+  assert(SlotIndex < Stack.back().SlotAddrs.size() && "bad slot index");
+  return Stack.back().SlotAddrs[SlotIndex];
+}
+
+int64_t Interp::evalConcrete(const IRExpr *E) {
+  RunError Err;
+  bool Failed = false;
+  int64_t V = eval(E, Err, Failed);
+  return Failed ? 0 : V;
+}
+
+namespace {
+
+int64_t applyBinary(IRBinOp Op, int64_t L, int64_t R, ValType VT,
+                    RunError &Err, bool &Failed) {
+  switch (Op) {
+  case IRBinOp::Add:
+    return VT.canonicalize(static_cast<int64_t>(
+        static_cast<uint64_t>(L) + static_cast<uint64_t>(R)));
+  case IRBinOp::Sub:
+    return VT.canonicalize(static_cast<int64_t>(
+        static_cast<uint64_t>(L) - static_cast<uint64_t>(R)));
+  case IRBinOp::Mul:
+    return VT.canonicalize(static_cast<int64_t>(
+        static_cast<uint64_t>(L) * static_cast<uint64_t>(R)));
+  case IRBinOp::Div:
+  case IRBinOp::Rem: {
+    if (R == 0) {
+      Err.Kind = RunErrorKind::DivByZero;
+      Failed = true;
+      return 0;
+    }
+    if (VT.Signed && L == INT64_MIN && R == -1) {
+      Err.Kind = RunErrorKind::DivOverflow;
+      Failed = true;
+      return 0;
+    }
+    if (!VT.Signed && !VT.IsPointer) {
+      uint64_t UL = static_cast<uint64_t>(L) &
+                    ((VT.SizeBytes == 8) ? ~uint64_t(0)
+                                         : ((uint64_t(1) << VT.bits()) - 1));
+      uint64_t UR = static_cast<uint64_t>(R) &
+                    ((VT.SizeBytes == 8) ? ~uint64_t(0)
+                                         : ((uint64_t(1) << VT.bits()) - 1));
+      uint64_t Res = Op == IRBinOp::Div ? UL / UR : UL % UR;
+      return VT.canonicalize(static_cast<int64_t>(Res));
+    }
+    int64_t Res = Op == IRBinOp::Div ? L / R : L % R;
+    return VT.canonicalize(Res);
+  }
+  case IRBinOp::Shl:
+    return VT.canonicalize(static_cast<int64_t>(static_cast<uint64_t>(L)
+                                                << (R & (VT.bits() - 1))));
+  case IRBinOp::Shr: {
+    unsigned Count = static_cast<unsigned>(R & (VT.bits() - 1));
+    if (VT.Signed)
+      return VT.canonicalize(L >> Count);
+    uint64_t Mask = VT.SizeBytes == 8 ? ~uint64_t(0)
+                                      : ((uint64_t(1) << VT.bits()) - 1);
+    return VT.canonicalize(
+        static_cast<int64_t>((static_cast<uint64_t>(L) & Mask) >> Count));
+  }
+  case IRBinOp::And:
+    return VT.canonicalize(L & R);
+  case IRBinOp::Or:
+    return VT.canonicalize(L | R);
+  case IRBinOp::Xor:
+    return VT.canonicalize(L ^ R);
+  }
+  return 0;
+}
+
+bool applyCmp(CmpPred Pred, int64_t L, int64_t R, ValType VT) {
+  if (VT.IsPointer || !VT.Signed) {
+    uint64_t UL = static_cast<uint64_t>(L);
+    uint64_t UR = static_cast<uint64_t>(R);
+    switch (Pred) {
+    case CmpPred::Eq:
+      return UL == UR;
+    case CmpPred::Ne:
+      return UL != UR;
+    case CmpPred::Lt:
+      return UL < UR;
+    case CmpPred::Le:
+      return UL <= UR;
+    case CmpPred::Gt:
+      return UL > UR;
+    case CmpPred::Ge:
+      return UL >= UR;
+    }
+  }
+  switch (Pred) {
+  case CmpPred::Eq:
+    return L == R;
+  case CmpPred::Ne:
+    return L != R;
+  case CmpPred::Lt:
+    return L < R;
+  case CmpPred::Le:
+    return L <= R;
+  case CmpPred::Gt:
+    return L > R;
+  case CmpPred::Ge:
+    return L >= R;
+  }
+  return false;
+}
+
+} // namespace
+
+int64_t Interp::eval(const IRExpr *E, RunError &Err, bool &Failed) {
+  if (Failed)
+    return 0;
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+    return cast<ConstExpr>(E)->value();
+  case IRExpr::Kind::GlobalAddr:
+    return static_cast<int64_t>(
+        GlobalAddrs[cast<GlobalAddrExpr>(E)->globalIndex()]);
+  case IRExpr::Kind::FrameAddr:
+    return static_cast<int64_t>(
+        currentSlotAddr(cast<FrameAddrExpr>(E)->slotIndex()));
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    Addr A = static_cast<Addr>(eval(L->address(), Err, Failed));
+    if (Failed)
+      return 0;
+    uint64_t Raw = 0;
+    MemFault F = Mem.load(A, L->valType().SizeBytes, Raw);
+    if (F != MemFault::None) {
+      Err.Kind = RunErrorKind::MemoryFault;
+      Err.Fault = F;
+      Failed = true;
+      return 0;
+    }
+    return L->valType().canonicalize(static_cast<int64_t>(Raw));
+  }
+  case IRExpr::Kind::Unary: {
+    const auto *U = cast<UnaryIRExpr>(E);
+    int64_t V = eval(U->operand(), Err, Failed);
+    if (Failed)
+      return 0;
+    if (U->op() == IRUnOp::Neg)
+      return U->valType().canonicalize(
+          static_cast<int64_t>(-static_cast<uint64_t>(V)));
+    return U->valType().canonicalize(~V);
+  }
+  case IRExpr::Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(E);
+    int64_t L = eval(B->lhs(), Err, Failed);
+    int64_t R = eval(B->rhs(), Err, Failed);
+    if (Failed)
+      return 0;
+    return applyBinary(B->op(), L, R, B->valType(), Err, Failed);
+  }
+  case IRExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(E);
+    int64_t L = eval(C->lhs(), Err, Failed);
+    int64_t R = eval(C->rhs(), Err, Failed);
+    if (Failed)
+      return 0;
+    return applyCmp(C->pred(), L, R, C->operandValType()) ? 1 : 0;
+  }
+  case IRExpr::Kind::Cast: {
+    const auto *C = cast<CastIRExpr>(E);
+    int64_t V = eval(C->operand(), Err, Failed);
+    if (Failed)
+      return 0;
+    return C->valType().canonicalize(V);
+  }
+  }
+  return 0;
+}
+
+void Interp::pushFrame(const IRFunction &Fn, const std::vector<int64_t> &Args,
+                       Addr RetDest, ValType RetVT) {
+  Frame F;
+  F.Fn = &Fn;
+  F.PC = 0;
+  F.RetDest = RetDest;
+  F.RetVT = RetVT;
+  F.SlotAddrs.reserve(Fn.Slots.size());
+  for (const FrameSlot &Slot : Fn.Slots)
+    F.SlotAddrs.push_back(Mem.allocate(
+        Slot.SizeBytes, RegionKind::Stack,
+        Fn.Name + "." + (Slot.Name.empty() ? "tmp" : Slot.Name)));
+  Stack.push_back(std::move(F));
+  // Parameter values: stored raw here; the caller-side onStore hook has
+  // already recorded their symbolic images.
+  for (unsigned I = 0; I < Fn.NumParams && I < Args.size(); ++I) {
+    ValType VT = Fn.ParamVTs[I];
+    Mem.store(Stack.back().SlotAddrs[I], VT.SizeBytes,
+              static_cast<uint64_t>(VT.canonicalize(Args[I])));
+  }
+}
+
+void Interp::popFrame() {
+  Frame &F = Stack.back();
+  for (size_t I = 0; I < F.SlotAddrs.size(); ++I) {
+    Addr Base = F.SlotAddrs[I];
+    if (Hooks)
+      Hooks->onRegionDead(Base, F.Fn->Slots[I].SizeBytes);
+    Mem.releaseStack(Base);
+  }
+  Stack.pop_back();
+}
+
+bool Interp::execCall(const CallInstr &Call, RunResult &Result) {
+  RunError Err;
+  bool Failed = false;
+  std::vector<int64_t> ArgValues;
+  ArgValues.reserve(Call.args().size());
+  for (const auto &Arg : Call.args()) {
+    ArgValues.push_back(eval(Arg.get(), Err, Failed));
+    if (Failed) {
+      Err.Loc = Call.loc();
+      Result.Status = RunStatus::Errored;
+      Result.Error = Err;
+      return false;
+    }
+  }
+
+  Addr DestAddr = 0;
+  if (Call.destSlot())
+    DestAddr = currentSlotAddr(*Call.destSlot());
+
+  // 1. Program function.
+  if (const IRFunction *Callee = M.findFunction(Call.callee())) {
+    if (Stack.size() >= Options.MaxCallDepth) {
+      Result.Status = RunStatus::Errored;
+      Result.Error.Kind = RunErrorKind::StackOverflow;
+      Result.Error.Loc = Call.loc();
+      return false;
+    }
+    ++Stack.back().PC;
+    // Two-phase argument binding: symbolic images are computed while the
+    // caller frame is active (argument expressions reference caller
+    // slots), then bound to the callee's parameter addresses after the
+    // frame is pushed.
+    if (Hooks)
+      for (size_t I = 0; I < Call.args().size() && I < Callee->NumParams;
+           ++I)
+        Hooks->onCallArg(*this, Call.args()[I].get(), Callee->ParamVTs[I],
+                         Callee->ParamVTs[I].canonicalize(ArgValues[I]),
+                         static_cast<unsigned>(I));
+    pushFrame(*Callee, ArgValues, DestAddr, Call.retValType());
+    if (Hooks)
+      for (unsigned I = 0; I < Callee->NumParams && I < ArgValues.size();
+           ++I)
+        Hooks->onParamBound(currentSlotAddr(I), I, Callee->ParamVTs[I],
+                            Callee->ParamVTs[I].canonicalize(ArgValues[I]));
+    return true;
+  }
+
+  // 2. Native library function (black box).
+  auto NativeIt = Natives.find(Call.callee());
+  if (NativeIt != Natives.end()) {
+    if (Hooks)
+      Hooks->onNativeCall(*this, Call, ArgValues);
+    NativeResult NR = NativeIt->second(*this, ArgValues);
+    if (NR.Error) {
+      Result.Status = RunStatus::Errored;
+      Result.Error = *NR.Error;
+      Result.Error.Loc = Call.loc();
+      return false;
+    }
+    if (DestAddr != 0) {
+      ValType VT = Call.retValType();
+      Mem.store(DestAddr, VT.SizeBytes,
+                static_cast<uint64_t>(VT.canonicalize(NR.Value)));
+      if (Hooks)
+        Hooks->onStore(*this, DestAddr, VT, /*ValueExpr=*/nullptr,
+                       VT.canonicalize(NR.Value));
+    }
+    ++Stack.back().PC;
+    return true;
+  }
+
+  // 3. External (environment) function: the hooks model it (paper §3.2's
+  // generated stub returning a fresh random value of the return type).
+  if (Hooks) {
+    ValType VT = Call.retValType();
+    int64_t Value = VT.canonicalize(
+        Hooks->onExternalCall(*this, Call, DestAddr, VT));
+    if (DestAddr != 0)
+      Mem.store(DestAddr, VT.SizeBytes, static_cast<uint64_t>(Value));
+    ++Stack.back().PC;
+    return true;
+  }
+
+  Result.Status = RunStatus::Errored;
+  Result.Error.Kind = RunErrorKind::MissingFunction;
+  Result.Error.Message = Call.callee();
+  Result.Error.Loc = Call.loc();
+  return false;
+}
+
+RunResult Interp::runLoop() {
+  RunResult Result;
+  size_t BaseDepth = Stack.size() - 1;
+  RunError Err;
+  while (true) {
+    Frame &F = Stack.back();
+    assert(F.PC < F.Fn->Instrs.size() && "fell off the instruction stream");
+    const Instr &I = *F.Fn->Instrs[F.PC];
+
+    if (++Steps > Options.MaxSteps) {
+      Result.Status = RunStatus::Errored;
+      Result.Error.Kind = RunErrorKind::StepLimit;
+      Result.Error.Loc = I.loc();
+      break;
+    }
+
+    bool Failed = false;
+    switch (I.kind()) {
+    case Instr::Kind::Store: {
+      const auto *S = cast<StoreInstr>(&I);
+      Addr A = static_cast<Addr>(eval(S->address(), Err, Failed));
+      int64_t V = eval(S->value(), Err, Failed);
+      if (Failed)
+        break;
+      ValType VT = S->valType();
+      if (Hooks)
+        Hooks->onStore(*this, A, VT, S->value(), VT.canonicalize(V));
+      MemFault MF = Mem.store(A, VT.SizeBytes,
+                              static_cast<uint64_t>(VT.canonicalize(V)));
+      if (MF != MemFault::None) {
+        Err.Kind = RunErrorKind::MemoryFault;
+        Err.Fault = MF;
+        Failed = true;
+        break;
+      }
+      ++F.PC;
+      break;
+    }
+    case Instr::Kind::Copy: {
+      const auto *C = cast<CopyInstr>(&I);
+      Addr Dst = static_cast<Addr>(eval(C->dst(), Err, Failed));
+      Addr Src = static_cast<Addr>(eval(C->src(), Err, Failed));
+      if (Failed)
+        break;
+      if (Hooks)
+        Hooks->onCopy(*this, Dst, Src, C->numBytes());
+      MemFault MF = Mem.copy(Dst, Src, C->numBytes());
+      if (MF != MemFault::None) {
+        Err.Kind = RunErrorKind::MemoryFault;
+        Err.Fault = MF;
+        Failed = true;
+        break;
+      }
+      ++F.PC;
+      break;
+    }
+    case Instr::Kind::CondJump: {
+      const auto *CJ = cast<CondJumpInstr>(&I);
+      int64_t V = eval(CJ->cond(), Err, Failed);
+      if (Failed)
+        break;
+      bool Taken = V != 0;
+      if (Hooks && !Hooks->onBranch(*this, *CJ, Taken)) {
+        Result.Status = RunStatus::ForcingMismatch;
+        // Unwind all frames this call created.
+        while (Stack.size() > BaseDepth)
+          popFrame();
+        return Result;
+      }
+      F.PC = Taken ? CJ->trueTarget() : CJ->falseTarget();
+      break;
+    }
+    case Instr::Kind::Jump:
+      F.PC = cast<JumpInstr>(&I)->target();
+      break;
+    case Instr::Kind::Call:
+      if (!execCall(*cast<CallInstr>(&I), Result)) {
+        if (Result.Status == RunStatus::Errored && !Result.Error.Loc.isValid())
+          Result.Error.Loc = I.loc();
+        while (Stack.size() > BaseDepth)
+          popFrame();
+        return Result;
+      }
+      break;
+    case Instr::Kind::Ret: {
+      const auto *R = cast<RetInstr>(&I);
+      int64_t Value = 0;
+      if (R->value()) {
+        Value = eval(R->value(), Err, Failed);
+        if (Failed)
+          break;
+      }
+      Addr Dest = F.RetDest;
+      ValType RetVT = F.RetVT;
+      if (R->value() && Dest != 0 && Hooks)
+        Hooks->onStore(*this, Dest, RetVT, R->value(),
+                       RetVT.canonicalize(Value));
+      bool IsOutermost = Stack.size() == BaseDepth + 1;
+      popFrame();
+      if (Dest != 0)
+        Mem.store(Dest, RetVT.SizeBytes,
+                  static_cast<uint64_t>(RetVT.canonicalize(Value)));
+      if (IsOutermost) {
+        Result.Status = RunStatus::Halted;
+        Result.ReturnValue = RetVT.canonicalize(Value);
+        Result.Steps = Steps;
+        return Result;
+      }
+      break;
+    }
+    case Instr::Kind::Abort: {
+      const auto *A = cast<AbortInstr>(&I);
+      Result.Status = RunStatus::Errored;
+      Result.Error.Kind = A->why() == AbortKind::AssertFailure
+                              ? RunErrorKind::AssertFailure
+                              : RunErrorKind::AbortCall;
+      Result.Error.Loc = I.loc();
+      while (Stack.size() > BaseDepth)
+        popFrame();
+      Result.Steps = Steps;
+      return Result;
+    }
+    case Instr::Kind::Halt:
+      Result.Status = RunStatus::Halted;
+      while (Stack.size() > BaseDepth)
+        popFrame();
+      Result.Steps = Steps;
+      return Result;
+    }
+
+    if (Failed) {
+      Result.Status = RunStatus::Errored;
+      Result.Error = Err;
+      Result.Error.Loc = I.loc();
+      while (Stack.size() > BaseDepth)
+        popFrame();
+      Result.Steps = Steps;
+      return Result;
+    }
+  }
+  while (Stack.size() > BaseDepth)
+    popFrame();
+  Result.Steps = Steps;
+  return Result;
+}
+
+RunResult Interp::callFunction(const std::string &Name,
+                               const std::vector<int64_t> &Args) {
+  if (!beginCall(Name, Args)) {
+    RunResult Result;
+    Result.Status = RunStatus::Errored;
+    Result.Error.Kind = RunErrorKind::MissingFunction;
+    Result.Error.Message = Name;
+    return Result;
+  }
+  return finishCall();
+}
+
+std::optional<std::vector<Addr>>
+Interp::beginCall(const std::string &Name, const std::vector<int64_t> &Args) {
+  const IRFunction *Fn = M.findFunction(Name);
+  if (!Fn)
+    return std::nullopt;
+  pushFrame(*Fn, Args, /*RetDest=*/0, Fn->RetVT);
+  std::vector<Addr> ParamAddrs;
+  ParamAddrs.reserve(Fn->NumParams);
+  for (unsigned I = 0; I < Fn->NumParams; ++I)
+    ParamAddrs.push_back(Stack.back().SlotAddrs[I]);
+  return ParamAddrs;
+}
+
+RunResult Interp::finishCall() {
+  assert(!Stack.empty() && "finishCall without beginCall");
+  return runLoop();
+}

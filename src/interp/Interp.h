@@ -1,0 +1,265 @@
+//===- Interp.h - Concrete VM for the RAM-machine IR ------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete executor: `evaluate_concrete` and `statement_at` of the
+/// paper (§2.2), with a call stack. A single Interp instance is one *run*
+/// of the program under test: globals are materialized once, then the
+/// driver invokes the toplevel function (possibly `depth` times, §3.2).
+///
+/// Instrumentation hooks (ExecHooks) receive every store, branch, call and
+/// region release, letting src/concolic intertwine the symbolic execution
+/// of Fig. 3 without the VM knowing anything about symbols. External
+/// functions — resolved neither to a program function nor to a registered
+/// native — are delegated to the hooks, which model the environment by
+/// returning a fresh (random or solver-chosen) value per call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_INTERP_INTERP_H
+#define DART_INTERP_INTERP_H
+
+#include "interp/Memory.h"
+#include "ir/IR.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// Why a run ended abnormally. Together with MemFault details this covers
+/// the error classes DART reports: crashes, assertion violations, and
+/// non-termination (paper §1, §4.3).
+enum class RunErrorKind {
+  AbortCall,        // reached abort()
+  AssertFailure,    // assert(e) with e false
+  MemoryFault,      // crash: see Fault
+  DivByZero,        // division or remainder by zero
+  DivOverflow,      // INT_MIN / -1
+  StepLimit,        // non-termination (paper: timer; here: step budget)
+  StackOverflow,    // runaway recursion
+  MissingFunction,  // call to an unknown function with no handler
+};
+
+struct RunError {
+  RunErrorKind Kind = RunErrorKind::AbortCall;
+  MemFault Fault = MemFault::None;
+  SourceLocation Loc;
+  std::string Message;
+
+  std::string toString() const;
+};
+
+/// How one toplevel invocation ended.
+enum class RunStatus {
+  Halted,          // normal termination (the paper's `halt`)
+  Errored,         // see Error (the paper's `abort` + crash classes)
+  ForcingMismatch, // instrumentation aborted the run (Fig. 4 exception)
+};
+
+struct RunResult {
+  RunStatus Status = RunStatus::Halted;
+  RunError Error;
+  int64_t ReturnValue = 0;
+  uint64_t Steps = 0;
+};
+
+class Interp;
+
+/// Read-only evaluation services the hooks may use (e.g. to resolve the
+/// addresses inside an IR expression while building its symbolic image).
+class EvalContext {
+public:
+  /// Re-evaluates a pure expression in the current frame. Must only be
+  /// called on (sub)expressions the VM just evaluated successfully.
+  virtual int64_t evalConcrete(const IRExpr *E) = 0;
+  /// Address of a slot of the current frame.
+  virtual Addr currentSlotAddr(unsigned SlotIndex) = 0;
+  /// Address of a module global.
+  virtual Addr globalBaseAddr(unsigned GlobalIndex) = 0;
+  virtual ~EvalContext() = default;
+};
+
+/// Instrumentation interface; all callbacks default to no-ops.
+class ExecHooks {
+public:
+  /// A scalar store is about to commit. \p ValueExpr is the pure IR
+  /// expression that produced \p Value, or null when the value has no
+  /// expression (native call results, copied bytes).
+  virtual void onStore(EvalContext &Ctx, Addr Address, ValType VT,
+                       const IRExpr *ValueExpr, int64_t Value) {
+    (void)Ctx;
+    (void)Address;
+    (void)VT;
+    (void)ValueExpr;
+    (void)Value;
+  }
+
+  /// A bytewise copy is about to commit.
+  virtual void onCopy(EvalContext &Ctx, Addr Dst, Addr Src, uint64_t Size) {
+    (void)Ctx;
+    (void)Dst;
+    (void)Src;
+    (void)Size;
+  }
+
+  /// A conditional statement evaluated; \p Taken is its branch value.
+  /// Return false to stop the run with RunStatus::ForcingMismatch (the
+  /// exception raised by compare_and_update_stack, Fig. 4).
+  virtual bool onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
+                        bool Taken) {
+    (void)Ctx;
+    (void)Branch;
+    (void)Taken;
+    return true;
+  }
+
+  /// Argument \p ArgIndex of a call to a program function was evaluated in
+  /// the *caller* frame (which is still active). Hooks compute the symbolic
+  /// image of \p ArgExpr here and bind it to the parameter address in the
+  /// matching onParamBound call — this is the paper's interprocedural
+  /// tracing of symbolic expressions (§2.1, §3.3).
+  virtual void onCallArg(EvalContext &CallerCtx, const IRExpr *ArgExpr,
+                         ValType ParamVT, int64_t Value, unsigned ArgIndex) {
+    (void)CallerCtx;
+    (void)ArgExpr;
+    (void)ParamVT;
+    (void)Value;
+    (void)ArgIndex;
+  }
+
+  /// Parameter \p ArgIndex now lives at \p ParamAddr in the fresh callee
+  /// frame; pairs with the preceding onCallArg calls.
+  virtual void onParamBound(Addr ParamAddr, unsigned ArgIndex, ValType VT,
+                            int64_t Value) {
+    (void)ParamAddr;
+    (void)ArgIndex;
+    (void)VT;
+    (void)Value;
+  }
+
+  /// A registered native (library) function is about to execute — a black
+  /// box for symbolic reasoning (paper §3.1).
+  virtual void onNativeCall(EvalContext &Ctx, const CallInstr &Call,
+                            const std::vector<int64_t> &ArgValues) {
+    (void)Ctx;
+    (void)Call;
+    (void)ArgValues;
+  }
+
+  /// An external (environment) function was called; produce its return
+  /// value. \p DestAddr is where the value will be stored (0 when the
+  /// result is discarded). Default: 0, i.e. a trivial environment.
+  virtual int64_t onExternalCall(EvalContext &Ctx, const CallInstr &Call,
+                                 Addr DestAddr, ValType RetVT) {
+    (void)Ctx;
+    (void)Call;
+    (void)DestAddr;
+    (void)RetVT;
+    return 0;
+  }
+
+  /// A region [Base, Base+Size) died (frame pop or free()).
+  virtual void onRegionDead(Addr Base, uint64_t Size) {
+    (void)Base;
+    (void)Size;
+  }
+
+  virtual ~ExecHooks() = default;
+};
+
+/// Outcome of a native library function.
+struct NativeResult {
+  int64_t Value = 0;
+  std::optional<RunError> Error;
+};
+
+/// A native library function: black-box C++ code callable from MiniC.
+using NativeFn =
+    std::function<NativeResult(Interp &, const std::vector<int64_t> &)>;
+
+/// Execution limits and knobs.
+struct InterpOptions {
+  uint64_t MaxSteps = 1u << 22;      // non-termination budget per run
+  unsigned MaxCallDepth = 512;       // recursion budget
+  uint64_t HeapLimitBytes = 1u << 26; // malloc beyond this returns NULL
+};
+
+class Interp : public EvalContext {
+public:
+  Interp(const IRModule &M, InterpOptions Options = {});
+
+  /// Registers a native library function (malloc/free/abort come built in).
+  void registerNative(const std::string &Name, NativeFn Fn);
+  void setHooks(ExecHooks *H) { Hooks = H; }
+
+  /// Calls a program function with the given argument values and runs to
+  /// completion (of that call). May be invoked repeatedly; memory persists
+  /// across calls within this Interp (= one DART run of depth > 1).
+  RunResult callFunction(const std::string &Name,
+                         const std::vector<int64_t> &Args);
+
+  /// Two-phase variant for test drivers: pushes the frame and returns the
+  /// parameter slot addresses (so the driver can bind symbolic inputs to
+  /// them), without starting execution. Returns nullopt if the function is
+  /// unknown. Must be followed by finishCall().
+  std::optional<std::vector<Addr>> beginCall(const std::string &Name,
+                                             const std::vector<int64_t> &Args);
+  /// Executes the frame pushed by beginCall until it returns.
+  RunResult finishCall();
+
+  Memory &memory() { return Mem; }
+  const IRModule &module() const { return M; }
+
+  /// Address of global \p Index's storage.
+  Addr globalAddr(unsigned Index) const { return GlobalAddrs[Index]; }
+
+  /// Allocates a heap region honouring the heap limit; 0 (NULL) on
+  /// exhaustion — the failure mode behind the paper's oSIP parser attack.
+  Addr heapAlloc(uint64_t Size);
+
+  // EvalContext:
+  int64_t evalConcrete(const IRExpr *E) override;
+  Addr currentSlotAddr(unsigned SlotIndex) override;
+  Addr globalBaseAddr(unsigned GlobalIndex) override {
+    return GlobalAddrs[GlobalIndex];
+  }
+
+private:
+  struct Frame {
+    const IRFunction *Fn = nullptr;
+    unsigned PC = 0;
+    std::vector<Addr> SlotAddrs;
+    Addr RetDest = 0; // 0 = discard return value
+    ValType RetVT = ValType::int32();
+  };
+
+  void materializeGlobals();
+  /// Core interpreter loop; returns when the initial frame returns.
+  RunResult runLoop();
+  /// Evaluates a pure expression; on fault sets Err and returns 0.
+  int64_t eval(const IRExpr *E, RunError &Err, bool &Failed);
+  bool execCall(const CallInstr &Call, RunResult &Result);
+  void pushFrame(const IRFunction &Fn, const std::vector<int64_t> &Args,
+                 Addr RetDest, ValType RetVT);
+  void popFrame();
+
+  const IRModule &M;
+  InterpOptions Options;
+  Memory Mem;
+  std::vector<Addr> GlobalAddrs;
+  std::map<std::string, NativeFn> Natives;
+  ExecHooks *Hooks = nullptr;
+  std::vector<Frame> Stack;
+  uint64_t Steps = 0;
+};
+
+} // namespace dart
+
+#endif // DART_INTERP_INTERP_H

@@ -1,0 +1,170 @@
+//===- Memory.cpp - Region-based RAM for the concrete VM ------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Memory.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace dart;
+
+const char *dart::memFaultName(MemFault F) {
+  switch (F) {
+  case MemFault::None:
+    return "none";
+  case MemFault::NullDeref:
+    return "NULL dereference";
+  case MemFault::OutOfBounds:
+    return "out-of-bounds access";
+  case MemFault::UseAfterFree:
+    return "use after free";
+  case MemFault::BadRegion:
+    return "wild pointer dereference";
+  case MemFault::BadFree:
+    return "free of a non-heap pointer";
+  case MemFault::DoubleFree:
+    return "double free";
+  case MemFault::ReadOnlyWrite:
+    return "write to read-only memory";
+  }
+  return "memory fault";
+}
+
+Addr Memory::allocate(uint64_t Size, RegionKind Kind, std::string Name,
+                      bool ReadOnly) {
+  assert(Regions.size() < UINT32_MAX && "region space exhausted");
+  Region R;
+  R.Bytes.resize(Size, 0);
+  R.Kind = Kind;
+  R.Name = std::move(Name);
+  R.ReadOnly = ReadOnly;
+  Regions.push_back(std::move(R));
+  if (Kind == RegionKind::Heap)
+    HeapInUse += Size;
+  return makeAddr(static_cast<uint32_t>(Regions.size() - 1), 0);
+}
+
+MemFault Memory::free(Addr Base) {
+  if (isNullAddr(Base))
+    return MemFault::None; // free(NULL) is a no-op, as in C
+  uint32_t Id = addrRegion(Base);
+  if (Id >= Regions.size())
+    return MemFault::BadRegion;
+  Region &R = Regions[Id];
+  if (R.Kind != RegionKind::Heap || addrOffset(Base) != 0)
+    return MemFault::BadFree;
+  if (!R.Alive)
+    return MemFault::DoubleFree;
+  R.Alive = false;
+  HeapInUse -= R.Bytes.size();
+  return MemFault::None;
+}
+
+void Memory::releaseStack(Addr Base) {
+  if (isNullAddr(Base))
+    return;
+  uint32_t Id = addrRegion(Base);
+  assert(Id < Regions.size() && Regions[Id].Kind == RegionKind::Stack &&
+         "releaseStack on a non-stack region");
+  Regions[Id].Alive = false;
+}
+
+const Memory::Region *Memory::access(Addr A, uint64_t Size,
+                                     MemFault &Fault) const {
+  if (isNullAddr(A)) {
+    Fault = MemFault::NullDeref;
+    return nullptr;
+  }
+  uint32_t Id = addrRegion(A);
+  if (Id >= Regions.size()) {
+    Fault = MemFault::BadRegion;
+    return nullptr;
+  }
+  const Region &R = Regions[Id];
+  if (!R.Alive) {
+    Fault = MemFault::UseAfterFree;
+    return nullptr;
+  }
+  uint64_t Offset = addrOffset(A);
+  if (Offset + Size > R.Bytes.size()) {
+    Fault = MemFault::OutOfBounds;
+    return nullptr;
+  }
+  Fault = MemFault::None;
+  return &R;
+}
+
+MemFault Memory::load(Addr A, unsigned Size, uint64_t &Out) const {
+  MemFault Fault;
+  const Region *R = access(A, Size, Fault);
+  if (!R)
+    return Fault;
+  uint64_t Value = 0;
+  const uint8_t *Src = R->Bytes.data() + addrOffset(A);
+  for (unsigned I = 0; I < Size; ++I)
+    Value |= static_cast<uint64_t>(Src[I]) << (8 * I);
+  Out = Value;
+  return MemFault::None;
+}
+
+MemFault Memory::store(Addr A, unsigned Size, uint64_t Value) {
+  MemFault Fault;
+  const Region *RC = access(A, Size, Fault);
+  if (!RC)
+    return Fault;
+  if (RC->ReadOnly)
+    return MemFault::ReadOnlyWrite;
+  Region &R = Regions[addrRegion(A)];
+  uint8_t *Dst = R.Bytes.data() + addrOffset(A);
+  for (unsigned I = 0; I < Size; ++I)
+    Dst[I] = static_cast<uint8_t>((Value >> (8 * I)) & 0xff);
+  return MemFault::None;
+}
+
+MemFault Memory::copy(Addr Dst, Addr Src, uint64_t Size) {
+  if (Size == 0)
+    return MemFault::None;
+  MemFault Fault;
+  const Region *SrcR = access(Src, Size, Fault);
+  if (!SrcR)
+    return Fault;
+  const Region *DstRC = access(Dst, Size, Fault);
+  if (!DstRC)
+    return Fault;
+  if (DstRC->ReadOnly)
+    return MemFault::ReadOnlyWrite;
+  // memmove semantics within one region.
+  Region &DstR = Regions[addrRegion(Dst)];
+  std::memmove(DstR.Bytes.data() + addrOffset(Dst),
+               SrcR->Bytes.data() + addrOffset(Src), Size);
+  return MemFault::None;
+}
+
+void Memory::writeInitialImage(Addr Base, const std::vector<uint8_t> &Bytes) {
+  assert(!isNullAddr(Base) && addrRegion(Base) < Regions.size() &&
+         "bad region for initial image");
+  Region &R = Regions[addrRegion(Base)];
+  assert(Bytes.size() <= R.Bytes.size() && "initial image too large");
+  std::memcpy(R.Bytes.data(), Bytes.data(), Bytes.size());
+}
+
+bool Memory::isReadable(Addr A, uint64_t Size) const {
+  MemFault Fault;
+  return access(A, Size, Fault) != nullptr;
+}
+
+uint64_t Memory::regionSize(Addr A) const {
+  if (isNullAddr(A) || addrRegion(A) >= Regions.size())
+    return 0;
+  return Regions[addrRegion(A)].Bytes.size();
+}
+
+bool Memory::isHeapBase(Addr A) const {
+  if (isNullAddr(A) || addrRegion(A) >= Regions.size())
+    return false;
+  const Region &R = Regions[addrRegion(A)];
+  return R.Kind == RegionKind::Heap && addrOffset(A) == 0 && R.Alive;
+}

@@ -1,0 +1,115 @@
+//===- Memory.h - Region-based RAM for the concrete VM ---------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RAM machine's memory M (paper §2.2): a mapping from addresses to
+/// bytes. Addresses are 64-bit values encoding (region, offset), where each
+/// global variable, stack slot, heap allocation and string literal is its
+/// own region. This gives the VM precise detection of the crash classes
+/// DART reports: NULL dereference, out-of-bounds access, use-after-free,
+/// bad free, and writes to read-only data (§4.3's oSIP crashes are NULL
+/// dereferences found exactly this way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_INTERP_MEMORY_H
+#define DART_INTERP_MEMORY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// A virtual address: (region id + 1) in the high 32 bits, byte offset in
+/// the low 32 bits. Address 0 is NULL.
+using Addr = uint64_t;
+
+inline Addr makeAddr(uint32_t RegionId, uint32_t Offset) {
+  return (static_cast<uint64_t>(RegionId + 1) << 32) | Offset;
+}
+inline bool isNullAddr(Addr A) { return (A >> 32) == 0; }
+inline uint32_t addrRegion(Addr A) {
+  return static_cast<uint32_t>(A >> 32) - 1;
+}
+inline uint32_t addrOffset(Addr A) { return static_cast<uint32_t>(A); }
+
+enum class RegionKind { Global, Stack, Heap };
+
+/// Faults a memory access can raise. These become DART crash reports.
+enum class MemFault {
+  None,
+  NullDeref,     // address with region part 0
+  OutOfBounds,   // offset+size exceeds the region
+  UseAfterFree,  // region no longer alive
+  BadRegion,     // address names a region that never existed
+  BadFree,       // free() of a non-heap or non-base pointer
+  DoubleFree,    // free() of an already-freed region
+  ReadOnlyWrite, // store into a string literal
+};
+
+const char *memFaultName(MemFault F);
+
+/// One run's memory. Regions are never recycled within a run, so stale
+/// pointers reliably fault instead of aliasing new objects.
+class Memory {
+public:
+  /// Creates a new region of \p Size bytes (zero-filled) and returns its
+  /// base address. Zero-size regions are valid (their base can be compared
+  /// but not dereferenced).
+  Addr allocate(uint64_t Size, RegionKind Kind, std::string Name,
+                bool ReadOnly = false);
+
+  /// Releases a heap region. \p Base must be the exact base address.
+  MemFault free(Addr Base);
+
+  /// Releases a stack region on frame pop.
+  void releaseStack(Addr Base);
+
+  /// Loads \p Size bytes little-endian (no sign extension; the caller
+  /// canonicalizes per ValType).
+  MemFault load(Addr A, unsigned Size, uint64_t &Out) const;
+
+  /// Stores the low \p Size bytes of \p Value.
+  MemFault store(Addr A, unsigned Size, uint64_t Value);
+
+  /// Bytewise copy of \p Size bytes; regions may differ.
+  MemFault copy(Addr Dst, Addr Src, uint64_t Size);
+
+  /// Writes a region's initial image, bypassing the read-only flag (used
+  /// exactly once per region, at materialization).
+  void writeInitialImage(Addr Base, const std::vector<uint8_t> &Bytes);
+
+  /// True if [A, A+Size) is a readable range.
+  bool isReadable(Addr A, uint64_t Size) const;
+
+  /// Size of the region containing \p A, if valid.
+  uint64_t regionSize(Addr A) const;
+  bool isHeapBase(Addr A) const;
+
+  /// Total bytes currently allocated in live heap regions.
+  uint64_t heapBytesInUse() const { return HeapInUse; }
+  size_t numRegions() const { return Regions.size(); }
+
+private:
+  struct Region {
+    std::vector<uint8_t> Bytes;
+    RegionKind Kind;
+    std::string Name;
+    bool Alive = true;
+    bool ReadOnly = false;
+  };
+
+  /// Checks the access and returns the region, or null with \p Fault set.
+  const Region *access(Addr A, uint64_t Size, MemFault &Fault) const;
+
+  std::vector<Region> Regions;
+  uint64_t HeapInUse = 0;
+};
+
+} // namespace dart
+
+#endif // DART_INTERP_MEMORY_H

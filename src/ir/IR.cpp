@@ -1,0 +1,226 @@
+//===- IR.cpp - RAM machine IR utilities ----------------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+using namespace dart;
+
+CmpPred dart::negateCmpPred(CmpPred P) {
+  switch (P) {
+  case CmpPred::Eq:
+    return CmpPred::Ne;
+  case CmpPred::Ne:
+    return CmpPred::Eq;
+  case CmpPred::Lt:
+    return CmpPred::Ge;
+  case CmpPred::Le:
+    return CmpPred::Gt;
+  case CmpPred::Gt:
+    return CmpPred::Le;
+  case CmpPred::Ge:
+    return CmpPred::Lt;
+  }
+  return CmpPred::Eq;
+}
+
+const char *dart::cmpPredSpelling(CmpPred P) {
+  switch (P) {
+  case CmpPred::Eq:
+    return "==";
+  case CmpPred::Ne:
+    return "!=";
+  case CmpPred::Lt:
+    return "<";
+  case CmpPred::Le:
+    return "<=";
+  case CmpPred::Gt:
+    return ">";
+  case CmpPred::Ge:
+    return ">=";
+  }
+  return "?";
+}
+
+const char *dart::irBinOpSpelling(IRBinOp Op) {
+  switch (Op) {
+  case IRBinOp::Add:
+    return "+";
+  case IRBinOp::Sub:
+    return "-";
+  case IRBinOp::Mul:
+    return "*";
+  case IRBinOp::Div:
+    return "/";
+  case IRBinOp::Rem:
+    return "%";
+  case IRBinOp::Shl:
+    return "<<";
+  case IRBinOp::Shr:
+    return ">>";
+  case IRBinOp::And:
+    return "&";
+  case IRBinOp::Or:
+    return "|";
+  case IRBinOp::Xor:
+    return "^";
+  }
+  return "?";
+}
+
+std::string ValType::toString() const {
+  if (IsPointer)
+    return "ptr";
+  return (Signed ? "i" : "u") + std::to_string(bits());
+}
+
+IRExprPtr IRExpr::clone() const {
+  switch (K) {
+  case Kind::Const: {
+    const auto *C = cast<ConstExpr>(this);
+    return std::make_unique<ConstExpr>(C->value(), C->valType());
+  }
+  case Kind::GlobalAddr:
+    return std::make_unique<GlobalAddrExpr>(
+        cast<GlobalAddrExpr>(this)->globalIndex());
+  case Kind::FrameAddr:
+    return std::make_unique<FrameAddrExpr>(
+        cast<FrameAddrExpr>(this)->slotIndex());
+  case Kind::Load: {
+    const auto *L = cast<LoadExpr>(this);
+    return std::make_unique<LoadExpr>(L->address()->clone(), L->valType());
+  }
+  case Kind::Unary: {
+    const auto *U = cast<UnaryIRExpr>(this);
+    return std::make_unique<UnaryIRExpr>(U->op(), U->operand()->clone(),
+                                         U->valType());
+  }
+  case Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(this);
+    return std::make_unique<BinaryIRExpr>(B->op(), B->lhs()->clone(),
+                                          B->rhs()->clone(), B->valType());
+  }
+  case Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(this);
+    return std::make_unique<CmpExpr>(C->pred(), C->lhs()->clone(),
+                                     C->rhs()->clone(), C->operandValType());
+  }
+  case Kind::Cast: {
+    const auto *C = cast<CastIRExpr>(this);
+    return std::make_unique<CastIRExpr>(C->operand()->clone(), C->valType());
+  }
+  }
+  return nullptr;
+}
+
+std::string IRExpr::toString() const {
+  switch (K) {
+  case Kind::Const:
+    return std::to_string(cast<ConstExpr>(this)->value()) + ":" +
+           valType().toString();
+  case Kind::GlobalAddr:
+    return "&g" + std::to_string(cast<GlobalAddrExpr>(this)->globalIndex());
+  case Kind::FrameAddr:
+    return "&s" + std::to_string(cast<FrameAddrExpr>(this)->slotIndex());
+  case Kind::Load:
+    return "load." + valType().toString() + "(" +
+           cast<LoadExpr>(this)->address()->toString() + ")";
+  case Kind::Unary: {
+    const auto *U = cast<UnaryIRExpr>(this);
+    return std::string(U->op() == IRUnOp::Neg ? "-" : "~") + "(" +
+           U->operand()->toString() + ")";
+  }
+  case Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(this);
+    return "(" + B->lhs()->toString() + " " + irBinOpSpelling(B->op()) + " " +
+           B->rhs()->toString() + ")";
+  }
+  case Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(this);
+    return "(" + C->lhs()->toString() + " " + cmpPredSpelling(C->pred()) +
+           " " + C->rhs()->toString() + ")";
+  }
+  case Kind::Cast:
+    return "cast." + valType().toString() + "(" +
+           cast<CastIRExpr>(this)->operand()->toString() + ")";
+  }
+  return "<expr>";
+}
+
+std::string Instr::toString() const {
+  switch (K) {
+  case Kind::Store: {
+    const auto *S = cast<StoreInstr>(this);
+    return "store." + S->valType().toString() + " " +
+           S->address()->toString() + " <- " + S->value()->toString();
+  }
+  case Kind::Copy: {
+    const auto *C = cast<CopyInstr>(this);
+    return "copy " + C->dst()->toString() + " <- " + C->src()->toString() +
+           " [" + std::to_string(C->numBytes()) + " bytes]";
+  }
+  case Kind::CondJump: {
+    const auto *J = cast<CondJumpInstr>(this);
+    return "if " + J->cond()->toString() + " goto " +
+           std::to_string(J->trueTarget()) + " else " +
+           std::to_string(J->falseTarget()) + "   ; site " +
+           std::to_string(J->siteId());
+  }
+  case Kind::Jump:
+    return "goto " + std::to_string(cast<JumpInstr>(this)->target());
+  case Kind::Call: {
+    const auto *C = cast<CallInstr>(this);
+    std::string Out;
+    if (C->destSlot())
+      Out += "s" + std::to_string(*C->destSlot()) + " <- ";
+    Out += "call " + C->callee() + "(";
+    bool First = true;
+    for (const auto &A : C->args()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += A->toString();
+    }
+    return Out + ")";
+  }
+  case Kind::Ret: {
+    const auto *R = cast<RetInstr>(this);
+    return R->value() ? "ret " + R->value()->toString() : "ret";
+  }
+  case Kind::Abort:
+    return cast<AbortInstr>(this)->why() == AbortKind::AssertFailure
+               ? "abort (assert)"
+               : "abort";
+  case Kind::Halt:
+    return "halt";
+  }
+  return "<instr>";
+}
+
+std::string IRFunction::toString() const {
+  std::string Out = "func " + Name + " (params " +
+                    std::to_string(NumParams) + ", slots " +
+                    std::to_string(Slots.size()) + ")\n";
+  for (size_t I = 0; I < Instrs.size(); ++I)
+    Out += "  " + std::to_string(I) + ": " + Instrs[I]->toString() + "\n";
+  return Out;
+}
+
+std::string IRModule::toString() const {
+  std::string Out;
+  for (size_t I = 0; I < Globals.size(); ++I) {
+    const IRGlobal &G = Globals[I];
+    Out += "global g" + std::to_string(I) + " \"" + G.Name + "\" [" +
+           std::to_string(G.SizeBytes) + " bytes]";
+    if (G.IsExternInput)
+      Out += " extern-input";
+    if (G.ReadOnly)
+      Out += " ro";
+    Out += "\n";
+  }
+  for (const auto &F : Functions)
+    Out += F->toString();
+  return Out;
+}

@@ -1,0 +1,490 @@
+//===- IR.h - The paper's RAM machine as an IR ------------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DART's algorithms are defined on a RAM machine (paper §2.2): programs are
+/// sequences of *assignment statements* `m <- e` and *conditional statements*
+/// `if (e) then goto l'`, plus `abort` and `halt`, where expressions `e` are
+/// side-effect free. This IR is that machine, extended with the function
+/// calls the paper's implementation handles interprocedurally (§3.3):
+///
+///   Store / Copy        assignment statements
+///   CondJump / Jump     conditional statements (two explicit targets)
+///   Call / Ret          interprocedural tracing of symbolic expressions
+///   Abort / Halt        program error / normal termination
+///
+/// Every IRExpr is pure; AST constructs with side effects (calls, `&&`,
+/// `?:`, `++`, assignments in expressions) are flattened by src/ir/Lowering
+/// into instruction sequences over temporary frame slots — establishing the
+/// paper's "expressions have no side-effects" invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_IR_IR_H
+#define DART_IR_IR_H
+
+#include "support/Casting.h"
+#include "support/SourceLocation.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// The scalar value shape the RAM machine computes with: a 1/4/8-byte
+/// integer or an 8-byte pointer. (The paper's machine uses 32-bit words;
+/// we carry widths so MiniC's char/int/long all behave like C.)
+struct ValType {
+  uint8_t SizeBytes = 4;
+  bool Signed = true;
+  bool IsPointer = false;
+
+  unsigned bits() const { return SizeBytes * 8; }
+
+  static ValType int8() { return {1, true, false}; }
+  static ValType int32() { return {4, true, false}; }
+  static ValType uint32() { return {4, false, false}; }
+  static ValType int64() { return {8, true, false}; }
+  static ValType pointer() { return {8, false, true}; }
+
+  friend bool operator==(const ValType &A, const ValType &B) {
+    return A.SizeBytes == B.SizeBytes && A.Signed == B.Signed &&
+           A.IsPointer == B.IsPointer;
+  }
+
+  std::string toString() const;
+
+  /// Truncate/sign-extend a raw 64-bit value to this type's range, i.e. the
+  /// value an object of this type holds after assignment.
+  int64_t canonicalize(int64_t Raw) const {
+    if (SizeBytes == 8)
+      return Raw;
+    uint64_t Mask = (uint64_t(1) << bits()) - 1;
+    uint64_t V = static_cast<uint64_t>(Raw) & Mask;
+    if (Signed && (V & (uint64_t(1) << (bits() - 1))))
+      V |= ~Mask;
+    return static_cast<int64_t>(V);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class IRBinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  And,
+  Or,
+  Xor,
+};
+
+enum class IRUnOp { Neg, BitNot };
+
+/// Comparison predicates; results are int 0/1.
+enum class CmpPred { Eq, Ne, Lt, Le, Gt, Ge };
+
+CmpPred negateCmpPred(CmpPred P);
+const char *cmpPredSpelling(CmpPred P);
+const char *irBinOpSpelling(IRBinOp Op);
+
+class IRExpr;
+using IRExprPtr = std::unique_ptr<IRExpr>;
+
+class IRExpr {
+public:
+  enum class Kind { Const, GlobalAddr, FrameAddr, Load, Unary, Binary, Cmp,
+                    Cast };
+
+  Kind kind() const { return K; }
+  ValType valType() const { return VT; }
+
+  /// Structural clone (expressions are pure, so clones are equivalent).
+  IRExprPtr clone() const;
+
+  std::string toString() const;
+
+  virtual ~IRExpr() = default;
+
+protected:
+  IRExpr(Kind K, ValType VT) : K(K), VT(VT) {}
+
+private:
+  const Kind K;
+  ValType VT;
+};
+
+/// Integer or pointer constant.
+class ConstExpr : public IRExpr {
+public:
+  ConstExpr(int64_t Value, ValType VT)
+      : IRExpr(Kind::Const, VT), Value(VT.canonicalize(Value)) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const IRExpr *E) { return E->kind() == Kind::Const; }
+
+private:
+  int64_t Value;
+};
+
+/// Address of a module global (resolved to a concrete address at run time).
+class GlobalAddrExpr : public IRExpr {
+public:
+  explicit GlobalAddrExpr(unsigned GlobalIndex)
+      : IRExpr(Kind::GlobalAddr, ValType::pointer()),
+        GlobalIndex(GlobalIndex) {}
+
+  unsigned globalIndex() const { return GlobalIndex; }
+
+  static bool classof(const IRExpr *E) {
+    return E->kind() == Kind::GlobalAddr;
+  }
+
+private:
+  unsigned GlobalIndex;
+};
+
+/// Address of a slot in the current function's frame.
+class FrameAddrExpr : public IRExpr {
+public:
+  explicit FrameAddrExpr(unsigned SlotIndex)
+      : IRExpr(Kind::FrameAddr, ValType::pointer()), SlotIndex(SlotIndex) {}
+
+  unsigned slotIndex() const { return SlotIndex; }
+
+  static bool classof(const IRExpr *E) {
+    return E->kind() == Kind::FrameAddr;
+  }
+
+private:
+  unsigned SlotIndex;
+};
+
+/// Scalar load from a computed address. This is where the symbolic memory
+/// map S is consulted during concolic execution (paper Fig. 1, case `m`).
+class LoadExpr : public IRExpr {
+public:
+  LoadExpr(IRExprPtr Address, ValType VT)
+      : IRExpr(Kind::Load, VT), Address(std::move(Address)) {}
+
+  const IRExpr *address() const { return Address.get(); }
+
+  static bool classof(const IRExpr *E) { return E->kind() == Kind::Load; }
+
+private:
+  IRExprPtr Address;
+};
+
+class UnaryIRExpr : public IRExpr {
+public:
+  UnaryIRExpr(IRUnOp Op, IRExprPtr Operand, ValType VT)
+      : IRExpr(Kind::Unary, VT), Op(Op), Operand(std::move(Operand)) {}
+
+  IRUnOp op() const { return Op; }
+  const IRExpr *operand() const { return Operand.get(); }
+
+  static bool classof(const IRExpr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  IRUnOp Op;
+  IRExprPtr Operand;
+};
+
+class BinaryIRExpr : public IRExpr {
+public:
+  BinaryIRExpr(IRBinOp Op, IRExprPtr LHS, IRExprPtr RHS, ValType VT)
+      : IRExpr(Kind::Binary, VT), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  IRBinOp op() const { return Op; }
+  const IRExpr *lhs() const { return LHS.get(); }
+  const IRExpr *rhs() const { return RHS.get(); }
+
+  static bool classof(const IRExpr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  IRBinOp Op;
+  IRExprPtr LHS, RHS;
+};
+
+/// Comparison producing int 0/1. Kept first-class (not lowered to control
+/// flow) because the symbolic evaluator turns it directly into a path
+/// constraint when it reaches a conditional (paper §2.2's `=(e',e'')`).
+class CmpExpr : public IRExpr {
+public:
+  CmpExpr(CmpPred Pred, IRExprPtr LHS, IRExprPtr RHS, ValType OperandVT)
+      : IRExpr(Kind::Cmp, ValType::int32()), Pred(Pred), LHS(std::move(LHS)),
+        RHS(std::move(RHS)), OperandVT(OperandVT) {}
+
+  CmpPred pred() const { return Pred; }
+  const IRExpr *lhs() const { return LHS.get(); }
+  const IRExpr *rhs() const { return RHS.get(); }
+  /// The common type the operands were compared at (signedness matters).
+  ValType operandValType() const { return OperandVT; }
+
+  static bool classof(const IRExpr *E) { return E->kind() == Kind::Cmp; }
+
+private:
+  CmpPred Pred;
+  IRExprPtr LHS, RHS;
+  ValType OperandVT;
+};
+
+/// Width/signedness conversion (including pointer<->integer reinterpret).
+class CastIRExpr : public IRExpr {
+public:
+  CastIRExpr(IRExprPtr Operand, ValType To)
+      : IRExpr(Kind::Cast, To), Operand(std::move(Operand)) {}
+
+  const IRExpr *operand() const { return Operand.get(); }
+
+  static bool classof(const IRExpr *E) { return E->kind() == Kind::Cast; }
+
+private:
+  IRExprPtr Operand;
+};
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+/// Why an Abort instruction exists (for error reporting).
+enum class AbortKind { AbortCall, AssertFailure };
+
+class Instr {
+public:
+  enum class Kind { Store, Copy, CondJump, Jump, Call, Ret, Abort, Halt };
+
+  Kind kind() const { return K; }
+  SourceLocation loc() const { return Loc; }
+
+  std::string toString() const;
+
+  virtual ~Instr() = default;
+
+protected:
+  Instr(Kind K, SourceLocation Loc) : K(K), Loc(Loc) {}
+
+private:
+  const Kind K;
+  SourceLocation Loc;
+};
+
+using InstrPtr = std::unique_ptr<Instr>;
+
+/// `m <- e` for scalars.
+class StoreInstr : public Instr {
+public:
+  StoreInstr(SourceLocation Loc, IRExprPtr Address, IRExprPtr Value)
+      : Instr(Kind::Store, Loc), Address(std::move(Address)),
+        Value(std::move(Value)) {}
+
+  const IRExpr *address() const { return Address.get(); }
+  const IRExpr *value() const { return Value.get(); }
+  ValType valType() const { return Value->valType(); }
+
+  static bool classof(const Instr *I) { return I->kind() == Kind::Store; }
+
+private:
+  IRExprPtr Address, Value;
+};
+
+/// Bytewise copy (struct assignment).
+class CopyInstr : public Instr {
+public:
+  CopyInstr(SourceLocation Loc, IRExprPtr Dst, IRExprPtr Src,
+            uint64_t NumBytes)
+      : Instr(Kind::Copy, Loc), Dst(std::move(Dst)), Src(std::move(Src)),
+        NumBytes(NumBytes) {}
+
+  const IRExpr *dst() const { return Dst.get(); }
+  const IRExpr *src() const { return Src.get(); }
+  uint64_t numBytes() const { return NumBytes; }
+
+  static bool classof(const Instr *I) { return I->kind() == Kind::Copy; }
+
+private:
+  IRExprPtr Dst, Src;
+  uint64_t NumBytes;
+};
+
+/// Two-way conditional branch. `branch value` for the concolic stack is 1
+/// when the condition evaluates nonzero (the TrueTarget is taken).
+class CondJumpInstr : public Instr {
+public:
+  CondJumpInstr(SourceLocation Loc, IRExprPtr Cond, unsigned SiteId)
+      : Instr(Kind::CondJump, Loc), Cond(std::move(Cond)), SiteId(SiteId) {}
+
+  const IRExpr *cond() const { return Cond.get(); }
+  unsigned trueTarget() const { return TrueTarget; }
+  unsigned falseTarget() const { return FalseTarget; }
+  void setTargets(unsigned T, unsigned F) {
+    TrueTarget = T;
+    FalseTarget = F;
+  }
+  /// Module-unique id of this branch site (for coverage accounting).
+  unsigned siteId() const { return SiteId; }
+
+  static bool classof(const Instr *I) { return I->kind() == Kind::CondJump; }
+
+private:
+  IRExprPtr Cond;
+  unsigned TrueTarget = 0, FalseTarget = 0;
+  unsigned SiteId;
+};
+
+class JumpInstr : public Instr {
+public:
+  explicit JumpInstr(SourceLocation Loc) : Instr(Kind::Jump, Loc) {}
+
+  unsigned target() const { return Target; }
+  void setTarget(unsigned T) { Target = T; }
+
+  static bool classof(const Instr *I) { return I->kind() == Kind::Jump; }
+
+private:
+  unsigned Target = 0;
+};
+
+/// Function call. The callee is resolved by name at execution time with
+/// this precedence: program function > native library function > external
+/// (environment) function — mirroring the paper's three kinds of functions
+/// (§3.1). Scalar return values are stored to DestSlot in the caller frame.
+class CallInstr : public Instr {
+public:
+  CallInstr(SourceLocation Loc, std::string Callee,
+            std::optional<unsigned> DestSlot, ValType RetVT)
+      : Instr(Kind::Call, Loc), Callee(std::move(Callee)), DestSlot(DestSlot),
+        RetVT(RetVT) {}
+
+  const std::string &callee() const { return Callee; }
+  void addArg(IRExprPtr Arg) { Args.push_back(std::move(Arg)); }
+  const std::vector<IRExprPtr> &args() const { return Args; }
+  std::optional<unsigned> destSlot() const { return DestSlot; }
+  ValType retValType() const { return RetVT; }
+
+  static bool classof(const Instr *I) { return I->kind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<IRExprPtr> Args;
+  std::optional<unsigned> DestSlot;
+  ValType RetVT;
+};
+
+class RetInstr : public Instr {
+public:
+  RetInstr(SourceLocation Loc, IRExprPtr Value)
+      : Instr(Kind::Ret, Loc), Value(std::move(Value)) {}
+
+  const IRExpr *value() const { return Value.get(); } // may be null (void)
+
+  static bool classof(const Instr *I) { return I->kind() == Kind::Ret; }
+
+private:
+  IRExprPtr Value;
+};
+
+class AbortInstr : public Instr {
+public:
+  AbortInstr(SourceLocation Loc, AbortKind Why)
+      : Instr(Kind::Abort, Loc), Why(Why) {}
+
+  AbortKind why() const { return Why; }
+
+  static bool classof(const Instr *I) { return I->kind() == Kind::Abort; }
+
+private:
+  AbortKind Why;
+};
+
+class HaltInstr : public Instr {
+public:
+  explicit HaltInstr(SourceLocation Loc) : Instr(Kind::Halt, Loc) {}
+  static bool classof(const Instr *I) { return I->kind() == Kind::Halt; }
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and modules
+//===----------------------------------------------------------------------===//
+
+/// One frame slot: a named local/parameter/temporary.
+struct FrameSlot {
+  std::string Name; // empty for temporaries
+  uint64_t SizeBytes = 0;
+  unsigned Align = 1;
+};
+
+/// A lowered function body.
+struct IRFunction {
+  std::string Name;
+  unsigned NumParams = 0; // params occupy slots [0, NumParams)
+  std::vector<ValType> ParamVTs;
+  ValType RetVT = ValType::int32();
+  bool ReturnsVoid = false;
+  std::vector<FrameSlot> Slots;
+  std::vector<InstrPtr> Instrs;
+
+  std::string toString() const;
+};
+
+/// One module global: name, size, optional constant initial image.
+struct IRGlobal {
+  std::string Name;
+  uint64_t SizeBytes = 0;
+  unsigned Align = 1;
+  std::vector<uint8_t> Init; // empty = zero-initialized
+  bool ReadOnly = false;     // string literals
+  bool IsExternInput = false; // `extern` variable: a DART input (§3.1)
+};
+
+/// A lowered program.
+class IRModule {
+public:
+  unsigned addGlobal(IRGlobal G) {
+    Globals.push_back(std::move(G));
+    return static_cast<unsigned>(Globals.size() - 1);
+  }
+  const std::vector<IRGlobal> &globals() const { return Globals; }
+
+  IRFunction *addFunction(std::unique_ptr<IRFunction> F) {
+    Functions.push_back(std::move(F));
+    return Functions.back().get();
+  }
+  const std::vector<std::unique_ptr<IRFunction>> &functions() const {
+    return Functions;
+  }
+  const IRFunction *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  unsigned numBranchSites() const { return NumBranchSites; }
+  unsigned allocateBranchSite() { return NumBranchSites++; }
+
+  std::string toString() const;
+
+private:
+  std::vector<IRGlobal> Globals;
+  std::vector<std::unique_ptr<IRFunction>> Functions;
+  unsigned NumBranchSites = 0;
+};
+
+} // namespace dart
+
+#endif // DART_IR_IR_H

@@ -1,0 +1,1050 @@
+//===- Lowering.cpp - AST to RAM-machine lowering --------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lowering.h"
+
+#include <cassert>
+
+using namespace dart;
+
+ValType dart::valTypeFor(const Type *Ty) {
+  switch (Ty->kind()) {
+  case Type::Kind::Char:
+    return ValType::int8();
+  case Type::Kind::Int:
+    return ValType::int32();
+  case Type::Kind::Unsigned:
+    return ValType::uint32();
+  case Type::Kind::Long:
+    return ValType::int64();
+  case Type::Kind::Pointer:
+    return ValType::pointer();
+  default:
+    assert(false && "no scalar machine type for aggregate/void type");
+    return ValType::int32();
+  }
+}
+
+namespace {
+
+IRExprPtr constInt(int64_t V, ValType VT) {
+  return std::make_unique<ConstExpr>(V, VT);
+}
+
+/// Lowers one function; owns label bookkeeping and temp allocation.
+class FunctionLowering {
+public:
+  FunctionLowering(IRModule &M, IRFunction &F,
+                   std::map<const VarDecl *, unsigned> &GlobalIndexOf,
+                   std::map<std::string, unsigned> &StringGlobals,
+                   DiagnosticsEngine &Diags)
+      : M(M), F(F), GlobalIndexOf(GlobalIndexOf),
+        StringGlobals(StringGlobals), Diags(Diags) {}
+
+  void lower(const FunctionDecl &Fn);
+
+private:
+  // --- labels -----------------------------------------------------------
+  unsigned newLabel() {
+    LabelPos.push_back(UINT32_MAX);
+    return static_cast<unsigned>(LabelPos.size() - 1);
+  }
+  void bind(unsigned Label) {
+    assert(LabelPos[Label] == UINT32_MAX && "label bound twice");
+    LabelPos[Label] = static_cast<unsigned>(F.Instrs.size());
+  }
+  void emitJump(SourceLocation Loc, unsigned Label) {
+    auto J = std::make_unique<JumpInstr>(Loc);
+    J->setTarget(Label); // label id, fixed up in finalize()
+    F.Instrs.push_back(std::move(J));
+  }
+  void emitCondJump(SourceLocation Loc, IRExprPtr Cond, unsigned TrueLabel,
+                    unsigned FalseLabel) {
+    auto J = std::make_unique<CondJumpInstr>(Loc, std::move(Cond),
+                                             M.allocateBranchSite());
+    J->setTargets(TrueLabel, FalseLabel);
+    F.Instrs.push_back(std::move(J));
+  }
+  void finalize();
+
+  // --- slots ------------------------------------------------------------
+  unsigned slotFor(const VarDecl *V) {
+    auto It = SlotOf.find(V);
+    if (It != SlotOf.end())
+      return It->second;
+    FrameSlot Slot;
+    Slot.Name = V->name();
+    Slot.SizeBytes = V->type()->size();
+    Slot.Align = V->type()->align();
+    F.Slots.push_back(Slot);
+    unsigned Index = static_cast<unsigned>(F.Slots.size() - 1);
+    SlotOf[V] = Index;
+    return Index;
+  }
+  unsigned newTemp(ValType VT) {
+    FrameSlot Slot;
+    Slot.SizeBytes = VT.SizeBytes;
+    Slot.Align = VT.SizeBytes;
+    F.Slots.push_back(Slot);
+    return static_cast<unsigned>(F.Slots.size() - 1);
+  }
+  IRExprPtr frameAddr(unsigned Slot) {
+    return std::make_unique<FrameAddrExpr>(Slot);
+  }
+
+  void emitStore(SourceLocation Loc, IRExprPtr Addr, IRExprPtr Value) {
+    F.Instrs.push_back(
+        std::make_unique<StoreInstr>(Loc, std::move(Addr), std::move(Value)));
+  }
+
+  // --- string literals ----------------------------------------------------
+  unsigned internString(const std::string &Bytes) {
+    auto It = StringGlobals.find(Bytes);
+    if (It != StringGlobals.end())
+      return It->second;
+    IRGlobal G;
+    G.Name = "__str." + std::to_string(StringGlobals.size());
+    G.SizeBytes = Bytes.size() + 1;
+    G.Align = 1;
+    G.Init.assign(Bytes.begin(), Bytes.end());
+    G.Init.push_back(0);
+    G.ReadOnly = true;
+    unsigned Index = M.addGlobal(std::move(G));
+    StringGlobals[Bytes] = Index;
+    return Index;
+  }
+
+  // --- expression lowering ------------------------------------------------
+  IRExprPtr lowerValue(const Expr *E);
+  IRExprPtr lowerAddress(const Expr *E);
+  void lowerForEffect(const Expr *E);
+  void lowerCondBranch(const Expr *E, unsigned TrueLabel,
+                       unsigned FalseLabel);
+  /// Lowers an assignment; returns the (pure) target address for use by
+  /// value-context callers.
+  IRExprPtr lowerAssignment(const AssignExpr *A);
+  IRExprPtr lowerIncDec(const UnaryExpr *U);
+  IRExprPtr lowerCall(const CallExpr *C, bool WantValue);
+  /// Materializes a 0/1 temp from control flow (&&, ||, ?: lowering).
+  IRExprPtr lowerToBoolTemp(const Expr *E);
+
+  /// Cast helper between machine types.
+  IRExprPtr castTo(IRExprPtr V, ValType To) {
+    if (V->valType() == To)
+      return V;
+    return std::make_unique<CastIRExpr>(std::move(V), To);
+  }
+
+  /// The element size a pointer of AST type \p PtrTy steps by.
+  static uint64_t pointeeSize(const Type *PtrTy) {
+    const auto *P = cast<PointerType>(PtrTy);
+    // void* arithmetic steps by one byte, like GCC's extension.
+    return P->pointee()->isVoid() ? 1 : P->pointee()->size();
+  }
+
+  IRModule &M;
+  IRFunction &F;
+  std::map<const VarDecl *, unsigned> &GlobalIndexOf;
+  std::map<std::string, unsigned> &StringGlobals;
+  DiagnosticsEngine &Diags;
+
+  std::map<const VarDecl *, unsigned> SlotOf;
+  std::vector<unsigned> LabelPos;
+  std::vector<unsigned> BreakLabels, ContinueLabels;
+
+  void lowerStmt(const Stmt *S);
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+IRExprPtr FunctionLowering::lowerValue(const Expr *E) {
+  const Type *Ty = E->type();
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral: {
+    const auto *L = cast<IntLiteralExpr>(E);
+    ValType VT = L->isNullLiteral() ? ValType::pointer() : valTypeFor(Ty);
+    return constInt(L->value(), VT);
+  }
+  case Expr::Kind::StringLiteral: {
+    unsigned Index = internString(cast<StringLiteralExpr>(E)->bytes());
+    return std::make_unique<GlobalAddrExpr>(Index);
+  }
+  case Expr::Kind::VarRef: {
+    if (Ty->isArray())
+      return lowerAddress(E); // arrays evaluate to their address
+    assert(Ty->isScalar() && "struct rvalues are handled by Copy contexts");
+    return std::make_unique<LoadExpr>(lowerAddress(E), valTypeFor(Ty));
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    switch (U->op()) {
+    case UnaryOp::Neg:
+      return std::make_unique<UnaryIRExpr>(
+          IRUnOp::Neg, lowerValue(U->operand()), valTypeFor(Ty));
+    case UnaryOp::BitNot:
+      return std::make_unique<UnaryIRExpr>(
+          IRUnOp::BitNot, lowerValue(U->operand()), valTypeFor(Ty));
+    case UnaryOp::LogNot: {
+      IRExprPtr Operand = lowerValue(U->operand());
+      ValType OpVT = Operand->valType();
+      return std::make_unique<CmpExpr>(CmpPred::Eq, std::move(Operand),
+                                       constInt(0, OpVT), OpVT);
+    }
+    case UnaryOp::Deref:
+      if (Ty->isArray() || Ty->isStruct())
+        return lowerValue(U->operand()); // address-preserving
+      return std::make_unique<LoadExpr>(lowerValue(U->operand()),
+                                        valTypeFor(Ty));
+    case UnaryOp::AddrOf:
+      return lowerAddress(U->operand());
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec:
+      return lowerIncDec(U);
+    }
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->op() == BinaryOp::LogAnd || B->op() == BinaryOp::LogOr)
+      return lowerToBoolTemp(E);
+    if (isComparisonOp(B->op())) {
+      IRExprPtr L = lowerValue(B->lhs());
+      IRExprPtr R = lowerValue(B->rhs());
+      ValType OpVT = L->valType();
+      CmpPred Pred;
+      switch (B->op()) {
+      case BinaryOp::Eq:
+        Pred = CmpPred::Eq;
+        break;
+      case BinaryOp::Ne:
+        Pred = CmpPred::Ne;
+        break;
+      case BinaryOp::Lt:
+        Pred = CmpPred::Lt;
+        break;
+      case BinaryOp::Le:
+        Pred = CmpPred::Le;
+        break;
+      case BinaryOp::Gt:
+        Pred = CmpPred::Gt;
+        break;
+      default:
+        Pred = CmpPred::Ge;
+        break;
+      }
+      return std::make_unique<CmpExpr>(Pred, std::move(L), std::move(R),
+                                       OpVT);
+    }
+
+    const Type *LTy = B->lhs()->type();
+    const Type *RTy = B->rhs()->type();
+    // Pointer arithmetic: scale the integer operand by the pointee size.
+    if (B->op() == BinaryOp::Add || B->op() == BinaryOp::Sub) {
+      if (LTy->isPointer() && RTy->isInteger()) {
+        IRExprPtr Offset = std::make_unique<BinaryIRExpr>(
+            IRBinOp::Mul, castTo(lowerValue(B->rhs()), ValType::int64()),
+            constInt(static_cast<int64_t>(pointeeSize(LTy)),
+                     ValType::int64()),
+            ValType::int64());
+        return std::make_unique<BinaryIRExpr>(
+            B->op() == BinaryOp::Add ? IRBinOp::Add : IRBinOp::Sub,
+            lowerValue(B->lhs()), std::move(Offset), ValType::pointer());
+      }
+      if (B->op() == BinaryOp::Add && LTy->isInteger() && RTy->isPointer()) {
+        IRExprPtr Offset = std::make_unique<BinaryIRExpr>(
+            IRBinOp::Mul, castTo(lowerValue(B->lhs()), ValType::int64()),
+            constInt(static_cast<int64_t>(pointeeSize(RTy)),
+                     ValType::int64()),
+            ValType::int64());
+        return std::make_unique<BinaryIRExpr>(IRBinOp::Add,
+                                              lowerValue(B->rhs()),
+                                              std::move(Offset),
+                                              ValType::pointer());
+      }
+      if (B->op() == BinaryOp::Sub && LTy->isPointer() && RTy->isPointer()) {
+        IRExprPtr Diff = std::make_unique<BinaryIRExpr>(
+            IRBinOp::Sub, castTo(lowerValue(B->lhs()), ValType::int64()),
+            castTo(lowerValue(B->rhs()), ValType::int64()),
+            ValType::int64());
+        return std::make_unique<BinaryIRExpr>(
+            IRBinOp::Div, std::move(Diff),
+            constInt(static_cast<int64_t>(pointeeSize(LTy)),
+                     ValType::int64()),
+            ValType::int64());
+      }
+    }
+
+    IRBinOp Op;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      Op = IRBinOp::Add;
+      break;
+    case BinaryOp::Sub:
+      Op = IRBinOp::Sub;
+      break;
+    case BinaryOp::Mul:
+      Op = IRBinOp::Mul;
+      break;
+    case BinaryOp::Div:
+      Op = IRBinOp::Div;
+      break;
+    case BinaryOp::Rem:
+      Op = IRBinOp::Rem;
+      break;
+    case BinaryOp::Shl:
+      Op = IRBinOp::Shl;
+      break;
+    case BinaryOp::Shr:
+      Op = IRBinOp::Shr;
+      break;
+    case BinaryOp::BitAnd:
+      Op = IRBinOp::And;
+      break;
+    case BinaryOp::BitOr:
+      Op = IRBinOp::Or;
+      break;
+    case BinaryOp::BitXor:
+      Op = IRBinOp::Xor;
+      break;
+    default:
+      assert(false && "handled above");
+      Op = IRBinOp::Add;
+    }
+    return std::make_unique<BinaryIRExpr>(Op, lowerValue(B->lhs()),
+                                          lowerValue(B->rhs()),
+                                          valTypeFor(Ty));
+  }
+  case Expr::Kind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    IRExprPtr Addr = lowerAssignment(A);
+    if (Ty->isStruct())
+      return Addr;
+    return std::make_unique<LoadExpr>(std::move(Addr), valTypeFor(Ty));
+  }
+  case Expr::Kind::Call:
+    return lowerCall(cast<CallExpr>(E), /*WantValue=*/true);
+  case Expr::Kind::Index:
+  case Expr::Kind::Member: {
+    if (Ty->isArray() || Ty->isStruct())
+      return lowerAddress(E);
+    return std::make_unique<LoadExpr>(lowerAddress(E), valTypeFor(Ty));
+  }
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    const Type *FromTy = C->operand()->type();
+    if (FromTy->isArray())
+      return lowerAddress(C->operand()); // array-to-pointer decay
+    if (Ty->isVoid()) {
+      lowerForEffect(C->operand());
+      return constInt(0, ValType::int32());
+    }
+    return castTo(lowerValue(C->operand()), valTypeFor(Ty));
+  }
+  case Expr::Kind::SizeofType:
+    return constInt(cast<SizeofTypeExpr>(E)->queriedType()->size(),
+                    ValType::int64());
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    ValType VT = valTypeFor(Ty);
+    unsigned Temp = newTemp(VT);
+    unsigned ThenL = newLabel(), ElseL = newLabel(), EndL = newLabel();
+    lowerCondBranch(C->cond(), ThenL, ElseL);
+    bind(ThenL);
+    emitStore(E->loc(), frameAddr(Temp),
+              castTo(lowerValue(C->thenExpr()), VT));
+    emitJump(E->loc(), EndL);
+    bind(ElseL);
+    emitStore(E->loc(), frameAddr(Temp),
+              castTo(lowerValue(C->elseExpr()), VT));
+    bind(EndL);
+    return std::make_unique<LoadExpr>(frameAddr(Temp), VT);
+  }
+  }
+  assert(false && "unhandled expression kind in lowerValue");
+  return constInt(0, ValType::int32());
+}
+
+IRExprPtr FunctionLowering::lowerAddress(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::VarRef: {
+    const VarDecl *V = cast<VarRefExpr>(E)->decl();
+    assert(V && "unresolved variable reference survived sema");
+    if (V->storage() == VarDecl::Storage::Global) {
+      auto It = GlobalIndexOf.find(V);
+      assert(It != GlobalIndexOf.end() && "global not lowered");
+      return std::make_unique<GlobalAddrExpr>(It->second);
+    }
+    return frameAddr(slotFor(V));
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    assert(U->op() == UnaryOp::Deref && "not an lvalue unary expression");
+    return lowerValue(U->operand());
+  }
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    const Type *BaseTy = I->base()->type();
+    IRExprPtr Base;
+    uint64_t ElemSize;
+    if (const auto *A = dyn_cast<ArrayType>(BaseTy)) {
+      Base = lowerAddress(I->base());
+      ElemSize = A->element()->size();
+    } else {
+      Base = lowerValue(I->base());
+      ElemSize = pointeeSize(BaseTy);
+    }
+    IRExprPtr Offset = std::make_unique<BinaryIRExpr>(
+        IRBinOp::Mul, castTo(lowerValue(I->index()), ValType::int64()),
+        constInt(static_cast<int64_t>(ElemSize), ValType::int64()),
+        ValType::int64());
+    return std::make_unique<BinaryIRExpr>(IRBinOp::Add, std::move(Base),
+                                          std::move(Offset),
+                                          ValType::pointer());
+  }
+  case Expr::Kind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    IRExprPtr Base = M->isArrow() ? lowerValue(M->base())
+                                  : lowerAddress(M->base());
+    unsigned Offset = M->field()->offset();
+    if (Offset == 0)
+      return Base;
+    return std::make_unique<BinaryIRExpr>(
+        IRBinOp::Add, std::move(Base),
+        constInt(Offset, ValType::int64()), ValType::pointer());
+  }
+  case Expr::Kind::Assign: {
+    // (a = b) as lvalue target of struct copy contexts.
+    return lowerAssignment(cast<AssignExpr>(E));
+  }
+  default:
+    assert(false && "expression is not an lvalue");
+    return constInt(0, ValType::pointer());
+  }
+}
+
+IRExprPtr FunctionLowering::lowerAssignment(const AssignExpr *A) {
+  const Type *TargetTy = A->target()->type();
+  IRExprPtr Addr = lowerAddress(A->target());
+
+  if (TargetTy->isStruct()) {
+    IRExprPtr Src = lowerAddress(A->value());
+    F.Instrs.push_back(std::make_unique<CopyInstr>(
+        A->loc(), Addr->clone(), std::move(Src), TargetTy->size()));
+    return Addr;
+  }
+
+  ValType TargetVT = valTypeFor(TargetTy);
+  IRExprPtr Value;
+  if (!A->isCompound()) {
+    Value = castTo(lowerValue(A->value()), TargetVT);
+  } else {
+    IRExprPtr Current =
+        std::make_unique<LoadExpr>(Addr->clone(), TargetVT);
+    IRExprPtr RHS = lowerValue(A->value());
+    if (TargetTy->isPointer()) {
+      // p += n  /  p -= n  with pointee scaling.
+      IRExprPtr Offset = std::make_unique<BinaryIRExpr>(
+          IRBinOp::Mul, castTo(std::move(RHS), ValType::int64()),
+          constInt(static_cast<int64_t>(pointeeSize(TargetTy)),
+                   ValType::int64()),
+          ValType::int64());
+      Value = std::make_unique<BinaryIRExpr>(
+          A->compoundOp() == BinaryOp::Add ? IRBinOp::Add : IRBinOp::Sub,
+          std::move(Current), std::move(Offset), ValType::pointer());
+    } else {
+      // Compute in the wider of the two operand types, then narrow back.
+      ValType RHSVT = RHS->valType();
+      ValType WorkVT = TargetVT;
+      if (RHSVT.SizeBytes > WorkVT.SizeBytes)
+        WorkVT = RHSVT;
+      else if (RHSVT.SizeBytes == WorkVT.SizeBytes && !RHSVT.Signed)
+        WorkVT = RHSVT;
+      IRBinOp Op;
+      switch (A->compoundOp()) {
+      case BinaryOp::Add:
+        Op = IRBinOp::Add;
+        break;
+      case BinaryOp::Sub:
+        Op = IRBinOp::Sub;
+        break;
+      case BinaryOp::Mul:
+        Op = IRBinOp::Mul;
+        break;
+      case BinaryOp::Div:
+        Op = IRBinOp::Div;
+        break;
+      case BinaryOp::Rem:
+        Op = IRBinOp::Rem;
+        break;
+      case BinaryOp::Shl:
+        Op = IRBinOp::Shl;
+        break;
+      case BinaryOp::Shr:
+        Op = IRBinOp::Shr;
+        break;
+      case BinaryOp::BitAnd:
+        Op = IRBinOp::And;
+        break;
+      case BinaryOp::BitOr:
+        Op = IRBinOp::Or;
+        break;
+      case BinaryOp::BitXor:
+        Op = IRBinOp::Xor;
+        break;
+      default:
+        assert(false && "not a compound-assignable operator");
+        Op = IRBinOp::Add;
+      }
+      Value = castTo(std::make_unique<BinaryIRExpr>(
+                         Op, castTo(std::move(Current), WorkVT),
+                         castTo(std::move(RHS), WorkVT), WorkVT),
+                     TargetVT);
+    }
+  }
+  emitStore(A->loc(), Addr->clone(), std::move(Value));
+  return Addr;
+}
+
+IRExprPtr FunctionLowering::lowerIncDec(const UnaryExpr *U) {
+  const Type *Ty = U->operand()->type();
+  ValType VT = valTypeFor(Ty);
+  IRExprPtr Addr = lowerAddress(U->operand());
+  bool IsInc = U->op() == UnaryOp::PreInc || U->op() == UnaryOp::PostInc;
+  bool IsPost = U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec;
+  int64_t Step =
+      Ty->isPointer() ? static_cast<int64_t>(pointeeSize(Ty)) : 1;
+
+  std::optional<unsigned> SavedTemp;
+  if (IsPost) {
+    SavedTemp = newTemp(VT);
+    emitStore(U->loc(), frameAddr(*SavedTemp),
+              std::make_unique<LoadExpr>(Addr->clone(), VT));
+  }
+  IRExprPtr NewValue = std::make_unique<BinaryIRExpr>(
+      IsInc ? IRBinOp::Add : IRBinOp::Sub,
+      std::make_unique<LoadExpr>(Addr->clone(), VT), constInt(Step, VT), VT);
+  emitStore(U->loc(), Addr->clone(), std::move(NewValue));
+  if (IsPost)
+    return std::make_unique<LoadExpr>(frameAddr(*SavedTemp), VT);
+  return std::make_unique<LoadExpr>(std::move(Addr), VT);
+}
+
+IRExprPtr FunctionLowering::lowerCall(const CallExpr *C, bool WantValue) {
+  const std::string &Name = C->callee();
+  SourceLocation Loc = C->loc();
+
+  // Control-flow builtins.
+  if (Name == "abort") {
+    F.Instrs.push_back(
+        std::make_unique<AbortInstr>(Loc, AbortKind::AbortCall));
+    return constInt(0, ValType::int32());
+  }
+  if (Name == "assert") {
+    // assert(e): `if (!e) abort()` — an assertion violation triggers an
+    // abort (paper footnote 8). The condition is a regular branch site.
+    unsigned OkL = newLabel(), FailL = newLabel();
+    assert(C->args().size() == 1 && "assert takes one argument");
+    lowerCondBranch(C->args()[0].get(), OkL, FailL);
+    bind(FailL);
+    F.Instrs.push_back(
+        std::make_unique<AbortInstr>(Loc, AbortKind::AssertFailure));
+    bind(OkL);
+    return constInt(0, ValType::int32());
+  }
+  if (Name == "exit") {
+    if (!C->args().empty())
+      lowerForEffect(C->args()[0].get());
+    F.Instrs.push_back(std::make_unique<HaltInstr>(Loc));
+    return constInt(0, ValType::int32());
+  }
+
+  const FunctionDecl *Callee = C->calleeDecl();
+  const Type *RetTy = Callee ? Callee->returnType() : C->type();
+  bool IsVoid = RetTy->isVoid();
+  if (!IsVoid && !RetTy->isScalar()) {
+    Diags.error(Loc, "functions returning aggregates are not supported");
+    return constInt(0, ValType::int32());
+  }
+  ValType RetVT = IsVoid ? ValType::int32() : valTypeFor(RetTy);
+  std::optional<unsigned> Dest;
+  if (WantValue && !IsVoid)
+    Dest = newTemp(RetVT);
+
+  auto Call = std::make_unique<CallInstr>(Loc, Name, Dest, RetVT);
+  for (const auto &Arg : C->args()) {
+    const Type *ArgTy = Arg->type();
+    if (ArgTy->isStruct()) {
+      Diags.error(Arg->loc(),
+                  "passing structs by value is not supported; pass a "
+                  "pointer");
+      continue;
+    }
+    Call->addArg(lowerValue(Arg.get()));
+  }
+  F.Instrs.push_back(std::move(Call));
+  if (Dest)
+    return std::make_unique<LoadExpr>(frameAddr(*Dest), RetVT);
+  return constInt(0, ValType::int32());
+}
+
+IRExprPtr FunctionLowering::lowerToBoolTemp(const Expr *E) {
+  unsigned Temp = newTemp(ValType::int32());
+  unsigned TrueL = newLabel(), FalseL = newLabel(), EndL = newLabel();
+  lowerCondBranch(E, TrueL, FalseL);
+  bind(TrueL);
+  emitStore(E->loc(), frameAddr(Temp), constInt(1, ValType::int32()));
+  emitJump(E->loc(), EndL);
+  bind(FalseL);
+  emitStore(E->loc(), frameAddr(Temp), constInt(0, ValType::int32()));
+  bind(EndL);
+  return std::make_unique<LoadExpr>(frameAddr(Temp), ValType::int32());
+}
+
+void FunctionLowering::lowerForEffect(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::StringLiteral:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::SizeofType:
+    return; // pure, no effect
+  case Expr::Kind::Assign:
+    lowerAssignment(cast<AssignExpr>(E));
+    return;
+  case Expr::Kind::Call:
+    lowerCall(cast<CallExpr>(E), /*WantValue=*/false);
+    return;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    switch (U->op()) {
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec:
+      lowerIncDec(U);
+      return;
+    default:
+      lowerForEffect(U->operand());
+      return;
+    }
+  }
+  case Expr::Kind::Cast:
+    lowerForEffect(cast<CastExpr>(E)->operand());
+    return;
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    unsigned ThenL = newLabel(), ElseL = newLabel(), EndL = newLabel();
+    lowerCondBranch(C->cond(), ThenL, ElseL);
+    bind(ThenL);
+    lowerForEffect(C->thenExpr());
+    emitJump(E->loc(), EndL);
+    bind(ElseL);
+    lowerForEffect(C->elseExpr());
+    bind(EndL);
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->op() == BinaryOp::LogAnd || B->op() == BinaryOp::LogOr) {
+      unsigned L = newLabel();
+      unsigned R = newLabel();
+      if (B->op() == BinaryOp::LogAnd) {
+        lowerCondBranch(B->lhs(), L, R);
+        bind(L);
+        lowerForEffect(B->rhs());
+        bind(R);
+      } else {
+        lowerCondBranch(B->lhs(), R, L);
+        bind(L);
+        lowerForEffect(B->rhs());
+        bind(R);
+      }
+      return;
+    }
+    lowerForEffect(B->lhs());
+    lowerForEffect(B->rhs());
+    return;
+  }
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    lowerForEffect(I->base());
+    lowerForEffect(I->index());
+    return;
+  }
+  case Expr::Kind::Member:
+    lowerForEffect(cast<MemberExpr>(E)->base());
+    return;
+  }
+}
+
+void FunctionLowering::lowerCondBranch(const Expr *E, unsigned TrueLabel,
+                                       unsigned FalseLabel) {
+  // Short-circuit operators become explicit branch chains, so each atomic
+  // predicate of the source is one RAM-machine conditional statement.
+  if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+    if (B->op() == BinaryOp::LogAnd) {
+      unsigned Mid = newLabel();
+      lowerCondBranch(B->lhs(), Mid, FalseLabel);
+      bind(Mid);
+      lowerCondBranch(B->rhs(), TrueLabel, FalseLabel);
+      return;
+    }
+    if (B->op() == BinaryOp::LogOr) {
+      unsigned Mid = newLabel();
+      lowerCondBranch(B->lhs(), TrueLabel, Mid);
+      bind(Mid);
+      lowerCondBranch(B->rhs(), TrueLabel, FalseLabel);
+      return;
+    }
+  }
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    if (U->op() == UnaryOp::LogNot) {
+      lowerCondBranch(U->operand(), FalseLabel, TrueLabel);
+      return;
+    }
+  }
+  if (const auto *C = dyn_cast<CastExpr>(E)) {
+    // Implicit decay/conversion in a condition does not change truthiness.
+    if (C->isImplicit() && C->operand()->type() &&
+        C->operand()->type()->isScalar()) {
+      lowerCondBranch(C->operand(), TrueLabel, FalseLabel);
+      return;
+    }
+  }
+  if (const auto *L = dyn_cast<IntLiteralExpr>(E)) {
+    // Constant conditions (e.g. `while (1)`) are not branch *sites*: there
+    // is nothing for the directed search to flip.
+    emitJump(E->loc(), L->value() != 0 ? TrueLabel : FalseLabel);
+    return;
+  }
+  emitCondJump(E->loc(), lowerValue(E), TrueLabel, FalseLabel);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void FunctionLowering::lowerStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Compound:
+    for (const auto &Child : cast<CompoundStmt>(S)->body())
+      lowerStmt(Child.get());
+    return;
+  case Stmt::Kind::Decl: {
+    const VarDecl *V = cast<DeclStmt>(S)->var();
+    unsigned Slot = slotFor(V);
+    if (!V->init())
+      return;
+    if (V->type()->isStruct()) {
+      IRExprPtr Src = lowerAddress(V->init());
+      F.Instrs.push_back(std::make_unique<CopyInstr>(
+          S->loc(), frameAddr(Slot), std::move(Src), V->type()->size()));
+      return;
+    }
+    emitStore(S->loc(), frameAddr(Slot),
+              castTo(lowerValue(V->init()), valTypeFor(V->type())));
+    return;
+  }
+  case Stmt::Kind::Expr:
+    lowerForEffect(cast<ExprStmt>(S)->expr());
+    return;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    unsigned ThenL = newLabel(), EndL = newLabel();
+    unsigned ElseL = I->elseStmt() ? newLabel() : EndL;
+    lowerCondBranch(I->cond(), ThenL, ElseL);
+    bind(ThenL);
+    lowerStmt(I->thenStmt());
+    if (I->elseStmt()) {
+      emitJump(S->loc(), EndL);
+      bind(ElseL);
+      lowerStmt(I->elseStmt());
+    }
+    bind(EndL);
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    unsigned CondL = newLabel(), BodyL = newLabel(), EndL = newLabel();
+    bind(CondL);
+    lowerCondBranch(W->cond(), BodyL, EndL);
+    bind(BodyL);
+    BreakLabels.push_back(EndL);
+    ContinueLabels.push_back(CondL);
+    lowerStmt(W->body());
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    emitJump(S->loc(), CondL);
+    bind(EndL);
+    return;
+  }
+  case Stmt::Kind::DoWhile: {
+    const auto *D = cast<DoWhileStmt>(S);
+    unsigned BodyL = newLabel(), CondL = newLabel(), EndL = newLabel();
+    bind(BodyL);
+    BreakLabels.push_back(EndL);
+    ContinueLabels.push_back(CondL);
+    lowerStmt(D->body());
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    bind(CondL);
+    lowerCondBranch(D->cond(), BodyL, EndL);
+    bind(EndL);
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    lowerStmt(FS->init());
+    unsigned CondL = newLabel(), BodyL = newLabel(), StepL = newLabel(),
+             EndL = newLabel();
+    bind(CondL);
+    if (FS->cond())
+      lowerCondBranch(FS->cond(), BodyL, EndL);
+    bind(BodyL);
+    BreakLabels.push_back(EndL);
+    ContinueLabels.push_back(StepL);
+    lowerStmt(FS->body());
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    bind(StepL);
+    if (FS->step())
+      lowerForEffect(FS->step());
+    emitJump(S->loc(), CondL);
+    bind(EndL);
+    return;
+  }
+  case Stmt::Kind::Switch: {
+    // Lowered to an if-chain over the scrutinee (the same shape CIL's
+    // switch lowering produces): each case label is one conditional
+    // statement, so the directed search can steer to every arm. Bodies
+    // run in source order with C fallthrough.
+    const auto *Sw = cast<SwitchStmt>(S);
+    ValType CondVT = valTypeFor(Sw->cond()->type());
+    unsigned Scrutinee = newTemp(CondVT);
+    emitStore(S->loc(), frameAddr(Scrutinee), lowerValue(Sw->cond()));
+    unsigned EndL = newLabel();
+
+    const auto &Cases = Sw->cases();
+    // One body label per arm; the dispatch chain jumps into them.
+    std::vector<unsigned> BodyLabels;
+    BodyLabels.reserve(Cases.size());
+    for (size_t I = 0; I < Cases.size(); ++I)
+      BodyLabels.push_back(newLabel());
+
+    // Dispatch chain.
+    std::optional<size_t> DefaultIndex;
+    for (size_t I = 0; I < Cases.size(); ++I) {
+      if (!Cases[I].Value) {
+        DefaultIndex = I;
+        continue;
+      }
+      unsigned NextTest = newLabel();
+      emitCondJump(Cases[I].Loc,
+                   std::make_unique<CmpExpr>(
+                       CmpPred::Eq,
+                       std::make_unique<LoadExpr>(frameAddr(Scrutinee),
+                                                  CondVT),
+                       constInt(*Cases[I].Value, CondVT), CondVT),
+                   BodyLabels[I], NextTest);
+      bind(NextTest);
+    }
+    emitJump(S->loc(), DefaultIndex ? BodyLabels[*DefaultIndex] : EndL);
+
+    // Bodies in source order; fallthrough is just sequential layout.
+    BreakLabels.push_back(EndL);
+    for (size_t I = 0; I < Cases.size(); ++I) {
+      bind(BodyLabels[I]);
+      for (const auto &Child : Cases[I].Body)
+        lowerStmt(Child.get());
+    }
+    BreakLabels.pop_back();
+    bind(EndL);
+    return;
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    IRExprPtr Value;
+    if (R->value())
+      Value = castTo(lowerValue(R->value()), F.RetVT);
+    F.Instrs.push_back(
+        std::make_unique<RetInstr>(S->loc(), std::move(Value)));
+    return;
+  }
+  case Stmt::Kind::Break:
+    assert(!BreakLabels.empty() && "break outside loop survived sema");
+    emitJump(S->loc(), BreakLabels.back());
+    return;
+  case Stmt::Kind::Continue:
+    assert(!ContinueLabels.empty() &&
+           "continue outside loop survived sema");
+    emitJump(S->loc(), ContinueLabels.back());
+    return;
+  case Stmt::Kind::Null:
+    return;
+  }
+}
+
+void FunctionLowering::finalize() {
+  for (auto &I : F.Instrs) {
+    if (auto *J = dyn_cast<JumpInstr>(I.get())) {
+      assert(LabelPos[J->target()] != UINT32_MAX && "unbound label");
+      J->setTarget(LabelPos[J->target()]);
+    } else if (auto *CJ = dyn_cast<CondJumpInstr>(I.get())) {
+      assert(LabelPos[CJ->trueTarget()] != UINT32_MAX && "unbound label");
+      assert(LabelPos[CJ->falseTarget()] != UINT32_MAX && "unbound label");
+      CJ->setTargets(LabelPos[CJ->trueTarget()],
+                     LabelPos[CJ->falseTarget()]);
+    }
+  }
+}
+
+void FunctionLowering::lower(const FunctionDecl &Fn) {
+  F.Name = Fn.name();
+  F.NumParams = static_cast<unsigned>(Fn.params().size());
+  F.ReturnsVoid = Fn.returnType()->isVoid();
+  if (!F.ReturnsVoid) {
+    if (!Fn.returnType()->isScalar()) {
+      Diags.error(Fn.loc(), "function '" + Fn.name() +
+                                "' returns an aggregate; not supported");
+      F.ReturnsVoid = true;
+    } else {
+      F.RetVT = valTypeFor(Fn.returnType());
+    }
+  }
+  for (const auto &P : Fn.params()) {
+    if (!P->type()->isScalar()) {
+      Diags.error(P->loc(), "parameter '" + P->name() +
+                                "' has aggregate type; pass a pointer");
+      F.ParamVTs.push_back(ValType::int64());
+      FrameSlot Slot;
+      Slot.Name = P->name();
+      Slot.SizeBytes = 8;
+      Slot.Align = 8;
+      F.Slots.push_back(Slot);
+      continue;
+    }
+    F.ParamVTs.push_back(valTypeFor(P->type()));
+    (void)slotFor(P.get());
+  }
+  lowerStmt(Fn.body());
+  // Implicit return: 0 for value functions that fall off the end (C's UB,
+  // resolved deterministically), plain return for void functions.
+  IRExprPtr Value;
+  if (!F.ReturnsVoid)
+    Value = constInt(0, F.RetVT);
+  F.Instrs.push_back(std::make_unique<RetInstr>(Fn.loc(), std::move(Value)));
+  finalize();
+}
+
+} // namespace
+
+LoweredProgram dart::lowerToIR(const TranslationUnit &TU,
+                               DiagnosticsEngine &Diags) {
+  LoweredProgram Result;
+  Result.Module = std::make_unique<IRModule>();
+  IRModule &M = *Result.Module;
+  std::map<std::string, unsigned> StringGlobals;
+
+  // Globals first so function bodies can address them.
+  for (const auto &D : TU.decls()) {
+    const auto *V = dyn_cast<VarDecl>(D.get());
+    if (!V)
+      continue;
+    IRGlobal G;
+    G.Name = V->name();
+    G.SizeBytes = V->type()->size();
+    G.Align = V->type()->align();
+    G.IsExternInput = V->isExtern() && !V->init();
+    if (V->init()) {
+      // Sema guarantees global initializers are integer constant
+      // expressions; encode little-endian at the variable's width.
+      int64_t Value = 0;
+      if (const auto *L = dyn_cast<IntLiteralExpr>(V->init()))
+        Value = L->value();
+      else {
+        // Re-fold through the same rules sema used.
+        struct Folder {
+          static bool fold(const Expr *E, int64_t &Out) {
+            if (const auto *L = dyn_cast<IntLiteralExpr>(E)) {
+              Out = L->value();
+              return true;
+            }
+            if (const auto *S = dyn_cast<SizeofTypeExpr>(E)) {
+              Out = S->queriedType()->size();
+              return true;
+            }
+            if (const auto *C = dyn_cast<CastExpr>(E))
+              return fold(C->operand(), Out);
+            if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+              int64_t Inner;
+              if (!fold(U->operand(), Inner))
+                return false;
+              switch (U->op()) {
+              case UnaryOp::Neg:
+                Out = -Inner;
+                return true;
+              case UnaryOp::BitNot:
+                Out = ~Inner;
+                return true;
+              case UnaryOp::LogNot:
+                Out = !Inner;
+                return true;
+              default:
+                return false;
+              }
+            }
+            if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+              int64_t L, R;
+              if (!fold(B->lhs(), L) || !fold(B->rhs(), R))
+                return false;
+              switch (B->op()) {
+              case BinaryOp::Add:
+                Out = L + R;
+                return true;
+              case BinaryOp::Sub:
+                Out = L - R;
+                return true;
+              case BinaryOp::Mul:
+                Out = L * R;
+                return true;
+              default:
+                return false;
+              }
+            }
+            return false;
+          }
+        };
+        Folder::fold(V->init(), Value);
+      }
+      unsigned Width = V->type()->isScalar() ? valTypeFor(V->type()).SizeBytes
+                                             : 0;
+      G.Init.resize(Width);
+      for (unsigned I = 0; I < Width; ++I)
+        G.Init[I] = static_cast<uint8_t>(
+            (static_cast<uint64_t>(Value) >> (8 * I)) & 0xff);
+    }
+    Result.GlobalIndexOf[V] = M.addGlobal(std::move(G));
+  }
+
+  // Then all function definitions.
+  for (const auto &D : TU.decls()) {
+    const auto *Fn = dyn_cast<FunctionDecl>(D.get());
+    if (!Fn || !Fn->hasBody())
+      continue;
+    if (M.findFunction(Fn->name()))
+      continue; // redefinition already diagnosed by sema
+    auto F = std::make_unique<IRFunction>();
+    FunctionLowering FL(M, *F, Result.GlobalIndexOf, StringGlobals, Diags);
+    FL.lower(*Fn);
+    M.addFunction(std::move(F));
+  }
+  return Result;
+}

@@ -1,0 +1,45 @@
+//===- Lowering.h - AST to RAM-machine lowering -----------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked MiniC AST into the RAM-machine IR. All side effects
+/// are flattened into instructions over temporary frame slots so that IR
+/// expressions are pure (the paper's §2.2 invariant), and all short-circuit
+/// operators become explicit conditional statements — which is what makes
+/// every atomic predicate of the program a separately flippable branch for
+/// the directed search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_IR_LOWERING_H
+#define DART_IR_LOWERING_H
+
+#include "ast/AST.h"
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+
+namespace dart {
+
+/// Result of lowering: the module plus maps back to the AST that the DART
+/// driver uses to build inputs (paper §3.1 interface extraction).
+struct LoweredProgram {
+  std::unique_ptr<IRModule> Module;
+  /// Global index of each AST global variable.
+  std::map<const VarDecl *, unsigned> GlobalIndexOf;
+};
+
+/// The scalar machine type of an AST type. Must be a scalar type.
+ValType valTypeFor(const Type *Ty);
+
+/// Lowers \p TU. Returns a module even on error; check \p Diags.
+LoweredProgram lowerToIR(const TranslationUnit &TU, DiagnosticsEngine &Diags);
+
+} // namespace dart
+
+#endif // DART_IR_LOWERING_H

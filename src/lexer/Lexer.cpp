@@ -1,0 +1,520 @@
+//===- Lexer.cpp - MiniC tokenizer ----------------------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace dart;
+
+const char *dart::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Unknown:
+    return "unknown token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwUnsigned:
+    return "'unsigned'";
+  case TokenKind::KwLong:
+    return "'long'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwSizeof:
+    return "'sizeof'";
+  case TokenKind::KwExtern:
+    return "'extern'";
+  case TokenKind::KwSwitch:
+    return "'switch'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwDefault:
+    return "'default'";
+  case TokenKind::KwNull:
+    return "'NULL'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::AmpEq:
+    return "'&='";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::PipeEq:
+    return "'|='";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::CaretEq:
+    return "'^='";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::BangEq:
+    return "'!='";
+  case TokenKind::Eq:
+    return "'='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::PlusEq:
+    return "'+='";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::MinusEq:
+    return "'-='";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::StarEq:
+    return "'*='";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::SlashEq:
+    return "'/='";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::PercentEq:
+    return "'%='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::ShlEq:
+    return "'<<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Shr:
+    return "'>>'";
+  case TokenKind::ShrEq:
+    return "'>>='";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  }
+  return "token";
+}
+
+static const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+      {"int", TokenKind::KwInt},
+      {"char", TokenKind::KwChar},
+      {"unsigned", TokenKind::KwUnsigned},
+      {"long", TokenKind::KwLong},
+      {"void", TokenKind::KwVoid},
+      {"struct", TokenKind::KwStruct},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},
+      {"do", TokenKind::KwDo},
+      {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"sizeof", TokenKind::KwSizeof},
+      {"extern", TokenKind::KwExtern},
+      {"switch", TokenKind::KwSwitch},
+      {"case", TokenKind::KwCase},
+      {"default", TokenKind::KwDefault},
+      {"NULL", TokenKind::KwNull},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticsEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(unsigned LookAhead) const {
+  size_t Index = Pos + LookAhead;
+  return Index < Source.size() ? Source[Index] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+SourceLocation Lexer::currentLoc() const {
+  return {Line, Column, static_cast<uint32_t>(Pos)};
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Start = currentLoc();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLocation Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLocation Loc) {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string_view Text = Source.substr(Start, Pos - Start);
+  auto It = keywordTable().find(Text);
+  if (It != keywordTable().end())
+    return makeToken(It->second, Loc, std::string(Text));
+  return makeToken(TokenKind::Identifier, Loc, std::string(Text));
+}
+
+Token Lexer::lexNumber(SourceLocation Loc) {
+  size_t Start = Pos;
+  uint64_t Value = 0;
+  bool Overflow = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    if (!std::isxdigit(static_cast<unsigned char>(peek())))
+      Diags.error(Loc, "hexadecimal literal has no digits");
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      unsigned Digit = std::isdigit(static_cast<unsigned char>(C))
+                           ? unsigned(C - '0')
+                           : unsigned(std::tolower(C) - 'a' + 10);
+      if (Value > (UINT64_MAX - Digit) / 16)
+        Overflow = true;
+      Value = Value * 16 + Digit;
+    }
+  } else if (peek() == '0' &&
+             std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    advance();
+    while (peek() >= '0' && peek() <= '7') {
+      unsigned Digit = unsigned(advance() - '0');
+      if (Value > (UINT64_MAX - Digit) / 8)
+        Overflow = true;
+      Value = Value * 8 + Digit;
+    }
+    if (std::isdigit(static_cast<unsigned char>(peek())))
+      Diags.error(Loc, "invalid digit in octal literal");
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      unsigned Digit = unsigned(advance() - '0');
+      if (Value > (UINT64_MAX - Digit) / 10)
+        Overflow = true;
+      Value = Value * 10 + Digit;
+    }
+  }
+  // Accept (and ignore) the common integer suffixes so pasted C compiles.
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')
+    advance();
+  if (Overflow)
+    Diags.error(Loc, "integer literal too large for 64 bits");
+  Token T = makeToken(TokenKind::IntLiteral, Loc,
+                      std::string(Source.substr(Start, Pos - Start)));
+  T.IntValue = static_cast<int64_t>(Value);
+  return T;
+}
+
+int Lexer::lexEscapedChar() {
+  char C = advance();
+  if (C != '\\')
+    return static_cast<unsigned char>(C);
+  char E = advance();
+  switch (E) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  case 'x': {
+    int Value = 0;
+    bool Any = false;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char D = advance();
+      int Digit = std::isdigit(static_cast<unsigned char>(D))
+                      ? D - '0'
+                      : std::tolower(D) - 'a' + 10;
+      Value = Value * 16 + Digit;
+      Any = true;
+    }
+    if (!Any) {
+      Diags.error(currentLoc(), "\\x escape has no hex digits");
+      return -1;
+    }
+    return Value & 0xff;
+  }
+  default:
+    Diags.error(currentLoc(), std::string("unknown escape sequence '\\") +
+                                  E + "'");
+    return -1;
+  }
+}
+
+Token Lexer::lexCharLiteral(SourceLocation Loc) {
+  advance(); // consume opening quote
+  if (peek() == '\'' || peek() == '\0') {
+    Diags.error(Loc, "empty character literal");
+    advance();
+    return makeToken(TokenKind::Unknown, Loc, "'");
+  }
+  int Value = lexEscapedChar();
+  if (!match('\''))
+    Diags.error(Loc, "unterminated character literal");
+  Token T = makeToken(TokenKind::CharLiteral, Loc, "");
+  T.IntValue = Value < 0 ? 0 : static_cast<int64_t>(static_cast<char>(Value));
+  return T;
+}
+
+Token Lexer::lexStringLiteral(SourceLocation Loc) {
+  advance(); // consume opening quote
+  std::string Bytes;
+  while (peek() != '"') {
+    if (peek() == '\0' || peek() == '\n') {
+      Diags.error(Loc, "unterminated string literal");
+      Token T = makeToken(TokenKind::StringLiteral, Loc, "");
+      T.StrValue = Bytes;
+      return T;
+    }
+    int C = lexEscapedChar();
+    if (C >= 0)
+      Bytes.push_back(static_cast<char>(C));
+  }
+  advance(); // consume closing quote
+  Token T = makeToken(TokenKind::StringLiteral, Loc, "");
+  T.StrValue = std::move(Bytes);
+  return T;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLocation Loc = currentLoc();
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Loc, "");
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (C == '\'')
+    return lexCharLiteral(Loc);
+  if (C == '"')
+    return lexStringLiteral(Loc);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc, "(");
+  case ')':
+    return makeToken(TokenKind::RParen, Loc, ")");
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc, "{");
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc, "}");
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc, "[");
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc, "]");
+  case ';':
+    return makeToken(TokenKind::Semi, Loc, ";");
+  case ',':
+    return makeToken(TokenKind::Comma, Loc, ",");
+  case '.':
+    return makeToken(TokenKind::Dot, Loc, ".");
+  case '~':
+    return makeToken(TokenKind::Tilde, Loc, "~");
+  case '?':
+    return makeToken(TokenKind::Question, Loc, "?");
+  case ':':
+    return makeToken(TokenKind::Colon, Loc, ":");
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc, "&&");
+    if (match('='))
+      return makeToken(TokenKind::AmpEq, Loc, "&=");
+    return makeToken(TokenKind::Amp, Loc, "&");
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc, "||");
+    if (match('='))
+      return makeToken(TokenKind::PipeEq, Loc, "|=");
+    return makeToken(TokenKind::Pipe, Loc, "|");
+  case '^':
+    if (match('='))
+      return makeToken(TokenKind::CaretEq, Loc, "^=");
+    return makeToken(TokenKind::Caret, Loc, "^");
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::BangEq, Loc, "!=");
+    return makeToken(TokenKind::Bang, Loc, "!");
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqEq, Loc, "==");
+    return makeToken(TokenKind::Eq, Loc, "=");
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Loc, "++");
+    if (match('='))
+      return makeToken(TokenKind::PlusEq, Loc, "+=");
+    return makeToken(TokenKind::Plus, Loc, "+");
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Loc, "--");
+    if (match('='))
+      return makeToken(TokenKind::MinusEq, Loc, "-=");
+    if (match('>'))
+      return makeToken(TokenKind::Arrow, Loc, "->");
+    return makeToken(TokenKind::Minus, Loc, "-");
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarEq, Loc, "*=");
+    return makeToken(TokenKind::Star, Loc, "*");
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashEq, Loc, "/=");
+    return makeToken(TokenKind::Slash, Loc, "/");
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentEq, Loc, "%=");
+    return makeToken(TokenKind::Percent, Loc, "%");
+  case '<':
+    if (match('<')) {
+      if (match('='))
+        return makeToken(TokenKind::ShlEq, Loc, "<<=");
+      return makeToken(TokenKind::Shl, Loc, "<<");
+    }
+    if (match('='))
+      return makeToken(TokenKind::LessEq, Loc, "<=");
+    return makeToken(TokenKind::Less, Loc, "<");
+  case '>':
+    if (match('>')) {
+      if (match('='))
+        return makeToken(TokenKind::ShrEq, Loc, ">>=");
+      return makeToken(TokenKind::Shr, Loc, ">>");
+    }
+    if (match('='))
+      return makeToken(TokenKind::GreaterEq, Loc, ">=");
+    return makeToken(TokenKind::Greater, Loc, ">");
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return makeToken(TokenKind::Unknown, Loc, std::string(1, C));
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,63 @@
+//===- Lexer.h - MiniC tokenizer --------------------------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC, the C subset that programs under test are
+/// written in. Supports //- and /**/-comments, decimal/hex/octal integer
+/// literals, character and string literals with the common escapes, and all
+/// operators of the subset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_LEXER_LEXER_H
+#define DART_LEXER_LEXER_H
+
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace dart {
+
+class Lexer {
+public:
+  /// \p Source must outlive the lexer. Errors are reported to \p Diags and
+  /// yield Unknown tokens so parsing can continue.
+  Lexer(std::string_view Source, DiagnosticsEngine &Diags);
+
+  /// Lexes and returns the next token; returns Eof forever at end of input.
+  Token next();
+
+  /// Lexes the whole buffer, Eof token included (always last).
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned LookAhead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLocation currentLoc() const;
+
+  Token makeToken(TokenKind Kind, SourceLocation Loc, std::string Text);
+  Token lexIdentifierOrKeyword(SourceLocation Loc);
+  Token lexNumber(SourceLocation Loc);
+  Token lexCharLiteral(SourceLocation Loc);
+  Token lexStringLiteral(SourceLocation Loc);
+  /// Decodes one (possibly escaped) character of a char/string literal.
+  /// Returns -1 on a malformed escape (already diagnosed).
+  int lexEscapedChar();
+
+  std::string_view Source;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace dart
+
+#endif // DART_LEXER_LEXER_H

@@ -1,0 +1,126 @@
+//===- Token.h - MiniC token definitions ------------------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the MiniC lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_LEXER_TOKEN_H
+#define DART_LEXER_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dart {
+
+enum class TokenKind {
+  // Sentinels.
+  Eof,
+  Unknown,
+
+  // Literals and names.
+  Identifier,
+  IntLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwInt,
+  KwChar,
+  KwUnsigned,
+  KwLong,
+  KwVoid,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSizeof,
+  KwExtern,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwNull, // `NULL`, lexed as a keyword so the parser can fold it to (void*)0.
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,      // ->
+  Amp,        // &
+  AmpAmp,     // &&
+  AmpEq,      // &=
+  Pipe,       // |
+  PipePipe,   // ||
+  PipeEq,     // |=
+  Caret,      // ^
+  CaretEq,    // ^=
+  Tilde,      // ~
+  Bang,       // !
+  BangEq,     // !=
+  Eq,         // =
+  EqEq,       // ==
+  Plus,       // +
+  PlusPlus,   // ++
+  PlusEq,     // +=
+  Minus,      // -
+  MinusMinus, // --
+  MinusEq,    // -=
+  Star,       // *
+  StarEq,     // *=
+  Slash,      // /
+  SlashEq,    // /=
+  Percent,    // %
+  PercentEq,  // %=
+  Less,       // <
+  LessEq,     // <=
+  Shl,        // <<
+  ShlEq,      // <<=
+  Greater,    // >
+  GreaterEq,  // >=
+  Shr,        // >>
+  ShrEq,      // >>=
+  Question,   // ?
+  Colon,      // :
+};
+
+/// Human-readable token kind name, for diagnostics ("expected ';'").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. \c Text holds the source spelling (for identifiers and
+/// literals); \c IntValue holds the decoded value of integer and character
+/// literals; \c StrValue holds the decoded bytes of a string literal.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLocation Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+  std::string StrValue;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+  bool isOneOf(TokenKind K1, TokenKind K2) const { return is(K1) || is(K2); }
+  template <typename... Ts> bool isOneOf(TokenKind K1, Ts... Ks) const {
+    return is(K1) || isOneOf(Ks...);
+  }
+};
+
+} // namespace dart
+
+#endif // DART_LEXER_TOKEN_H

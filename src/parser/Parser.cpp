@@ -1,0 +1,906 @@
+//===- Parser.cpp - MiniC recursive-descent parser ------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "lexer/Lexer.h"
+
+#include <cassert>
+
+using namespace dart;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticsEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+std::unique_ptr<TranslationUnit> Parser::parse(std::string_view Source,
+                                               DiagnosticsEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseTranslationUnit();
+}
+
+const Token &Parser::peek(unsigned LookAhead) const {
+  size_t Index = Pos + LookAhead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // Eof
+  return Tokens[Index];
+}
+
+Token Parser::advance() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(K) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+void Parser::synchronizeToDeclBoundary() {
+  // Skip to something that plausibly starts a new top-level declaration.
+  while (!check(TokenKind::Eof)) {
+    if (accept(TokenKind::Semi))
+      return;
+    if (check(TokenKind::RBrace)) {
+      advance();
+      accept(TokenKind::Semi);
+      return;
+    }
+    advance();
+  }
+}
+
+void Parser::synchronizeToStmtBoundary() {
+  while (!check(TokenKind::Eof)) {
+    if (accept(TokenKind::Semi))
+      return;
+    if (check(TokenKind::RBrace))
+      return;
+    advance();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool Parser::startsType(const Token &Tok) const {
+  switch (Tok.Kind) {
+  case TokenKind::KwInt:
+  case TokenKind::KwChar:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwLong:
+  case TokenKind::KwVoid:
+  case TokenKind::KwStruct:
+    return true;
+  default:
+    return false;
+  }
+}
+
+StructDecl *Parser::lookupOrCreateStruct(const std::string &Name,
+                                         SourceLocation Loc) {
+  for (StructDecl *S : KnownStructs)
+    if (S->name() == Name)
+      return S;
+  auto Owned = std::make_unique<StructDecl>(Loc, Name);
+  StructDecl *Raw = Owned.get();
+  KnownStructs.push_back(Raw);
+  TU->addDecl(std::move(Owned));
+  return Raw;
+}
+
+const Type *Parser::parseTypeSpecifier() {
+  TypeContext &Types = TU->types();
+  const Type *Base = nullptr;
+  switch (current().Kind) {
+  case TokenKind::KwInt:
+    advance();
+    Base = Types.intType();
+    break;
+  case TokenKind::KwChar:
+    advance();
+    Base = Types.charType();
+    break;
+  case TokenKind::KwUnsigned:
+    advance();
+    accept(TokenKind::KwInt); // `unsigned int`
+    Base = Types.unsignedType();
+    break;
+  case TokenKind::KwLong:
+    advance();
+    accept(TokenKind::KwInt); // `long int`
+    Base = Types.longType();
+    break;
+  case TokenKind::KwVoid:
+    advance();
+    Base = Types.voidType();
+    break;
+  case TokenKind::KwStruct: {
+    advance();
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected struct name after 'struct'");
+      return nullptr;
+    }
+    Token Name = advance();
+    Base = Types.structType(lookupOrCreateStruct(Name.Text, Name.Loc));
+    break;
+  }
+  default:
+    Diags.error(current().Loc, std::string("expected type, found ") +
+                                   tokenKindName(current().Kind));
+    return nullptr;
+  }
+  while (accept(TokenKind::Star))
+    Base = Types.pointerTo(Base);
+  return Base;
+}
+
+const Type *Parser::parseArraySuffixes(const Type *Base) {
+  // Collect dimensions outside-in, then build the type inside-out so that
+  // `int a[2][3]` is array-2 of array-3 of int.
+  std::vector<uint64_t> Dims;
+  while (accept(TokenKind::LBracket)) {
+    if (!check(TokenKind::IntLiteral)) {
+      Diags.error(current().Loc, "expected constant array size");
+      synchronizeToStmtBoundary();
+      return Base;
+    }
+    Token Size = advance();
+    if (Size.IntValue <= 0)
+      Diags.error(Size.Loc, "array size must be positive");
+    Dims.push_back(static_cast<uint64_t>(Size.IntValue));
+    expect(TokenKind::RBracket, "after array size");
+  }
+  const Type *Result = Base;
+  for (auto It = Dims.rbegin(); It != Dims.rend(); ++It)
+    Result = TU->types().arrayOf(Result, *It);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<TranslationUnit> Parser::parseTranslationUnit() {
+  auto Unit = std::make_unique<TranslationUnit>();
+  TU = Unit.get();
+  KnownStructs.clear();
+  while (!check(TokenKind::Eof))
+    parseTopLevelDecl(*Unit);
+  TU = nullptr;
+  return Unit;
+}
+
+void Parser::parseStructDecl(TranslationUnit &TU) {
+  (void)TU;
+  // Caller consumed nothing; current() is KwStruct with `{` after the name.
+  advance(); // struct
+  Token Name = advance();
+  StructDecl *S = lookupOrCreateStruct(Name.Text, Name.Loc);
+  advance(); // {
+  if (S->isComplete())
+    Diags.error(Name.Loc, "redefinition of struct '" + Name.Text + "'");
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    const Type *FieldTy = parseTypeSpecifier();
+    if (!FieldTy) {
+      synchronizeToStmtBoundary();
+      continue;
+    }
+    // One or more declarators per field line.
+    for (;;) {
+      const Type *ThisTy = FieldTy;
+      while (accept(TokenKind::Star))
+        ThisTy = this->TU->types().pointerTo(ThisTy);
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(current().Loc, "expected field name");
+        synchronizeToStmtBoundary();
+        break;
+      }
+      Token FieldName = advance();
+      ThisTy = parseArraySuffixes(ThisTy);
+      S->addField(
+          std::make_unique<FieldDecl>(FieldName.Loc, FieldName.Text, ThisTy));
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::Semi, "after struct field");
+  }
+  expect(TokenKind::RBrace, "to close struct definition");
+  expect(TokenKind::Semi, "after struct definition");
+  S->setComplete();
+}
+
+void Parser::parseTopLevelDecl(TranslationUnit &TU) {
+  // struct definition?
+  if (check(TokenKind::KwStruct) && peek(1).is(TokenKind::Identifier) &&
+      peek(2).is(TokenKind::LBrace)) {
+    parseStructDecl(TU);
+    return;
+  }
+  // `struct foo;` forward declaration.
+  if (check(TokenKind::KwStruct) && peek(1).is(TokenKind::Identifier) &&
+      peek(2).is(TokenKind::Semi)) {
+    advance();
+    Token Name = advance();
+    advance();
+    lookupOrCreateStruct(Name.Text, Name.Loc);
+    return;
+  }
+
+  bool IsExtern = accept(TokenKind::KwExtern);
+  if (!startsType(current())) {
+    Diags.error(current().Loc,
+                std::string("expected declaration, found ") +
+                    tokenKindName(current().Kind));
+    synchronizeToDeclBoundary();
+    return;
+  }
+  const Type *BaseTy = parseTypeSpecifier();
+  if (!BaseTy) {
+    synchronizeToDeclBoundary();
+    return;
+  }
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected declarator name");
+    synchronizeToDeclBoundary();
+    return;
+  }
+  Token Name = advance();
+
+  if (check(TokenKind::LParen)) {
+    auto Fn = parseFunctionRest(BaseTy, Name.Loc, Name.Text);
+    if (Fn)
+      TU.addDecl(std::move(Fn));
+    return;
+  }
+
+  // Global variable(s).
+  for (;;) {
+    const Type *VarTy = parseArraySuffixes(BaseTy);
+    ExprPtr Init;
+    if (accept(TokenKind::Eq))
+      Init = parseAssignment();
+    TU.addDecl(std::make_unique<VarDecl>(Name.Loc, Name.Text, VarTy,
+                                         VarDecl::Storage::Global, IsExtern,
+                                         std::move(Init)));
+    if (!accept(TokenKind::Comma))
+      break;
+    // Further declarators may add their own stars.
+    const Type *NextBase = BaseTy;
+    while (accept(TokenKind::Star))
+      NextBase = this->TU->types().pointerTo(NextBase);
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected declarator name after ','");
+      synchronizeToDeclBoundary();
+      return;
+    }
+    Name = advance();
+    BaseTy = NextBase;
+  }
+  expect(TokenKind::Semi, "after global variable declaration");
+}
+
+std::unique_ptr<FunctionDecl>
+Parser::parseFunctionRest(const Type *RetTy, SourceLocation Loc,
+                          std::string Name) {
+  auto Fn = std::make_unique<FunctionDecl>(Loc, std::move(Name), RetTy);
+  expect(TokenKind::LParen, "in function declaration");
+  if (!check(TokenKind::RParen) &&
+      !(check(TokenKind::KwVoid) && peek(1).is(TokenKind::RParen))) {
+    for (;;) {
+      const Type *ParamTy = parseTypeSpecifier();
+      if (!ParamTy) {
+        synchronizeToStmtBoundary();
+        return Fn;
+      }
+      std::string ParamName;
+      SourceLocation ParamLoc = current().Loc;
+      if (check(TokenKind::Identifier))
+        ParamName = advance().Text;
+      // Array parameters decay to pointers, as in C.
+      ParamTy = parseArraySuffixes(ParamTy);
+      if (const auto *A = dyn_cast<ArrayType>(ParamTy))
+        ParamTy = TU->types().pointerTo(A->element());
+      Fn->addParam(std::make_unique<VarDecl>(ParamLoc, ParamName, ParamTy,
+                                             VarDecl::Storage::Param,
+                                             /*IsExtern=*/false, nullptr));
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+  } else {
+    accept(TokenKind::KwVoid);
+  }
+  expect(TokenKind::RParen, "after parameter list");
+
+  if (accept(TokenKind::Semi))
+    return Fn; // prototype / external function
+
+  if (!check(TokenKind::LBrace)) {
+    Diags.error(current().Loc, "expected function body or ';'");
+    synchronizeToDeclBoundary();
+    return Fn;
+  }
+  Fn->setBody(parseCompoundStmt());
+  return Fn;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Parser::parseLocalDecl(std::vector<StmtPtr> &Out) {
+  SourceLocation Loc = current().Loc;
+  const Type *BaseTy = parseTypeSpecifier();
+  if (!BaseTy) {
+    synchronizeToStmtBoundary();
+    return;
+  }
+  for (;;) {
+    const Type *VarTy = BaseTy;
+    // parseTypeSpecifier consumed stars for the first declarator only.
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected variable name in declaration");
+      synchronizeToStmtBoundary();
+      return;
+    }
+    Token Name = advance();
+    VarTy = parseArraySuffixes(VarTy);
+    ExprPtr Init;
+    if (accept(TokenKind::Eq))
+      Init = parseAssignment();
+    auto Var = std::make_unique<VarDecl>(Name.Loc, Name.Text, VarTy,
+                                         VarDecl::Storage::Local,
+                                         /*IsExtern=*/false, std::move(Init));
+    Out.push_back(std::make_unique<DeclStmt>(Loc, std::move(Var)));
+    if (!accept(TokenKind::Comma))
+      break;
+    // Subsequent declarators: strip array/pointer decorations of the first.
+    const Type *Stripped = BaseTy;
+    while (const auto *P = dyn_cast<PointerType>(Stripped))
+      Stripped = P->pointee();
+    BaseTy = Stripped;
+    while (accept(TokenKind::Star))
+      BaseTy = TU->types().pointerTo(BaseTy);
+  }
+  expect(TokenKind::Semi, "after variable declaration");
+}
+
+StmtPtr Parser::parseCompoundStmt() {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::LBrace, "to open block");
+  auto Block = std::make_unique<CompoundStmt>(Loc);
+  std::vector<StmtPtr> Pending;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    if (startsType(current())) {
+      Pending.clear();
+      parseLocalDecl(Pending);
+      for (auto &S : Pending)
+        Block->addStmt(std::move(S));
+      continue;
+    }
+    if (StmtPtr S = parseStmt())
+      Block->addStmt(std::move(S));
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return Block;
+}
+
+StmtPtr Parser::parseIfStmt() {
+  SourceLocation Loc = advance().Loc; // if
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  StmtPtr Then = parseStmt();
+  StmtPtr Else;
+  if (accept(TokenKind::KwElse))
+    Else = parseStmt();
+  return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+                                  std::move(Else));
+}
+
+StmtPtr Parser::parseWhileStmt() {
+  SourceLocation Loc = advance().Loc; // while
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  StmtPtr Body = parseStmt();
+  return std::make_unique<WhileStmt>(Loc, std::move(Cond), std::move(Body));
+}
+
+StmtPtr Parser::parseDoWhileStmt() {
+  SourceLocation Loc = advance().Loc; // do
+  StmtPtr Body = parseStmt();
+  expect(TokenKind::KwWhile, "after do-while body");
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after do-while condition");
+  expect(TokenKind::Semi, "after do-while statement");
+  return std::make_unique<DoWhileStmt>(Loc, std::move(Body), std::move(Cond));
+}
+
+StmtPtr Parser::parseForStmt() {
+  SourceLocation Loc = advance().Loc; // for
+  expect(TokenKind::LParen, "after 'for'");
+  StmtPtr Init;
+  if (!accept(TokenKind::Semi)) {
+    if (startsType(current())) {
+      std::vector<StmtPtr> Decls;
+      parseLocalDecl(Decls); // consumes the ';'
+      if (Decls.size() == 1) {
+        Init = std::move(Decls.front());
+      } else if (!Decls.empty()) {
+        auto Block = std::make_unique<CompoundStmt>(Loc);
+        for (auto &D : Decls)
+          Block->addStmt(std::move(D));
+        Init = std::move(Block);
+      }
+    } else {
+      Init = std::make_unique<ExprStmt>(current().Loc, parseExpr());
+      expect(TokenKind::Semi, "after for-init");
+    }
+  }
+  ExprPtr Cond;
+  if (!check(TokenKind::Semi))
+    Cond = parseExpr();
+  expect(TokenKind::Semi, "after for-condition");
+  ExprPtr Step;
+  if (!check(TokenKind::RParen))
+    Step = parseExpr();
+  expect(TokenKind::RParen, "after for-step");
+  StmtPtr Body = parseStmt();
+  return std::make_unique<ForStmt>(Loc, std::move(Init), std::move(Cond),
+                                   std::move(Step), std::move(Body));
+}
+
+StmtPtr Parser::parseSwitchStmt() {
+  SourceLocation Loc = advance().Loc; // switch
+  expect(TokenKind::LParen, "after 'switch'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after switch condition");
+  auto Switch = std::make_unique<SwitchStmt>(Loc, std::move(Cond));
+  expect(TokenKind::LBrace, "to open switch body");
+  bool SawDefault = false;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    SwitchCase Case;
+    Case.Loc = current().Loc;
+    if (accept(TokenKind::KwCase)) {
+      // Case labels are constant expressions; MiniC accepts (optionally
+      // negated) integer and character literals.
+      bool Negative = accept(TokenKind::Minus);
+      if (!check(TokenKind::IntLiteral) && !check(TokenKind::CharLiteral)) {
+        Diags.error(current().Loc, "expected constant after 'case'");
+        synchronizeToStmtBoundary();
+        continue;
+      }
+      Token V = advance();
+      Case.Value = Negative ? -V.IntValue : V.IntValue;
+      expect(TokenKind::Colon, "after case label");
+    } else if (accept(TokenKind::KwDefault)) {
+      if (SawDefault)
+        Diags.error(Case.Loc, "multiple 'default' labels in switch");
+      SawDefault = true;
+      expect(TokenKind::Colon, "after 'default'");
+    } else {
+      Diags.error(current().Loc,
+                  "expected 'case' or 'default' in switch body");
+      synchronizeToStmtBoundary();
+      continue;
+    }
+    // Statements up to the next label or the closing brace. Adjacent
+    // labels (case 1: case 2: ...) yield empty bodies = C fallthrough.
+    while (!check(TokenKind::KwCase) && !check(TokenKind::KwDefault) &&
+           !check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+      if (startsType(current())) {
+        std::vector<StmtPtr> Decls;
+        parseLocalDecl(Decls);
+        for (auto &D : Decls)
+          Case.Body.push_back(std::move(D));
+        continue;
+      }
+      if (StmtPtr S = parseStmt())
+        Case.Body.push_back(std::move(S));
+    }
+    Switch->addCase(std::move(Case));
+  }
+  expect(TokenKind::RBrace, "to close switch body");
+  return Switch;
+}
+
+StmtPtr Parser::parseReturnStmt() {
+  SourceLocation Loc = advance().Loc; // return
+  ExprPtr Value;
+  if (!check(TokenKind::Semi))
+    Value = parseExpr();
+  expect(TokenKind::Semi, "after return statement");
+  return std::make_unique<ReturnStmt>(Loc, std::move(Value));
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseCompoundStmt();
+  case TokenKind::KwIf:
+    return parseIfStmt();
+  case TokenKind::KwWhile:
+    return parseWhileStmt();
+  case TokenKind::KwDo:
+    return parseDoWhileStmt();
+  case TokenKind::KwFor:
+    return parseForStmt();
+  case TokenKind::KwSwitch:
+    return parseSwitchStmt();
+  case TokenKind::KwReturn:
+    return parseReturnStmt();
+  case TokenKind::KwBreak: {
+    SourceLocation Loc = advance().Loc;
+    expect(TokenKind::Semi, "after 'break'");
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLocation Loc = advance().Loc;
+    expect(TokenKind::Semi, "after 'continue'");
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  case TokenKind::Semi: {
+    SourceLocation Loc = advance().Loc;
+    return std::make_unique<NullStmt>(Loc);
+  }
+  default: {
+    SourceLocation Loc = current().Loc;
+    ExprPtr E = parseExpr();
+    if (!E) {
+      synchronizeToStmtBoundary();
+      return nullptr;
+    }
+    expect(TokenKind::Semi, "after expression statement");
+    return std::make_unique<ExprStmt>(Loc, std::move(E));
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseAssignment(); }
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr LHS = parseConditional();
+  if (!LHS)
+    return nullptr;
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::Eq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, std::move(LHS),
+                                        parseAssignment());
+  case TokenKind::PlusEq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, BinaryOp::Add, std::move(LHS),
+                                        parseAssignment());
+  case TokenKind::MinusEq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, BinaryOp::Sub, std::move(LHS),
+                                        parseAssignment());
+  case TokenKind::StarEq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, BinaryOp::Mul, std::move(LHS),
+                                        parseAssignment());
+  case TokenKind::SlashEq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, BinaryOp::Div, std::move(LHS),
+                                        parseAssignment());
+  case TokenKind::PercentEq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, BinaryOp::Rem, std::move(LHS),
+                                        parseAssignment());
+  case TokenKind::AmpEq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, BinaryOp::BitAnd, std::move(LHS),
+                                        parseAssignment());
+  case TokenKind::PipeEq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, BinaryOp::BitOr, std::move(LHS),
+                                        parseAssignment());
+  case TokenKind::CaretEq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, BinaryOp::BitXor, std::move(LHS),
+                                        parseAssignment());
+  case TokenKind::ShlEq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, BinaryOp::Shl, std::move(LHS),
+                                        parseAssignment());
+  case TokenKind::ShrEq:
+    advance();
+    return std::make_unique<AssignExpr>(Loc, BinaryOp::Shr, std::move(LHS),
+                                        parseAssignment());
+  default:
+    return LHS;
+  }
+}
+
+ExprPtr Parser::parseConditional() {
+  ExprPtr Cond = parseBinary(0);
+  if (!Cond || !check(TokenKind::Question))
+    return Cond;
+  SourceLocation Loc = advance().Loc; // ?
+  ExprPtr Then = parseAssignment();
+  expect(TokenKind::Colon, "in conditional expression");
+  ExprPtr Else = parseConditional();
+  return std::make_unique<ConditionalExpr>(Loc, std::move(Cond),
+                                           std::move(Then), std::move(Else));
+}
+
+namespace {
+/// Binary operator precedence (C-like); -1 if not a binary operator.
+int binaryPrecedence(TokenKind K) {
+  switch (K) {
+  case TokenKind::PipePipe:
+    return 1;
+  case TokenKind::AmpAmp:
+    return 2;
+  case TokenKind::Pipe:
+    return 3;
+  case TokenKind::Caret:
+    return 4;
+  case TokenKind::Amp:
+    return 5;
+  case TokenKind::EqEq:
+  case TokenKind::BangEq:
+    return 6;
+  case TokenKind::Less:
+  case TokenKind::LessEq:
+  case TokenKind::Greater:
+  case TokenKind::GreaterEq:
+    return 7;
+  case TokenKind::Shl:
+  case TokenKind::Shr:
+    return 8;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 9;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 10;
+  default:
+    return -1;
+  }
+}
+
+BinaryOp binaryOpForToken(TokenKind K) {
+  switch (K) {
+  case TokenKind::PipePipe:
+    return BinaryOp::LogOr;
+  case TokenKind::AmpAmp:
+    return BinaryOp::LogAnd;
+  case TokenKind::Pipe:
+    return BinaryOp::BitOr;
+  case TokenKind::Caret:
+    return BinaryOp::BitXor;
+  case TokenKind::Amp:
+    return BinaryOp::BitAnd;
+  case TokenKind::EqEq:
+    return BinaryOp::Eq;
+  case TokenKind::BangEq:
+    return BinaryOp::Ne;
+  case TokenKind::Less:
+    return BinaryOp::Lt;
+  case TokenKind::LessEq:
+    return BinaryOp::Le;
+  case TokenKind::Greater:
+    return BinaryOp::Gt;
+  case TokenKind::GreaterEq:
+    return BinaryOp::Ge;
+  case TokenKind::Shl:
+    return BinaryOp::Shl;
+  case TokenKind::Shr:
+    return BinaryOp::Shr;
+  case TokenKind::Plus:
+    return BinaryOp::Add;
+  case TokenKind::Minus:
+    return BinaryOp::Sub;
+  case TokenKind::Star:
+    return BinaryOp::Mul;
+  case TokenKind::Slash:
+    return BinaryOp::Div;
+  case TokenKind::Percent:
+    return BinaryOp::Rem;
+  default:
+    assert(false && "not a binary operator token");
+    return BinaryOp::Add;
+  }
+}
+} // namespace
+
+ExprPtr Parser::parseBinary(int MinPrecedence) {
+  ExprPtr LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  for (;;) {
+    int Prec = binaryPrecedence(current().Kind);
+    if (Prec < 0 || Prec < MinPrecedence)
+      return LHS;
+    Token Op = advance();
+    ExprPtr RHS = parseBinary(Prec + 1); // all binary ops left-associative
+    if (!RHS)
+      return LHS;
+    LHS = std::make_unique<BinaryExpr>(Op.Loc, binaryOpForToken(Op.Kind),
+                                       std::move(LHS), std::move(RHS));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::Minus:
+    advance();
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Neg, parseUnary());
+  case TokenKind::Bang:
+    advance();
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::LogNot, parseUnary());
+  case TokenKind::Tilde:
+    advance();
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::BitNot, parseUnary());
+  case TokenKind::Star:
+    advance();
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Deref, parseUnary());
+  case TokenKind::Amp:
+    advance();
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::AddrOf, parseUnary());
+  case TokenKind::PlusPlus:
+    advance();
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::PreInc, parseUnary());
+  case TokenKind::MinusMinus:
+    advance();
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::PreDec, parseUnary());
+  case TokenKind::Plus: // unary plus is a no-op
+    advance();
+    return parseUnary();
+  case TokenKind::KwSizeof: {
+    advance();
+    expect(TokenKind::LParen, "after 'sizeof'");
+    if (!startsType(current())) {
+      Diags.error(current().Loc,
+                  "MiniC supports only 'sizeof(type)', not 'sizeof expr'");
+      synchronizeToStmtBoundary();
+      return std::make_unique<IntLiteralExpr>(Loc, 0);
+    }
+    const Type *Ty = parseTypeSpecifier();
+    if (Ty)
+      Ty = parseArraySuffixes(Ty);
+    expect(TokenKind::RParen, "after sizeof type");
+    return std::make_unique<SizeofTypeExpr>(
+        Loc, Ty ? Ty : TU->types().intType());
+  }
+  case TokenKind::LParen:
+    // Cast expression? Look one token ahead for a type keyword.
+    if (startsType(peek(1))) {
+      advance(); // (
+      const Type *Ty = parseTypeSpecifier();
+      if (Ty)
+        Ty = parseArraySuffixes(Ty);
+      expect(TokenKind::RParen, "after cast type");
+      ExprPtr Operand = parseUnary();
+      return std::make_unique<CastExpr>(
+          Loc, Ty ? Ty : TU->types().intType(), std::move(Operand));
+    }
+    return parsePostfix();
+  default:
+    return parsePostfix();
+  }
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  for (;;) {
+    SourceLocation Loc = current().Loc;
+    if (accept(TokenKind::LBracket)) {
+      ExprPtr Index = parseExpr();
+      expect(TokenKind::RBracket, "after array index");
+      E = std::make_unique<IndexExpr>(Loc, std::move(E), std::move(Index));
+      continue;
+    }
+    if (accept(TokenKind::Dot)) {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(current().Loc, "expected field name after '.'");
+        return E;
+      }
+      Token Field = advance();
+      E = std::make_unique<MemberExpr>(Loc, std::move(E), Field.Text,
+                                       /*IsArrow=*/false);
+      continue;
+    }
+    if (accept(TokenKind::Arrow)) {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(current().Loc, "expected field name after '->'");
+        return E;
+      }
+      Token Field = advance();
+      E = std::make_unique<MemberExpr>(Loc, std::move(E), Field.Text,
+                                       /*IsArrow=*/true);
+      continue;
+    }
+    if (accept(TokenKind::PlusPlus)) {
+      E = std::make_unique<UnaryExpr>(Loc, UnaryOp::PostInc, std::move(E));
+      continue;
+    }
+    if (accept(TokenKind::MinusMinus)) {
+      E = std::make_unique<UnaryExpr>(Loc, UnaryOp::PostDec, std::move(E));
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = advance();
+    return std::make_unique<IntLiteralExpr>(Loc, T.IntValue);
+  }
+  case TokenKind::CharLiteral: {
+    Token T = advance();
+    return std::make_unique<IntLiteralExpr>(Loc, T.IntValue);
+  }
+  case TokenKind::StringLiteral: {
+    Token T = advance();
+    return std::make_unique<StringLiteralExpr>(Loc, T.StrValue);
+  }
+  case TokenKind::KwNull:
+    advance();
+    return std::make_unique<IntLiteralExpr>(Loc, 0, /*IsNull=*/true);
+  case TokenKind::Identifier: {
+    Token Name = advance();
+    if (check(TokenKind::LParen)) {
+      advance();
+      auto Call = std::make_unique<CallExpr>(Loc, Name.Text);
+      if (!check(TokenKind::RParen)) {
+        for (;;) {
+          ExprPtr Arg = parseAssignment();
+          if (!Arg)
+            break;
+          Call->addArg(std::move(Arg));
+          if (!accept(TokenKind::Comma))
+            break;
+        }
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      return Call;
+    }
+    return std::make_unique<VarRefExpr>(Loc, Name.Text);
+  }
+  case TokenKind::LParen: {
+    advance();
+    ExprPtr Inner = parseExpr();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return Inner;
+  }
+  default:
+    Diags.error(Loc, std::string("expected expression, found ") +
+                         tokenKindName(current().Kind));
+    advance();
+    return nullptr;
+  }
+}

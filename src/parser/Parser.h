@@ -1,0 +1,103 @@
+//===- Parser.h - MiniC recursive-descent parser ----------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniC with precedence-climbing expression
+/// parsing and panic-mode error recovery. Produces the AST of src/ast; sema
+/// (src/sema) performs all name/type resolution afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_PARSER_PARSER_H
+#define DART_PARSER_PARSER_H
+
+#include "ast/AST.h"
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticsEngine &Diags);
+
+  /// Parses a whole program. Always returns a tree (possibly partial);
+  /// check Diags.hasErrors() before using it.
+  std::unique_ptr<TranslationUnit> parseTranslationUnit();
+
+  /// Convenience: lex + parse in one step.
+  static std::unique_ptr<TranslationUnit>
+  parse(std::string_view Source, DiagnosticsEngine &Diags);
+
+private:
+  // Token cursor.
+  const Token &peek(unsigned LookAhead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token advance();
+  bool check(TokenKind K) const { return current().is(K); }
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  void synchronizeToDeclBoundary();
+  void synchronizeToStmtBoundary();
+
+  // Types.
+  bool startsType(const Token &Tok) const;
+  /// Parses a type specifier plus pointer declarators ("struct s **").
+  /// Returns null on error.
+  const Type *parseTypeSpecifier();
+  /// Parses trailing array suffixes "[N][M]" onto \p Base.
+  const Type *parseArraySuffixes(const Type *Base);
+
+  // Declarations.
+  void parseTopLevelDecl(TranslationUnit &TU);
+  void parseStructDecl(TranslationUnit &TU);
+  std::unique_ptr<FunctionDecl> parseFunctionRest(const Type *RetTy,
+                                                  SourceLocation Loc,
+                                                  std::string Name);
+
+  // Statements.
+  StmtPtr parseStmt();
+  StmtPtr parseCompoundStmt();
+  StmtPtr parseIfStmt();
+  StmtPtr parseWhileStmt();
+  StmtPtr parseDoWhileStmt();
+  StmtPtr parseForStmt();
+  StmtPtr parseSwitchStmt();
+  StmtPtr parseReturnStmt();
+  /// Parses "type declarator [= init] {, declarator [= init]};" into one or
+  /// more DeclStmts appended to \p Out. Used in blocks.
+  void parseLocalDecl(std::vector<StmtPtr> &Out);
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();           // assignment expression (no comma operator)
+  ExprPtr parseAssignment();
+  ExprPtr parseConditional();
+  ExprPtr parseBinary(int MinPrecedence);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  /// Registers a struct name so `struct foo;` forward refs resolve. Struct
+  /// identity is by name within one translation unit.
+  StructDecl *lookupOrCreateStruct(const std::string &Name,
+                                   SourceLocation Loc);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  DiagnosticsEngine &Diags;
+  TranslationUnit *TU = nullptr;
+  // Owned by the TranslationUnit once parsing finishes; struct decls are
+  // appended to the TU as they are created so forward references work.
+  std::vector<StructDecl *> KnownStructs;
+};
+
+} // namespace dart
+
+#endif // DART_PARSER_PARSER_H

@@ -1,0 +1,1001 @@
+//===- Sema.cpp - MiniC semantic analysis ---------------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Sema.h"
+
+#include "parser/Parser.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace dart;
+
+Sema::Sema(TranslationUnit &TU, DiagnosticsEngine &Diags)
+    : TU(TU), Diags(Diags) {}
+
+const std::vector<std::string> &Sema::builtinNames() {
+  static const std::vector<std::string> Names = {"malloc", "free", "abort",
+                                                 "assert", "exit"};
+  return Names;
+}
+
+static bool isBuiltinName(const std::string &Name) {
+  const auto &Names = Sema::builtinNames();
+  return std::find(Names.begin(), Names.end(), Name) != Names.end();
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 1: top-level collection and struct layout
+//===----------------------------------------------------------------------===//
+
+static unsigned alignUp(unsigned Value, unsigned Align) {
+  return (Value + Align - 1) / Align * Align;
+}
+
+bool Sema::layoutStruct(StructDecl *S, std::vector<StructDecl *> &InProgress) {
+  if (S->isLaidOut())
+    return true;
+  if (std::find(InProgress.begin(), InProgress.end(), S) !=
+      InProgress.end()) {
+    Diags.error(S->loc(), "struct '" + S->name() +
+                              "' recursively contains itself by value");
+    return false;
+  }
+  if (!S->isComplete()) {
+    // Incomplete structs can be pointed at but not laid out; defer the error
+    // to the use site (sizeof / field access / by-value member).
+    return false;
+  }
+  InProgress.push_back(S);
+  unsigned Offset = 0;
+  unsigned MaxAlign = 1;
+  unsigned Index = 0;
+  for (const auto &F : S->fields()) {
+    const Type *FieldTy = F->type();
+    // Struct fields by value need their own layout first.
+    const Type *Probe = FieldTy;
+    while (const auto *A = dyn_cast<ArrayType>(Probe))
+      Probe = A->element();
+    if (const auto *ST = dyn_cast<StructType>(Probe)) {
+      if (!layoutStruct(ST->decl(), InProgress)) {
+        Diags.error(F->loc(), "field '" + F->name() +
+                                  "' has incomplete type '" +
+                                  FieldTy->toString() + "'");
+        InProgress.pop_back();
+        return false;
+      }
+    }
+    unsigned FieldAlign = FieldTy->align();
+    Offset = alignUp(Offset, FieldAlign);
+    F->setOffset(Offset);
+    F->setIndex(Index++);
+    Offset += FieldTy->size();
+    MaxAlign = std::max(MaxAlign, FieldAlign);
+  }
+  InProgress.pop_back();
+  S->setLayout(std::max(alignUp(Offset, MaxAlign), 1u), MaxAlign);
+  return true;
+}
+
+bool Sema::collectTopLevel() {
+  for (const auto &D : TU.decls()) {
+    if (auto *S = dyn_cast<StructDecl>(D.get())) {
+      Structs[S->name()] = S;
+      continue;
+    }
+    if (auto *V = dyn_cast<VarDecl>(D.get())) {
+      if (Globals.count(V->name()))
+        Diags.error(V->loc(),
+                    "redefinition of global '" + V->name() + "'");
+      Globals[V->name()] = V;
+      continue;
+    }
+    if (auto *F = dyn_cast<FunctionDecl>(D.get()))
+      Functions[F->name()].push_back(F);
+  }
+
+  // Lay out all complete structs.
+  std::vector<StructDecl *> InProgress;
+  for (auto &[Name, S] : Structs)
+    if (S->isComplete())
+      layoutStruct(S, InProgress);
+
+  // Resolve each function name to its definition (or first prototype) and
+  // sanity-check redeclarations.
+  for (auto &[Name, Decls] : Functions) {
+    FunctionDecl *Def = nullptr;
+    for (FunctionDecl *F : Decls) {
+      if (!F->hasBody())
+        continue;
+      if (Def)
+        Diags.error(F->loc(), "redefinition of function '" + Name + "'");
+      Def = F;
+    }
+    FunctionDecl *Best = Def ? Def : Decls.front();
+    for (FunctionDecl *F : Decls) {
+      if (F->params().size() != Best->params().size())
+        Diags.warning(F->loc(), "conflicting parameter counts in "
+                                "declarations of '" +
+                                    Name + "'");
+    }
+    FunctionImpl[Name] = Best;
+  }
+  return !Diags.hasErrors();
+}
+
+FunctionDecl *Sema::lookupFunction(const std::string &Name) const {
+  auto It = FunctionImpl.find(Name);
+  return It == FunctionImpl.end() ? nullptr : It->second;
+}
+
+bool Sema::isExternalFunction(const std::string &Name) const {
+  if (isBuiltinName(Name))
+    return false;
+  auto It = FunctionImpl.find(Name);
+  return It != FunctionImpl.end() && !It->second->hasBody();
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+void Sema::pushScope() { Scopes.emplace_back(); }
+void Sema::popScope() { Scopes.pop_back(); }
+
+VarDecl *Sema::lookupVar(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  auto G = Globals.find(Name);
+  return G == Globals.end() ? nullptr : G->second;
+}
+
+void Sema::declareVar(VarDecl *V) {
+  assert(!Scopes.empty() && "no active scope");
+  auto &Scope = Scopes.back();
+  if (Scope.count(V->name()))
+    Diags.error(V->loc(), "redefinition of '" + V->name() + "'");
+  Scope[V->name()] = V;
+}
+
+//===----------------------------------------------------------------------===//
+// Conversions
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Integer conversion rank: char < int == unsigned < long.
+int rank(const Type *T) {
+  switch (T->kind()) {
+  case Type::Kind::Char:
+    return 0;
+  case Type::Kind::Int:
+  case Type::Kind::Unsigned:
+    return 1;
+  case Type::Kind::Long:
+    return 2;
+  default:
+    return -1;
+  }
+}
+} // namespace
+
+const Type *Sema::usualArithmeticType(const Type *A, const Type *B) {
+  TypeContext &Types = TU.types();
+  if (rank(A) == 2 || rank(B) == 2)
+    return Types.longType();
+  if (A->kind() == Type::Kind::Unsigned || B->kind() == Type::Kind::Unsigned)
+    return Types.unsignedType();
+  return Types.intType();
+}
+
+bool Sema::isImplicitlyConvertible(const Type *From, const Type *To,
+                                   const Expr *Value) const {
+  if (From == To)
+    return true;
+  if (From->isInteger() && To->isInteger())
+    return true;
+  if (From->isPointer() && To->isPointer()) {
+    const Type *FromPointee = cast<PointerType>(From)->pointee();
+    const Type *ToPointee = cast<PointerType>(To)->pointee();
+    // void* converts freely in both directions, like C.
+    return FromPointee->isVoid() || ToPointee->isVoid() ||
+           FromPointee == ToPointee;
+  }
+  // Null-pointer constant (NULL or literal 0) converts to any pointer.
+  if (To->isPointer() && From->isInteger()) {
+    if (const auto *L = dyn_cast_or_null<IntLiteralExpr>(Value))
+      return L->value() == 0;
+    return false;
+  }
+  return false;
+}
+
+void Sema::convertTo(ExprPtr &Operand, const Type *To, const char *Context) {
+  assert(Operand && "converting a null expression");
+  const Type *From = Operand->type();
+  if (!From || From == To)
+    return;
+  if (!isImplicitlyConvertible(From, To, Operand.get())) {
+    Diags.error(Operand->loc(), std::string("cannot convert '") +
+                                    From->toString() + "' to '" +
+                                    To->toString() + "' " + Context);
+    return;
+  }
+  SourceLocation Loc = Operand->loc();
+  auto Cast = std::make_unique<CastExpr>(Loc, To, std::move(Operand),
+                                         /*Implicit=*/true);
+  Cast->setType(To);
+  Operand = std::move(Cast);
+}
+
+const Type *Sema::decay(ExprPtr &Operand) {
+  const Type *Ty = Operand->type();
+  if (!Ty)
+    return nullptr;
+  const auto *A = dyn_cast<ArrayType>(Ty);
+  if (!A)
+    return Ty;
+  const Type *PtrTy = TU.types().pointerTo(A->element());
+  SourceLocation Loc = Operand->loc();
+  auto Cast = std::make_unique<CastExpr>(Loc, PtrTy, std::move(Operand),
+                                         /*Implicit=*/true);
+  Cast->setType(PtrTy);
+  Operand = std::move(Cast);
+  return PtrTy;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression checking
+//===----------------------------------------------------------------------===//
+
+const Type *Sema::checkExpr(Expr *E) {
+  if (!E)
+    return nullptr;
+  TypeContext &Types = TU.types();
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral: {
+    auto *L = cast<IntLiteralExpr>(E);
+    if (L->isNullLiteral())
+      E->setType(Types.pointerTo(Types.voidType()));
+    else if (L->value() >= INT32_MIN && L->value() <= INT32_MAX)
+      E->setType(Types.intType());
+    else
+      E->setType(Types.longType());
+    return E->type();
+  }
+  case Expr::Kind::StringLiteral:
+    // String literals evaluate to the address of a fresh read-only array.
+    E->setType(Types.pointerTo(Types.charType()));
+    return E->type();
+  case Expr::Kind::VarRef: {
+    auto *V = cast<VarRefExpr>(E);
+    VarDecl *D = lookupVar(V->name());
+    if (!D) {
+      Diags.error(E->loc(), "use of undeclared identifier '" + V->name() +
+                                "'");
+      E->setType(Types.intType());
+      return nullptr;
+    }
+    V->setDecl(D);
+    E->setType(D->type());
+    E->setLValue(true);
+    return E->type();
+  }
+  case Expr::Kind::Unary:
+    return checkUnary(cast<UnaryExpr>(E));
+  case Expr::Kind::Binary:
+    return checkBinary(cast<BinaryExpr>(E));
+  case Expr::Kind::Assign:
+    return checkAssign(cast<AssignExpr>(E));
+  case Expr::Kind::Call:
+    return checkCall(cast<CallExpr>(E));
+  case Expr::Kind::Index: {
+    auto *I = cast<IndexExpr>(E);
+    checkExpr(I->base());
+    const Type *BaseTy = I->base()->type();
+    // Arrays are indexed in place (no decay) so the lvalue path stays
+    // simple; pointers load then offset.
+    const Type *ElemTy = nullptr;
+    if (const auto *A = dyn_cast_or_null<ArrayType>(BaseTy)) {
+      ElemTy = A->element();
+    } else if (const auto *P = dyn_cast_or_null<PointerType>(BaseTy)) {
+      ElemTy = P->pointee();
+      if (ElemTy->isVoid()) {
+        Diags.error(E->loc(), "cannot index 'void *'");
+        ElemTy = Types.intType();
+      }
+    } else {
+      if (BaseTy)
+        Diags.error(E->loc(), "subscripted value '" + BaseTy->toString() +
+                                  "' is not an array or pointer");
+      ElemTy = Types.intType();
+    }
+    checkExpr(I->index());
+    if (I->index()->type() && !I->index()->type()->isInteger())
+      Diags.error(I->index()->loc(), "array index must be an integer");
+    else if (I->index()->type())
+      convertTo(I->indexRef(), Types.longType(), "in array index");
+    E->setType(ElemTy);
+    E->setLValue(true);
+    return ElemTy;
+  }
+  case Expr::Kind::Member: {
+    auto *M = cast<MemberExpr>(E);
+    checkExpr(M->base());
+    const Type *BaseTy = M->base()->type();
+    const StructType *ST = nullptr;
+    if (M->isArrow()) {
+      if (const auto *P = dyn_cast_or_null<PointerType>(BaseTy))
+        ST = dyn_cast<StructType>(P->pointee());
+      if (!ST && BaseTy)
+        Diags.error(E->loc(), "'->' requires a pointer to struct, got '" +
+                                  BaseTy->toString() + "'");
+    } else {
+      ST = dyn_cast_or_null<StructType>(BaseTy);
+      if (!ST && BaseTy)
+        Diags.error(E->loc(), "'.' requires a struct value, got '" +
+                                  BaseTy->toString() + "'");
+      if (ST && !M->base()->isLValue())
+        Diags.error(E->loc(), "member access on a non-lvalue struct");
+    }
+    if (!ST) {
+      E->setType(Types.intType());
+      return nullptr;
+    }
+    if (!ST->decl()->isComplete()) {
+      Diags.error(E->loc(), "member access into incomplete 'struct " +
+                                ST->decl()->name() + "'");
+      E->setType(Types.intType());
+      return nullptr;
+    }
+    FieldDecl *F = ST->decl()->findField(M->fieldName());
+    if (!F) {
+      Diags.error(E->loc(), "no field '" + M->fieldName() + "' in 'struct " +
+                                ST->decl()->name() + "'");
+      E->setType(Types.intType());
+      return nullptr;
+    }
+    M->setField(F);
+    E->setType(F->type());
+    E->setLValue(true);
+    return F->type();
+  }
+  case Expr::Kind::Cast: {
+    auto *C = cast<CastExpr>(E);
+    checkExpr(C->operand());
+    decay(C->operandRef());
+    const Type *From = C->operand()->type();
+    const Type *To = C->targetType();
+    if (From && !From->isScalar() && From != To)
+      Diags.error(E->loc(), "cannot cast from non-scalar '" +
+                                From->toString() + "'");
+    if (!To->isScalar() && !To->isVoid() && From != To)
+      Diags.error(E->loc(), "cannot cast to non-scalar '" + To->toString() +
+                                "'");
+    E->setType(To);
+    return To;
+  }
+  case Expr::Kind::SizeofType: {
+    auto *S = cast<SizeofTypeExpr>(E);
+    const Type *Queried = S->queriedType();
+    if (const auto *ST = dyn_cast<StructType>(Queried)) {
+      if (!ST->decl()->isLaidOut()) {
+        Diags.error(E->loc(), "sizeof applied to incomplete 'struct " +
+                                  ST->decl()->name() + "'");
+      }
+    }
+    E->setType(Types.longType());
+    return E->type();
+  }
+  case Expr::Kind::Conditional: {
+    auto *C = cast<ConditionalExpr>(E);
+    checkExpr(C->cond());
+    decay(C->condRef());
+    if (C->cond()->type() && !C->cond()->type()->isScalar())
+      Diags.error(C->cond()->loc(), "condition must be scalar");
+    checkExpr(C->thenExpr());
+    checkExpr(C->elseExpr());
+    decay(C->thenRef());
+    decay(C->elseRef());
+    const Type *T1 = C->thenExpr()->type();
+    const Type *T2 = C->elseExpr()->type();
+    const Type *Result = Types.intType();
+    if (T1 && T2) {
+      if (T1 == T2) {
+        Result = T1;
+      } else if (T1->isInteger() && T2->isInteger()) {
+        Result = usualArithmeticType(T1, T2);
+        convertTo(C->thenRef(), Result, "in conditional expression");
+        convertTo(C->elseRef(), Result, "in conditional expression");
+      } else if (T1->isPointer() || T2->isPointer()) {
+        Result = T1->isPointer() ? T1 : T2;
+        convertTo(C->thenRef(), Result, "in conditional expression");
+        convertTo(C->elseRef(), Result, "in conditional expression");
+      } else {
+        Diags.error(E->loc(), "incompatible branches in conditional "
+                              "expression");
+      }
+    }
+    E->setType(Result);
+    return Result;
+  }
+  }
+  return nullptr;
+}
+
+const Type *Sema::checkUnary(UnaryExpr *E) {
+  TypeContext &Types = TU.types();
+  checkExpr(E->operand());
+  const Type *OperandTy = E->operand()->type();
+  if (!OperandTy) {
+    E->setType(Types.intType());
+    return nullptr;
+  }
+  switch (E->op()) {
+  case UnaryOp::Neg:
+  case UnaryOp::BitNot: {
+    if (!OperandTy->isInteger()) {
+      Diags.error(E->loc(), "operand of unary '" +
+                                std::string(unaryOpSpelling(E->op())) +
+                                "' must be an integer");
+      E->setType(Types.intType());
+      return E->type();
+    }
+    const Type *Promoted = usualArithmeticType(OperandTy, Types.intType());
+    convertTo(E->operandRef(), Promoted, "in unary expression");
+    E->setType(Promoted);
+    return Promoted;
+  }
+  case UnaryOp::LogNot:
+    decay(E->operandRef());
+    if (!E->operand()->type()->isScalar())
+      Diags.error(E->loc(), "operand of '!' must be scalar");
+    E->setType(Types.intType());
+    return E->type();
+  case UnaryOp::Deref: {
+    const Type *Decayed = decay(E->operandRef());
+    const auto *P = dyn_cast<PointerType>(Decayed);
+    if (!P) {
+      Diags.error(E->loc(), "cannot dereference non-pointer '" +
+                                Decayed->toString() + "'");
+      E->setType(Types.intType());
+      return E->type();
+    }
+    if (P->pointee()->isVoid()) {
+      Diags.error(E->loc(), "cannot dereference 'void *'");
+      E->setType(Types.intType());
+      return E->type();
+    }
+    E->setType(P->pointee());
+    E->setLValue(true);
+    return E->type();
+  }
+  case UnaryOp::AddrOf:
+    if (!E->operand()->isLValue()) {
+      Diags.error(E->loc(), "cannot take the address of an rvalue");
+      E->setType(Types.pointerTo(Types.intType()));
+      return E->type();
+    }
+    E->setType(Types.pointerTo(OperandTy));
+    return E->type();
+  case UnaryOp::PreInc:
+  case UnaryOp::PreDec:
+  case UnaryOp::PostInc:
+  case UnaryOp::PostDec:
+    if (!E->operand()->isLValue())
+      Diags.error(E->loc(), "operand of increment/decrement must be an "
+                            "lvalue");
+    if (!OperandTy->isScalar())
+      Diags.error(E->loc(), "operand of increment/decrement must be scalar");
+    E->setType(OperandTy);
+    return OperandTy;
+  }
+  return nullptr;
+}
+
+const Type *Sema::checkBinary(BinaryExpr *E) {
+  TypeContext &Types = TU.types();
+  checkExpr(E->lhs());
+  checkExpr(E->rhs());
+  const Type *L = decay(E->lhsRef());
+  const Type *R = decay(E->rhsRef());
+  if (!L || !R) {
+    E->setType(Types.intType());
+    return nullptr;
+  }
+
+  switch (E->op()) {
+  case BinaryOp::LogAnd:
+  case BinaryOp::LogOr:
+    if (!L->isScalar() || !R->isScalar())
+      Diags.error(E->loc(), "operands of '&&'/'||' must be scalar");
+    E->setType(Types.intType());
+    return E->type();
+
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge: {
+    if (L->isPointer() || R->isPointer()) {
+      // Pointer comparison: both pointers (possibly via null constant).
+      const Type *PtrTy = L->isPointer() ? L : R;
+      convertTo(E->lhsRef(), PtrTy, "in pointer comparison");
+      convertTo(E->rhsRef(), PtrTy, "in pointer comparison");
+    } else if (L->isInteger() && R->isInteger()) {
+      const Type *Common = usualArithmeticType(L, R);
+      convertTo(E->lhsRef(), Common, "in comparison");
+      convertTo(E->rhsRef(), Common, "in comparison");
+    } else {
+      Diags.error(E->loc(), "invalid operands to comparison ('" +
+                                L->toString() + "' and '" + R->toString() +
+                                "')");
+    }
+    E->setType(Types.intType());
+    return E->type();
+  }
+
+  case BinaryOp::Add:
+  case BinaryOp::Sub: {
+    // Pointer arithmetic.
+    if (L->isPointer() && R->isInteger()) {
+      convertTo(E->rhsRef(), Types.longType(), "in pointer arithmetic");
+      E->setType(L);
+      return L;
+    }
+    if (E->op() == BinaryOp::Add && L->isInteger() && R->isPointer()) {
+      convertTo(E->lhsRef(), Types.longType(), "in pointer arithmetic");
+      E->setType(R);
+      return R;
+    }
+    if (E->op() == BinaryOp::Sub && L->isPointer() && R->isPointer()) {
+      if (L != R)
+        Diags.error(E->loc(), "subtracting incompatible pointers");
+      E->setType(Types.longType());
+      return E->type();
+    }
+    [[fallthrough]];
+  }
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem:
+  case BinaryOp::Shl:
+  case BinaryOp::Shr:
+  case BinaryOp::BitAnd:
+  case BinaryOp::BitOr:
+  case BinaryOp::BitXor: {
+    if (!L->isInteger() || !R->isInteger()) {
+      Diags.error(E->loc(), std::string("invalid operands to binary '") +
+                                binaryOpSpelling(E->op()) + "' ('" +
+                                L->toString() + "' and '" + R->toString() +
+                                "')");
+      E->setType(Types.intType());
+      return E->type();
+    }
+    const Type *Common = usualArithmeticType(L, R);
+    convertTo(E->lhsRef(), Common, "in arithmetic");
+    // Shift counts keep their own promoted type in C, but using the common
+    // type is simpler and has identical behaviour for in-range counts.
+    convertTo(E->rhsRef(), Common, "in arithmetic");
+    E->setType(Common);
+    return Common;
+  }
+  }
+  return nullptr;
+}
+
+const Type *Sema::checkAssign(AssignExpr *E) {
+  checkExpr(E->target());
+  checkExpr(E->value());
+  const Type *TargetTy = E->target()->type();
+  if (!TargetTy) {
+    E->setType(TU.types().intType());
+    return nullptr;
+  }
+  if (!E->target()->isLValue())
+    Diags.error(E->loc(), "assignment target is not an lvalue");
+  if (TargetTy->isArray())
+    Diags.error(E->loc(), "cannot assign to an array");
+
+  if (E->isCompound()) {
+    // `a op= b` requires scalar target; the operation is typed like
+    // `a op b` in IR lowering.
+    if (!TargetTy->isScalar())
+      Diags.error(E->loc(), "compound assignment needs a scalar target");
+    decay(E->valueRef());
+    const Type *ValueTy = E->value()->type();
+    if (ValueTy && !ValueTy->isInteger() &&
+        !(TargetTy->isPointer() &&
+          (E->compoundOp() == BinaryOp::Add ||
+           E->compoundOp() == BinaryOp::Sub)))
+      Diags.error(E->loc(), "invalid compound assignment operand");
+    E->setType(TargetTy);
+    return TargetTy;
+  }
+
+  if (TargetTy->isStruct()) {
+    // Struct assignment: bytewise copy of identical struct types.
+    if (E->value()->type() != TargetTy)
+      Diags.error(E->loc(), "incompatible struct assignment");
+    E->setType(TargetTy);
+    return TargetTy;
+  }
+
+  decay(E->valueRef());
+  if (E->value()->type())
+    convertTo(E->valueRef(), TargetTy, "in assignment");
+  E->setType(TargetTy);
+  return TargetTy;
+}
+
+const Type *Sema::checkCall(CallExpr *E) {
+  TypeContext &Types = TU.types();
+
+  // Built-in library functions get fixed signatures.
+  const std::string &Name = E->callee();
+  FunctionDecl *Callee = lookupFunction(Name);
+  if (!Callee && isBuiltinName(Name)) {
+    // Synthesize a prototype for the builtin so calls type-check uniformly.
+    auto Proto = std::make_unique<FunctionDecl>(
+        E->loc(), Name,
+        Name == "malloc" ? static_cast<const Type *>(
+                               Types.pointerTo(Types.voidType()))
+                         : Types.voidType());
+    if (Name == "malloc")
+      Proto->addParam(std::make_unique<VarDecl>(E->loc(), "size",
+                                                Types.longType(),
+                                                VarDecl::Storage::Param,
+                                                false, nullptr));
+    else if (Name == "free")
+      Proto->addParam(std::make_unique<VarDecl>(
+          E->loc(), "ptr", Types.pointerTo(Types.voidType()),
+          VarDecl::Storage::Param, false, nullptr));
+    else if (Name == "assert" || Name == "exit")
+      Proto->addParam(std::make_unique<VarDecl>(E->loc(), "v",
+                                                Types.intType(),
+                                                VarDecl::Storage::Param,
+                                                false, nullptr));
+    Callee = Proto.get();
+    Functions[Name].push_back(Callee);
+    FunctionImpl[Name] = Callee;
+    TU.addDecl(std::move(Proto));
+  }
+
+  if (!Callee) {
+    // C implicit declaration: synthesize `extern int name(argtypes...)`.
+    // Such functions are *external functions* for DART (paper §3.1).
+    Diags.warning(E->loc(), "implicit declaration of function '" + Name +
+                                "' (treated as external)");
+    auto Proto =
+        std::make_unique<FunctionDecl>(E->loc(), Name, Types.intType());
+    for (size_t I = 0; I < E->args().size(); ++I) {
+      checkExpr(E->args()[I].get());
+      decay(E->argsRef()[I]);
+      const Type *ArgTy = E->args()[I]->type();
+      Proto->addParam(std::make_unique<VarDecl>(
+          E->loc(), "arg" + std::to_string(I),
+          ArgTy ? ArgTy : Types.intType(), VarDecl::Storage::Param, false,
+          nullptr));
+    }
+    Callee = Proto.get();
+    Functions[Name].push_back(Callee);
+    FunctionImpl[Name] = Callee;
+    TU.addDecl(std::move(Proto));
+    E->setCalleeDecl(Callee);
+    E->setType(Callee->returnType());
+    return E->type();
+  }
+
+  E->setCalleeDecl(Callee);
+  if (E->args().size() != Callee->params().size()) {
+    Diags.error(E->loc(), "call to '" + Name + "' supplies " +
+                              std::to_string(E->args().size()) +
+                              " argument(s), expected " +
+                              std::to_string(Callee->params().size()));
+  }
+  size_t N = std::min(E->args().size(), Callee->params().size());
+  for (size_t I = 0; I < N; ++I) {
+    checkExpr(E->args()[I].get());
+    decay(E->argsRef()[I]);
+    if (E->args()[I]->type())
+      convertTo(E->argsRef()[I], Callee->params()[I]->type(),
+                "in function argument");
+  }
+  for (size_t I = N; I < E->args().size(); ++I)
+    checkExpr(E->args()[I].get());
+  E->setType(Callee->returnType());
+  return E->type();
+}
+
+//===----------------------------------------------------------------------===//
+// Statements and declarations
+//===----------------------------------------------------------------------===//
+
+void Sema::checkVarDecl(VarDecl *V, bool IsGlobal) {
+  const Type *Ty = V->type();
+  if (Ty->isVoid()) {
+    Diags.error(V->loc(), "variable '" + V->name() + "' has type void");
+    return;
+  }
+  if (const auto *ST = dyn_cast<StructType>(Ty)) {
+    if (!ST->decl()->isLaidOut())
+      Diags.error(V->loc(), "variable '" + V->name() +
+                                "' has incomplete type '" + Ty->toString() +
+                                "'");
+  }
+  if (V->isExtern() && V->init())
+    Diags.error(V->loc(), "extern variable '" + V->name() +
+                              "' cannot have an initializer");
+  if (!V->init())
+    return;
+  checkExpr(V->init());
+  decay(V->initRef());
+  if (Ty->isStruct()) {
+    if (V->init()->type() != Ty)
+      Diags.error(V->loc(), "incompatible struct initializer");
+  } else if (Ty->isArray()) {
+    Diags.error(V->loc(), "array initializers are not supported in MiniC");
+  } else if (V->init()->type()) {
+    convertTo(V->initRef(), Ty, "in initializer");
+  }
+  if (IsGlobal) {
+    int64_t Value;
+    if (!foldConstant(V->init(), Value))
+      Diags.error(V->loc(), "global initializer must be a constant "
+                            "expression");
+  }
+}
+
+bool Sema::foldConstant(const Expr *E, int64_t &Out) const {
+  if (const auto *L = dyn_cast<IntLiteralExpr>(E)) {
+    Out = L->value();
+    return true;
+  }
+  if (const auto *S = dyn_cast<SizeofTypeExpr>(E)) {
+    Out = S->queriedType()->size();
+    return true;
+  }
+  if (const auto *C = dyn_cast<CastExpr>(E))
+    return foldConstant(C->operand(), Out);
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    int64_t Inner;
+    if (!foldConstant(U->operand(), Inner))
+      return false;
+    switch (U->op()) {
+    case UnaryOp::Neg:
+      Out = -Inner;
+      return true;
+    case UnaryOp::BitNot:
+      Out = ~Inner;
+      return true;
+    case UnaryOp::LogNot:
+      Out = !Inner;
+      return true;
+    default:
+      return false;
+    }
+  }
+  if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+    int64_t L, R;
+    if (!foldConstant(B->lhs(), L) || !foldConstant(B->rhs(), R))
+      return false;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      Out = L + R;
+      return true;
+    case BinaryOp::Sub:
+      Out = L - R;
+      return true;
+    case BinaryOp::Mul:
+      Out = L * R;
+      return true;
+    case BinaryOp::Div:
+      if (R == 0)
+        return false;
+      Out = L / R;
+      return true;
+    case BinaryOp::Shl:
+      Out = L << (R & 63);
+      return true;
+    case BinaryOp::Shr:
+      Out = L >> (R & 63);
+      return true;
+    case BinaryOp::BitAnd:
+      Out = L & R;
+      return true;
+    case BinaryOp::BitOr:
+      Out = L | R;
+      return true;
+    case BinaryOp::BitXor:
+      Out = L ^ R;
+      return true;
+    default:
+      return false;
+    }
+  }
+  return false;
+}
+
+void Sema::checkStmt(Stmt *S) {
+  if (!S)
+    return;
+  TypeContext &Types = TU.types();
+  switch (S->kind()) {
+  case Stmt::Kind::Compound: {
+    pushScope();
+    for (const auto &Child : cast<CompoundStmt>(S)->body())
+      checkStmt(Child.get());
+    popScope();
+    return;
+  }
+  case Stmt::Kind::Decl: {
+    VarDecl *V = cast<DeclStmt>(S)->var();
+    checkVarDecl(V, /*IsGlobal=*/false);
+    declareVar(V);
+    return;
+  }
+  case Stmt::Kind::Expr:
+    checkExpr(cast<ExprStmt>(S)->expr());
+    return;
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    checkExpr(I->cond());
+    decay(I->condRef());
+    if (I->cond()->type() && !I->cond()->type()->isScalar())
+      Diags.error(I->cond()->loc(), "if condition must be scalar");
+    checkStmt(I->thenStmt());
+    checkStmt(I->elseStmt());
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    checkExpr(W->cond());
+    decay(W->condRef());
+    if (W->cond()->type() && !W->cond()->type()->isScalar())
+      Diags.error(W->cond()->loc(), "while condition must be scalar");
+    ++LoopDepth;
+    ++BreakDepth;
+    checkStmt(W->body());
+    --BreakDepth;
+    --LoopDepth;
+    return;
+  }
+  case Stmt::Kind::DoWhile: {
+    auto *D = cast<DoWhileStmt>(S);
+    ++LoopDepth;
+    ++BreakDepth;
+    checkStmt(D->body());
+    --BreakDepth;
+    --LoopDepth;
+    checkExpr(D->cond());
+    decay(D->condRef());
+    if (D->cond()->type() && !D->cond()->type()->isScalar())
+      Diags.error(D->cond()->loc(), "do-while condition must be scalar");
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    pushScope(); // for-init declarations scope over the whole loop
+    checkStmt(F->init());
+    if (F->cond()) {
+      checkExpr(F->cond());
+      decay(F->condRef());
+      if (F->cond()->type() && !F->cond()->type()->isScalar())
+        Diags.error(F->cond()->loc(), "for condition must be scalar");
+    }
+    if (F->step())
+      checkExpr(F->step());
+    ++LoopDepth;
+    ++BreakDepth;
+    checkStmt(F->body());
+    --BreakDepth;
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case Stmt::Kind::Switch: {
+    auto *Sw = cast<SwitchStmt>(S);
+    checkExpr(Sw->cond());
+    decay(Sw->condRef());
+    if (Sw->cond()->type() && !Sw->cond()->type()->isInteger())
+      Diags.error(Sw->cond()->loc(), "switch condition must be an integer");
+    else if (Sw->cond()->type())
+      convertTo(Sw->condRef(), Types.longType(), "in switch condition");
+    std::set<int64_t> SeenValues;
+    ++BreakDepth;
+    pushScope(); // declarations in case bodies scope over the switch
+    for (auto &Case : Sw->casesRef()) {
+      if (Case.Value && !SeenValues.insert(*Case.Value).second)
+        Diags.error(Case.Loc, "duplicate case value " +
+                                  std::to_string(*Case.Value));
+      for (auto &Child : Case.Body)
+        checkStmt(Child.get());
+    }
+    popScope();
+    --BreakDepth;
+    return;
+  }
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    assert(CurrentFunction && "return outside function");
+    const Type *RetTy = CurrentFunction->returnType();
+    if (R->value()) {
+      if (RetTy->isVoid())
+        Diags.error(R->loc(), "void function '" + CurrentFunction->name() +
+                                  "' cannot return a value");
+      checkExpr(R->value());
+      decay(R->valueRef());
+      if (!RetTy->isVoid() && R->value()->type())
+        convertTo(R->valueRef(), RetTy, "in return statement");
+    } else if (!RetTy->isVoid()) {
+      Diags.error(R->loc(), "non-void function '" + CurrentFunction->name() +
+                                "' must return a value");
+    }
+    (void)Types;
+    return;
+  }
+  case Stmt::Kind::Break:
+    if (BreakDepth == 0)
+      Diags.error(S->loc(), "'break' outside of a loop or switch");
+    return;
+  case Stmt::Kind::Continue:
+    if (LoopDepth == 0)
+      Diags.error(S->loc(), "'continue' outside of a loop");
+    return;
+  case Stmt::Kind::Null:
+    return;
+  }
+}
+
+void Sema::checkFunction(FunctionDecl *F) {
+  CurrentFunction = F;
+  LoopDepth = 0;
+  BreakDepth = 0;
+  pushScope();
+  for (const auto &P : F->params()) {
+    if (P->type()->isVoid())
+      Diags.error(P->loc(), "parameter cannot have type void");
+    if (const auto *ST = dyn_cast<StructType>(P->type()))
+      if (!ST->decl()->isLaidOut())
+        Diags.error(P->loc(), "parameter has incomplete struct type");
+    if (!P->name().empty())
+      declareVar(P.get());
+  }
+  checkStmt(F->body());
+  popScope();
+  CurrentFunction = nullptr;
+}
+
+bool Sema::run() {
+  if (!collectTopLevel())
+    return false;
+  // Check global initializers.
+  for (const auto &D : TU.decls())
+    if (auto *V = dyn_cast<VarDecl>(D.get()))
+      checkVarDecl(V, /*IsGlobal=*/true);
+  // Check every function definition. Iterate by index: checkCall may append
+  // synthesized prototypes to the TU while we walk it.
+  for (size_t I = 0; I < TU.decls().size(); ++I)
+    if (auto *F = dyn_cast<FunctionDecl>(TU.decls()[I].get()))
+      if (F->hasBody())
+        checkFunction(F);
+  return !Diags.hasErrors();
+}
+
+std::unique_ptr<TranslationUnit>
+dart::parseAndCheck(std::string_view Source, DiagnosticsEngine &Diags) {
+  auto TU = Parser::parse(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  Sema S(*TU, Diags);
+  if (!S.run())
+    return nullptr;
+  return TU;
+}

@@ -1,0 +1,118 @@
+//===- Sema.h - MiniC semantic analysis -------------------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for MiniC: struct layout, name resolution, type
+/// checking with C-like implicit conversions, and lvalue analysis. After a
+/// successful run every Expr carries a Type, every VarRefExpr/CallExpr/
+/// MemberExpr is resolved to its declaration, and implicit conversions are
+/// materialized as CastExpr nodes so IR lowering never converts implicitly.
+///
+/// Sema also implements the C "implicit declaration" rule: a call to an
+/// undeclared function synthesizes an extern prototype. This is how DART's
+/// interface extraction (paper §3.1) sees *external functions*: any function
+/// that is declared or called but never defined belongs to the environment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_SEMA_SEMA_H
+#define DART_SEMA_SEMA_H
+
+#include "ast/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+class Sema {
+public:
+  Sema(TranslationUnit &TU, DiagnosticsEngine &Diags);
+
+  /// Runs all analyses. Returns true on success (no errors).
+  bool run();
+
+  /// After run(): the function that implements \p Name, preferring a
+  /// definition over prototypes; null if unknown.
+  FunctionDecl *lookupFunction(const std::string &Name) const;
+
+  /// After run(): true if \p Name is declared/called but never defined and
+  /// is not a registered library builtin — i.e. an *external function* in
+  /// the paper's sense.
+  bool isExternalFunction(const std::string &Name) const;
+
+  /// Names sema treats as built-in library functions (malloc, free, abort,
+  /// assert). These are never classified as external functions.
+  static const std::vector<std::string> &builtinNames();
+
+private:
+  // Pass 1: collect structs/globals/functions, lay out structs.
+  bool collectTopLevel();
+  bool layoutStruct(StructDecl *S, std::vector<StructDecl *> &InProgress);
+
+  // Pass 2: check function bodies.
+  void checkFunction(FunctionDecl *F);
+  void checkStmt(Stmt *S);
+  void checkVarDecl(VarDecl *V, bool IsGlobal);
+
+  /// Type-checks an expression tree in place. Returns the expression's type
+  /// or null on error (error already diagnosed; a best-effort type is still
+  /// set so checking can continue).
+  const Type *checkExpr(Expr *E);
+  const Type *checkUnary(UnaryExpr *E);
+  const Type *checkBinary(BinaryExpr *E);
+  const Type *checkAssign(AssignExpr *E);
+  const Type *checkCall(CallExpr *E);
+
+  // Conversion machinery.
+  const Type *usualArithmeticType(const Type *A, const Type *B);
+  /// Inserts an implicit cast converting \p Operand (an owned child slot) to
+  /// \p To if needed. Diagnoses incompatible conversions at \p Loc.
+  void convertTo(ExprPtr &Operand, const Type *To, const char *Context);
+  bool isImplicitlyConvertible(const Type *From, const Type *To,
+                               const Expr *Value) const;
+  /// Array-to-pointer decay; returns decayed type (and wraps the child in a
+  /// decay cast) when \p Operand has array type.
+  const Type *decay(ExprPtr &Operand);
+
+  // Scope handling.
+  void pushScope();
+  void popScope();
+  VarDecl *lookupVar(const std::string &Name) const;
+  void declareVar(VarDecl *V);
+
+  /// Folds a constant integer expression (for global initializers). Returns
+  /// false if not constant.
+  bool foldConstant(const Expr *E, int64_t &Out) const;
+
+  TranslationUnit &TU;
+  DiagnosticsEngine &Diags;
+
+  std::map<std::string, StructDecl *> Structs;
+  std::map<std::string, VarDecl *> Globals;
+  /// All declarations of each function name, in source order.
+  std::map<std::string, std::vector<FunctionDecl *>> Functions;
+  /// Resolved "best" decl per name (definition preferred).
+  std::map<std::string, FunctionDecl *> FunctionImpl;
+
+  std::vector<std::map<std::string, VarDecl *>> Scopes;
+  FunctionDecl *CurrentFunction = nullptr;
+  unsigned LoopDepth = 0;
+  unsigned BreakDepth = 0; // loops + switches
+
+  friend class ExprChecker;
+};
+
+/// Convenience: parse + analyse a MiniC program. Returns null and fills
+/// \p Diags on any error.
+std::unique_ptr<TranslationUnit>
+parseAndCheck(std::string_view Source, DiagnosticsEngine &Diags);
+
+} // namespace dart
+
+#endif // DART_SEMA_SEMA_H

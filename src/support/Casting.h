@@ -1,0 +1,60 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast helpers ---------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal reimplementation of LLVM's opt-in RTTI. Class hierarchies that
+/// carry a kind discriminator expose `static bool classof(const Base *)` on
+/// each derived class; `isa`, `cast` and `dyn_cast` then work exactly as in
+/// LLVM, without enabling C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_SUPPORT_CASTING_H
+#define DART_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace dart {
+
+/// True if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts the dynamic type matches.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates null input (returns null).
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace dart
+
+#endif // DART_SUPPORT_CASTING_H

@@ -1,0 +1,47 @@
+//===- Diagnostics.cpp - Error and warning collection ---------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace dart;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+std::string Diagnostic::toString() const {
+  return Loc.toString() + ": " + severityName(Severity) + ": " + Message;
+}
+
+void DiagnosticsEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticsEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticsEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticsEngine::toString() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.toString();
+    Out += '\n';
+  }
+  return Out;
+}

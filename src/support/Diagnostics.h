@@ -1,0 +1,64 @@
+//===- Diagnostics.h - Error and warning collection -------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Front-end passes (lexer, parser, sema) report
+/// errors and warnings here instead of aborting, so callers can inspect every
+/// problem in a compilation unit and tests can assert on exact messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_SUPPORT_DIAGNOSTICS_H
+#define DART_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace dart {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported problem: severity, position, and rendered message.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message" in the style of C compilers.
+  std::string toString() const;
+};
+
+/// Accumulates diagnostics for one compilation. Not thread-safe; each
+/// front-end invocation owns one engine.
+class DiagnosticsEngine {
+public:
+  void error(SourceLocation Loc, std::string Message);
+  void warning(SourceLocation Loc, std::string Message);
+  void note(SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics rendered one per line; convenient for test failure
+  /// messages and tool output.
+  std::string toString() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace dart
+
+#endif // DART_SUPPORT_DIAGNOSTICS_H

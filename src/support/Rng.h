@@ -1,0 +1,77 @@
+//===- Rng.h - Deterministic random number generation -----------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based RNG. DART's random testing (paper §2.3 `random()`,
+/// §3.2 `random_bits`, the NULL/allocate coin toss of Fig. 8) must be
+/// reproducible for the experiment tables, so all randomness in the engine
+/// flows through this seeded generator instead of std::random_device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_SUPPORT_RNG_H
+#define DART_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace dart {
+
+/// SplitMix64: tiny, fast, passes BigCrush, and — unlike std::mt19937 —
+/// trivially serializable (the whole state is one u64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Next 64 random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \p NumBits low-order random bits, sign-extended into int64_t the way
+  /// the paper's `random_bits(sizeof(type))` fills a C integer.
+  int64_t nextBits(unsigned NumBits) {
+    assert(NumBits >= 1 && NumBits <= 64 && "bit width out of range");
+    uint64_t Raw = next();
+    if (NumBits == 64)
+      return static_cast<int64_t>(Raw);
+    uint64_t Mask = (uint64_t(1) << NumBits) - 1;
+    uint64_t Val = Raw & Mask;
+    // Sign-extend: the value stored in a C integer of this width.
+    if (Val & (uint64_t(1) << (NumBits - 1)))
+      Val |= ~Mask;
+    return static_cast<int64_t>(Val);
+  }
+
+  /// Uniform value in [0, Bound). Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Fair coin toss (paper Fig. 8: pointer inputs are NULL with p=0.5).
+  bool coinToss() { return next() & 1; }
+
+  uint64_t state() const { return State; }
+  void setState(uint64_t S) { State = S; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace dart
+
+#endif // DART_SUPPORT_RNG_H

@@ -1,0 +1,56 @@
+//===- SourceLocation.h - Source positions for diagnostics -----*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight value types describing positions and ranges in MiniC source
+/// buffers. Line and column are 1-based; a default-constructed location is
+/// invalid and prints as "<unknown>".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_SUPPORT_SOURCELOCATION_H
+#define DART_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace dart {
+
+/// A position in a source buffer (1-based line/column, 0-based offset).
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+  uint32_t Offset = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders as "line:col" or "<unknown>" for invalid locations.
+  std::string toString() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+
+  friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+/// A half-open range [Begin, End) in a source buffer.
+struct SourceRange {
+  SourceLocation Begin;
+  SourceLocation End;
+
+  SourceRange() = default;
+  SourceRange(SourceLocation B, SourceLocation E) : Begin(B), End(E) {}
+  explicit SourceRange(SourceLocation B) : Begin(B), End(B) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace dart
+
+#endif // DART_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,167 @@
+//===- SymExpr.cpp - Symbolic values over program inputs -------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/SymExpr.h"
+
+using namespace dart;
+
+int64_t InputInfo::domainMin() const {
+  if (Kind == InputKind::PointerChoice)
+    return 0;
+  if (!VT.Signed)
+    return 0;
+  switch (VT.SizeBytes) {
+  case 1:
+    return -128;
+  case 4:
+    return INT32_MIN;
+  default:
+    return INT64_MIN;
+  }
+}
+
+int64_t InputInfo::domainMax() const {
+  if (Kind == InputKind::PointerChoice)
+    return 1;
+  if (!VT.Signed) {
+    switch (VT.SizeBytes) {
+    case 1:
+      return 255;
+    case 4:
+      return UINT32_MAX;
+    default:
+      return INT64_MAX; // u64 clipped to the solver's signed range
+    }
+  }
+  switch (VT.SizeBytes) {
+  case 1:
+    return 127;
+  case 4:
+    return INT32_MAX;
+  default:
+    return INT64_MAX;
+  }
+}
+
+namespace {
+
+/// Checked signed arithmetic; false on overflow.
+bool checkedAdd(int64_t A, int64_t B, int64_t &Out) {
+  return !__builtin_add_overflow(A, B, &Out);
+}
+bool checkedMul(int64_t A, int64_t B, int64_t &Out) {
+  return !__builtin_mul_overflow(A, B, &Out);
+}
+
+} // namespace
+
+std::optional<LinearExpr> LinearExpr::add(const LinearExpr &RHS) const {
+  LinearExpr Result = *this;
+  if (!checkedAdd(Result.Constant, RHS.Constant, Result.Constant))
+    return std::nullopt;
+  for (const auto &[Id, C] : RHS.Coeffs) {
+    int64_t &Slot = Result.Coeffs[Id];
+    if (!checkedAdd(Slot, C, Slot))
+      return std::nullopt;
+    if (Slot == 0)
+      Result.Coeffs.erase(Id);
+  }
+  return Result;
+}
+
+std::optional<LinearExpr> LinearExpr::sub(const LinearExpr &RHS) const {
+  std::optional<LinearExpr> NegRHS = RHS.scale(-1);
+  if (!NegRHS)
+    return std::nullopt;
+  return add(*NegRHS);
+}
+
+std::optional<LinearExpr> LinearExpr::scale(int64_t Factor) const {
+  if (Factor == 0)
+    return LinearExpr(0);
+  LinearExpr Result;
+  if (!checkedMul(Constant, Factor, Result.Constant))
+    return std::nullopt;
+  for (const auto &[Id, C] : Coeffs) {
+    int64_t Scaled;
+    if (!checkedMul(C, Factor, Scaled))
+      return std::nullopt;
+    Result.Coeffs[Id] = Scaled;
+  }
+  return Result;
+}
+
+int64_t LinearExpr::evaluate(
+    const std::function<int64_t(InputId)> &ValueOf) const {
+  int64_t Sum = Constant;
+  for (const auto &[Id, C] : Coeffs)
+    Sum += C * ValueOf(Id);
+  return Sum;
+}
+
+std::vector<InputId> LinearExpr::inputs() const {
+  std::vector<InputId> Ids;
+  Ids.reserve(Coeffs.size());
+  for (const auto &[Id, C] : Coeffs) {
+    (void)C;
+    Ids.push_back(Id);
+  }
+  return Ids;
+}
+
+std::string LinearExpr::toString() const {
+  std::string Out;
+  bool First = true;
+  for (const auto &[Id, C] : Coeffs) {
+    if (!First)
+      Out += C >= 0 ? " + " : " - ";
+    else if (C < 0)
+      Out += "-";
+    First = false;
+    int64_t Mag = C < 0 ? -C : C;
+    if (Mag != 1)
+      Out += std::to_string(Mag) + "*";
+    Out += "x" + std::to_string(Id);
+  }
+  if (First)
+    return std::to_string(Constant);
+  if (Constant > 0)
+    Out += " + " + std::to_string(Constant);
+  else if (Constant < 0)
+    Out += " - " + std::to_string(-Constant);
+  return Out;
+}
+
+std::optional<SymPred> SymPred::make(CmpPred Pred, const LinearExpr &L,
+                                     const LinearExpr &R) {
+  std::optional<LinearExpr> Diff = L.sub(R);
+  if (!Diff)
+    return std::nullopt;
+  return SymPred(Pred, std::move(*Diff));
+}
+
+bool SymPred::holds(const std::function<int64_t(InputId)> &ValueOf) const {
+  int64_t V = LHS.evaluate(ValueOf);
+  switch (Pred) {
+  case CmpPred::Eq:
+    return V == 0;
+  case CmpPred::Ne:
+    return V != 0;
+  case CmpPred::Lt:
+    return V < 0;
+  case CmpPred::Le:
+    return V <= 0;
+  case CmpPred::Gt:
+    return V > 0;
+  case CmpPred::Ge:
+    return V >= 0;
+  }
+  return false;
+}
+
+std::string SymPred::toString() const {
+  return LHS.toString() + " " + cmpPredSpelling(Pred) + " 0";
+}

@@ -1,0 +1,181 @@
+//===- SymExpr.h - Symbolic values over program inputs ----------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic values for DART's symbolic memory S. The theory is the paper's:
+/// linear integer arithmetic (DART used lp_solve, §3.3). A symbolic value is
+/// either
+///   - a LinearExpr: sum of coeff*input terms plus a constant, or
+///   - a SymPred: a comparison `LinearExpr <pred> 0`, the image of a C
+///     comparison stored into a variable.
+/// Anything outside this language (products of two non-constants, shifts by
+/// non-constants, ...) is not representable; the concolic evaluator then
+/// falls back to the concrete value and clears `all_linear`, exactly as in
+/// the paper's evaluate_symbolic (Fig. 1).
+///
+/// Inputs are identified by dense InputIds assigned in creation order
+/// (driver initialization first, then external-function returns in
+/// execution order), which keeps identities stable across runs with equal
+/// prefixes — the property compare_and_update_stack relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_SYMBOLIC_SYMEXPR_H
+#define DART_SYMBOLIC_SYMEXPR_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// Dense id of one program input (one scalar cell of M0, or one external
+/// function return).
+using InputId = uint32_t;
+
+/// How an input may be assigned by the solver/driver.
+enum class InputKind {
+  Integer,       // a scalar integer input; domain from its ValType
+  PointerChoice, // the NULL/allocate coin of a pointer input (Fig. 8);
+                 // domain {0, 1}; solvable only with the CUTE-style
+                 // symbolic-pointer extension enabled
+};
+
+/// Registry entry describing one input.
+struct InputInfo {
+  InputKind Kind = InputKind::Integer;
+  ValType VT = ValType::int32();
+  std::string Name; // for reports, e.g. "ac_controller#0.message"
+
+  /// Inclusive solver domain of this input.
+  int64_t domainMin() const;
+  int64_t domainMax() const;
+};
+
+/// A linear integer expression: Const + sum Coeffs[i] * input_i.
+/// Coefficients are never zero (erased on the fly).
+class LinearExpr {
+public:
+  LinearExpr() = default;
+  explicit LinearExpr(int64_t Constant) : Constant(Constant) {}
+
+  static LinearExpr variable(InputId Id) {
+    LinearExpr E;
+    E.Coeffs[Id] = 1;
+    return E;
+  }
+
+  bool isConstant() const { return Coeffs.empty(); }
+  int64_t constant() const { return Constant; }
+  const std::map<InputId, int64_t> &coeffs() const { return Coeffs; }
+  int64_t coeff(InputId Id) const {
+    auto It = Coeffs.find(Id);
+    return It == Coeffs.end() ? 0 : It->second;
+  }
+
+  /// All arithmetic is overflow-checked; nullopt means the result left the
+  /// safely representable range and the caller must fall back to concrete.
+  std::optional<LinearExpr> add(const LinearExpr &RHS) const;
+  std::optional<LinearExpr> sub(const LinearExpr &RHS) const;
+  std::optional<LinearExpr> scale(int64_t Factor) const;
+  std::optional<LinearExpr> negate() const { return scale(-1); }
+
+  /// Evaluates under an assignment of inputs (missing inputs read as 0).
+  int64_t evaluate(const std::function<int64_t(InputId)> &ValueOf) const;
+
+  /// Ids of the symbolic variables occurring in this expression.
+  std::vector<InputId> inputs() const;
+
+  std::string toString() const;
+
+  friend bool operator==(const LinearExpr &A, const LinearExpr &B) {
+    return A.Constant == B.Constant && A.Coeffs == B.Coeffs;
+  }
+
+private:
+  std::map<InputId, int64_t> Coeffs;
+  int64_t Constant = 0;
+};
+
+/// A predicate `LHS <pred> 0` over inputs, e.g. `x0 - y0 == 0`. This is the
+/// path-constraint element of the paper (§2.1): each conditional statement
+/// with a symbolic condition contributes one SymPred (or its negation).
+struct SymPred {
+  CmpPred Pred = CmpPred::Eq;
+  LinearExpr LHS;
+
+  SymPred() = default;
+  SymPred(CmpPred Pred, LinearExpr LHS) : Pred(Pred), LHS(std::move(LHS)) {}
+
+  /// Builds `L <pred> R` as `L - R <pred> 0`; nullopt on overflow.
+  static std::optional<SymPred> make(CmpPred Pred, const LinearExpr &L,
+                                     const LinearExpr &R);
+
+  SymPred negated() const { return SymPred(negateCmpPred(Pred), LHS); }
+
+  bool holds(const std::function<int64_t(InputId)> &ValueOf) const;
+
+  /// True if no symbolic variable occurs (the predicate is decided).
+  bool isConstant() const { return LHS.isConstant(); }
+
+  std::vector<InputId> inputs() const { return LHS.inputs(); }
+
+  std::string toString() const;
+
+  friend bool operator==(const SymPred &A, const SymPred &B) {
+    return A.Pred == B.Pred && A.LHS == B.LHS;
+  }
+};
+
+/// What the symbolic memory S stores for one scalar cell.
+class SymValue {
+public:
+  enum class Kind { Linear, Pred };
+
+  /* implicit */ SymValue(LinearExpr E)
+      : K(Kind::Linear), Lin(std::move(E)) {}
+  /* implicit */ SymValue(SymPred P) : K(Kind::Pred), Pred(std::move(P)) {}
+
+  Kind kind() const { return K; }
+  bool isLinear() const { return K == Kind::Linear; }
+  bool isPred() const { return K == Kind::Pred; }
+
+  const LinearExpr &linear() const {
+    assert(isLinear());
+    return Lin;
+  }
+  const SymPred &pred() const {
+    assert(isPred());
+    return Pred;
+  }
+
+  /// True if the value mentions no input (purely concrete).
+  bool isConstant() const {
+    return isLinear() ? Lin.isConstant() : Pred.isConstant();
+  }
+
+  std::vector<InputId> inputs() const {
+    return isLinear() ? Lin.inputs() : Pred.inputs();
+  }
+
+  std::string toString() const {
+    return isLinear() ? Lin.toString() : Pred.toString();
+  }
+
+private:
+  Kind K;
+  LinearExpr Lin;
+  SymPred Pred;
+};
+
+} // namespace dart
+
+#endif // DART_SYMBOLIC_SYMEXPR_H

@@ -1,0 +1,687 @@
+//===- MiniSip.cpp - §4.3 oSIP-substitute workload --------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// miniSIP: a SIP-message library written in MiniC that reproduces the
+// defect pattern DART exposed in oSIP 2.0.9 (paper §4.3):
+//
+//  - ~90 exported functions over sip_param/sip_uri/sip_via/sip_header/
+//    sip_message structures;
+//  - most functions dereference pointer arguments without checking for
+//    NULL — some check consistently, some check one argument but not the
+//    other, some check NULL but then walk unbounded strings;
+//  - the parser path contains the paper's headline flaw: a large incoming
+//    message makes the internal allocation fail, the unchecked NULL is
+//    handed to a helper, and the library crashes — remotely triggerable
+//    by message size alone (fixed in sip_receive_fixed, mirroring oSIP
+//    2.2.0's fix).
+//
+// The audit experiment (bench/bench_osip) runs DART on every exported
+// function with a 1000-run budget, reproducing the "65% of functions
+// crash" result shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace dart;
+
+std::string workloads::miniSipSource() {
+  return R"(
+/* ======================================================================== *
+ * miniSIP - a small SIP message library (oSIP-like defect pattern)
+ * ======================================================================== */
+
+/* ---- structures --------------------------------------------------------- */
+
+struct sip_param {
+  char *name;
+  char *value;
+  struct sip_param *next;
+};
+
+struct sip_uri {
+  char *scheme;
+  char *user;
+  char *host;
+  int port;
+  struct sip_param *params;
+};
+
+struct sip_via {
+  char *protocol;
+  char *host;
+  int port;
+  int ttl;
+  struct sip_via *next;
+};
+
+struct sip_header {
+  char *name;
+  char *value;
+  struct sip_header *next;
+};
+
+struct sip_message {
+  int is_request;
+  int status_code;
+  char *method;
+  struct sip_uri *req_uri;
+  struct sip_header *headers;
+  struct sip_via *vias;
+  char *body;
+  long body_len;
+};
+
+/* ---- string helpers (unguarded: crash on NULL / short buffers) ---------- */
+
+long sip_strlen(char *s) {
+  long n = 0;
+  while (s[n] != 0)
+    n = n + 1;
+  return n;
+}
+
+int sip_strcmp(char *a, char *b) {
+  long i = 0;
+  while (a[i] != 0 && b[i] != 0) {
+    if (a[i] != b[i])
+      return a[i] - b[i];
+    i = i + 1;
+  }
+  return a[i] - b[i];
+}
+
+void sip_strcpy(char *dst, char *src) {
+  long i = 0;
+  while (src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = 0;
+}
+
+char *sip_strdup(char *s) {
+  long n = sip_strlen(s);
+  char *d = (char *)malloc(n + 1);
+  if (d == NULL)
+    return NULL;
+  sip_strcpy(d, s);
+  return d;
+}
+
+int sip_atoi(char *s) {
+  int v = 0;
+  long i = 0;
+  int sign = 1;
+  if (s[0] == '-') {
+    sign = -1;
+    i = 1;
+  }
+  while (s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  return v * sign;
+}
+
+int sip_is_digit(int c) { return c >= '0' && c <= '9'; }
+int sip_is_alpha(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+int sip_is_token_char(int c) {
+  return sip_is_digit(c) || sip_is_alpha(c) || c == '-' || c == '.' ||
+         c == '_';
+}
+
+void sip_buffer_copy(char *dst, char *src, long n) {
+  long i = 0;
+  while (i < n) {
+    dst[i] = src[i]; /* crashes when dst is NULL (failed allocation) */
+    i = i + 1;
+  }
+}
+
+/* ---- sip_param ----------------------------------------------------------- */
+
+struct sip_param *sip_param_new(void) {
+  struct sip_param *p = (struct sip_param *)malloc(sizeof(struct sip_param));
+  if (p == NULL)
+    return NULL;
+  p->name = NULL;
+  p->value = NULL;
+  p->next = NULL;
+  return p;
+}
+
+void sip_param_free(struct sip_param *p) { free(p); }
+
+char *sip_param_get_name(struct sip_param *p) { return p->name; }
+char *sip_param_get_value(struct sip_param *p) { return p->value; }
+void sip_param_set_name(struct sip_param *p, char *n) { p->name = n; }
+void sip_param_set_value(struct sip_param *p, char *v) { p->value = v; }
+
+int sip_param_has_value(struct sip_param *p) {
+  if (p == NULL)
+    return 0;
+  return p->value != NULL; /* consistently guarded */
+}
+
+int sip_param_matches(struct sip_param *p, char *name) {
+  return sip_strcmp(p->name, name) == 0; /* two unchecked dereferences */
+}
+
+long sip_param_list_length(struct sip_param *p) {
+  long n = 0;
+  while (p != NULL) { /* guarded walk: safe */
+    n = n + 1;
+    p = p->next;
+  }
+  return n;
+}
+
+struct sip_param *sip_param_list_find(struct sip_param *p, char *name) {
+  while (p != NULL) {
+    if (sip_param_matches(p, name)) /* crashes via callee on NULL name */
+      return p;
+    p = p->next;
+  }
+  return NULL;
+}
+
+struct sip_param *sip_param_list_tail(struct sip_param *p) {
+  while (p->next != NULL) /* unguarded head */
+    p = p->next;
+  return p;
+}
+
+void sip_param_list_append(struct sip_param *list, struct sip_param *p) {
+  struct sip_param *tail = sip_param_list_tail(list);
+  tail->next = p;
+}
+
+void sip_param_list_free(struct sip_param *p) {
+  while (p != NULL) { /* guarded: safe */
+    struct sip_param *next = p->next;
+    free(p);
+    p = next;
+  }
+}
+
+int sip_param_list_position(struct sip_param *list, struct sip_param *p) {
+  int i = 0;
+  while (list != NULL) {
+    if (list == p) /* pointer comparison: safe */
+      return i;
+    i = i + 1;
+    list = list->next;
+  }
+  return -1;
+}
+
+/* ---- sip_uri -------------------------------------------------------------- */
+
+struct sip_uri *sip_uri_new(void) {
+  struct sip_uri *u = (struct sip_uri *)malloc(sizeof(struct sip_uri));
+  if (u == NULL)
+    return NULL;
+  u->scheme = NULL;
+  u->user = NULL;
+  u->host = NULL;
+  u->port = 0;
+  u->params = NULL;
+  return u;
+}
+
+void sip_uri_free(struct sip_uri *u) {
+  if (u == NULL)
+    return;
+  sip_param_list_free(u->params);
+  free(u);
+}
+
+char *sip_uri_get_scheme(struct sip_uri *u) { return u->scheme; }
+char *sip_uri_get_user(struct sip_uri *u) { return u->user; }
+char *sip_uri_get_host(struct sip_uri *u) { return u->host; }
+int sip_uri_get_port(struct sip_uri *u) { return u->port; }
+void sip_uri_set_scheme(struct sip_uri *u, char *s) { u->scheme = s; }
+void sip_uri_set_user(struct sip_uri *u, char *s) { u->user = s; }
+void sip_uri_set_host(struct sip_uri *u, char *s) { u->host = s; }
+void sip_uri_set_port(struct sip_uri *u, int p) { u->port = p; }
+
+int sip_uri_is_secure(struct sip_uri *u) {
+  /* guarded pointer, then walks the scheme string: crashes on a short
+     buffer even though the NULL check is present (oSIP's inconsistent
+     pattern) */
+  if (u == NULL)
+    return 0;
+  return sip_strcmp(u->scheme, "sips") == 0;
+}
+
+int sip_uri_has_user(struct sip_uri *u) {
+  if (u == NULL)
+    return 0;
+  return u->user != NULL; /* consistently guarded */
+}
+
+int sip_uri_port_or_default(struct sip_uri *u) {
+  if (u == NULL)
+    return 5060;
+  if (u->port == 0)
+    return 5060;
+  return u->port;
+}
+
+int sip_uri_equal(struct sip_uri *a, struct sip_uri *b) {
+  if (a->port != b->port) /* unguarded */
+    return 0;
+  if (sip_strcmp(a->host, b->host) != 0)
+    return 0;
+  return 1;
+}
+
+struct sip_uri *sip_uri_clone(struct sip_uri *u) {
+  struct sip_uri *c = sip_uri_new();
+  if (c == NULL)
+    return NULL;
+  c->scheme = u->scheme; /* unguarded source */
+  c->user = u->user;
+  c->host = u->host;
+  c->port = u->port;
+  return c;
+}
+
+void sip_uri_add_param(struct sip_uri *u, struct sip_param *p) {
+  if (u->params == NULL) { /* unguarded u */
+    u->params = p;
+    return;
+  }
+  sip_param_list_append(u->params, p);
+}
+
+struct sip_param *sip_uri_find_param(struct sip_uri *u, char *name) {
+  return sip_param_list_find(u->params, name); /* unguarded u */
+}
+
+long sip_uri_param_count(struct sip_uri *u) {
+  if (u == NULL)
+    return 0;
+  return sip_param_list_length(u->params); /* safe */
+}
+
+/* ---- sip_via -------------------------------------------------------------- */
+
+struct sip_via *sip_via_new(void) {
+  struct sip_via *v = (struct sip_via *)malloc(sizeof(struct sip_via));
+  if (v == NULL)
+    return NULL;
+  v->protocol = NULL;
+  v->host = NULL;
+  v->port = 0;
+  v->ttl = 0;
+  v->next = NULL;
+  return v;
+}
+
+void sip_via_free(struct sip_via *v) { free(v); }
+
+char *sip_via_get_host(struct sip_via *v) { return v->host; }
+int sip_via_get_port(struct sip_via *v) { return v->port; }
+void sip_via_set_host(struct sip_via *v, char *h) { v->host = h; }
+void sip_via_set_port(struct sip_via *v, int p) { v->port = p; }
+
+int sip_via_get_ttl(struct sip_via *v) {
+  if (v == NULL)
+    return -1;
+  return v->ttl; /* consistently guarded */
+}
+
+void sip_via_set_ttl(struct sip_via *v, int ttl) {
+  if (v == NULL)
+    return;
+  if (ttl < 0)
+    ttl = 0;
+  if (ttl > 255)
+    ttl = 255;
+  v->ttl = ttl; /* consistently guarded */
+}
+
+long sip_via_chain_length(struct sip_via *v) {
+  long n = 0;
+  while (v != NULL) { /* safe */
+    n = n + 1;
+    v = v->next;
+  }
+  return n;
+}
+
+struct sip_via *sip_via_chain_last(struct sip_via *v) {
+  while (v->next != NULL) /* unguarded */
+    v = v->next;
+  return v;
+}
+
+int sip_via_uses_udp(struct sip_via *v) {
+  return sip_strcmp(v->protocol, "UDP") == 0; /* unguarded x2 */
+}
+
+int sip_via_port_valid(struct sip_via *v) {
+  if (v == NULL)
+    return 0;
+  return v->port > 0 && v->port < 65536; /* safe */
+}
+
+int sip_via_avg_hop_budget(struct sip_via *v, int hops) {
+  if (v == NULL)
+    return 0;
+  return v->ttl / hops; /* division by zero for hops == 0 */
+}
+
+/* ---- sip_header ------------------------------------------------------------ */
+
+struct sip_header *sip_header_new(void) {
+  struct sip_header *h =
+      (struct sip_header *)malloc(sizeof(struct sip_header));
+  if (h == NULL)
+    return NULL;
+  h->name = NULL;
+  h->value = NULL;
+  h->next = NULL;
+  return h;
+}
+
+void sip_header_free(struct sip_header *h) { free(h); }
+
+char *sip_header_get_name(struct sip_header *h) { return h->name; }
+char *sip_header_get_value(struct sip_header *h) { return h->value; }
+void sip_header_set_name(struct sip_header *h, char *n) { h->name = n; }
+void sip_header_set_value(struct sip_header *h, char *v) { h->value = v; }
+
+int sip_header_name_is(struct sip_header *h, char *name) {
+  return sip_strcmp(h->name, name) == 0; /* unguarded */
+}
+
+long sip_header_count(struct sip_header *h) {
+  long n = 0;
+  while (h != NULL) { /* safe */
+    n = n + 1;
+    h = h->next;
+  }
+  return n;
+}
+
+struct sip_header *sip_header_find(struct sip_header *h, char *name) {
+  while (h != NULL) {
+    if (sip_header_name_is(h, name)) /* crashes via callee */
+      return h;
+    h = h->next;
+  }
+  return NULL;
+}
+
+struct sip_header *sip_header_nth(struct sip_header *h, int n) {
+  int i = 0;
+  while (h != NULL) { /* safe */
+    if (i == n)
+      return h;
+    i = i + 1;
+    h = h->next;
+  }
+  return NULL;
+}
+
+int sip_header_value_empty(struct sip_header *h) {
+  if (h == NULL)
+    return 1;
+  if (h->value == NULL)
+    return 1;
+  return h->value[0] == 0; /* consistently guarded, touches only [0] */
+}
+
+void sip_header_chain_push(struct sip_header *list, struct sip_header *h) {
+  while (list->next != NULL) /* unguarded */
+    list = list->next;
+  list->next = h;
+}
+
+/* ---- sip_message ------------------------------------------------------------ */
+
+struct sip_message *sip_message_new(void) {
+  struct sip_message *m =
+      (struct sip_message *)malloc(sizeof(struct sip_message));
+  if (m == NULL)
+    return NULL;
+  m->is_request = 0;
+  m->status_code = 0;
+  m->method = NULL;
+  m->req_uri = NULL;
+  m->headers = NULL;
+  m->vias = NULL;
+  m->body = NULL;
+  m->body_len = 0;
+  return m;
+}
+
+void sip_message_free(struct sip_message *m) {
+  if (m == NULL)
+    return;
+  sip_uri_free(m->req_uri);
+  free(m);
+}
+
+int sip_message_is_request(struct sip_message *m) { return m->is_request; }
+int sip_message_get_status(struct sip_message *m) { return m->status_code; }
+char *sip_message_get_method(struct sip_message *m) { return m->method; }
+
+void sip_message_set_status(struct sip_message *m, int code) {
+  if (m == NULL)
+    return;
+  if (code < 100 || code > 699)
+    return;
+  m->status_code = code; /* consistently guarded */
+}
+
+int sip_message_is_invite(struct sip_message *m) {
+  return sip_strcmp(m->method, "INVITE") == 0; /* unguarded x2 */
+}
+
+int sip_message_is_response(struct sip_message *m) {
+  if (m == NULL)
+    return 0;
+  return m->is_request == 0; /* safe */
+}
+
+struct sip_header *sip_message_get_header(struct sip_message *m,
+                                          char *name) {
+  return sip_header_find(m->headers, name); /* unguarded m */
+}
+
+void sip_message_add_header(struct sip_message *m, struct sip_header *h) {
+  if (m->headers == NULL) { /* unguarded m */
+    m->headers = h;
+    return;
+  }
+  sip_header_chain_push(m->headers, h);
+}
+
+long sip_message_header_count(struct sip_message *m) {
+  if (m == NULL)
+    return 0;
+  return sip_header_count(m->headers); /* safe */
+}
+
+struct sip_via *sip_message_top_via(struct sip_message *m) {
+  return m->vias; /* unguarded */
+}
+
+void sip_message_push_via(struct sip_message *m, struct sip_via *v) {
+  v->next = m->vias; /* unguarded both */
+  m->vias = v;
+}
+
+long sip_message_via_count(struct sip_message *m) {
+  if (m == NULL)
+    return 0;
+  return sip_via_chain_length(m->vias); /* safe */
+}
+
+int sip_message_has_body(struct sip_message *m) {
+  if (m == NULL)
+    return 0;
+  return m->body != NULL && m->body_len > 0; /* safe */
+}
+
+long sip_message_content_length(struct sip_message *m) {
+  return m->body_len; /* unguarded */
+}
+
+int sip_message_check_transaction(struct sip_message *m, int branch) {
+  if (m->status_code == 0) /* unguarded */
+    return 0;
+  return (m->status_code + branch) % 100;
+}
+
+/* ---- request-line / token scanning over real buffers ---------------------- */
+
+long sip_token_length(char *s, long limit) {
+  long i = 0;
+  if (s == NULL)
+    return 0;
+  while (i < limit && sip_is_token_char(s[i]))
+    i = i + 1;
+  return i;
+}
+
+int sip_method_code(char *s) {
+  /* classify by first character; touches only s[0]/s[1]: crashes only on
+     NULL */
+  if (s[0] == 'I')
+    return 1; /* INVITE */
+  if (s[0] == 'A')
+    return 2; /* ACK */
+  if (s[0] == 'B')
+    return 3; /* BYE */
+  if (s[0] == 'C')
+    return 4; /* CANCEL */
+  if (s[0] == 'R')
+    return 5; /* REGISTER */
+  return 0;
+}
+
+int sip_status_class(int code) {
+  if (code < 100 || code > 699)
+    return 0;
+  return code / 100; /* pure integer function: safe */
+}
+
+int sip_response_retryable(int code) {
+  if (code == 408 || code == 480 || code == 503)
+    return 1;
+  return 0; /* safe */
+}
+
+int sip_cseq_compare(int a, int b) {
+  if (a < b)
+    return -1;
+  if (a > b)
+    return 1;
+  return 0; /* safe */
+}
+
+unsigned sip_branch_hash(unsigned seed, int value) {
+  unsigned h = seed;
+  h = h * 31u + (unsigned)value;
+  h = h ^ (h >> 7);
+  return h; /* safe */
+}
+
+int sip_port_from_string(char *s) {
+  int p;
+  if (s == NULL)
+    return -1;
+  p = sip_atoi(s); /* NULL-guarded but walks the buffer: short-buffer OOB */
+  if (p < 0 || p > 65535)
+    return -1;
+  return p;
+}
+
+/* ---- the parser path (the paper's oSIP attack, §4.3) ----------------------- */
+
+/* Receive a message of `len` bytes. The original code copies the packet
+   into freshly allocated memory without checking the allocation result —
+   a message larger than the allocator can serve crashes the stack
+   (remotely triggerable by size alone). */
+int sip_receive(char *pkt, long len) {
+  char *work;
+  if (pkt == NULL)
+    return -1;
+  if (len <= 0)
+    return -1;
+  work = (char *)malloc(len + 1); /* BUG: result never checked */
+  work[0] = 0;                    /* crash: NULL + 0 write when malloc failed */
+  sip_buffer_copy(work, pkt, 1);  /* (copy of the first byte suffices here) */
+  work[len] = 0;
+  free(work);
+  return 0;
+}
+
+/* The oSIP 2.2.0 fix: check the allocation. */
+int sip_receive_fixed(char *pkt, long len) {
+  char *work;
+  if (pkt == NULL)
+    return -1;
+  if (len <= 0)
+    return -1;
+  work = (char *)malloc(len + 1);
+  if (work == NULL)
+    return -2; /* allocation failure reported, not dereferenced */
+  work[0] = 0;
+  sip_buffer_copy(work, pkt, 1);
+  work[len] = 0;
+  free(work);
+  return 0;
+}
+
+/* A higher-level entry: classify a packet's first byte. */
+int sip_packet_kind(char *pkt, long len) {
+  if (len < 1)
+    return 0;
+  if (pkt[0] == 'S') /* unguarded pkt */
+    return 2;        /* response: "SIP/2.0 ..." */
+  if (sip_is_alpha(pkt[0]))
+    return 1; /* request */
+  return 0;
+}
+
+/* Session-level helpers ------------------------------------------------------ */
+
+int sip_dialog_match(struct sip_message *a, struct sip_message *b) {
+  if (a == NULL || b == NULL)
+    return 0;
+  if (a->status_code != b->status_code)
+    return 0;
+  return 1; /* safe */
+}
+
+int sip_auth_check(struct sip_message *m, int secret) {
+  /* input filter followed by unguarded use: classic DART target */
+  if (m == NULL)
+    return 0;
+  if (secret != 42424242)
+    return 0;
+  return sip_strcmp(m->method, "REGISTER") == 0; /* method unchecked */
+}
+
+long sip_body_checksum(struct sip_message *m) {
+  long sum = 0;
+  long i = 0;
+  while (i < m->body_len) { /* unguarded m; body may be short: OOB */
+    sum = sum + m->body[i];
+    i = i + 1;
+  }
+  return sum;
+}
+)";
+}

@@ -1,0 +1,283 @@
+//===- NeedhamSchroeder.cpp - §4.2 protocol workload ------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// A MiniC implementation of the Needham-Schroeder public-key authentication
+// protocol in the style the paper describes (§4.2): one process simulating
+// both the initiator A and the responder B; agent ids, keys, addresses and
+// nonces are integers; an incoming message is a tuple of integers; an
+// assertion fires exactly when Lowe's attack has happened (B completes a
+// session believing it talks to A although A never initiated with B).
+//
+// Encryption model: a message (key, d1, d2, d3) is `{d1, d2, d3}` encrypted
+// with the public key of agent `key`. Only agent `key` processes it; the
+// Dolev-Yao intruder can read those addressed to I (key == AGENT_I).
+//
+// Intruder models:
+//  - possibilistic (paper Fig. 9): the environment may deliver any tuple —
+//    DART's most general environment, as strong as guessing secrets;
+//  - Dolev-Yao (paper Fig. 10): an input filter accepts only messages the
+//    intruder can derive — composed from atoms it knows, or verbatim
+//    replays of ciphertexts it observed on the network.
+//
+// Session start: in the possibilistic variant A sends its first message at
+// initialization; in the Dolev-Yao variant A starts when it receives any
+// message while idle (the paper's depth-4 trace counts A's first send as
+// depth 1). This matches the respective tables: the attack needs depth 2
+// (possibilistic) and depth 4 (Dolev-Yao).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace dart;
+
+std::string workloads::needhamSchroederSource(const NsConfig &Config) {
+  std::string Src;
+
+  Src += R"(
+/* ---- agents and constants --------------------------------------------- */
+int AGENT_A = 1;
+int AGENT_B = 2;
+int AGENT_I = 3; /* the intruder; A is willing to talk to it */
+
+int NONCE_A = 1001;
+int NONCE_B = 2002;
+int NONCE_I = 3003;
+
+/* ---- protocol state ---------------------------------------------------- */
+/* initiator A */
+int a_state = 0;  /* 0: idle, 1: sent msg1, awaiting msg2, 2: done */
+int a_peer = 0;   /* whom A is running its session with */
+int a_started_with_b = 0;
+
+/* responder B */
+int b_state = 0;  /* 0: awaiting msg1, 1: sent msg2, awaiting msg3,
+                     2: session established */
+int b_peer = 0;   /* whom B believes it is talking to */
+int b_nonce_recv = 0;
+int b_nonce_sent = 0;
+
+/* network statistics (outputs are visible on the wire) */
+int msgs_sent = 0;
+)";
+
+  if (Config.DolevYao) {
+    Src += R"(
+/* ---- Dolev-Yao intruder knowledge -------------------------------------- */
+/* atoms the intruder knows (can place into composed messages) */
+int known_atoms[24];
+int known_count = 0;
+
+/* ciphertexts observed on the wire (can be replayed verbatim) */
+int seen_key[16];
+int seen_d1[16];
+int seen_d2[16];
+int seen_d3[16];
+int seen_count = 0;
+
+int dy_knows(int v) {
+  int i;
+  for (i = 0; i < known_count; i++)
+    if (known_atoms[i] == v)
+      return 1;
+  return 0;
+}
+
+void dy_learn(int v) {
+  if (dy_knows(v))
+    return;
+  if (known_count < 24) {
+    known_atoms[known_count] = v;
+    known_count = known_count + 1;
+  }
+}
+
+void dy_record(int key, int d1, int d2, int d3) {
+  if (seen_count < 16) {
+    seen_key[seen_count] = key;
+    seen_d1[seen_count] = d1;
+    seen_d2[seen_count] = d2;
+    seen_d3[seen_count] = d3;
+    seen_count = seen_count + 1;
+  }
+}
+
+/* the intruder observes every message on the wire */
+void dy_observe(int key, int d1, int d2, int d3) {
+  if (key == AGENT_I) {
+    /* addressed to the intruder: decrypt, learn the payload */
+    dy_learn(d1);
+    dy_learn(d2);
+    dy_learn(d3);
+  } else {
+    /* opaque ciphertext: can only be replayed */
+    dy_record(key, d1, d2, d3);
+  }
+}
+
+/* can the intruder produce this message? (compose-or-replay) */
+int dy_can_send(int key, int d1, int d2, int d3) {
+  int i;
+  /* public keys are public: encrypting to anyone is free, but every
+     payload atom must be known (an absent third field is free) */
+  if (dy_knows(d1) && dy_knows(d2) && (d3 == 0 || dy_knows(d3)))
+    return 1;
+  /* or replay an observed ciphertext verbatim */
+  for (i = 0; i < seen_count; i++)
+    if (seen_key[i] == key && seen_d1[i] == d1 && seen_d2[i] == d2 &&
+        seen_d3[i] == d3)
+      return 1;
+  return 0;
+}
+
+void dy_init(void) {
+  /* Keep the intruder's initial knowledge minimal: the paper tuned its
+     intruder model to "the smallest state space we could get" (§4.2).
+     Everything Lowe's attack composes uses only 0, the name A, and the
+     nonces the intruder learns along the way. */
+  dy_learn(0);
+  dy_learn(AGENT_A);
+}
+)";
+  }
+
+  // Network send: both variants log the message; DY also feeds knowledge.
+  Src += R"(
+/* ---- wire --------------------------------------------------------------- */
+void net_send(int key, int d1, int d2, int d3) {
+  msgs_sent = msgs_sent + 1;
+)";
+  if (Config.DolevYao)
+    Src += "  dy_observe(key, d1, d2, d3);\n";
+  Src += "}\n";
+
+  // A's session start: msg1 = {Na, A}K_peer to the intruder.
+  Src += R"(
+/* ---- initiator A -------------------------------------------------------- */
+void a_start_session(int peer) {
+  a_peer = peer;
+  if (peer == AGENT_B)
+    a_started_with_b = 1;
+  /* Step 1: A -> peer : {Na, A}K_peer */
+  net_send(peer, NONCE_A, AGENT_A, 0);
+  a_state = 1;
+}
+
+void a_receive(int d1, int d2, int d3) {
+)";
+  if (!Config.DolevYao) {
+    Src += R"(  if (a_state == 0)
+    return; /* session started at init */
+)";
+  } else {
+    Src += R"(  if (a_state == 0) {
+    /* any message wakes A up: it starts its session with the intruder
+       (the paper's depth-1 step: "A sends its first message") */
+    a_start_session(AGENT_I);
+    return;
+  }
+)";
+  }
+  Src += R"(  if (a_state == 1) {
+    /* Step 4/5: expects {Na, Nb'}Ka, answers {Nb'}K_peer */
+    if (d1 != NONCE_A)
+      return; /* not my session */
+)";
+  switch (Config.Fix) {
+  case workloads::LoweFix::None:
+    break;
+  case workloads::LoweFix::Incomplete:
+    Src += R"(    /* Lowe's fix, as (incorrectly) implemented: the responder identity
+       field must be present... but its value is never compared against
+       the expected peer. */
+    if (d3 == 0)
+      return;
+)";
+    break;
+  case workloads::LoweFix::Full:
+    Src += R"(    /* Lowe's fix, correctly: the responder identity must match the agent
+       A believes it is talking to. */
+    if (d3 != a_peer)
+      return;
+)";
+    break;
+  }
+  Src += R"(    /* A returns the second nonce, encrypted for its peer */
+    net_send(a_peer, d2, 0, 0);
+    a_state = 2;
+    return;
+  }
+}
+
+/* ---- responder B -------------------------------------------------------- */
+void b_receive(int d1, int d2, int d3) {
+  if (b_state == 0) {
+    /* Step 2/3: expects {n, agent}Kb, answers {n, Nb (, B)}K_agent.
+       B talks to A or to the intruder (B-to-B sessions are out of scope,
+       shrinking the state space as in the paper's tuned model). */
+    if (d2 == AGENT_A || d2 == AGENT_I) {
+      b_peer = d2;
+      b_nonce_recv = d1;
+      b_nonce_sent = NONCE_B;
+)";
+  if (Config.Fix == workloads::LoweFix::None)
+    Src += "      net_send(b_peer, d1, NONCE_B, 0);\n";
+  else
+    Src += "      net_send(b_peer, d1, NONCE_B, AGENT_B);\n";
+  Src += R"(      b_state = 1;
+    }
+    return;
+  }
+  if (b_state == 1) {
+    /* Step 6: expects {Nb}Kb */
+    if (d1 == b_nonce_sent) {
+      b_state = 2; /* session established with b_peer */
+    }
+    return;
+  }
+}
+)";
+
+  // The toplevel: one incoming message per call.
+  Src += R"(
+/* ---- message dispatch (toplevel under test) ------------------------------ */
+int initialized = 0;
+
+void ns_init(void) {
+)";
+  if (Config.DolevYao)
+    Src += "  dy_init();\n";
+  else
+    Src += "  /* A starts its session with the intruder right away */\n"
+           "  a_start_session(AGENT_I);\n";
+  Src += R"(  initialized = 1;
+}
+
+void ns_step(int key, int d1, int d2, int d3) {
+  if (!initialized)
+    ns_init();
+)";
+  if (Config.DolevYao)
+    Src += R"(
+  /* Dolev-Yao filter: drop anything the intruder cannot produce */
+  if (!dy_can_send(key, d1, d2, d3))
+    return;
+)";
+  Src += R"(
+  if (key == AGENT_A)
+    a_receive(d1, d2, d3);
+  else if (key == AGENT_B)
+    b_receive(d1, d2, d3);
+  /* messages to the intruder itself need no handling */
+
+  /* Security property: if B completed a session believing it talks to A,
+     then A must have started a session with B. Lowe's attack violates
+     exactly this (paper §4.2). */
+  assert(!(b_state == 2 && b_peer == AGENT_A && !a_started_with_b));
+}
+)";
+  return Src;
+}

@@ -1,0 +1,59 @@
+//===- Workloads.h - MiniC programs for the paper's experiments -*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The programs under test for §4 of the paper, as MiniC sources:
+///
+///  - the AC-controller (Fig. 6, experiment §4.1),
+///  - a C implementation of the Needham-Schroeder public-key protocol with
+///    a possibilistic or Dolev-Yao intruder model and optional Lowe fix
+///    (experiments Fig. 9 / Fig. 10 / the Lowe-fix bug of §4.2),
+///  - miniSIP, a SIP-message library reproducing oSIP 2.0.9's defect
+///    pattern — inconsistent NULL checking across ~90 exported functions
+///    and an unchecked large allocation in the parser (experiment §4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_WORKLOADS_WORKLOADS_H
+#define DART_WORKLOADS_WORKLOADS_H
+
+#include <string>
+
+namespace dart::workloads {
+
+/// Fig. 6's AC-controller program, verbatim.
+std::string acControllerSource();
+
+/// How the Needham-Schroeder responder's second message authenticates the
+/// responder (Lowe's fix, §4.2).
+enum class LoweFix {
+  None,       // original protocol: Lowe's attack exists
+  Incomplete, // the fix as DART found it implemented: presence-checked
+              // identity field, value never compared -> attack survives
+  Full,       // correct fix: identity compared against the expected peer
+};
+
+struct NsConfig {
+  /// true: inputs pass through a Dolev-Yao intruder filter (compose from
+  /// known atoms or replay observed ciphertexts). false: possibilistic
+  /// intruder (any tuple of ints may arrive).
+  bool DolevYao = false;
+  LoweFix Fix = LoweFix::None;
+};
+
+/// The Needham-Schroeder implementation. Toplevel: `ns_step(int key, int
+/// d1, int d2, int d3)` — one incoming message per call; the security
+/// assertion fires when the responder completes a session with the
+/// initiator that the initiator never started (Lowe's attack observed).
+std::string needhamSchroederSource(const NsConfig &Config);
+
+/// miniSIP: the §4.3 oSIP substitute. ~90 exported functions over
+/// sip_uri/sip_param/sip_header/sip_message structures.
+std::string miniSipSource();
+
+} // namespace dart::workloads
+
+#endif // DART_WORKLOADS_WORKLOADS_H

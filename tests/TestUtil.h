@@ -1,0 +1,62 @@
+//===- TestUtil.h - Shared helpers for the test suite -----------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_TESTS_TESTUTIL_H
+#define DART_TESTS_TESTUTIL_H
+
+#include "core/Dart.h"
+#include "ir/Lowering.h"
+#include "sema/Sema.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace dart::test {
+
+/// Parses and checks a MiniC program, failing the test on diagnostics.
+inline std::unique_ptr<TranslationUnit> check(std::string_view Source) {
+  DiagnosticsEngine Diags;
+  auto TU = parseAndCheck(Source, Diags);
+  EXPECT_TRUE(TU != nullptr) << Diags.toString();
+  return TU;
+}
+
+/// Expects compilation to fail and returns the diagnostics text.
+inline std::string checkFails(std::string_view Source) {
+  DiagnosticsEngine Diags;
+  auto TU = parseAndCheck(Source, Diags);
+  EXPECT_EQ(TU, nullptr) << "expected compilation to fail";
+  return Diags.toString();
+}
+
+/// Compiles all the way to IR, failing the test on diagnostics.
+inline std::unique_ptr<Dart> compile(std::string_view Source) {
+  std::string Errors;
+  auto D = Dart::fromSource(Source, &Errors);
+  EXPECT_TRUE(D != nullptr) << Errors;
+  return D;
+}
+
+/// Runs a full DART session with common defaults.
+inline DartReport runDart(std::string_view Source,
+                          const std::string &Toplevel, unsigned Depth = 1,
+                          uint64_t Seed = 42, unsigned MaxRuns = 10000) {
+  auto D = compile(Source);
+  if (!D)
+    return DartReport{};
+  DartOptions Opts;
+  Opts.ToplevelName = Toplevel;
+  Opts.Depth = Depth;
+  Opts.Seed = Seed;
+  Opts.MaxRuns = MaxRuns;
+  return D->run(Opts);
+}
+
+} // namespace dart::test
+
+#endif // DART_TESTS_TESTUTIL_H

@@ -1,0 +1,388 @@
+//===- concolic_test.cpp - Unit tests for src/concolic ----------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// These tests exercise the symbolic shadow execution directly: they compile
+// small programs, install a ConcolicRun with hand-seeded inputs, execute,
+// and inspect the collected path constraints and completeness flags.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "concolic/Concolic.h"
+#include "concolic/PathSearch.h"
+#include "ir/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace dart;
+using namespace dart::test;
+
+namespace {
+
+/// Harness: compiles Source, calls Fn with integer args bound as inputs
+/// x0..xn-1, and returns the concolic run data.
+struct ConcolicHarness {
+  std::unique_ptr<TranslationUnit> TU;
+  LoweredProgram Program;
+  std::vector<InputInfo> Inputs;
+  std::unique_ptr<ConcolicRun> Hooks;
+  std::unique_ptr<Interp> VM;
+  RunResult Result;
+
+  void run(std::string_view Source, const std::string &Fn,
+           const std::vector<int64_t> &Args,
+           std::vector<BranchRecord> Predicted = {},
+           ConcolicOptions Options = {}) {
+    DiagnosticsEngine Diags;
+    TU = parseAndCheck(Source, Diags);
+    ASSERT_NE(TU, nullptr) << Diags.toString();
+    Program = lowerToIR(*TU, Diags);
+    ASSERT_FALSE(Diags.hasErrors());
+    for (size_t I = 0; I < Args.size(); ++I)
+      Inputs.push_back(
+          InputInfo{InputKind::Integer, ValType::int32(),
+                    "x" + std::to_string(I)});
+    Hooks = std::make_unique<ConcolicRun>(Inputs, std::move(Predicted),
+                                          Options);
+    VM = std::make_unique<Interp>(*Program.Module);
+    VM->setHooks(Hooks.get());
+    auto ParamAddrs = VM->beginCall(Fn, Args);
+    ASSERT_TRUE(ParamAddrs.has_value());
+    for (size_t I = 0; I < Args.size(); ++I)
+      Hooks->bindInput((*ParamAddrs)[I], ValType::int32(),
+                       static_cast<InputId>(I));
+    Result = VM->finishCall();
+  }
+};
+
+} // namespace
+
+TEST(Concolic, CollectsEqualityConstraint) {
+  ConcolicHarness H;
+  H.run("int f(int x) { if (x == 10) return 1; return 0; }", "f", {3});
+  ASSERT_EQ(H.Result.Status, RunStatus::Halted);
+  PathData P = H.Hooks->takePath();
+  ASSERT_EQ(P.Stack.size(), 1u);
+  EXPECT_FALSE(P.Stack[0].Branch) << "x=3 takes the else branch";
+  ASSERT_TRUE(P.Constraints[0].has_value());
+  // Not taken: constraint is the negation, x - 10 != 0.
+  EXPECT_EQ(P.Constraints[0]->Pred, CmpPred::Ne);
+  EXPECT_EQ(P.Constraints[0]->LHS.coeff(0), 1);
+  EXPECT_EQ(P.Constraints[0]->LHS.constant(), -10);
+  EXPECT_TRUE(H.Hooks->flags().allSet());
+}
+
+TEST(Concolic, InterproceduralTracing) {
+  // The paper's §2.1: f(x) = 2*x traced through the call, giving the
+  // constraint 2*x0 - x0 - 10 = x0 - 10 at the inner conditional.
+  ConcolicHarness H;
+  H.run(R"(
+    int f(int x) { return 2 * x; }
+    int h(int x, int y) {
+      if (x != y)
+        if (f(x) == x + 10)
+          abort();
+      return 0;
+    }
+  )",
+        "h", {269167349, 889801541});
+  ASSERT_EQ(H.Result.Status, RunStatus::Halted);
+  PathData P = H.Hooks->takePath();
+  ASSERT_EQ(P.Stack.size(), 2u);
+  EXPECT_TRUE(P.Stack[0].Branch);
+  EXPECT_FALSE(P.Stack[1].Branch);
+  ASSERT_TRUE(P.Constraints[1].has_value());
+  // 2*x0 != x0 + 10  ->  x0 - 10 != 0.
+  EXPECT_EQ(P.Constraints[1]->Pred, CmpPred::Ne);
+  EXPECT_EQ(P.Constraints[1]->LHS.coeff(0), 1);
+  EXPECT_EQ(P.Constraints[1]->LHS.constant(), -10);
+  EXPECT_TRUE(H.Hooks->flags().allSet());
+}
+
+TEST(Concolic, AssignmentsPropagateSymbolically) {
+  // The paper's §2.4: z = y; if (x == z) ... constraint is x0 - y0 == 0.
+  ConcolicHarness H;
+  H.run(R"(
+    int f(int x, int y) {
+      int z;
+      z = y;
+      if (x == z)
+        if (y == x + 10)
+          abort();
+      return 0;
+    }
+  )",
+        "f", {123456, 654321});
+  PathData P = H.Hooks->takePath();
+  ASSERT_EQ(P.Stack.size(), 1u);
+  ASSERT_TRUE(P.Constraints[0].has_value());
+  EXPECT_EQ(P.Constraints[0]->Pred, CmpPred::Ne); // else taken
+  EXPECT_EQ(P.Constraints[0]->LHS.coeff(0), 1);
+  EXPECT_EQ(P.Constraints[0]->LHS.coeff(1), -1);
+}
+
+TEST(Concolic, NonlinearMultiplicationClearsAllLinear) {
+  ConcolicHarness H;
+  H.run("int f(int x, int y) { if (x * y == 12) return 1; return 0; }", "f",
+        {3, 5});
+  PathData P = H.Hooks->takePath();
+  ASSERT_EQ(P.Stack.size(), 1u);
+  // In literal Fig. 3 mode the out-of-theory condition contributes its
+  // concrete truth value: a constant (unflippable) predicate.
+  ASSERT_TRUE(P.Constraints[0].has_value());
+  EXPECT_TRUE(P.Constraints[0]->isConstant())
+      << "x*y is outside the linear theory";
+  EXPECT_FALSE(H.Hooks->flags().AllLinear);
+  EXPECT_TRUE(H.Hooks->flags().AllLocsDefinite);
+}
+
+TEST(Concolic, LinearMultiplicationByConstantKept) {
+  ConcolicHarness H;
+  H.run("int f(int x) { if (3 * x == 12) return 1; return 0; }", "f", {4});
+  PathData P = H.Hooks->takePath();
+  ASSERT_TRUE(P.Constraints[0].has_value());
+  EXPECT_EQ(P.Constraints[0]->Pred, CmpPred::Eq) << "taken at x=4";
+  EXPECT_EQ(P.Constraints[0]->LHS.coeff(0), 3);
+  EXPECT_TRUE(H.Hooks->flags().allSet());
+}
+
+TEST(Concolic, DivisionFallsBack) {
+  ConcolicHarness H;
+  H.run("int f(int x) { if (x / 2 == 3) return 1; return 0; }", "f", {6});
+  PathData P = H.Hooks->takePath();
+  ASSERT_TRUE(P.Constraints[0].has_value());
+  EXPECT_TRUE(P.Constraints[0]->isConstant());
+  EXPECT_FALSE(H.Hooks->flags().AllLinear);
+}
+
+TEST(Concolic, ShiftByConstantIsLinear) {
+  ConcolicHarness H;
+  H.run("int f(int x) { if ((x << 2) == 20) return 1; return 0; }", "f",
+        {5});
+  PathData P = H.Hooks->takePath();
+  ASSERT_TRUE(P.Constraints[0].has_value());
+  EXPECT_EQ(P.Constraints[0]->LHS.coeff(0), 4);
+  EXPECT_TRUE(H.Hooks->flags().AllLinear);
+}
+
+TEST(Concolic, BitwiseOpsFallBack) {
+  ConcolicHarness H;
+  H.run("int f(int x) { if ((x & 7) == 3) return 1; return 0; }", "f", {3});
+  EXPECT_FALSE(H.Hooks->flags().AllLinear);
+}
+
+TEST(Concolic, StoredComparisonReducesAtBranch) {
+  // flag = (x < 5); if (flag) ... : the branch constraint is x < 5 itself.
+  ConcolicHarness H;
+  H.run(R"(
+    int f(int x) {
+      int flag = (x < 5);
+      if (flag) return 1;
+      return 0;
+    }
+  )",
+        "f", {2});
+  PathData P = H.Hooks->takePath();
+  ASSERT_EQ(P.Stack.size(), 1u);
+  ASSERT_TRUE(P.Constraints[0].has_value());
+  EXPECT_EQ(P.Constraints[0]->Pred, CmpPred::Lt);
+  EXPECT_TRUE(H.Hooks->flags().allSet());
+}
+
+TEST(Concolic, SymbolicAddressingClearsAllLocsDefinite) {
+  ConcolicHarness H;
+  H.run(R"(
+    int f(int i) {
+      int a[4];
+      a[0] = 0; a[1] = 10; a[2] = 20; a[3] = 30;
+      if (a[i] == 20) return 1;
+      return 0;
+    }
+  )",
+        "f", {2});
+  EXPECT_FALSE(H.Hooks->flags().AllLocsDefinite)
+      << "input-dependent index = input-dependent address";
+}
+
+TEST(Concolic, NativeCallWithSymbolicArgClearsAllLinear) {
+  ConcolicHarness H;
+  H.run(R"(
+    int f(int n) {
+      char *p = (char *)malloc(n);
+      if (p == NULL) return -1;
+      free(p);
+      return 0;
+    }
+  )",
+        "f", {16});
+  EXPECT_FALSE(H.Hooks->flags().AllLinear)
+      << "malloc consumed a symbolic size";
+}
+
+TEST(Concolic, ForcingMismatchStopsRun) {
+  // Predict that the first branch goes true, but feed an input that makes
+  // it go false: compare_and_update_stack must raise (Fig. 4).
+  ConcolicHarness H;
+  std::vector<BranchRecord> Predicted = {{/*Branch=*/true, false, 0}};
+  H.run("int f(int x) { if (x == 1) return 1; return 0; }", "f", {5},
+        Predicted);
+  EXPECT_EQ(H.Result.Status, RunStatus::ForcingMismatch);
+  EXPECT_FALSE(H.Hooks->forcingOk());
+}
+
+TEST(Concolic, CorrectPredictionMarksDeepestDone) {
+  ConcolicHarness H;
+  std::vector<BranchRecord> Predicted = {{/*Branch=*/true, false, 0}};
+  H.run("int f(int x) { if (x == 1) return 1; return 0; }", "f", {1},
+        Predicted);
+  EXPECT_EQ(H.Result.Status, RunStatus::Halted);
+  PathData P = H.Hooks->takePath();
+  ASSERT_EQ(P.Stack.size(), 1u);
+  EXPECT_TRUE(P.Stack[0].Done) << "arrived as predicted: both sides known";
+}
+
+TEST(Concolic, StaleSymbolsScrubbedOnFramePop) {
+  // g's local is symbolic while g runs; after g returns its frame dies and
+  // the (recycled) cells must not leak stale symbols into f's branches.
+  ConcolicHarness H;
+  H.run(R"(
+    int g(int v) { int local = v + 1; return local; }
+    int f(int x) {
+      int r = g(x);
+      if (r == 7) return 1;
+      return 0;
+    }
+  )",
+        "f", {6});
+  PathData P = H.Hooks->takePath();
+  ASSERT_EQ(P.Stack.size(), 1u);
+  ASSERT_TRUE(P.Constraints[0].has_value());
+  // r = x + 1, so constraint mentions x0 with the right offset.
+  EXPECT_EQ(P.Constraints[0]->Pred, CmpPred::Eq);
+  EXPECT_EQ(P.Constraints[0]->LHS.coeff(0), 1);
+  EXPECT_EQ(P.Constraints[0]->LHS.constant(), -6);
+}
+
+TEST(Concolic, CoverageRecorded) {
+  ConcolicHarness H;
+  H.run("int f(int x) { if (x > 0) return 1; return 0; }", "f", {5});
+  const auto &Cov = H.Hooks->coveredBranches();
+  ASSERT_EQ(Cov.size(), 1u);
+  EXPECT_TRUE(Cov.begin()->second) << "true direction covered";
+}
+
+//===----------------------------------------------------------------------===//
+// solvePathConstraint (Fig. 5)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+PathData makePath(std::vector<std::pair<bool, std::optional<SymPred>>> Steps) {
+  PathData P;
+  unsigned Site = 0;
+  for (auto &[Branch, C] : Steps) {
+    P.Stack.push_back({Branch, false, Site++});
+    P.Constraints.push_back(C);
+  }
+  return P;
+}
+
+std::function<VarDomain(InputId)> intDomains() {
+  return [](InputId) { return VarDomain{INT32_MIN, INT32_MAX}; };
+}
+
+} // namespace
+
+TEST(PathSearch, FlipsDeepestUndoneBranch) {
+  // Path: x != 10 (else), x < 100 (then). DFS flips the deepest: x >= 100
+  // while preserving x != 10.
+  auto C0 = SymPred(CmpPred::Ne,
+                    *LinearExpr::variable(0).add(LinearExpr(-10)));
+  auto C1 = SymPred(CmpPred::Lt,
+                    *LinearExpr::variable(0).add(LinearExpr(-100)));
+  PathData P = makePath({{false, C0}, {true, C1}});
+  LinearSolver Solver;
+  Rng R(1);
+  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {{0, 3}},
+                                       SearchStrategy::DepthFirst, R);
+  ASSERT_TRUE(O.Found);
+  EXPECT_EQ(O.FlippedIndex, 1u);
+  ASSERT_EQ(O.NextStack.size(), 2u);
+  EXPECT_FALSE(O.NextStack[1].Branch) << "flipped";
+  EXPECT_GE(O.Model[0], 100);
+  EXPECT_NE(O.Model[0], 10);
+}
+
+TEST(PathSearch, SkipsDoneBranches) {
+  auto C0 = SymPred(CmpPred::Ne,
+                    *LinearExpr::variable(0).add(LinearExpr(-10)));
+  PathData P = makePath({{false, C0}});
+  P.Stack[0].Done = true;
+  LinearSolver Solver;
+  Rng R(1);
+  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
+                                       SearchStrategy::DepthFirst, R);
+  EXPECT_FALSE(O.Found) << "everything done: directed search over";
+}
+
+TEST(PathSearch, SkipsUnsatisfiableNegations) {
+  // Branch 1's negation is unsat (x != x as x - x == 0 ... use constant
+  // predicate); search must fall back to branch 0.
+  auto C0 = SymPred(CmpPred::Ne,
+                    *LinearExpr::variable(0).add(LinearExpr(-10)));
+  auto C1 = SymPred(CmpPred::Ne, LinearExpr(1)); // always true; neg unsat
+  PathData P = makePath({{false, C0}, {true, C1}});
+  LinearSolver Solver;
+  Rng R(1);
+  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
+                                       SearchStrategy::DepthFirst, R);
+  ASSERT_TRUE(O.Found);
+  EXPECT_EQ(O.FlippedIndex, 0u);
+  EXPECT_EQ(O.NextStack.size(), 1u) << "stack truncated to the flip";
+  EXPECT_EQ(O.Model[0], 10);
+}
+
+TEST(PathSearch, ConcreteBranchesHaveNothingToNegate) {
+  PathData P = makePath({{true, std::nullopt}, {false, std::nullopt}});
+  LinearSolver Solver;
+  Rng R(1);
+  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
+                                       SearchStrategy::DepthFirst, R);
+  EXPECT_FALSE(O.Found);
+}
+
+TEST(PathSearch, BreadthFirstPicksShallowest) {
+  auto C0 = SymPred(CmpPred::Ne,
+                    *LinearExpr::variable(0).add(LinearExpr(-10)));
+  auto C1 = SymPred(CmpPred::Lt,
+                    *LinearExpr::variable(1).add(LinearExpr(-5)));
+  PathData P = makePath({{false, C0}, {true, C1}});
+  LinearSolver Solver;
+  Rng R(1);
+  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
+                                       SearchStrategy::BreadthFirst, R);
+  ASSERT_TRUE(O.Found);
+  EXPECT_EQ(O.FlippedIndex, 0u);
+}
+
+TEST(PathSearch, RandomStrategyFindsSomething) {
+  auto C0 = SymPred(CmpPred::Ne,
+                    *LinearExpr::variable(0).add(LinearExpr(-10)));
+  auto C1 = SymPred(CmpPred::Lt,
+                    *LinearExpr::variable(1).add(LinearExpr(-5)));
+  PathData P = makePath({{false, C0}, {true, C1}});
+  LinearSolver Solver;
+  Rng R(7);
+  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
+                                       SearchStrategy::RandomBranch, R);
+  EXPECT_TRUE(O.Found);
+}
+
+TEST(PathSearch, StrategyNames) {
+  EXPECT_STREQ(searchStrategyName(SearchStrategy::DepthFirst), "dfs");
+  EXPECT_STREQ(searchStrategyName(SearchStrategy::BreadthFirst), "bfs");
+  EXPECT_STREQ(searchStrategyName(SearchStrategy::RandomBranch), "random");
+}

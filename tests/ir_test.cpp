@@ -1,0 +1,271 @@
+//===- ir_test.cpp - Unit tests for src/ir ----------------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "ir/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace dart;
+using namespace dart::test;
+
+namespace {
+
+LoweredProgram lower(std::string_view Source) {
+  DiagnosticsEngine Diags;
+  auto TU = parseAndCheck(Source, Diags);
+  EXPECT_NE(TU, nullptr) << Diags.toString();
+  LoweredProgram P = lowerToIR(*TU, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  return P;
+}
+
+const IRFunction *fn(const LoweredProgram &P, const std::string &Name) {
+  const IRFunction *F = P.Module->findFunction(Name);
+  EXPECT_NE(F, nullptr);
+  return F;
+}
+
+unsigned countKind(const IRFunction &F, Instr::Kind K) {
+  unsigned N = 0;
+  for (const auto &I : F.Instrs)
+    N += I->kind() == K ? 1 : 0;
+  return N;
+}
+
+/// True if the expression tree contains no loads with side effects — i.e.
+/// always true: IR expressions are pure by construction. This helper checks
+/// a stronger structural invariant: no expression contains a Call (there is
+/// no Call expression kind) and every jump target is in range.
+void checkWellFormed(const IRFunction &F) {
+  for (const auto &I : F.Instrs) {
+    if (const auto *J = dyn_cast<JumpInstr>(I.get())) {
+      EXPECT_LT(J->target(), F.Instrs.size());
+    }
+    if (const auto *CJ = dyn_cast<CondJumpInstr>(I.get())) {
+      EXPECT_LT(CJ->trueTarget(), F.Instrs.size());
+      EXPECT_LT(CJ->falseTarget(), F.Instrs.size());
+    }
+  }
+  ASSERT_FALSE(F.Instrs.empty());
+  // Every function ends with an explicit terminator (implicit Ret added).
+  EXPECT_EQ(F.Instrs.back()->kind(), Instr::Kind::Ret);
+}
+
+} // namespace
+
+TEST(ValTypeTest, Canonicalize) {
+  EXPECT_EQ(ValType::int8().canonicalize(0x1ff), -1);
+  EXPECT_EQ(ValType::int8().canonicalize(127), 127);
+  EXPECT_EQ(ValType::int8().canonicalize(128), -128);
+  EXPECT_EQ(ValType::int32().canonicalize(0x100000000LL), 0);
+  EXPECT_EQ(ValType::int32().canonicalize(INT32_MIN), INT32_MIN);
+  EXPECT_EQ(ValType::uint32().canonicalize(-1), 4294967295LL);
+  EXPECT_EQ(ValType::int64().canonicalize(INT64_MIN), INT64_MIN);
+}
+
+TEST(ValTypeTest, NamesAndPredicates) {
+  EXPECT_EQ(ValType::int32().toString(), "i32");
+  EXPECT_EQ(ValType::uint32().toString(), "u32");
+  EXPECT_EQ(ValType::pointer().toString(), "ptr");
+  EXPECT_EQ(ValType::int64().toString(), "i64");
+  EXPECT_TRUE(ValType::pointer() == ValType::pointer());
+  EXPECT_FALSE(ValType::int32() == ValType::uint32());
+}
+
+TEST(Lowering, StraightLineFunction) {
+  auto P = lower("int f(int a) { int b = a + 1; return b * 2; }");
+  const IRFunction *F = fn(P, "f");
+  checkWellFormed(*F);
+  EXPECT_EQ(F->NumParams, 1u);
+  EXPECT_GE(countKind(*F, Instr::Kind::Store), 1u);
+  EXPECT_EQ(countKind(*F, Instr::Kind::CondJump), 0u);
+}
+
+TEST(Lowering, IfElseProducesOneBranchSite) {
+  auto P = lower("int f(int a) { if (a > 0) return 1; else return 2; }");
+  const IRFunction *F = fn(P, "f");
+  checkWellFormed(*F);
+  EXPECT_EQ(countKind(*F, Instr::Kind::CondJump), 1u);
+  EXPECT_EQ(P.Module->numBranchSites(), 1u);
+}
+
+TEST(Lowering, ShortCircuitAndBecomesTwoBranches) {
+  auto P = lower("int f(int a, int b) { if (a && b) return 1; return 0; }");
+  EXPECT_EQ(countKind(*fn(P, "f"), Instr::Kind::CondJump), 2u);
+}
+
+TEST(Lowering, ShortCircuitOrBecomesTwoBranches) {
+  auto P = lower("int f(int a, int b) { if (a || b) return 1; return 0; }");
+  EXPECT_EQ(countKind(*fn(P, "f"), Instr::Kind::CondJump), 2u);
+}
+
+TEST(Lowering, LogicalNotFlipsWithoutExtraBranch) {
+  auto P = lower("int f(int a) { if (!a) return 1; return 0; }");
+  EXPECT_EQ(countKind(*fn(P, "f"), Instr::Kind::CondJump), 1u);
+}
+
+TEST(Lowering, ConstantConditionIsNotABranchSite) {
+  // `while (1)` can never be flipped; it must not become a CondJump.
+  auto P = lower("int f(void) { while (1) { return 1; } return 0; }");
+  EXPECT_EQ(countKind(*fn(P, "f"), Instr::Kind::CondJump), 0u);
+}
+
+TEST(Lowering, AssertLowersToBranchPlusAbort) {
+  auto P = lower("void f(int x) { assert(x > 0); }");
+  const IRFunction *F = fn(P, "f");
+  EXPECT_EQ(countKind(*F, Instr::Kind::CondJump), 1u);
+  EXPECT_EQ(countKind(*F, Instr::Kind::Abort), 1u);
+  bool FoundAssertAbort = false;
+  for (const auto &I : F->Instrs)
+    if (const auto *A = dyn_cast<AbortInstr>(I.get()))
+      FoundAssertAbort = A->why() == AbortKind::AssertFailure;
+  EXPECT_TRUE(FoundAssertAbort);
+}
+
+TEST(Lowering, AbortCallLowersToAbortInstr) {
+  auto P = lower("void f(void) { abort(); }");
+  const IRFunction *F = fn(P, "f");
+  EXPECT_EQ(countKind(*F, Instr::Kind::Abort), 1u);
+  EXPECT_EQ(countKind(*F, Instr::Kind::Call), 0u);
+}
+
+TEST(Lowering, ExitLowersToHalt) {
+  auto P = lower("void f(void) { exit(0); }");
+  EXPECT_EQ(countKind(*fn(P, "f"), Instr::Kind::Halt), 1u);
+}
+
+TEST(Lowering, CallsAreFlattenedOutOfExpressions) {
+  auto P = lower(R"(
+    int g(int x) { return x; }
+    int f(int a) { return g(a) + g(a + 1); }
+  )");
+  const IRFunction *F = fn(P, "f");
+  checkWellFormed(*F);
+  EXPECT_EQ(countKind(*F, Instr::Kind::Call), 2u);
+  // Each call's result lands in a temp slot; two extra slots beyond param.
+  EXPECT_GE(F->Slots.size(), 3u);
+}
+
+TEST(Lowering, StructAssignBecomesCopy) {
+  auto P = lower(R"(
+    struct s { int a; int b; };
+    void f(struct s *p, struct s *q) { *p = *q; }
+  )");
+  const IRFunction *F = fn(P, "f");
+  EXPECT_EQ(countKind(*F, Instr::Kind::Copy), 1u);
+  for (const auto &I : F->Instrs)
+    if (const auto *C = dyn_cast<CopyInstr>(I.get())) {
+      EXPECT_EQ(C->numBytes(), 8u);
+    }
+}
+
+TEST(Lowering, GlobalInitializerBytes) {
+  auto P = lower("int x = 258; char c = 'A'; long l = -1;");
+  const auto &Globals = P.Module->globals();
+  ASSERT_EQ(Globals.size(), 3u);
+  EXPECT_EQ(Globals[0].SizeBytes, 4u);
+  ASSERT_EQ(Globals[0].Init.size(), 4u);
+  EXPECT_EQ(Globals[0].Init[0], 2u); // 258 = 0x102 little-endian
+  EXPECT_EQ(Globals[0].Init[1], 1u);
+  EXPECT_EQ(Globals[1].Init[0], uint8_t('A'));
+  EXPECT_EQ(Globals[2].Init.size(), 8u);
+  EXPECT_EQ(Globals[2].Init[0], 0xffu);
+}
+
+TEST(Lowering, ExternGlobalMarkedAsInput) {
+  auto P = lower("extern int env; int x = 1; int f(void) { return env + x; }");
+  bool SawInput = false;
+  for (const auto &G : P.Module->globals())
+    if (G.Name == "env")
+      SawInput = G.IsExternInput;
+  EXPECT_TRUE(SawInput);
+}
+
+TEST(Lowering, StringLiteralsInternedReadOnly) {
+  auto P = lower(R"(
+    char *f(void) { return "abc"; }
+    char *g(void) { return "abc"; }
+    char *h(void) { return "xyz"; }
+  )");
+  unsigned StringGlobals = 0;
+  for (const auto &G : P.Module->globals())
+    if (G.ReadOnly) {
+      ++StringGlobals;
+      EXPECT_EQ(G.Init.back(), 0u) << "NUL terminated";
+    }
+  EXPECT_EQ(StringGlobals, 2u) << "identical literals are shared";
+}
+
+TEST(Lowering, LoopShape) {
+  auto P = lower("int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }");
+  const IRFunction *F = fn(P, "f");
+  checkWellFormed(*F);
+  EXPECT_EQ(countKind(*F, Instr::Kind::CondJump), 1u);
+  EXPECT_GE(countKind(*F, Instr::Kind::Jump), 1u);
+}
+
+TEST(Lowering, TernaryUsesTemp) {
+  auto P = lower("int f(int a) { return a > 0 ? a : -a; }");
+  const IRFunction *F = fn(P, "f");
+  checkWellFormed(*F);
+  EXPECT_EQ(countKind(*F, Instr::Kind::CondJump), 1u);
+}
+
+TEST(Lowering, BranchSiteIdsAreUniquePerModule) {
+  auto P = lower(R"(
+    int f(int a) { if (a) return 1; return 0; }
+    int g(int a) { if (a) if (a > 2) return 1; return 0; }
+  )");
+  std::set<unsigned> Sites;
+  for (const auto &F : P.Module->functions())
+    for (const auto &I : F->Instrs)
+      if (const auto *CJ = dyn_cast<CondJumpInstr>(I.get())) {
+        EXPECT_TRUE(Sites.insert(CJ->siteId()).second);
+      }
+  EXPECT_EQ(Sites.size(), P.Module->numBranchSites());
+  EXPECT_EQ(Sites.size(), 3u);
+}
+
+TEST(Lowering, IRExprCloneIsStructurallyEqual) {
+  auto P = lower("int f(int a, int b) { return (a + 2 * b) - 1; }");
+  const IRFunction *F = fn(P, "f");
+  for (const auto &I : F->Instrs)
+    if (const auto *R = dyn_cast<RetInstr>(I.get()))
+      if (R->value()) {
+        EXPECT_EQ(R->value()->toString(), R->value()->clone()->toString());
+      }
+}
+
+TEST(Lowering, ModulePrinting) {
+  auto P = lower("int f(int a) { if (a) return 1; return 0; }");
+  std::string Text = P.Module->toString();
+  EXPECT_NE(Text.find("func f"), std::string::npos);
+  EXPECT_NE(Text.find("if"), std::string::npos);
+}
+
+// Every function in a representative corpus lowers to well-formed IR.
+class IRWellFormedTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(IRWellFormedTest, AllFunctionsWellFormed) {
+  auto P = lower(GetParam());
+  for (const auto &F : P.Module->functions())
+    checkWellFormed(*F);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, IRWellFormedTest,
+    ::testing::Values(
+        "int f(int n) { int s = 0; for (int i = 0; i < n; ++i) s += i; return s; }",
+        "int f(int n) { do { n--; } while (n > 0); return n; }",
+        "int f(int n) { while (n) { if (n == 3) break; if (n == 5) continue; n--; } return n; }",
+        "int f(int a, int b) { return a && (b || !a); }",
+        "int f(int *p) { return p ? *p : 0; }",
+        "struct s { int x; struct s *n; }; int f(struct s *p) { int t = 0; while (p != NULL) { t += p->x; p = p->n; } return t; }",
+        "int f(void) { int a[4]; int i; for (i = 0; i < 4; i++) a[i] = i * i; return a[3]; }",
+        "int f(int x) { return x > 0 ? 1 : x < 0 ? -1 : 0; }",
+        "void f(int *p, int n) { int i; for (i = 0; i < n; i++) p[i] = 0; }",
+        "int f(char *s) { int n = 0; while (s[n] != '\\0') n++; return n; }"));

@@ -1,0 +1,209 @@
+//===- lexer_test.cpp - Unit tests for src/lexer ---------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dart;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Source) {
+  DiagnosticsEngine Diags;
+  Lexer L(Source, Diags);
+  auto Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(std::string_view Source) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : lex(Source))
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  auto Tokens = lex("int foo _bar if whileX");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Text, "foo");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[2].Text, "_bar");
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwIf);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::Identifier)
+      << "keyword prefixes must not swallow identifiers";
+}
+
+TEST(Lexer, DecimalLiterals) {
+  auto Tokens = lex("0 1 42 2147483647 4294967295");
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 1);
+  EXPECT_EQ(Tokens[2].IntValue, 42);
+  EXPECT_EQ(Tokens[3].IntValue, 2147483647);
+  EXPECT_EQ(Tokens[4].IntValue, 4294967295LL);
+}
+
+TEST(Lexer, HexAndOctalLiterals) {
+  auto Tokens = lex("0x10 0xff 0XAB 010 07");
+  EXPECT_EQ(Tokens[0].IntValue, 16);
+  EXPECT_EQ(Tokens[1].IntValue, 255);
+  EXPECT_EQ(Tokens[2].IntValue, 0xAB);
+  EXPECT_EQ(Tokens[3].IntValue, 8);
+  EXPECT_EQ(Tokens[4].IntValue, 7);
+}
+
+TEST(Lexer, IntegerSuffixesIgnored) {
+  auto Tokens = lex("10u 10L 10UL");
+  EXPECT_EQ(Tokens[0].IntValue, 10);
+  EXPECT_EQ(Tokens[1].IntValue, 10);
+  EXPECT_EQ(Tokens[2].IntValue, 10);
+}
+
+TEST(Lexer, CharLiterals) {
+  auto Tokens = lex(R"('a' '\n' '\0' '\\' '\x41')");
+  EXPECT_EQ(Tokens[0].IntValue, 'a');
+  EXPECT_EQ(Tokens[1].IntValue, '\n');
+  EXPECT_EQ(Tokens[2].IntValue, 0);
+  EXPECT_EQ(Tokens[3].IntValue, '\\');
+  EXPECT_EQ(Tokens[4].IntValue, 0x41);
+}
+
+TEST(Lexer, StringLiterals) {
+  auto Tokens = lex(R"("hello" "a\tb" "")");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].StrValue, "hello");
+  EXPECT_EQ(Tokens[1].StrValue, "a\tb");
+  EXPECT_EQ(Tokens[2].StrValue, "");
+}
+
+TEST(Lexer, Comments) {
+  auto Kinds = kinds("1 // line comment\n 2 /* block\n comment */ 3");
+  ASSERT_EQ(Kinds.size(), 4u);
+  EXPECT_EQ(Kinds[0], TokenKind::IntLiteral);
+  EXPECT_EQ(Kinds[1], TokenKind::IntLiteral);
+  EXPECT_EQ(Kinds[2], TokenKind::IntLiteral);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto Tokens = lex("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(Lexer, NullKeyword) {
+  auto Tokens = lex("NULL");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwNull);
+}
+
+TEST(Lexer, UnterminatedStringDiagnosed) {
+  DiagnosticsEngine Diags;
+  Lexer L("\"abc", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedBlockCommentDiagnosed) {
+  DiagnosticsEngine Diags;
+  Lexer L("/* never ends", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnknownCharacterDiagnosed) {
+  DiagnosticsEngine Diags;
+  Lexer L("a $ b", Diags);
+  auto Tokens = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues past the bad character.
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::Eof);
+  EXPECT_EQ(Tokens.size(), 4u);
+}
+
+// Parameterized sweep over the full operator table: each spelling must lex
+// to exactly its kind (plus Eof).
+struct OperatorCase {
+  const char *Spelling;
+  TokenKind Kind;
+};
+
+class LexerOperatorTest : public ::testing::TestWithParam<OperatorCase> {};
+
+TEST_P(LexerOperatorTest, LexesToExactKind) {
+  const OperatorCase &C = GetParam();
+  auto Tokens = lex(C.Spelling);
+  ASSERT_EQ(Tokens.size(), 2u) << C.Spelling;
+  EXPECT_EQ(Tokens[0].Kind, C.Kind) << C.Spelling;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, LexerOperatorTest,
+    ::testing::Values(
+        OperatorCase{"(", TokenKind::LParen},
+        OperatorCase{")", TokenKind::RParen},
+        OperatorCase{"{", TokenKind::LBrace},
+        OperatorCase{"}", TokenKind::RBrace},
+        OperatorCase{"[", TokenKind::LBracket},
+        OperatorCase{"]", TokenKind::RBracket},
+        OperatorCase{";", TokenKind::Semi},
+        OperatorCase{",", TokenKind::Comma},
+        OperatorCase{".", TokenKind::Dot},
+        OperatorCase{"->", TokenKind::Arrow},
+        OperatorCase{"&", TokenKind::Amp},
+        OperatorCase{"&&", TokenKind::AmpAmp},
+        OperatorCase{"&=", TokenKind::AmpEq},
+        OperatorCase{"|", TokenKind::Pipe},
+        OperatorCase{"||", TokenKind::PipePipe},
+        OperatorCase{"|=", TokenKind::PipeEq},
+        OperatorCase{"^", TokenKind::Caret},
+        OperatorCase{"^=", TokenKind::CaretEq},
+        OperatorCase{"~", TokenKind::Tilde},
+        OperatorCase{"!", TokenKind::Bang},
+        OperatorCase{"!=", TokenKind::BangEq},
+        OperatorCase{"=", TokenKind::Eq},
+        OperatorCase{"==", TokenKind::EqEq},
+        OperatorCase{"+", TokenKind::Plus},
+        OperatorCase{"++", TokenKind::PlusPlus},
+        OperatorCase{"+=", TokenKind::PlusEq},
+        OperatorCase{"-", TokenKind::Minus},
+        OperatorCase{"--", TokenKind::MinusMinus},
+        OperatorCase{"-=", TokenKind::MinusEq},
+        OperatorCase{"*", TokenKind::Star},
+        OperatorCase{"*=", TokenKind::StarEq},
+        OperatorCase{"/", TokenKind::Slash},
+        OperatorCase{"/=", TokenKind::SlashEq},
+        OperatorCase{"%", TokenKind::Percent},
+        OperatorCase{"%=", TokenKind::PercentEq},
+        OperatorCase{"<", TokenKind::Less},
+        OperatorCase{"<=", TokenKind::LessEq},
+        OperatorCase{"<<", TokenKind::Shl},
+        OperatorCase{"<<=", TokenKind::ShlEq},
+        OperatorCase{">", TokenKind::Greater},
+        OperatorCase{">=", TokenKind::GreaterEq},
+        OperatorCase{">>", TokenKind::Shr},
+        OperatorCase{">>=", TokenKind::ShrEq},
+        OperatorCase{"?", TokenKind::Question},
+        OperatorCase{":", TokenKind::Colon}));
+
+TEST(Lexer, MaximalMunch) {
+  auto Kinds = kinds("a+++b");
+  // C maximal munch: a ++ + b.
+  ASSERT_EQ(Kinds.size(), 5u);
+  EXPECT_EQ(Kinds[1], TokenKind::PlusPlus);
+  EXPECT_EQ(Kinds[2], TokenKind::Plus);
+}

@@ -1,0 +1,179 @@
+//===- memory_test.cpp - Unit tests for src/interp/Memory ------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace dart;
+
+TEST(Memory, AddressEncoding) {
+  Addr A = makeAddr(3, 17);
+  EXPECT_EQ(addrRegion(A), 3u);
+  EXPECT_EQ(addrOffset(A), 17u);
+  EXPECT_FALSE(isNullAddr(A));
+  EXPECT_TRUE(isNullAddr(0));
+  EXPECT_TRUE(isNullAddr(42)) << "low offsets without a region are NULL+k";
+}
+
+TEST(Memory, AllocateZeroFilled) {
+  Memory M;
+  Addr A = M.allocate(8, RegionKind::Global, "g");
+  uint64_t V = 123;
+  EXPECT_EQ(M.load(A, 8, V), MemFault::None);
+  EXPECT_EQ(V, 0u);
+}
+
+TEST(Memory, StoreLoadRoundTrip) {
+  Memory M;
+  Addr A = M.allocate(16, RegionKind::Heap, "h");
+  EXPECT_EQ(M.store(A + 4, 4, 0xdeadbeef), MemFault::None);
+  uint64_t V = 0;
+  EXPECT_EQ(M.load(A + 4, 4, V), MemFault::None);
+  EXPECT_EQ(V, 0xdeadbeefu);
+  // Little-endian byte order.
+  EXPECT_EQ(M.load(A + 4, 1, V), MemFault::None);
+  EXPECT_EQ(V, 0xefu);
+}
+
+TEST(Memory, NullDeref) {
+  Memory M;
+  uint64_t V;
+  EXPECT_EQ(M.load(0, 4, V), MemFault::NullDeref);
+  EXPECT_EQ(M.store(0, 4, 1), MemFault::NullDeref);
+  EXPECT_EQ(M.load(3, 1, V), MemFault::NullDeref) << "NULL + offset";
+}
+
+TEST(Memory, OutOfBounds) {
+  Memory M;
+  Addr A = M.allocate(4, RegionKind::Heap, "h");
+  uint64_t V;
+  EXPECT_EQ(M.load(A, 4, V), MemFault::None);
+  EXPECT_EQ(M.load(A + 1, 4, V), MemFault::OutOfBounds);
+  EXPECT_EQ(M.load(A + 4, 1, V), MemFault::OutOfBounds);
+  EXPECT_EQ(M.store(A + 4, 1, 0), MemFault::OutOfBounds);
+}
+
+TEST(Memory, UseAfterFree) {
+  Memory M;
+  Addr A = M.allocate(4, RegionKind::Heap, "h");
+  EXPECT_EQ(M.free(A), MemFault::None);
+  uint64_t V;
+  EXPECT_EQ(M.load(A, 4, V), MemFault::UseAfterFree);
+  EXPECT_EQ(M.store(A, 4, 0), MemFault::UseAfterFree);
+}
+
+TEST(Memory, DoubleFree) {
+  Memory M;
+  Addr A = M.allocate(4, RegionKind::Heap, "h");
+  EXPECT_EQ(M.free(A), MemFault::None);
+  EXPECT_EQ(M.free(A), MemFault::DoubleFree);
+}
+
+TEST(Memory, FreeNullIsNoOp) {
+  Memory M;
+  EXPECT_EQ(M.free(0), MemFault::None);
+}
+
+TEST(Memory, BadFree) {
+  Memory M;
+  Addr G = M.allocate(4, RegionKind::Global, "g");
+  EXPECT_EQ(M.free(G), MemFault::BadFree);
+  Addr H = M.allocate(8, RegionKind::Heap, "h");
+  EXPECT_EQ(M.free(H + 4), MemFault::BadFree) << "interior pointer";
+}
+
+TEST(Memory, WildPointer) {
+  Memory M;
+  uint64_t V;
+  EXPECT_EQ(M.load(makeAddr(99, 0), 4, V), MemFault::BadRegion);
+}
+
+TEST(Memory, ReadOnlyRegion) {
+  Memory M;
+  Addr A = M.allocate(4, RegionKind::Global, "str", /*ReadOnly=*/true);
+  uint64_t V;
+  EXPECT_EQ(M.load(A, 4, V), MemFault::None);
+  EXPECT_EQ(M.store(A, 4, 1), MemFault::ReadOnlyWrite);
+}
+
+TEST(Memory, CopyBetweenRegions) {
+  Memory M;
+  Addr Src = M.allocate(8, RegionKind::Heap, "src");
+  Addr Dst = M.allocate(8, RegionKind::Heap, "dst");
+  M.store(Src, 8, 0x1122334455667788ULL);
+  EXPECT_EQ(M.copy(Dst, Src, 8), MemFault::None);
+  uint64_t V;
+  M.load(Dst, 8, V);
+  EXPECT_EQ(V, 0x1122334455667788ULL);
+}
+
+TEST(Memory, CopyFaults) {
+  Memory M;
+  Addr A = M.allocate(8, RegionKind::Heap, "a");
+  EXPECT_EQ(M.copy(A, 0, 4), MemFault::NullDeref);
+  EXPECT_EQ(M.copy(0, A, 4), MemFault::NullDeref);
+  EXPECT_EQ(M.copy(A, A + 6, 4), MemFault::OutOfBounds);
+}
+
+TEST(Memory, OverlappingCopyIsMemmove) {
+  Memory M;
+  Addr A = M.allocate(8, RegionKind::Heap, "a");
+  for (unsigned I = 0; I < 8; ++I)
+    M.store(A + I, 1, I);
+  EXPECT_EQ(M.copy(A + 2, A, 4), MemFault::None);
+  uint64_t V;
+  M.load(A + 2, 1, V);
+  EXPECT_EQ(V, 0u);
+  M.load(A + 5, 1, V);
+  EXPECT_EQ(V, 3u);
+}
+
+TEST(Memory, HeapAccounting) {
+  Memory M;
+  EXPECT_EQ(M.heapBytesInUse(), 0u);
+  Addr A = M.allocate(100, RegionKind::Heap, "a");
+  M.allocate(50, RegionKind::Global, "g"); // globals don't count
+  EXPECT_EQ(M.heapBytesInUse(), 100u);
+  M.free(A);
+  EXPECT_EQ(M.heapBytesInUse(), 0u);
+}
+
+TEST(Memory, StackRelease) {
+  Memory M;
+  Addr A = M.allocate(4, RegionKind::Stack, "slot");
+  M.releaseStack(A);
+  uint64_t V;
+  EXPECT_EQ(M.load(A, 4, V), MemFault::UseAfterFree)
+      << "stale frame pointers fault";
+}
+
+TEST(Memory, ZeroSizeRegion) {
+  Memory M;
+  Addr A = M.allocate(0, RegionKind::Heap, "empty");
+  EXPECT_FALSE(isNullAddr(A));
+  uint64_t V;
+  EXPECT_EQ(M.load(A, 1, V), MemFault::OutOfBounds);
+  EXPECT_TRUE(M.isHeapBase(A));
+}
+
+TEST(Memory, RegionSizeAndHeapBase) {
+  Memory M;
+  Addr A = M.allocate(12, RegionKind::Heap, "a");
+  EXPECT_EQ(M.regionSize(A), 12u);
+  EXPECT_EQ(M.regionSize(A + 3), 12u);
+  EXPECT_TRUE(M.isHeapBase(A));
+  EXPECT_FALSE(M.isHeapBase(A + 1));
+  EXPECT_FALSE(M.isHeapBase(0));
+}
+
+TEST(Memory, IsReadable) {
+  Memory M;
+  Addr A = M.allocate(4, RegionKind::Heap, "a");
+  EXPECT_TRUE(M.isReadable(A, 4));
+  EXPECT_FALSE(M.isReadable(A, 5));
+  EXPECT_FALSE(M.isReadable(0, 1));
+}

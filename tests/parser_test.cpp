@@ -1,0 +1,257 @@
+//===- parser_test.cpp - Unit tests for src/parser -------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dart;
+
+namespace {
+
+std::unique_ptr<TranslationUnit> parseOk(std::string_view Source) {
+  DiagnosticsEngine Diags;
+  auto TU = Parser::parse(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  return TU;
+}
+
+void parseFails(std::string_view Source) {
+  DiagnosticsEngine Diags;
+  Parser::parse(Source, Diags);
+  EXPECT_TRUE(Diags.hasErrors()) << "expected a parse error for: " << Source;
+}
+
+} // namespace
+
+TEST(Parser, EmptyTranslationUnit) {
+  auto TU = parseOk("");
+  EXPECT_TRUE(TU->decls().empty());
+}
+
+TEST(Parser, GlobalVariables) {
+  auto TU = parseOk("int a; int b = 5; char *p; extern int inputs;");
+  ASSERT_EQ(TU->decls().size(), 4u);
+  const auto *A = dyn_cast<VarDecl>(TU->decls()[0].get());
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->name(), "a");
+  EXPECT_FALSE(A->isExtern());
+  const auto *B = cast<VarDecl>(TU->decls()[1].get());
+  ASSERT_NE(B->init(), nullptr);
+  const auto *P = cast<VarDecl>(TU->decls()[2].get());
+  EXPECT_TRUE(P->type()->isPointer());
+  const auto *E = cast<VarDecl>(TU->decls()[3].get());
+  EXPECT_TRUE(E->isExtern());
+}
+
+TEST(Parser, MultipleDeclaratorsPerLine) {
+  auto TU = parseOk("int a, b = 2, *c;");
+  ASSERT_EQ(TU->decls().size(), 3u);
+  EXPECT_EQ(cast<VarDecl>(TU->decls()[0].get())->name(), "a");
+  EXPECT_NE(cast<VarDecl>(TU->decls()[1].get())->init(), nullptr);
+  EXPECT_TRUE(cast<VarDecl>(TU->decls()[2].get())->type()->isPointer());
+}
+
+TEST(Parser, FunctionDefinitionAndPrototype) {
+  auto TU = parseOk("int add(int a, int b) { return a + b; } void g(void);");
+  const FunctionDecl *Add = TU->findFunction("add");
+  ASSERT_NE(Add, nullptr);
+  EXPECT_TRUE(Add->hasBody());
+  EXPECT_EQ(Add->params().size(), 2u);
+  const FunctionDecl *G = TU->findFunction("g");
+  ASSERT_NE(G, nullptr);
+  EXPECT_FALSE(G->hasBody());
+  EXPECT_TRUE(G->params().empty());
+}
+
+TEST(Parser, StructDefinition) {
+  auto TU = parseOk("struct foo { int i; char c; struct foo *next; };");
+  const auto *S = dyn_cast<StructDecl>(TU->decls()[0].get());
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->isComplete());
+  ASSERT_EQ(S->fields().size(), 3u);
+  EXPECT_EQ(S->fields()[0]->name(), "i");
+  EXPECT_TRUE(S->fields()[2]->type()->isPointer());
+}
+
+TEST(Parser, StructForwardReference) {
+  auto TU = parseOk("struct a; struct b { struct a *p; }; struct a { int x; };");
+  const auto *A = dyn_cast<StructDecl>(TU->decls()[0].get());
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(A->isComplete());
+  // `struct a` referenced from b resolves to the same decl.
+  const StructDecl *B = nullptr;
+  for (const auto &D : TU->decls())
+    if (const auto *SD = dyn_cast<StructDecl>(D.get()))
+      if (SD->name() == "b")
+        B = SD;
+  ASSERT_NE(B, nullptr);
+  const auto *FieldTy = cast<PointerType>(B->fields()[0]->type());
+  EXPECT_EQ(cast<StructType>(FieldTy->pointee())->decl(), A);
+}
+
+TEST(Parser, ArrayDeclarators) {
+  auto TU = parseOk("int a[4]; int m[2][3];");
+  const auto *A = cast<VarDecl>(TU->decls()[0].get());
+  const auto *ATy = dyn_cast<ArrayType>(A->type());
+  ASSERT_NE(ATy, nullptr);
+  EXPECT_EQ(ATy->numElements(), 4u);
+  const auto *M = cast<VarDecl>(TU->decls()[1].get());
+  const auto *Outer = cast<ArrayType>(M->type());
+  EXPECT_EQ(Outer->numElements(), 2u);
+  const auto *Inner = cast<ArrayType>(Outer->element());
+  EXPECT_EQ(Inner->numElements(), 3u);
+}
+
+TEST(Parser, ArrayParamDecaysToPointer) {
+  auto TU = parseOk("int f(int buf[10]) { return buf[0]; }");
+  const FunctionDecl *F = TU->findFunction("f");
+  EXPECT_TRUE(F->params()[0]->type()->isPointer());
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  auto TU = parseOk("int f(int x) { return 1 + x * 2; }");
+  const auto *Body = cast<CompoundStmt>(TU->findFunction("f")->body());
+  const auto *Ret = cast<ReturnStmt>(Body->body()[0].get());
+  const auto *Add = dyn_cast<BinaryExpr>(Ret->value());
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  EXPECT_EQ(cast<BinaryExpr>(Add->rhs())->op(), BinaryOp::Mul);
+}
+
+TEST(Parser, PrecedenceComparisonBindsTighterThanLogical) {
+  auto TU = parseOk("int f(int x, int y) { return x < 1 && y > 2; }");
+  const auto *Body = cast<CompoundStmt>(TU->findFunction("f")->body());
+  const auto *Ret = cast<ReturnStmt>(Body->body()[0].get());
+  const auto *And = cast<BinaryExpr>(Ret->value());
+  EXPECT_EQ(And->op(), BinaryOp::LogAnd);
+  EXPECT_EQ(cast<BinaryExpr>(And->lhs())->op(), BinaryOp::Lt);
+  EXPECT_EQ(cast<BinaryExpr>(And->rhs())->op(), BinaryOp::Gt);
+}
+
+TEST(Parser, AssignmentIsRightAssociative) {
+  auto TU = parseOk("int f(int a, int b) { a = b = 1; return a; }");
+  const auto *Body = cast<CompoundStmt>(TU->findFunction("f")->body());
+  const auto *S = cast<ExprStmt>(Body->body()[0].get());
+  const auto *Outer = cast<AssignExpr>(S->expr());
+  EXPECT_NE(dyn_cast<AssignExpr>(Outer->value()), nullptr);
+}
+
+TEST(Parser, CastVsParenthesizedExpr) {
+  auto TU = parseOk(
+      "int f(int x) { int y; y = (int)x; y = (x) + 1; return y; }");
+  const auto *Body = cast<CompoundStmt>(TU->findFunction("f")->body());
+  const auto *First = cast<ExprStmt>(Body->body()[1].get());
+  EXPECT_NE(dyn_cast<CastExpr>(cast<AssignExpr>(First->expr())->value()),
+            nullptr);
+  const auto *Second = cast<ExprStmt>(Body->body()[2].get());
+  EXPECT_NE(dyn_cast<BinaryExpr>(cast<AssignExpr>(Second->expr())->value()),
+            nullptr);
+}
+
+TEST(Parser, PointerCastWithStars) {
+  auto TU = parseOk("int f(void *p) { char *c; c = (char *)p; return 0; }");
+  (void)TU;
+}
+
+TEST(Parser, SizeofType) {
+  auto TU = parseOk("long f(void) { return sizeof(int) + sizeof(char *); }");
+  (void)TU;
+}
+
+TEST(Parser, ControlFlowStatements) {
+  auto TU = parseOk(R"(
+    int f(int n) {
+      int s = 0;
+      int i;
+      for (i = 0; i < n; i++) s += i;
+      while (s > 100) s--;
+      do { s++; } while (s < 0);
+      if (s == 7) return 1; else return 0;
+    }
+  )");
+  (void)TU;
+}
+
+TEST(Parser, ForWithDeclInit) {
+  auto TU = parseOk("int f(void) { int s = 0; for (int i = 0; i < 3; ++i) s += i; return s; }");
+  (void)TU;
+}
+
+TEST(Parser, BreakContinueNull) {
+  auto TU = parseOk(
+      "int f(void) { while (1) { if (0) continue; break; } ; return 0; }");
+  (void)TU;
+}
+
+TEST(Parser, MemberAndIndexChains) {
+  auto TU = parseOk(R"(
+    struct p { int x[3]; struct p *next; };
+    int f(struct p *q) { return q->next->x[1] + (*q).x[0]; }
+  )");
+  (void)TU;
+}
+
+TEST(Parser, TernaryAndLogical) {
+  auto TU = parseOk("int f(int a) { return a ? a > 0 || a < -5 : !a; }");
+  (void)TU;
+}
+
+TEST(Parser, NullLiteral) {
+  auto TU = parseOk("int f(int *p) { if (p == NULL) return 1; return 0; }");
+  (void)TU;
+}
+
+TEST(Parser, ErrorMissingSemicolon) { parseFails("int f(void) { return 0 }"); }
+TEST(Parser, ErrorBadTopLevel) { parseFails("42;"); }
+TEST(Parser, ErrorUnclosedBrace) { parseFails("int f(void) { return 0;"); }
+TEST(Parser, ErrorBadArraySize) { parseFails("int a[x];"); }
+TEST(Parser, ErrorStructRedefinition) {
+  parseFails("struct s { int a; }; struct s { int b; };");
+}
+TEST(Parser, ErrorSizeofExprUnsupported) {
+  parseFails("int f(int x) { return sizeof(x); }");
+}
+
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  DiagnosticsEngine Diags;
+  Parser::parse("int f( { } int g(void) { return $; }", Diags);
+  EXPECT_GE(Diags.errorCount(), 2u);
+}
+
+// Property: pretty-printing a parsed program and reparsing the output is a
+// fixpoint (print . parse . print == print).
+class ParserRoundTripTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ParserRoundTripTest, PrintParsePrintIsFixpoint) {
+  DiagnosticsEngine D1;
+  auto TU1 = Parser::parse(GetParam(), D1);
+  ASSERT_FALSE(D1.hasErrors()) << D1.toString();
+  std::string P1 = printTranslationUnit(*TU1);
+  DiagnosticsEngine D2;
+  auto TU2 = Parser::parse(P1, D2);
+  ASSERT_FALSE(D2.hasErrors()) << "reparse failed:\n" << P1 << D2.toString();
+  EXPECT_EQ(P1, printTranslationUnit(*TU2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParserRoundTripTest,
+    ::testing::Values(
+        "int x = 5;\n",
+        "int f(int a, int b) { return a * b + 3; }",
+        "struct s { int a; char b; }; struct s g;",
+        "int f(int *p) { if (p != NULL) return *p; return -1; }",
+        "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }",
+        "int f(int a) { return a ? 1 : 2; }",
+        "char c = 'x'; char *s = \"hi\\n\";",
+        "int f(void) { int a[3]; a[0] = 1; a[1] = a[0] << 2; return a[1]; }",
+        "int g(void); int f(void) { return g(); }",
+        "int f(int x) { return -x + ~x + !x; }",
+        "int f(int x) { x += 1; x -= 2; x *= 3; x /= 2; x %= 5; return x; }",
+        "int f(struct t *p); struct t { int v; };",
+        "int f(int x) { switch (x) { case 1: return 1; case 2: case 3: "
+        "return 23; default: break; } return 0; }"));

@@ -1,0 +1,225 @@
+//===- sema_test.cpp - Unit tests for src/sema ------------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dart;
+using namespace dart::test;
+
+TEST(Sema, SimpleFunctionChecks) {
+  auto TU = check("int add(int a, int b) { return a + b; }");
+  ASSERT_NE(TU, nullptr);
+  const FunctionDecl *F = TU->findFunction("add");
+  const auto *Body = cast<CompoundStmt>(F->body());
+  const auto *Ret = cast<ReturnStmt>(Body->body()[0].get());
+  EXPECT_EQ(Ret->value()->type(), TU->types().intType());
+}
+
+TEST(Sema, UndeclaredVariableRejected) {
+  std::string Errors = checkFails("int f(void) { return nope; }");
+  EXPECT_NE(Errors.find("undeclared identifier"), std::string::npos);
+}
+
+TEST(Sema, ImplicitIntConversionsInserted) {
+  auto TU = check("int f(char c) { return c + 1; }");
+  const auto *Body =
+      cast<CompoundStmt>(TU->findFunction("f")->body());
+  const auto *Ret = cast<ReturnStmt>(Body->body()[0].get());
+  const auto *Add = cast<BinaryExpr>(Ret->value());
+  // `c` is promoted to int via an implicit cast.
+  const auto *Cast = dyn_cast<CastExpr>(Add->lhs());
+  ASSERT_NE(Cast, nullptr);
+  EXPECT_TRUE(Cast->isImplicit());
+  EXPECT_EQ(Cast->targetType(), TU->types().intType());
+}
+
+TEST(Sema, UsualArithmeticConversions) {
+  // long dominates; unsigned dominates int.
+  auto TU = check(R"(
+    long f(long l, int i) { return l + i; }
+    unsigned g(unsigned u, int i) { return u + i; }
+  )");
+  ASSERT_NE(TU, nullptr);
+}
+
+TEST(Sema, AssignmentToRValueRejected) {
+  std::string Errors = checkFails("int f(int a) { a + 1 = 2; return a; }");
+  EXPECT_NE(Errors.find("lvalue"), std::string::npos);
+}
+
+TEST(Sema, VoidDerefRejected) {
+  checkFails("int f(void *p) { return *p; }");
+}
+
+TEST(Sema, PointerIntComparisonRejectedUnlessNull) {
+  check("int f(int *p) { return p == NULL; }");
+  check("int f(int *p) { return p == 0; }");
+  checkFails("int f(int *p) { return p == 5; }");
+}
+
+TEST(Sema, PointerConversionRules) {
+  // void* converts freely; distinct pointee types do not.
+  check("int f(void *v) { int *p; p = v; return *p; }");
+  checkFails("int f(char *c) { int *p; p = c; return *p; }");
+}
+
+TEST(Sema, ExplicitPointerCastsAllowed) {
+  check("int f(char *c) { int *p; p = (int *)c; return *p; }");
+}
+
+TEST(Sema, CallArityChecked) {
+  std::string Errors =
+      checkFails("int g(int a); int f(void) { return g(1, 2); }");
+  EXPECT_NE(Errors.find("argument"), std::string::npos);
+}
+
+TEST(Sema, ImplicitFunctionDeclarationBecomesExternal) {
+  DiagnosticsEngine Diags;
+  auto TU = parseAndCheck("int f(void) { return mystery(3); }", Diags);
+  ASSERT_NE(TU, nullptr);
+  // A warning (not an error) plus a synthesized prototype.
+  bool SawWarning = false;
+  for (const auto &D : Diags.diagnostics())
+    SawWarning |= D.Severity == DiagSeverity::Warning &&
+                  D.Message.find("mystery") != std::string::npos;
+  EXPECT_TRUE(SawWarning);
+  const FunctionDecl *M = TU->findFunction("mystery");
+  ASSERT_NE(M, nullptr);
+  EXPECT_FALSE(M->hasBody());
+  EXPECT_EQ(M->params().size(), 1u);
+}
+
+TEST(Sema, BreakOutsideLoopRejected) {
+  checkFails("int f(void) { break; return 0; }");
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  checkFails("void f(void) { return 3; }");
+  checkFails("int f(void) { return; }");
+  check("void f(void) { return; }");
+}
+
+TEST(Sema, GlobalInitializerMustBeConstant) {
+  check("int a = 1 + 2 * 3;");
+  check("long b = sizeof(int);");
+  check("int c = -(1 << 4);");
+  checkFails("int g(void); int a = g();");
+}
+
+TEST(Sema, ExternWithInitializerRejected) {
+  checkFails("extern int x = 3;");
+}
+
+TEST(Sema, StructFieldAccessChecked) {
+  check("struct s { int a; }; int f(struct s *p) { return p->a; }");
+  checkFails("struct s { int a; }; int f(struct s *p) { return p->b; }");
+  checkFails("struct s { int a; }; int f(struct s v) { return v->a; }");
+  check("struct s { int a; }; struct s g; int f(void) { return g.a; }");
+}
+
+TEST(Sema, IncompleteStructUsageRejected) {
+  checkFails("struct s; struct s g;");
+  check("struct s; int f(struct s *p) { return p == NULL; }");
+  checkFails("struct s; int f(struct s *p) { return p->x; }");
+}
+
+TEST(Sema, RecursiveStructByValueRejected) {
+  checkFails("struct s { struct s inner; };");
+  check("struct s { struct s *next; };");
+}
+
+TEST(Sema, StructAssignmentSameTypeOnly) {
+  check(R"(
+    struct s { int a; int b; };
+    void f(struct s *p, struct s *q) { *p = *q; }
+  )");
+  checkFails(R"(
+    struct s { int a; }; struct t { int a; };
+    void f(struct s *p, struct t *q) { *p = *q; }
+  )");
+}
+
+TEST(Sema, ConditionMustBeScalar) {
+  checkFails("struct s { int a; }; struct s g; int f(void) { if (g) return 1; return 0; }");
+}
+
+TEST(Sema, LocalRedefinitionRejected) {
+  checkFails("int f(void) { int a; int a; return 0; }");
+  // Shadowing in an inner scope is fine.
+  check("int f(void) { int a = 1; { int a = 2; return a; } }");
+}
+
+TEST(Sema, FunctionRedefinitionRejected) {
+  checkFails("int f(void) { return 0; } int f(void) { return 1; }");
+  // Prototype + definition is fine.
+  check("int f(void); int f(void) { return 0; }");
+}
+
+TEST(Sema, BuiltinSignatures) {
+  check(R"(
+    int f(void) {
+      int *p = (int *)malloc(sizeof(int));
+      *p = 3;
+      free(p);
+      assert(1);
+      return 0;
+    }
+  )");
+}
+
+TEST(Sema, ArrayNotAssignable) {
+  checkFails("int f(void) { int a[2]; int b[2]; a = b; return 0; }");
+}
+
+// Parameterized struct layout checks: C-style padding and alignment.
+struct LayoutCase {
+  const char *Source;
+  const char *StructName;
+  unsigned ExpectedSize;
+  unsigned ExpectedAlign;
+};
+
+class StructLayoutTest : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(StructLayoutTest, SizeAndAlignment) {
+  const LayoutCase &C = GetParam();
+  auto TU = check(C.Source);
+  ASSERT_NE(TU, nullptr);
+  const StructDecl *S = nullptr;
+  for (const auto &D : TU->decls())
+    if (const auto *SD = dyn_cast<StructDecl>(D.get()))
+      if (SD->name() == C.StructName)
+        S = SD;
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->size(), C.ExpectedSize) << C.Source;
+  EXPECT_EQ(S->align(), C.ExpectedAlign) << C.Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, StructLayoutTest,
+    ::testing::Values(
+        // The paper's §2.5 struct: int + char pads to 8.
+        LayoutCase{"struct foo { int i; char c; };", "foo", 8, 4},
+        LayoutCase{"struct a { char c; };", "a", 1, 1},
+        LayoutCase{"struct b { char c; int i; };", "b", 8, 4},
+        LayoutCase{"struct c { char c1; char c2; int i; };", "c", 8, 4},
+        LayoutCase{"struct d { int i; long l; };", "d", 16, 8},
+        LayoutCase{"struct e { char c; long l; char d; };", "e", 24, 8},
+        LayoutCase{"struct f { int *p; char c; };", "f", 16, 8},
+        LayoutCase{"struct g { int a[3]; char c; };", "g", 16, 4},
+        LayoutCase{"struct in_ { char c; int i; }; "
+                   "struct h { char c; struct in_ s; };",
+                   "h", 12, 4}));
+
+TEST(Sema, FieldOffsets) {
+  auto TU = check("struct s { char c; int i; long l; };");
+  const auto *S = cast<StructDecl>(TU->decls()[0].get());
+  EXPECT_EQ(S->fields()[0]->offset(), 0u);
+  EXPECT_EQ(S->fields()[1]->offset(), 4u);
+  EXPECT_EQ(S->fields()[2]->offset(), 8u);
+}

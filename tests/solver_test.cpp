@@ -1,0 +1,308 @@
+//===- solver_test.cpp - Unit tests for src/solver ---------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/LinearSolver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace dart;
+
+namespace {
+
+VarDomain intDomain() { return VarDomain{INT32_MIN, INT32_MAX}; }
+
+std::function<VarDomain(InputId)> allInt() {
+  return [](InputId) { return intDomain(); };
+}
+
+LinearExpr var(InputId Id) { return LinearExpr::variable(Id); }
+LinearExpr lin(InputId Id, int64_t Coeff, int64_t Const) {
+  return *LinearExpr::variable(Id).scale(Coeff)->add(LinearExpr(Const));
+}
+
+/// Checks that a model satisfies every constraint.
+void checkModel(const std::vector<SymPred> &Cs,
+                const std::map<InputId, int64_t> &Model) {
+  auto ValueOf = [&](InputId Id) {
+    auto It = Model.find(Id);
+    return It == Model.end() ? 0 : It->second;
+  };
+  for (const SymPred &P : Cs)
+    EXPECT_TRUE(P.holds(ValueOf)) << P.toString() << " violated";
+}
+
+SolveStatus solve(const std::vector<SymPred> &Cs,
+                  std::map<InputId, int64_t> &Model,
+                  SolverOptions Opts = {},
+                  const std::map<InputId, int64_t> &Hint = {}) {
+  LinearSolver S(Opts);
+  SolveStatus St = S.solve(Cs, allInt(), Hint, Model);
+  if (St == SolveStatus::Sat)
+    checkModel(Cs, Model);
+  return St;
+}
+
+} // namespace
+
+TEST(Solver, EmptySystemIsSat) {
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({}, Model), SolveStatus::Sat);
+}
+
+TEST(Solver, SingleEquality) {
+  std::map<InputId, int64_t> Model;
+  // x - 10 == 0
+  EXPECT_EQ(solve({SymPred(CmpPred::Eq, lin(0, 1, -10))}, Model),
+            SolveStatus::Sat);
+  EXPECT_EQ(Model[0], 10);
+}
+
+// Each predicate solves and the model satisfies it.
+class SolverPredTest : public ::testing::TestWithParam<CmpPred> {};
+
+TEST_P(SolverPredTest, SingleConstraintSat) {
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({SymPred(GetParam(), lin(0, 1, -5))}, Model),
+            SolveStatus::Sat);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPreds, SolverPredTest,
+                         ::testing::Values(CmpPred::Eq, CmpPred::Ne,
+                                           CmpPred::Lt, CmpPred::Le,
+                                           CmpPred::Gt, CmpPred::Ge));
+
+TEST(Solver, ContradictionIsUnsat) {
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({SymPred(CmpPred::Eq, lin(0, 1, -1)),
+                   SymPred(CmpPred::Eq, lin(0, 1, -2))},
+                  Model),
+            SolveStatus::Unsat);
+}
+
+TEST(Solver, IntervalConjunction) {
+  // 3 <= x <= 7, x != 5, x != 3 -> x in {4, 6, 7}.
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({SymPred(CmpPred::Ge, lin(0, 1, -3)),
+                   SymPred(CmpPred::Le, lin(0, 1, -7)),
+                   SymPred(CmpPred::Ne, lin(0, 1, -5)),
+                   SymPred(CmpPred::Ne, lin(0, 1, -3))},
+                  Model),
+            SolveStatus::Sat);
+}
+
+TEST(Solver, EmptyIntervalUnsat) {
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({SymPred(CmpPred::Gt, lin(0, 1, -7)),
+                   SymPred(CmpPred::Lt, lin(0, 1, -7))},
+                  Model),
+            SolveStatus::Unsat);
+}
+
+TEST(Solver, ExcludedPointInUnitIntervalUnsat) {
+  // x == 7 and x != 7.
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({SymPred(CmpPred::Eq, lin(0, 1, -7)),
+                   SymPred(CmpPred::Ne, lin(0, 1, -7))},
+                  Model),
+            SolveStatus::Unsat);
+}
+
+TEST(Solver, DivisibilityViaEquality) {
+  // 2x - 7 == 0 has no integer solution.
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({SymPred(CmpPred::Eq, lin(0, 2, -7))}, Model),
+            SolveStatus::Unsat);
+  // 2x - 8 == 0 -> x == 4.
+  EXPECT_EQ(solve({SymPred(CmpPred::Eq, lin(0, 2, -8))}, Model),
+            SolveStatus::Sat);
+  EXPECT_EQ(Model[0], 4);
+}
+
+TEST(Solver, TwoVariableEquality) {
+  // The paper's §2.1 system: x != y, 2x == x + 10 (i.e. x - 10 == 0 after
+  // symbolic evaluation).
+  auto XMinusY = *var(0).sub(var(1));
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({SymPred(CmpPred::Ne, XMinusY),
+                   SymPred(CmpPred::Eq, lin(0, 1, -10))},
+                  Model),
+            SolveStatus::Sat);
+  EXPECT_EQ(Model[0], 10);
+  EXPECT_NE(Model[1], 10);
+}
+
+TEST(Solver, MultiVariableSystem) {
+  // x + y == 10, x - y == 4  ->  x = 7, y = 3.
+  auto Sum = *var(0).add(var(1));
+  auto Diff = *var(0).sub(var(1));
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({SymPred(CmpPred::Eq, *Sum.add(LinearExpr(-10))),
+                   SymPred(CmpPred::Eq, *Diff.add(LinearExpr(-4)))},
+                  Model),
+            SolveStatus::Sat);
+  EXPECT_EQ(Model[0], 7);
+  EXPECT_EQ(Model[1], 3);
+}
+
+TEST(Solver, ChainOfInequalities) {
+  // x < y, y < z, z < x is unsat.
+  auto XY = *var(0).sub(var(1));
+  auto YZ = *var(1).sub(var(2));
+  auto ZX = *var(2).sub(var(0));
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({SymPred(CmpPred::Lt, XY), SymPred(CmpPred::Lt, YZ),
+                   SymPred(CmpPred::Lt, ZX)},
+                  Model),
+            SolveStatus::Unsat);
+  // Drop one: satisfiable.
+  EXPECT_EQ(solve({SymPred(CmpPred::Lt, XY), SymPred(CmpPred::Lt, YZ)},
+                  Model),
+            SolveStatus::Sat);
+}
+
+TEST(Solver, DomainsRespected) {
+  LinearSolver S;
+  std::map<InputId, int64_t> Model;
+  auto ByteDomain = [](InputId) { return VarDomain{-128, 127}; };
+  // x > 200 is unsat for a char input.
+  EXPECT_EQ(S.solve({SymPred(CmpPred::Gt, lin(0, 1, -200))}, ByteDomain, {},
+                    Model),
+            SolveStatus::Unsat);
+  // x > 100 is sat: 101..127.
+  EXPECT_EQ(S.solve({SymPred(CmpPred::Gt, lin(0, 1, -100))}, ByteDomain, {},
+                    Model),
+            SolveStatus::Sat);
+  EXPECT_GT(Model[0], 100);
+  EXPECT_LE(Model[0], 127);
+}
+
+TEST(Solver, HintPreferred) {
+  std::map<InputId, int64_t> Model;
+  // x >= 0 with hint x=42 keeps 42.
+  EXPECT_EQ(solve({SymPred(CmpPred::Ge, var(0))}, Model, {}, {{0, 42}}),
+            SolveStatus::Sat);
+  EXPECT_EQ(Model[0], 42);
+  // Hint outside the feasible set is corrected.
+  EXPECT_EQ(solve({SymPred(CmpPred::Ge, lin(0, 1, -50))}, Model, {},
+                  {{0, 42}}),
+            SolveStatus::Sat);
+  EXPECT_GE(Model[0], 50);
+}
+
+TEST(Solver, HintPreferredInGeneralPath) {
+  // Multi-variable so the fast path does not trigger: x + y >= 0, hint
+  // both to 5.
+  auto Sum = *var(0).add(var(1));
+  std::map<InputId, int64_t> Model;
+  SolveStatus St =
+      solve({SymPred(CmpPred::Ge, Sum)}, Model, {}, {{0, 5}, {1, 5}});
+  EXPECT_EQ(St, SolveStatus::Sat);
+  EXPECT_EQ(Model[0], 5);
+  EXPECT_EQ(Model[1], 5);
+}
+
+TEST(Solver, DisequalityBranchingInGeneralPath) {
+  // x + y == 0 and x != 0 forces a branch on the disequality.
+  auto Sum = *var(0).add(var(1));
+  std::map<InputId, int64_t> Model;
+  SolverOptions Opts;
+  EXPECT_EQ(solve({SymPred(CmpPred::Eq, Sum), SymPred(CmpPred::Ne, var(0))},
+                  Model, Opts),
+            SolveStatus::Sat);
+}
+
+TEST(Solver, FastPathDisabledStillSolves) {
+  SolverOptions Opts;
+  Opts.EnableFastPath = false;
+  std::map<InputId, int64_t> Model;
+  EXPECT_EQ(solve({SymPred(CmpPred::Eq, lin(0, 1, -10)),
+                   SymPred(CmpPred::Ne, lin(1, 1, 0))},
+                  Model, Opts),
+            SolveStatus::Sat);
+  EXPECT_EQ(Model[0], 10);
+  EXPECT_NE(Model[1], 0);
+}
+
+TEST(Solver, StatsAccumulate) {
+  LinearSolver S;
+  std::map<InputId, int64_t> Model;
+  S.solve({SymPred(CmpPred::Eq, lin(0, 1, -1))}, allInt(), {}, Model);
+  S.solve({SymPred(CmpPred::Eq, lin(0, 1, -1)),
+           SymPred(CmpPred::Eq, lin(0, 1, -2))},
+          allInt(), {}, Model);
+  EXPECT_EQ(S.stats().Queries, 2u);
+  EXPECT_EQ(S.stats().Sat, 1u);
+  EXPECT_EQ(S.stats().Unsat, 1u);
+  EXPECT_EQ(S.stats().FastPathQueries, 2u);
+  S.resetStats();
+  EXPECT_EQ(S.stats().Queries, 0u);
+}
+
+// Property: on random univariate systems the fast path and the general
+// path agree on satisfiability, and both produce valid models.
+TEST(Solver, FastPathMatchesGeneralPathProperty) {
+  Rng R(2024);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::vector<SymPred> Cs;
+    unsigned N = 1 + R.nextBelow(4);
+    for (unsigned I = 0; I < N; ++I) {
+      CmpPred P = static_cast<CmpPred>(R.nextBelow(6));
+      Cs.push_back(SymPred(P, lin(0, 1, R.nextBits(6))));
+    }
+    SolverOptions Fast, Slow;
+    Slow.EnableFastPath = false;
+    LinearSolver SF(Fast), SS(Slow);
+    std::map<InputId, int64_t> MF, MS;
+    SolveStatus StF = SF.solve(Cs, allInt(), {}, MF);
+    SolveStatus StS = SS.solve(Cs, allInt(), {}, MS);
+    if (StF == SolveStatus::Sat)
+      checkModel(Cs, MF);
+    if (StS == SolveStatus::Sat)
+      checkModel(Cs, MS);
+    // Unknown is allowed to disagree; Sat/Unsat must match.
+    if (StF != SolveStatus::Unknown && StS != SolveStatus::Unknown) {
+      EXPECT_EQ(StF, StS) << "trial " << Trial;
+    }
+  }
+}
+
+// Property: random 2-3 variable systems with unit coefficients — whenever
+// the solver claims Sat, the model is valid; whenever a known-satisfying
+// witness exists, it must not claim Unsat.
+TEST(Solver, RandomSystemsSoundnessProperty) {
+  Rng R(99);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    // Build constraints satisfied by a hidden witness so SAT is known.
+    std::map<InputId, int64_t> Witness;
+    unsigned NumVars = 2 + R.nextBelow(2);
+    for (InputId Id = 0; Id < NumVars; ++Id)
+      Witness[Id] = R.nextBits(8);
+    auto ValueOf = [&](InputId Id) { return Witness[Id]; };
+    std::vector<SymPred> Cs;
+    for (unsigned I = 0; I < 4; ++I) {
+      LinearExpr E(static_cast<int64_t>(R.nextBits(5)));
+      for (InputId Id = 0; Id < NumVars; ++Id)
+        if (R.coinToss())
+          E = *E.add(*var(Id).scale(R.coinToss() ? 1 : -1));
+      int64_t V = E.evaluate(ValueOf);
+      // Choose a predicate that the witness satisfies.
+      CmpPred P;
+      if (V == 0)
+        P = CmpPred::Eq;
+      else if (V > 0)
+        P = R.coinToss() ? CmpPred::Gt : CmpPred::Ge;
+      else
+        P = R.coinToss() ? CmpPred::Lt : CmpPred::Le;
+      Cs.push_back(SymPred(P, E));
+    }
+    std::map<InputId, int64_t> Model;
+    SolveStatus St = solve(Cs, Model);
+    EXPECT_NE(St, SolveStatus::Unsat)
+        << "system has a witness, must not be Unsat (trial " << Trial
+        << ")";
+  }
+}

@@ -1,0 +1,146 @@
+//===- support_test.cpp - Unit tests for src/support ----------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/SourceLocation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dart;
+
+TEST(SourceLocation, InvalidByDefault) {
+  SourceLocation Loc;
+  EXPECT_FALSE(Loc.isValid());
+  EXPECT_EQ(Loc.toString(), "<unknown>");
+}
+
+TEST(SourceLocation, Formatting) {
+  SourceLocation Loc{3, 14, 100};
+  EXPECT_TRUE(Loc.isValid());
+  EXPECT_EQ(Loc.toString(), "3:14");
+}
+
+TEST(Diagnostics, CountsOnlyErrors) {
+  DiagnosticsEngine Diags;
+  Diags.warning({1, 1, 0}, "w");
+  Diags.note({1, 2, 1}, "n");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({2, 1, 5}, "e");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, Rendering) {
+  DiagnosticsEngine Diags;
+  Diags.error({7, 3, 0}, "unexpected token");
+  EXPECT_EQ(Diags.toString(), "7:3: error: unexpected token\n");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticsEngine Diags;
+  Diags.error({1, 1, 0}, "x");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Rng, NextBitsStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V8 = R.nextBits(8);
+    EXPECT_GE(V8, -128);
+    EXPECT_LE(V8, 127);
+    int64_t V32 = R.nextBits(32);
+    EXPECT_GE(V32, INT32_MIN);
+    EXPECT_LE(V32, INT32_MAX);
+  }
+}
+
+TEST(Rng, NextBelowUniformSupport) {
+  Rng R(99);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 200; ++I) {
+    uint64_t V = R.nextBelow(5);
+    EXPECT_LT(V, 5u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u) << "all residues should appear in 200 draws";
+}
+
+TEST(Rng, CoinTossIsRoughlyFair) {
+  Rng R(2005);
+  int Heads = 0;
+  const int N = 10000;
+  for (int I = 0; I < N; ++I)
+    Heads += R.coinToss() ? 1 : 0;
+  // 10000 tosses: expect 5000 +- ~500 (10 sigma).
+  EXPECT_GT(Heads, 4500);
+  EXPECT_LT(Heads, 5500);
+}
+
+TEST(Rng, StateRoundTrip) {
+  Rng A(5);
+  A.next();
+  uint64_t S = A.state();
+  Rng B;
+  B.setState(S);
+  EXPECT_EQ(A.next(), B.next());
+}
+
+namespace {
+struct Base {
+  enum class Kind { A, B };
+  explicit Base(Kind K) : K(K) {}
+  Kind kind() const { return K; }
+  Kind K;
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->kind() == Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->kind() == Kind::B; }
+};
+} // namespace
+
+TEST(Casting, IsaAndDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_NE(dyn_cast<DerivedA>(B), nullptr);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+}
+
+TEST(Casting, DynCastOrNull) {
+  Base *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<DerivedA>(Null), nullptr);
+  DerivedB BObj;
+  Base *B = &BObj;
+  EXPECT_EQ(dyn_cast_or_null<DerivedA>(B), nullptr);
+  EXPECT_EQ(dyn_cast_or_null<DerivedB>(B), &BObj);
+}

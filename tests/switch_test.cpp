@@ -1,0 +1,221 @@
+//===- switch_test.cpp - Tests for MiniC switch statements -----------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "interp/Interp.h"
+#include "ir/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace dart;
+using namespace dart::test;
+
+namespace {
+
+int64_t evalTo(std::string_view Source, const std::string &Fn,
+               std::vector<int64_t> Args = {}) {
+  DiagnosticsEngine Diags;
+  auto TU = parseAndCheck(Source, Diags);
+  EXPECT_NE(TU, nullptr) << Diags.toString();
+  if (!TU)
+    return INT64_MIN;
+  LoweredProgram P = lowerToIR(*TU, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  Interp VM(*P.Module);
+  RunResult R = VM.callFunction(Fn, Args);
+  EXPECT_EQ(R.Status, RunStatus::Halted) << R.Error.toString();
+  return R.ReturnValue;
+}
+
+const char *Classifier = R"(
+  int classify(int x) {
+    switch (x) {
+    case 0:
+      return 100;
+    case 1:
+    case 2:
+      return 200;
+    case -3:
+      return 300;
+    default:
+      return -1;
+    }
+  }
+)";
+
+} // namespace
+
+TEST(SwitchStmt, BasicDispatch) {
+  EXPECT_EQ(evalTo(Classifier, "classify", {0}), 100);
+  EXPECT_EQ(evalTo(Classifier, "classify", {1}), 200);
+  EXPECT_EQ(evalTo(Classifier, "classify", {2}), 200)
+      << "adjacent labels fall through";
+  EXPECT_EQ(evalTo(Classifier, "classify", {-3}), 300);
+  EXPECT_EQ(evalTo(Classifier, "classify", {42}), -1);
+}
+
+TEST(SwitchStmt, FallthroughAccumulates) {
+  const char *Source = R"(
+    int f(int x) {
+      int acc = 0;
+      switch (x) {
+      case 3:
+        acc += 100;
+      case 2:
+        acc += 10;
+      case 1:
+        acc += 1;
+      }
+      return acc;
+    }
+  )";
+  EXPECT_EQ(evalTo(Source, "f", {3}), 111);
+  EXPECT_EQ(evalTo(Source, "f", {2}), 11);
+  EXPECT_EQ(evalTo(Source, "f", {1}), 1);
+  EXPECT_EQ(evalTo(Source, "f", {9}), 0) << "no default: falls past";
+}
+
+TEST(SwitchStmt, BreakLeavesSwitchOnly) {
+  const char *Source = R"(
+    int f(int n) {
+      int total = 0;
+      for (int i = 0; i < n; i++) {
+        switch (i % 3) {
+        case 0:
+          total += 1;
+          break;
+        case 1:
+          total += 10;
+          break;
+        default:
+          total += 100;
+          break;
+        }
+      }
+      return total;
+    }
+  )";
+  EXPECT_EQ(evalTo(Source, "f", {6}), 222);
+}
+
+TEST(SwitchStmt, DefaultAnywhere) {
+  const char *Source = R"(
+    int f(int x) {
+      switch (x) {
+      default:
+        return -1;
+      case 5:
+        return 5;
+      }
+    }
+  )";
+  EXPECT_EQ(evalTo(Source, "f", {5}), 5);
+  EXPECT_EQ(evalTo(Source, "f", {6}), -1);
+}
+
+TEST(SwitchStmt, CharAndLongScrutinees) {
+  const char *Source = R"(
+    int f(char c) {
+      switch (c) {
+      case 'a':
+        return 1;
+      case 'z':
+        return 26;
+      }
+      return 0;
+    }
+  )";
+  EXPECT_EQ(evalTo(Source, "f", {'a'}), 1);
+  EXPECT_EQ(evalTo(Source, "f", {'z'}), 26);
+  EXPECT_EQ(evalTo(Source, "f", {'m'}), 0);
+}
+
+TEST(SwitchStmt, SideEffectingScrutineeEvaluatedOnce) {
+  const char *Source = R"(
+    int calls = 0;
+    int next(void) { calls += 1; return calls; }
+    int f(void) {
+      switch (next()) {
+      case 1:
+        break;
+      case 2:
+        return -1;
+      }
+      return calls;
+    }
+  )";
+  EXPECT_EQ(evalTo(Source, "f"), 1);
+}
+
+TEST(SwitchStmt, SemaRejectsDuplicateCases) {
+  checkFails("int f(int x) { switch (x) { case 1: return 1; case 1: return 2; } return 0; }");
+}
+
+TEST(SwitchStmt, SemaRejectsMultipleDefaults) {
+  checkFails("int f(int x) { switch (x) { default: return 1; default: return 2; } return 0; }");
+}
+
+TEST(SwitchStmt, SemaRejectsNonIntegerScrutinee) {
+  checkFails("int f(int *p) { switch (p) { case 0: return 1; } return 0; }");
+}
+
+TEST(SwitchStmt, SemaRejectsNonConstantLabel) {
+  checkFails("int f(int x, int y) { switch (x) { case y: return 1; } return 0; }");
+}
+
+TEST(SwitchStmt, EachCaseIsABranchSite) {
+  DiagnosticsEngine Diags;
+  auto TU = parseAndCheck(Classifier, Diags);
+  ASSERT_NE(TU, nullptr);
+  LoweredProgram P = lowerToIR(*TU, Diags);
+  // 4 value labels (0, 1, 2, -3) -> 4 conditional statements.
+  EXPECT_EQ(P.Module->numBranchSites(), 4u);
+}
+
+TEST(SwitchStmt, DartSteersIntoEveryArm) {
+  // The directed search must reach all arms — including the guarded abort —
+  // exactly like an if-chain.
+  const char *Source = R"(
+    void dispatch(int cmd, int arg) {
+      switch (cmd) {
+      case 10:
+        return;
+      case 20:
+        if (arg == 777)
+          abort();
+        return;
+      case 30:
+        return;
+      }
+    }
+  )";
+  DartReport R = runDart(Source, "dispatch");
+  ASSERT_TRUE(R.BugFound);
+  EXPECT_LE(R.Runs, 10u);
+  std::map<std::string, int64_t> In(R.Bugs[0].Inputs.begin(),
+                                    R.Bugs[0].Inputs.end());
+  EXPECT_EQ(In["dispatch#0.cmd"], 20);
+  EXPECT_EQ(In["dispatch#0.arg"], 777);
+}
+
+TEST(SwitchStmt, CompleteExplorationThroughSwitch) {
+  const char *Source = R"(
+    int f(int x) {
+      switch (x) {
+      case 1:
+        return 10;
+      case 2:
+        return 20;
+      default:
+        return 0;
+      }
+    }
+  )";
+  DartReport R = runDart(Source, "f");
+  EXPECT_FALSE(R.BugFound);
+  EXPECT_TRUE(R.CompleteExploration);
+  EXPECT_EQ(R.BranchDirectionsCovered, 2 * R.BranchSitesTotal);
+}

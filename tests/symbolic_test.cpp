@@ -1,0 +1,209 @@
+//===- symbolic_test.cpp - Unit tests for src/symbolic ----------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "symbolic/SymExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace dart;
+
+namespace {
+
+std::function<int64_t(InputId)> assign(std::map<InputId, int64_t> Values) {
+  return [Values = std::move(Values)](InputId Id) {
+    auto It = Values.find(Id);
+    return It == Values.end() ? 0 : It->second;
+  };
+}
+
+} // namespace
+
+TEST(LinearExpr, ConstantsAndVariables) {
+  LinearExpr C(7);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.constant(), 7);
+
+  LinearExpr X = LinearExpr::variable(3);
+  EXPECT_FALSE(X.isConstant());
+  EXPECT_EQ(X.coeff(3), 1);
+  EXPECT_EQ(X.coeff(4), 0);
+}
+
+TEST(LinearExpr, AddCombinesAndCancels) {
+  LinearExpr X = LinearExpr::variable(0);
+  LinearExpr Y = LinearExpr::variable(1);
+  auto Sum = X.add(Y);
+  ASSERT_TRUE(Sum);
+  EXPECT_EQ(Sum->coeff(0), 1);
+  EXPECT_EQ(Sum->coeff(1), 1);
+
+  auto NegX = X.negate();
+  auto Zero = Sum->add(*NegX);
+  ASSERT_TRUE(Zero);
+  EXPECT_EQ(Zero->coeff(0), 0);
+  EXPECT_EQ(Zero->coeff(1), 1);
+  EXPECT_EQ(Zero->coeffs().size(), 1u) << "cancelled terms are erased";
+}
+
+TEST(LinearExpr, ScaleAndEvaluate) {
+  // 3*x0 - 2*x1 + 5
+  auto E = LinearExpr::variable(0).scale(3)->add(
+      *LinearExpr::variable(1).scale(-2)->add(LinearExpr(5)));
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->evaluate(assign({{0, 10}, {1, 4}})), 30 - 8 + 5);
+  EXPECT_EQ(E->evaluate(assign({})), 5);
+}
+
+TEST(LinearExpr, ScaleByZeroIsZero) {
+  auto Z = LinearExpr::variable(7).scale(0);
+  ASSERT_TRUE(Z);
+  EXPECT_TRUE(Z->isConstant());
+  EXPECT_EQ(Z->constant(), 0);
+}
+
+TEST(LinearExpr, OverflowDetected) {
+  LinearExpr Big(INT64_MAX);
+  EXPECT_FALSE(Big.add(LinearExpr(1)).has_value());
+  EXPECT_FALSE(Big.scale(2).has_value());
+  auto BigCoeff = LinearExpr::variable(0).scale(INT64_MAX);
+  ASSERT_TRUE(BigCoeff);
+  EXPECT_FALSE(BigCoeff->scale(2).has_value());
+  EXPECT_FALSE(BigCoeff->add(*BigCoeff).has_value());
+}
+
+TEST(LinearExpr, InputsListed) {
+  auto E = LinearExpr::variable(5).add(LinearExpr::variable(2));
+  auto Ids = E->inputs();
+  ASSERT_EQ(Ids.size(), 2u);
+  EXPECT_EQ(Ids[0], 2u);
+  EXPECT_EQ(Ids[1], 5u);
+}
+
+TEST(LinearExpr, Printing) {
+  auto E = LinearExpr::variable(0).scale(2)->add(
+      *LinearExpr::variable(1).negate()->add(LinearExpr(-3)));
+  EXPECT_EQ(E->toString(), "2*x0 - x1 - 3");
+  EXPECT_EQ(LinearExpr(0).toString(), "0");
+}
+
+// Property: (a op b).evaluate == a.evaluate op b.evaluate for random
+// expressions (checked add/sub/scale agree with direct evaluation).
+TEST(LinearExpr, EvaluationHomomorphismProperty) {
+  Rng R(77);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    auto RandomLin = [&]() {
+      LinearExpr E(static_cast<int64_t>(R.nextBits(16)));
+      for (int T = 0; T < 3; ++T) {
+        InputId Id = static_cast<InputId>(R.nextBelow(4));
+        auto Term = LinearExpr::variable(Id).scale(R.nextBits(8));
+        auto Sum = E.add(*Term);
+        if (Sum)
+          E = *Sum;
+      }
+      return E;
+    };
+    LinearExpr A = RandomLin(), B = RandomLin();
+    std::map<InputId, int64_t> V;
+    for (InputId Id = 0; Id < 4; ++Id)
+      V[Id] = R.nextBits(16);
+    auto ValueOf = assign(V);
+    if (auto Sum = A.add(B)) {
+      EXPECT_EQ(Sum->evaluate(ValueOf),
+                A.evaluate(ValueOf) + B.evaluate(ValueOf));
+    }
+    if (auto Diff = A.sub(B)) {
+      EXPECT_EQ(Diff->evaluate(ValueOf),
+                A.evaluate(ValueOf) - B.evaluate(ValueOf));
+    }
+    int64_t K = R.nextBits(8);
+    if (auto Scaled = A.scale(K)) {
+      EXPECT_EQ(Scaled->evaluate(ValueOf), A.evaluate(ValueOf) * K);
+    }
+  }
+}
+
+TEST(SymPred, MakeNormalizesToLhsMinusRhs) {
+  // x0 < x1  ==>  x0 - x1 < 0
+  auto P = SymPred::make(CmpPred::Lt, LinearExpr::variable(0),
+                         LinearExpr::variable(1));
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->holds(assign({{0, 1}, {1, 2}})));
+  EXPECT_FALSE(P->holds(assign({{0, 2}, {1, 2}})));
+}
+
+// Negation truth table across all predicates.
+class SymPredNegationTest : public ::testing::TestWithParam<CmpPred> {};
+
+TEST_P(SymPredNegationTest, NegationFlipsTruth) {
+  CmpPred Pred = GetParam();
+  Rng R(123);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    auto P = SymPred::make(Pred,
+                           *LinearExpr::variable(0).scale(R.nextBits(6)),
+                           LinearExpr(R.nextBits(10)));
+    ASSERT_TRUE(P);
+    auto V = assign({{0, R.nextBits(10)}});
+    EXPECT_NE(P->holds(V), P->negated().holds(V));
+    // Double negation is identity.
+    EXPECT_EQ(P->holds(V), P->negated().negated().holds(V));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPreds, SymPredNegationTest,
+                         ::testing::Values(CmpPred::Eq, CmpPred::Ne,
+                                           CmpPred::Lt, CmpPred::Le,
+                                           CmpPred::Gt, CmpPred::Ge));
+
+TEST(SymPred, ConstantPredicate) {
+  SymPred P(CmpPred::Eq, LinearExpr(0));
+  EXPECT_TRUE(P.isConstant());
+  EXPECT_TRUE(P.holds(assign({})));
+  SymPred Q(CmpPred::Eq, LinearExpr(3));
+  EXPECT_FALSE(Q.holds(assign({})));
+}
+
+TEST(SymPred, Printing) {
+  auto P = SymPred::make(CmpPred::Ge, LinearExpr::variable(2),
+                         LinearExpr(10));
+  EXPECT_EQ(P->toString(), "x2 - 10 >= 0");
+}
+
+TEST(SymValue, KindsAndAccessors) {
+  SymValue L{LinearExpr::variable(1)};
+  EXPECT_TRUE(L.isLinear());
+  EXPECT_FALSE(L.isConstant());
+  EXPECT_EQ(L.inputs().size(), 1u);
+
+  SymValue P{SymPred(CmpPred::Lt, LinearExpr::variable(0))};
+  EXPECT_TRUE(P.isPred());
+  EXPECT_FALSE(P.isConstant());
+
+  SymValue C{LinearExpr(9)};
+  EXPECT_TRUE(C.isConstant());
+}
+
+TEST(InputInfo, Domains) {
+  InputInfo CharIn{InputKind::Integer, ValType::int8(), "c"};
+  EXPECT_EQ(CharIn.domainMin(), -128);
+  EXPECT_EQ(CharIn.domainMax(), 127);
+
+  InputInfo IntIn{InputKind::Integer, ValType::int32(), "i"};
+  EXPECT_EQ(IntIn.domainMin(), INT32_MIN);
+  EXPECT_EQ(IntIn.domainMax(), INT32_MAX);
+
+  InputInfo UIn{InputKind::Integer, ValType::uint32(), "u"};
+  EXPECT_EQ(UIn.domainMin(), 0);
+  EXPECT_EQ(UIn.domainMax(), UINT32_MAX);
+
+  InputInfo LongIn{InputKind::Integer, ValType::int64(), "l"};
+  EXPECT_EQ(LongIn.domainMin(), INT64_MIN);
+  EXPECT_EQ(LongIn.domainMax(), INT64_MAX);
+
+  InputInfo Choice{InputKind::PointerChoice, ValType::pointer(), "p"};
+  EXPECT_EQ(Choice.domainMin(), 0);
+  EXPECT_EQ(Choice.domainMax(), 1);
+}

@@ -1,0 +1,124 @@
+//===- symmem_test.cpp - Unit tests for concolic/SymbolicMemory ------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/SymbolicMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace dart;
+
+namespace {
+
+SymValue varValue(InputId Id) { return SymValue(LinearExpr::variable(Id)); }
+
+Addr addr(uint32_t Region, uint32_t Offset) {
+  return makeAddr(Region, Offset);
+}
+
+} // namespace
+
+TEST(SymbolicMemory, SetAndGet) {
+  SymbolicMemory S;
+  S.set(addr(0, 0), 4, varValue(1));
+  auto V = S.get(addr(0, 0), 4);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->linear().coeff(1), 1);
+  EXPECT_EQ(S.size(), 1u);
+}
+
+TEST(SymbolicMemory, WidthMismatchMisses) {
+  SymbolicMemory S;
+  S.set(addr(0, 0), 4, varValue(1));
+  EXPECT_FALSE(S.get(addr(0, 0), 1).has_value());
+  EXPECT_FALSE(S.get(addr(0, 0), 8).has_value());
+}
+
+TEST(SymbolicMemory, ConstantValuesErase) {
+  SymbolicMemory S;
+  S.set(addr(0, 0), 4, varValue(1));
+  S.set(addr(0, 0), 4, SymValue(LinearExpr(5)));
+  EXPECT_FALSE(S.get(addr(0, 0), 4).has_value());
+  EXPECT_EQ(S.size(), 0u);
+}
+
+TEST(SymbolicMemory, OverlappingStoreScrubs) {
+  SymbolicMemory S;
+  S.set(addr(0, 0), 4, varValue(1));
+  S.set(addr(0, 4), 4, varValue(2));
+  // An 8-byte store covering both cells kills them.
+  S.set(addr(0, 0), 8, varValue(3));
+  EXPECT_FALSE(S.get(addr(0, 0), 4).has_value());
+  EXPECT_FALSE(S.get(addr(0, 4), 4).has_value());
+  ASSERT_TRUE(S.get(addr(0, 0), 8).has_value());
+}
+
+TEST(SymbolicMemory, PartialOverlapFromBelowScrubs) {
+  SymbolicMemory S;
+  S.set(addr(0, 4), 4, varValue(1));
+  // A store at offset 2..6 overlaps the cell's first bytes.
+  S.set(addr(0, 2), 4, varValue(2));
+  EXPECT_FALSE(S.get(addr(0, 4), 4).has_value());
+  EXPECT_TRUE(S.get(addr(0, 2), 4).has_value());
+}
+
+TEST(SymbolicMemory, EraseRange) {
+  SymbolicMemory S;
+  S.set(addr(0, 0), 4, varValue(1));
+  S.set(addr(0, 8), 4, varValue(2));
+  S.set(addr(1, 0), 4, varValue(3));
+  S.eraseRange(addr(0, 0), 16);
+  EXPECT_FALSE(S.get(addr(0, 0), 4).has_value());
+  EXPECT_FALSE(S.get(addr(0, 8), 4).has_value());
+  EXPECT_TRUE(S.get(addr(1, 0), 4).has_value())
+      << "other regions untouched";
+}
+
+TEST(SymbolicMemory, CopyRangeMovesCells) {
+  SymbolicMemory S;
+  S.set(addr(0, 0), 4, varValue(1));
+  S.set(addr(0, 4), 1, varValue(2));
+  S.set(addr(1, 4), 4, varValue(9)); // stale destination cell
+  S.copyRange(addr(1, 0), addr(0, 0), 8);
+  auto V0 = S.get(addr(1, 0), 4);
+  ASSERT_TRUE(V0.has_value());
+  EXPECT_EQ(V0->linear().coeff(1), 1);
+  auto V1 = S.get(addr(1, 4), 1);
+  ASSERT_TRUE(V1.has_value());
+  EXPECT_EQ(V1->linear().coeff(2), 1);
+  EXPECT_FALSE(S.get(addr(1, 4), 4).has_value()) << "stale cell scrubbed";
+  // Source cells intact.
+  EXPECT_TRUE(S.get(addr(0, 0), 4).has_value());
+}
+
+TEST(SymbolicMemory, CopyRangeSelfIsNoOp) {
+  SymbolicMemory S;
+  S.set(addr(0, 0), 4, varValue(1));
+  S.copyRange(addr(0, 0), addr(0, 0), 8);
+  EXPECT_TRUE(S.get(addr(0, 0), 4).has_value());
+}
+
+TEST(SymbolicMemory, CellStraddlingRangeEndIsNotCopied) {
+  SymbolicMemory S;
+  // 4-byte cell at offset 6 extends beyond a copy of [0, 8).
+  S.set(addr(0, 6), 4, varValue(1));
+  S.copyRange(addr(1, 0), addr(0, 0), 8);
+  EXPECT_FALSE(S.get(addr(1, 6), 4).has_value());
+}
+
+TEST(SymbolicMemory, PredValuesStored) {
+  SymbolicMemory S;
+  S.set(addr(0, 0), 4, SymValue(SymPred(CmpPred::Lt, LinearExpr::variable(0))));
+  auto V = S.get(addr(0, 0), 4);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_TRUE(V->isPred());
+}
+
+TEST(SymbolicMemory, Clear) {
+  SymbolicMemory S;
+  S.set(addr(0, 0), 4, varValue(1));
+  S.clear();
+  EXPECT_EQ(S.size(), 0u);
+}

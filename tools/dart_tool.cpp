@@ -1,0 +1,218 @@
+//===- dart_tool.cpp - The `dart` command-line tool -------------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line front end: point DART at a MiniC source file and a toplevel
+// function, exactly the "testing any program that compiles, with no
+// harness code" workflow the paper advertises.
+//
+//   dart test   <file.c> --toplevel f [--depth N] [--seed S] [--runs N]
+//               [--random-only] [--strategy dfs|bfs|random]
+//               [--all-errors] [--symbolic-pointers]
+//   dart audit  <file.c> [--runs N]      # every defined function (§4.3)
+//   dart iface  <file.c> --toplevel f    # extracted interface (§3.1)
+//   dart driver <file.c> --toplevel f [--depth N]  # Fig. 7 driver source
+//   dart ir     <file.c>                 # RAM-machine IR dump
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dart.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace dart;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: dart <command> <file.c> [options]\n"
+      "\n"
+      "commands:\n"
+      "  test    run a DART session on --toplevel\n"
+      "  audit   run DART on every defined function (library audit)\n"
+      "  iface   print the extracted external interface\n"
+      "  driver  print the generated test driver source\n"
+      "  ir      print the lowered RAM-machine IR\n"
+      "\n"
+      "options:\n"
+      "  --toplevel <name>     function under test (required for "
+      "test/iface/driver)\n"
+      "  --depth <n>           toplevel calls per run (default 1)\n"
+      "  --seed <n>            RNG seed (default 2005)\n"
+      "  --runs <n>            run budget (default 10000)\n"
+      "  --strategy <s>        dfs | bfs | random (default dfs)\n"
+      "  --random-only         pure random testing (no directed search)\n"
+      "  --all-errors          keep searching after the first bug\n"
+      "  --symbolic-pointers   CUTE-style pointer-choice solving\n"
+      "  --log-runs            print a one-line summary of every run\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+struct CliOptions {
+  std::string Command;
+  std::string File;
+  std::string Toplevel;
+  DartOptions Dart;
+  bool Ok = true;
+};
+
+CliOptions parseArgs(int argc, char **argv) {
+  CliOptions Cli;
+  if (argc < 3) {
+    Cli.Ok = false;
+    return Cli;
+  }
+  Cli.Command = argv[1];
+  Cli.File = argv[2];
+  Cli.Dart.Seed = 2005;
+  Cli.Dart.MaxRuns = 10000;
+  for (int I = 3; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--toplevel") {
+      const char *V = Next();
+      if (!V) {
+        Cli.Ok = false;
+        return Cli;
+      }
+      Cli.Toplevel = V;
+    } else if (Arg == "--depth") {
+      const char *V = Next();
+      Cli.Dart.Depth = V ? static_cast<unsigned>(atoi(V)) : 1;
+    } else if (Arg == "--seed") {
+      const char *V = Next();
+      Cli.Dart.Seed = V ? strtoull(V, nullptr, 10) : 2005;
+    } else if (Arg == "--runs") {
+      const char *V = Next();
+      Cli.Dart.MaxRuns = V ? static_cast<unsigned>(atoi(V)) : 10000;
+    } else if (Arg == "--strategy") {
+      const char *V = Next();
+      if (V && std::strcmp(V, "bfs") == 0)
+        Cli.Dart.Strategy = SearchStrategy::BreadthFirst;
+      else if (V && std::strcmp(V, "random") == 0)
+        Cli.Dart.Strategy = SearchStrategy::RandomBranch;
+      else
+        Cli.Dart.Strategy = SearchStrategy::DepthFirst;
+    } else if (Arg == "--random-only") {
+      Cli.Dart.RandomOnly = true;
+    } else if (Arg == "--all-errors") {
+      Cli.Dart.StopAtFirstError = false;
+    } else if (Arg == "--symbolic-pointers") {
+      Cli.Dart.Concolic.SymbolicPointers = true;
+    } else if (Arg == "--log-runs") {
+      Cli.Dart.LogRuns = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      Cli.Ok = false;
+      return Cli;
+    }
+  }
+  return Cli;
+}
+
+int runTest(Dart &D, CliOptions &Cli) {
+  if (Cli.Toplevel.empty()) {
+    std::fprintf(stderr, "error: 'test' needs --toplevel\n");
+    return 2;
+  }
+  if (!D.ast().findFunction(Cli.Toplevel)) {
+    std::fprintf(stderr, "error: no function named '%s'\n",
+                 Cli.Toplevel.c_str());
+    return 2;
+  }
+  Cli.Dart.ToplevelName = Cli.Toplevel;
+  DartReport R = D.run(Cli.Dart);
+  for (const std::string &Line : R.RunLog)
+    std::printf("%s\n", Line.c_str());
+  std::printf("%s", R.toString().c_str());
+  return R.BugFound ? 1 : 0;
+}
+
+int runAudit(Dart &D, CliOptions &Cli) {
+  unsigned Crashed = 0, Total = 0;
+  for (const std::string &Fn : D.definedFunctions()) {
+    ++Total;
+    DartOptions Opts = Cli.Dart;
+    Opts.ToplevelName = Fn;
+    Opts.Interp.MaxSteps = 1u << 18;
+    DartReport R = D.run(Opts);
+    if (R.BugFound) {
+      ++Crashed;
+      std::printf("%-32s CRASH (run %u): %s\n", Fn.c_str(),
+                  R.Bugs[0].FoundAtRun, R.Bugs[0].Error.toString().c_str());
+    } else {
+      std::printf("%-32s ok (%u runs%s)\n", Fn.c_str(), R.Runs,
+                  R.CompleteExploration ? ", complete" : "");
+    }
+  }
+  std::printf("\n%u/%u functions crashed (%.0f%%)\n", Crashed, Total,
+              Total ? 100.0 * Crashed / Total : 0.0);
+  return Crashed ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Cli = parseArgs(argc, argv);
+  if (!Cli.Ok)
+    return usage();
+
+  std::string Source;
+  if (!readFile(Cli.File, Source)) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Cli.File.c_str());
+    return 2;
+  }
+  std::string Errors;
+  auto D = Dart::fromSource(Source, &Errors);
+  if (!D) {
+    std::fprintf(stderr, "%s", Errors.c_str());
+    return 2;
+  }
+
+  if (Cli.Command == "test")
+    return runTest(*D, Cli);
+  if (Cli.Command == "audit")
+    return runAudit(*D, Cli);
+  if (Cli.Command == "iface") {
+    if (Cli.Toplevel.empty()) {
+      std::fprintf(stderr, "error: 'iface' needs --toplevel\n");
+      return 2;
+    }
+    std::printf("%s", D->interfaceFor(Cli.Toplevel).toString().c_str());
+    return 0;
+  }
+  if (Cli.Command == "driver") {
+    if (Cli.Toplevel.empty()) {
+      std::fprintf(stderr, "error: 'driver' needs --toplevel\n");
+      return 2;
+    }
+    std::printf("%s",
+                D->driverSourceFor(Cli.Toplevel, Cli.Dart.Depth).c_str());
+    return 0;
+  }
+  if (Cli.Command == "ir") {
+    std::printf("%s", D->module().toString().c_str());
+    return 0;
+  }
+  return usage();
+}
