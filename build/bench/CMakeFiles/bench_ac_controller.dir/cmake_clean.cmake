@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ac_controller.dir/bench_ac_controller.cpp.o"
+  "CMakeFiles/bench_ac_controller.dir/bench_ac_controller.cpp.o.d"
+  "bench_ac_controller"
+  "bench_ac_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ac_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

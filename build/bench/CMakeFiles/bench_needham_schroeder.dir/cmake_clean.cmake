@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_needham_schroeder.dir/bench_needham_schroeder.cpp.o"
+  "CMakeFiles/bench_needham_schroeder.dir/bench_needham_schroeder.cpp.o.d"
+  "bench_needham_schroeder"
+  "bench_needham_schroeder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_needham_schroeder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

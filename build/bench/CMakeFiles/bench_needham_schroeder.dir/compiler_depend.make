@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_needham_schroeder.
+# This may be replaced when dependencies are built.

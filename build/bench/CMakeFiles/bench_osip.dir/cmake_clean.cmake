@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_osip.dir/bench_osip.cpp.o"
+  "CMakeFiles/bench_osip.dir/bench_osip.cpp.o.d"
+  "bench_osip"
+  "bench_osip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_osip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

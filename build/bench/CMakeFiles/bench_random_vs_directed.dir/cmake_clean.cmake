@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_random_vs_directed.dir/bench_random_vs_directed.cpp.o"
+  "CMakeFiles/bench_random_vs_directed.dir/bench_random_vs_directed.cpp.o.d"
+  "bench_random_vs_directed"
+  "bench_random_vs_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random_vs_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_controller.dir/ac_controller.cpp.o"
+  "CMakeFiles/ac_controller.dir/ac_controller.cpp.o.d"
+  "ac_controller"
+  "ac_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

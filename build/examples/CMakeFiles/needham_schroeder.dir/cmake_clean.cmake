@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/needham_schroeder.dir/needham_schroeder.cpp.o"
+  "CMakeFiles/needham_schroeder.dir/needham_schroeder.cpp.o.d"
+  "needham_schroeder"
+  "needham_schroeder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/needham_schroeder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

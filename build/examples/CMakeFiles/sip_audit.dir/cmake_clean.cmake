@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_audit.dir/sip_audit.cpp.o"
+  "CMakeFiles/sip_audit.dir/sip_audit.cpp.o.d"
+  "sip_audit"
+  "sip_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

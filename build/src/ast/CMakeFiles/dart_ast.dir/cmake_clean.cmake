@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_ast.dir/AST.cpp.o"
+  "CMakeFiles/dart_ast.dir/AST.cpp.o.d"
+  "CMakeFiles/dart_ast.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/dart_ast.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/dart_ast.dir/Type.cpp.o"
+  "CMakeFiles/dart_ast.dir/Type.cpp.o.d"
+  "libdart_ast.a"
+  "libdart_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

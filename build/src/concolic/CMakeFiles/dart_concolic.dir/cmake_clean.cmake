@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_concolic.dir/Concolic.cpp.o"
+  "CMakeFiles/dart_concolic.dir/Concolic.cpp.o.d"
+  "CMakeFiles/dart_concolic.dir/PathSearch.cpp.o"
+  "CMakeFiles/dart_concolic.dir/PathSearch.cpp.o.d"
+  "CMakeFiles/dart_concolic.dir/SymbolicMemory.cpp.o"
+  "CMakeFiles/dart_concolic.dir/SymbolicMemory.cpp.o.d"
+  "libdart_concolic.a"
+  "libdart_concolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_concolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

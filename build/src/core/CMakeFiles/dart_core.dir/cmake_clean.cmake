@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_core.dir/Dart.cpp.o"
+  "CMakeFiles/dart_core.dir/Dart.cpp.o.d"
+  "CMakeFiles/dart_core.dir/DartEngine.cpp.o"
+  "CMakeFiles/dart_core.dir/DartEngine.cpp.o.d"
+  "CMakeFiles/dart_core.dir/Interface.cpp.o"
+  "CMakeFiles/dart_core.dir/Interface.cpp.o.d"
+  "CMakeFiles/dart_core.dir/TestDriver.cpp.o"
+  "CMakeFiles/dart_core.dir/TestDriver.cpp.o.d"
+  "libdart_core.a"
+  "libdart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

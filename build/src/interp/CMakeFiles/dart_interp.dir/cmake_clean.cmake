@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_interp.dir/Interp.cpp.o"
+  "CMakeFiles/dart_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/dart_interp.dir/Memory.cpp.o"
+  "CMakeFiles/dart_interp.dir/Memory.cpp.o.d"
+  "libdart_interp.a"
+  "libdart_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_ir.dir/IR.cpp.o"
+  "CMakeFiles/dart_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/dart_ir.dir/Lowering.cpp.o"
+  "CMakeFiles/dart_ir.dir/Lowering.cpp.o.d"
+  "libdart_ir.a"
+  "libdart_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_lexer.dir/Lexer.cpp.o"
+  "CMakeFiles/dart_lexer.dir/Lexer.cpp.o.d"
+  "libdart_lexer.a"
+  "libdart_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

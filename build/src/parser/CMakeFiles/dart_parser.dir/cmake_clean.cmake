@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_parser.dir/Parser.cpp.o"
+  "CMakeFiles/dart_parser.dir/Parser.cpp.o.d"
+  "libdart_parser.a"
+  "libdart_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sema/Sema.cpp" "src/sema/CMakeFiles/dart_sema.dir/Sema.cpp.o" "gcc" "src/sema/CMakeFiles/dart_sema.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/dart_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/dart_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dart_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/dart_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_sema.dir/Sema.cpp.o"
+  "CMakeFiles/dart_sema.dir/Sema.cpp.o.d"
+  "libdart_sema.a"
+  "libdart_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_solver.dir/LinearSolver.cpp.o"
+  "CMakeFiles/dart_solver.dir/LinearSolver.cpp.o.d"
+  "libdart_solver.a"
+  "libdart_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

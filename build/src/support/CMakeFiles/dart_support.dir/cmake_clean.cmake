@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/dart_support.dir/Diagnostics.cpp.o.d"
+  "libdart_support.a"
+  "libdart_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

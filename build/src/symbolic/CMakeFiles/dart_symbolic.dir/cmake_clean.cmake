@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_symbolic.dir/SymExpr.cpp.o"
+  "CMakeFiles/dart_symbolic.dir/SymExpr.cpp.o.d"
+  "libdart_symbolic.a"
+  "libdart_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/AcController.cpp" "src/workloads/CMakeFiles/dart_workloads.dir/AcController.cpp.o" "gcc" "src/workloads/CMakeFiles/dart_workloads.dir/AcController.cpp.o.d"
+  "/root/repo/src/workloads/MiniSip.cpp" "src/workloads/CMakeFiles/dart_workloads.dir/MiniSip.cpp.o" "gcc" "src/workloads/CMakeFiles/dart_workloads.dir/MiniSip.cpp.o.d"
+  "/root/repo/src/workloads/NeedhamSchroeder.cpp" "src/workloads/CMakeFiles/dart_workloads.dir/NeedhamSchroeder.cpp.o" "gcc" "src/workloads/CMakeFiles/dart_workloads.dir/NeedhamSchroeder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_workloads.dir/AcController.cpp.o"
+  "CMakeFiles/dart_workloads.dir/AcController.cpp.o.d"
+  "CMakeFiles/dart_workloads.dir/MiniSip.cpp.o"
+  "CMakeFiles/dart_workloads.dir/MiniSip.cpp.o.d"
+  "CMakeFiles/dart_workloads.dir/NeedhamSchroeder.cpp.o"
+  "CMakeFiles/dart_workloads.dir/NeedhamSchroeder.cpp.o.d"
+  "libdart_workloads.a"
+  "libdart_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/symbolic_test.cpp" "tests/CMakeFiles/symbolic_test.dir/symbolic_test.cpp.o" "gcc" "tests/CMakeFiles/symbolic_test.dir/symbolic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/concolic/CMakeFiles/dart_concolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dart_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/dart_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dart_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dart_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/dart_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/dart_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/dart_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/dart_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dart_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

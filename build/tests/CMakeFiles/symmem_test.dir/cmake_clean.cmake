@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmem_test.dir/symmem_test.cpp.o"
+  "CMakeFiles/symmem_test.dir/symmem_test.cpp.o.d"
+  "symmem_test"
+  "symmem_test.pdb"
+  "symmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_tool.dir/dart_tool.cpp.o"
+  "CMakeFiles/dart_tool.dir/dart_tool.cpp.o.d"
+  "dart"
+  "dart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
