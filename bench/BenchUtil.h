@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace dart::bench {
 
@@ -63,6 +64,47 @@ inline void printHeader(const char *Title) {
               "%s\n"
               "================================================================\n",
               Title);
+}
+
+/// One row of the parallel-scaling experiment (worker-count axis).
+struct ParallelBenchRow {
+  unsigned Workers = 0;
+  unsigned Runs = 0;
+  double ElapsedSec = 0.0;
+  double RunsPerSec = 0.0;
+  double CacheHitRate = 0.0;
+};
+
+/// Fraction of solver queries answered from the shared Unsat cache.
+inline double cacheHitRate(const SolverStats &S) {
+  uint64_t Total = S.CacheHits + S.CacheMisses;
+  return Total ? double(S.CacheHits) / double(Total) : 0.0;
+}
+
+/// Emits the machine-readable scaling results (BENCH_parallel.json) that
+/// EXPERIMENTS.md's table is generated from.
+inline void writeParallelBenchJson(const std::string &Path,
+                                   const std::string &Workload,
+                                   const std::vector<ParallelBenchRow> &Rows) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"workload\": \"%s\",\n  \"results\": [\n",
+               Workload.c_str());
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const ParallelBenchRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"workers\": %u, \"runs\": %u, "
+                 "\"elapsed_sec\": %.6f, \"runs_per_sec\": %.1f, "
+                 "\"solver_cache_hit_rate\": %.4f}%s\n",
+                 R.Workers, R.Runs, R.ElapsedSec, R.RunsPerSec,
+                 R.CacheHitRate, I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
 }
 
 } // namespace dart::bench

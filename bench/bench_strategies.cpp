@@ -136,6 +136,30 @@ void BM_StrategyRandomDeepFilter(benchmark::State &State) {
 }
 BENCHMARK(BM_StrategyRandomDeepFilter);
 
+// Worker-count axis: the same depth-2 Needham-Schroeder session under the
+// frontier engine at 1/2/4 workers. The explored tree is identical at
+// every W (determinism tests assert this); time per iteration shows how
+// the machine scales it.
+void BM_ParallelJobsNeedhamSchroeder(benchmark::State &State) {
+  workloads::NsConfig C;
+  auto D = compileOrDie(workloads::needhamSchroederSource(C),
+                        "Needham-Schroeder");
+  unsigned Jobs = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    DartOptions Opts;
+    Opts.ToplevelName = "ns_step";
+    Opts.Depth = 2;
+    Opts.MaxRuns = 1000;
+    Opts.Seed = 2005;
+    Opts.StopAtFirstError = false;
+    Opts.Jobs = Jobs;
+    DartReport R = D->run(Opts);
+    State.counters["runs"] = R.Runs;
+    State.counters["cache_hit_rate"] = cacheHitRate(R.Solver);
+  }
+}
+BENCHMARK(BM_ParallelJobsNeedhamSchroeder)->Arg(1)->Arg(2)->Arg(4);
+
 } // namespace
 
 int main(int argc, char **argv) {

@@ -312,7 +312,13 @@ bool ConcolicRun::onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
     C = SymPred(CmpPred::Eq, LinearExpr(0)); // trivially true
   }
   Constraints.push_back(C);
-  Covered.insert({Branch.siteId(), Taken});
+  size_t Bit = 2 * size_t(Branch.siteId()) + (Taken ? 1 : 0);
+  if (Bit >= CoveredBits.size())
+    CoveredBits.resize(Bit + 1, false);
+  if (!CoveredBits[Bit]) {
+    CoveredBits[Bit] = true;
+    ++CoveredCount;
+  }
 
   // compare_and_update_stack (Fig. 4).
   if (K < Stack.size()) {

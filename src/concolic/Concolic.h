@@ -30,7 +30,6 @@
 
 #include <functional>
 #include <optional>
-#include <set>
 #include <vector>
 
 namespace dart {
@@ -56,6 +55,9 @@ struct ConcolicOptions {
   /// no symbolic variable are born `done`, so the search never asks the
   /// solver to negate a constraint that does not exist.
   bool MarkConcreteBranchesDone = false;
+  /// Branch sites in the program under test (IRModule::numBranchSites);
+  /// sizes the coverage bitmap up front. 0 = grow on demand.
+  unsigned NumBranchSites = 0;
 };
 
 /// Fig. 1's evaluate_symbolic. Stateless w.r.t. the run; reads S.
@@ -116,7 +118,8 @@ public:
               std::vector<BranchRecord> PredictedStack,
               const ConcolicOptions &Options)
       : Inputs(Inputs), Options(Options), Eval(S, Inputs, Options),
-        Stack(std::move(PredictedStack)) {}
+        Stack(std::move(PredictedStack)),
+        CoveredBits(2 * size_t(Options.NumBranchSites), false) {}
 
   /// Environment model for external functions, installed by the driver:
   /// must return the concrete value and perform any input bookkeeping
@@ -135,10 +138,12 @@ public:
   bool forcingOk() const { return ForcingOk; }
   /// Number of conditionals executed (k in Fig. 3).
   size_t conditionalsExecuted() const { return K; }
-  /// (site id, direction) pairs covered this run.
-  const std::set<std::pair<unsigned, bool>> &coveredBranches() const {
-    return Covered;
-  }
+  /// Branch-direction coverage bitmap of this run: bit 2*site + direction
+  /// (a flat vector<bool>, not a red-black tree — onBranch is the hottest
+  /// hook in the engine).
+  const std::vector<bool> &coveredBits() const { return CoveredBits; }
+  /// Number of bits set in coveredBits().
+  unsigned coveredCount() const { return CoveredCount; }
   /// Extracts the run's path data (call after the run).
   PathData takePath() {
     PathData P;
@@ -174,7 +179,8 @@ private:
   std::vector<std::optional<SymPred>> Constraints;
   size_t K = 0;
   bool ForcingOk = true;
-  std::set<std::pair<unsigned, bool>> Covered;
+  std::vector<bool> CoveredBits;
+  unsigned CoveredCount = 0;
   /// Symbolic images of call arguments between onCallArg and onParamBound.
   std::vector<std::optional<SymValue>> PendingArgs;
 };

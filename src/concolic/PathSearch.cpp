@@ -23,14 +23,14 @@ const char *dart::searchStrategyName(SearchStrategy S) {
   return "?";
 }
 
-SolveOutcome dart::solvePathConstraint(
+CandidateSet dart::solveCandidates(
     const PathData &Path, LinearSolver &Solver,
     const std::function<VarDomain(InputId)> &DomainOf,
     const std::map<InputId, int64_t> &Hint, SearchStrategy Strategy,
-    Rng &Rng) {
+    Rng &Rng, unsigned MaxCandidates) {
   assert(Path.Stack.size() == Path.Constraints.size() &&
          "stack and path constraint must stay aligned");
-  SolveOutcome Outcome;
+  CandidateSet Result;
 
   // Candidate branches: not yet done. Order per strategy; depth-first
   // (descending index) reproduces Fig. 5's recursion exactly.
@@ -56,6 +56,10 @@ SolveOutcome dart::solvePathConstraint(
     // recurses to the next candidate.
     if (!Path.Constraints[J])
       continue;
+    if (MaxCandidates && Result.Candidates.size() >= MaxCandidates) {
+      Result.Truncated = true;
+      break;
+    }
 
     std::vector<SymPred> System;
     System.reserve(J + 1);
@@ -65,10 +69,74 @@ SolveOutcome dart::solvePathConstraint(
     System.push_back(Path.Constraints[J]->negated());
 
     std::map<InputId, int64_t> Model;
-    ++Outcome.SolverCalls;
+    ++Result.SolverCalls;
     if (Solver.solve(System, DomainOf, Hint, Model) != SolveStatus::Sat)
       continue;
 
+    // The theory reasons over ideal integers while the VM wraps at 32
+    // bits, so a Sat model is not automatically a *realizable* one. Two
+    // failure shapes, both bred by large-magnitude hints:
+    //  - the model changes no input: the negated branch was recorded under
+    //    wrapped arithmetic, the old inputs already "satisfy" the flip
+    //    ideally, and rerunning them replays the old path verbatim;
+    //  - some prefix constraint evaluates outside int32 under the model:
+    //    the VM's comparison will wrap and may take the other direction.
+    // Either way the run would end in a forcing mismatch. Retry once with
+    // an empty hint — unanchored, the solver picks small canonical values
+    // on which ideal and wrapped arithmetic agree — and only if that model
+    // is also unrealizable drop the flip and report the theory misled.
+    auto Unrealizable = [&](const std::map<InputId, int64_t> &M) {
+      bool Changes = false;
+      for (const auto &[Id, V] : M) {
+        auto It = Hint.find(Id);
+        if (It == Hint.end() || It->second != V) {
+          Changes = true;
+          break;
+        }
+      }
+      if (!Changes)
+        return true;
+      auto ValueOf = [&](InputId Id) {
+        auto It = M.find(Id);
+        if (It != M.end())
+          return It->second;
+        auto Ht = Hint.find(Id);
+        return Ht != Hint.end() ? Ht->second : int64_t(0);
+      };
+      for (const SymPred &P : System) {
+        // The int32 window only applies where the VM evaluates at int
+        // width: every variable's domain contained in int32. Wider inputs
+        // (unsigned, long) legitimately carry values beyond it.
+        bool Int32Math = true;
+        for (InputId Id : P.LHS.inputs()) {
+          VarDomain D = DomainOf(Id);
+          if (D.Min < INT32_MIN || D.Max > INT32_MAX) {
+            Int32Math = false;
+            break;
+          }
+        }
+        if (!Int32Math)
+          continue;
+        int64_t V = P.LHS.evaluate(ValueOf);
+        int64_t VarPart = V - P.LHS.constant();
+        if (V < INT32_MIN || V > INT32_MAX || VarPart < INT32_MIN ||
+            VarPart > INT32_MAX)
+          return true;
+      }
+      return false;
+    };
+    if (Unrealizable(Model)) {
+      std::map<InputId, int64_t> Retry;
+      ++Result.SolverCalls;
+      if (Solver.solve(System, DomainOf, {}, Retry) != SolveStatus::Sat ||
+          Unrealizable(Retry)) {
+        Result.TheoryMisled = true;
+        continue;
+      }
+      Model = std::move(Retry);
+    }
+
+    SolveOutcome Outcome;
     Outcome.Found = true;
     Outcome.FlippedIndex = J;
     Outcome.Model = std::move(Model);
@@ -78,7 +146,24 @@ SolveOutcome dart::solvePathConstraint(
     // Done stays false: compare_and_update_stack sets it when the next run
     // actually reaches this conditional (Fig. 4).
     Outcome.NextStack[J].Done = false;
-    return Outcome;
+    Result.Candidates.push_back(std::move(Outcome));
   }
+  return Result;
+}
+
+SolveOutcome dart::solvePathConstraint(
+    const PathData &Path, LinearSolver &Solver,
+    const std::function<VarDomain(InputId)> &DomainOf,
+    const std::map<InputId, int64_t> &Hint, SearchStrategy Strategy,
+    Rng &Rng) {
+  CandidateSet Set =
+      solveCandidates(Path, Solver, DomainOf, Hint, Strategy, Rng, 1);
+  SolveOutcome Outcome;
+  Outcome.SolverCalls = Set.SolverCalls;
+  if (!Set.Candidates.empty()) {
+    Outcome = std::move(Set.Candidates.front());
+    Outcome.SolverCalls = Set.SolverCalls;
+  }
+  Outcome.TheoryMisled = Set.TheoryMisled;
   return Outcome;
 }

@@ -43,6 +43,9 @@ struct SolveOutcome {
   size_t FlippedIndex = 0;
   /// Number of solver queries issued.
   unsigned SolverCalls = 0;
+  /// See CandidateSet::TheoryMisled (propagated so the sequential engine
+  /// can clear `all_linear` when a doomed flip was dropped).
+  bool TheoryMisled = false;
 };
 
 /// Fig. 5. \p Hint is the previous IM restricted to known inputs: solutions
@@ -51,6 +54,36 @@ SolveOutcome solvePathConstraint(const PathData &Path, LinearSolver &Solver,
                                  const std::function<VarDomain(InputId)> &DomainOf,
                                  const std::map<InputId, int64_t> &Hint,
                                  SearchStrategy Strategy, Rng &Rng);
+
+/// Every satisfiable branch flip of one path (speculative frontier
+/// expansion, footnote 4's strategy freedom taken to its limit).
+struct CandidateSet {
+  /// Satisfiable flips in strategy order; each element is a complete
+  /// SolveOutcome (stack prefix with the flip applied, solver model).
+  std::vector<SolveOutcome> Candidates;
+  /// Total solver queries issued across all candidates.
+  unsigned SolverCalls = 0;
+  /// True if some flippable branch was skipped because \p MaxCandidates
+  /// was hit — exploration through this path is then incomplete.
+  bool Truncated = false;
+  /// True if a satisfiable flip was dropped because its model changed no
+  /// input: the branch was recorded under wrapped 32-bit arithmetic the
+  /// ideal-integer theory cannot express, so running the "new" inputs
+  /// would replay the old path into a forcing mismatch. The engine must
+  /// clear `all_linear` (the subtree stays unexplored).
+  bool TheoryMisled = false;
+};
+
+/// The multi-candidate solve_path_constraint the parallel engine feeds the
+/// frontier with: instead of returning at the first satisfiable negation,
+/// collects every satisfiable flip (up to \p MaxCandidates; 0 = all, the
+/// only setting that preserves exhaustive exploration).
+/// solvePathConstraint is exactly this with MaxCandidates == 1.
+CandidateSet solveCandidates(const PathData &Path, LinearSolver &Solver,
+                             const std::function<VarDomain(InputId)> &DomainOf,
+                             const std::map<InputId, int64_t> &Hint,
+                             SearchStrategy Strategy, Rng &Rng,
+                             unsigned MaxCandidates);
 
 } // namespace dart
 

@@ -6,6 +6,7 @@
 
 #include "core/Dart.h"
 
+#include "core/ParallelEngine.h"
 #include "sema/Sema.h"
 
 using namespace dart;
@@ -32,6 +33,10 @@ std::unique_ptr<Dart> Dart::fromSource(std::string_view Source,
 }
 
 DartReport Dart::run(const DartOptions &Options) const {
+  if (Options.Jobs > 1) {
+    ParallelDartEngine Engine(*TU, Program, Options);
+    return Engine.run();
+  }
   DartEngine Engine(*TU, Program, Options);
   return Engine.run();
 }

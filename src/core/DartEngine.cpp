@@ -7,7 +7,6 @@
 #include "core/DartEngine.h"
 
 #include <cassert>
-#include <set>
 #include <utility>
 
 using namespace dart;
@@ -18,13 +17,18 @@ namespace {
 /// no symbolic shadow (used for the §4.1 coverage-vs-runs comparison).
 class CoverageOnlyHooks : public ExecHooks {
 public:
+  explicit CoverageOnlyHooks(unsigned NumBranchSites)
+      : Covered(2 * size_t(NumBranchSites), false) {}
   bool onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
                 bool Taken) override {
     (void)Ctx;
-    Covered.insert({Branch.siteId(), Taken});
+    size_t Bit = 2 * size_t(Branch.siteId()) + (Taken ? 1 : 0);
+    if (Bit >= Covered.size())
+      Covered.resize(Bit + 1, false);
+    Covered[Bit] = true;
     return true;
   }
-  std::set<std::pair<unsigned, bool>> Covered;
+  std::vector<bool> Covered;
 };
 
 } // namespace
@@ -66,9 +70,9 @@ DartEngine::DartEngine(const TranslationUnit &TU,
   assert(Interface.Toplevel && "toplevel function not found or has no body");
 }
 
-RunResult DartEngine::executeRun(ConcolicRun *Hooks, TestDriver &Driver,
-                                 Interp &VM) {
-  (void)Hooks;
+RunResult dart::executeDartRun(const DartOptions &Options,
+                               const TranslationUnit &TU,
+                               TestDriver &Driver, Interp &VM) {
   Driver.initExternVariables();
   Driver.installExternalModel(TU);
   RunResult Result;
@@ -98,7 +102,18 @@ DartReport DartEngine::run() {
   InputManager Inputs(R);
   LinearSolver Solver(Options.Solver);
   CompletenessFlags GlobalFlags;
-  std::set<std::pair<unsigned, bool>> Covered;
+  Options.Concolic.NumBranchSites = Report.BranchSitesTotal;
+  std::vector<bool> Covered(2 * size_t(Report.BranchSitesTotal), false);
+  unsigned CoveredCount = 0;
+  auto MergeCoverage = [&](const std::vector<bool> &Bits) {
+    if (Bits.size() > Covered.size())
+      Covered.resize(Bits.size(), false);
+    for (size_t I = 0; I < Bits.size(); ++I)
+      if (Bits[I] && !Covered[I]) {
+        Covered[I] = true;
+        ++CoveredCount;
+      }
+  };
 
   bool Stop = false;
   while (!Stop && Report.Runs < Options.MaxRuns) {
@@ -119,12 +134,13 @@ DartReport DartEngine::run() {
             Inputs.registry(), PredictedStack, Options.Concolic);
         VM.setHooks(Hooks.get());
       } else if (Options.TrackCoverageTimeline) {
-        CovHooks = std::make_unique<CoverageOnlyHooks>();
+        CovHooks =
+            std::make_unique<CoverageOnlyHooks>(Report.BranchSitesTotal);
         VM.setHooks(CovHooks.get());
       }
       TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
                         Hooks.get(), Options.Driver);
-      RunResult Result = executeRun(Hooks.get(), Driver, VM);
+      RunResult Result = executeDartRun(Options, TU, Driver, VM);
       ++Report.Runs;
       Report.TotalSteps += Result.Steps;
       if (Options.LogRuns) {
@@ -155,15 +171,12 @@ DartReport DartEngine::run() {
       if (Hooks) {
         GlobalFlags.AllLinear &= Hooks->flags().AllLinear;
         GlobalFlags.AllLocsDefinite &= Hooks->flags().AllLocsDefinite;
-        for (const auto &Edge : Hooks->coveredBranches())
-          Covered.insert(Edge);
+        MergeCoverage(Hooks->coveredBits());
       }
       if (CovHooks)
-        for (const auto &Edge : CovHooks->Covered)
-          Covered.insert(Edge);
+        MergeCoverage(CovHooks->Covered);
       if (Options.TrackCoverageTimeline)
-        Report.CoverageTimeline.push_back(
-            static_cast<unsigned>(Covered.size()));
+        Report.CoverageTimeline.push_back(CoveredCount);
 
       if (Result.Status == RunStatus::Errored) {
         // Fig. 2: an exception with forcing_ok set is a real bug.
@@ -205,6 +218,8 @@ DartReport DartEngine::run() {
       SolveOutcome Outcome = solvePathConstraint(
           Path, Solver, DomainOf, Inputs.im(), Options.Strategy, R);
       Report.SolverCalls += Outcome.SolverCalls;
+      if (Outcome.TheoryMisled)
+        GlobalFlags.AllLinear = false;
       if (Outcome.Found) {
         Inputs.applyModel(Outcome.Model);
         PredictedStack = std::move(Outcome.NextStack);
@@ -226,7 +241,7 @@ DartReport DartEngine::run() {
   }
 
   Report.FinalFlags = GlobalFlags;
-  Report.BranchDirectionsCovered = static_cast<unsigned>(Covered.size());
+  Report.BranchDirectionsCovered = CoveredCount;
   Report.Solver = Solver.stats();
   return Report;
 }

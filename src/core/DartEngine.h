@@ -41,6 +41,13 @@ struct DartOptions {
   bool StopAtFirstError = true;
   /// Pure random testing: no symbolic shadow, fresh random inputs per run.
   bool RandomOnly = false;
+  /// Worker threads. 1 = the paper-exact sequential loop (DartEngine);
+  /// >1 = the frontier-based ParallelDartEngine with speculative solving.
+  unsigned Jobs = 1;
+  /// Parallel engine only: cap on speculative flips pushed per run
+  /// (0 = every flippable branch, the only setting that preserves
+  /// exhaustive exploration and hence Theorem 1(b) claims).
+  unsigned MaxSpeculativePerRun = 0;
   SearchStrategy Strategy = SearchStrategy::DepthFirst;
   ConcolicOptions Concolic;
   SolverOptions Solver;
@@ -91,6 +98,13 @@ struct DartReport {
   std::string toString() const;
 };
 
+/// Executes one instrumented run: DartOptions::Depth calls of the toplevel
+/// over driver-prepared arguments. Shared by the sequential engine and the
+/// parallel workers.
+RunResult executeDartRun(const DartOptions &Options,
+                         const TranslationUnit &TU, TestDriver &Driver,
+                         Interp &VM);
+
 /// Drives DART over one lowered program. The TranslationUnit and
 /// LoweredProgram must outlive the engine.
 class DartEngine {
@@ -104,11 +118,6 @@ public:
   const ProgramInterface &interface() const { return Interface; }
 
 private:
-  /// Executes one instrumented run; returns its result and (out) the
-  /// concolic data.
-  RunResult executeRun(ConcolicRun *Hooks, TestDriver &Driver,
-                       Interp &VM);
-
   const TranslationUnit &TU;
   const LoweredProgram &Program;
   DartOptions Options;

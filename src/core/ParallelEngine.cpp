@@ -1,0 +1,553 @@
+//===- ParallelEngine.cpp - Multi-worker directed search -------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ParallelEngine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+using namespace dart;
+
+uint64_t dart::mixSeed(uint64_t Seed, uint64_t Ordinal) {
+  // SplitMix64 finalizer over (seed, ordinal): child seeds depend only on
+  // the parent seed and the branch position, never on the schedule.
+  uint64_t Z = Seed + 0x9e3779b97f4a7c15ULL * (Ordinal + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+namespace {
+
+/// One frontier entry: everything a worker needs to reproduce the run the
+/// sequential engine would make at this point of the path tree.
+struct WorkItem {
+  /// Predicted stack (prefix with one branch flipped; entries above the
+  /// flip are pre-marked done so only deeper branches get expanded).
+  std::vector<BranchRecord> Stack;
+  /// Input vector IM: the parent run's final IM plus the solver model.
+  std::map<InputId, int64_t> IM;
+  /// Seed for this run's fresh random bits.
+  uint64_t RngSeed = 0;
+  /// Dedup domain: one salt per restart tree, so a fresh random restart
+  /// may legitimately re-explore paths an earlier tree already saw (the
+  /// sequential outer loop does exactly that).
+  uint64_t TreeSalt = 0;
+};
+
+/// FNV-1a over the (site, direction) sequence of a predicted stack,
+/// salted by the restart tree.
+uint64_t prefixHash(const std::vector<BranchRecord> &Stack, uint64_t Salt) {
+  uint64_t H = 1469598103934665603ULL ^ Salt;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ULL;
+  };
+  for (const BranchRecord &R : Stack)
+    Mix(uint64_t(R.SiteId) * 2 + (R.Branch ? 1 : 0));
+  Mix(Stack.size());
+  return H;
+}
+
+/// Sharded seen-prefix filter: workers only contend on 1/16th of the
+/// space. insert() returns true if the hash was new.
+class PrefixFilter {
+public:
+  bool insert(uint64_t H) {
+    Shard &S = Shards[H & (NumShards - 1)];
+    std::lock_guard<std::mutex> L(S.M);
+    return S.Set.insert(H).second;
+  }
+
+private:
+  static constexpr size_t NumShards = 16;
+  struct Shard {
+    std::mutex M;
+    std::unordered_set<uint64_t> Set;
+  };
+  std::array<Shard, NumShards> Shards;
+};
+
+/// Work queue with drain detection. pop() blocks until an item arrives;
+/// when the queue is empty and no worker is busy, the drain handler runs
+/// (under the lock, so exactly once) and either refills the queue (random
+/// restart) or closes it (budget, bug, or completeness).
+class Frontier {
+public:
+  using DrainFn = std::function<std::vector<WorkItem>()>;
+
+  explicit Frontier(DrainFn OnDrain) : OnDrain(std::move(OnDrain)) {}
+
+  void push(WorkItem I) {
+    std::lock_guard<std::mutex> L(M);
+    if (Closed)
+      return;
+    Items.push_back(std::move(I));
+    CV.notify_one();
+  }
+
+  /// Claims the next item (the caller is then "busy" until taskDone()).
+  std::optional<WorkItem> pop() {
+    std::unique_lock<std::mutex> L(M);
+    for (;;) {
+      if (Closed)
+        return std::nullopt;
+      if (!Items.empty()) {
+        WorkItem I = std::move(Items.front());
+        Items.pop_front();
+        ++Busy;
+        return I;
+      }
+      if (Busy == 0) {
+        std::vector<WorkItem> Refill = OnDrain();
+        if (Refill.empty()) {
+          Closed = true;
+          CV.notify_all();
+          return std::nullopt;
+        }
+        for (WorkItem &I : Refill)
+          Items.push_back(std::move(I));
+        continue;
+      }
+      CV.wait(L);
+    }
+  }
+
+  void taskDone() {
+    std::lock_guard<std::mutex> L(M);
+    assert(Busy > 0 && "taskDone without a claimed item");
+    --Busy;
+    // The drain condition (empty queue, no busy workers) can only become
+    // true here, and only waiters can evaluate it.
+    CV.notify_all();
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> L(M);
+    Closed = true;
+    CV.notify_all();
+  }
+
+private:
+  DrainFn OnDrain;
+  std::mutex M;
+  std::condition_variable CV;
+  std::deque<WorkItem> Items;
+  unsigned Busy = 0;
+  bool Closed = false;
+};
+
+/// Branch coverage only, for the random-testing baseline (mirrors the
+/// sequential engine's file-local hooks).
+class RandomCoverageHooks : public ExecHooks {
+public:
+  explicit RandomCoverageHooks(unsigned NumBranchSites)
+      : Covered(2 * size_t(NumBranchSites), false) {}
+  bool onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
+                bool Taken) override {
+    (void)Ctx;
+    size_t Bit = 2 * size_t(Branch.siteId()) + (Taken ? 1 : 0);
+    if (Bit >= Covered.size())
+      Covered.resize(Bit + 1, false);
+    Covered[Bit] = true;
+    return true;
+  }
+  std::vector<bool> Covered;
+};
+
+/// State shared by all workers. Coverage is an atomic bitmap (one fetch_or
+/// per 64 directions), budgets and flags are single atomics; everything
+/// that must stay ordered (timeline, run log, run numbering) goes through
+/// one report mutex.
+struct SharedState {
+  explicit SharedState(unsigned BranchSitesTotal)
+      : CovWords((2 * size_t(BranchSitesTotal) + 63) / 64) {}
+
+  std::vector<std::atomic<uint64_t>> CovWords;
+  std::atomic<unsigned> CoveredCount{0};
+  std::atomic<unsigned> RunsClaimed{0};
+  std::atomic<unsigned> RunsDone{0};
+  std::atomic<uint64_t> TotalSteps{0};
+  std::atomic<unsigned> ForcingMismatches{0};
+  std::atomic<bool> AllLinear{true};
+  std::atomic<bool> AllLocsDefinite{true};
+  std::atomic<bool> BugFound{false};
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Truncated{false};
+
+  std::mutex ReportMutex;
+  std::vector<unsigned> CoverageTimeline;
+  std::vector<std::string> RunLog;
+
+  /// Merges one run's coverage bitmap; returns nothing, counts new bits.
+  void mergeCoverage(const std::vector<bool> &Bits) {
+    size_t Limit = std::min(Bits.size(), CovWords.size() * 64);
+    for (size_t W = 0; W * 64 < Limit; ++W) {
+      uint64_t Mask = 0;
+      size_t Base = W * 64;
+      size_t End = std::min<size_t>(64, Limit - Base);
+      for (size_t B = 0; B < End; ++B)
+        if (Bits[Base + B])
+          Mask |= uint64_t(1) << B;
+      if (!Mask)
+        continue;
+      uint64_t Old = CovWords[W].fetch_or(Mask);
+      uint64_t Fresh = Mask & ~Old;
+      if (Fresh)
+        CoveredCount.fetch_add(unsigned(std::popcount(Fresh)));
+    }
+  }
+};
+
+/// Deterministic bug order for the merged report: signature, then inputs,
+/// then run number — so the bug list is independent of worker scheduling.
+void sortBugs(std::vector<BugInfo> &Bugs) {
+  std::sort(Bugs.begin(), Bugs.end(),
+            [](const BugInfo &A, const BugInfo &B) {
+              std::string SA = A.Error.toString();
+              std::string SB = B.Error.toString();
+              if (SA != SB)
+                return SA < SB;
+              if (A.Inputs != B.Inputs)
+                return A.Inputs < B.Inputs;
+              return A.FoundAtRun < B.FoundAtRun;
+            });
+}
+
+std::string describeRun(unsigned RunNumber, const RunResult &Result,
+                        const ConcolicRun *Hooks,
+                        const InputManager &Inputs) {
+  std::string Line = "run " + std::to_string(RunNumber) + ": ";
+  switch (Result.Status) {
+  case RunStatus::Halted:
+    Line += "halted";
+    break;
+  case RunStatus::Errored:
+    Line += "ERROR " + Result.Error.toString();
+    break;
+  case RunStatus::ForcingMismatch:
+    Line += "forcing mismatch";
+    break;
+  }
+  if (Hooks)
+    Line += ", " + std::to_string(Hooks->conditionalsExecuted()) +
+            " conditionals";
+  Line += ", inputs:";
+  for (InputId Id = 0; Id < Inputs.inputsThisRun(); ++Id) {
+    auto It = Inputs.im().find(Id);
+    if (It != Inputs.im().end())
+      Line += " " + Inputs.registry()[Id].Name + "=" +
+              std::to_string(It->second);
+  }
+  return Line;
+}
+
+std::vector<std::pair<std::string, int64_t>>
+collectBugInputs(const InputManager &Inputs) {
+  std::vector<std::pair<std::string, int64_t>> Out;
+  for (InputId Id = 0; Id < Inputs.inputsThisRun(); ++Id) {
+    auto It = Inputs.im().find(Id);
+    if (It != Inputs.im().end())
+      Out.emplace_back(Inputs.registry()[Id].Name, It->second);
+  }
+  return Out;
+}
+
+} // namespace
+
+ParallelDartEngine::ParallelDartEngine(const TranslationUnit &TU,
+                                       const LoweredProgram &Program,
+                                       DartOptions Options)
+    : TU(TU), Program(Program), Options(std::move(Options)),
+      Interface(extractInterface(TU, this->Options.ToplevelName)) {
+  assert(Interface.Toplevel && "toplevel function not found or has no body");
+}
+
+DartReport ParallelDartEngine::run() {
+  if (Options.Jobs <= 1) {
+    // Paper-exact sequential loop: the W=1 report is byte-identical to
+    // DartEngine's, including the random sequence.
+    DartEngine Sequential(TU, Program, Options);
+    return Sequential.run();
+  }
+  Options.Concolic.NumBranchSites = Program.Module->numBranchSites();
+  return Options.RandomOnly ? runRandomOnly() : runDirected();
+}
+
+DartReport ParallelDartEngine::runDirected() {
+  const unsigned NumWorkers = Options.Jobs;
+  DartReport Report;
+  Report.BranchSitesTotal = Program.Module->numBranchSites();
+
+  SharedState Shared(Report.BranchSitesTotal);
+  SolverQueryCache Cache;
+  PrefixFilter Seen;
+
+  // Drain bookkeeping (only ever touched by the drain handler, which the
+  // frontier runs under its lock with no busy workers — single-threaded).
+  unsigned Restarts = 0;
+  bool Complete = false;
+
+  Frontier Queue([&]() -> std::vector<WorkItem> {
+    if (Shared.Stop.load())
+      return {};
+    if (Shared.RunsClaimed.load() >= Options.MaxRuns)
+      return {};
+    if (!Shared.Truncated.load() && Shared.AllLinear.load() &&
+        Shared.AllLocsDefinite.load() &&
+        Options.Strategy == SearchStrategy::DepthFirst) {
+      // Theorem 1(b): the generational expansion partitions the path
+      // tree, every feasible path of this restart tree was exercised,
+      // and no theory fallback occurred anywhere.
+      Complete = true;
+      return {};
+    }
+    // Fig. 2's outer loop: fresh random restart as its own dedup tree.
+    ++Restarts;
+    WorkItem W;
+    W.RngSeed = mixSeed(Options.Seed, 0x517cc1b7ULL + Restarts);
+    W.TreeSalt = W.RngSeed;
+    return {std::move(W)};
+  });
+
+  auto ProcessItem = [&](WorkItem Item, LinearSolver &Solver,
+                         std::vector<BugInfo> &LocalBugs,
+                         uint64_t &LocalSolverCalls) {
+    unsigned Slot = Shared.RunsClaimed.fetch_add(1);
+    if (Slot >= Options.MaxRuns) {
+      Queue.close();
+      return;
+    }
+
+    Rng R(Item.RngSeed);
+    InputManager Inputs(R);
+    Inputs.setIM(std::move(Item.IM));
+    Inputs.beginRun();
+    Interp VM(*Program.Module, Options.Interp);
+    auto Hooks = std::make_unique<ConcolicRun>(
+        Inputs.registry(), std::move(Item.Stack), Options.Concolic);
+    VM.setHooks(Hooks.get());
+    TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
+                      Hooks.get(), Options.Driver);
+    RunResult Result = executeDartRun(Options, TU, Driver, VM);
+
+    Shared.TotalSteps.fetch_add(Result.Steps);
+    if (!Hooks->flags().AllLinear)
+      Shared.AllLinear.store(false);
+    if (!Hooks->flags().AllLocsDefinite)
+      Shared.AllLocsDefinite.store(false);
+    Shared.mergeCoverage(Hooks->coveredBits());
+
+    unsigned RunNumber;
+    {
+      std::lock_guard<std::mutex> L(Shared.ReportMutex);
+      RunNumber = Shared.RunsDone.fetch_add(1) + 1;
+      if (Options.TrackCoverageTimeline)
+        Shared.CoverageTimeline.push_back(Shared.CoveredCount.load());
+      if (Options.LogRuns)
+        Shared.RunLog.push_back(
+            describeRun(RunNumber, Result, Hooks.get(), Inputs));
+    }
+
+    if (Result.Status == RunStatus::Errored) {
+      BugInfo Bug;
+      Bug.Error = Result.Error;
+      Bug.FoundAtRun = RunNumber;
+      Bug.Inputs = collectBugInputs(Inputs);
+      LocalBugs.push_back(std::move(Bug));
+      Shared.BugFound.store(true);
+      if (Options.StopAtFirstError) {
+        Shared.Stop.store(true);
+        Queue.close();
+        return;
+      }
+      // The errored path is terminal but its prefix still gets expanded,
+      // exactly like the sequential fall-through to solve_path_constraint.
+    } else if (Result.Status == RunStatus::ForcingMismatch) {
+      // A prior incompleteness misled the prediction; the item is dropped
+      // and — as in the sequential engine — completeness is forfeited, so
+      // the drain handler will schedule a random restart.
+      Shared.ForcingMismatches.fetch_add(1);
+      Shared.AllLinear.store(false);
+      return;
+    }
+
+    // Speculative expansion: solve the negation of every not-done branch
+    // of this path and push all satisfiable flips.
+    PathData Path = Hooks->takePath();
+    auto DomainOf = [&Inputs](InputId Id) { return Inputs.domainOf(Id); };
+    CandidateSet Set =
+        solveCandidates(Path, Solver, DomainOf, Inputs.im(),
+                        Options.Strategy, R, Options.MaxSpeculativePerRun);
+    LocalSolverCalls += Set.SolverCalls;
+    if (Set.Truncated)
+      Shared.Truncated.store(true);
+    if (Set.TheoryMisled)
+      Shared.AllLinear.store(false);
+    for (SolveOutcome &Cand : Set.Candidates) {
+      WorkItem Child;
+      Child.Stack = std::move(Cand.NextStack);
+      // Generational: the child only expands branches deeper than the
+      // flip — everything shallower belongs to this item's other
+      // candidates. This makes the expansion a partition of the tree.
+      for (size_t I = 0; I + 1 < Child.Stack.size(); ++I)
+        Child.Stack[I].Done = true;
+      Child.IM = Inputs.im();
+      for (const auto &[Id, V] : Cand.Model)
+        Child.IM[Id] = V;
+      Child.RngSeed = mixSeed(Item.RngSeed, Cand.FlippedIndex + 1);
+      Child.TreeSalt = Item.TreeSalt;
+      if (Seen.insert(prefixHash(Child.Stack, Child.TreeSalt)))
+        Queue.push(std::move(Child));
+    }
+  };
+
+  // Seed the frontier with the root of the first restart tree.
+  {
+    WorkItem Root;
+    Root.RngSeed = Options.Seed;
+    Root.TreeSalt = mixSeed(Options.Seed, 0xa5a5a5a5ULL);
+    Queue.push(std::move(Root));
+  }
+
+  struct WorkerResult {
+    std::vector<BugInfo> Bugs;
+    SolverStats Solver;
+    uint64_t SolverCalls = 0;
+  };
+  std::vector<WorkerResult> Results(NumWorkers);
+  std::vector<std::thread> Workers;
+  Workers.reserve(NumWorkers);
+  for (unsigned W = 0; W < NumWorkers; ++W) {
+    Workers.emplace_back([&, W]() {
+      LinearSolver Solver(Options.Solver);
+      Solver.setSharedCache(&Cache);
+      WorkerResult &Mine = Results[W];
+      for (;;) {
+        std::optional<WorkItem> Item = Queue.pop();
+        if (!Item)
+          break;
+        ProcessItem(std::move(*Item), Solver, Mine.Bugs,
+                    Mine.SolverCalls);
+        Queue.taskDone();
+      }
+      Mine.Solver = Solver.stats();
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+
+  Report.Runs = Shared.RunsDone.load();
+  Report.Restarts = Restarts;
+  Report.ForcingMismatches = Shared.ForcingMismatches.load();
+  Report.CompleteExploration = Complete;
+  Report.FinalFlags.AllLinear = Shared.AllLinear.load();
+  Report.FinalFlags.AllLocsDefinite = Shared.AllLocsDefinite.load();
+  Report.BranchDirectionsCovered = Shared.CoveredCount.load();
+  Report.TotalSteps = Shared.TotalSteps.load();
+  Report.CoverageTimeline = std::move(Shared.CoverageTimeline);
+  Report.RunLog = std::move(Shared.RunLog);
+  for (WorkerResult &WR : Results) {
+    Report.Solver.merge(WR.Solver);
+    Report.SolverCalls += WR.SolverCalls;
+    for (BugInfo &B : WR.Bugs)
+      Report.Bugs.push_back(std::move(B));
+  }
+  Report.BugFound = !Report.Bugs.empty();
+  sortBugs(Report.Bugs);
+  return Report;
+}
+
+DartReport ParallelDartEngine::runRandomOnly() {
+  const unsigned NumWorkers = Options.Jobs;
+  DartReport Report;
+  Report.BranchSitesTotal = Program.Module->numBranchSites();
+
+  SharedState Shared(Report.BranchSitesTotal);
+
+  struct WorkerResult {
+    std::vector<BugInfo> Bugs;
+  };
+  std::vector<WorkerResult> Results(NumWorkers);
+  std::vector<std::thread> Workers;
+  Workers.reserve(NumWorkers);
+  for (unsigned W = 0; W < NumWorkers; ++W) {
+    Workers.emplace_back([&, W]() {
+      WorkerResult &Mine = Results[W];
+      for (;;) {
+        if (Shared.Stop.load())
+          break;
+        unsigned Slot = Shared.RunsClaimed.fetch_add(1);
+        if (Slot >= Options.MaxRuns)
+          break;
+        // Every random run is independent: seed by slot, so the set of
+        // runs is the same for any worker count.
+        Rng R(mixSeed(Options.Seed, Slot));
+        InputManager Inputs(R);
+        Inputs.beginRun();
+        Interp VM(*Program.Module, Options.Interp);
+        std::unique_ptr<RandomCoverageHooks> CovHooks;
+        if (Options.TrackCoverageTimeline) {
+          CovHooks = std::make_unique<RandomCoverageHooks>(
+              Report.BranchSitesTotal);
+          VM.setHooks(CovHooks.get());
+        }
+        TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
+                          nullptr, Options.Driver);
+        RunResult Result = executeDartRun(Options, TU, Driver, VM);
+        Shared.TotalSteps.fetch_add(Result.Steps);
+        if (CovHooks)
+          Shared.mergeCoverage(CovHooks->Covered);
+        unsigned RunNumber;
+        {
+          std::lock_guard<std::mutex> L(Shared.ReportMutex);
+          RunNumber = Shared.RunsDone.fetch_add(1) + 1;
+          if (Options.TrackCoverageTimeline)
+            Shared.CoverageTimeline.push_back(Shared.CoveredCount.load());
+          if (Options.LogRuns)
+            Shared.RunLog.push_back(
+                describeRun(RunNumber, Result, nullptr, Inputs));
+        }
+        if (Result.Status == RunStatus::Errored) {
+          BugInfo Bug;
+          Bug.Error = Result.Error;
+          Bug.FoundAtRun = RunNumber;
+          Bug.Inputs = collectBugInputs(Inputs);
+          Mine.Bugs.push_back(std::move(Bug));
+          Shared.BugFound.store(true);
+          if (Options.StopAtFirstError) {
+            Shared.Stop.store(true);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+
+  Report.Runs = Shared.RunsDone.load();
+  Report.BranchDirectionsCovered = Shared.CoveredCount.load();
+  Report.TotalSteps = Shared.TotalSteps.load();
+  Report.CoverageTimeline = std::move(Shared.CoverageTimeline);
+  Report.RunLog = std::move(Shared.RunLog);
+  for (WorkerResult &WR : Results)
+    for (BugInfo &B : WR.Bugs)
+      Report.Bugs.push_back(std::move(B));
+  Report.BugFound = !Report.Bugs.empty();
+  sortBugs(Report.Bugs);
+  return Report;
+}

@@ -1,0 +1,72 @@
+//===- ParallelEngine.h - Multi-worker directed search ----------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parallel run_DART: N workers consume a shared *frontier* of work items
+/// (predicted stack prefix + input vector IM + derived RNG seed), each
+/// owning a private Interp VM, ConcolicRun and LinearSolver. After every
+/// instrumented run a worker speculatively solves the negation of *all*
+/// not-done branches of the executed path (not just the deepest, as the
+/// sequential Fig. 5 loop does) and pushes the satisfiable candidates back
+/// onto the frontier — a generational expansion in the SAGE style.
+///
+/// The expansion partitions the path tree: a child produced by flipping
+/// branch j carries the prefix 0..j with entries 0..j marked done, so it
+/// only ever expands branches *deeper* than j. Every feasible path the
+/// sequential depth-first search reaches is therefore reached exactly once
+/// (per restart tree), just in a schedule-dependent order; Theorem 1(a)
+/// soundness is untouched because every run still executes concretely.
+///
+/// Shared state is minimal: an atomic branch-direction coverage bitmap, a
+/// sharded seen-prefix dedup filter, atomic run/step budgets and
+/// completeness flags, and one SolverQueryCache memoizing UNSAT prefixes
+/// across all workers. Reports merge deterministically at join (bugs sorted
+/// by signature), so the bug set and final coverage are independent of the
+/// worker count and schedule.
+///
+/// Jobs == 1 delegates to the sequential DartEngine: the report is
+/// byte-identical to the paper-exact loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_CORE_PARALLELENGINE_H
+#define DART_CORE_PARALLELENGINE_H
+
+#include "core/DartEngine.h"
+
+namespace dart {
+
+/// Frontier-based multi-worker engine. Construction mirrors DartEngine;
+/// DartOptions::Jobs picks the worker count.
+class ParallelDartEngine {
+public:
+  ParallelDartEngine(const TranslationUnit &TU,
+                     const LoweredProgram &Program, DartOptions Options);
+
+  /// Runs the session to completion (bug, completeness, or budget).
+  DartReport run();
+
+  const ProgramInterface &interface() const { return Interface; }
+
+private:
+  DartReport runDirected();
+  DartReport runRandomOnly();
+
+  const TranslationUnit &TU;
+  const LoweredProgram &Program;
+  DartOptions Options;
+  ProgramInterface Interface;
+};
+
+/// Mixes a parent seed with a branch ordinal into a child seed
+/// (splitmix-style finalizer). Work-item seeds are a pure function of the
+/// item's position in the path tree, which keeps the parallel exploration
+/// schedule-independent.
+uint64_t mixSeed(uint64_t Seed, uint64_t Ordinal);
+
+} // namespace dart
+
+#endif // DART_CORE_PARALLELENGINE_H

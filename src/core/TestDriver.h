@@ -56,6 +56,11 @@ public:
   /// Applies a solver model (IM := IM + IM', Fig. 5).
   void applyModel(const std::map<InputId, int64_t> &Model);
 
+  /// Installs a saved input vector wholesale: parallel frontier items
+  /// restore the parent run's IM (plus the candidate's model) into a
+  /// fresh worker-local manager.
+  void setIM(std::map<InputId, int64_t> M) { IM = std::move(M); }
+
   /// Fresh random restart (outer loop of Fig. 2).
   void reset() {
     IM.clear();

@@ -79,6 +79,46 @@ int64_t ceilDiv(int64_t A, int64_t B) {
 
 bool fitsI64(I128 V) { return V >= INT64_MIN && V <= INT64_MAX; }
 
+/// Canonical key of a normalized conjunction: per-constraint strings,
+/// sorted and deduplicated (conjunction is order- and
+/// duplication-insensitive), followed by the domain of every variable
+/// (Unsat can hinge on domains: `x == 5` is Unsat over {0,1}).
+std::string cacheKey(const std::vector<Norm> &Norms,
+                     const std::set<InputId> &Vars,
+                     const std::function<VarDomain(InputId)> &DomainOf) {
+  std::vector<std::string> Parts;
+  Parts.reserve(Norms.size());
+  for (const Norm &N : Norms) {
+    std::string P;
+    P += N.R == Rel::EQ ? 'e' : N.R == Rel::NE ? 'n' : 'l';
+    P += std::to_string(N.L.constant());
+    for (const auto &[Id, C] : N.L.coeffs()) {
+      P += ' ';
+      P += std::to_string(Id);
+      P += '*';
+      P += std::to_string(C);
+    }
+    Parts.push_back(std::move(P));
+  }
+  std::sort(Parts.begin(), Parts.end());
+  Parts.erase(std::unique(Parts.begin(), Parts.end()), Parts.end());
+  std::string Key;
+  for (const std::string &P : Parts) {
+    Key += P;
+    Key += ';';
+  }
+  for (InputId Id : Vars) {
+    VarDomain D = DomainOf(Id);
+    Key += std::to_string(Id);
+    Key += ':';
+    Key += std::to_string(D.Min);
+    Key += ',';
+    Key += std::to_string(D.Max);
+    Key += '|';
+  }
+  return Key;
+}
+
 /// The recursive core solver.
 class Core {
 public:
@@ -445,6 +485,54 @@ SolveStatus Core::solve(std::vector<Norm> Constraints,
 
 } // namespace
 
+void SolverStats::merge(const SolverStats &Other) {
+  Queries += Other.Queries;
+  FastPathQueries += Other.FastPathQueries;
+  Sat += Other.Sat;
+  Unsat += Other.Unsat;
+  Unknown += Other.Unknown;
+  FMEliminations += Other.FMEliminations;
+  DisequalityBranches += Other.DisequalityBranches;
+  CacheHits += Other.CacheHits;
+  CacheMisses += Other.CacheMisses;
+}
+
+std::optional<SolveStatus> SolverQueryCache::lookup(const std::string &Key) {
+  Shard &S = Shards[std::hash<std::string>{}(Key) % NumShards];
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void SolverQueryCache::insert(const std::string &Key, SolveStatus Status) {
+  Shard &S = Shards[std::hash<std::string>{}(Key) % NumShards];
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Map.size() >= MaxEntriesPerShard)
+    S.Map.clear();
+  S.Map.emplace(Key, Status);
+}
+
+size_t SolverQueryCache::size() {
+  size_t Total = 0;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Map.size();
+  }
+  return Total;
+}
+
+SolverQueryCache *LinearSolver::activeCache() {
+  if (!Options.EnableQueryCache)
+    return nullptr;
+  if (SharedCache)
+    return SharedCache;
+  if (!OwnCache)
+    OwnCache = std::make_unique<SolverQueryCache>();
+  return OwnCache.get();
+}
+
 SolveStatus
 LinearSolver::solve(const std::vector<SymPred> &Constraints,
                     const std::function<VarDomain(InputId)> &DomainOf,
@@ -470,6 +558,26 @@ LinearSolver::solve(const std::vector<SymPred> &Constraints,
     Norms.push_back(std::move(*N));
   }
 
+  // Query-cache lookup. Only Unsat verdicts are stored: they are
+  // hint-independent, while a Sat model must be recomputed to prefer the
+  // caller's hint values.
+  std::string Key;
+  SolverQueryCache *Cache = activeCache();
+  if (Cache) {
+    Key = cacheKey(Norms, Vars, DomainOf);
+    if (auto Cached = Cache->lookup(Key)) {
+      ++Stats.CacheHits;
+      ++Stats.Unsat;
+      return *Cached;
+    }
+    ++Stats.CacheMisses;
+  }
+  auto Finish = [&](SolveStatus S) {
+    if (Cache && S == SolveStatus::Unsat)
+      Cache->insert(Key, S);
+    return S;
+  };
+
   // ---- Fast path: all constraints univariate -----------------------------
   if (AllUnivariate && Options.EnableFastPath) {
     ++Stats.FastPathQueries;
@@ -491,7 +599,7 @@ LinearSolver::solve(const std::vector<SymPred> &Constraints,
                                       : K <= 0;
         if (!Holds) {
           ++Stats.Unsat;
-          return SolveStatus::Unsat;
+          return Finish(SolveStatus::Unsat);
         }
         continue;
       }
@@ -504,12 +612,12 @@ LinearSolver::solve(const std::vector<SymPred> &Constraints,
         // a*x + k == 0
         if (K % A != 0) {
           ++Stats.Unsat;
-          return SolveStatus::Unsat;
+          return Finish(SolveStatus::Unsat);
         }
         int64_t V = -K / A;
         if (St.Pin && *St.Pin != V) {
           ++Stats.Unsat;
-          return SolveStatus::Unsat;
+          return Finish(SolveStatus::Unsat);
         }
         St.Pin = V;
         break;
@@ -532,14 +640,14 @@ LinearSolver::solve(const std::vector<SymPred> &Constraints,
       if (St.Pin) {
         if (*St.Pin < St.Lo || *St.Pin > St.Hi || St.Excluded.count(*St.Pin)) {
           ++Stats.Unsat;
-          return SolveStatus::Unsat;
+          return Finish(SolveStatus::Unsat);
         }
         Model[Id] = *St.Pin;
         continue;
       }
       if (St.Lo > St.Hi) {
         ++Stats.Unsat;
-        return SolveStatus::Unsat;
+        return Finish(SolveStatus::Unsat);
       }
       // Preferred value, stepped off excluded points.
       int64_t Candidate;
@@ -567,7 +675,7 @@ LinearSolver::solve(const std::vector<SymPred> &Constraints,
       }
       if (!Found) {
         ++Stats.Unsat;
-        return SolveStatus::Unsat;
+        return Finish(SolveStatus::Unsat);
       }
     }
     ++Stats.Sat;
@@ -608,5 +716,5 @@ LinearSolver::solve(const std::vector<SymPred> &Constraints,
     ++Stats.Unknown;
     break;
   }
-  return S;
+  return Finish(S);
 }

@@ -34,10 +34,15 @@
 
 #include "symbolic/SymExpr.h"
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace dart {
@@ -57,6 +62,13 @@ struct SolverOptions {
   unsigned MaxBranchDepth = 24;
   /// Cap on Fourier–Motzkin-generated constraints before giving up.
   size_t MaxDerivedConstraints = 8192;
+  /// Memoize Unsat verdicts keyed on the normalized conjunction (plus the
+  /// domains of its variables). Speculative frontier solving makes
+  /// overlapping prefixes the common case, so the same doomed negation is
+  /// asked over and over; Unsat does not depend on the hint, so the verdict
+  /// is safe to replay. Sat results are never cached (their model prefers
+  /// the caller's hint).
+  bool EnableQueryCache = true;
 };
 
 struct SolverStats {
@@ -67,10 +79,40 @@ struct SolverStats {
   uint64_t Unknown = 0;
   uint64_t FMEliminations = 0;
   uint64_t DisequalityBranches = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+
+  /// Accumulates \p Other into this (parallel per-worker stats merge).
+  void merge(const SolverStats &Other);
+};
+
+/// Thread-safe Unsat-verdict cache, shareable between LinearSolver
+/// instances (one per worker in the parallel engine). Sharded by key hash
+/// so concurrent workers rarely contend on the same mutex.
+class SolverQueryCache {
+public:
+  /// Returns the cached verdict for \p Key, if any.
+  std::optional<SolveStatus> lookup(const std::string &Key);
+  /// Records \p Status under \p Key. Only Unsat is worth storing; the
+  /// caller enforces that.
+  void insert(const std::string &Key, SolveStatus Status);
+  /// Total entries across all shards (diagnostics).
+  size_t size();
+
+private:
+  static constexpr size_t NumShards = 16;
+  /// Per-shard entry cap; a shard that grows past this is cleared (the
+  /// cache is a pure memoization, dropping it is always correct).
+  static constexpr size_t MaxEntriesPerShard = 1 << 16;
+  struct Shard {
+    std::mutex M;
+    std::unordered_map<std::string, SolveStatus> Map;
+  };
+  std::array<Shard, NumShards> Shards;
 };
 
 /// Solves conjunctions of SymPreds. Stateless between queries apart from
-/// statistics.
+/// statistics and the (semantics-free) query cache.
 class LinearSolver {
 public:
   explicit LinearSolver(SolverOptions Options = {}) : Options(Options) {}
@@ -83,12 +125,20 @@ public:
                     const std::map<InputId, int64_t> &Hint,
                     std::map<InputId, int64_t> &Model);
 
+  /// Routes cache traffic to \p Cache (not owned) instead of this solver's
+  /// private cache, so workers deduplicate Unsat work across threads.
+  void setSharedCache(SolverQueryCache *Cache) { SharedCache = Cache; }
+
   const SolverStats &stats() const { return Stats; }
   void resetStats() { Stats = SolverStats(); }
 
 private:
+  SolverQueryCache *activeCache();
+
   SolverOptions Options;
   SolverStats Stats;
+  SolverQueryCache *SharedCache = nullptr;
+  std::unique_ptr<SolverQueryCache> OwnCache;
 };
 
 } // namespace dart

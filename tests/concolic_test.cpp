@@ -269,9 +269,13 @@ TEST(Concolic, StaleSymbolsScrubbedOnFramePop) {
 TEST(Concolic, CoverageRecorded) {
   ConcolicHarness H;
   H.run("int f(int x) { if (x > 0) return 1; return 0; }", "f", {5});
-  const auto &Cov = H.Hooks->coveredBranches();
-  ASSERT_EQ(Cov.size(), 1u);
-  EXPECT_TRUE(Cov.begin()->second) << "true direction covered";
+  // Bit layout: 2*site + direction. x=5 takes the true direction of the
+  // only site; the false direction stays uncovered.
+  const std::vector<bool> &Bits = H.Hooks->coveredBits();
+  EXPECT_EQ(H.Hooks->coveredCount(), 1u);
+  ASSERT_GE(Bits.size(), 2u);
+  EXPECT_FALSE(Bits[0]) << "false direction not covered";
+  EXPECT_TRUE(Bits[1]) << "true direction covered";
 }
 
 //===----------------------------------------------------------------------===//
@@ -379,6 +383,122 @@ TEST(PathSearch, RandomStrategyFindsSomething) {
   SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
                                        SearchStrategy::RandomBranch, R);
   EXPECT_TRUE(O.Found);
+}
+
+TEST(PathSearch, SolveCandidatesCollectsEveryFlip) {
+  // Two independent flippable branches: the candidate set has both, in
+  // DFS order (deepest first), each with its own prefix stack and model.
+  auto C0 = SymPred(CmpPred::Ne,
+                    *LinearExpr::variable(0).add(LinearExpr(-10)));
+  auto C1 = SymPred(CmpPred::Lt,
+                    *LinearExpr::variable(1).add(LinearExpr(-5)));
+  PathData P = makePath({{false, C0}, {true, C1}});
+  LinearSolver Solver;
+  Rng R(1);
+  CandidateSet Set = solveCandidates(P, Solver, intDomains(), {},
+                                     SearchStrategy::DepthFirst, R, 0);
+  ASSERT_EQ(Set.Candidates.size(), 2u);
+  EXPECT_FALSE(Set.Truncated);
+  EXPECT_EQ(Set.Candidates[0].FlippedIndex, 1u) << "deepest first";
+  EXPECT_EQ(Set.Candidates[0].NextStack.size(), 2u);
+  EXPECT_GE(Set.Candidates[0].Model[1], 5);
+  EXPECT_EQ(Set.Candidates[1].FlippedIndex, 0u);
+  EXPECT_EQ(Set.Candidates[1].NextStack.size(), 1u);
+  EXPECT_EQ(Set.Candidates[1].Model[0], 10);
+}
+
+TEST(PathSearch, SolveCandidatesSkipsUnsatAndDone) {
+  auto C0 = SymPred(CmpPred::Ne,
+                    *LinearExpr::variable(0).add(LinearExpr(-10)));
+  auto C1 = SymPred(CmpPred::Ne, LinearExpr(1)); // negation unsat
+  PathData P = makePath({{false, C0}, {true, C1}});
+  P.Stack[0].Done = true;
+  LinearSolver Solver;
+  Rng R(1);
+  CandidateSet Set = solveCandidates(P, Solver, intDomains(), {},
+                                     SearchStrategy::DepthFirst, R, 0);
+  EXPECT_TRUE(Set.Candidates.empty());
+  EXPECT_FALSE(Set.Truncated);
+  EXPECT_EQ(Set.SolverCalls, 1u) << "only the unsat negation was queried";
+}
+
+TEST(PathSearch, SolveCandidatesHonoursCap) {
+  auto C0 = SymPred(CmpPred::Ne,
+                    *LinearExpr::variable(0).add(LinearExpr(-10)));
+  auto C1 = SymPred(CmpPred::Lt,
+                    *LinearExpr::variable(1).add(LinearExpr(-5)));
+  PathData P = makePath({{false, C0}, {true, C1}});
+  LinearSolver Solver;
+  Rng R(1);
+  CandidateSet Set = solveCandidates(P, Solver, intDomains(), {},
+                                     SearchStrategy::DepthFirst, R, 1);
+  ASSERT_EQ(Set.Candidates.size(), 1u);
+  EXPECT_EQ(Set.Candidates[0].FlippedIndex, 1u);
+  EXPECT_TRUE(Set.Truncated) << "a flippable branch was left on the table";
+}
+
+TEST(PathSearch, SolveCandidatesRetriesDoomedHintModel) {
+  // A branch recorded under wrapped 32-bit arithmetic: the stored
+  // predicate (x0 + x1 <= 0) is ideally *false* under the run's own
+  // inputs. The flip (x0 + x1 > 0) is then satisfied by the hint itself,
+  // and a hint-anchored model would replay the old path into a forcing
+  // mismatch. solveCandidates must retry hint-free and return a model
+  // that actually changes an input.
+  auto C0 = SymPred(CmpPred::Le,
+                    *LinearExpr::variable(0).add(LinearExpr::variable(1)));
+  PathData P = makePath({{false, C0}});
+  LinearSolver Solver;
+  Rng R(1);
+  std::map<InputId, int64_t> Hint{{0, 1967317072}, {1, -1889317073}};
+  CandidateSet Set = solveCandidates(P, Solver, intDomains(), Hint,
+                                     SearchStrategy::DepthFirst, R, 0);
+  ASSERT_EQ(Set.Candidates.size(), 1u);
+  EXPECT_FALSE(Set.TheoryMisled);
+  EXPECT_EQ(Set.SolverCalls, 2u) << "hint-anchored solve plus the retry";
+  const auto &M = Set.Candidates[0].Model;
+  EXPECT_TRUE(M != Hint) << "the model must change some input";
+  int64_t Sum = M.at(0) + M.at(1);
+  EXPECT_GT(Sum, 0) << "flip realized";
+  EXPECT_LE(Sum, INT32_MAX) << "and realizable without wrapping";
+}
+
+TEST(PathSearch, SolveCandidatesDropsFlipNoModelCanRealize) {
+  // Flipping this branch demands x0 + x1 > 4294967000: ideally satisfiable
+  // within the int32 domains, but every such sum leaves the int32 range
+  // and would wrap in the VM. The flip must be dropped (TheoryMisled), not
+  // handed to the engine as a doomed prediction.
+  auto C0 = SymPred(CmpPred::Le,
+                    *LinearExpr::variable(0)
+                         .add(LinearExpr::variable(1))
+                         ->add(LinearExpr(-4294967000)));
+  PathData P = makePath({{false, C0}});
+  LinearSolver Solver;
+  Rng R(1);
+  CandidateSet Set = solveCandidates(P, Solver, intDomains(), {{0, 0}, {1, 0}},
+                                     SearchStrategy::DepthFirst, R, 0);
+  EXPECT_TRUE(Set.Candidates.empty());
+  EXPECT_TRUE(Set.TheoryMisled);
+  EXPECT_EQ(Set.SolverCalls, 2u);
+}
+
+TEST(PathSearch, SolvePathConstraintMatchesFirstCandidate) {
+  // solvePathConstraint is solveCandidates with MaxCandidates == 1: same
+  // pick, same model, same solver-call count.
+  auto C0 = SymPred(CmpPred::Ne,
+                    *LinearExpr::variable(0).add(LinearExpr(-10)));
+  auto C1 = SymPred(CmpPred::Ne, LinearExpr(1)); // negation unsat
+  PathData P = makePath({{false, C0}, {true, C1}});
+  LinearSolver S1, S2;
+  Rng R1(1), R2(1);
+  SolveOutcome Single = solvePathConstraint(P, S1, intDomains(), {},
+                                            SearchStrategy::DepthFirst, R1);
+  CandidateSet Set = solveCandidates(P, S2, intDomains(), {},
+                                     SearchStrategy::DepthFirst, R2, 1);
+  ASSERT_TRUE(Single.Found);
+  ASSERT_EQ(Set.Candidates.size(), 1u);
+  EXPECT_EQ(Single.FlippedIndex, Set.Candidates[0].FlippedIndex);
+  EXPECT_EQ(Single.Model, Set.Candidates[0].Model);
+  EXPECT_EQ(Single.SolverCalls, Set.SolverCalls);
 }
 
 TEST(PathSearch, StrategyNames) {

@@ -6,7 +6,12 @@
 
 #include "TestUtil.h"
 
+#include "core/ParallelEngine.h"
+#include "workloads/Workloads.h"
+
 #include <gtest/gtest.h>
+
+#include <set>
 
 using namespace dart;
 using namespace dart::test;
@@ -539,4 +544,208 @@ TEST(Engine, DeterministicGivenSeed) {
   ASSERT_EQ(A.Bugs.size(), B.Bugs.size());
   for (size_t I = 0; I < A.Bugs.size(); ++I)
     EXPECT_EQ(A.Bugs[I].Inputs, B.Bugs[I].Inputs);
+}
+
+//===----------------------------------------------------------------------===//
+// ParallelDartEngine (frontier search, W workers)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+DartReport runJobs(const std::string &Source, const std::string &Toplevel,
+                   unsigned Depth, uint64_t Seed, unsigned MaxRuns,
+                   unsigned Jobs, bool StopAtFirstError = true) {
+  auto D = compile(Source);
+  DartOptions Opts;
+  Opts.ToplevelName = Toplevel;
+  Opts.Depth = Depth;
+  Opts.Seed = Seed;
+  Opts.MaxRuns = MaxRuns;
+  Opts.Jobs = Jobs;
+  Opts.StopAtFirstError = StopAtFirstError;
+  return D->run(Opts);
+}
+
+/// The schedule-independent identity of a bug: its error signature. Input
+/// values may differ between worker counts (each path reaches the bug with
+/// its own solver model), the set of distinct errors may not.
+std::set<std::string> bugSignatures(const DartReport &R) {
+  std::set<std::string> Sigs;
+  for (const BugInfo &B : R.Bugs)
+    Sigs.insert(B.Error.toString());
+  return Sigs;
+}
+
+} // namespace
+
+TEST(ParallelEngine, W1ByteIdenticalToSequentialEngine) {
+  // Jobs == 1 must reduce *exactly* to the paper loop: same random
+  // sequence, same runs, same report text, same run log.
+  DiagnosticsEngine Diags;
+  auto TU = parseAndCheck(workloads::acControllerSource(), Diags);
+  ASSERT_TRUE(TU != nullptr) << Diags.toString();
+  LoweredProgram Program = lowerToIR(*TU, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.toString();
+  DartOptions Opts;
+  Opts.ToplevelName = "ac_controller";
+  Opts.Depth = 2;
+  Opts.Seed = 2005;
+  Opts.MaxRuns = 1000;
+  Opts.LogRuns = true;
+  Opts.TrackCoverageTimeline = true;
+  DartEngine Sequential(*TU, Program, Opts);
+  DartReport SeqR = Sequential.run();
+  ParallelDartEngine Parallel(*TU, Program, Opts);
+  DartReport ParR = Parallel.run();
+  EXPECT_EQ(SeqR.toString(), ParR.toString());
+  EXPECT_EQ(SeqR.RunLog, ParR.RunLog);
+  EXPECT_EQ(SeqR.CoverageTimeline, ParR.CoverageTimeline);
+}
+
+TEST(ParallelEngine, AcControllerSameBugsAndCoverageAtEveryWorkerCount) {
+  // §4.1's workload, depth 2, collecting every error: the bug set, final
+  // coverage, and the completeness claim must not depend on W.
+  std::string Src = workloads::acControllerSource();
+  DartReport Ref = runJobs(Src, "ac_controller", 2, 2005, 20000, 1,
+                           /*StopAtFirstError=*/false);
+  ASSERT_TRUE(Ref.BugFound);
+  ASSERT_TRUE(Ref.CompleteExploration);
+  for (unsigned W : {2u, 4u}) {
+    DartReport R = runJobs(Src, "ac_controller", 2, 2005, 20000, W,
+                           /*StopAtFirstError=*/false);
+    EXPECT_EQ(bugSignatures(R), bugSignatures(Ref)) << "W=" << W;
+    EXPECT_EQ(R.BranchDirectionsCovered, Ref.BranchDirectionsCovered)
+        << "W=" << W;
+    EXPECT_EQ(R.CompleteExploration, Ref.CompleteExploration) << "W=" << W;
+    EXPECT_TRUE(R.FinalFlags.allSet()) << "W=" << W;
+  }
+}
+
+TEST(ParallelEngine, NeedhamSchroederDepth1CompleteAtEveryWorkerCount) {
+  // Fig. 9's workload at depth 1: no attack, exploration completes; every
+  // worker count must agree on all of it, including the coverage count.
+  workloads::NsConfig C;
+  std::string Src = workloads::needhamSchroederSource(C);
+  DartReport Ref = runJobs(Src, "ns_step", 1, 7, 50000, 1);
+  ASSERT_FALSE(Ref.BugFound);
+  ASSERT_TRUE(Ref.CompleteExploration);
+  for (unsigned W : {2u, 4u}) {
+    DartReport R = runJobs(Src, "ns_step", 1, 7, 50000, W);
+    EXPECT_FALSE(R.BugFound) << "W=" << W;
+    EXPECT_TRUE(R.CompleteExploration) << "W=" << W;
+    EXPECT_EQ(R.BranchDirectionsCovered, Ref.BranchDirectionsCovered)
+        << "W=" << W;
+  }
+}
+
+TEST(ParallelEngine, NeedhamSchroederDepth2AttackAtEveryWorkerCount) {
+  // Lowe's attack projection exists at depth 2; every worker count finds
+  // the same security violation.
+  workloads::NsConfig C;
+  std::string Src = workloads::needhamSchroederSource(C);
+  DartReport Ref = runJobs(Src, "ns_step", 2, 7, 50000, 1);
+  ASSERT_TRUE(Ref.BugFound);
+  for (unsigned W : {2u, 4u}) {
+    DartReport R = runJobs(Src, "ns_step", 2, 7, 50000, W);
+    ASSERT_TRUE(R.BugFound) << "W=" << W;
+    EXPECT_EQ(bugSignatures(R), bugSignatures(Ref)) << "W=" << W;
+  }
+}
+
+TEST(ParallelEngine, ParallelRunsAreReproducible) {
+  // Same options, same worker count -> identical merged report content
+  // (runs may interleave differently, the outcome may not).
+  std::string Src = workloads::acControllerSource();
+  DartReport A = runJobs(Src, "ac_controller", 2, 77, 20000, 4,
+                         /*StopAtFirstError=*/false);
+  DartReport B = runJobs(Src, "ac_controller", 2, 77, 20000, 4,
+                         /*StopAtFirstError=*/false);
+  EXPECT_EQ(A.Runs, B.Runs);
+  EXPECT_EQ(bugSignatures(A), bugSignatures(B));
+  EXPECT_EQ(A.BranchDirectionsCovered, B.BranchDirectionsCovered);
+  EXPECT_EQ(A.CompleteExploration, B.CompleteExploration);
+}
+
+TEST(ParallelEngine, SolverCacheHitsAcrossRestarts) {
+  // The nonlinear guard keeps clearing AllLinear, so the engine restarts
+  // until the budget runs out; each restart tree re-proves the same
+  // doomed negation [y > 5 && y < 3], which the shared cache memoizes.
+  const char *Program = R"(
+    int f(int x, int y) {
+      if (x * x == -1) return 0;  /* nonlinear: never complete */
+      if (y > 5) { if (y < 3) abort(); }
+      return 1;
+    }
+  )";
+  auto D = compile(Program);
+  DartOptions Opts;
+  Opts.ToplevelName = "f";
+  Opts.MaxRuns = 60;
+  Opts.Jobs = 2;
+  DartReport R = D->run(Opts);
+  EXPECT_FALSE(R.BugFound);
+  EXPECT_EQ(R.Runs, 60u);
+  EXPECT_GT(R.Solver.CacheHits, 0u);
+  EXPECT_GT(R.Solver.CacheMisses, 0u);
+}
+
+TEST(ParallelEngine, WrapProneSumsStayMismatchFreeAtEveryWorkerCount) {
+  // Regression: full-range random roots make cross-variable sums wrap at
+  // 32 bits, so the recorded linear constraints misstate the executed
+  // path. Speculative expansion solves every flip against the root's
+  // huge-value hint; without the realizability retry in solveCandidates,
+  // those flips come back as the old inputs (or as freshly wrapping
+  // models) and every one burns a run on a guaranteed forcing mismatch —
+  // hundreds of them, where the sequential engine shows none.
+  const char *Program = R"(
+    int small(int a, int b) {
+      int z = 0;
+      if (a + b > 0) z = z + 1;
+      if (a - b > 3) z = z + 1;
+      if (a + 2 * b > 5) z = z + 1;
+      return z;
+    }
+  )";
+  DartReport Ref = runJobs(Program, "small", 1, 2005, 100, 1, false);
+  EXPECT_EQ(Ref.ForcingMismatches, 0u);
+  EXPECT_TRUE(Ref.CompleteExploration);
+  for (unsigned W : {2u, 4u}) {
+    DartReport R = runJobs(Program, "small", 1, 2005, 100, W, false);
+    EXPECT_EQ(R.ForcingMismatches, 0u) << "W=" << W;
+    EXPECT_TRUE(R.CompleteExploration) << "W=" << W;
+    EXPECT_FALSE(R.BugFound) << "W=" << W;
+    EXPECT_EQ(R.BranchDirectionsCovered, Ref.BranchDirectionsCovered)
+        << "W=" << W;
+  }
+}
+
+TEST(ParallelEngine, RandomOnlyModeMatchesBudgetAndStaysBugFree) {
+  // §4.1's random baseline under W workers: the run set is seeded by run
+  // slot, so the (non-)findings and coverage are worker-count independent.
+  std::string Src = workloads::acControllerSource();
+  for (unsigned W : {2u, 4u}) {
+    auto D = compile(Src);
+    DartOptions Opts;
+    Opts.ToplevelName = "ac_controller";
+    Opts.Depth = 2;
+    Opts.Seed = 1;
+    Opts.MaxRuns = 500;
+    Opts.Jobs = W;
+    Opts.RandomOnly = true;
+    Opts.TrackCoverageTimeline = true;
+    DartReport R = D->run(Opts);
+    EXPECT_FALSE(R.BugFound) << "W=" << W;
+    EXPECT_EQ(R.Runs, 500u) << "W=" << W;
+    ASSERT_EQ(R.CoverageTimeline.size(), R.Runs) << "W=" << W;
+    for (size_t I = 1; I < R.CoverageTimeline.size(); ++I)
+      EXPECT_GE(R.CoverageTimeline[I], R.CoverageTimeline[I - 1]);
+  }
+}
+
+TEST(ParallelEngine, StopAtFirstErrorStillStops) {
+  // A bug must close the frontier: nowhere near the 20000-run budget is
+  // spent once a worker has found the abort.
+  DartReport R = runJobs(PaperIntroExample, "h", 1, 42, 20000, 4);
+  ASSERT_TRUE(R.BugFound);
+  EXPECT_LT(R.Runs, 1000u);
 }

@@ -242,6 +242,89 @@ TEST(Solver, StatsAccumulate) {
   EXPECT_EQ(S.stats().Queries, 0u);
 }
 
+TEST(Solver, QueryCacheMemoizesUnsat) {
+  LinearSolver S;
+  std::map<InputId, int64_t> Model;
+  std::vector<SymPred> Unsat = {SymPred(CmpPred::Eq, lin(0, 1, -1)),
+                                SymPred(CmpPred::Eq, lin(0, 1, -2))};
+  EXPECT_EQ(S.solve(Unsat, allInt(), {}, Model), SolveStatus::Unsat);
+  EXPECT_EQ(S.stats().CacheHits, 0u);
+  EXPECT_EQ(S.solve(Unsat, allInt(), {}, Model), SolveStatus::Unsat);
+  EXPECT_EQ(S.stats().CacheHits, 1u);
+  EXPECT_EQ(S.stats().Unsat, 2u) << "hits still count as unsat verdicts";
+}
+
+TEST(Solver, QueryCacheNeverCachesSat) {
+  // Sat answers depend on the hint (IM + IM' prefers old values), so the
+  // same conjunction must be re-solved under a different hint.
+  LinearSolver S;
+  std::map<InputId, int64_t> Model;
+  std::vector<SymPred> Sat = {SymPred(CmpPred::Ge, lin(0, 1, 0))};
+  EXPECT_EQ(S.solve(Sat, allInt(), {{0, 7}}, Model), SolveStatus::Sat);
+  EXPECT_EQ(Model[0], 7);
+  EXPECT_EQ(S.solve(Sat, allInt(), {{0, 9}}, Model), SolveStatus::Sat);
+  EXPECT_EQ(Model[0], 9) << "second hint honoured, not a cached model";
+  EXPECT_EQ(S.stats().CacheHits, 0u);
+}
+
+TEST(Solver, QueryCacheDisabledByOption) {
+  SolverOptions Opts;
+  Opts.EnableQueryCache = false;
+  LinearSolver S(Opts);
+  std::map<InputId, int64_t> Model;
+  std::vector<SymPred> Unsat = {SymPred(CmpPred::Eq, lin(0, 1, -1)),
+                                SymPred(CmpPred::Eq, lin(0, 1, -2))};
+  S.solve(Unsat, allInt(), {}, Model);
+  S.solve(Unsat, allInt(), {}, Model);
+  EXPECT_EQ(S.stats().CacheHits, 0u);
+  EXPECT_EQ(S.stats().CacheMisses, 0u);
+}
+
+TEST(Solver, QueryCacheKeyIncludesDomains) {
+  // x >= 1000 is Unsat over a byte domain but Sat over int: the domain is
+  // part of the key, so the byte verdict must not leak into the int query.
+  LinearSolver S;
+  std::map<InputId, int64_t> Model;
+  std::vector<SymPred> Cs = {SymPred(CmpPred::Ge, lin(0, 1, -1000))};
+  auto ByteDomain = [](InputId) { return VarDomain{-128, 127}; };
+  EXPECT_EQ(S.solve(Cs, ByteDomain, {}, Model), SolveStatus::Unsat);
+  EXPECT_EQ(S.solve(Cs, allInt(), {}, Model), SolveStatus::Sat);
+  EXPECT_EQ(S.stats().CacheHits, 0u);
+}
+
+TEST(Solver, SharedQueryCacheCrossesSolverInstances) {
+  // Parallel workers share one cache: a prefix proven Unsat by one worker
+  // is a hit for every other worker.
+  SolverQueryCache Cache;
+  LinearSolver A, B;
+  A.setSharedCache(&Cache);
+  B.setSharedCache(&Cache);
+  std::map<InputId, int64_t> Model;
+  std::vector<SymPred> Unsat = {SymPred(CmpPred::Eq, lin(0, 1, -1)),
+                                SymPred(CmpPred::Eq, lin(0, 1, -2))};
+  EXPECT_EQ(A.solve(Unsat, allInt(), {}, Model), SolveStatus::Unsat);
+  EXPECT_EQ(B.solve(Unsat, allInt(), {}, Model), SolveStatus::Unsat);
+  EXPECT_EQ(A.stats().CacheHits, 0u);
+  EXPECT_EQ(B.stats().CacheHits, 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(Solver, StatsMerge) {
+  SolverStats A, B;
+  A.Queries = 3;
+  A.Sat = 2;
+  A.CacheHits = 1;
+  B.Queries = 5;
+  B.Unsat = 4;
+  B.CacheMisses = 2;
+  A.merge(B);
+  EXPECT_EQ(A.Queries, 8u);
+  EXPECT_EQ(A.Sat, 2u);
+  EXPECT_EQ(A.Unsat, 4u);
+  EXPECT_EQ(A.CacheHits, 1u);
+  EXPECT_EQ(A.CacheMisses, 2u);
+}
+
 // Property: on random univariate systems the fast path and the general
 // path agree on satisfiability, and both produce valid models.
 TEST(Solver, FastPathMatchesGeneralPathProperty) {

@@ -48,6 +48,8 @@ int usage() {
       "  --depth <n>           toplevel calls per run (default 1)\n"
       "  --seed <n>            RNG seed (default 2005)\n"
       "  --runs <n>            run budget (default 10000)\n"
+      "  --jobs <n>            worker threads; >1 uses the parallel\n"
+      "                        frontier engine (default 1, sequential)\n"
       "  --strategy <s>        dfs | bfs | random (default dfs)\n"
       "  --random-only         pure random testing (no directed search)\n"
       "  --all-errors          keep searching after the first bug\n"
@@ -105,6 +107,11 @@ CliOptions parseArgs(int argc, char **argv) {
     } else if (Arg == "--runs") {
       const char *V = Next();
       Cli.Dart.MaxRuns = V ? static_cast<unsigned>(atoi(V)) : 10000;
+    } else if (Arg == "--jobs") {
+      const char *V = Next();
+      Cli.Dart.Jobs = V ? static_cast<unsigned>(atoi(V)) : 1;
+      if (Cli.Dart.Jobs == 0)
+        Cli.Dart.Jobs = 1;
     } else if (Arg == "--strategy") {
       const char *V = Next();
       if (V && std::strcmp(V, "bfs") == 0)
