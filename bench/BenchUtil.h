@@ -75,10 +75,13 @@ struct ParallelBenchRow {
   double CacheHitRate = 0.0;
 };
 
-/// Fraction of solver queries answered from the shared Unsat cache.
+/// Fraction of solver queries answered from a shared Unsat cache — the
+/// string-keyed batch cache plus the fingerprint-keyed session cache
+/// (incremental mode routes its probes through the latter).
 inline double cacheHitRate(const SolverStats &S) {
-  uint64_t Total = S.CacheHits + S.CacheMisses;
-  return Total ? double(S.CacheHits) / double(Total) : 0.0;
+  uint64_t Hits = S.CacheHits + S.SessionCacheHits;
+  uint64_t Total = Hits + S.CacheMisses + S.SessionCacheMisses;
+  return Total ? double(Hits) / double(Total) : 0.0;
 }
 
 /// Emits the machine-readable scaling results (BENCH_parallel.json) that

@@ -13,7 +13,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "concolic/PathSearch.h"
 #include "solver/LinearSolver.h"
+#include "symbolic/PredArena.h"
 
 #include <chrono>
 
@@ -77,6 +79,142 @@ void printTable() {
   }
 }
 
+/// A recorded path of \p Depth univariate disequalities over eight inputs —
+/// the shape solve_path_constraint probes: a long shared prefix, every
+/// negation satisfiable.
+PathData deepPath(PredArena &Arena, unsigned Depth) {
+  PathData P;
+  for (unsigned I = 0; I < Depth; ++I) {
+    auto L = *LinearExpr::variable(I % 8).add(LinearExpr(-int64_t(I) - 40));
+    P.Stack.push_back({true, false, I});
+    P.Constraints.push_back(Arena.intern(SymPred(CmpPred::Ne, L)));
+  }
+  return P;
+}
+
+/// Mean microseconds per solveCandidates batch over \p P with the
+/// incremental-session lever set to \p Incremental.
+double timeCandidates(const PathData &P, PredArena &Arena, bool Incremental,
+                      const std::map<InputId, int64_t> &Hint) {
+  SolverOptions Opts;
+  Opts.IncrementalSessions = Incremental;
+  LinearSolver S(Opts);
+  Rng R(1);
+  auto Domains = intDomains();
+  auto Once = [&] {
+    CandidateSet Set = solveCandidates(P, Arena, S, Domains, Hint,
+                                       SearchStrategy::DepthFirst, R, 0);
+    benchmark::DoNotOptimize(Set.Candidates.size());
+  };
+  Once(); // warm the arena's negation links
+  const unsigned Iters = 300;
+  auto T0 = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I < Iters; ++I)
+    Once();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - T0)
+             .count() /
+         Iters;
+}
+
+struct IncrementalRow {
+  unsigned Depth = 0;
+  unsigned Candidates = 0;
+  double BatchUs = 0.0;
+  double IncrementalUs = 0.0;
+};
+
+void writeIncrementalJson(const std::string &Path,
+                          const std::vector<IncrementalRow> &Rows) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F,
+               "{\n  \"experiment\": \"solver_incremental\",\n"
+               "  \"results\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const IncrementalRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"depth\": %u, \"candidates\": %u, "
+                 "\"batch_us\": %.3f, \"incremental_us\": %.3f, "
+                 "\"speedup\": %.2f}%s\n",
+                 R.Depth, R.Candidates, R.BatchUs, R.IncrementalUs,
+                 R.BatchUs / R.IncrementalUs,
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
+/// The tentpole's headline axis: per-candidate renormalization (batch) vs
+/// prefix-reusing sessions, over path depth x flippable-candidate count.
+void incrementalGrid() {
+  printHeader("Incremental sessions vs batch renormalization "
+              "(solveCandidates)");
+  std::printf("%-8s %-12s %-14s %-14s %-8s\n", "depth", "candidates",
+              "batch", "incremental", "speedup");
+  std::vector<IncrementalRow> Rows;
+  std::map<InputId, int64_t> Hint;
+  for (InputId V = 0; V < 8; ++V)
+    Hint[V] = 1;
+  for (unsigned Depth : {16u, 64u, 128u}) {
+    for (unsigned Cands : {1u, 8u, 32u}) {
+      if (Cands > Depth)
+        continue;
+      PredArena Arena;
+      PathData P = deepPath(Arena, Depth);
+      // Only the deepest Cands branches are still open: the common mid-
+      // search shape (shallow flips already exhausted).
+      for (unsigned I = 0; I + Cands < Depth; ++I)
+        P.Stack[I].Done = true;
+      IncrementalRow Row;
+      Row.Depth = Depth;
+      Row.Candidates = Cands;
+      Row.BatchUs = timeCandidates(P, Arena, /*Incremental=*/false, Hint);
+      Row.IncrementalUs = timeCandidates(P, Arena, /*Incremental=*/true,
+                                         Hint);
+      std::printf("%-8u %-12u %10.2f us %10.2f us  (%.1fx)\n", Depth, Cands,
+                  Row.BatchUs, Row.IncrementalUs,
+                  Row.BatchUs / Row.IncrementalUs);
+      Rows.push_back(Row);
+    }
+  }
+  writeIncrementalJson("BENCH_solver_incremental.json", Rows);
+}
+
+void BM_SolveCandidatesBatchD64C8(benchmark::State &State) {
+  PredArena Arena;
+  PathData P = deepPath(Arena, 64);
+  for (unsigned I = 0; I + 8 < 64; ++I)
+    P.Stack[I].Done = true;
+  SolverOptions Opts;
+  Opts.IncrementalSessions = false;
+  LinearSolver S(Opts);
+  Rng R(1);
+  auto Domains = intDomains();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveCandidates(
+        P, Arena, S, Domains, {}, SearchStrategy::DepthFirst, R, 0));
+}
+BENCHMARK(BM_SolveCandidatesBatchD64C8);
+
+void BM_SolveCandidatesSessionD64C8(benchmark::State &State) {
+  PredArena Arena;
+  PathData P = deepPath(Arena, 64);
+  for (unsigned I = 0; I + 8 < 64; ++I)
+    P.Stack[I].Done = true;
+  LinearSolver S;
+  Rng R(1);
+  auto Domains = intDomains();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveCandidates(
+        P, Arena, S, Domains, {}, SearchStrategy::DepthFirst, R, 0));
+}
+BENCHMARK(BM_SolveCandidatesSessionD64C8);
+
 void BM_SolverFastPathFilter16(benchmark::State &State) {
   auto Cs = filterChain(16);
   LinearSolver S;
@@ -125,6 +263,7 @@ BENCHMARK(BM_SolverDisequalityBranching);
 
 int main(int argc, char **argv) {
   printTable();
+  incrementalGrid();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -261,7 +261,7 @@ SymbolicEvaluator::branchPredicate(EvalContext &Ctx, const IRExpr *Cond,
     // `if (p)` on a pointer input: expressible only as a choice predicate,
     // and only when the value is exactly the choice variable.
     if (Options.SymbolicPointers && L.constant() == 0 &&
-        L.coeffs().size() == 1 && L.coeffs().begin()->second == 1) {
+        L.coeffs().size() == 1 && L.coeffs().begin()->Coeff == 1) {
       SymPred P(CmpPred::Ne, L);
       return Taken ? P : P.negated();
     }
@@ -311,7 +311,7 @@ bool ConcolicRun::onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
     // receiving a constant-false system.
     C = SymPred(CmpPred::Eq, LinearExpr(0)); // trivially true
   }
-  Constraints.push_back(C);
+  Constraints.push_back(C ? Arena.intern(*C) : kNoPred);
   size_t Bit = 2 * size_t(Branch.siteId()) + (Taken ? 1 : 0);
   if (Bit >= CoveredBits.size())
     CoveredBits.resize(Bit + 1, false);

@@ -26,6 +26,7 @@
 
 #include "concolic/SymbolicMemory.h"
 #include "interp/Interp.h"
+#include "symbolic/PredArena.h"
 #include "symbolic/SymExpr.h"
 
 #include <functional>
@@ -105,20 +106,23 @@ struct BranchRecord {
 /// Everything one instrumented run produced for solve_path_constraint.
 struct PathData {
   std::vector<BranchRecord> Stack;
-  /// Aligned with Stack: the predicate that held at each conditional, or
-  /// nullopt for concrete/out-of-theory conditions.
-  std::vector<std::optional<SymPred>> Constraints;
+  /// Aligned with Stack: the id (in the engine's PredArena) of the
+  /// predicate that held at each conditional, or kNoPred for
+  /// concrete/out-of-theory conditions. Ids, not deep predicates: equal
+  /// prefixes share ids, so downstream comparison/hashing is O(1).
+  std::vector<PredId> Constraints;
 };
 
 /// The instrumentation for one run. Create fresh per run with the stack
-/// predicted by the previous run's solve_path_constraint.
+/// predicted by the previous run's solve_path_constraint. \p Arena is the
+/// engine-lifetime predicate arena every run's constraints intern into.
 class ConcolicRun : public ExecHooks {
 public:
-  ConcolicRun(const std::vector<InputInfo> &Inputs,
+  ConcolicRun(const std::vector<InputInfo> &Inputs, PredArena &Arena,
               std::vector<BranchRecord> PredictedStack,
               const ConcolicOptions &Options)
-      : Inputs(Inputs), Options(Options), Eval(S, Inputs, Options),
-        Stack(std::move(PredictedStack)),
+      : Inputs(Inputs), Arena(Arena), Options(Options),
+        Eval(S, Inputs, Options), Stack(std::move(PredictedStack)),
         CoveredBits(2 * size_t(Options.NumBranchSites), false) {}
 
   /// Environment model for external functions, installed by the driver:
@@ -170,13 +174,14 @@ public:
 
 private:
   const std::vector<InputInfo> &Inputs;
+  PredArena &Arena;
   ConcolicOptions Options;
   SymbolicMemory S;
   SymbolicEvaluator Eval;
   CompletenessFlags Flags;
 
   std::vector<BranchRecord> Stack;
-  std::vector<std::optional<SymPred>> Constraints;
+  std::vector<PredId> Constraints;
   size_t K = 0;
   bool ForcingOk = true;
   std::vector<bool> CoveredBits;

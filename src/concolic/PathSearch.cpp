@@ -6,6 +6,8 @@
 
 #include "concolic/PathSearch.h"
 
+#include "solver/SolverSession.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -23,17 +25,71 @@ const char *dart::searchStrategyName(SearchStrategy S) {
   return "?";
 }
 
-CandidateSet dart::solveCandidates(
-    const PathData &Path, LinearSolver &Solver,
-    const std::function<VarDomain(InputId)> &DomainOf,
-    const std::map<InputId, int64_t> &Hint, SearchStrategy Strategy,
-    Rng &Rng, unsigned MaxCandidates) {
-  assert(Path.Stack.size() == Path.Constraints.size() &&
-         "stack and path constraint must stay aligned");
-  CandidateSet Result;
+namespace {
 
-  // Candidate branches: not yet done. Order per strategy; depth-first
-  // (descending index) reproduces Fig. 5's recursion exactly.
+/// The theory reasons over ideal integers while the VM wraps at 32 bits,
+/// so a Sat model is not automatically a *realizable* one. Two failure
+/// shapes, both bred by large-magnitude hints:
+///  - the model changes no input: the negated branch was recorded under
+///    wrapped arithmetic, the old inputs already "satisfy" the flip
+///    ideally, and rerunning them replays the old path verbatim;
+///  - some constraint evaluates outside int32 under the model: the VM's
+///    comparison will wrap and may take the other direction.
+/// \p ForEachPred enumerates the solved system's predicates.
+bool unrealizable(
+    const std::map<InputId, int64_t> &M,
+    const std::map<InputId, int64_t> &Hint,
+    const std::function<VarDomain(InputId)> &DomainOf,
+    const std::function<void(const std::function<void(const SymPred &)> &)>
+        &ForEachPred) {
+  bool Changes = false;
+  for (const auto &[Id, V] : M) {
+    auto It = Hint.find(Id);
+    if (It == Hint.end() || It->second != V) {
+      Changes = true;
+      break;
+    }
+  }
+  if (!Changes)
+    return true;
+  auto ValueOf = [&](InputId Id) {
+    auto It = M.find(Id);
+    if (It != M.end())
+      return It->second;
+    auto Ht = Hint.find(Id);
+    return Ht != Hint.end() ? Ht->second : int64_t(0);
+  };
+  bool Bad = false;
+  ForEachPred([&](const SymPred &P) {
+    if (Bad)
+      return;
+    // The int32 window only applies where the VM evaluates at int width:
+    // every variable's domain contained in int32. Wider inputs (unsigned,
+    // long) legitimately carry values beyond it.
+    bool Int32Math = true;
+    for (const auto &[Id, C] : P.LHS.coeffs()) {
+      (void)C;
+      VarDomain D = DomainOf(Id);
+      if (D.Min < INT32_MIN || D.Max > INT32_MAX) {
+        Int32Math = false;
+        break;
+      }
+    }
+    if (!Int32Math)
+      return;
+    int64_t V = P.LHS.evaluate(ValueOf);
+    int64_t VarPart = V - P.LHS.constant();
+    if (V < INT32_MIN || V > INT32_MAX || VarPart < INT32_MIN ||
+        VarPart > INT32_MAX)
+      Bad = true;
+  });
+  return Bad;
+}
+
+/// Candidate branch indices of \p Path (not yet done), in strategy order;
+/// depth-first (descending index) reproduces Fig. 5's recursion exactly.
+std::vector<size_t> candidateOrder(const PathData &Path,
+                                   SearchStrategy Strategy, Rng &Rng) {
   std::vector<size_t> Candidates;
   for (size_t I = 0; I < Path.Stack.size(); ++I)
     if (!Path.Stack[I].Done)
@@ -49,12 +105,113 @@ CandidateSet dart::solveCandidates(
       std::swap(Candidates[I - 1], Candidates[Rng.nextBelow(I)]);
     break;
   }
+  return Candidates;
+}
+
+SolveOutcome makeOutcome(const PathData &Path, size_t J,
+                         std::map<InputId, int64_t> Model) {
+  SolveOutcome Outcome;
+  Outcome.Found = true;
+  Outcome.FlippedIndex = J;
+  Outcome.Model = std::move(Model);
+  Outcome.NextStack.assign(Path.Stack.begin(), Path.Stack.begin() + J + 1);
+  Outcome.NextStack[J].Branch = !Outcome.NextStack[J].Branch;
+  // Done stays false: compare_and_update_stack sets it when the next run
+  // actually reaches this conditional (Fig. 4).
+  Outcome.NextStack[J].Done = false;
+  return Outcome;
+}
+
+/// Incremental mode: one SolverSession holds the propagated prefix; the
+/// walk from candidate to candidate pushes/pops only the delta, and each
+/// probe is push(negation)/solve/pop. DFS and BFS orders make the total
+/// push traffic O(path + candidates) instead of the batch mode's
+/// O(path * candidates) renormalizations.
+CandidateSet solveWithSession(
+    const PathData &Path, PredArena &Arena, LinearSolver &Solver,
+    const std::function<VarDomain(InputId)> &DomainOf,
+    const std::map<InputId, int64_t> &Hint,
+    const std::vector<size_t> &Candidates, unsigned MaxCandidates) {
+  CandidateSet Result;
+  SolverSession Session(Solver, Arena, DomainOf);
+  Session.setHint(&Hint); // once per batch, not once per candidate
+
+  // Number of stack positions currently reflected in the session (null
+  // constraints occupy a position but push nothing).
+  size_t CurIdx = 0;
+  auto SyncPrefix = [&](size_t J) {
+    while (CurIdx > J) {
+      --CurIdx;
+      if (Path.Constraints[CurIdx] != kNoPred)
+        Session.pop();
+    }
+    while (CurIdx < J) {
+      if (Path.Constraints[CurIdx] != kNoPred)
+        Session.push(Path.Constraints[CurIdx]);
+      ++CurIdx;
+    }
+  };
 
   for (size_t J : Candidates) {
     // A conditional without a constraint (concrete or out-of-theory
     // condition) negates to nothing the solver can satisfy; Fig. 5 then
     // recurses to the next candidate.
-    if (!Path.Constraints[J])
+    if (Path.Constraints[J] == kNoPred)
+      continue;
+    if (MaxCandidates && Result.Candidates.size() >= MaxCandidates) {
+      Result.Truncated = true;
+      break;
+    }
+
+    SyncPrefix(J);
+    PredId NegId = Arena.negatedId(Path.Constraints[J]);
+    Session.push(NegId);
+    auto ForEachPred = [&](const std::function<void(const SymPred &)> &Fn) {
+      for (size_t H = 0; H < J; ++H)
+        if (Path.Constraints[H] != kNoPred)
+          Fn(Arena.pred(Path.Constraints[H]));
+      Fn(Arena.pred(NegId));
+    };
+
+    std::map<InputId, int64_t> Model;
+    ++Result.SolverCalls;
+    if (Session.solve(Model) != SolveStatus::Sat) {
+      Session.pop();
+      continue;
+    }
+    if (unrealizable(Model, Hint, DomainOf, ForEachPred)) {
+      // Retry once with an empty hint — unanchored, the solver picks small
+      // canonical values on which ideal and wrapped arithmetic agree — and
+      // only if that model is also unrealizable drop the flip and report
+      // the theory misled (the engine must clear `all_linear`).
+      std::map<InputId, int64_t> Retry;
+      ++Result.SolverCalls;
+      if (Session.solveNoHint(Retry) != SolveStatus::Sat ||
+          unrealizable(Retry, Hint, DomainOf, ForEachPred)) {
+        Session.pop();
+        Result.TheoryMisled = true;
+        continue;
+      }
+      Model = std::move(Retry);
+    }
+    Session.pop();
+    Result.Candidates.push_back(makeOutcome(Path, J, std::move(Model)));
+  }
+  return Result;
+}
+
+/// Batch mode (IncrementalSessions off): rebuild and solve the full
+/// conjunction per candidate — the pre-session behaviour, kept as the
+/// differential-test and ablation baseline.
+CandidateSet solveBatch(const PathData &Path, PredArena &Arena,
+                        LinearSolver &Solver,
+                        const std::function<VarDomain(InputId)> &DomainOf,
+                        const std::map<InputId, int64_t> &Hint,
+                        const std::vector<size_t> &Candidates,
+                        unsigned MaxCandidates) {
+  CandidateSet Result;
+  for (size_t J : Candidates) {
+    if (Path.Constraints[J] == kNoPred)
       continue;
     if (MaxCandidates && Result.Candidates.size() >= MaxCandidates) {
       Result.Truncated = true;
@@ -64,100 +221,57 @@ CandidateSet dart::solveCandidates(
     std::vector<SymPred> System;
     System.reserve(J + 1);
     for (size_t H = 0; H < J; ++H)
-      if (Path.Constraints[H])
-        System.push_back(*Path.Constraints[H]);
-    System.push_back(Path.Constraints[J]->negated());
+      if (Path.Constraints[H] != kNoPred)
+        System.push_back(Arena.pred(Path.Constraints[H]));
+    System.push_back(Arena.pred(Path.Constraints[J]).negated());
+    auto ForEachPred = [&](const std::function<void(const SymPred &)> &Fn) {
+      for (const SymPred &P : System)
+        Fn(P);
+    };
 
     std::map<InputId, int64_t> Model;
     ++Result.SolverCalls;
     if (Solver.solve(System, DomainOf, Hint, Model) != SolveStatus::Sat)
       continue;
-
-    // The theory reasons over ideal integers while the VM wraps at 32
-    // bits, so a Sat model is not automatically a *realizable* one. Two
-    // failure shapes, both bred by large-magnitude hints:
-    //  - the model changes no input: the negated branch was recorded under
-    //    wrapped arithmetic, the old inputs already "satisfy" the flip
-    //    ideally, and rerunning them replays the old path verbatim;
-    //  - some prefix constraint evaluates outside int32 under the model:
-    //    the VM's comparison will wrap and may take the other direction.
-    // Either way the run would end in a forcing mismatch. Retry once with
-    // an empty hint — unanchored, the solver picks small canonical values
-    // on which ideal and wrapped arithmetic agree — and only if that model
-    // is also unrealizable drop the flip and report the theory misled.
-    auto Unrealizable = [&](const std::map<InputId, int64_t> &M) {
-      bool Changes = false;
-      for (const auto &[Id, V] : M) {
-        auto It = Hint.find(Id);
-        if (It == Hint.end() || It->second != V) {
-          Changes = true;
-          break;
-        }
-      }
-      if (!Changes)
-        return true;
-      auto ValueOf = [&](InputId Id) {
-        auto It = M.find(Id);
-        if (It != M.end())
-          return It->second;
-        auto Ht = Hint.find(Id);
-        return Ht != Hint.end() ? Ht->second : int64_t(0);
-      };
-      for (const SymPred &P : System) {
-        // The int32 window only applies where the VM evaluates at int
-        // width: every variable's domain contained in int32. Wider inputs
-        // (unsigned, long) legitimately carry values beyond it.
-        bool Int32Math = true;
-        for (InputId Id : P.LHS.inputs()) {
-          VarDomain D = DomainOf(Id);
-          if (D.Min < INT32_MIN || D.Max > INT32_MAX) {
-            Int32Math = false;
-            break;
-          }
-        }
-        if (!Int32Math)
-          continue;
-        int64_t V = P.LHS.evaluate(ValueOf);
-        int64_t VarPart = V - P.LHS.constant();
-        if (V < INT32_MIN || V > INT32_MAX || VarPart < INT32_MIN ||
-            VarPart > INT32_MAX)
-          return true;
-      }
-      return false;
-    };
-    if (Unrealizable(Model)) {
+    if (unrealizable(Model, Hint, DomainOf, ForEachPred)) {
       std::map<InputId, int64_t> Retry;
       ++Result.SolverCalls;
       if (Solver.solve(System, DomainOf, {}, Retry) != SolveStatus::Sat ||
-          Unrealizable(Retry)) {
+          unrealizable(Retry, Hint, DomainOf, ForEachPred)) {
         Result.TheoryMisled = true;
         continue;
       }
       Model = std::move(Retry);
     }
-
-    SolveOutcome Outcome;
-    Outcome.Found = true;
-    Outcome.FlippedIndex = J;
-    Outcome.Model = std::move(Model);
-    Outcome.NextStack.assign(Path.Stack.begin(),
-                             Path.Stack.begin() + J + 1);
-    Outcome.NextStack[J].Branch = !Outcome.NextStack[J].Branch;
-    // Done stays false: compare_and_update_stack sets it when the next run
-    // actually reaches this conditional (Fig. 4).
-    Outcome.NextStack[J].Done = false;
-    Result.Candidates.push_back(std::move(Outcome));
+    Result.Candidates.push_back(makeOutcome(Path, J, std::move(Model)));
   }
   return Result;
 }
 
+} // namespace
+
+CandidateSet dart::solveCandidates(
+    const PathData &Path, PredArena &Arena, LinearSolver &Solver,
+    const std::function<VarDomain(InputId)> &DomainOf,
+    const std::map<InputId, int64_t> &Hint, SearchStrategy Strategy,
+    Rng &Rng, unsigned MaxCandidates) {
+  assert(Path.Stack.size() == Path.Constraints.size() &&
+         "stack and path constraint must stay aligned");
+  std::vector<size_t> Candidates = candidateOrder(Path, Strategy, Rng);
+  if (Solver.options().IncrementalSessions)
+    return solveWithSession(Path, Arena, Solver, DomainOf, Hint, Candidates,
+                            MaxCandidates);
+  return solveBatch(Path, Arena, Solver, DomainOf, Hint, Candidates,
+                    MaxCandidates);
+}
+
 SolveOutcome dart::solvePathConstraint(
-    const PathData &Path, LinearSolver &Solver,
+    const PathData &Path, PredArena &Arena, LinearSolver &Solver,
     const std::function<VarDomain(InputId)> &DomainOf,
     const std::map<InputId, int64_t> &Hint, SearchStrategy Strategy,
     Rng &Rng) {
-  CandidateSet Set =
-      solveCandidates(Path, Solver, DomainOf, Hint, Strategy, Rng, 1);
+  CandidateSet Set = solveCandidates(Path, Arena, Solver, DomainOf, Hint,
+                                     Strategy, Rng, 1);
   SolveOutcome Outcome;
   Outcome.SolverCalls = Set.SolverCalls;
   if (!Set.Candidates.empty()) {

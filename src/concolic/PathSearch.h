@@ -48,9 +48,11 @@ struct SolveOutcome {
   bool TheoryMisled = false;
 };
 
-/// Fig. 5. \p Hint is the previous IM restricted to known inputs: solutions
-/// prefer old values so unrelated inputs stay put (IM + IM').
-SolveOutcome solvePathConstraint(const PathData &Path, LinearSolver &Solver,
+/// Fig. 5. \p Arena is the arena the path's constraint ids live in. \p Hint
+/// is the previous IM restricted to known inputs: solutions prefer old
+/// values so unrelated inputs stay put (IM + IM').
+SolveOutcome solvePathConstraint(const PathData &Path, PredArena &Arena,
+                                 LinearSolver &Solver,
                                  const std::function<VarDomain(InputId)> &DomainOf,
                                  const std::map<InputId, int64_t> &Hint,
                                  SearchStrategy Strategy, Rng &Rng);
@@ -79,7 +81,16 @@ struct CandidateSet {
 /// collects every satisfiable flip (up to \p MaxCandidates; 0 = all, the
 /// only setting that preserves exhaustive exploration).
 /// solvePathConstraint is exactly this with MaxCandidates == 1.
-CandidateSet solveCandidates(const PathData &Path, LinearSolver &Solver,
+///
+/// With SolverOptions::IncrementalSessions on, candidates are solved
+/// through one SolverSession: the shared prefix is pushed once and
+/// adjusted by push/pop deltas as the strategy order walks the path, so
+/// each probe reuses the prefix's propagated state instead of
+/// renormalizing the whole conjunction. Off, each candidate rebuilds and
+/// solves the full system (the pre-session batch behaviour; ablation and
+/// differential-test lever).
+CandidateSet solveCandidates(const PathData &Path, PredArena &Arena,
+                             LinearSolver &Solver,
                              const std::function<VarDomain(InputId)> &DomainOf,
                              const std::map<InputId, int64_t> &Hint,
                              SearchStrategy Strategy, Rng &Rng,

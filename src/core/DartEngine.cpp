@@ -100,6 +100,7 @@ DartReport DartEngine::run() {
 
   Rng R(Options.Seed);
   InputManager Inputs(R);
+  PredArena Arena;
   LinearSolver Solver(Options.Solver);
   CompletenessFlags GlobalFlags;
   Options.Concolic.NumBranchSites = Report.BranchSitesTotal;
@@ -131,7 +132,7 @@ DartReport DartEngine::run() {
       std::unique_ptr<CoverageOnlyHooks> CovHooks;
       if (!Options.RandomOnly) {
         Hooks = std::make_unique<ConcolicRun>(
-            Inputs.registry(), PredictedStack, Options.Concolic);
+            Inputs.registry(), Arena, PredictedStack, Options.Concolic);
         VM.setHooks(Hooks.get());
       } else if (Options.TrackCoverageTimeline) {
         CovHooks =
@@ -216,7 +217,7 @@ DartReport DartEngine::run() {
       PathData Path = Hooks->takePath();
       auto DomainOf = [&Inputs](InputId Id) { return Inputs.domainOf(Id); };
       SolveOutcome Outcome = solvePathConstraint(
-          Path, Solver, DomainOf, Inputs.im(), Options.Strategy, R);
+          Path, Arena, Solver, DomainOf, Inputs.im(), Options.Strategy, R);
       Report.SolverCalls += Outcome.SolverCalls;
       if (Outcome.TheoryMisled)
         GlobalFlags.AllLinear = false;
@@ -242,6 +243,8 @@ DartReport DartEngine::run() {
 
   Report.FinalFlags = GlobalFlags;
   Report.BranchDirectionsCovered = CoveredCount;
+  Report.Coverage = std::move(Covered);
   Report.Solver = Solver.stats();
+  Report.Arena = Arena.stats();
   return Report;
 }

@@ -85,7 +85,12 @@ struct DartReport {
   CompletenessFlags FinalFlags;
   unsigned BranchSitesTotal = 0;
   unsigned BranchDirectionsCovered = 0;
+  /// Final branch-direction coverage bitmap (bit 2*site + direction); the
+  /// differential tests compare these byte-for-byte across engines.
+  std::vector<bool> Coverage;
   SolverStats Solver;
+  /// Predicate-interning arena statistics for the session.
+  PredArenaStats Arena;
   uint64_t SolverCalls = 0;
   uint64_t TotalSteps = 0;
   /// One line per run when DartOptions::LogRuns is set.

@@ -210,6 +210,18 @@ struct SharedState {
         CoveredCount.fetch_add(unsigned(std::popcount(Fresh)));
     }
   }
+
+  /// Snapshot of the atomic bitmap as a plain vector<bool> (report form).
+  std::vector<bool> coverageBits() const {
+    std::vector<bool> Bits(CovWords.size() * 64, false);
+    for (size_t W = 0; W < CovWords.size(); ++W) {
+      uint64_t V = CovWords[W].load();
+      for (size_t B = 0; B < 64; ++B)
+        if (V & (uint64_t(1) << B))
+          Bits[W * 64 + B] = true;
+    }
+    return Bits;
+  }
 };
 
 /// Deterministic bug order for the merged report: signature, then inputs,
@@ -294,6 +306,8 @@ DartReport ParallelDartEngine::runDirected() {
 
   SharedState Shared(Report.BranchSitesTotal);
   SolverQueryCache Cache;
+  SessionUnsatCache SessCache;
+  PredArena Arena;
   PrefixFilter Seen;
 
   // Drain bookkeeping (only ever touched by the drain handler, which the
@@ -338,7 +352,7 @@ DartReport ParallelDartEngine::runDirected() {
     Inputs.beginRun();
     Interp VM(*Program.Module, Options.Interp);
     auto Hooks = std::make_unique<ConcolicRun>(
-        Inputs.registry(), std::move(Item.Stack), Options.Concolic);
+        Inputs.registry(), Arena, std::move(Item.Stack), Options.Concolic);
     VM.setHooks(Hooks.get());
     TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
                       Hooks.get(), Options.Driver);
@@ -390,7 +404,7 @@ DartReport ParallelDartEngine::runDirected() {
     PathData Path = Hooks->takePath();
     auto DomainOf = [&Inputs](InputId Id) { return Inputs.domainOf(Id); };
     CandidateSet Set =
-        solveCandidates(Path, Solver, DomainOf, Inputs.im(),
+        solveCandidates(Path, Arena, Solver, DomainOf, Inputs.im(),
                         Options.Strategy, R, Options.MaxSpeculativePerRun);
     LocalSolverCalls += Set.SolverCalls;
     if (Set.Truncated)
@@ -435,6 +449,7 @@ DartReport ParallelDartEngine::runDirected() {
     Workers.emplace_back([&, W]() {
       LinearSolver Solver(Options.Solver);
       Solver.setSharedCache(&Cache);
+      Solver.setSharedSessionCache(&SessCache);
       WorkerResult &Mine = Results[W];
       for (;;) {
         std::optional<WorkItem> Item = Queue.pop();
@@ -457,6 +472,8 @@ DartReport ParallelDartEngine::runDirected() {
   Report.FinalFlags.AllLinear = Shared.AllLinear.load();
   Report.FinalFlags.AllLocsDefinite = Shared.AllLocsDefinite.load();
   Report.BranchDirectionsCovered = Shared.CoveredCount.load();
+  Report.Coverage = Shared.coverageBits();
+  Report.Arena = Arena.stats();
   Report.TotalSteps = Shared.TotalSteps.load();
   Report.CoverageTimeline = std::move(Shared.CoverageTimeline);
   Report.RunLog = std::move(Shared.RunLog);
@@ -541,6 +558,7 @@ DartReport ParallelDartEngine::runRandomOnly() {
 
   Report.Runs = Shared.RunsDone.load();
   Report.BranchDirectionsCovered = Shared.CoveredCount.load();
+  Report.Coverage = Shared.coverageBits();
   Report.TotalSteps = Shared.TotalSteps.load();
   Report.CoverageTimeline = std::move(Shared.CoverageTimeline);
   Report.RunLog = std::move(Shared.RunLog);

@@ -17,49 +17,11 @@ namespace {
 
 using I128 = __int128;
 
-/// L <rel> 0 over ideal integers.
-enum class Rel { EQ, NE, LE };
-
-struct Norm {
-  Rel R;
-  LinearExpr L;
-};
-
-/// Normalizes a SymPred to EQ/NE/LE form. Exploits integrality:
-/// `L < 0  <=>  L + 1 <= 0`. Returns nullopt on coefficient overflow.
-std::optional<Norm> normalize(const SymPred &P) {
-  auto le = [](LinearExpr L) { return Norm{Rel::LE, std::move(L)}; };
-  switch (P.Pred) {
-  case CmpPred::Eq:
-    return Norm{Rel::EQ, P.LHS};
-  case CmpPred::Ne:
-    return Norm{Rel::NE, P.LHS};
-  case CmpPred::Le:
-    return le(P.LHS);
-  case CmpPred::Lt: {
-    auto L = P.LHS.add(LinearExpr(1));
-    if (!L)
-      return std::nullopt;
-    return le(std::move(*L));
-  }
-  case CmpPred::Ge: {
-    auto L = P.LHS.negate();
-    if (!L)
-      return std::nullopt;
-    return le(std::move(*L));
-  }
-  case CmpPred::Gt: {
-    auto L = P.LHS.negate();
-    if (!L)
-      return std::nullopt;
-    auto L2 = L->add(LinearExpr(1));
-    if (!L2)
-      return std::nullopt;
-    return le(std::move(*L2));
-  }
-  }
-  return std::nullopt;
-}
+/// Normalization (EQ/NE/LE over ideal integers) lives in src/symbolic as
+/// NormPred/normalizePred so the predicate-interning arena can cache normal
+/// forms; these aliases keep the solver code reading as before.
+using Rel = NormRel;
+using Norm = NormPred;
 
 int64_t floorDiv(int64_t A, int64_t B) {
   assert(B > 0);
@@ -495,6 +457,38 @@ void SolverStats::merge(const SolverStats &Other) {
   DisequalityBranches += Other.DisequalityBranches;
   CacheHits += Other.CacheHits;
   CacheMisses += Other.CacheMisses;
+  Normalizations += Other.Normalizations;
+  NormReused += Other.NormReused;
+  SessionPushes += Other.SessionPushes;
+  SessionPops += Other.SessionPops;
+  SessionSolves += Other.SessionSolves;
+  SessionCacheHits += Other.SessionCacheHits;
+  SessionCacheMisses += Other.SessionCacheMisses;
+  HintSeeds += Other.HintSeeds;
+}
+
+bool SessionUnsatCache::contains(uint64_t Lo, uint64_t Hi) {
+  Shard &S = Shards[Lo % NumShards];
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Lo);
+  return It != S.Map.end() && It->second == Hi;
+}
+
+void SessionUnsatCache::insert(uint64_t Lo, uint64_t Hi) {
+  Shard &S = Shards[Lo % NumShards];
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Map.size() >= MaxEntriesPerShard)
+    S.Map.clear();
+  S.Map[Lo] = Hi;
+}
+
+size_t SessionUnsatCache::size() {
+  size_t Total = 0;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Map.size();
+  }
+  return Total;
 }
 
 std::optional<SolveStatus> SolverQueryCache::lookup(const std::string &Key) {
@@ -533,6 +527,16 @@ SolverQueryCache *LinearSolver::activeCache() {
   return OwnCache.get();
 }
 
+SessionUnsatCache *LinearSolver::activeSessionCache() {
+  if (!Options.EnableQueryCache)
+    return nullptr;
+  if (SharedSessionCache)
+    return SharedSessionCache;
+  if (!OwnSessionCache)
+    OwnSessionCache = std::make_unique<SessionUnsatCache>();
+  return OwnSessionCache.get();
+}
+
 SolveStatus
 LinearSolver::solve(const std::vector<SymPred> &Constraints,
                     const std::function<VarDomain(InputId)> &DomainOf,
@@ -546,7 +550,8 @@ LinearSolver::solve(const std::vector<SymPred> &Constraints,
   bool AllUnivariate = true;
   std::set<InputId> Vars;
   for (const SymPred &P : Constraints) {
-    auto N = normalize(P);
+    ++Stats.Normalizations;
+    auto N = normalizePred(P);
     if (!N) {
       ++Stats.Unknown;
       return SolveStatus::Unknown;

@@ -69,6 +69,11 @@ struct SolverOptions {
   /// is safe to replay. Sat results are never cached (their model prefers
   /// the caller's hint).
   bool EnableQueryCache = true;
+  /// Solve candidate negations through an incremental SolverSession
+  /// (push/pop against the shared prefix) instead of renormalizing the
+  /// whole conjunction per candidate. Behaviourally identical to the batch
+  /// path — this is a pure performance/ablation lever.
+  bool IncrementalSessions = true;
 };
 
 struct SolverStats {
@@ -81,6 +86,21 @@ struct SolverStats {
   uint64_t DisequalityBranches = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  /// Predicate normalizations actually performed (batch path normalizes
+  /// once per constraint per query; sessions normalize once per push).
+  uint64_t Normalizations = 0;
+  /// Normalizations skipped because a session (or the arena) already held
+  /// the normal form.
+  uint64_t NormReused = 0;
+  /// Incremental-session traffic.
+  uint64_t SessionPushes = 0;
+  uint64_t SessionPops = 0;
+  uint64_t SessionSolves = 0;
+  uint64_t SessionCacheHits = 0;
+  uint64_t SessionCacheMisses = 0;
+  /// Hint assignments constructed by solveCandidates (one per batch after
+  /// the hoist; previously one per candidate).
+  uint64_t HintSeeds = 0;
 
   /// Accumulates \p Other into this (parallel per-worker stats merge).
   void merge(const SolverStats &Other);
@@ -111,6 +131,34 @@ private:
   std::array<Shard, NumShards> Shards;
 };
 
+/// Thread-safe Unsat cache for incremental sessions, keyed on a 128-bit
+/// fingerprint (prefix-session fingerprint chained with the negated
+/// predicate's id and the domains involved) instead of a canonical string —
+/// lookups are O(1) with no key construction. Like SolverQueryCache it is
+/// pure memoization of hint-independent Unsat verdicts, so dropping or
+/// overwriting entries is always correct.
+class SessionUnsatCache {
+public:
+  /// True if \p the fingerprint (Lo, Hi) is a known-Unsat query.
+  bool contains(uint64_t Lo, uint64_t Hi);
+  /// Records the fingerprint of an Unsat query.
+  void insert(uint64_t Lo, uint64_t Hi);
+  /// Total entries across all shards (diagnostics).
+  size_t size();
+
+private:
+  static constexpr size_t NumShards = 16;
+  static constexpr size_t MaxEntriesPerShard = 1 << 16;
+  struct Shard {
+    std::mutex M;
+    /// Lo lane -> Hi lane. A Lo collision with a differing Hi behaves as
+    /// absent (and is overwritten), so a real 128-bit match is required for
+    /// a hit.
+    std::unordered_map<uint64_t, uint64_t> Map;
+  };
+  std::array<Shard, NumShards> Shards;
+};
+
 /// Solves conjunctions of SymPreds. Stateless between queries apart from
 /// statistics and the (semantics-free) query cache.
 class LinearSolver {
@@ -129,16 +177,28 @@ public:
   /// private cache, so workers deduplicate Unsat work across threads.
   void setSharedCache(SolverQueryCache *Cache) { SharedCache = Cache; }
 
+  /// Same sharing story for the fingerprint-keyed session cache.
+  void setSharedSessionCache(SessionUnsatCache *Cache) {
+    SharedSessionCache = Cache;
+  }
+
+  const SolverOptions &options() const { return Options; }
+
   const SolverStats &stats() const { return Stats; }
   void resetStats() { Stats = SolverStats(); }
 
 private:
+  friend class SolverSession;
+
   SolverQueryCache *activeCache();
+  SessionUnsatCache *activeSessionCache();
 
   SolverOptions Options;
   SolverStats Stats;
   SolverQueryCache *SharedCache = nullptr;
   std::unique_ptr<SolverQueryCache> OwnCache;
+  SessionUnsatCache *SharedSessionCache = nullptr;
+  std::unique_ptr<SessionUnsatCache> OwnSessionCache;
 };
 
 } // namespace dart

@@ -1,0 +1,250 @@
+//===- SolverSession.cpp - Incremental push/pop constraint solving ---------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SolverSession.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dart;
+
+namespace {
+
+int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B > 0);
+  int64_t Q = A / B;
+  if ((A % B != 0) && (A < 0))
+    --Q;
+  return Q;
+}
+
+int64_t ceilDiv(int64_t A, int64_t B) {
+  assert(B > 0);
+  int64_t Q = A / B;
+  if ((A % B != 0) && (A > 0))
+    ++Q;
+  return Q;
+}
+
+uint64_t mix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+SolverSession::SolverSession(
+    LinearSolver &Solver, PredArena &Arena,
+    const std::function<VarDomain(InputId)> &DomainOf)
+    : Solver(Solver), Arena(Arena), DomainOf(DomainOf) {}
+
+void SolverSession::setHint(const std::map<InputId, int64_t> *HintMap) {
+  Hint = HintMap;
+  ++Solver.Stats.HintSeeds;
+}
+
+SolverSession::VarState &SolverSession::touchVar(Frame &F, InputId Id) {
+  assert(!F.Touched && "a univariate frame touches at most one variable");
+  F.Touched = true;
+  F.Var = Id;
+  auto It = VarStates.find(Id);
+  if (It != VarStates.end()) {
+    F.HadPrev = true;
+    F.Prev = It->second;
+    return It->second;
+  }
+  F.HadPrev = false;
+  VarDomain D = DomainOf(Id);
+  return VarStates
+      .emplace(Id, VarState{D.Min, D.Max, std::nullopt, {}})
+      .first->second;
+}
+
+void SolverSession::push(PredId Id) {
+  ++Solver.Stats.SessionPushes;
+  Frame F;
+  F.Id = Id;
+  F.PrevFpLo = FpLo;
+  F.PrevFpHi = FpHi;
+
+  // Chain the fingerprint: the predicate's id plus the domain of every
+  // variable it mentions (Unsat can hinge on domains, exactly why the
+  // batch cache key includes them).
+  uint64_t H = mix64(uint64_t(Id) + 0x9e3779b97f4a7c15ULL);
+  const SymPred &P = Arena.pred(Id);
+  for (const auto &[Var, C] : P.LHS.coeffs()) {
+    (void)C;
+    VarDomain D = DomainOf(Var);
+    H = mix64(H ^ mix64(uint64_t(Var)) ^ mix64(uint64_t(D.Min)) ^
+              mix64(uint64_t(D.Max) + 0x9e3779b97f4a7c15ULL));
+  }
+  FpLo = (FpLo ^ H) * 0x100000001b3ULL; // FNV-1a step
+  FpHi = mix64(FpHi + H);
+
+  const NormPred *N = Arena.norm(Id);
+  if (!N) {
+    F.Bad = true;
+    ++BadCount;
+  } else {
+    ++Solver.Stats.NormReused; // normal form computed once, at intern time
+    if (N->L.isConstant()) {
+      int64_t K = N->L.constant();
+      bool Holds = N->R == NormRel::EQ   ? K == 0
+                   : N->R == NormRel::NE ? K != 0
+                                         : K <= 0;
+      if (!Holds) {
+        F.ConstFalse = true;
+        ++FalseCount;
+      }
+    } else if (N->L.coeffs().size() > 1) {
+      F.Multivar = true;
+      ++MultiCount;
+    } else {
+      InputId Var = N->L.coeffs().begin()->Id;
+      int64_t A = N->L.coeffs().begin()->Coeff;
+      int64_t K = N->L.constant();
+      // Register the variable unconditionally: the batch fast path seeds a
+      // VarState (and hence a model entry) for every variable that occurs,
+      // even under a vacuous constraint such as an indivisible NE.
+      VarState &St = touchVar(F, Var);
+      switch (N->R) {
+      case NormRel::EQ: {
+        if (K % A != 0) {
+          F.ConstFalse = true; // a*x == -K has no integer solution
+          ++FalseCount;
+          break;
+        }
+        int64_t V = -K / A;
+        if (St.Pin && *St.Pin != V) {
+          F.ConstFalse = true; // conflicts with an enclosing pin
+          ++FalseCount;
+          break;
+        }
+        St.Pin = V;
+        break;
+      }
+      case NormRel::NE:
+        if (K % A == 0)
+          St.Excluded.insert(-K / A);
+        break;
+      case NormRel::LE:
+        if (A > 0)
+          St.Hi = std::min(St.Hi, floorDiv(-K, A));
+        else
+          St.Lo = std::max(St.Lo, ceilDiv(K, -A));
+        break;
+      }
+    }
+  }
+  Frames.push_back(std::move(F));
+}
+
+void SolverSession::pop() {
+  assert(!Frames.empty() && "pop without matching push");
+  ++Solver.Stats.SessionPops;
+  Frame F = std::move(Frames.back());
+  Frames.pop_back();
+  FpLo = F.PrevFpLo;
+  FpHi = F.PrevFpHi;
+  BadCount -= F.Bad;
+  FalseCount -= F.ConstFalse;
+  MultiCount -= F.Multivar;
+  if (F.Touched) {
+    if (F.HadPrev)
+      VarStates[F.Var] = std::move(F.Prev);
+    else
+      VarStates.erase(F.Var);
+  }
+}
+
+SolveStatus
+SolverSession::solveImpl(std::map<InputId, int64_t> &Model,
+                         const std::map<InputId, int64_t> *HintMap) {
+  ++Solver.Stats.SessionSolves;
+  Model.clear();
+
+  // Verdict gates mirror the batch path's order: normalization overflow is
+  // Unknown before anything else; a multivariate constraint (or a disabled
+  // fast path) sends the *whole* system through the batch general path,
+  // even if a constant-false conjunct is also in scope — the general path
+  // may legitimately answer Unknown where the fast path would say Unsat,
+  // and the equivalence contract requires matching it exactly.
+  if (BadCount) {
+    ++Solver.Stats.Unknown;
+    return SolveStatus::Unknown;
+  }
+  if (MultiCount || !Solver.Options.EnableFastPath) {
+    std::vector<SymPred> System;
+    System.reserve(Frames.size());
+    for (const Frame &F : Frames)
+      System.push_back(Arena.pred(F.Id));
+    static const std::map<InputId, int64_t> Empty;
+    return Solver.solve(System, DomainOf, HintMap ? *HintMap : Empty, Model);
+  }
+  ++Solver.Stats.FastPathQueries;
+  if (FalseCount) {
+    ++Solver.Stats.Unsat;
+    return SolveStatus::Unsat;
+  }
+
+  SessionUnsatCache *Cache = Solver.activeSessionCache();
+  if (Cache) {
+    if (Cache->contains(FpLo, FpHi)) {
+      ++Solver.Stats.SessionCacheHits;
+      ++Solver.Stats.Unsat;
+      return SolveStatus::Unsat;
+    }
+    ++Solver.Stats.SessionCacheMisses;
+  }
+  auto Fail = [&] {
+    if (Cache)
+      Cache->insert(FpLo, FpHi);
+    ++Solver.Stats.Unsat;
+    return SolveStatus::Unsat;
+  };
+
+  // Identical model construction to the batch fast path: per variable,
+  // pin if pinned, else hint / 0 / nearest bound stepped off excluded
+  // values.
+  for (auto &[Id, St] : VarStates) {
+    if (St.Pin) {
+      if (*St.Pin < St.Lo || *St.Pin > St.Hi || St.Excluded.count(*St.Pin))
+        return Fail();
+      Model[Id] = *St.Pin;
+      continue;
+    }
+    if (St.Lo > St.Hi)
+      return Fail();
+    int64_t Candidate;
+    auto HintIt = HintMap ? HintMap->find(Id) : std::map<InputId, int64_t>::const_iterator();
+    if (HintMap && HintIt != HintMap->end() && HintIt->second >= St.Lo &&
+        HintIt->second <= St.Hi)
+      Candidate = HintIt->second;
+    else if (St.Lo <= 0 && 0 <= St.Hi)
+      Candidate = 0;
+    else
+      Candidate = St.Lo > 0 ? St.Lo : St.Hi;
+    bool Found = false;
+    for (int64_t Offset = 0; Offset <= 2 * int64_t(St.Excluded.size()) + 1;
+         ++Offset) {
+      for (int Sign = 0; Sign < (Offset == 0 ? 1 : 2); ++Sign) {
+        int64_t V = Sign == 0 ? Candidate + Offset : Candidate - Offset;
+        if (V < St.Lo || V > St.Hi || St.Excluded.count(V))
+          continue;
+        Model[Id] = V;
+        Found = true;
+        break;
+      }
+      if (Found)
+        break;
+    }
+    if (!Found)
+      return Fail();
+  }
+  ++Solver.Stats.Sat;
+  return SolveStatus::Sat;
+}

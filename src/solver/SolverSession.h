@@ -1,0 +1,127 @@
+//===- SolverSession.h - Incremental push/pop constraint solving -*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An incremental view over LinearSolver for solve_path_constraint's access
+/// pattern: one shared prefix conjunction, probed with many single-constraint
+/// negations (push(neg b_k) / solve / pop). The batch interface renormalizes
+/// and re-propagates the whole conjunction once per candidate — O(n) work
+/// per probe; a session keeps the propagated per-variable state (interval,
+/// pin, excluded values) alive across probes and undoes exactly one
+/// constraint's contribution on pop, so a probe costs O(1) on the
+/// univariate fast path.
+///
+/// Equivalence contract: a session solve of the pushed conjunction returns
+/// the *same verdict and, on Sat, the same model* as
+/// LinearSolver::solve over the equivalent constraint vector. The fast
+/// path's per-variable updates are commutative and idempotent, so
+/// incremental accumulation reaches the identical final state; anything
+/// outside the fast path (a multivariate constraint in scope, or the fast
+/// path disabled) delegates to the batch solver over the reconstructed
+/// system. The differential tests pin this down: engines running with
+/// `IncrementalSessions` on and off must produce identical bug sets,
+/// coverage, and run counts.
+///
+/// Unsat probes are memoized in a SessionUnsatCache keyed on a chained
+/// 128-bit fingerprint of (pushed predicate ids + their variables'
+/// domains) — O(1) lookups with no canonical-string construction. Only
+/// hint-independent Unsat verdicts are cached, mirroring SolverQueryCache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_SOLVER_SOLVERSESSION_H
+#define DART_SOLVER_SOLVERSESSION_H
+
+#include "solver/LinearSolver.h"
+#include "symbolic/PredArena.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dart {
+
+class SolverSession {
+public:
+  /// Binds to \p Solver's options, stats, and caches. \p DomainOf must
+  /// outlive the session and stay constant while it is in use (domains are
+  /// folded into fingerprints at push time).
+  SolverSession(LinearSolver &Solver, PredArena &Arena,
+                const std::function<VarDomain(InputId)> &DomainOf);
+
+  /// Installs the preferred-value assignment used by solve(). Not owned;
+  /// pass nullptr for none. Counted in SolverStats::HintSeeds — the hint
+  /// is seeded once per candidate batch, not once per candidate.
+  void setHint(const std::map<InputId, int64_t> *Hint);
+
+  /// Pushes one conjunct (by arena id) onto the session.
+  void push(PredId Id);
+  /// Undoes the most recent push.
+  void pop();
+  size_t depth() const { return Frames.size(); }
+
+  /// Solves the pushed conjunction with the installed hint.
+  SolveStatus solve(std::map<InputId, int64_t> &Model) {
+    return solveImpl(Model, Hint);
+  }
+  /// Solves ignoring the hint (the unrealizable-model retry of
+  /// solveCandidates).
+  SolveStatus solveNoHint(std::map<InputId, int64_t> &Model) {
+    return solveImpl(Model, nullptr);
+  }
+
+  /// Current fingerprint lanes (exposed for tests).
+  uint64_t fingerprintLo() const { return FpLo; }
+  uint64_t fingerprintHi() const { return FpHi; }
+
+private:
+  /// Mirror of the batch fast path's per-variable accumulator.
+  struct VarState {
+    int64_t Lo = 0, Hi = 0;
+    std::optional<int64_t> Pin;
+    std::set<int64_t> Excluded;
+  };
+
+  struct Frame {
+    PredId Id = kNoPred;
+    uint64_t PrevFpLo = 0, PrevFpHi = 0;
+    /// Normalization overflowed: the conjunction is Unknown while pushed.
+    bool Bad = false;
+    /// Constraint is false regardless of assignment (false constant,
+    /// indivisible equality, pin conflict with an enclosing frame): Unsat
+    /// while pushed — pin conflicts are scoped correctly because the frame
+    /// that set the pin is, by stack discipline, still pushed.
+    bool ConstFalse = false;
+    /// Mentions >1 variable: solves delegate to the batch general path.
+    bool Multivar = false;
+    /// Undo record for the one variable this frame touched.
+    bool Touched = false;
+    InputId Var = 0;
+    bool HadPrev = false;
+    VarState Prev;
+  };
+
+  SolveStatus solveImpl(std::map<InputId, int64_t> &Model,
+                        const std::map<InputId, int64_t> *HintMap);
+  VarState &touchVar(Frame &F, InputId Id);
+
+  LinearSolver &Solver;
+  PredArena &Arena;
+  const std::function<VarDomain(InputId)> &DomainOf;
+  const std::map<InputId, int64_t> *Hint = nullptr;
+
+  std::vector<Frame> Frames;
+  std::map<InputId, VarState> VarStates;
+  unsigned BadCount = 0, FalseCount = 0, MultiCount = 0;
+  /// Chained fingerprint lanes; each frame stores the previous values so
+  /// pop restores them exactly.
+  uint64_t FpLo = 0xcbf29ce484222325ULL; // FNV offset basis
+  uint64_t FpHi = 0x9e3779b97f4a7c15ULL;
+};
+
+} // namespace dart
+
+#endif // DART_SOLVER_SOLVERSESSION_H

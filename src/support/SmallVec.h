@@ -1,0 +1,183 @@
+//===- SmallVec.h - Inline small-vector for trivially copyable T -*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal small-size-optimized vector for trivially copyable element
+/// types: the first N elements live inline (no allocation), larger sizes
+/// spill to the heap. LinearExpr stores its (InputId, coeff) terms in one
+/// of these — the overwhelming majority of path-constraint expressions
+/// have one or two terms, and the previous std::map representation paid a
+/// red-black-tree node allocation per term on the hottest VM hook.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_SUPPORT_SMALLVEC_H
+#define DART_SUPPORT_SMALLVEC_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace dart {
+
+template <typename T, unsigned N> class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec only supports trivially copyable types");
+  static_assert(N >= 1, "inline capacity must be at least 1");
+
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  SmallVec() = default;
+
+  SmallVec(const SmallVec &Other) { assign(Other); }
+  SmallVec(SmallVec &&Other) noexcept { steal(std::move(Other)); }
+
+  SmallVec &operator=(const SmallVec &Other) {
+    if (this != &Other) {
+      destroyHeap();
+      assign(Other);
+    }
+    return *this;
+  }
+
+  SmallVec &operator=(SmallVec &&Other) noexcept {
+    if (this != &Other) {
+      destroyHeap();
+      steal(std::move(Other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() { destroyHeap(); }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  size_t capacity() const { return Cap; }
+  bool isInline() const { return Ptr == inlineData(); }
+
+  T *begin() { return Ptr; }
+  T *end() { return Ptr + Size; }
+  const T *begin() const { return Ptr; }
+  const T *end() const { return Ptr + Size; }
+
+  T &operator[](size_t I) {
+    assert(I < Size);
+    return Ptr[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size);
+    return Ptr[I];
+  }
+
+  T &back() {
+    assert(Size > 0);
+    return Ptr[Size - 1];
+  }
+  const T &back() const {
+    assert(Size > 0);
+    return Ptr[Size - 1];
+  }
+
+  void clear() { Size = 0; }
+
+  void reserve(size_t Wanted) {
+    if (Wanted > Cap)
+      grow(Wanted);
+  }
+
+  void push_back(const T &V) {
+    if (Size == Cap)
+      grow(Cap * 2);
+    Ptr[Size++] = V;
+  }
+
+  /// Inserts \p V before position \p At (0 <= At <= size()).
+  void insert(size_t At, const T &V) {
+    assert(At <= Size);
+    if (Size == Cap)
+      grow(Cap * 2);
+    std::memmove(Ptr + At + 1, Ptr + At, (Size - At) * sizeof(T));
+    Ptr[At] = V;
+    ++Size;
+  }
+
+  /// Erases the element at position \p At.
+  void erase(size_t At) {
+    assert(At < Size);
+    std::memmove(Ptr + At, Ptr + At + 1, (Size - At - 1) * sizeof(T));
+    --Size;
+  }
+
+  friend bool operator==(const SmallVec &A, const SmallVec &B) {
+    if (A.Size != B.Size)
+      return false;
+    for (size_t I = 0; I < A.Size; ++I)
+      if (!(A.Ptr[I] == B.Ptr[I]))
+        return false;
+    return true;
+  }
+
+private:
+  T *inlineData() { return reinterpret_cast<T *>(Inline); }
+  const T *inlineData() const { return reinterpret_cast<const T *>(Inline); }
+
+  void assign(const SmallVec &Other) {
+    Size = Other.Size;
+    if (Size <= N) {
+      Ptr = inlineData();
+      Cap = N;
+    } else {
+      Ptr = new T[Other.Size];
+      Cap = Other.Size;
+    }
+    std::memcpy(Ptr, Other.Ptr, Size * sizeof(T));
+  }
+
+  void steal(SmallVec &&Other) {
+    Size = Other.Size;
+    if (Other.isInline()) {
+      Ptr = inlineData();
+      Cap = N;
+      std::memcpy(Ptr, Other.Ptr, Size * sizeof(T));
+    } else {
+      Ptr = Other.Ptr;
+      Cap = Other.Cap;
+      Other.Ptr = Other.inlineData();
+      Other.Cap = N;
+    }
+    Other.Size = 0;
+  }
+
+  void grow(size_t Wanted) {
+    size_t NewCap = Cap;
+    while (NewCap < Wanted)
+      NewCap *= 2;
+    T *NewPtr = new T[NewCap];
+    std::memcpy(NewPtr, Ptr, Size * sizeof(T));
+    destroyHeap();
+    Ptr = NewPtr;
+    Cap = NewCap;
+  }
+
+  void destroyHeap() {
+    if (!isInline())
+      delete[] Ptr;
+  }
+
+  alignas(T) unsigned char Inline[N * sizeof(T)];
+  T *Ptr = inlineData();
+  uint32_t Size = 0;
+  uint32_t Cap = N;
+};
+
+} // namespace dart
+
+#endif // DART_SUPPORT_SMALLVEC_H

@@ -1,0 +1,109 @@
+//===- PredArena.cpp - Content-addressed SymPred interning -----------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/PredArena.h"
+
+using namespace dart;
+
+PredArena::~PredArena() {
+  for (Shard &S : Shards)
+    for (std::atomic<Entry *> &C : S.Chunks)
+      delete[] C.load(std::memory_order_relaxed);
+}
+
+static size_t chunkOf(uint32_t Index, uint32_t &Offset) {
+  // Chunk C spans indices [kChunk0*(2^C - 1), kChunk0*(2^(C+1) - 1)).
+  size_t C = 0;
+  uint32_t Base = 0, Cap = 8;
+  while (Index >= Base + Cap) {
+    Base += Cap;
+    Cap *= 2;
+    ++C;
+  }
+  Offset = Index - Base;
+  return C;
+}
+
+PredArena::Entry &PredArena::slot(Shard &S, uint32_t Index) {
+  uint32_t Offset;
+  size_t C = chunkOf(Index, Offset);
+  Entry *Chunk = S.Chunks[C].load(std::memory_order_acquire);
+  if (!Chunk) {
+    // Caller holds S.M, so no allocation race within the shard.
+    Chunk = new Entry[size_t(kChunk0) << C];
+    S.Chunks[C].store(Chunk, std::memory_order_release);
+  }
+  return Chunk[Offset];
+}
+
+const PredArena::Entry &PredArena::entry(PredId Id) const {
+  assert(Id != kNoPred && "dereferencing kNoPred");
+  const Shard &S = Shards[Id & (NumShards - 1)];
+  uint32_t Index = (Id >> ShardBits) - 1;
+  uint32_t Offset;
+  size_t C = chunkOf(Index, Offset);
+  const Entry *Chunk = S.Chunks[C].load(std::memory_order_acquire);
+  assert(Chunk && "dangling PredId");
+  return Chunk[Offset];
+}
+
+PredId PredArena::intern(const SymPred &P) {
+  uint64_t H = hashSymPred(P);
+  Shard &S = Shards[H & (NumShards - 1)];
+  std::lock_guard<std::mutex> Lock(S.M);
+  ++S.Interns;
+  auto [It, End] = S.Index.equal_range(H);
+  for (; It != End; ++It)
+    if (slot(S, It->second).P == P) {
+      ++S.Hits;
+      return makeId(H & (NumShards - 1), It->second);
+    }
+  uint32_t Index = S.Count++;
+  Entry &E = slot(S, Index);
+  E.P = P;
+  if (std::optional<NormPred> N = normalizePred(P)) {
+    E.Norm = std::move(*N);
+    E.HasNorm = true;
+    E.Multivar = E.Norm.L.coeffs().size() > 1;
+  }
+  S.Index.emplace(H, Index);
+  return makeId(H & (NumShards - 1), Index);
+}
+
+PredId PredArena::negatedId(PredId Id) {
+  Entry &E = const_cast<Entry &>(entry(Id));
+  PredId Neg = E.NegId.load(std::memory_order_acquire);
+  if (Neg != kNoPred)
+    return Neg;
+  Neg = intern(E.P.negated());
+  E.NegId.store(Neg, std::memory_order_release);
+  // Seed the reverse link too so neg(neg(Id)) is also O(1).
+  Entry &NE = const_cast<Entry &>(entry(Neg));
+  PredId Back = NE.NegId.load(std::memory_order_acquire);
+  if (Back == kNoPred)
+    NE.NegId.store(Id, std::memory_order_release);
+  return Neg;
+}
+
+size_t PredArena::size() const {
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Count;
+  }
+  return Total;
+}
+
+PredArenaStats PredArena::stats() const {
+  PredArenaStats St;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    St.Size += S.Count;
+    St.Interns += S.Interns;
+    St.Hits += S.Hits;
+  }
+  return St;
+}

@@ -1,0 +1,136 @@
+//===- PredArena.h - Content-addressed SymPred interning --------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe interning arena for path-constraint predicates:
+/// structurally equal SymPreds share one dense PredId, so the
+/// path-constraint stack, candidate solving, and the solver caches compare
+/// and hash 32-bit ids instead of deep expression structures.
+///
+/// Each interned predicate carries, computed exactly once:
+///  - its EQ/NE/LE normal form (the expensive per-query renormalization the
+///    incremental SolverSession now skips entirely), and
+///  - the id of its negation (filled lazily on first use, so a
+///    negate-solve-negate cycle round-trips without re-interning).
+///
+/// Ids are *content-addressed*: the id of a predicate is a function of its
+/// structure and first-interning order only. Two runs with equal path
+/// prefixes emit structurally equal predicates (the compare_and_update_stack
+/// invariant: input ids are assigned in creation order, which is a function
+/// of the path), so equal prefixes produce equal id sequences — the same
+/// stability property the solver caches and the prefix dedup rely on.
+///
+/// Concurrency: the arena is sharded 16 ways by predicate hash. Interning
+/// takes one shard mutex; reading an entry through an id is lock-free
+/// (entries are immutable after publication, chunked storage keeps their
+/// addresses stable, and an id only reaches another thread through an
+/// already-synchronizing channel such as the parallel engine's frontier).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_SYMBOLIC_PREDARENA_H
+#define DART_SYMBOLIC_PREDARENA_H
+
+#include "symbolic/SymExpr.h"
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace dart {
+
+/// Dense id of one interned predicate. 0 is "no predicate" (the branch had
+/// a concrete or out-of-theory condition).
+using PredId = uint32_t;
+inline constexpr PredId kNoPred = 0;
+
+struct PredArenaStats {
+  /// Distinct predicates interned.
+  size_t Size = 0;
+  /// intern() calls made.
+  uint64_t Interns = 0;
+  /// intern() calls resolved to an already-interned predicate.
+  uint64_t Hits = 0;
+
+  double hitRate() const {
+    return Interns ? double(Hits) / double(Interns) : 0.0;
+  }
+};
+
+class PredArena {
+public:
+  PredArena() = default;
+  PredArena(const PredArena &) = delete;
+  PredArena &operator=(const PredArena &) = delete;
+  ~PredArena();
+
+  /// Returns the id of \p P, interning it on first sight. Thread-safe.
+  PredId intern(const SymPred &P);
+
+  /// The predicate behind \p Id. The reference is stable for the arena's
+  /// lifetime.
+  const SymPred &pred(PredId Id) const { return entry(Id).P; }
+
+  /// The cached EQ/NE/LE normal form of \p Id, or nullptr if normalization
+  /// overflowed (the solver then answers Unknown, as before).
+  const NormPred *norm(PredId Id) const {
+    const Entry &E = entry(Id);
+    return E.HasNorm ? &E.Norm : nullptr;
+  }
+
+  /// True if the normal form mentions more than one input variable (such
+  /// predicates fall off the incremental fast path).
+  bool multivariate(PredId Id) const { return entry(Id).Multivar; }
+
+  /// The id of negated(\p Id); interned (and cached on the entry) on first
+  /// use. Thread-safe.
+  PredId negatedId(PredId Id);
+
+  size_t size() const;
+  PredArenaStats stats() const;
+
+private:
+  struct Entry {
+    SymPred P;
+    NormPred Norm;
+    bool HasNorm = false;
+    bool Multivar = false;
+    std::atomic<PredId> NegId{kNoPred};
+  };
+
+  static constexpr size_t NumShards = 16;
+  static constexpr size_t ShardBits = 4;
+  /// Chunked entry storage: chunk C holds (kChunk0 << C) entries, so
+  /// addresses never move and readers need no lock.
+  static constexpr size_t kChunk0 = 8;
+  static constexpr size_t MaxChunks = 24;
+
+  struct Shard {
+    mutable std::mutex M;
+    /// hash -> entry index (multimap: collisions are resolved by
+    /// structural comparison against the stored predicate).
+    std::unordered_multimap<uint64_t, uint32_t> Index;
+    std::array<std::atomic<Entry *>, MaxChunks> Chunks{};
+    uint32_t Count = 0;
+    uint64_t Interns = 0;
+    uint64_t Hits = 0;
+  };
+
+  static PredId makeId(size_t ShardNo, uint32_t Index) {
+    return PredId(((Index + 1) << ShardBits) | ShardNo);
+  }
+
+  const Entry &entry(PredId Id) const;
+  Entry &slot(Shard &S, uint32_t Index);
+
+  std::array<Shard, NumShards> Shards;
+};
+
+} // namespace dart
+
+#endif // DART_SYMBOLIC_PREDARENA_H

@@ -58,16 +58,42 @@ bool checkedMul(int64_t A, int64_t B, int64_t &Out) {
 
 } // namespace
 
+int64_t LinearExpr::coeff(InputId Id) const {
+  // Terms are sorted by InputId; binary search (lists are tiny, but the
+  // general path probes absent ids constantly during FM elimination).
+  size_t Lo = 0, Hi = Coeffs.size();
+  while (Lo < Hi) {
+    size_t Mid = (Lo + Hi) / 2;
+    if (Coeffs[Mid].Id < Id)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return (Lo < Coeffs.size() && Coeffs[Lo].Id == Id) ? Coeffs[Lo].Coeff : 0;
+}
+
 std::optional<LinearExpr> LinearExpr::add(const LinearExpr &RHS) const {
-  LinearExpr Result = *this;
-  if (!checkedAdd(Result.Constant, RHS.Constant, Result.Constant))
+  // Merge of two sorted term lists, folding cancelled terms away.
+  LinearExpr Result;
+  if (!checkedAdd(Constant, RHS.Constant, Result.Constant))
     return std::nullopt;
-  for (const auto &[Id, C] : RHS.Coeffs) {
-    int64_t &Slot = Result.Coeffs[Id];
-    if (!checkedAdd(Slot, C, Slot))
-      return std::nullopt;
-    if (Slot == 0)
-      Result.Coeffs.erase(Id);
+  Result.Coeffs.reserve(Coeffs.size() + RHS.Coeffs.size());
+  size_t I = 0, J = 0;
+  while (I < Coeffs.size() || J < RHS.Coeffs.size()) {
+    if (J == RHS.Coeffs.size() ||
+        (I < Coeffs.size() && Coeffs[I].Id < RHS.Coeffs[J].Id)) {
+      Result.Coeffs.push_back(Coeffs[I++]);
+    } else if (I == Coeffs.size() || RHS.Coeffs[J].Id < Coeffs[I].Id) {
+      Result.Coeffs.push_back(RHS.Coeffs[J++]);
+    } else {
+      int64_t Sum;
+      if (!checkedAdd(Coeffs[I].Coeff, RHS.Coeffs[J].Coeff, Sum))
+        return std::nullopt;
+      if (Sum != 0)
+        Result.Coeffs.push_back(LinearTerm{Coeffs[I].Id, Sum});
+      ++I;
+      ++J;
+    }
   }
   return Result;
 }
@@ -85,11 +111,12 @@ std::optional<LinearExpr> LinearExpr::scale(int64_t Factor) const {
   LinearExpr Result;
   if (!checkedMul(Constant, Factor, Result.Constant))
     return std::nullopt;
+  Result.Coeffs.reserve(Coeffs.size());
   for (const auto &[Id, C] : Coeffs) {
     int64_t Scaled;
     if (!checkedMul(C, Factor, Scaled))
       return std::nullopt;
-    Result.Coeffs[Id] = Scaled;
+    Result.Coeffs.push_back(LinearTerm{Id, Scaled});
   }
   return Result;
 }
@@ -133,6 +160,63 @@ std::string LinearExpr::toString() const {
   else if (Constant < 0)
     Out += " - " + std::to_string(-Constant);
   return Out;
+}
+
+namespace {
+
+/// SplitMix64 finalizer: the mixing step of the structural hashes below.
+uint64_t mix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+uint64_t LinearExpr::hashValue() const {
+  uint64_t H = mix64(uint64_t(Constant) + 0x9e3779b97f4a7c15ULL);
+  for (const auto &[Id, C] : Coeffs)
+    H = mix64(H ^ mix64((uint64_t(Id) << 32) + uint64_t(C)));
+  return H;
+}
+
+uint64_t dart::hashSymPred(const SymPred &P) {
+  return mix64(P.LHS.hashValue() ^
+               (uint64_t(P.Pred) + 0x9e3779b97f4a7c15ULL));
+}
+
+std::optional<NormPred> dart::normalizePred(const SymPred &P) {
+  auto le = [](LinearExpr L) { return NormPred{NormRel::LE, std::move(L)}; };
+  switch (P.Pred) {
+  case CmpPred::Eq:
+    return NormPred{NormRel::EQ, P.LHS};
+  case CmpPred::Ne:
+    return NormPred{NormRel::NE, P.LHS};
+  case CmpPred::Le:
+    return le(P.LHS);
+  case CmpPred::Lt: {
+    auto L = P.LHS.add(LinearExpr(1));
+    if (!L)
+      return std::nullopt;
+    return le(std::move(*L));
+  }
+  case CmpPred::Ge: {
+    auto L = P.LHS.negate();
+    if (!L)
+      return std::nullopt;
+    return le(std::move(*L));
+  }
+  case CmpPred::Gt: {
+    auto L = P.LHS.negate();
+    if (!L)
+      return std::nullopt;
+    auto L2 = L->add(LinearExpr(1));
+    if (!L2)
+      return std::nullopt;
+    return le(std::move(*L2));
+  }
+  }
+  return std::nullopt;
 }
 
 std::optional<SymPred> SymPred::make(CmpPred Pred, const LinearExpr &L,

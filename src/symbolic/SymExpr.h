@@ -27,10 +27,10 @@
 #define DART_SYMBOLIC_SYMEXPR_H
 
 #include "ir/IR.h"
+#include "support/SmallVec.h"
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,26 +60,39 @@ struct InputInfo {
   int64_t domainMax() const;
 };
 
+/// One (input, coefficient) term of a LinearExpr. Public members so the
+/// structured-binding idiom `for (const auto &[Id, C] : E.coeffs())` keeps
+/// working across the flat-representation switch.
+struct LinearTerm {
+  InputId Id = 0;
+  int64_t Coeff = 0;
+
+  friend bool operator==(const LinearTerm &A, const LinearTerm &B) {
+    return A.Id == B.Id && A.Coeff == B.Coeff;
+  }
+};
+
 /// A linear integer expression: Const + sum Coeffs[i] * input_i.
-/// Coefficients are never zero (erased on the fly).
+/// Terms are kept sorted by InputId in a small inline vector (one or two
+/// terms need no allocation); coefficients are never zero — zero results
+/// are folded away on the fly, so isConstant() is just emptiness.
 class LinearExpr {
 public:
+  using TermVec = SmallVec<LinearTerm, 2>;
+
   LinearExpr() = default;
   explicit LinearExpr(int64_t Constant) : Constant(Constant) {}
 
   static LinearExpr variable(InputId Id) {
     LinearExpr E;
-    E.Coeffs[Id] = 1;
+    E.Coeffs.push_back(LinearTerm{Id, 1});
     return E;
   }
 
   bool isConstant() const { return Coeffs.empty(); }
   int64_t constant() const { return Constant; }
-  const std::map<InputId, int64_t> &coeffs() const { return Coeffs; }
-  int64_t coeff(InputId Id) const {
-    auto It = Coeffs.find(Id);
-    return It == Coeffs.end() ? 0 : It->second;
-  }
+  const TermVec &coeffs() const { return Coeffs; }
+  int64_t coeff(InputId Id) const;
 
   /// All arithmetic is overflow-checked; nullopt means the result left the
   /// safely representable range and the caller must fall back to concrete.
@@ -96,12 +109,15 @@ public:
 
   std::string toString() const;
 
+  /// Structural hash (used by the predicate-interning arena).
+  uint64_t hashValue() const;
+
   friend bool operator==(const LinearExpr &A, const LinearExpr &B) {
     return A.Constant == B.Constant && A.Coeffs == B.Coeffs;
   }
 
 private:
-  std::map<InputId, int64_t> Coeffs;
+  TermVec Coeffs;
   int64_t Constant = 0;
 };
 
@@ -134,6 +150,24 @@ struct SymPred {
     return A.Pred == B.Pred && A.LHS == B.LHS;
   }
 };
+
+/// Structural hash of a SymPred (for the interning arena).
+uint64_t hashSymPred(const SymPred &P);
+
+/// The solver's canonical relation over ideal integers: `L == 0`,
+/// `L != 0`, or `L <= 0`. Defined here (not in src/solver) so the
+/// predicate-interning arena can cache each predicate's normal form once
+/// and every solver query reuses it.
+enum class NormRel { EQ, NE, LE };
+
+struct NormPred {
+  NormRel R = NormRel::EQ;
+  LinearExpr L;
+};
+
+/// Normalizes a SymPred to EQ/NE/LE form. Exploits integrality:
+/// `L < 0  <=>  L + 1 <= 0`. Returns nullopt on coefficient overflow.
+std::optional<NormPred> normalizePred(const SymPred &P);
 
 /// What the symbolic memory S stores for one scalar cell.
 class SymValue {

@@ -28,9 +28,13 @@ struct ConcolicHarness {
   std::unique_ptr<TranslationUnit> TU;
   LoweredProgram Program;
   std::vector<InputInfo> Inputs;
+  PredArena Arena;
   std::unique_ptr<ConcolicRun> Hooks;
   std::unique_ptr<Interp> VM;
   RunResult Result;
+
+  /// The interned predicate behind a PathData constraint id.
+  const SymPred &pred(PredId Id) const { return Arena.pred(Id); }
 
   void run(std::string_view Source, const std::string &Fn,
            const std::vector<int64_t> &Args,
@@ -45,8 +49,8 @@ struct ConcolicHarness {
       Inputs.push_back(
           InputInfo{InputKind::Integer, ValType::int32(),
                     "x" + std::to_string(I)});
-    Hooks = std::make_unique<ConcolicRun>(Inputs, std::move(Predicted),
-                                          Options);
+    Hooks = std::make_unique<ConcolicRun>(Inputs, Arena,
+                                          std::move(Predicted), Options);
     VM = std::make_unique<Interp>(*Program.Module);
     VM->setHooks(Hooks.get());
     auto ParamAddrs = VM->beginCall(Fn, Args);
@@ -67,11 +71,11 @@ TEST(Concolic, CollectsEqualityConstraint) {
   PathData P = H.Hooks->takePath();
   ASSERT_EQ(P.Stack.size(), 1u);
   EXPECT_FALSE(P.Stack[0].Branch) << "x=3 takes the else branch";
-  ASSERT_TRUE(P.Constraints[0].has_value());
+  ASSERT_NE(P.Constraints[0], kNoPred);
   // Not taken: constraint is the negation, x - 10 != 0.
-  EXPECT_EQ(P.Constraints[0]->Pred, CmpPred::Ne);
-  EXPECT_EQ(P.Constraints[0]->LHS.coeff(0), 1);
-  EXPECT_EQ(P.Constraints[0]->LHS.constant(), -10);
+  EXPECT_EQ(H.pred(P.Constraints[0]).Pred, CmpPred::Ne);
+  EXPECT_EQ(H.pred(P.Constraints[0]).LHS.coeff(0), 1);
+  EXPECT_EQ(H.pred(P.Constraints[0]).LHS.constant(), -10);
   EXPECT_TRUE(H.Hooks->flags().allSet());
 }
 
@@ -94,11 +98,11 @@ TEST(Concolic, InterproceduralTracing) {
   ASSERT_EQ(P.Stack.size(), 2u);
   EXPECT_TRUE(P.Stack[0].Branch);
   EXPECT_FALSE(P.Stack[1].Branch);
-  ASSERT_TRUE(P.Constraints[1].has_value());
+  ASSERT_NE(P.Constraints[1], kNoPred);
   // 2*x0 != x0 + 10  ->  x0 - 10 != 0.
-  EXPECT_EQ(P.Constraints[1]->Pred, CmpPred::Ne);
-  EXPECT_EQ(P.Constraints[1]->LHS.coeff(0), 1);
-  EXPECT_EQ(P.Constraints[1]->LHS.constant(), -10);
+  EXPECT_EQ(H.pred(P.Constraints[1]).Pred, CmpPred::Ne);
+  EXPECT_EQ(H.pred(P.Constraints[1]).LHS.coeff(0), 1);
+  EXPECT_EQ(H.pred(P.Constraints[1]).LHS.constant(), -10);
   EXPECT_TRUE(H.Hooks->flags().allSet());
 }
 
@@ -118,10 +122,10 @@ TEST(Concolic, AssignmentsPropagateSymbolically) {
         "f", {123456, 654321});
   PathData P = H.Hooks->takePath();
   ASSERT_EQ(P.Stack.size(), 1u);
-  ASSERT_TRUE(P.Constraints[0].has_value());
-  EXPECT_EQ(P.Constraints[0]->Pred, CmpPred::Ne); // else taken
-  EXPECT_EQ(P.Constraints[0]->LHS.coeff(0), 1);
-  EXPECT_EQ(P.Constraints[0]->LHS.coeff(1), -1);
+  ASSERT_NE(P.Constraints[0], kNoPred);
+  EXPECT_EQ(H.pred(P.Constraints[0]).Pred, CmpPred::Ne); // else taken
+  EXPECT_EQ(H.pred(P.Constraints[0]).LHS.coeff(0), 1);
+  EXPECT_EQ(H.pred(P.Constraints[0]).LHS.coeff(1), -1);
 }
 
 TEST(Concolic, NonlinearMultiplicationClearsAllLinear) {
@@ -132,8 +136,8 @@ TEST(Concolic, NonlinearMultiplicationClearsAllLinear) {
   ASSERT_EQ(P.Stack.size(), 1u);
   // In literal Fig. 3 mode the out-of-theory condition contributes its
   // concrete truth value: a constant (unflippable) predicate.
-  ASSERT_TRUE(P.Constraints[0].has_value());
-  EXPECT_TRUE(P.Constraints[0]->isConstant())
+  ASSERT_NE(P.Constraints[0], kNoPred);
+  EXPECT_TRUE(H.pred(P.Constraints[0]).isConstant())
       << "x*y is outside the linear theory";
   EXPECT_FALSE(H.Hooks->flags().AllLinear);
   EXPECT_TRUE(H.Hooks->flags().AllLocsDefinite);
@@ -143,9 +147,9 @@ TEST(Concolic, LinearMultiplicationByConstantKept) {
   ConcolicHarness H;
   H.run("int f(int x) { if (3 * x == 12) return 1; return 0; }", "f", {4});
   PathData P = H.Hooks->takePath();
-  ASSERT_TRUE(P.Constraints[0].has_value());
-  EXPECT_EQ(P.Constraints[0]->Pred, CmpPred::Eq) << "taken at x=4";
-  EXPECT_EQ(P.Constraints[0]->LHS.coeff(0), 3);
+  ASSERT_NE(P.Constraints[0], kNoPred);
+  EXPECT_EQ(H.pred(P.Constraints[0]).Pred, CmpPred::Eq) << "taken at x=4";
+  EXPECT_EQ(H.pred(P.Constraints[0]).LHS.coeff(0), 3);
   EXPECT_TRUE(H.Hooks->flags().allSet());
 }
 
@@ -153,8 +157,8 @@ TEST(Concolic, DivisionFallsBack) {
   ConcolicHarness H;
   H.run("int f(int x) { if (x / 2 == 3) return 1; return 0; }", "f", {6});
   PathData P = H.Hooks->takePath();
-  ASSERT_TRUE(P.Constraints[0].has_value());
-  EXPECT_TRUE(P.Constraints[0]->isConstant());
+  ASSERT_NE(P.Constraints[0], kNoPred);
+  EXPECT_TRUE(H.pred(P.Constraints[0]).isConstant());
   EXPECT_FALSE(H.Hooks->flags().AllLinear);
 }
 
@@ -163,8 +167,8 @@ TEST(Concolic, ShiftByConstantIsLinear) {
   H.run("int f(int x) { if ((x << 2) == 20) return 1; return 0; }", "f",
         {5});
   PathData P = H.Hooks->takePath();
-  ASSERT_TRUE(P.Constraints[0].has_value());
-  EXPECT_EQ(P.Constraints[0]->LHS.coeff(0), 4);
+  ASSERT_NE(P.Constraints[0], kNoPred);
+  EXPECT_EQ(H.pred(P.Constraints[0]).LHS.coeff(0), 4);
   EXPECT_TRUE(H.Hooks->flags().AllLinear);
 }
 
@@ -187,8 +191,8 @@ TEST(Concolic, StoredComparisonReducesAtBranch) {
         "f", {2});
   PathData P = H.Hooks->takePath();
   ASSERT_EQ(P.Stack.size(), 1u);
-  ASSERT_TRUE(P.Constraints[0].has_value());
-  EXPECT_EQ(P.Constraints[0]->Pred, CmpPred::Lt);
+  ASSERT_NE(P.Constraints[0], kNoPred);
+  EXPECT_EQ(H.pred(P.Constraints[0]).Pred, CmpPred::Lt);
   EXPECT_TRUE(H.Hooks->flags().allSet());
 }
 
@@ -259,11 +263,11 @@ TEST(Concolic, StaleSymbolsScrubbedOnFramePop) {
         "f", {6});
   PathData P = H.Hooks->takePath();
   ASSERT_EQ(P.Stack.size(), 1u);
-  ASSERT_TRUE(P.Constraints[0].has_value());
+  ASSERT_NE(P.Constraints[0], kNoPred);
   // r = x + 1, so constraint mentions x0 with the right offset.
-  EXPECT_EQ(P.Constraints[0]->Pred, CmpPred::Eq);
-  EXPECT_EQ(P.Constraints[0]->LHS.coeff(0), 1);
-  EXPECT_EQ(P.Constraints[0]->LHS.constant(), -6);
+  EXPECT_EQ(H.pred(P.Constraints[0]).Pred, CmpPred::Eq);
+  EXPECT_EQ(H.pred(P.Constraints[0]).LHS.coeff(0), 1);
+  EXPECT_EQ(H.pred(P.Constraints[0]).LHS.constant(), -6);
 }
 
 TEST(Concolic, CoverageRecorded) {
@@ -284,12 +288,13 @@ TEST(Concolic, CoverageRecorded) {
 
 namespace {
 
-PathData makePath(std::vector<std::pair<bool, std::optional<SymPred>>> Steps) {
+PathData makePath(PredArena &Arena,
+                  std::vector<std::pair<bool, std::optional<SymPred>>> Steps) {
   PathData P;
   unsigned Site = 0;
   for (auto &[Branch, C] : Steps) {
     P.Stack.push_back({Branch, false, Site++});
-    P.Constraints.push_back(C);
+    P.Constraints.push_back(C ? Arena.intern(*C) : kNoPred);
   }
   return P;
 }
@@ -307,10 +312,11 @@ TEST(PathSearch, FlipsDeepestUndoneBranch) {
                     *LinearExpr::variable(0).add(LinearExpr(-10)));
   auto C1 = SymPred(CmpPred::Lt,
                     *LinearExpr::variable(0).add(LinearExpr(-100)));
-  PathData P = makePath({{false, C0}, {true, C1}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}, {true, C1}});
   LinearSolver Solver;
   Rng R(1);
-  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {{0, 3}},
+  SolveOutcome O = solvePathConstraint(P, A, Solver, intDomains(), {{0, 3}},
                                        SearchStrategy::DepthFirst, R);
   ASSERT_TRUE(O.Found);
   EXPECT_EQ(O.FlippedIndex, 1u);
@@ -323,11 +329,12 @@ TEST(PathSearch, FlipsDeepestUndoneBranch) {
 TEST(PathSearch, SkipsDoneBranches) {
   auto C0 = SymPred(CmpPred::Ne,
                     *LinearExpr::variable(0).add(LinearExpr(-10)));
-  PathData P = makePath({{false, C0}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}});
   P.Stack[0].Done = true;
   LinearSolver Solver;
   Rng R(1);
-  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
+  SolveOutcome O = solvePathConstraint(P, A, Solver, intDomains(), {},
                                        SearchStrategy::DepthFirst, R);
   EXPECT_FALSE(O.Found) << "everything done: directed search over";
 }
@@ -338,10 +345,11 @@ TEST(PathSearch, SkipsUnsatisfiableNegations) {
   auto C0 = SymPred(CmpPred::Ne,
                     *LinearExpr::variable(0).add(LinearExpr(-10)));
   auto C1 = SymPred(CmpPred::Ne, LinearExpr(1)); // always true; neg unsat
-  PathData P = makePath({{false, C0}, {true, C1}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}, {true, C1}});
   LinearSolver Solver;
   Rng R(1);
-  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
+  SolveOutcome O = solvePathConstraint(P, A, Solver, intDomains(), {},
                                        SearchStrategy::DepthFirst, R);
   ASSERT_TRUE(O.Found);
   EXPECT_EQ(O.FlippedIndex, 0u);
@@ -350,10 +358,11 @@ TEST(PathSearch, SkipsUnsatisfiableNegations) {
 }
 
 TEST(PathSearch, ConcreteBranchesHaveNothingToNegate) {
-  PathData P = makePath({{true, std::nullopt}, {false, std::nullopt}});
+  PredArena A;
+  PathData P = makePath(A, {{true, std::nullopt}, {false, std::nullopt}});
   LinearSolver Solver;
   Rng R(1);
-  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
+  SolveOutcome O = solvePathConstraint(P, A, Solver, intDomains(), {},
                                        SearchStrategy::DepthFirst, R);
   EXPECT_FALSE(O.Found);
 }
@@ -363,10 +372,11 @@ TEST(PathSearch, BreadthFirstPicksShallowest) {
                     *LinearExpr::variable(0).add(LinearExpr(-10)));
   auto C1 = SymPred(CmpPred::Lt,
                     *LinearExpr::variable(1).add(LinearExpr(-5)));
-  PathData P = makePath({{false, C0}, {true, C1}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}, {true, C1}});
   LinearSolver Solver;
   Rng R(1);
-  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
+  SolveOutcome O = solvePathConstraint(P, A, Solver, intDomains(), {},
                                        SearchStrategy::BreadthFirst, R);
   ASSERT_TRUE(O.Found);
   EXPECT_EQ(O.FlippedIndex, 0u);
@@ -377,10 +387,11 @@ TEST(PathSearch, RandomStrategyFindsSomething) {
                     *LinearExpr::variable(0).add(LinearExpr(-10)));
   auto C1 = SymPred(CmpPred::Lt,
                     *LinearExpr::variable(1).add(LinearExpr(-5)));
-  PathData P = makePath({{false, C0}, {true, C1}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}, {true, C1}});
   LinearSolver Solver;
   Rng R(7);
-  SolveOutcome O = solvePathConstraint(P, Solver, intDomains(), {},
+  SolveOutcome O = solvePathConstraint(P, A, Solver, intDomains(), {},
                                        SearchStrategy::RandomBranch, R);
   EXPECT_TRUE(O.Found);
 }
@@ -392,10 +403,11 @@ TEST(PathSearch, SolveCandidatesCollectsEveryFlip) {
                     *LinearExpr::variable(0).add(LinearExpr(-10)));
   auto C1 = SymPred(CmpPred::Lt,
                     *LinearExpr::variable(1).add(LinearExpr(-5)));
-  PathData P = makePath({{false, C0}, {true, C1}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}, {true, C1}});
   LinearSolver Solver;
   Rng R(1);
-  CandidateSet Set = solveCandidates(P, Solver, intDomains(), {},
+  CandidateSet Set = solveCandidates(P, A, Solver, intDomains(), {},
                                      SearchStrategy::DepthFirst, R, 0);
   ASSERT_EQ(Set.Candidates.size(), 2u);
   EXPECT_FALSE(Set.Truncated);
@@ -411,11 +423,12 @@ TEST(PathSearch, SolveCandidatesSkipsUnsatAndDone) {
   auto C0 = SymPred(CmpPred::Ne,
                     *LinearExpr::variable(0).add(LinearExpr(-10)));
   auto C1 = SymPred(CmpPred::Ne, LinearExpr(1)); // negation unsat
-  PathData P = makePath({{false, C0}, {true, C1}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}, {true, C1}});
   P.Stack[0].Done = true;
   LinearSolver Solver;
   Rng R(1);
-  CandidateSet Set = solveCandidates(P, Solver, intDomains(), {},
+  CandidateSet Set = solveCandidates(P, A, Solver, intDomains(), {},
                                      SearchStrategy::DepthFirst, R, 0);
   EXPECT_TRUE(Set.Candidates.empty());
   EXPECT_FALSE(Set.Truncated);
@@ -427,10 +440,11 @@ TEST(PathSearch, SolveCandidatesHonoursCap) {
                     *LinearExpr::variable(0).add(LinearExpr(-10)));
   auto C1 = SymPred(CmpPred::Lt,
                     *LinearExpr::variable(1).add(LinearExpr(-5)));
-  PathData P = makePath({{false, C0}, {true, C1}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}, {true, C1}});
   LinearSolver Solver;
   Rng R(1);
-  CandidateSet Set = solveCandidates(P, Solver, intDomains(), {},
+  CandidateSet Set = solveCandidates(P, A, Solver, intDomains(), {},
                                      SearchStrategy::DepthFirst, R, 1);
   ASSERT_EQ(Set.Candidates.size(), 1u);
   EXPECT_EQ(Set.Candidates[0].FlippedIndex, 1u);
@@ -446,11 +460,12 @@ TEST(PathSearch, SolveCandidatesRetriesDoomedHintModel) {
   // that actually changes an input.
   auto C0 = SymPred(CmpPred::Le,
                     *LinearExpr::variable(0).add(LinearExpr::variable(1)));
-  PathData P = makePath({{false, C0}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}});
   LinearSolver Solver;
   Rng R(1);
   std::map<InputId, int64_t> Hint{{0, 1967317072}, {1, -1889317073}};
-  CandidateSet Set = solveCandidates(P, Solver, intDomains(), Hint,
+  CandidateSet Set = solveCandidates(P, A, Solver, intDomains(), Hint,
                                      SearchStrategy::DepthFirst, R, 0);
   ASSERT_EQ(Set.Candidates.size(), 1u);
   EXPECT_FALSE(Set.TheoryMisled);
@@ -471,10 +486,11 @@ TEST(PathSearch, SolveCandidatesDropsFlipNoModelCanRealize) {
                     *LinearExpr::variable(0)
                          .add(LinearExpr::variable(1))
                          ->add(LinearExpr(-4294967000)));
-  PathData P = makePath({{false, C0}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}});
   LinearSolver Solver;
   Rng R(1);
-  CandidateSet Set = solveCandidates(P, Solver, intDomains(), {{0, 0}, {1, 0}},
+  CandidateSet Set = solveCandidates(P, A, Solver, intDomains(), {{0, 0}, {1, 0}},
                                      SearchStrategy::DepthFirst, R, 0);
   EXPECT_TRUE(Set.Candidates.empty());
   EXPECT_TRUE(Set.TheoryMisled);
@@ -487,12 +503,13 @@ TEST(PathSearch, SolvePathConstraintMatchesFirstCandidate) {
   auto C0 = SymPred(CmpPred::Ne,
                     *LinearExpr::variable(0).add(LinearExpr(-10)));
   auto C1 = SymPred(CmpPred::Ne, LinearExpr(1)); // negation unsat
-  PathData P = makePath({{false, C0}, {true, C1}});
+  PredArena A;
+  PathData P = makePath(A, {{false, C0}, {true, C1}});
   LinearSolver S1, S2;
   Rng R1(1), R2(1);
-  SolveOutcome Single = solvePathConstraint(P, S1, intDomains(), {},
+  SolveOutcome Single = solvePathConstraint(P, A, S1, intDomains(), {},
                                             SearchStrategy::DepthFirst, R1);
-  CandidateSet Set = solveCandidates(P, S2, intDomains(), {},
+  CandidateSet Set = solveCandidates(P, A, S2, intDomains(), {},
                                      SearchStrategy::DepthFirst, R2, 1);
   ASSERT_TRUE(Single.Found);
   ASSERT_EQ(Set.Candidates.size(), 1u);

@@ -682,11 +682,20 @@ TEST(ParallelEngine, SolverCacheHitsAcrossRestarts) {
   Opts.ToplevelName = "f";
   Opts.MaxRuns = 60;
   Opts.Jobs = 2;
+  // Incremental mode answers the repeated unsat probe from the shared
+  // session fingerprint cache; batch mode from the legacy query cache.
   DartReport R = D->run(Opts);
   EXPECT_FALSE(R.BugFound);
   EXPECT_EQ(R.Runs, 60u);
-  EXPECT_GT(R.Solver.CacheHits, 0u);
-  EXPECT_GT(R.Solver.CacheMisses, 0u);
+  EXPECT_GT(R.Solver.SessionCacheHits, 0u);
+  EXPECT_GT(R.Solver.SessionCacheMisses, 0u);
+
+  Opts.Solver.IncrementalSessions = false;
+  DartReport B = D->run(Opts);
+  EXPECT_FALSE(B.BugFound);
+  EXPECT_EQ(B.Runs, 60u);
+  EXPECT_GT(B.Solver.CacheHits, 0u);
+  EXPECT_GT(B.Solver.CacheMisses, 0u);
 }
 
 TEST(ParallelEngine, WrapProneSumsStayMismatchFreeAtEveryWorkerCount) {

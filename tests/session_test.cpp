@@ -1,0 +1,277 @@
+//===- session_test.cpp - PredArena and SolverSession unit tests -----------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The incremental constraint pipeline's two new pieces in isolation:
+//
+//  - PredArena: structural equality implies id equality, ids are stable
+//    across arenas fed equal predicate sequences (the property the solver
+//    caches and prefix dedup rely on), negation links round-trip, and
+//    normal forms are computed once at intern time.
+//
+//  - SolverSession: push/pop probes return the same verdict and model as
+//    the batch LinearSolver over the equivalent constraint vector (the
+//    equivalence contract), including multivariate delegation, and Unsat
+//    probes are memoized in the fingerprint-keyed session cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/PathSearch.h"
+#include "solver/SolverSession.h"
+#include "support/Rng.h"
+#include "symbolic/PredArena.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+using namespace dart;
+
+namespace {
+
+SymPred uni(CmpPred P, InputId Id, int64_t Coeff, int64_t Const) {
+  return SymPred(P, *LinearExpr::variable(Id).scale(Coeff)->add(
+                        LinearExpr(Const)));
+}
+
+SymPred multi(CmpPred P, InputId A, InputId B, int64_t Const) {
+  return SymPred(P, *LinearExpr::variable(A)
+                         .add(LinearExpr::variable(B))
+                         ->add(LinearExpr(Const)));
+}
+
+std::function<VarDomain(InputId)> intDomains() {
+  return [](InputId) { return VarDomain{INT32_MIN, INT32_MAX}; };
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// PredArena
+//===----------------------------------------------------------------------===//
+
+TEST(PredArena, StructuralEqualitySharesOneId) {
+  PredArena A;
+  // Built independently, structurally equal.
+  PredId I1 = A.intern(uni(CmpPred::Lt, 0, 1, -10));
+  PredId I2 = A.intern(uni(CmpPred::Lt, 0, 1, -10));
+  EXPECT_NE(I1, kNoPred);
+  EXPECT_EQ(I1, I2);
+
+  // Any structural difference separates the ids.
+  EXPECT_NE(A.intern(uni(CmpPred::Le, 0, 1, -10)), I1) << "predicate kind";
+  EXPECT_NE(A.intern(uni(CmpPred::Lt, 1, 1, -10)), I1) << "variable";
+  EXPECT_NE(A.intern(uni(CmpPred::Lt, 0, 2, -10)), I1) << "coefficient";
+  EXPECT_NE(A.intern(uni(CmpPred::Lt, 0, 1, -11)), I1) << "constant";
+
+  PredArenaStats S = A.stats();
+  EXPECT_EQ(S.Size, 5u);
+  EXPECT_EQ(S.Interns, 6u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_GT(S.hitRate(), 0.0);
+}
+
+TEST(PredArena, IdsStableAcrossArenasWithEqualPrefixes) {
+  // compare_and_update_stack guarantees equal path prefixes emit equal
+  // predicate sequences; the arena must then assign equal id sequences, or
+  // fingerprint-keyed caching across restarts would silently stop hitting.
+  std::vector<SymPred> Prefix;
+  for (int I = 0; I < 32; ++I)
+    Prefix.push_back(uni(I % 2 ? CmpPred::Le : CmpPred::Ne, InputId(I % 5),
+                         1 + I % 3, -I));
+
+  PredArena A, B;
+  std::vector<PredId> IdsA, IdsB;
+  for (const SymPred &P : Prefix)
+    IdsA.push_back(A.intern(P));
+  for (const SymPred &P : Prefix)
+    IdsB.push_back(B.intern(P));
+  EXPECT_EQ(IdsA, IdsB);
+
+  // Re-interning the same prefix in the same arena is pure hits.
+  uint64_t HitsBefore = A.stats().Hits;
+  for (size_t I = 0; I < Prefix.size(); ++I)
+    EXPECT_EQ(A.intern(Prefix[I]), IdsA[I]);
+  EXPECT_EQ(A.stats().Hits, HitsBefore + Prefix.size());
+}
+
+TEST(PredArena, NegatedIdRoundTripsAndCaches) {
+  PredArena A;
+  PredId Id = A.intern(uni(CmpPred::Lt, 0, 1, -10));
+  PredId Neg = A.negatedId(Id);
+  EXPECT_NE(Neg, Id);
+  EXPECT_EQ(A.pred(Neg).Pred, CmpPred::Ge);
+  EXPECT_EQ(A.negatedId(Neg), Id) << "negation links are reverse-seeded";
+  EXPECT_EQ(A.negatedId(Id), Neg) << "second lookup hits the cached link";
+  // The negation is a regular interned predicate: structural interning of
+  // the same negated form resolves to the same id.
+  EXPECT_EQ(A.intern(A.pred(Id).negated()), Neg);
+}
+
+TEST(PredArena, NormalFormsComputedAtInternTime) {
+  PredArena A;
+  PredId U = A.intern(uni(CmpPred::Lt, 3, 2, -10)); // 2*x3 - 10 < 0
+  ASSERT_NE(A.norm(U), nullptr);
+  EXPECT_EQ(A.norm(U)->R, NormRel::LE) << "Lt normalizes to L+1 <= 0";
+  EXPECT_FALSE(A.multivariate(U));
+
+  PredId M = A.intern(multi(CmpPred::Le, 0, 1, -4));
+  ASSERT_NE(A.norm(M), nullptr);
+  EXPECT_TRUE(A.multivariate(M));
+}
+
+//===----------------------------------------------------------------------===//
+// SolverSession
+//===----------------------------------------------------------------------===//
+
+TEST(SolverSession, PushPopRestoresFingerprint) {
+  PredArena A;
+  LinearSolver Solver;
+  auto Domains = intDomains();
+  SolverSession S(Solver, A, Domains);
+  uint64_t Lo0 = S.fingerprintLo(), Hi0 = S.fingerprintHi();
+
+  S.push(A.intern(uni(CmpPred::Le, 0, 1, -100)));
+  uint64_t Lo1 = S.fingerprintLo(), Hi1 = S.fingerprintHi();
+  EXPECT_TRUE(Lo1 != Lo0 || Hi1 != Hi0);
+
+  S.push(A.intern(uni(CmpPred::Ne, 0, 1, -5)));
+  EXPECT_EQ(S.depth(), 2u);
+  S.pop();
+  EXPECT_EQ(S.fingerprintLo(), Lo1);
+  EXPECT_EQ(S.fingerprintHi(), Hi1);
+  S.pop();
+  EXPECT_EQ(S.fingerprintLo(), Lo0);
+  EXPECT_EQ(S.fingerprintHi(), Hi0);
+  EXPECT_EQ(S.depth(), 0u);
+}
+
+TEST(SolverSession, FingerprintDependsOnDomains) {
+  // The same predicate id pushed under different domains must fingerprint
+  // differently: the cached Unsat verdict [x <= -1, x in [0,10]] must not
+  // answer the satisfiable [x <= -1, x in [-10,10]].
+  PredArena A;
+  PredId Id = A.intern(uni(CmpPred::Le, 0, 1, 1)); // x + 1 <= 0
+  LinearSolver Solver;
+  auto Narrow = [](InputId) { return VarDomain{0, 10}; };
+  std::function<VarDomain(InputId)> NarrowFn = Narrow;
+  auto Wide = [](InputId) { return VarDomain{-10, 10}; };
+  std::function<VarDomain(InputId)> WideFn = Wide;
+
+  SolverSession S1(Solver, A, NarrowFn);
+  SolverSession S2(Solver, A, WideFn);
+  S1.push(Id);
+  S2.push(Id);
+  EXPECT_TRUE(S1.fingerprintLo() != S2.fingerprintLo() ||
+              S1.fingerprintHi() != S2.fingerprintHi());
+
+  std::map<InputId, int64_t> M;
+  EXPECT_EQ(S1.solve(M), SolveStatus::Unsat);
+  EXPECT_EQ(S2.solve(M), SolveStatus::Sat);
+  EXPECT_LE(M[0], -1);
+}
+
+TEST(SolverSession, MatchesBatchOnRandomSystems) {
+  // The equivalence contract, probed: random conjunctions of univariate
+  // predicates (plus occasional multivariate ones that force delegation),
+  // solved both ways. Verdicts must match always; models must match
+  // exactly, because the engines' run counts depend on the model values.
+  Rng R(2026);
+  auto Domains = intDomains();
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    PredArena A;
+    LinearSolver SessionSolver, BatchSolver;
+    SolverSession S(SessionSolver, A, Domains);
+    std::map<InputId, int64_t> Hint;
+    for (InputId V = 0; V < 3; ++V)
+      if (R.nextBelow(2))
+        Hint[V] = int64_t(R.nextBelow(200)) - 100;
+    S.setHint(&Hint);
+
+    std::vector<SymPred> System;
+    unsigned Len = 1 + unsigned(R.nextBelow(6));
+    for (unsigned I = 0; I < Len; ++I) {
+      InputId V = InputId(R.nextBelow(3));
+      int64_t Coeff = int64_t(R.nextBelow(5)) - 2;
+      if (!Coeff)
+        Coeff = 1;
+      int64_t K = int64_t(R.nextBelow(40)) - 20;
+      CmpPred P = static_cast<CmpPred>(R.nextBelow(6));
+      SymPred Pred = R.nextBelow(8) == 0
+                         ? multi(P, V, InputId((V + 1) % 3), K)
+                         : uni(P, V, Coeff, K);
+      System.push_back(Pred);
+      S.push(A.intern(Pred));
+    }
+
+    std::map<InputId, int64_t> SessionModel, BatchModel;
+    SolveStatus SessionV = S.solve(SessionModel);
+    SolveStatus BatchV =
+        BatchSolver.solve(System, Domains, Hint, BatchModel);
+    ASSERT_EQ(SessionV, BatchV) << "trial " << Trial;
+    if (SessionV == SolveStatus::Sat)
+      ASSERT_EQ(SessionModel, BatchModel) << "trial " << Trial;
+
+    // Pop a suffix and re-check: undo must restore the exact state.
+    unsigned Pops = unsigned(R.nextBelow(Len + 1));
+    for (unsigned I = 0; I < Pops; ++I)
+      S.pop();
+    System.resize(Len - Pops);
+    SessionModel.clear();
+    BatchModel.clear();
+    SessionV = S.solve(SessionModel);
+    BatchV = BatchSolver.solve(System, Domains, Hint, BatchModel);
+    ASSERT_EQ(SessionV, BatchV) << "trial " << Trial << " after pops";
+    if (SessionV == SolveStatus::Sat)
+      ASSERT_EQ(SessionModel, BatchModel) << "trial " << Trial
+                                          << " after pops";
+  }
+}
+
+TEST(SolverSession, UnsatProbesHitTheSessionCache) {
+  PredArena A;
+  LinearSolver Solver;
+  auto Domains = intDomains();
+  SolverSession S(Solver, A, Domains);
+  PredId Low = A.intern(uni(CmpPred::Le, 0, 1, -2));  // x <= 2
+  PredId High = A.intern(uni(CmpPred::Ge, 0, 1, -10)); // x >= 10
+
+  std::map<InputId, int64_t> M;
+  S.push(Low);
+  S.push(High);
+  EXPECT_EQ(S.solve(M), SolveStatus::Unsat);
+  EXPECT_EQ(Solver.stats().SessionCacheMisses, 1u);
+  EXPECT_EQ(Solver.stats().SessionCacheHits, 0u);
+  S.pop();
+
+  // The same doomed probe again: fingerprints match, the verdict replays.
+  S.push(High);
+  EXPECT_EQ(S.solve(M), SolveStatus::Unsat);
+  EXPECT_EQ(Solver.stats().SessionCacheHits, 1u);
+  EXPECT_EQ(Solver.stats().SessionCacheMisses, 1u);
+}
+
+TEST(SolverSession, HintSeededOncePerCandidateBatch) {
+  // Satellite regression: solveCandidates used to rebuild the hint
+  // assignment once per candidate; it is now hoisted and seeded exactly
+  // once per batch, however many candidates are probed.
+  PredArena A;
+  LinearSolver Solver;
+  Rng R(1);
+  PathData P;
+  for (unsigned I = 0; I < 6; ++I) {
+    P.Stack.push_back({true, false, I});
+    P.Constraints.push_back(A.intern(uni(CmpPred::Ne, InputId(I), 1, -7)));
+  }
+  std::map<InputId, int64_t> Hint{{0, 1}, {1, 2}, {2, 3}};
+  CandidateSet Set =
+      solveCandidates(P, A, Solver, intDomains(), Hint,
+                      SearchStrategy::DepthFirst, R, 0);
+  EXPECT_EQ(Set.Candidates.size(), 6u);
+  EXPECT_EQ(Solver.stats().HintSeeds, 1u)
+      << "one hint construction per batch, not per candidate";
+  EXPECT_GE(Solver.stats().SessionSolves, 6u);
+}

@@ -54,7 +54,9 @@ int usage() {
       "  --random-only         pure random testing (no directed search)\n"
       "  --all-errors          keep searching after the first bug\n"
       "  --symbolic-pointers   CUTE-style pointer-choice solving\n"
-      "  --log-runs            print a one-line summary of every run\n");
+      "  --log-runs            print a one-line summary of every run\n"
+      "  --stats               print constraint-pipeline statistics\n"
+      "                        (arena, sessions, caches) after the run\n");
   return 2;
 }
 
@@ -73,6 +75,7 @@ struct CliOptions {
   std::string File;
   std::string Toplevel;
   DartOptions Dart;
+  bool Stats = false;
   bool Ok = true;
 };
 
@@ -128,6 +131,8 @@ CliOptions parseArgs(int argc, char **argv) {
       Cli.Dart.Concolic.SymbolicPointers = true;
     } else if (Arg == "--log-runs") {
       Cli.Dart.LogRuns = true;
+    } else if (Arg == "--stats") {
+      Cli.Stats = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       Cli.Ok = false;
@@ -135,6 +140,36 @@ CliOptions parseArgs(int argc, char **argv) {
     }
   }
   return Cli;
+}
+
+/// --stats: the constraint pipeline's internals — interning arena,
+/// incremental-session traffic, per-query normalization reuse, and both
+/// Unsat caches.
+void printPipelineStats(const DartReport &R) {
+  const SolverStats &S = R.Solver;
+  std::printf("constraint pipeline stats:\n");
+  std::printf("  arena: %zu predicates, %llu interns, %.1f%% hit rate\n",
+              R.Arena.Size, (unsigned long long)R.Arena.Interns,
+              100.0 * R.Arena.hitRate());
+  std::printf("  sessions: %llu pushes, %llu pops, %llu solves\n",
+              (unsigned long long)S.SessionPushes,
+              (unsigned long long)S.SessionPops,
+              (unsigned long long)S.SessionSolves);
+  uint64_t NormTotal = S.Normalizations + S.NormReused;
+  std::printf("  normalization: %llu performed, %llu reused (%.1f%% "
+              "reuse)\n",
+              (unsigned long long)S.Normalizations,
+              (unsigned long long)S.NormReused,
+              NormTotal ? 100.0 * double(S.NormReused) / double(NormTotal)
+                        : 0.0);
+  std::printf("  hint seeds: %llu (one per candidate batch)\n",
+              (unsigned long long)S.HintSeeds);
+  std::printf("  session unsat cache: %llu hits, %llu misses\n",
+              (unsigned long long)S.SessionCacheHits,
+              (unsigned long long)S.SessionCacheMisses);
+  std::printf("  batch query cache: %llu hits, %llu misses\n",
+              (unsigned long long)S.CacheHits,
+              (unsigned long long)S.CacheMisses);
 }
 
 int runTest(Dart &D, CliOptions &Cli) {
@@ -152,6 +187,8 @@ int runTest(Dart &D, CliOptions &Cli) {
   for (const std::string &Line : R.RunLog)
     std::printf("%s\n", Line.c_str());
   std::printf("%s", R.toString().c_str());
+  if (Cli.Stats)
+    printPipelineStats(R);
   return R.BugFound ? 1 : 0;
 }
 
