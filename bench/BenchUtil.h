@@ -110,6 +110,48 @@ inline void writeParallelBenchJson(const std::string &Path,
   std::printf("wrote %s\n", Path.c_str());
 }
 
+/// One row of the static-prune ablation: the same directed session with
+/// the dataflow pre-pass on and off.
+struct StaticPruneRow {
+  std::string Workload;
+  uint64_t SolverCallsOn = 0;
+  uint64_t SolverCallsOff = 0;
+  unsigned Runs = 0;
+  unsigned Coverage = 0;
+  double ElapsedOnSec = 0.0;
+  double ElapsedOffSec = 0.0;
+  bool Identical = false; ///< runs/bugs/coverage match across the axis
+};
+
+/// Emits the machine-readable ablation results (BENCH_static_prune.json)
+/// that EXPERIMENTS.md's static-prune table is generated from.
+inline void writeStaticPruneJson(const std::string &Path,
+                                 const std::vector<StaticPruneRow> &Rows) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"axis\": \"static_prune\",\n  \"results\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const StaticPruneRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"workload\": \"%s\", \"solver_calls_on\": %llu, "
+                 "\"solver_calls_off\": %llu, \"runs\": %u, "
+                 "\"coverage\": %u, \"elapsed_on_sec\": %.6f, "
+                 "\"elapsed_off_sec\": %.6f, \"identical_search\": %s}%s\n",
+                 R.Workload.c_str(),
+                 static_cast<unsigned long long>(R.SolverCallsOn),
+                 static_cast<unsigned long long>(R.SolverCallsOff), R.Runs,
+                 R.Coverage, R.ElapsedOnSec, R.ElapsedOffSec,
+                 R.Identical ? "true" : "false",
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
 } // namespace dart::bench
 
 #endif // DART_BENCH_BENCHUTIL_H

@@ -124,6 +124,102 @@ void printParallelScaling() {
               "EXPERIMENTS.md)\n");
 }
 
+// Same guard structure as examples/minic/filters.c: version/debug/window
+// gates on initialized globals and a range check on a narrow input —
+// exactly the sites the dataflow pre-pass proves one-sided.
+const char *ConfigFilters = R"(
+  int version = 2;
+  int debug = 0;
+  int window = 16;
+  int narrow(char tag) {
+    if (tag < 300) {
+      return tag + 1;
+    }
+    return 0;
+  }
+  int route(char tag, int len) {
+    int acc;
+    acc = 0;
+    if (version != 2) { acc = -1; }
+    if (debug == 1) { acc = acc - 1; }
+    if (window >= 8) { acc = acc + 1; }
+    if (tag < 300) { acc = acc + narrow(tag); }
+    if (len == 42) { acc = acc + 2; }
+    if (len > 100) {
+      if (tag == 7) { acc = acc + 3; }
+    }
+    return acc;
+  }
+)";
+
+/// Static-prune ablation: the same directed session with the dataflow
+/// pre-pass on and off. The search itself is identical either way (the
+/// harness checks runs, bugs and coverage match); only solver traffic
+/// changes. Emits BENCH_static_prune.json.
+void printStaticPruneAblation() {
+  printHeader("Static-prune ablation - solver calls with/without pre-pass");
+  std::printf("%-22s %-12s %-12s %-9s %-10s %s\n", "workload", "calls(on)",
+              "calls(off)", "saved", "runs", "identical search");
+
+  struct Case {
+    const char *Name;
+    std::string Source;
+    const char *Toplevel;
+    unsigned Depth;
+    unsigned MaxRuns;
+  };
+  std::vector<Case> Cases = {
+      {"config_filters", ConfigFilters, "route", 1, 500},
+      {"ac_controller", workloads::acControllerSource(), "ac_controller", 2,
+       2000},
+      {"minisip_get_host", workloads::miniSipSource(), "sip_uri_get_host", 1,
+       300},
+      {"minisip_receive", workloads::miniSipSource(), "sip_receive", 1, 300},
+  };
+
+  std::vector<StaticPruneRow> Rows;
+  for (const Case &C : Cases) {
+    auto D = compileOrDie(C.Source, C.Name);
+    auto Run = [&](bool Prune, double &ElapsedSec) {
+      DartOptions Opts;
+      Opts.ToplevelName = C.Toplevel;
+      Opts.Depth = C.Depth;
+      Opts.MaxRuns = C.MaxRuns;
+      Opts.Seed = 2005;
+      Opts.StopAtFirstError = false;
+      Opts.StaticPrune = Prune;
+      auto Start = std::chrono::steady_clock::now();
+      DartReport R = D->run(Opts);
+      ElapsedSec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+              .count();
+      return R;
+    };
+    StaticPruneRow Row;
+    Row.Workload = C.Name;
+    DartReport On = Run(true, Row.ElapsedOnSec);
+    DartReport Off = Run(false, Row.ElapsedOffSec);
+    Row.SolverCallsOn = On.SolverCalls;
+    Row.SolverCallsOff = Off.SolverCalls;
+    Row.Runs = On.Runs;
+    Row.Coverage = On.BranchDirectionsCovered;
+    Row.Identical = On.Runs == Off.Runs &&
+                    On.Bugs.size() == Off.Bugs.size() &&
+                    On.BranchDirectionsCovered ==
+                        Off.BranchDirectionsCovered &&
+                    On.Coverage == Off.Coverage;
+    Rows.push_back(Row);
+    std::printf("%-22s %-12llu %-12llu %-9llu %-10u %s\n", Row.Workload.c_str(),
+                static_cast<unsigned long long>(Row.SolverCallsOn),
+                static_cast<unsigned long long>(Row.SolverCallsOff),
+                static_cast<unsigned long long>(Row.SolverCallsOff -
+                                                Row.SolverCallsOn),
+                Row.Runs, Row.Identical ? "yes" : "NO (bug!)");
+  }
+  writeStaticPruneJson("BENCH_static_prune.json", Rows);
+}
+
 void BM_CoverageTimelineDirected(benchmark::State &State) {
   auto D = compileOrDie(workloads::acControllerSource(), "AC-controller");
   unsigned Jobs = static_cast<unsigned>(State.range(0));
@@ -157,6 +253,7 @@ int main(int argc, char **argv) {
                 "sip_auth_check", 1, 500);
   }
   printParallelScaling();
+  printStaticPruneAblation();
   std::printf("\npaper: directed search penetrates input filters and keeps "
               "gaining coverage;\nrandom testing plateaus at the filter "
               "(reaches the equality tests with\nprobability 2^-32 per "

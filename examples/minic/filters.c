@@ -1,0 +1,44 @@
+/* A protocol front end whose guard structure is largely decidable at
+ * compile time: version/debug gates on initialized globals (untainted
+ * conditions) and a range check on a narrow input the interval analysis
+ * proves monovalent and wrap-free. With --static-prune on, none of those
+ * sites ever reaches the solver; bug sets, models and coverage are
+ * identical either way (tests/analysis_test.cpp diff-tests this).
+ * Expect lint findings here: the dead gates are real unreachable code. */
+
+int version = 2;
+int debug = 0;
+int window = 16;
+
+int narrow(char tag) {
+  if (tag < 300) {
+    return tag + 1;
+  }
+  return 0;
+}
+
+int route(char tag, int len) {
+  int acc;
+  acc = 0;
+  if (version != 2) {
+    acc = -1;
+  }
+  if (debug == 1) {
+    acc = acc - 1;
+  }
+  if (window >= 8) {
+    acc = acc + 1;
+  }
+  if (tag < 300) {
+    acc = acc + narrow(tag);
+  }
+  if (len == 42) {
+    acc = acc + 2;
+  }
+  if (len > 100) {
+    if (tag == 7) {
+      acc = acc + 3;
+    }
+  }
+  return acc;
+}

@@ -1,0 +1,28 @@
+/* A small accumulator/validator with nothing for `dart analyze` to say:
+ * every branch is feasible, every local is assigned before it is read,
+ * and every store is read on some path. The zero-findings fixture for
+ * the lint smoke test (and a regular concolic workload). */
+
+int limit = 64;
+
+int clamp(int v, int lo, int hi) {
+  if (v < lo)
+    return lo;
+  if (v > hi)
+    return hi;
+  return v;
+}
+
+int checksum(int seed, int n) {
+  int acc;
+  int i;
+  acc = seed;
+  i = 0;
+  while (i < n) {
+    if (i >= limit)
+      return acc;
+    acc = acc + i;
+    i = i + 1;
+  }
+  return clamp(acc, 0, 1000);
+}

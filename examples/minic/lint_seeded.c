@@ -1,0 +1,25 @@
+/* One seeded defect per lint class, each on a known line. The smoke test
+ * expects `dart analyze` to report exactly these (and exit 1):
+ *
+ *   line 17  dead store          'unread' is never read
+ *   line 18  division by zero    mode - 3 is always 0
+ *   line 20  unreachable code    mode == 7 is always false
+ *   line 22  uninitialized read  'ghost' read before any assignment
+ *   line 23  assertion failure   mode > 5 is always false
+ *   line 24  unreachable code    the return after the failing assert
+ */
+int mode = 3;
+
+int seeded(int x) {
+  int unread;
+  int ghost;
+  int y;
+  unread = x + 1;
+  y = x / (mode - 3);
+  if (mode == 7) {
+    y = y + 1;
+  }
+  ghost = ghost + y;
+  assert(mode > 5);
+  return y + ghost;
+}

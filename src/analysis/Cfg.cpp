@@ -1,0 +1,206 @@
+//===- Cfg.cpp - Control-flow graph construction ----------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace dart;
+
+namespace {
+
+bool isTerminator(const Instr &I) {
+  switch (I.kind()) {
+  case Instr::Kind::CondJump:
+  case Instr::Kind::Jump:
+  case Instr::Kind::Ret:
+  case Instr::Kind::Abort:
+  case Instr::Kind::Halt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+Cfg Cfg::build(const IRFunction &F) {
+  Cfg G;
+  G.F = &F;
+  unsigned N = static_cast<unsigned>(F.Instrs.size());
+  if (N == 0) {
+    G.RpoIndex.assign(0, kUnset);
+    return G;
+  }
+
+  // Leaders: instruction 0, every jump target, everything after a
+  // terminator.
+  std::vector<bool> Leader(N, false);
+  Leader[0] = true;
+  for (unsigned I = 0; I < N; ++I) {
+    const Instr &In = *F.Instrs[I];
+    if (const auto *CJ = dyn_cast<CondJumpInstr>(&In)) {
+      if (CJ->trueTarget() < N)
+        Leader[CJ->trueTarget()] = true;
+      if (CJ->falseTarget() < N)
+        Leader[CJ->falseTarget()] = true;
+    } else if (const auto *J = dyn_cast<JumpInstr>(&In)) {
+      if (J->target() < N)
+        Leader[J->target()] = true;
+    }
+    if (isTerminator(In) && I + 1 < N)
+      Leader[I + 1] = true;
+  }
+
+  G.BlockOf.assign(N, 0);
+  for (unsigned I = 0; I < N; ++I) {
+    if (Leader[I]) {
+      BasicBlock B;
+      B.Id = static_cast<unsigned>(G.Blocks.size());
+      B.Begin = I;
+      G.Blocks.push_back(B);
+    }
+    G.BlockOf[I] = static_cast<unsigned>(G.Blocks.size() - 1);
+    G.Blocks.back().End = I + 1;
+  }
+
+  // Edges.
+  auto AddEdge = [&G](unsigned From, unsigned To) {
+    auto &S = G.Blocks[From].Succs;
+    if (std::find(S.begin(), S.end(), To) == S.end()) {
+      S.push_back(To);
+      G.Blocks[To].Preds.push_back(From);
+    }
+  };
+  for (BasicBlock &B : G.Blocks) {
+    const Instr &Last = *F.Instrs[B.End - 1];
+    if (const auto *CJ = dyn_cast<CondJumpInstr>(&Last)) {
+      if (CJ->trueTarget() < N)
+        AddEdge(B.Id, G.BlockOf[CJ->trueTarget()]);
+      if (CJ->falseTarget() < N)
+        AddEdge(B.Id, G.BlockOf[CJ->falseTarget()]);
+    } else if (const auto *J = dyn_cast<JumpInstr>(&Last)) {
+      if (J->target() < N)
+        AddEdge(B.Id, G.BlockOf[J->target()]);
+    } else if (!isTerminator(Last) && B.End < N) {
+      AddEdge(B.Id, G.BlockOf[B.End]);
+    }
+  }
+
+  G.computeRpo();
+  G.computeDominators();
+  return G;
+}
+
+const Instr *Cfg::terminator(unsigned B) const {
+  const Instr &Last = *F->Instrs[Blocks[B].End - 1];
+  return isTerminator(Last) ? &Last : nullptr;
+}
+
+void Cfg::computeRpo() {
+  unsigned N = numBlocks();
+  RpoIndex.assign(N, kUnset);
+  if (N == 0)
+    return;
+
+  // Iterative DFS computing postorder, then reverse.
+  std::vector<unsigned> Post;
+  Post.reserve(N);
+  std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<unsigned, unsigned>> Stack; // (block, next succ)
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    if (NextSucc < Blocks[B].Succs.size()) {
+      unsigned S = Blocks[B].Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      State[B] = 2;
+      Post.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  for (unsigned I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+}
+
+void Cfg::computeDominators() {
+  // Cooper-Harvey-Kennedy: iterate intersect() over reverse postorder.
+  unsigned N = numBlocks();
+  Idom.assign(N, kUnset);
+  if (N == 0)
+    return;
+  Idom[0] = 0;
+
+  auto Intersect = [this](unsigned A, unsigned B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B : Rpo) {
+      if (B == 0)
+        continue;
+      unsigned NewIdom = kUnset;
+      for (unsigned P : Blocks[B].Preds) {
+        if (Idom[P] == kUnset)
+          continue; // unreachable or not yet processed
+        NewIdom = NewIdom == kUnset ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom != kUnset && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::dominates(unsigned A, unsigned B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  // Walk B's dominator chain toward the entry; rpo indices strictly
+  // decrease along it, so the walk terminates.
+  while (true) {
+    if (A == B)
+      return true;
+    if (B == 0)
+      return false;
+    B = Idom[B];
+  }
+}
+
+std::string Cfg::toString() const {
+  std::ostringstream OS;
+  OS << "cfg " << (F ? F->Name : "<null>") << " (" << numBlocks()
+     << " blocks)\n";
+  for (const BasicBlock &B : Blocks) {
+    OS << "  b" << B.Id << " [" << B.Begin << "," << B.End << ")";
+    if (!B.Succs.empty()) {
+      OS << " ->";
+      for (unsigned S : B.Succs)
+        OS << " b" << S;
+    }
+    if (!isReachable(B.Id))
+      OS << " (unreachable)";
+    else if (B.Id != 0)
+      OS << " idom=b" << Idom[B.Id];
+    OS << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,86 @@
+//===- Cfg.h - Control-flow graph over the RAM-machine IR -------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An explicit control-flow graph over `IRFunction::Instrs`. The paper's
+/// static layer (§3.1) extracts the program interface; this CFG is the
+/// substrate for the dataflow analyses that extend that layer: basic
+/// blocks, successor/predecessor edges, reverse postorder, entry
+/// reachability, and dominators (Cooper-Harvey-Kennedy).
+///
+/// Block boundaries follow the classic leader rule: instruction 0, every
+/// jump target, and every instruction after a terminator (CondJump, Jump,
+/// Ret, Abort, Halt) starts a block. Blocks are numbered in instruction
+/// order, so block 0 is always the entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_CFG_H
+#define DART_ANALYSIS_CFG_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace dart {
+
+struct BasicBlock {
+  unsigned Id = 0;
+  /// Instruction index range [Begin, End) in IRFunction::Instrs.
+  unsigned Begin = 0, End = 0;
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+};
+
+class Cfg {
+public:
+  /// Build the CFG for \p F. \p F must outlive the Cfg.
+  static Cfg build(const IRFunction &F);
+
+  const IRFunction &function() const { return *F; }
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+  const BasicBlock &block(unsigned Id) const { return Blocks[Id]; }
+  /// The block containing instruction \p InstrIndex.
+  unsigned blockOf(unsigned InstrIndex) const { return BlockOf[InstrIndex]; }
+  unsigned entry() const { return 0; }
+
+  /// The terminator instruction of \p B, or null when the block falls
+  /// through (its last instruction is not a terminator).
+  const Instr *terminator(unsigned B) const;
+
+  /// Reachable blocks in reverse postorder (entry first). Blocks not listed
+  /// here are unreachable from the entry by any CFG path.
+  const std::vector<unsigned> &rpo() const { return Rpo; }
+  bool isReachable(unsigned B) const { return RpoIndex[B] != kUnset; }
+  /// Position of \p B in rpo(); only meaningful for reachable blocks.
+  unsigned rpoIndex(unsigned B) const { return RpoIndex[B]; }
+
+  /// Immediate dominator of \p B. The entry is its own idom; unreachable
+  /// blocks report kUnset.
+  unsigned idom(unsigned B) const { return Idom[B]; }
+  /// Does \p A dominate \p B? (Reflexive; false if either is unreachable.)
+  bool dominates(unsigned A, unsigned B) const;
+
+  std::string toString() const;
+
+  static constexpr unsigned kUnset = ~0u;
+
+private:
+  const IRFunction *F = nullptr;
+  std::vector<BasicBlock> Blocks;
+  std::vector<unsigned> BlockOf;
+  std::vector<unsigned> Rpo;
+  std::vector<unsigned> RpoIndex;
+  std::vector<unsigned> Idom;
+
+  void computeRpo();
+  void computeDominators();
+};
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_CFG_H

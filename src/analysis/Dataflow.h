@@ -1,0 +1,112 @@
+//===- Dataflow.h - Generic worklist dataflow solver ------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic iterative dataflow solver over a Cfg, parameterized by a
+/// lattice problem. A problem supplies:
+///
+///   using Value = ...;                  // one lattice element per block
+///   static constexpr bool IsForward;    // direction
+///   Value initial();                    // optimistic initial element
+///   Value boundary();                   // element at entry (fwd) / exit (bwd)
+///   bool join(Value &Into, const Value &From);   // returns "Into changed"
+///   Value transfer(unsigned BlockId, const Value &In);
+///
+/// The solver seeds the worklist in reverse postorder (forward) or
+/// postorder (backward) and iterates block transfers to a fixpoint.
+/// `join` must be monotone w.r.t. the problem's lattice order and
+/// `transfer` monotone in its input; with a finite-height lattice (or a
+/// widening transfer) the solver terminates. Only blocks reachable from
+/// the entry are visited; unreachable blocks keep `initial()`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_DATAFLOW_H
+#define DART_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+
+#include <deque>
+#include <vector>
+
+namespace dart {
+
+template <typename Problem> struct DataflowResult {
+  /// In[b]: state before the block's first instruction (forward) or after
+  /// its last (backward).
+  std::vector<typename Problem::Value> In;
+  /// Out[b] = transfer(b, In[b]).
+  std::vector<typename Problem::Value> Out;
+  /// Total block transfers executed (for the property tests' idempotence
+  /// and termination assertions).
+  unsigned Iterations = 0;
+};
+
+template <typename Problem>
+DataflowResult<Problem> solveDataflow(const Cfg &G, Problem &P) {
+  constexpr bool Fwd = Problem::IsForward;
+  unsigned N = G.numBlocks();
+  DataflowResult<Problem> R;
+  R.In.assign(N, P.initial());
+  R.Out.assign(N, P.initial());
+  if (N == 0)
+    return R;
+
+  // For the backward direction an "entry" is any block without successors
+  // (Ret/Abort/Halt blocks); flow edges are reversed.
+  auto FlowPreds = [&](unsigned B) -> const std::vector<unsigned> & {
+    return Fwd ? G.block(B).Preds : G.block(B).Succs;
+  };
+  auto FlowSuccs = [&](unsigned B) -> const std::vector<unsigned> & {
+    return Fwd ? G.block(B).Succs : G.block(B).Preds;
+  };
+  auto IsBoundary = [&](unsigned B) {
+    return Fwd ? B == G.entry() : G.block(B).Succs.empty();
+  };
+
+  std::deque<unsigned> Worklist;
+  std::vector<bool> InList(N, false);
+  const std::vector<unsigned> &Rpo = G.rpo();
+  if (Fwd) {
+    for (unsigned B : Rpo) {
+      Worklist.push_back(B);
+      InList[B] = true;
+    }
+  } else {
+    for (auto It = Rpo.rbegin(); It != Rpo.rend(); ++It) {
+      Worklist.push_back(*It);
+      InList[*It] = true;
+    }
+  }
+
+  while (!Worklist.empty()) {
+    unsigned B = Worklist.front();
+    Worklist.pop_front();
+    InList[B] = false;
+
+    typename Problem::Value In = IsBoundary(B) ? P.boundary() : P.initial();
+    for (unsigned Pred : FlowPreds(B))
+      if (G.isReachable(Pred))
+        P.join(In, R.Out[Pred]);
+    R.In[B] = In;
+
+    typename Problem::Value Out = P.transfer(B, R.In[B]);
+    ++R.Iterations;
+    if (P.join(R.Out[B], Out)) {
+      for (unsigned S : FlowSuccs(B)) {
+        if (G.isReachable(S) && !InList[S]) {
+          Worklist.push_back(S);
+          InList[S] = true;
+        }
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_DATAFLOW_H

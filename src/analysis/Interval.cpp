@@ -1,0 +1,435 @@
+//===- Interval.cpp - Interval propagation transfer functions ---*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Interval.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+using namespace dart;
+
+std::string Interval::toString() const {
+  std::ostringstream OS;
+  OS << "[" << Lo << "," << Hi << "]" << (Exact ? "!" : "");
+  return OS.str();
+}
+
+void dart::vtRange(ValType VT, int64_t &Lo, int64_t &Hi) {
+  if (VT.SizeBytes == 8) {
+    // 8-byte canonical values are the raw int64 bits (pointers and
+    // unsigned included), so the canonical range is all of int64.
+    Lo = INT64_MIN;
+    Hi = INT64_MAX;
+    return;
+  }
+  unsigned Bits = VT.bits();
+  if (VT.Signed) {
+    Lo = -(int64_t(1) << (Bits - 1));
+    Hi = (int64_t(1) << (Bits - 1)) - 1;
+  } else {
+    Lo = 0;
+    Hi = (int64_t(1) << Bits) - 1;
+  }
+}
+
+Interval dart::fullRange(ValType VT, bool Exact) {
+  Interval I;
+  vtRange(VT, I.Lo, I.Hi);
+  I.Exact = Exact;
+  return I;
+}
+
+namespace {
+
+using I128 = __int128;
+
+/// Ideal result range [Lo,Hi] fits the type: keep the corners (the
+/// interpreter's canonicalize is the identity on them, so wrapped ==
+/// ideal). Otherwise the operation may wrap: full range, not Exact.
+Interval fitOrFull(I128 Lo, I128 Hi, ValType VT, bool ExactIfFits) {
+  int64_t VLo, VHi;
+  vtRange(VT, VLo, VHi);
+  if (Lo >= VLo && Hi <= VHi)
+    return {static_cast<int64_t>(Lo), static_cast<int64_t>(Hi), ExactIfFits};
+  return fullRange(VT, false);
+}
+
+/// Same, for operations the symbolic evaluator always concretizes
+/// (their values enter linear images only as runtime constants, so the
+/// Exact bit is vacuously satisfiable either way).
+Interval fitOrFullVacuous(I128 Lo, I128 Hi, ValType VT) {
+  int64_t VLo, VHi;
+  vtRange(VT, VLo, VHi);
+  bool Exact = !VT.IsPointer;
+  if (Lo >= VLo && Hi <= VHi)
+    return {static_cast<int64_t>(Lo), static_cast<int64_t>(Hi), Exact};
+  return fullRange(VT, Exact);
+}
+
+int64_t decodeGlobalInit(const IRGlobal &G, ValType VT) {
+  uint64_t Raw = 0;
+  for (unsigned I = 0; I < VT.SizeBytes; ++I) {
+    uint8_t Byte = I < G.Init.size() ? G.Init[I] : 0;
+    Raw |= uint64_t(Byte) << (8 * I);
+  }
+  return VT.canonicalize(static_cast<int64_t>(Raw));
+}
+
+Interval applyBinaryInterval(IRBinOp Op, Interval A, Interval B, ValType VT) {
+  I128 ALo = A.Lo, AHi = A.Hi, BLo = B.Lo, BHi = B.Hi;
+  bool BothExact = A.Exact && B.Exact;
+  switch (Op) {
+  case IRBinOp::Add:
+    return fitOrFull(ALo + BLo, AHi + BHi, VT, BothExact);
+  case IRBinOp::Sub:
+    return fitOrFull(ALo - BHi, AHi - BLo, VT, BothExact);
+  case IRBinOp::Mul: {
+    I128 C[4] = {ALo * BLo, ALo * BHi, AHi * BLo, AHi * BHi};
+    I128 Lo = *std::min_element(C, C + 4), Hi = *std::max_element(C, C + 4);
+    return fitOrFull(Lo, Hi, VT, BothExact);
+  }
+  case IRBinOp::Div: {
+    if (VT.SizeBytes == 8 && !VT.Signed)
+      return fullRange(VT, !VT.IsPointer); // raw unsigned division
+    if (B.contains(0))
+      return fullRange(VT, true); // or a DivByZero trap
+    I128 Lo = 0, Hi = 0;
+    bool First = true;
+    for (I128 D : {BLo, BHi, I128(-1), I128(1)}) {
+      if (D < BLo || D > BHi)
+        continue;
+      for (I128 N : {ALo, AHi}) {
+        I128 Q = N / D;
+        Lo = First ? Q : std::min(Lo, Q);
+        Hi = First ? Q : std::max(Hi, Q);
+        First = false;
+      }
+    }
+    return fitOrFullVacuous(Lo, Hi, VT);
+  }
+  case IRBinOp::Rem: {
+    if (VT.SizeBytes == 8 && !VT.Signed)
+      return fullRange(VT, !VT.IsPointer);
+    if (B.contains(0))
+      return fullRange(VT, true);
+    I128 M = std::max(BLo < 0 ? -BLo : BLo, BHi < 0 ? -BHi : BHi);
+    I128 Lo = -(M - 1), Hi = M - 1;
+    if (ALo >= 0) {
+      Lo = 0;
+      Hi = std::min(Hi, AHi);
+    } else if (AHi <= 0) {
+      Hi = 0;
+      Lo = std::max(Lo, ALo);
+    }
+    return fitOrFullVacuous(Lo, Hi, VT);
+  }
+  case IRBinOp::Shl: {
+    // The interpreter masks the count to VT.bits()-1; only a constant
+    // in-range count is a static multiply by 2^k.
+    if (B.isSingleton() && B.Lo >= 0 && B.Lo < VT.bits()) {
+      I128 Scale = I128(1) << B.Lo;
+      return fitOrFull(ALo * Scale, AHi * Scale, VT, BothExact);
+    }
+    return fullRange(VT, false);
+  }
+  case IRBinOp::Shr:
+  case IRBinOp::And:
+  case IRBinOp::Or:
+  case IRBinOp::Xor:
+    return fullRange(VT, !VT.IsPointer); // always concretized (vacuous)
+  }
+  return fullRange(VT, false);
+}
+
+Interval applyCmpInterval(CmpPred Pred, Interval A, Interval B,
+                          ValType OperandVT) {
+  bool Exact = A.Exact && B.Exact;
+  // Canonical values order like int64 except raw 8-byte unsigned
+  // (pointers, pointer-sized unsigned), where only equality is
+  // representation-independent.
+  bool Orderable = OperandVT.SizeBytes < 8 ||
+                   (OperandVT.Signed && !OperandVT.IsPointer);
+  bool Disjoint = A.Hi < B.Lo || B.Hi < A.Lo;
+  bool SameSingleton = A.isSingleton() && B.isSingleton() && A.Lo == B.Lo;
+  int Known = -1;
+  switch (Pred) {
+  case CmpPred::Eq:
+    Known = Disjoint ? 0 : SameSingleton ? 1 : -1;
+    break;
+  case CmpPred::Ne:
+    Known = Disjoint ? 1 : SameSingleton ? 0 : -1;
+    break;
+  case CmpPred::Lt:
+    if (Orderable)
+      Known = A.Hi < B.Lo ? 1 : A.Lo >= B.Hi ? 0 : -1;
+    break;
+  case CmpPred::Le:
+    if (Orderable)
+      Known = A.Hi <= B.Lo ? 1 : A.Lo > B.Hi ? 0 : -1;
+    break;
+  case CmpPred::Gt:
+    if (Orderable)
+      Known = A.Lo > B.Hi ? 1 : A.Hi <= B.Lo ? 0 : -1;
+    break;
+  case CmpPred::Ge:
+    if (Orderable)
+      Known = A.Lo >= B.Hi ? 1 : A.Hi < B.Lo ? 0 : -1;
+    break;
+  }
+  if (Known < 0)
+    return {0, 1, Exact};
+  return {Known, Known, Exact};
+}
+
+} // namespace
+
+IntervalAnalysis::IntervalAnalysis(const IRModule &M, const Cfg &G,
+                                   const TaintResult &T, unsigned FnIndex,
+                                   Config C)
+    : M(M), G(G), T(T), FnIndex(FnIndex), C(C), F(G.function()) {}
+
+AbsState IntervalAnalysis::entryState() const {
+  AbsState S;
+  S.Reachable = true;
+  S.Slots.assign(F.Slots.size(), std::nullopt);
+  for (unsigned P = 0; P < F.NumParams && P < F.Slots.size(); ++P) {
+    if (T.SlotEscaped[FnIndex][P])
+      continue;
+    ValType VT = P < F.ParamVTs.size() ? F.ParamVTs[P] : ValType::int32();
+    if (F.Slots[P].SizeBytes != VT.SizeBytes)
+      continue;
+    S.Slots[P] = SlotFact{VT, fullRange(VT, C.ParamsExact && !VT.IsPointer)};
+  }
+  return S;
+}
+
+bool IntervalAnalysis::joinInto(AbsState &Into, const AbsState &From,
+                                bool Widen) const {
+  if (!From.Reachable)
+    return false;
+  if (!Into.Reachable) {
+    Into = From;
+    return true;
+  }
+  bool Changed = false;
+  for (size_t I = 0; I < Into.Slots.size(); ++I) {
+    auto &A = Into.Slots[I];
+    if (!A)
+      continue;
+    const auto &B = From.Slots[I];
+    if (!B || !(B->VT == A->VT)) {
+      A.reset();
+      Changed = true;
+      continue;
+    }
+    Interval J{std::min(A->I.Lo, B->I.Lo), std::max(A->I.Hi, B->I.Hi),
+               A->I.Exact && B->I.Exact};
+    if (J.Lo != A->I.Lo || J.Hi != A->I.Hi || J.Exact != A->I.Exact) {
+      if (Widen)
+        A.reset(); // jump straight to top: guarantees termination
+      else
+        A->I = J;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+Interval IntervalAnalysis::evalExpr(const AbsState &S,
+                                    const IRExpr *E) const {
+  ValType VT = E->valType();
+  switch (E->kind()) {
+  case IRExpr::Kind::Const: {
+    int64_t V = cast<ConstExpr>(E)->value();
+    return {V, V, true};
+  }
+  case IRExpr::Kind::FrameAddr:
+  case IRExpr::Kind::GlobalAddr:
+    return fullRange(VT, false);
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address())) {
+      unsigned Slot = FA->slotIndex();
+      if (Slot < S.Slots.size() && S.Slots[Slot] &&
+          S.Slots[Slot]->VT == VT)
+        return S.Slots[Slot]->I;
+      return fullRange(VT, false);
+    }
+    if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address())) {
+      const IRGlobal &Gl = M.globals()[GA->globalIndex()];
+      bool Pure = !T.GlobalStored[GA->globalIndex()] &&
+                  !T.GlobalEscaped[GA->globalIndex()];
+      if (Pure && Gl.SizeBytes == VT.SizeBytes && !VT.IsPointer) {
+        if (Gl.IsExternInput)
+          return fullRange(VT, true); // fresh input, domain = type range
+        int64_t V = decodeGlobalInit(Gl, VT);
+        return {V, V, true};
+      }
+      return fullRange(VT, false);
+    }
+    return fullRange(VT, false);
+  }
+  case IRExpr::Kind::Unary: {
+    const auto *U = cast<UnaryIRExpr>(E);
+    Interval A = evalExpr(S, U->operand());
+    if (U->op() == IRUnOp::Neg)
+      return fitOrFull(-I128(A.Hi), -I128(A.Lo), VT, A.Exact);
+    // BitNot ~v = -v-1; the evaluator always concretizes it.
+    return fitOrFullVacuous(-I128(A.Hi) - 1, -I128(A.Lo) - 1, VT);
+  }
+  case IRExpr::Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(E);
+    return applyBinaryInterval(B->op(), evalExpr(S, B->lhs()),
+                               evalExpr(S, B->rhs()), VT);
+  }
+  case IRExpr::Kind::Cmp: {
+    const auto *Cm = cast<CmpExpr>(E);
+    return applyCmpInterval(Cm->pred(), evalExpr(S, Cm->lhs()),
+                            evalExpr(S, Cm->rhs()), Cm->operandValType());
+  }
+  case IRExpr::Kind::Cast: {
+    Interval A = evalExpr(S, cast<CastIRExpr>(E)->operand());
+    int64_t VLo, VHi;
+    vtRange(VT, VLo, VHi);
+    // The concolic evaluator passes casts through symbolically, so
+    // Exactness survives only when the cast is the identity on the whole
+    // operand range.
+    if (A.Lo >= VLo && A.Hi <= VHi)
+      return {A.Lo, A.Hi, A.Exact && !VT.IsPointer};
+    return fullRange(VT, false);
+  }
+  }
+  return fullRange(VT, false);
+}
+
+void IntervalAnalysis::transferInstr(AbsState &S, const Instr &I) const {
+  switch (I.kind()) {
+  case Instr::Kind::Store: {
+    const auto *St = cast<StoreInstr>(&I);
+    const auto *FA = dyn_cast<FrameAddrExpr>(St->address());
+    if (!FA)
+      return; // computed stores only reach escaped (untracked) storage
+    unsigned Slot = FA->slotIndex();
+    if (Slot >= S.Slots.size() || T.SlotEscaped[FnIndex][Slot])
+      return;
+    ValType VT = St->valType();
+    if (F.Slots[Slot].SizeBytes != VT.SizeBytes) {
+      S.Slots[Slot].reset();
+      return;
+    }
+    S.Slots[Slot] = SlotFact{VT, evalExpr(S, St->value())};
+    return;
+  }
+  case Instr::Kind::Call: {
+    const auto *C = cast<CallInstr>(&I);
+    if (!C->destSlot())
+      return;
+    unsigned Slot = *C->destSlot();
+    if (Slot >= S.Slots.size() || T.SlotEscaped[FnIndex][Slot])
+      return;
+    ValType VT = C->retValType();
+    if (F.Slots[Slot].SizeBytes != VT.SizeBytes) {
+      S.Slots[Slot].reset();
+      return;
+    }
+    // External returns are fresh full-domain inputs; native returns are
+    // runtime constants; internal returns are unconstrained here.
+    bool Internal = M.findFunction(C->callee()) != nullptr;
+    S.Slots[Slot] = SlotFact{VT, fullRange(VT, !Internal && !VT.IsPointer)};
+    return;
+  }
+  case Instr::Kind::Copy:
+    // Copy operands are escaped by construction: nothing tracked moves.
+    return;
+  default:
+    return;
+  }
+}
+
+void IntervalAnalysis::flowOut(unsigned B, const AbsState &ExitState,
+                               std::vector<AbsState> &PerSucc) const {
+  const BasicBlock &BB = G.block(B);
+  PerSucc.assign(BB.Succs.size(), AbsState{});
+  const Instr &Last = *F.Instrs[BB.End - 1];
+  if (const auto *CJ = dyn_cast<CondJumpInstr>(&Last)) {
+    Interval CI = evalExpr(ExitState, CJ->cond());
+    unsigned N = static_cast<unsigned>(F.Instrs.size());
+    unsigned TrueBlock =
+        CJ->trueTarget() < N ? G.blockOf(CJ->trueTarget()) : Cfg::kUnset;
+    unsigned FalseBlock =
+        CJ->falseTarget() < N ? G.blockOf(CJ->falseTarget()) : Cfg::kUnset;
+    for (size_t J = 0; J < BB.Succs.size(); ++J) {
+      bool Feasible =
+          (BB.Succs[J] == TrueBlock && CI.canBeNonzero()) ||
+          (BB.Succs[J] == FalseBlock && CI.canBeZero());
+      if (Feasible)
+        PerSucc[J] = ExitState;
+    }
+    return;
+  }
+  for (size_t J = 0; J < BB.Succs.size(); ++J)
+    PerSucc[J] = ExitState;
+}
+
+void IntervalAnalysis::run() {
+  unsigned N = G.numBlocks();
+  In.assign(N, AbsState{});
+  Visits.assign(N, 0);
+  if (N == 0)
+    return;
+  In[G.entry()] = entryState();
+
+  std::deque<unsigned> Worklist{G.entry()};
+  std::vector<bool> InList(N, false);
+  InList[G.entry()] = true;
+  std::vector<AbsState> PerSucc;
+  while (!Worklist.empty()) {
+    unsigned B = Worklist.front();
+    Worklist.pop_front();
+    InList[B] = false;
+    if (++Visits[B] > C.MaxBlockVisits) {
+      Ok = false;
+      return;
+    }
+    AbsState S = In[B];
+    const BasicBlock &BB = G.block(B);
+    for (unsigned I = BB.Begin; I < BB.End; ++I)
+      transferInstr(S, *F.Instrs[I]);
+    flowOut(B, S, PerSucc);
+    for (size_t J = 0; J < BB.Succs.size(); ++J) {
+      unsigned Succ = BB.Succs[J];
+      bool Widen = Visits[Succ] >= C.WidenAfter;
+      if (joinInto(In[Succ], PerSucc[J], Widen) && !InList[Succ]) {
+        Worklist.push_back(Succ);
+        InList[Succ] = true;
+      }
+    }
+  }
+}
+
+bool IntervalAnalysis::blockExecutable(unsigned B) const {
+  return !Ok || In[B].Reachable;
+}
+
+bool IntervalAnalysis::instrExecutable(unsigned InstrIndex) const {
+  return blockExecutable(G.blockOf(InstrIndex));
+}
+
+AbsState IntervalAnalysis::stateBefore(unsigned InstrIndex) const {
+  unsigned B = G.blockOf(InstrIndex);
+  if (!Ok || !In[B].Reachable) {
+    // Conservative state: reachable, nothing known.
+    AbsState S;
+    S.Reachable = Ok ? false : true;
+    S.Slots.assign(F.Slots.size(), std::nullopt);
+    return S;
+  }
+  AbsState S = In[B];
+  for (unsigned I = G.block(B).Begin; I < InstrIndex; ++I)
+    transferInstr(S, *F.Instrs[I]);
+  return S;
+}

@@ -1,0 +1,146 @@
+//===- Interval.h - Constant/interval propagation over the IR ---*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Path-insensitive interval (constant-range) propagation per function,
+/// with conditional-constant-propagation-style executable-edge tracking:
+/// a CondJump whose condition interval is monovalent ([0,0] or 0-free)
+/// only propagates state along the feasible edge, and blocks never
+/// reached by a feasible edge are statically unreachable.
+///
+/// Intervals are over *canonical* values — the int64 a ValType-typed
+/// object holds after `ValType::canonicalize` — and every transfer
+/// mirrors the interpreter's wrap-around semantics: an operation whose
+/// ideal (unbounded integer) result range fits the result type keeps the
+/// ideal corners; anything that may wrap falls to the full type range.
+///
+/// Each interval carries an `Exact` bit, the bridge between machine
+/// semantics and the solver's ideal-integer theory: when set, every
+/// operation on the chains producing this value is wrap-free for *all*
+/// in-domain input values, so the concolic engine's linear image of the
+/// value evaluates identically over ideal integers. A branch that is both
+/// monovalent and Exact is therefore skippable without consulting the
+/// solver — the negated path constraint is unsatisfiable in the solver's
+/// own theory (see StaticSummary.h). Values the symbolic evaluator always
+/// concretizes (Div/Rem/Shr/And/Or/Xor/BitNot results) are vacuously
+/// Exact: they enter linear images only as runtime constants, which their
+/// interval bounds.
+///
+/// No branch refinement is performed (conditions never narrow operand
+/// intervals): a fact proved here holds for every execution regardless of
+/// path, which is what the pruning soundness argument needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_INTERVAL_H
+#define DART_ANALYSIS_INTERVAL_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Taint.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// Inclusive range of canonical int64 values, plus the ideal-theory
+/// transfer bit (see file comment).
+struct Interval {
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+  bool Exact = false;
+
+  bool contains(int64_t V) const { return Lo <= V && V <= Hi; }
+  bool isSingleton() const { return Lo == Hi; }
+  /// Can the value be zero / nonzero? (The two CondJump directions.)
+  bool canBeZero() const { return contains(0); }
+  bool canBeNonzero() const { return Lo != 0 || Hi != 0; }
+
+  std::string toString() const;
+};
+
+/// The canonical-value range of \p VT (what `canonicalize` maps into).
+void vtRange(ValType VT, int64_t &Lo, int64_t &Hi);
+Interval fullRange(ValType VT, bool Exact = false);
+
+/// Abstract value of one frame slot: the type it was last stored at and
+/// the interval of its canonical value.
+struct SlotFact {
+  ValType VT;
+  Interval I;
+};
+
+/// Per-program-point state: reachability plus one optional fact per frame
+/// slot (nullopt = unknown/top; escaped slots are never tracked).
+struct AbsState {
+  bool Reachable = false;
+  std::vector<std::optional<SlotFact>> Slots;
+};
+
+class IntervalAnalysis {
+public:
+  struct Config {
+    /// Give the function's parameters Exact full-domain intervals. Only
+    /// sound for the toplevel when the generated driver is its sole
+    /// caller: internal call sites pass arbitrary expressions whose
+    /// linear images need not match the parameter's machine value.
+    bool ParamsExact = false;
+    /// Widen a slot to top when its joined interval is still changing
+    /// after this many visits to a block (loop heads).
+    unsigned WidenAfter = 8;
+    /// Give up (conservatively: everything reachable, nothing monovalent)
+    /// if any block is visited this many times.
+    unsigned MaxBlockVisits = 64;
+  };
+
+  IntervalAnalysis(const IRModule &M, const Cfg &G, const TaintResult &T,
+                   unsigned FnIndex, Config C);
+
+  void run();
+
+  /// False when the fixpoint hit MaxBlockVisits; all queries then return
+  /// their conservative answers.
+  bool converged() const { return Ok; }
+
+  /// Is there a statically feasible path from the entry to \p B?
+  bool blockExecutable(unsigned B) const;
+  bool instrExecutable(unsigned InstrIndex) const;
+
+  /// Fixpoint state at the start of block \p B.
+  const AbsState &inState(unsigned B) const { return In[B]; }
+  /// State just before \p InstrIndex (walks the block prefix).
+  AbsState stateBefore(unsigned InstrIndex) const;
+
+  /// Interval of \p E evaluated in \p S. \p S must be reachable.
+  Interval evalExpr(const AbsState &S, const IRExpr *E) const;
+
+  /// Apply \p I's effect on \p S (public so lint passes can walk blocks
+  /// instruction by instruction).
+  void transferInstr(AbsState &S, const Instr &I) const;
+
+private:
+  const IRModule &M;
+  const Cfg &G;
+  const TaintResult &T;
+  unsigned FnIndex;
+  Config C;
+  const IRFunction &F;
+  bool Ok = true;
+  std::vector<AbsState> In;
+  std::vector<unsigned> Visits;
+
+  AbsState entryState() const;
+  bool joinInto(AbsState &Into, const AbsState &From, bool Widen) const;
+  /// The states this block hands to each CFG successor, in the same
+  /// order as `G.block(B).Succs`; infeasible edges get Reachable=false.
+  void flowOut(unsigned B, const AbsState &InState,
+               std::vector<AbsState> &PerSucc) const;
+};
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_INTERVAL_H

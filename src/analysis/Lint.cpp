@@ -1,0 +1,285 @@
+//===- Lint.cpp - Static defect reporting -----------------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "analysis/Cfg.h"
+#include "analysis/Interval.h"
+#include "analysis/Liveness.h"
+#include "analysis/Taint.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace dart;
+
+namespace {
+
+/// One finding, keyed for deterministic function/instruction ordering.
+struct Finding {
+  unsigned InstrIndex;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Does the block contain anything a user would recognize as code?
+/// (Purely synthetic glue — jumps, temp shuffles without a location —
+/// should not produce "unreachable code" reports.)
+const Instr *firstUserInstr(const IRFunction &F, const BasicBlock &B) {
+  for (unsigned I = B.Begin; I < B.End; ++I) {
+    const Instr &In = *F.Instrs[I];
+    if (In.loc().Line == 0)
+      continue;
+    switch (In.kind()) {
+    case Instr::Kind::Store:
+    case Instr::Kind::Copy:
+    case Instr::Kind::Call:
+    case Instr::Kind::CondJump:
+    case Instr::Kind::Abort:
+    case Instr::Kind::Ret:
+      return &In;
+    default:
+      break;
+    }
+  }
+  return nullptr;
+}
+
+/// Scan \p E for Div/Rem whose divisor is provably always zero in \p S.
+void findZeroDivisors(const IntervalAnalysis &IA, const AbsState &S,
+                      const IRExpr *E, bool &Found) {
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+  case IRExpr::Kind::FrameAddr:
+  case IRExpr::Kind::GlobalAddr:
+    return;
+  case IRExpr::Kind::Load:
+    findZeroDivisors(IA, S, cast<LoadExpr>(E)->address(), Found);
+    return;
+  case IRExpr::Kind::Unary:
+    findZeroDivisors(IA, S, cast<UnaryIRExpr>(E)->operand(), Found);
+    return;
+  case IRExpr::Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(E);
+    findZeroDivisors(IA, S, B->lhs(), Found);
+    findZeroDivisors(IA, S, B->rhs(), Found);
+    if (B->op() == IRBinOp::Div || B->op() == IRBinOp::Rem) {
+      Interval D = IA.evalExpr(S, B->rhs());
+      if (D.Lo == 0 && D.Hi == 0)
+        Found = true;
+    }
+    return;
+  }
+  case IRExpr::Kind::Cmp:
+    findZeroDivisors(IA, S, cast<CmpExpr>(E)->lhs(), Found);
+    findZeroDivisors(IA, S, cast<CmpExpr>(E)->rhs(), Found);
+    return;
+  case IRExpr::Kind::Cast:
+    findZeroDivisors(IA, S, cast<CastIRExpr>(E)->operand(), Found);
+    return;
+  }
+}
+
+bool instrDividesByZero(const IntervalAnalysis &IA, const AbsState &S,
+                        const Instr &I) {
+  bool Found = false;
+  switch (I.kind()) {
+  case Instr::Kind::Store:
+    findZeroDivisors(IA, S, cast<StoreInstr>(&I)->address(), Found);
+    findZeroDivisors(IA, S, cast<StoreInstr>(&I)->value(), Found);
+    break;
+  case Instr::Kind::CondJump:
+    findZeroDivisors(IA, S, cast<CondJumpInstr>(&I)->cond(), Found);
+    break;
+  case Instr::Kind::Call:
+    for (const IRExprPtr &A : cast<CallInstr>(&I)->args())
+      findZeroDivisors(IA, S, A.get(), Found);
+    break;
+  case Instr::Kind::Ret:
+    if (const IRExpr *V = cast<RetInstr>(&I)->value())
+      findZeroDivisors(IA, S, V, Found);
+    break;
+  default:
+    break;
+  }
+  return Found;
+}
+
+/// Find tracked named slots \p I reads while definitely unassigned.
+template <typename Fn>
+void forEachUninitUse(const IRExpr *E, const std::vector<bool> &DU,
+                      const std::vector<bool> &Tracked, Fn Report) {
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+  case IRExpr::Kind::FrameAddr:
+  case IRExpr::Kind::GlobalAddr:
+    return;
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address())) {
+      unsigned S = FA->slotIndex();
+      if (S < Tracked.size() && Tracked[S] && DU[S])
+        Report(S);
+      return;
+    }
+    forEachUninitUse(L->address(), DU, Tracked, Report);
+    return;
+  }
+  case IRExpr::Kind::Unary:
+    forEachUninitUse(cast<UnaryIRExpr>(E)->operand(), DU, Tracked, Report);
+    return;
+  case IRExpr::Kind::Binary:
+    forEachUninitUse(cast<BinaryIRExpr>(E)->lhs(), DU, Tracked, Report);
+    forEachUninitUse(cast<BinaryIRExpr>(E)->rhs(), DU, Tracked, Report);
+    return;
+  case IRExpr::Kind::Cmp:
+    forEachUninitUse(cast<CmpExpr>(E)->lhs(), DU, Tracked, Report);
+    forEachUninitUse(cast<CmpExpr>(E)->rhs(), DU, Tracked, Report);
+    return;
+  case IRExpr::Kind::Cast:
+    forEachUninitUse(cast<CastIRExpr>(E)->operand(), DU, Tracked, Report);
+    return;
+  }
+}
+
+void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
+                  std::vector<Finding> &Out) {
+  const IRFunction &F = *M.functions()[FnIndex];
+  if (F.Instrs.empty())
+    return;
+  Cfg G = Cfg::build(F);
+  IntervalAnalysis IA(M, G, T, FnIndex, IntervalAnalysis::Config());
+  IA.run();
+  LivenessResult LV = runLivenessAnalysis(G, T, FnIndex);
+
+  auto Report = [&](unsigned InstrIndex, std::string Msg) {
+    Out.push_back({InstrIndex, F.Instrs[InstrIndex]->loc(),
+                   std::move(Msg)});
+  };
+
+  // 1. Unreachable code: entries of statically infeasible regions. Only
+  // report when the fixpoint converged (a bailed analysis proves
+  // nothing), and only blocks containing user-visible instructions.
+  if (IA.converged()) {
+    for (unsigned B = 0; B < G.numBlocks(); ++B) {
+      // Only blocks the CFG can reach: syntactically dead regions (e.g.
+      // the synthesized trailing return of a function whose paths all
+      // return explicitly) are not dataflow findings.
+      if (IA.blockExecutable(B) || !G.isReachable(B))
+        continue;
+      bool RegionEntry = true;
+      for (unsigned P : G.block(B).Preds)
+        if (!IA.blockExecutable(P))
+          RegionEntry = false;
+      if (!RegionEntry)
+        continue;
+      if (const Instr *I = firstUserInstr(F, G.block(B))) {
+        unsigned Index = G.block(B).Begin;
+        while (F.Instrs[Index].get() != I)
+          ++Index;
+        Report(Index, "unreachable code in '" + F.Name + "'");
+      }
+    }
+  }
+
+  std::set<unsigned> UninitReported; // one report per slot
+  for (unsigned B = 0; B < G.numBlocks(); ++B) {
+    if (!IA.blockExecutable(B) || !G.isReachable(B))
+      continue;
+    AbsState S = IA.inState(B);
+    for (unsigned I = G.block(B).Begin; I < G.block(B).End; ++I) {
+      const Instr &In = *F.Instrs[I];
+
+      // 2. Guaranteed division by zero.
+      if (IA.converged() && In.loc().Line > 0 &&
+          instrDividesByZero(IA, S, In))
+        Report(I, "division by zero: divisor is always 0");
+
+      // 3. Guaranteed assert failure: an assert lowers to a CondJump
+      // whose false edge jumps to an Abort(AssertFailure) block.
+      if (IA.converged()) {
+        if (const auto *CJ = dyn_cast<CondJumpInstr>(&In)) {
+          Interval CI = IA.evalExpr(S, CJ->cond());
+          if (CI.Lo == 0 && CI.Hi == 0 &&
+              CJ->falseTarget() < F.Instrs.size()) {
+            const BasicBlock &FB = G.block(G.blockOf(CJ->falseTarget()));
+            const auto *A = dyn_cast<AbortInstr>(F.Instrs[FB.Begin].get());
+            if (A && A->why() == AbortKind::AssertFailure)
+              Report(I, "assertion always fails");
+          }
+        }
+      }
+
+      // 4. Uninitialized reads: definitely unassigned on every path.
+      const std::vector<bool> &DU = LV.DefinitelyUnassignedBefore[I];
+      auto ReportUninit = [&](unsigned Slot) {
+        if (F.Slots[Slot].Name.empty() || !UninitReported.insert(Slot).second)
+          return;
+        Report(I, "'" + F.Slots[Slot].Name +
+                      "' is read before it is ever assigned");
+      };
+      switch (In.kind()) {
+      case Instr::Kind::Store:
+        if (!isa<FrameAddrExpr>(cast<StoreInstr>(&In)->address()))
+          forEachUninitUse(cast<StoreInstr>(&In)->address(), DU, LV.Tracked,
+                           ReportUninit);
+        forEachUninitUse(cast<StoreInstr>(&In)->value(), DU, LV.Tracked,
+                         ReportUninit);
+        break;
+      case Instr::Kind::CondJump:
+        forEachUninitUse(cast<CondJumpInstr>(&In)->cond(), DU, LV.Tracked,
+                         ReportUninit);
+        break;
+      case Instr::Kind::Call:
+        for (const IRExprPtr &A : cast<CallInstr>(&In)->args())
+          forEachUninitUse(A.get(), DU, LV.Tracked, ReportUninit);
+        break;
+      case Instr::Kind::Ret:
+        if (const IRExpr *V = cast<RetInstr>(&In)->value())
+          forEachUninitUse(V, DU, LV.Tracked, ReportUninit);
+        break;
+      default:
+        break;
+      }
+
+      // 5. Dead stores to named locals.
+      if (const auto *St = dyn_cast<StoreInstr>(&In)) {
+        if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address())) {
+          unsigned Slot = FA->slotIndex();
+          if (Slot < LV.Tracked.size() && LV.Tracked[Slot] &&
+              !F.Slots[Slot].Name.empty() && In.loc().Line > 0 &&
+              !LV.LiveAfter[I][Slot])
+            Report(I, "value stored to '" + F.Slots[Slot].Name +
+                          "' is never read");
+        }
+      }
+
+      IA.transferInstr(S, In);
+    }
+  }
+
+  std::sort(Out.begin(), Out.end(), [](const Finding &A, const Finding &B) {
+    return A.InstrIndex < B.InstrIndex;
+  });
+}
+
+} // namespace
+
+unsigned dart::runLintPass(const IRModule &M, DiagnosticsEngine &Diags) {
+  // Lint runs without a toplevel: no parameter is an input seed, so the
+  // taint result only contributes escape and stored-global facts.
+  TaintResult T = runTaintAnalysis(M, "");
+  unsigned Count = 0;
+  for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+    std::vector<Finding> Findings;
+    lintFunction(M, Fn, T, Findings);
+    for (const Finding &F : Findings) {
+      Diags.warning(F.Loc, F.Message);
+      ++Count;
+    }
+  }
+  return Count;
+}

@@ -1,0 +1,39 @@
+//===- Lint.h - Static defect reporting over the IR -------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing face of the dataflow framework (`dart analyze`):
+/// whole-program static defect reports via Diagnostics, one warning per
+/// finding, with source locations from the lowered IR. Five defect
+/// classes, each backed by one of the analyses:
+///
+///   unreachable code        executable-edge reachability (Interval.h)
+///   division by zero        divisor interval is exactly [0,0]
+///   assert always fails     assert condition interval is exactly [0,0]
+///   uninitialized read      definite assignment (Liveness.h)
+///   dead store              backward liveness (Liveness.h)
+///
+/// Every report is a *guarantee* (true on all executions reaching the
+/// program point), never a heuristic: the pass aims for zero false
+/// positives, at the cost of missing may-bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_LINT_H
+#define DART_ANALYSIS_LINT_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+namespace dart {
+
+/// Analyze every function in \p M, appending one warning per finding to
+/// \p Diags (in function/instruction order). Returns the finding count.
+unsigned runLintPass(const IRModule &M, DiagnosticsEngine &Diags);
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_LINT_H

@@ -1,0 +1,233 @@
+//===- Liveness.cpp - Liveness / definite assignment instances --*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "analysis/Dataflow.h"
+
+using namespace dart;
+
+namespace {
+
+/// Invoke \p Use for every tracked slot a direct Load in \p E reads.
+template <typename Fn>
+void forEachUse(const IRExpr *E, const std::vector<bool> &Tracked, Fn Use) {
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+  case IRExpr::Kind::FrameAddr:
+  case IRExpr::Kind::GlobalAddr:
+    return;
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address())) {
+      unsigned S = FA->slotIndex();
+      if (S < Tracked.size() && Tracked[S])
+        Use(S);
+      return;
+    }
+    forEachUse(L->address(), Tracked, Use);
+    return;
+  }
+  case IRExpr::Kind::Unary:
+    forEachUse(cast<UnaryIRExpr>(E)->operand(), Tracked, Use);
+    return;
+  case IRExpr::Kind::Binary:
+    forEachUse(cast<BinaryIRExpr>(E)->lhs(), Tracked, Use);
+    forEachUse(cast<BinaryIRExpr>(E)->rhs(), Tracked, Use);
+    return;
+  case IRExpr::Kind::Cmp:
+    forEachUse(cast<CmpExpr>(E)->lhs(), Tracked, Use);
+    forEachUse(cast<CmpExpr>(E)->rhs(), Tracked, Use);
+    return;
+  case IRExpr::Kind::Cast:
+    forEachUse(cast<CastIRExpr>(E)->operand(), Tracked, Use);
+    return;
+  }
+}
+
+/// Invoke \p Use for every tracked slot instruction \p I reads.
+template <typename Fn>
+void forEachInstrUse(const Instr &I, const std::vector<bool> &Tracked,
+                     Fn Use) {
+  switch (I.kind()) {
+  case Instr::Kind::Store: {
+    const auto *St = cast<StoreInstr>(&I);
+    if (!isa<FrameAddrExpr>(St->address()))
+      forEachUse(St->address(), Tracked, Use);
+    forEachUse(St->value(), Tracked, Use);
+    return;
+  }
+  case Instr::Kind::Copy:
+    forEachUse(cast<CopyInstr>(&I)->dst(), Tracked, Use);
+    forEachUse(cast<CopyInstr>(&I)->src(), Tracked, Use);
+    return;
+  case Instr::Kind::CondJump:
+    forEachUse(cast<CondJumpInstr>(&I)->cond(), Tracked, Use);
+    return;
+  case Instr::Kind::Call:
+    for (const IRExprPtr &A : cast<CallInstr>(&I)->args())
+      forEachUse(A.get(), Tracked, Use);
+    return;
+  case Instr::Kind::Ret:
+    if (const IRExpr *V = cast<RetInstr>(&I)->value())
+      forEachUse(V, Tracked, Use);
+    return;
+  case Instr::Kind::Jump:
+  case Instr::Kind::Abort:
+  case Instr::Kind::Halt:
+    return;
+  }
+}
+
+/// The tracked slot instruction \p I fully overwrites, if any.
+int defOf(const Instr &I, const std::vector<bool> &Tracked) {
+  if (const auto *St = dyn_cast<StoreInstr>(&I)) {
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address())) {
+      unsigned S = FA->slotIndex();
+      if (S < Tracked.size() && Tracked[S])
+        return static_cast<int>(S);
+    }
+    return -1;
+  }
+  if (const auto *C = dyn_cast<CallInstr>(&I)) {
+    if (C->destSlot()) {
+      unsigned S = *C->destSlot();
+      if (S < Tracked.size() && Tracked[S])
+        return static_cast<int>(S);
+    }
+  }
+  return -1;
+}
+
+struct LivenessProblem {
+  using Value = std::vector<bool>;
+  static constexpr bool IsForward = false;
+
+  const Cfg &G;
+  const std::vector<bool> &Tracked;
+  size_t NumSlots;
+
+  Value initial() { return Value(NumSlots, false); }
+  Value boundary() { return Value(NumSlots, false); } // nothing live at exit
+
+  bool join(Value &Into, const Value &From) {
+    bool Changed = false;
+    for (size_t I = 0; I < NumSlots; ++I)
+      if (From[I] && !Into[I]) {
+        Into[I] = true;
+        Changed = true;
+      }
+    return Changed;
+  }
+
+  Value transfer(unsigned B, const Value &LiveOut) {
+    Value Live = LiveOut;
+    const BasicBlock &BB = G.block(B);
+    const IRFunction &F = G.function();
+    for (unsigned I = BB.End; I > BB.Begin; --I) {
+      const Instr &In = *F.Instrs[I - 1];
+      int D = defOf(In, Tracked);
+      if (D >= 0)
+        Live[D] = false;
+      forEachInstrUse(In, Tracked, [&](unsigned S) { Live[S] = true; });
+    }
+    return Live;
+  }
+};
+
+/// Forward "definitely unassigned": bit set = no path assigns the slot.
+struct DefiniteAssignmentProblem {
+  using Value = std::vector<bool>;
+  static constexpr bool IsForward = true;
+
+  const Cfg &G;
+  const std::vector<bool> &Tracked;
+  size_t NumSlots;
+  unsigned NumParams;
+
+  Value initial() { return Value(NumSlots, true); } // identity for AND
+  Value boundary() {
+    Value V(NumSlots, false);
+    for (size_t S = NumParams; S < NumSlots; ++S)
+      V[S] = Tracked[S];
+    return V;
+  }
+
+  bool join(Value &Into, const Value &From) {
+    bool Changed = false;
+    for (size_t I = 0; I < NumSlots; ++I)
+      if (Into[I] && !From[I]) {
+        Into[I] = false;
+        Changed = true;
+      }
+    return Changed;
+  }
+
+  Value transfer(unsigned B, const Value &In) {
+    Value V = In;
+    const BasicBlock &BB = G.block(B);
+    const IRFunction &F = G.function();
+    for (unsigned I = BB.Begin; I < BB.End; ++I) {
+      int D = defOf(*F.Instrs[I], Tracked);
+      if (D >= 0)
+        V[D] = false;
+    }
+    return V;
+  }
+};
+
+} // namespace
+
+LivenessResult dart::runLivenessAnalysis(const Cfg &G, const TaintResult &T,
+                                         unsigned FnIndex) {
+  const IRFunction &F = G.function();
+  size_t NumSlots = F.Slots.size();
+  size_t NumInstrs = F.Instrs.size();
+
+  LivenessResult R;
+  R.Tracked.assign(NumSlots, false);
+  for (size_t S = 0; S < NumSlots; ++S) {
+    uint64_t Sz = F.Slots[S].SizeBytes;
+    R.Tracked[S] = !T.SlotEscaped[FnIndex][S] &&
+                   (Sz == 1 || Sz == 4 || Sz == 8);
+  }
+
+  R.LiveAfter.assign(NumInstrs, std::vector<bool>(NumSlots, false));
+  R.DefinitelyUnassignedBefore.assign(NumInstrs,
+                                      std::vector<bool>(NumSlots, false));
+  if (G.numBlocks() == 0)
+    return R;
+
+  LivenessProblem LP{G, R.Tracked, NumSlots};
+  auto Live = solveDataflow(G, LP);
+  DefiniteAssignmentProblem DP{G, R.Tracked, NumSlots, F.NumParams};
+  auto Def = solveDataflow(G, DP);
+
+  // Expand block fixpoints to per-instruction boundaries.
+  for (unsigned B = 0; B < G.numBlocks(); ++B) {
+    const BasicBlock &BB = G.block(B);
+    // Backward: Live.In[b] is the block's live-out set.
+    std::vector<bool> Live_ = Live.In[B];
+    for (unsigned I = BB.End; I > BB.Begin; --I) {
+      R.LiveAfter[I - 1] = Live_;
+      const Instr &In = *F.Instrs[I - 1];
+      int D = defOf(In, R.Tracked);
+      if (D >= 0)
+        Live_[D] = false;
+      forEachInstrUse(In, R.Tracked, [&](unsigned S) { Live_[S] = true; });
+    }
+    // Forward: Def.In[b] is the state before the block's first
+    // instruction; unreachable blocks keep the optimistic all-true value,
+    // which the lint pass skips via its reachability check.
+    std::vector<bool> DU = G.isReachable(B) ? Def.In[B] : DP.initial();
+    for (unsigned I = BB.Begin; I < BB.End; ++I) {
+      R.DefinitelyUnassignedBefore[I] = DU;
+      int D = defOf(*F.Instrs[I], R.Tracked);
+      if (D >= 0)
+        DU[D] = false;
+    }
+  }
+  return R;
+}

@@ -1,0 +1,50 @@
+//===- Liveness.h - Slot liveness and definite assignment -------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two classic bitvector problems over the CFG, instantiated on the
+/// generic worklist solver (Dataflow.h), both restricted to
+/// *trackable* slots — scalar frame slots whose address never escapes
+/// (see Taint.h): for those, every access in the IR is a direct
+/// width-matching Load/Store, so use/def sets are exact.
+///
+///  - Backward liveness: a Store to a slot that is dead afterwards is a
+///    dead store (reported by the lint pass for named slots).
+///  - Forward definite assignment: a Load from a slot that is
+///    *definitely unassigned* — no path from the entry assigns it — is an
+///    uninitialized read. Requiring "unassigned on all paths" keeps the
+///    lint free of false positives on merge points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_LIVENESS_H
+#define DART_ANALYSIS_LIVENESS_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Taint.h"
+
+#include <vector>
+
+namespace dart {
+
+struct LivenessResult {
+  /// Per tracked slot: is it live at the given instruction boundary?
+  /// LiveAfter[i] = live-out of instruction i (bit per slot).
+  std::vector<std::vector<bool>> LiveAfter;
+  /// DefinitelyUnassignedBefore[i][s]: no path from the entry to
+  /// instruction i assigns slot s. Parameters count as assigned.
+  std::vector<std::vector<bool>> DefinitelyUnassignedBefore;
+  /// Which slots the analyses track (scalar, non-escaped).
+  std::vector<bool> Tracked;
+};
+
+/// Run both problems for the function underlying \p G.
+LivenessResult runLivenessAnalysis(const Cfg &G, const TaintResult &T,
+                                   unsigned FnIndex);
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_LIVENESS_H

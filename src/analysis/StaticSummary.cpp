@@ -1,0 +1,75 @@
+//===- StaticSummary.cpp - Fold analyses into per-site verdicts -*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticSummary.h"
+#include "analysis/Cfg.h"
+
+#include <sstream>
+
+using namespace dart;
+
+std::string StaticSummary::toString() const {
+  std::ostringstream OS;
+  OS << "static summary: " << NumBranchSites << " branch sites, "
+     << prunedCount() << " pruned (";
+  unsigned Untainted = 0, Mono = 0, Unreach = 0;
+  for (unsigned S = 0; S < NumBranchSites; ++S) {
+    if (!SiteTainted[S])
+      ++Untainted;
+    else if (SiteUnreachable[S])
+      ++Unreach;
+    else if (SiteMonovalent[S] && SiteExact[S])
+      ++Mono;
+  }
+  OS << Untainted << " taint-free, " << Mono << " monovalent, " << Unreach
+     << " unreachable)\n";
+  return OS.str();
+}
+
+StaticSummary dart::computeStaticSummary(const IRModule &M,
+                                         const std::string &ToplevelName) {
+  StaticSummary Sum;
+  Sum.NumBranchSites = M.numBranchSites();
+  Sum.SiteTainted.assign(Sum.NumBranchSites, true);
+  Sum.SiteMonovalent.assign(Sum.NumBranchSites, false);
+  Sum.SiteExact.assign(Sum.NumBranchSites, false);
+  Sum.SiteUnreachable.assign(Sum.NumBranchSites, false);
+  Sum.PrunedSites.assign(Sum.NumBranchSites, false);
+
+  TaintResult T = runTaintAnalysis(M, ToplevelName);
+
+  for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    Cfg G = Cfg::build(F);
+    IntervalAnalysis::Config C;
+    C.ParamsExact = F.Name == ToplevelName && !T.InternallyCalled[Fn];
+    IntervalAnalysis IA(M, G, T, Fn, C);
+    IA.run();
+
+    for (unsigned I = 0; I < F.Instrs.size(); ++I) {
+      const auto *CJ = dyn_cast<CondJumpInstr>(F.Instrs[I].get());
+      if (!CJ || CJ->siteId() >= Sum.NumBranchSites)
+        continue;
+      unsigned Site = CJ->siteId();
+      Sum.SiteTainted[Site] = T.exprTainted(Fn, CJ->cond());
+      if (!IA.converged())
+        continue;
+      if (!IA.instrExecutable(I)) {
+        Sum.SiteUnreachable[Site] = true;
+        continue;
+      }
+      AbsState S = IA.stateBefore(I);
+      Interval CI = IA.evalExpr(S, CJ->cond());
+      Sum.SiteMonovalent[Site] = !CI.canBeZero() || !CI.canBeNonzero();
+      Sum.SiteExact[Site] = CI.Exact;
+    }
+  }
+
+  for (unsigned S = 0; S < Sum.NumBranchSites; ++S)
+    Sum.PrunedSites[S] = !Sum.SiteTainted[S] || Sum.SiteUnreachable[S] ||
+                         (Sum.SiteMonovalent[S] && Sum.SiteExact[S]);
+  return Sum;
+}

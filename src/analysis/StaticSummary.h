@@ -1,0 +1,77 @@
+//===- StaticSummary.h - Per-program static facts for the engines -*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The product the directed search consumes from the dataflow framework:
+/// one verdict per branch site. A site is *prunable* when the solver
+/// probe for its negated path predicate is statically known to be
+/// Unsat, so the engine can mark the branch Done at birth and never
+/// push it as a flip candidate. Three sufficient conditions:
+///
+///  1. Taint-free: the condition reads no input-reachable storage
+///     (Taint.h), so on every run it is concrete and the recorded
+///     predicate is the trivially-true placeholder — its negation is
+///     constant-false.
+///  2. Monovalent and Exact: interval analysis proves the condition has
+///     a single truth value on every execution (Interval.h), and the
+///     Exact bit certifies the proof transfers to the solver's
+///     ideal-integer theory — the negated constraint is Unsat within the
+///     input domains, exactly what the unpruned engine would discover by
+///     paying a solver call.
+///  3. Statically unreachable: the site can never execute, so its Done
+///     bit is never consulted.
+///
+/// Pruning must not change anything observable except solver traffic:
+/// path constraints are still recorded (prefixes, coverage bitmaps, and
+/// run schedules are untouched), diff-tested in tests/analysis_test.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_STATICSUMMARY_H
+#define DART_ANALYSIS_STATICSUMMARY_H
+
+#include "analysis/Interval.h"
+#include "analysis/Taint.h"
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace dart {
+
+struct StaticSummary {
+  unsigned NumBranchSites = 0;
+  /// Site may observe a symbolic input (conservative default: true).
+  std::vector<bool> SiteTainted;
+  /// Interval analysis proved a single truth value on every execution.
+  std::vector<bool> SiteMonovalent;
+  /// The monovalence proof is wrap-free (transfers to the ideal theory).
+  std::vector<bool> SiteExact;
+  /// No statically feasible path reaches the site.
+  std::vector<bool> SiteUnreachable;
+  /// The engine verdict: never push this site as a flip candidate.
+  std::vector<bool> PrunedSites;
+
+  unsigned prunedCount() const {
+    unsigned N = 0;
+    for (bool B : PrunedSites)
+      N += B;
+    return N;
+  }
+
+  std::string toString() const;
+};
+
+/// Run taint + per-function interval analysis and fold the results into
+/// per-site verdicts. \p ToplevelName seeds the taint analysis; its
+/// parameters get Exact full-domain intervals only when the generated
+/// driver is its sole caller.
+StaticSummary computeStaticSummary(const IRModule &M,
+                                   const std::string &ToplevelName);
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_STATICSUMMARY_H

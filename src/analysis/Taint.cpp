@@ -1,0 +1,256 @@
+//===- Taint.cpp - Input-taint reachability fixpoint ------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Taint.h"
+
+#include <unordered_map>
+
+using namespace dart;
+
+namespace {
+
+/// Escape/seed pass state shared with the fixpoint.
+struct Builder {
+  const IRModule &M;
+  TaintResult &R;
+  std::unordered_map<std::string, unsigned> FnIndexOf;
+
+  Builder(const IRModule &M, TaintResult &R) : M(M), R(R) {
+    for (unsigned I = 0; I < M.functions().size(); ++I)
+      FnIndexOf[M.functions()[I]->Name] = I;
+  }
+
+  /// Mark every FrameAddr/GlobalAddr occurring in \p E as escaped, except
+  /// when \p E itself is a direct address whose access width is
+  /// \p DirectWidth (the Load/Store width). DirectWidth 0 = no direct use.
+  void walkAddresses(unsigned Fn, const IRExpr *E, uint64_t DirectWidth) {
+    switch (E->kind()) {
+    case IRExpr::Kind::Const:
+      return;
+    case IRExpr::Kind::FrameAddr: {
+      unsigned S = cast<FrameAddrExpr>(E)->slotIndex();
+      const IRFunction &F = *M.functions()[Fn];
+      if (DirectWidth == 0 || S >= F.Slots.size() ||
+          F.Slots[S].SizeBytes != DirectWidth)
+        R.SlotEscaped[Fn][S] = true;
+      return;
+    }
+    case IRExpr::Kind::GlobalAddr: {
+      unsigned G = cast<GlobalAddrExpr>(E)->globalIndex();
+      if (DirectWidth == 0 || M.globals()[G].SizeBytes != DirectWidth)
+        R.GlobalEscaped[G] = true;
+      return;
+    }
+    case IRExpr::Kind::Load: {
+      const auto *L = cast<LoadExpr>(E);
+      walkAddresses(Fn, L->address(), L->valType().SizeBytes);
+      return;
+    }
+    case IRExpr::Kind::Unary:
+      walkAddresses(Fn, cast<UnaryIRExpr>(E)->operand(), 0);
+      return;
+    case IRExpr::Kind::Binary:
+      walkAddresses(Fn, cast<BinaryIRExpr>(E)->lhs(), 0);
+      walkAddresses(Fn, cast<BinaryIRExpr>(E)->rhs(), 0);
+      return;
+    case IRExpr::Kind::Cmp:
+      walkAddresses(Fn, cast<CmpExpr>(E)->lhs(), 0);
+      walkAddresses(Fn, cast<CmpExpr>(E)->rhs(), 0);
+      return;
+    case IRExpr::Kind::Cast:
+      walkAddresses(Fn, cast<CastIRExpr>(E)->operand(), 0);
+      return;
+    }
+  }
+
+  void escapePass() {
+    for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+      const IRFunction &F = *M.functions()[Fn];
+      for (const InstrPtr &IP : F.Instrs) {
+        const Instr &I = *IP;
+        switch (I.kind()) {
+        case Instr::Kind::Store: {
+          const auto *St = cast<StoreInstr>(&I);
+          walkAddresses(Fn, St->address(), St->valType().SizeBytes);
+          walkAddresses(Fn, St->value(), 0);
+          if (const auto *GA = dyn_cast<GlobalAddrExpr>(St->address()))
+            R.GlobalStored[GA->globalIndex()] = true;
+          break;
+        }
+        case Instr::Kind::Copy: {
+          // Bytewise copies sidestep the scalar Load/Store discipline the
+          // slot-precise analyses rely on: both operands escape.
+          const auto *C = cast<CopyInstr>(&I);
+          walkAddresses(Fn, C->dst(), 0);
+          walkAddresses(Fn, C->src(), 0);
+          if (const auto *GA = dyn_cast<GlobalAddrExpr>(C->dst()))
+            R.GlobalStored[GA->globalIndex()] = true;
+          break;
+        }
+        case Instr::Kind::CondJump:
+          walkAddresses(Fn, cast<CondJumpInstr>(&I)->cond(), 0);
+          break;
+        case Instr::Kind::Call: {
+          const auto *C = cast<CallInstr>(&I);
+          for (const IRExprPtr &A : C->args())
+            walkAddresses(Fn, A.get(), 0);
+          auto It = FnIndexOf.find(C->callee());
+          if (It != FnIndexOf.end())
+            R.InternallyCalled[It->second] = true;
+          break;
+        }
+        case Instr::Kind::Ret:
+          if (const IRExpr *V = cast<RetInstr>(&I)->value())
+            walkAddresses(Fn, V, 0);
+          break;
+        case Instr::Kind::Jump:
+        case Instr::Kind::Abort:
+        case Instr::Kind::Halt:
+          break;
+        }
+      }
+    }
+  }
+
+  /// One propagation sweep; returns true if any taint bit was added.
+  bool propagate() {
+    bool Changed = false;
+    auto TaintSlot = [&](unsigned Fn, unsigned S) {
+      if (S < R.SlotTainted[Fn].size() && !R.SlotTainted[Fn][S]) {
+        R.SlotTainted[Fn][S] = true;
+        Changed = true;
+      }
+    };
+    for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+      const IRFunction &F = *M.functions()[Fn];
+      for (const InstrPtr &IP : F.Instrs) {
+        const Instr &I = *IP;
+        switch (I.kind()) {
+        case Instr::Kind::Store: {
+          const auto *St = cast<StoreInstr>(&I);
+          if (!R.exprTainted(Fn, St->value()))
+            break;
+          if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address()))
+            TaintSlot(Fn, FA->slotIndex());
+          else if (const auto *GA = dyn_cast<GlobalAddrExpr>(St->address())) {
+            if (!R.GlobalTainted[GA->globalIndex()]) {
+              R.GlobalTainted[GA->globalIndex()] = true;
+              Changed = true;
+            }
+          }
+          // Computed-address stores only reach escaped storage, which is
+          // already permanently tainted.
+          break;
+        }
+        case Instr::Kind::Call: {
+          const auto *C = cast<CallInstr>(&I);
+          auto It = FnIndexOf.find(C->callee());
+          if (It != FnIndexOf.end()) {
+            unsigned Callee = It->second;
+            const IRFunction &CF = *M.functions()[Callee];
+            for (unsigned A = 0;
+                 A < C->args().size() && A < CF.NumParams; ++A)
+              if (R.exprTainted(Fn, C->args()[A].get()))
+                TaintSlot(Callee, A);
+            if (C->destSlot() && R.RetTainted[Callee])
+              TaintSlot(Fn, *C->destSlot());
+          } else if (C->destSlot()) {
+            // Native or external callee: externals return fresh inputs
+            // (§3.1), natives are opaque.
+            TaintSlot(Fn, *C->destSlot());
+          }
+          break;
+        }
+        case Instr::Kind::Ret: {
+          const auto *Ret = cast<RetInstr>(&I);
+          if (Ret->value() && !R.RetTainted[Fn] &&
+              R.exprTainted(Fn, Ret->value())) {
+            R.RetTainted[Fn] = true;
+            Changed = true;
+          }
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+bool TaintResult::exprTainted(unsigned FnIndex, const IRExpr *E) const {
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+  case IRExpr::Kind::FrameAddr:
+  case IRExpr::Kind::GlobalAddr:
+    return false; // addresses are concrete
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address())) {
+      unsigned S = FA->slotIndex();
+      return S >= SlotTainted[FnIndex].size() || SlotTainted[FnIndex][S];
+    }
+    if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address()))
+      return GlobalTainted[GA->globalIndex()];
+    return true; // computed address: arrays, pointers, heap
+  }
+  case IRExpr::Kind::Unary:
+    return exprTainted(FnIndex, cast<UnaryIRExpr>(E)->operand());
+  case IRExpr::Kind::Binary:
+    return exprTainted(FnIndex, cast<BinaryIRExpr>(E)->lhs()) ||
+           exprTainted(FnIndex, cast<BinaryIRExpr>(E)->rhs());
+  case IRExpr::Kind::Cmp:
+    return exprTainted(FnIndex, cast<CmpExpr>(E)->lhs()) ||
+           exprTainted(FnIndex, cast<CmpExpr>(E)->rhs());
+  case IRExpr::Kind::Cast:
+    return exprTainted(FnIndex, cast<CastIRExpr>(E)->operand());
+  }
+  return true;
+}
+
+TaintResult dart::runTaintAnalysis(const IRModule &M,
+                                   const std::string &ToplevelName) {
+  TaintResult R;
+  unsigned NumFns = static_cast<unsigned>(M.functions().size());
+  unsigned NumGlobals = static_cast<unsigned>(M.globals().size());
+  R.SlotTainted.resize(NumFns);
+  R.SlotEscaped.resize(NumFns);
+  for (unsigned I = 0; I < NumFns; ++I) {
+    R.SlotTainted[I].assign(M.functions()[I]->Slots.size(), false);
+    R.SlotEscaped[I].assign(M.functions()[I]->Slots.size(), false);
+  }
+  R.RetTainted.assign(NumFns, false);
+  R.GlobalTainted.assign(NumGlobals, false);
+  R.GlobalStored.assign(NumGlobals, false);
+  R.GlobalEscaped.assign(NumGlobals, false);
+  R.InternallyCalled.assign(NumFns, false);
+
+  Builder B(M, R);
+  B.escapePass();
+
+  // Seeds: the driver binds fresh inputs to the toplevel's parameters and
+  // to every extern variable each run (§3.1); escaped storage may be
+  // handed a symbolic value through any alias.
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    if (F.Name == ToplevelName)
+      for (unsigned P = 0; P < F.NumParams && P < F.Slots.size(); ++P)
+        R.SlotTainted[Fn][P] = true;
+    for (unsigned S = 0; S < F.Slots.size(); ++S)
+      if (R.SlotEscaped[Fn][S])
+        R.SlotTainted[Fn][S] = true;
+  }
+  for (unsigned G = 0; G < NumGlobals; ++G)
+    if (M.globals()[G].IsExternInput || R.GlobalEscaped[G])
+      R.GlobalTainted[G] = true;
+
+  while (B.propagate()) {
+  }
+  return R;
+}

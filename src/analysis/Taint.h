@@ -1,0 +1,80 @@
+//===- Taint.h - Input-taint reachability over the IR -----------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Which storage locations — and hence which branch conditions — can
+/// transitively depend on a DART input? The paper's static interface
+/// extraction (§3.1) decides *where* symbolic values enter the program
+/// (toplevel parameters, extern variables, external-function returns);
+/// this analysis extends it with *where they can flow*, as a
+/// flow-insensitive whole-program fixpoint over frame slots, globals, and
+/// call edges.
+///
+/// The concolic engine only ever attaches a symbolic expression to memory
+/// it has bound an input to or copied one into, so any branch whose
+/// condition reads exclusively untainted storage is concrete on every run:
+/// its recorded path predicate is the trivially-true placeholder and the
+/// solver probe for its negation is a guaranteed Unsat. Over-approximation
+/// is the safety requirement — a location is marked tainted unless no
+/// execution can make it symbolic:
+///
+///  - Slots whose address escapes (a FrameAddr used as anything other than
+///    the direct, width-matching address of a Load/Store, including
+///    address-of arguments and struct Copy operands) are tainted: a callee
+///    or aliased pointer may write an input into them.
+///  - Loads from computed addresses (arrays, pointers, heap) are tainted.
+///  - Globals behave likewise; an `extern` global is a seed input.
+///  - Call edges propagate argument taint into callee parameter slots and
+///    callee return taint into the destination slot; external and native
+///    calls taint their destination unconditionally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_TAINT_H
+#define DART_ANALYSIS_TAINT_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace dart {
+
+struct TaintResult {
+  /// Per function (module index), per frame slot: can the slot hold a
+  /// symbolic value on some run?
+  std::vector<std::vector<bool>> SlotTainted;
+  /// Per function, per slot: does the slot's address escape direct
+  /// width-matching Load/Store use? Escaped slots are always tainted and
+  /// are skipped by the slot-precise interval and liveness analyses.
+  std::vector<std::vector<bool>> SlotEscaped;
+  /// Per function: can its return value be symbolic?
+  std::vector<bool> RetTainted;
+  /// Per global: can the global hold a symbolic value? (Extern-input
+  /// globals are seeds; escaped or stored-to globals can be written one.)
+  std::vector<bool> GlobalTainted;
+  /// Per global: is it ever the direct target of a Store/Copy?
+  std::vector<bool> GlobalStored;
+  /// Per global: does its address escape into computed addressing (array
+  /// indexing, pointer arithmetic, address-of arguments)?
+  std::vector<bool> GlobalEscaped;
+  /// Per function: is it called from inside the module? (The toplevel's
+  /// parameters get full-domain *exact* intervals only when the driver is
+  /// the sole caller.)
+  std::vector<bool> InternallyCalled;
+
+  /// Can evaluating \p E in function \p FnIndex observe a symbolic value?
+  bool exprTainted(unsigned FnIndex, const IRExpr *E) const;
+};
+
+/// Run the whole-program taint fixpoint. \p ToplevelName's parameters are
+/// input seeds (the generated driver binds them to fresh inputs each run).
+TaintResult runTaintAnalysis(const IRModule &M,
+                             const std::string &ToplevelName);
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_TAINT_H

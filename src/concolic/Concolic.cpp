@@ -337,6 +337,11 @@ bool ConcolicRun::onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
     // Optimization (off by default): a branch with no flippable constraint
     // may be born `done`, sparing the solver the doomed negation attempts.
     R.Done = Options.MarkConcreteBranchesDone && !Flippable;
+    // Static pruning: sites whose negation the dataflow framework proved
+    // Unsat (taint-free or exactly-monovalent) are likewise born done.
+    if (Options.PrunedSites && Branch.siteId() < Options.PrunedSites->size() &&
+        (*Options.PrunedSites)[Branch.siteId()])
+      R.Done = true;
     Stack.push_back(R);
   }
   ++K;

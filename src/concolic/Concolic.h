@@ -59,6 +59,12 @@ struct ConcolicOptions {
   /// Branch sites in the program under test (IRModule::numBranchSites);
   /// sizes the coverage bitmap up front. 0 = grow on demand.
   unsigned NumBranchSites = 0;
+  /// Per-site static-analysis verdicts (StaticSummary::PrunedSites, not
+  /// owned, must outlive every run): a site marked true has a statically
+  /// Unsat negation, so its records are born `done` and the search never
+  /// pays a solver call to rediscover that. Constraints are still
+  /// recorded — prefixes, coverage, and run schedules are untouched.
+  const std::vector<bool> *PrunedSites = nullptr;
 };
 
 /// Fig. 1's evaluate_symbolic. Stateless w.r.t. the run; reads S.

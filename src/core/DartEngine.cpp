@@ -6,7 +6,12 @@
 
 #include "core/DartEngine.h"
 
+#include "analysis/Interval.h"
+#include "analysis/StaticSummary.h"
+
+#include <algorithm>
 #include <cassert>
+#include <optional>
 #include <utility>
 
 using namespace dart;
@@ -32,6 +37,21 @@ public:
 };
 
 } // namespace
+
+VarDomain dart::staticInputDomain(const InputManager &Inputs, InputId Id) {
+  VarDomain D = Inputs.domainOf(Id);
+  if (Id < Inputs.registry().size()) {
+    // Type-derived interval fact: the canonical-value range of the input's
+    // ValType. Always a superset of the dynamic domain, so intersecting is
+    // verdict- and model-neutral — it seeds the solver with the bound
+    // without perturbing the search.
+    int64_t Lo, Hi;
+    vtRange(Inputs.registry()[Id].VT, Lo, Hi);
+    D.Min = std::max(D.Min, Lo);
+    D.Max = std::min(D.Max, Hi);
+  }
+  return D;
+}
 
 std::string BugInfo::toString() const {
   std::string Out = Error.toString() + " (run " +
@@ -104,6 +124,14 @@ DartReport DartEngine::run() {
   LinearSolver Solver(Options.Solver);
   CompletenessFlags GlobalFlags;
   Options.Concolic.NumBranchSites = Report.BranchSitesTotal;
+  // Static dataflow pass (taint + intervals): sites with statically Unsat
+  // negations are born done in every run of the session. The summary must
+  // outlive all runs — ConcolicRun copies the options but not the bitmap.
+  std::optional<StaticSummary> Summary;
+  if (!Options.RandomOnly && Options.StaticPrune) {
+    Summary = computeStaticSummary(*Program.Module, Options.ToplevelName);
+    Options.Concolic.PrunedSites = &Summary->PrunedSites;
+  }
   std::vector<bool> Covered(2 * size_t(Report.BranchSitesTotal), false);
   unsigned CoveredCount = 0;
   auto MergeCoverage = [&](const std::vector<bool> &Bits) {
@@ -215,7 +243,9 @@ DartReport DartEngine::run() {
 
       // solve_path_constraint (Fig. 5).
       PathData Path = Hooks->takePath();
-      auto DomainOf = [&Inputs](InputId Id) { return Inputs.domainOf(Id); };
+      auto DomainOf = [&Inputs, Static = Options.StaticPrune](InputId Id) {
+        return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
+      };
       SolveOutcome Outcome = solvePathConstraint(
           Path, Arena, Solver, DomainOf, Inputs.im(), Options.Strategy, R);
       Report.SolverCalls += Outcome.SolverCalls;

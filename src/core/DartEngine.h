@@ -48,6 +48,13 @@ struct DartOptions {
   /// (0 = every flippable branch, the only setting that preserves
   /// exhaustive exploration and hence Theorem 1(b) claims).
   unsigned MaxSpeculativePerRun = 0;
+  /// Consult the static dataflow summary (src/analysis) before the search:
+  /// branch sites whose negated path constraint is statically Unsat are
+  /// born done and never reach the solver, and type-derived interval facts
+  /// seed the solver's variable bounds. Observable behaviour (bugs, models,
+  /// coverage) is identical with the switch on or off — only solver
+  /// traffic changes; off = ablation baseline.
+  bool StaticPrune = true;
   SearchStrategy Strategy = SearchStrategy::DepthFirst;
   ConcolicOptions Concolic;
   SolverOptions Solver;
@@ -102,6 +109,12 @@ struct DartReport {
 
   std::string toString() const;
 };
+
+/// The solver domain of input \p Id under static bounds seeding: the
+/// dynamic domain intersected with the canonical-value range of the
+/// input's ValType (a type-derived interval fact; see DartOptions::
+/// StaticPrune). Shared by both engines' DomainOf callbacks.
+VarDomain staticInputDomain(const InputManager &Inputs, InputId Id);
 
 /// Executes one instrumented run: DartOptions::Depth calls of the toplevel
 /// over driver-prepared arguments. Shared by the sequential engine and the

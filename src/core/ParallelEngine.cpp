@@ -6,6 +6,8 @@
 
 #include "core/ParallelEngine.h"
 
+#include "analysis/StaticSummary.h"
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
@@ -304,6 +306,14 @@ DartReport ParallelDartEngine::runDirected() {
   DartReport Report;
   Report.BranchSitesTotal = Program.Module->numBranchSites();
 
+  // Static dataflow pass, computed once before the workers start: every
+  // worker's runs share the verdict bitmap (read-only, outlives the join).
+  std::optional<StaticSummary> Summary;
+  if (Options.StaticPrune) {
+    Summary = computeStaticSummary(*Program.Module, Options.ToplevelName);
+    Options.Concolic.PrunedSites = &Summary->PrunedSites;
+  }
+
   SharedState Shared(Report.BranchSitesTotal);
   SolverQueryCache Cache;
   SessionUnsatCache SessCache;
@@ -402,7 +412,9 @@ DartReport ParallelDartEngine::runDirected() {
     // Speculative expansion: solve the negation of every not-done branch
     // of this path and push all satisfiable flips.
     PathData Path = Hooks->takePath();
-    auto DomainOf = [&Inputs](InputId Id) { return Inputs.domainOf(Id); };
+    auto DomainOf = [&Inputs, Static = Options.StaticPrune](InputId Id) {
+      return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
+    };
     CandidateSet Set =
         solveCandidates(Path, Arena, Solver, DomainOf, Inputs.im(),
                         Options.Strategy, R, Options.MaxSpeculativePerRun);

@@ -1,0 +1,629 @@
+//===- analysis_test.cpp - IR dataflow framework and static pruning -------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The static layer under the directed search: CFG construction and
+// dominators, the generic worklist solver's lattice contract, the
+// taint/interval/liveness analyses, the per-site pruning summary, the lint
+// pass's exact findings, and — most importantly — the end-to-end guarantee
+// that StaticPrune changes *only* solver traffic: bug sets, models,
+// coverage bitmaps, and run schedules are identical with the switch on and
+// off, at --jobs 1 and --jobs 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
+#include "analysis/Interval.h"
+#include "analysis/Lint.h"
+#include "analysis/Liveness.h"
+#include "analysis/StaticSummary.h"
+#include "analysis/Taint.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace dart;
+using namespace dart::test;
+
+namespace {
+
+const IRFunction *findFn(const Dart &D, const std::string &Name) {
+  const IRFunction *F = D.module().findFunction(Name);
+  EXPECT_NE(F, nullptr) << Name;
+  return F;
+}
+
+/// The CondJump instructions of \p F in instruction order.
+std::vector<const CondJumpInstr *> condJumps(const IRFunction &F) {
+  std::vector<const CondJumpInstr *> Out;
+  for (const auto &I : F.Instrs)
+    if (const auto *CJ = dyn_cast<CondJumpInstr>(I.get()))
+      Out.push_back(CJ);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// CFG and dominators
+//===----------------------------------------------------------------------===//
+
+TEST(Cfg, DiamondStructureAndDominators) {
+  auto D = compile(R"(
+    int f(int x) {
+      int r;
+      if (x > 0) {
+        r = 1;
+      } else {
+        r = 2;
+      }
+      return r;
+    }
+  )");
+  const IRFunction *F = findFn(*D, "f");
+  Cfg G = Cfg::build(*F);
+  ASSERT_GE(G.numBlocks(), 4u);
+  EXPECT_EQ(G.entry(), 0u);
+  EXPECT_EQ(G.rpo().front(), 0u);
+
+  auto CJs = condJumps(*F);
+  ASSERT_EQ(CJs.size(), 1u);
+  unsigned Then = G.blockOf(CJs[0]->trueTarget());
+  unsigned Else = G.blockOf(CJs[0]->falseTarget());
+  EXPECT_NE(Then, Else);
+
+  // Find the join block: the one holding the user `return r`. (The
+  // synthesized trailing ret also carries a location, so filter by
+  // reachability, not by line.)
+  unsigned Join = Cfg::kUnset;
+  for (unsigned I = 0; I < F->Instrs.size(); ++I)
+    if (isa<RetInstr>(F->Instrs[I].get()) && G.isReachable(G.blockOf(I)))
+      Join = G.blockOf(I);
+  ASSERT_NE(Join, Cfg::kUnset);
+
+  for (unsigned B : G.rpo()) {
+    EXPECT_TRUE(G.dominates(0, B)) << "entry dominates " << B;
+    EXPECT_TRUE(G.dominates(B, B)) << "reflexive at " << B;
+  }
+  EXPECT_TRUE(G.isReachable(Then));
+  EXPECT_TRUE(G.isReachable(Else));
+  EXPECT_FALSE(G.dominates(Then, Else));
+  EXPECT_FALSE(G.dominates(Then, Join));
+  EXPECT_FALSE(G.dominates(Else, Join));
+  // Both arms' predecessors trace back to a common dominator on the
+  // entry side of the diamond.
+  EXPECT_TRUE(G.dominates(G.idom(Join), Then));
+  EXPECT_TRUE(G.dominates(G.idom(Join), Else));
+}
+
+TEST(Cfg, SyntheticTailAfterTotalReturnsIsUnreachable) {
+  auto D = compile(R"(
+    int g2(int x) {
+      if (x > 0)
+        return 1;
+      return 2;
+    }
+  )");
+  const IRFunction *F = findFn(*D, "g2");
+  Cfg G = Cfg::build(*F);
+  // Lowering appends a synthetic `ret 0` for the fall-off-the-end case;
+  // with every path returning explicitly it has no predecessors.
+  unsigned Tail = G.blockOf(unsigned(F->Instrs.size() - 1));
+  EXPECT_FALSE(G.isReachable(Tail));
+  EXPECT_TRUE(G.block(Tail).Preds.empty());
+}
+
+TEST(Cfg, LoopHasBackEdgeAndHeadDominatesBody) {
+  auto D = compile(R"(
+    int loop(int n) {
+      int i;
+      int s;
+      i = 0;
+      s = 0;
+      while (i < n) {
+        s = s + 2;
+        i = i + 1;
+      }
+      return s;
+    }
+  )");
+  const IRFunction *F = findFn(*D, "loop");
+  Cfg G = Cfg::build(*F);
+  auto CJs = condJumps(*F);
+  ASSERT_EQ(CJs.size(), 1u);
+  unsigned Head = Cfg::kUnset;
+  for (unsigned I = 0; I < F->Instrs.size(); ++I)
+    if (F->Instrs[I].get() == CJs[0])
+      Head = G.blockOf(I);
+  unsigned Body = G.blockOf(CJs[0]->trueTarget());
+  EXPECT_TRUE(G.dominates(Head, Body));
+  // The body flows back: some predecessor of the head is dominated by it.
+  bool BackEdge = false;
+  for (unsigned P : G.block(Head).Preds)
+    BackEdge |= G.dominates(Head, P);
+  EXPECT_TRUE(BackEdge);
+}
+
+//===----------------------------------------------------------------------===//
+// Generic solver: lattice contract
+//===----------------------------------------------------------------------===//
+
+/// A forward gen/kill bitmask problem (join = union). Small enough to
+/// verify the solver's fixpoint equations by hand.
+struct BitProblem {
+  using Value = unsigned;
+  static constexpr bool IsForward = true;
+  std::vector<unsigned> Gen, Kill;
+
+  Value initial() { return 0u; }
+  Value boundary() { return 1u; }
+  bool join(Value &Into, const Value &From) {
+    Value Old = Into;
+    Into |= From;
+    return Into != Old;
+  }
+  Value transfer(unsigned B, const Value &In) {
+    return (In | Gen[B]) & ~Kill[B];
+  }
+};
+
+TEST(Dataflow, FixpointSatisfiesTheEquationsAndIsIdempotent) {
+  auto D = compile(R"(
+    int loop(int n) {
+      int i;
+      i = 0;
+      while (i < n)
+        i = i + 1;
+      return i;
+    }
+  )");
+  const IRFunction *F = findFn(*D, "loop");
+  Cfg G = Cfg::build(*F);
+  BitProblem P;
+  P.Gen.assign(G.numBlocks(), 0);
+  P.Kill.assign(G.numBlocks(), 0);
+  for (unsigned B = 0; B < G.numBlocks(); ++B) {
+    P.Gen[B] = 1u << (1 + B % 5);
+    P.Kill[B] = 1u << (1 + (B + 2) % 5);
+  }
+  auto R = solveDataflow(G, P);
+  EXPECT_GT(R.Iterations, 0u);
+  // Termination with slack: a 6-bit union lattice over a handful of
+  // blocks must settle in a few sweeps.
+  EXPECT_LT(R.Iterations, 8 * G.numBlocks());
+  for (unsigned B : G.rpo()) {
+    // Out = transfer(In): re-running the transfer changes nothing.
+    EXPECT_EQ(R.Out[B], P.transfer(B, R.In[B])) << "block " << B;
+    // In = boundary/initial joined with every reachable predecessor.
+    unsigned In = B == G.entry() ? P.boundary() : P.initial();
+    for (unsigned Pred : G.block(B).Preds)
+      if (G.isReachable(Pred))
+        In |= R.Out[Pred];
+    EXPECT_EQ(R.In[B], In) << "block " << B;
+  }
+}
+
+TEST(Dataflow, GenKillTransferIsMonotone) {
+  BitProblem P;
+  P.Gen = {0x5u, 0x9u, 0x0u};
+  P.Kill = {0x2u, 0x4u, 0x1fu};
+  // Every subset pair V <= W must map to transfer(V) <= transfer(W).
+  for (unsigned B = 0; B < 3; ++B)
+    for (unsigned W = 0; W < 32; ++W)
+      for (unsigned V = W;; V = (V - 1) & W) {
+        unsigned TV = P.transfer(B, V), TW = P.transfer(B, W);
+        EXPECT_EQ(TV & TW, TV) << "block " << B << " V=" << V << " W=" << W;
+        if (V == 0)
+          break;
+      }
+}
+
+//===----------------------------------------------------------------------===//
+// Interval, taint, liveness
+//===----------------------------------------------------------------------===//
+
+TEST(Interval, LoopWidensAndStaysSound) {
+  auto D = compile(R"(
+    int loop(int n) {
+      int i;
+      int s;
+      i = 0;
+      s = 0;
+      while (i < n) {
+        s = s + 2;
+        i = i + 1;
+      }
+      return s;
+    }
+  )");
+  const IRFunction *F = findFn(*D, "loop");
+  Cfg G = Cfg::build(*F);
+  TaintResult T = runTaintAnalysis(D->module(), "loop");
+  unsigned FnIndex = 0;
+  for (unsigned I = 0; I < D->module().functions().size(); ++I)
+    if (D->module().functions()[I].get() == F)
+      FnIndex = I;
+  IntervalAnalysis IA(D->module(), G, T, FnIndex, IntervalAnalysis::Config());
+  IA.run();
+  EXPECT_TRUE(IA.converged());
+  for (unsigned B : G.rpo())
+    EXPECT_TRUE(IA.blockExecutable(B)) << "block " << B;
+
+  // The interval of `s` where it is returned must cover every concrete
+  // value the loop can produce (0, 2, 4, ...): widening may lose
+  // precision, never soundness.
+  unsigned SlotS = ~0u;
+  for (unsigned S = 0; S < F->Slots.size(); ++S)
+    if (F->Slots[S].Name == "s")
+      SlotS = S;
+  ASSERT_NE(SlotS, ~0u);
+  for (unsigned I = 0; I < F->Instrs.size(); ++I) {
+    const auto *Ret = dyn_cast<RetInstr>(F->Instrs[I].get());
+    if (!Ret || !IA.instrExecutable(I))
+      continue;
+    AbsState S = IA.stateBefore(I);
+    if (S.Slots[SlotS]) {
+      const Interval &SI = S.Slots[SlotS]->I;
+      EXPECT_TRUE(SI.contains(0));
+      EXPECT_TRUE(SI.contains(6)); // n = 3
+    }
+  }
+}
+
+TEST(Taint, ConfigReadsStayUntaintedInputFlowsPropagate) {
+  auto D = compile(R"(
+    int cfgv = 5;
+    int taint_demo(int x) {
+      int a;
+      int b;
+      a = x + 1;
+      b = cfgv + 1;
+      if (a > 10)
+        b = b + 0;
+      if (b > 10)
+        a = a + 1;
+      return a + b;
+    }
+  )");
+  StaticSummary Sum = computeStaticSummary(D->module(), "taint_demo");
+  ASSERT_EQ(Sum.NumBranchSites, 2u);
+  EXPECT_TRUE(Sum.SiteTainted[0]) << "a > 10 reads the input";
+  EXPECT_FALSE(Sum.SiteTainted[1]) << "b only ever holds config data";
+  EXPECT_TRUE(Sum.PrunedSites[1]);
+  EXPECT_FALSE(Sum.PrunedSites[0]);
+}
+
+TEST(Liveness, LoopVariableIsLiveAroundTheBackEdge) {
+  auto D = compile(R"(
+    int loop(int n) {
+      int i;
+      int s;
+      i = 0;
+      s = 0;
+      while (i < n) {
+        s = s + 2;
+        i = i + 1;
+      }
+      return s;
+    }
+  )");
+  const IRFunction *F = findFn(*D, "loop");
+  Cfg G = Cfg::build(*F);
+  TaintResult T = runTaintAnalysis(D->module(), "");
+  LivenessResult LV = runLivenessAnalysis(G, T, 0);
+  unsigned SlotS = ~0u, SlotI = ~0u;
+  for (unsigned S = 0; S < F->Slots.size(); ++S) {
+    if (F->Slots[S].Name == "s")
+      SlotS = S;
+    if (F->Slots[S].Name == "i")
+      SlotI = S;
+  }
+  ASSERT_NE(SlotS, ~0u);
+  ASSERT_NE(SlotI, ~0u);
+  EXPECT_TRUE(LV.Tracked[SlotS]);
+  EXPECT_TRUE(LV.Tracked[SlotI]);
+  for (unsigned I = 0; I < F->Instrs.size(); ++I) {
+    const Instr &In = *F->Instrs[I];
+    // Both stores in the loop body feed later reads: neither is dead, and
+    // nothing in this function reads an unassigned slot.
+    if (const auto *St = dyn_cast<StoreInstr>(&In)) {
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address())) {
+        if (FA->slotIndex() == SlotS || FA->slotIndex() == SlotI) {
+          EXPECT_TRUE(LV.LiveAfter[I][FA->slotIndex()]) << "instr " << I;
+        }
+      }
+    }
+    if (isa<RetInstr>(&In) && G.isReachable(G.blockOf(I))) {
+      EXPECT_FALSE(LV.DefinitelyUnassignedBefore[I][SlotS]);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Static summary: the three pruning conditions
+//===----------------------------------------------------------------------===//
+
+TEST(StaticSummary, MonovalentExactNarrowComparisonIsPruned) {
+  auto D = compile(R"(
+    int charray(char c, int y) {
+      if (c < 300) {
+        if (y == 5)
+          return 1;
+      }
+      return 0;
+    }
+  )");
+  StaticSummary Sum = computeStaticSummary(D->module(), "charray");
+  ASSERT_EQ(Sum.NumBranchSites, 2u);
+  EXPECT_TRUE(Sum.SiteTainted[0]);
+  EXPECT_TRUE(Sum.SiteMonovalent[0]) << "char is always < 300";
+  EXPECT_TRUE(Sum.SiteExact[0]) << "comparison of in-range values";
+  EXPECT_TRUE(Sum.PrunedSites[0]);
+  EXPECT_FALSE(Sum.PrunedSites[1]) << "y == 5 goes both ways";
+  EXPECT_EQ(Sum.prunedCount(), 1u);
+}
+
+TEST(StaticSummary, SitesInsideDeadRegionsArePruned) {
+  auto D = compile(R"(
+    int k = 1;
+    int unreach(int x) {
+      if (k == 2) {
+        if (x == 3)
+          return 1;
+      }
+      return 0;
+    }
+  )");
+  StaticSummary Sum = computeStaticSummary(D->module(), "unreach");
+  ASSERT_EQ(Sum.NumBranchSites, 2u);
+  EXPECT_FALSE(Sum.SiteTainted[0]) << "k is config, not input";
+  EXPECT_TRUE(Sum.PrunedSites[0]);
+  EXPECT_TRUE(Sum.SiteUnreachable[1]) << "guarded by k == 2";
+  EXPECT_TRUE(Sum.PrunedSites[1]);
+}
+
+TEST(StaticSummary, FullyInputDrivenProgramPrunesNothing) {
+  const char *IntroExample = R"(
+    int f(int x) { return 2 * x; }
+    int h(int x, int y) {
+      if (x != y)
+        if (f(x) == x + 10)
+          abort();
+      return 0;
+    }
+  )";
+  auto D = compile(IntroExample);
+  StaticSummary Sum = computeStaticSummary(D->module(), "h");
+  EXPECT_EQ(Sum.prunedCount(), 0u);
+  for (unsigned S = 0; S < Sum.NumBranchSites; ++S)
+    EXPECT_TRUE(Sum.SiteTainted[S]) << "site " << S;
+}
+
+//===----------------------------------------------------------------------===//
+// Lint
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, SeededDefectsAreFoundAtTheirExactLocations) {
+  // Keep in sync with examples/minic/lint_seeded.c (same body, shifted
+  // line numbers).
+  const char *Seeded = "int mode = 3;\n"             // 1
+                       "int seeded(int x) {\n"       // 2
+                       "  int unread;\n"             // 3
+                       "  int ghost;\n"              // 4
+                       "  int y;\n"                  // 5
+                       "  unread = x + 1;\n"         // 6
+                       "  y = x / (mode - 3);\n"     // 7
+                       "  if (mode == 7) {\n"        // 8
+                       "    y = y + 1;\n"            // 9
+                       "  }\n"                       // 10
+                       "  ghost = ghost + y;\n"      // 11
+                       "  assert(mode > 5);\n"       // 12
+                       "  return y + ghost;\n"       // 13
+                       "}\n";
+  auto D = compile(Seeded);
+  DiagnosticsEngine Diags;
+  unsigned N = runLintPass(D->module(), Diags);
+  std::vector<std::pair<unsigned, std::string>> Expected = {
+      {6, "value stored to 'unread' is never read"},
+      {7, "division by zero: divisor is always 0"},
+      {8 + 1, "unreachable code in 'seeded'"},
+      {11, "'ghost' is read before it is ever assigned"},
+      {12, "assertion always fails"},
+      {13, "unreachable code in 'seeded'"},
+  };
+  ASSERT_EQ(N, Expected.size()) << Diags.toString();
+  for (size_t I = 0; I < Expected.size(); ++I) {
+    EXPECT_EQ(Diags.diagnostics()[I].Loc.Line, Expected[I].first)
+        << Diags.diagnostics()[I].toString();
+    EXPECT_EQ(Diags.diagnostics()[I].Message, Expected[I].second);
+  }
+}
+
+TEST(Lint, NoFalsePositivesOnCleanProgramsAndWorkloads) {
+  std::vector<std::pair<const char *, std::string>> Clean = {
+      {"intro", R"(
+        int f(int x) { return 2 * x; }
+        int h(int x, int y) {
+          if (x != y)
+            if (f(x) == x + 10)
+              abort();
+          return 0;
+        }
+      )"},
+      {"wrap_sums", R"(
+        int g(int a, int b, int c) {
+          if (a + b > 100)
+            if (b + c == 77)
+              if (a != c)
+                abort();
+          return a + b + c;
+        }
+      )"},
+      {"ac_controller", workloads::acControllerSource()},
+      {"needham_schroeder", workloads::needhamSchroederSource({})},
+      {"minisip", workloads::miniSipSource()},
+  };
+  for (const auto &[Name, Source] : Clean) {
+    auto D = compile(Source);
+    DiagnosticsEngine Diags;
+    EXPECT_EQ(runLintPass(D->module(), Diags), 0u)
+        << Name << ":\n"
+        << Diags.toString();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// End to end: StaticPrune only removes solver traffic
+//===----------------------------------------------------------------------===//
+
+const char *FiltersSource = R"(
+  int version = 2;
+  int debug = 0;
+  int window = 16;
+  int narrow(char tag) {
+    if (tag < 300) {
+      return tag + 1;
+    }
+    return 0;
+  }
+  int route(char tag, int len) {
+    int acc;
+    acc = 0;
+    if (version != 2) {
+      acc = -1;
+    }
+    if (debug == 1) {
+      acc = acc - 1;
+    }
+    if (window >= 8) {
+      acc = acc + 1;
+    }
+    if (tag < 300) {
+      acc = acc + narrow(tag);
+    }
+    if (len == 42) {
+      acc = acc + 2;
+    }
+    if (len > 100) {
+      if (tag == 7) {
+        acc = acc + 3;
+      }
+    }
+    return acc;
+  }
+)";
+
+struct Scenario {
+  const char *Name;
+  std::string Source;
+  std::string Toplevel;
+  unsigned Depth;
+  uint64_t Seed;
+  unsigned MaxRuns;
+};
+
+std::vector<Scenario> scenarios() {
+  const char *IntroExample = R"(
+    int f(int x) { return 2 * x; }
+    int h(int x, int y) {
+      if (x != y)
+        if (f(x) == x + 10)
+          abort();
+      return 0;
+    }
+  )";
+  workloads::NsConfig Ns;
+  Ns.DolevYao = false;
+  Ns.Fix = workloads::LoweFix::None;
+  return {
+      {"filters", FiltersSource, "route", 1, 2005, 500},
+      {"intro", IntroExample, "h", 1, 42, 200},
+      {"ac_controller", workloads::acControllerSource(), "ac_controller", 2,
+       2005, 2000},
+      {"needham_schroeder", workloads::needhamSchroederSource(Ns), "ns_step",
+       2, 7, 1500},
+      {"minisip_get_host", workloads::miniSipSource(), "sip_uri_get_host", 1,
+       11, 300},
+      {"minisip_receive", workloads::miniSipSource(), "sip_receive", 1, 11,
+       300},
+  };
+}
+
+DartReport runPruned(const Scenario &S, bool Prune, unsigned Jobs) {
+  auto D = compile(S.Source);
+  DartOptions Opts;
+  Opts.ToplevelName = S.Toplevel;
+  Opts.Depth = S.Depth;
+  Opts.Seed = S.Seed;
+  Opts.MaxRuns = S.MaxRuns;
+  Opts.Jobs = Jobs;
+  Opts.StopAtFirstError = false;
+  Opts.StaticPrune = Prune;
+  return D->run(Opts);
+}
+
+std::vector<std::string> bugList(const DartReport &R, bool WithRunNumbers) {
+  std::vector<std::string> Out;
+  for (const BugInfo &B : R.Bugs) {
+    if (WithRunNumbers) {
+      Out.push_back(B.toString());
+      continue;
+    }
+    std::string Sig = B.Error.toString();
+    for (const auto &[InputName, Value] : B.Inputs)
+      Sig += " " + InputName + "=" + std::to_string(Value);
+    Out.push_back(std::move(Sig));
+  }
+  return Out;
+}
+
+/// Everything except SolverCalls must match: pruning may only shrink
+/// solver traffic, never the observable search.
+void expectSameSearch(const DartReport &On, const DartReport &Off,
+                      const char *Name, bool WithRunNumbers) {
+  EXPECT_EQ(On.Runs, Off.Runs) << Name;
+  EXPECT_EQ(On.Restarts, Off.Restarts) << Name;
+  EXPECT_EQ(On.ForcingMismatches, Off.ForcingMismatches) << Name;
+  EXPECT_EQ(On.BugFound, Off.BugFound) << Name;
+  EXPECT_EQ(bugList(On, WithRunNumbers), bugList(Off, WithRunNumbers))
+      << Name;
+  EXPECT_EQ(On.CompleteExploration, Off.CompleteExploration) << Name;
+  EXPECT_EQ(On.BranchDirectionsCovered, Off.BranchDirectionsCovered) << Name;
+  EXPECT_EQ(On.Coverage, Off.Coverage) << Name << ": coverage bitmap";
+  EXPECT_LE(On.SolverCalls, Off.SolverCalls) << Name;
+}
+
+TEST(StaticPruneDiff, SequentialSearchIdenticalModuloSolverCalls) {
+  uint64_t Saved = 0;
+  for (const Scenario &S : scenarios()) {
+    DartReport On = runPruned(S, /*Prune=*/true, /*Jobs=*/1);
+    DartReport Off = runPruned(S, /*Prune=*/false, /*Jobs=*/1);
+    expectSameSearch(On, Off, S.Name, /*WithRunNumbers=*/true);
+    Saved += Off.SolverCalls - On.SolverCalls;
+  }
+  EXPECT_GT(Saved, 0u) << "pruning never saved a solver call";
+}
+
+TEST(StaticPruneDiff, ParallelSearchIdenticalModuloSolverCalls) {
+  for (const Scenario &S : scenarios()) {
+    DartReport On = runPruned(S, /*Prune=*/true, /*Jobs=*/4);
+    DartReport Off = runPruned(S, /*Prune=*/false, /*Jobs=*/4);
+    expectSameSearch(On, Off, S.Name, /*WithRunNumbers=*/false);
+  }
+}
+
+TEST(StaticPruneDiff, FiltersWorkloadPrunesMostGuards) {
+  auto D = compile(FiltersSource);
+  StaticSummary Sum = computeStaticSummary(D->module(), "route");
+  // Three config gates plus the narrow range check; the two len/tag
+  // branches and narrow()'s internal check stay live.
+  EXPECT_GE(Sum.prunedCount(), 4u) << Sum.toString();
+  EXPECT_LT(Sum.prunedCount(), Sum.NumBranchSites) << Sum.toString();
+}
+
+} // namespace

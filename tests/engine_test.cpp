@@ -469,6 +469,9 @@ TEST(Engine, MarkConcreteBranchesDoneReducesSolverCalls) {
     DartOptions Opts;
     Opts.ToplevelName = "f";
     Opts.Concolic.MarkConcreteBranchesDone = Mark;
+    // Static pruning would mark the concrete branches done in both modes,
+    // hiding exactly the solver-call gap this test measures.
+    Opts.StaticPrune = false;
     Opts.MaxRuns = 20;
     return D->run(Opts);
   };

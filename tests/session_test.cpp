@@ -212,8 +212,9 @@ TEST(SolverSession, MatchesBatchOnRandomSystems) {
     SolveStatus BatchV =
         BatchSolver.solve(System, Domains, Hint, BatchModel);
     ASSERT_EQ(SessionV, BatchV) << "trial " << Trial;
-    if (SessionV == SolveStatus::Sat)
+    if (SessionV == SolveStatus::Sat) {
       ASSERT_EQ(SessionModel, BatchModel) << "trial " << Trial;
+    }
 
     // Pop a suffix and re-check: undo must restore the exact state.
     unsigned Pops = unsigned(R.nextBelow(Len + 1));
@@ -225,9 +226,10 @@ TEST(SolverSession, MatchesBatchOnRandomSystems) {
     SessionV = S.solve(SessionModel);
     BatchV = BatchSolver.solve(System, Domains, Hint, BatchModel);
     ASSERT_EQ(SessionV, BatchV) << "trial " << Trial << " after pops";
-    if (SessionV == SolveStatus::Sat)
+    if (SessionV == SolveStatus::Sat) {
       ASSERT_EQ(SessionModel, BatchModel) << "trial " << Trial
                                           << " after pops";
+    }
   }
 }
 

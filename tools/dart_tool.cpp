@@ -12,13 +12,16 @@
 //               [--random-only] [--strategy dfs|bfs|random]
 //               [--all-errors] [--symbolic-pointers]
 //   dart audit  <file.c> [--runs N]      # every defined function (§4.3)
+//   dart analyze <file.c>                # static lint over the IR dataflow
 //   dart iface  <file.c> --toplevel f    # extracted interface (§3.1)
 //   dart driver <file.c> --toplevel f [--depth N]  # Fig. 7 driver source
 //   dart ir     <file.c>                 # RAM-machine IR dump
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "core/Dart.h"
+#include "support/Diagnostics.h"
 
 #include <cstdio>
 #include <cstring>
@@ -38,6 +41,9 @@ int usage() {
       "commands:\n"
       "  test    run a DART session on --toplevel\n"
       "  audit   run DART on every defined function (library audit)\n"
+      "  analyze static lint: unreachable code, guaranteed division by\n"
+      "          zero or assert failure, uninitialized reads, dead stores\n"
+      "          (exit 1 when any finding is reported)\n"
       "  iface   print the extracted external interface\n"
       "  driver  print the generated test driver source\n"
       "  ir      print the lowered RAM-machine IR\n"
@@ -54,6 +60,10 @@ int usage() {
       "  --random-only         pure random testing (no directed search)\n"
       "  --all-errors          keep searching after the first bug\n"
       "  --symbolic-pointers   CUTE-style pointer-choice solving\n"
+      "  --static-prune <on|off>  consult the static dataflow summary so\n"
+      "                        branches with statically Unsat negations\n"
+      "                        never reach the solver (default on; bug\n"
+      "                        sets, models and coverage are unchanged)\n"
       "  --log-runs            print a one-line summary of every run\n"
       "  --stats               print constraint-pipeline statistics\n"
       "                        (arena, sessions, caches) after the run\n");
@@ -86,6 +96,8 @@ CliOptions parseArgs(int argc, char **argv) {
     return Cli;
   }
   Cli.Command = argv[1];
+  if (Cli.Command == "--analyze") // common spelling; same as `analyze`
+    Cli.Command = "analyze";
   Cli.File = argv[2];
   Cli.Dart.Seed = 2005;
   Cli.Dart.MaxRuns = 10000;
@@ -129,6 +141,17 @@ CliOptions parseArgs(int argc, char **argv) {
       Cli.Dart.StopAtFirstError = false;
     } else if (Arg == "--symbolic-pointers") {
       Cli.Dart.Concolic.SymbolicPointers = true;
+    } else if (Arg == "--static-prune") {
+      const char *V = Next();
+      if (V && std::strcmp(V, "off") == 0)
+        Cli.Dart.StaticPrune = false;
+      else if (V && std::strcmp(V, "on") == 0)
+        Cli.Dart.StaticPrune = true;
+      else {
+        std::fprintf(stderr, "--static-prune expects 'on' or 'off'\n");
+        Cli.Ok = false;
+        return Cli;
+      }
     } else if (Arg == "--log-runs") {
       Cli.Dart.LogRuns = true;
     } else if (Arg == "--stats") {
@@ -214,6 +237,18 @@ int runAudit(Dart &D, CliOptions &Cli) {
   return Crashed ? 1 : 0;
 }
 
+int runAnalyze(Dart &D, CliOptions &Cli) {
+  DiagnosticsEngine Diags;
+  unsigned Findings = runLintPass(D.module(), Diags);
+  for (const Diagnostic &Diag : Diags.diagnostics())
+    std::printf("%s:%s\n", Cli.File.c_str(), Diag.toString().c_str());
+  if (Findings == 0) {
+    std::printf("%s: no findings\n", Cli.File.c_str());
+    return 0;
+  }
+  return 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -237,6 +272,8 @@ int main(int argc, char **argv) {
     return runTest(*D, Cli);
   if (Cli.Command == "audit")
     return runAudit(*D, Cli);
+  if (Cli.Command == "analyze")
+    return runAnalyze(*D, Cli);
   if (Cli.Command == "iface") {
     if (Cli.Toplevel.empty()) {
       std::fprintf(stderr, "error: 'iface' needs --toplevel\n");
