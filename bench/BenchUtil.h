@@ -152,6 +152,64 @@ inline void writeStaticPruneJson(const std::string &Path,
   std::printf("wrote %s\n", Path.c_str());
 }
 
+/// One row of the snapshot-resume ablation: the same directed session
+/// with checkpoint resume on and off, at one worker count.
+struct SnapshotRow {
+  std::string Workload;
+  unsigned Jobs = 1;
+  unsigned Runs = 0;
+  uint64_t ExecutedOn = 0;   ///< instructions executed, snapshots on
+  uint64_t ExecutedOff = 0;  ///< instructions executed, snapshots off
+  uint64_t Skipped = 0;      ///< prefix instructions resume avoided
+  uint64_t RunsResumed = 0;
+  uint64_t ResumeMisses = 0;
+  uint64_t PeakResidentBytes = 0;
+  double ElapsedOnSec = 0.0;
+  double ElapsedOffSec = 0.0;
+  bool Identical = false; ///< search observables match across the axis
+
+  double reduction() const {
+    return ExecutedOn ? double(ExecutedOff) / double(ExecutedOn) : 0.0;
+  }
+};
+
+/// Emits the machine-readable snapshot ablation (BENCH_exec_snapshot.json)
+/// that EXPERIMENTS.md's resumed-fraction table is generated from.
+inline void writeSnapshotJson(const std::string &Path,
+                              const std::vector<SnapshotRow> &Rows) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"axis\": \"snapshot_resume\",\n  \"results\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const SnapshotRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"workload\": \"%s\", \"jobs\": %u, \"runs\": %u, "
+                 "\"executed_on\": %llu, \"executed_off\": %llu, "
+                 "\"skipped\": %llu, \"runs_resumed\": %llu, "
+                 "\"resume_misses\": %llu, \"reduction\": %.2f, "
+                 "\"peak_resident_bytes\": %llu, "
+                 "\"elapsed_on_sec\": %.6f, \"elapsed_off_sec\": %.6f, "
+                 "\"identical_search\": %s}%s\n",
+                 R.Workload.c_str(), R.Jobs, R.Runs,
+                 static_cast<unsigned long long>(R.ExecutedOn),
+                 static_cast<unsigned long long>(R.ExecutedOff),
+                 static_cast<unsigned long long>(R.Skipped),
+                 static_cast<unsigned long long>(R.RunsResumed),
+                 static_cast<unsigned long long>(R.ResumeMisses),
+                 R.reduction(),
+                 static_cast<unsigned long long>(R.PeakResidentBytes),
+                 R.ElapsedOnSec, R.ElapsedOffSec,
+                 R.Identical ? "true" : "false",
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
 } // namespace dart::bench
 
 #endif // DART_BENCH_BENCHUTIL_H

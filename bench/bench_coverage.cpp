@@ -16,6 +16,7 @@
 #include "BenchUtil.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace dart;
@@ -220,6 +221,104 @@ void printStaticPruneAblation() {
   writeStaticPruneJson("BENCH_static_prune.json", Rows);
 }
 
+/// Snapshot-resume ablation: the same directed session with checkpoint
+/// resume on and off, at 1 and 4 workers. The search is observably
+/// identical either way (the harness checks runs, coverage and — where
+/// the exploration completes or the schedule is sequential — exact bug
+/// sets); only executed-instruction counts change. Deep-depth workloads
+/// are where resume pays: a flip in call k skips calls 0..k-1. Emits
+/// BENCH_exec_snapshot.json.
+void printSnapshotAblation() {
+  printHeader("Snapshot-resume ablation - executed instructions on/off");
+  std::printf("%-22s %-5s %-7s %-13s %-13s %-10s %-9s %s\n", "workload",
+              "jobs", "runs", "exec(on)", "exec(off)", "reduction",
+              "resumed", "identical search");
+
+  struct Case {
+    const char *Name;
+    std::string Source;
+    const char *Toplevel;
+    unsigned Depth;
+    unsigned MaxRuns;
+  };
+  std::vector<Case> Cases = {
+      {"config_filters_d32", ConfigFilters, "route", 32, 1000},
+      {"ac_controller_d4", workloads::acControllerSource(), "ac_controller",
+       4, 2000},
+      {"minisip_receive_d32", workloads::miniSipSource(), "sip_receive", 32,
+       300},
+  };
+
+  std::vector<SnapshotRow> Rows;
+  for (const Case &C : Cases) {
+    auto D = compileOrDie(C.Source, C.Name);
+    for (unsigned Jobs : {1u, 4u}) {
+      auto Run = [&](bool Snapshots, double &ElapsedSec) {
+        DartOptions Opts;
+        Opts.ToplevelName = C.Toplevel;
+        Opts.Depth = C.Depth;
+        Opts.MaxRuns = C.MaxRuns;
+        Opts.Seed = 2005;
+        Opts.StopAtFirstError = false;
+        Opts.Jobs = Jobs;
+        Opts.Snapshots = Snapshots;
+        auto Start = std::chrono::steady_clock::now();
+        DartReport R = D->run(Opts);
+        ElapsedSec =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          Start)
+                .count();
+        return R;
+      };
+      SnapshotRow Row;
+      Row.Workload = C.Name;
+      Row.Jobs = Jobs;
+      DartReport On = Run(true, Row.ElapsedOnSec);
+      DartReport Off = Run(false, Row.ElapsedOffSec);
+      Row.Runs = On.Runs;
+      Row.ExecutedOn = On.Snapshot.InstructionsExecuted;
+      Row.ExecutedOff = Off.Snapshot.InstructionsExecuted;
+      Row.Skipped = On.Snapshot.InstructionsSkipped;
+      Row.RunsResumed = On.Snapshot.RunsResumed;
+      Row.ResumeMisses = On.Snapshot.ResumeMisses;
+      Row.PeakResidentBytes = On.Snapshot.PeakResidentBytes;
+      Row.Identical = On.Runs == Off.Runs &&
+                      On.BranchDirectionsCovered ==
+                          Off.BranchDirectionsCovered &&
+                      On.Coverage == Off.Coverage &&
+                      On.BugFound == Off.BugFound;
+      // Budget-truncated parallel searches process a schedule-dependent
+      // frontier subset, so exact bug lists are only pinned where the
+      // schedule is sequential or the exploration completed.
+      if (Jobs == 1 || On.CompleteExploration) {
+        auto Sigs = [](const DartReport &R) {
+          std::vector<std::string> Out;
+          for (const BugInfo &B : R.Bugs) {
+            std::string Sig = B.Error.toString();
+            for (const auto &[Name, Value] : B.Inputs)
+              Sig += " " + Name + "=" + std::to_string(Value);
+            Out.push_back(std::move(Sig));
+          }
+          std::sort(Out.begin(), Out.end());
+          return Out;
+        };
+        Row.Identical = Row.Identical && Sigs(On) == Sigs(Off);
+      }
+      Rows.push_back(Row);
+      char Reduction[32];
+      std::snprintf(Reduction, sizeof(Reduction), "%.2fx", Row.reduction());
+      std::printf("%-22s %-5u %-7u %-13llu %-13llu %-10s %-9llu %s\n",
+                  Row.Workload.c_str(), Row.Jobs, Row.Runs,
+                  static_cast<unsigned long long>(Row.ExecutedOn),
+                  static_cast<unsigned long long>(Row.ExecutedOff),
+                  Reduction,
+                  static_cast<unsigned long long>(Row.RunsResumed),
+                  Row.Identical ? "yes" : "NO (bug!)");
+    }
+  }
+  writeSnapshotJson("BENCH_exec_snapshot.json", Rows);
+}
+
 void BM_CoverageTimelineDirected(benchmark::State &State) {
   auto D = compileOrDie(workloads::acControllerSource(), "AC-controller");
   unsigned Jobs = static_cast<unsigned>(State.range(0));
@@ -254,6 +353,7 @@ int main(int argc, char **argv) {
   }
   printParallelScaling();
   printStaticPruneAblation();
+  printSnapshotAblation();
   std::printf("\npaper: directed search penetrates input filters and keeps "
               "gaining coverage;\nrandom testing plateaus at the filter "
               "(reaches the equality tests with\nprobability 2^-32 per "

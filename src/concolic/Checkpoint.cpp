@@ -1,0 +1,166 @@
+//===- Checkpoint.cpp - Snapshot-resume for the directed search ------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/Checkpoint.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dart;
+
+void CheckpointRecorder::captureAt(size_t K, const CompletenessFlags &Flags,
+                                   size_t SymLogPos, size_t CovLogPos) {
+  CheckpointEntry E;
+  E.Vm = VM.snapshot();
+  // The branch hook fires mid-CondJump, after the step counter already
+  // ticked for it. Store the pre-instruction count so the resumed run
+  // re-executes the CondJump and reproduces identical step totals.
+  assert(E.Vm.Steps > 0 && "branch hook before any step?");
+  --E.Vm.Steps;
+  E.BranchIndex = K;
+  E.InputsCreated = InputsCreated();
+  E.CallIndex = CallIndex;
+  E.Flags = Flags;
+  E.SymLogPos = SymLogPos;
+  E.CovLogPos = CovLogPos;
+  Entries.push_back(std::move(E));
+}
+
+std::shared_ptr<CheckpointPack>
+CheckpointRecorder::finalize(ConcolicRun &Run, const PathData &Path,
+                             std::vector<InputInfo> Registry) {
+  auto Pack = std::make_shared<CheckpointPack>();
+  Pack->Entries = std::move(Entries);
+  Entries.clear();
+  Pack->FinalCovCount = Run.coveredCount();
+  Pack->FinalS = Run.takeSymbolicMemory();
+  Pack->SymLog = Run.takeSymJournal();
+  Pack->CovLog = Run.takeCovLog();
+  Pack->FinalCov = Run.takeCoveredBits();
+  Pack->ConstraintTrace = Path.Constraints;
+  Pack->Registry = std::move(Registry);
+  Pack->NumEntries = Pack->Entries.size();
+
+  // Rough resident-byte estimate for the eviction ledger: per-entry
+  // snapshot roots, the shared logs/state, and the pages this run dirtied
+  // (pinned by the entry snapshots even after the run's Memory dies).
+  size_t B = sizeof(CheckpointPack);
+  for (const CheckpointEntry &E : Pack->Entries)
+    B += sizeof(CheckpointEntry) + E.Vm.approxBytes();
+  B += Pack->SymLog.size() * (sizeof(SymMemUndo) + 32);
+  B += Pack->FinalS.size() * 64;
+  B += Pack->CovLog.capacity() * sizeof(uint32_t);
+  B += Pack->FinalCov.size() / 8;
+  B += Pack->ConstraintTrace.size() * sizeof(PredId);
+  B += Pack->Registry.size() * sizeof(InputInfo);
+  B += VM.memory().cowStats().PageClones * Memory::kPageSize;
+  Pack->ApproxBytes = B;
+  return Pack;
+}
+
+std::optional<MaterializedCheckpoint>
+CheckpointPack::resumeFor(InputId MinChangedId) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Evicted || Entries.empty())
+    return std::nullopt;
+  // Deepest entry whose inputs all predate every changed input. Entries
+  // are in capture order, so InputsCreated is nondecreasing.
+  auto It = std::upper_bound(
+      Entries.begin(), Entries.end(), MinChangedId,
+      [](InputId Id, const CheckpointEntry &E) { return Id < E.InputsCreated; });
+  if (It == Entries.begin())
+    return std::nullopt; // even the first conditional saw a changed input
+  const CheckpointEntry &E = *std::prev(It);
+
+  MaterializedCheckpoint M;
+  M.Vm = E.Vm; // COW roots: O(chunks + call depth)
+  M.S = FinalS;
+  M.S.rollback(SymLog, E.SymLogPos);
+  M.Cov = FinalCov;
+  for (size_t I = E.CovLogPos; I < CovLog.size(); ++I)
+    M.Cov[CovLog[I]] = false;
+  M.CovCount =
+      FinalCovCount - static_cast<unsigned>(CovLog.size() - E.CovLogPos);
+  M.Constraints.assign(ConstraintTrace.begin(),
+                       ConstraintTrace.begin() + E.BranchIndex);
+  M.BranchIndex = E.BranchIndex;
+  M.InputsCreated = E.InputsCreated;
+  M.CallIndex = E.CallIndex;
+  M.Flags = E.Flags;
+  M.SkippedSteps = E.Vm.Steps;
+  M.RegistryPrefix.assign(Registry.begin(),
+                          Registry.begin() + E.InputsCreated);
+  return M;
+}
+
+void CheckpointPack::release() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Evicted = true;
+  Entries.clear();
+  Entries.shrink_to_fit();
+  FinalS = SymbolicMemory();
+  SymLog.clear();
+  SymLog.shrink_to_fit();
+  CovLog.clear();
+  CovLog.shrink_to_fit();
+  FinalCov.clear();
+  FinalCov.shrink_to_fit();
+  ConstraintTrace.clear();
+  ConstraintTrace.shrink_to_fit();
+  Registry.clear();
+  Registry.shrink_to_fit();
+}
+
+std::optional<InputId>
+dart::minChangedInput(const std::map<InputId, int64_t> &Model,
+                      const std::map<InputId, int64_t> &IM) {
+  std::optional<InputId> Min;
+  for (const auto &[Id, Value] : Model) {
+    auto It = IM.find(Id);
+    bool Changed = It == IM.end() || It->second != Value;
+    if (Changed && (!Min || Id < *Min))
+      Min = Id;
+  }
+  return Min;
+}
+
+void CheckpointLedger::admit(std::shared_ptr<CheckpointPack> Pack) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Drop packs nothing references any more (no queued child can resume
+  // from them); they are free memory, not evictions.
+  for (auto It = Live.begin(); It != Live.end();) {
+    if (It->use_count() == 1) {
+      Resident -= (*It)->approxBytes();
+      It = Live.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  Resident += Pack->approxBytes();
+  Live.push_back(std::move(Pack));
+  Peak = std::max(Peak, Resident);
+  if (Budget == 0)
+    return;
+  // Oldest-first eviction; a single over-budget pack evicts itself (the
+  // search then just replays fully — still correct, never wrong).
+  while (Resident > Budget && !Live.empty()) {
+    std::shared_ptr<CheckpointPack> Victim = std::move(Live.front());
+    Live.pop_front();
+    Resident -= Victim->approxBytes();
+    Victim->release();
+    ++Evictions;
+  }
+}
+
+uint64_t CheckpointLedger::peakResidentBytes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Peak;
+}
+
+uint64_t CheckpointLedger::evictions() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Evictions;
+}

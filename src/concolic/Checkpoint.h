@@ -1,0 +1,187 @@
+//===- Checkpoint.h - Snapshot-resume for the directed search ---*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution checkpointing for DART's directed search. The search (paper
+/// §2.5, Fig. 5) flips one branch of the previous path, so run k+1
+/// executes an *instruction-identical* prefix of run k up to the flip —
+/// but not a state-identical one: the solver changed some input values,
+/// and those inputs are read inside the prefix. The usable rule is:
+///
+///   A checkpoint captured at conditional i — when N_i inputs existed —
+///   reproduces the child's state exactly iff every input the solver's
+///   model changed has id >= N_i (inputs are created in execution order,
+///   and the prefix before conditional i only ever reads inputs < N_i).
+///
+/// CheckpointRecorder captures one CheckpointEntry per conditional of a
+/// run (VM snapshot via the COW Memory, O(chunks); symbolic state via log
+/// positions into undo journals) and finalizes them into an immutable
+/// CheckpointPack. resumeFor(minChangedId) picks the deepest valid entry
+/// and materializes a complete resume state: VM image, symbolic memory S
+/// (final S rolled back through the journal), coverage bitmap (final
+/// bitmap with later-set bits cleared), constraint prefix (stable PredIds
+/// in the shared arena), and the input-registry prefix.
+///
+/// Packs are shared by value (shared_ptr) across parallel workers:
+/// contents are immutable after finalize, materialization copies COW
+/// roots, and a ledger (CheckpointLedger) bounds resident bytes by
+/// evicting old packs — an evicted pack simply misses, and the engine
+/// falls back to a full replay, keeping the search observably identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_CONCOLIC_CHECKPOINT_H
+#define DART_CONCOLIC_CHECKPOINT_H
+
+#include "concolic/Concolic.h"
+#include "interp/Interp.h"
+#include "symbolic/SymExpr.h"
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace dart {
+
+/// One capture point: the state "about to execute conditional
+/// BranchIndex". Scalars plus log positions; the bulky shared state
+/// (final S, journals, constraint trace) lives once per pack.
+struct CheckpointEntry {
+  Interp::Snapshot Vm;    ///< VM mid-CondJump; Steps excludes the CondJump
+  size_t BranchIndex = 0; ///< K at capture
+  InputId InputsCreated = 0; ///< inputs existing before this conditional
+  unsigned CallIndex = 0; ///< driver toplevel-call loop position (§3.2)
+  CompletenessFlags Flags;
+  size_t SymLogPos = 0; ///< S undo-journal length at capture
+  size_t CovLogPos = 0; ///< coverage log length at capture
+};
+
+/// A fully reconstructed resume point, independent of the pack it came
+/// from (eviction after materialization is harmless).
+struct MaterializedCheckpoint {
+  Interp::Snapshot Vm;
+  SymbolicMemory S;
+  std::vector<bool> Cov;
+  unsigned CovCount = 0;
+  std::vector<PredId> Constraints; ///< prefix [0, BranchIndex)
+  size_t BranchIndex = 0;
+  InputId InputsCreated = 0;
+  unsigned CallIndex = 0;
+  CompletenessFlags Flags;
+  uint64_t SkippedSteps = 0; ///< prefix instructions resume avoids
+  std::vector<InputInfo> RegistryPrefix; ///< first InputsCreated entries
+};
+
+/// All checkpoints of one run, immutable once finalized. Thread-safe:
+/// resumeFor and release serialize on an internal mutex, so a ledger on
+/// one thread can evict while workers on others attempt resumes.
+class CheckpointPack {
+public:
+  /// Deepest entry valid for a child whose model changed no input below
+  /// \p MinChangedId (entries are captured in nondecreasing InputsCreated
+  /// order), materialized into a standalone resume state. nullopt when no
+  /// entry qualifies or the pack was evicted.
+  std::optional<MaterializedCheckpoint> resumeFor(InputId MinChangedId) const;
+
+  /// Frees the pack's contents (ledger eviction). Subsequent resumeFor
+  /// calls miss; MaterializedCheckpoints already handed out stay valid.
+  void release();
+
+  size_t approxBytes() const { return ApproxBytes; }
+  size_t numEntries() const { return NumEntries; }
+
+private:
+  friend class CheckpointRecorder;
+
+  std::vector<CheckpointEntry> Entries;
+  SymbolicMemory FinalS;
+  SymbolicMemory::Journal SymLog;
+  std::vector<uint32_t> CovLog; ///< bits set by the run, in order
+  std::vector<bool> FinalCov;
+  unsigned FinalCovCount = 0;
+  std::vector<PredId> ConstraintTrace; ///< the run's full constraint list
+  std::vector<InputInfo> Registry;     ///< input registry at end of run
+  size_t ApproxBytes = 0;
+  size_t NumEntries = 0;
+  bool Evicted = false;
+  mutable std::mutex Mu;
+};
+
+/// The BranchCaptureHook implementation one run carries: snapshots the VM
+/// at every conditional and assembles the pack when the run ends.
+class CheckpointRecorder : public BranchCaptureHook {
+public:
+  /// \p InputsCreated reports the driver's inputs-created-so-far counter
+  /// (InputManager::inputsThisRun) — a callback to keep this layer free of
+  /// a dependency on the driver.
+  CheckpointRecorder(Interp &VM, std::function<InputId()> InputsCreated)
+      : VM(VM), InputsCreated(std::move(InputsCreated)) {}
+
+  /// Driver loop position, updated by executeDartRun before each toplevel
+  /// call so captures know where to resume the call loop.
+  unsigned CallIndex = 0;
+
+  void captureAt(size_t K, const CompletenessFlags &Flags, size_t SymLogPos,
+                 size_t CovLogPos) override;
+
+  /// Consumes \p Run's final state (symbolic memory, journals, coverage)
+  /// plus the completed path's constraint trace and the input registry,
+  /// and seals everything into an immutable pack. Call after the engine
+  /// has merged coverage and taken the path.
+  std::shared_ptr<CheckpointPack> finalize(ConcolicRun &Run,
+                                           const PathData &Path,
+                                           std::vector<InputInfo> Registry);
+
+  size_t numCaptured() const { return Entries.size(); }
+
+private:
+  Interp &VM;
+  std::function<InputId()> InputsCreated;
+  std::vector<CheckpointEntry> Entries;
+};
+
+/// Smallest input id whose model value differs from the parent run's
+/// input map — the earliest input the solver perturbed. nullopt when the
+/// model changes nothing (such candidates are normally dropped as
+/// TheoryMisled before scheduling; treated as "no valid checkpoint").
+std::optional<InputId>
+minChangedInput(const std::map<InputId, int64_t> &Model,
+                const std::map<InputId, int64_t> &IM);
+
+/// Bounds resident checkpoint bytes across a session. Oldest-first (LRU
+/// by admission; under the directed search's depth-first order, admission
+/// order tracks prefix depth, so the shallowest prefixes go first).
+/// Thread-safe.
+class CheckpointLedger {
+public:
+  /// \p BudgetBytes 0 = unbounded.
+  explicit CheckpointLedger(uint64_t BudgetBytes) : Budget(BudgetBytes) {}
+
+  /// Registers a freshly finalized pack; may evict older packs (and, if a
+  /// single pack exceeds the whole budget, the new one) to honour the
+  /// budget. Also drops packs no longer referenced by any pending work.
+  void admit(std::shared_ptr<CheckpointPack> Pack);
+
+  uint64_t peakResidentBytes() const;
+  uint64_t evictions() const;
+
+private:
+  uint64_t Budget;
+  mutable std::mutex Mu;
+  uint64_t Resident = 0;
+  uint64_t Peak = 0;
+  uint64_t Evictions = 0;
+  std::list<std::shared_ptr<CheckpointPack>> Live; ///< admission order
+};
+
+} // namespace dart
+
+#endif // DART_CONCOLIC_CHECKPOINT_H

@@ -300,6 +300,12 @@ void ConcolicRun::onCopy(EvalContext &Ctx, Addr Dst, Addr Src,
 
 bool ConcolicRun::onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
                            bool Taken) {
+  // Checkpoint capture: before any of this branch's effects (constraint,
+  // coverage bit, stack update, flag fallbacks) commit, so a resumed run
+  // re-executes conditional K itself and reproduces them identically.
+  if (Capture)
+    Capture->captureAt(K, Flags, SymJournal.size(), CovLog.size());
+
   // Path constraint contribution (Fig. 3, conditional case).
   std::optional<SymPred> C =
       Eval.branchPredicate(Ctx, Branch.cond(), Taken, Flags);
@@ -318,6 +324,8 @@ bool ConcolicRun::onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
   if (!CoveredBits[Bit]) {
     CoveredBits[Bit] = true;
     ++CoveredCount;
+    if (Capture)
+      CovLog.push_back(static_cast<uint32_t>(Bit));
   }
 
   // compare_and_update_stack (Fig. 4).

@@ -101,6 +101,18 @@ private:
   const ConcolicOptions &Options;
 };
 
+/// Observer the checkpoint layer installs on a run: fired at the top of
+/// every branch hook, *before* the branch's constraint, coverage bit, or
+/// Fig. 4 bookkeeping commit, so a capture describes the state "about to
+/// execute conditional K". The log positions let the observer mark where
+/// in the run's undo journal / coverage log this branch sits.
+class BranchCaptureHook {
+public:
+  virtual void captureAt(size_t K, const CompletenessFlags &Flags,
+                         size_t SymLogPos, size_t CovLogPos) = 0;
+  virtual ~BranchCaptureHook() = default;
+};
+
 /// One entry of the inter-run `stack` (paper §2.3): the branch value taken
 /// at the i-th conditional and whether both directions have been explored.
 struct BranchRecord {
@@ -162,6 +174,44 @@ public:
     return P;
   }
 
+  // --- Checkpoint support (src/concolic/Checkpoint.*) ---------------------
+
+  /// Installs \p H and starts journaling S mutations and coverage-bit
+  /// flips so the observer's captures can later be materialized from the
+  /// run's final state. Call before execution starts.
+  void setCaptureHook(BranchCaptureHook *H) {
+    Capture = H;
+    S.setJournal(H ? &SymJournal : nullptr);
+  }
+
+  /// Rewinds this *fresh* run onto a checkpoint: the first \p KStart
+  /// conditionals count as already executed with \p ConstraintPrefix as
+  /// their recorded constraints, S / coverage / flags as of that point.
+  /// The predicted Stack passed to the constructor is untouched — the
+  /// VM resumes mid-prefix and replays only the suffix, so Fig. 4's
+  /// compare starts at position KStart. Call after setCaptureHook.
+  void adoptCheckpoint(size_t KStart, std::vector<PredId> ConstraintPrefix,
+                       SymbolicMemory SPrefix, std::vector<bool> Cov,
+                       unsigned CovCount, CompletenessFlags F) {
+    K = KStart;
+    Constraints = std::move(ConstraintPrefix);
+    S.replaceCells(std::move(SPrefix));
+    CoveredBits = std::move(Cov);
+    CoveredCount = CovCount;
+    Flags = F;
+  }
+
+  /// Steals the run's final symbolic memory (detaching the journal first —
+  /// the returned object must not keep a pointer into this run).
+  SymbolicMemory takeSymbolicMemory() {
+    S.setJournal(nullptr);
+    return std::move(S);
+  }
+  SymbolicMemory::Journal takeSymJournal() { return std::move(SymJournal); }
+  /// Indices of coverage bits freshly set by this run, in set order.
+  std::vector<uint32_t> takeCovLog() { return std::move(CovLog); }
+  std::vector<bool> takeCoveredBits() { return std::move(CoveredBits); }
+
   // --- ExecHooks ----------------------------------------------------------
   void onStore(EvalContext &Ctx, Addr Address, ValType VT,
                const IRExpr *ValueExpr, int64_t Value) override;
@@ -194,6 +244,11 @@ private:
   unsigned CoveredCount = 0;
   /// Symbolic images of call arguments between onCallArg and onParamBound.
   std::vector<std::optional<SymValue>> PendingArgs;
+
+  // Checkpoint recording (active only when Capture is installed).
+  BranchCaptureHook *Capture = nullptr;
+  SymbolicMemory::Journal SymJournal;
+  std::vector<uint32_t> CovLog;
 };
 
 } // namespace dart

@@ -6,6 +6,7 @@
 
 #include "concolic/SymbolicMemory.h"
 
+#include <cassert>
 #include <vector>
 
 using namespace dart;
@@ -22,10 +23,13 @@ void SymbolicMemory::eraseRange(Addr Address, uint64_t SizeBytes) {
   while (It != Cells.end() && It->first < End) {
     Addr CellBegin = It->first;
     Addr CellEnd = CellBegin + It->second.first;
-    if (CellEnd > Address && CellBegin < End)
+    if (CellEnd > Address && CellBegin < End) {
+      if (Log)
+        Log->push_back({CellBegin, It->second.first, It->second.second});
       It = Cells.erase(It);
-    else
+    } else {
       ++It;
+    }
   }
 }
 
@@ -33,6 +37,8 @@ void SymbolicMemory::set(Addr Address, unsigned SizeBytes, SymValue Value) {
   eraseRange(Address, SizeBytes);
   if (Value.isConstant())
     return; // concrete values are represented by absence
+  if (Log)
+    Log->push_back({Address, SizeBytes, std::nullopt});
   Cells.emplace(Address, std::make_pair(SizeBytes, std::move(Value)));
 }
 
@@ -59,6 +65,20 @@ void SymbolicMemory::copyRange(Addr Dst, Addr Src, uint64_t SizeBytes) {
       Moved.emplace_back(CellBegin - Src, It->second);
   }
   eraseRange(Dst, SizeBytes);
-  for (auto &[Offset, Cell] : Moved)
+  for (auto &[Offset, Cell] : Moved) {
+    if (Log)
+      Log->push_back({Dst + Offset, Cell.first, std::nullopt});
     Cells.emplace(Dst + Offset, std::move(Cell));
+  }
+}
+
+void SymbolicMemory::rollback(const Journal &J, size_t Pos) {
+  assert(Pos <= J.size() && "rollback past the journal");
+  for (size_t I = J.size(); I-- > Pos;) {
+    const SymMemUndo &U = J[I];
+    if (U.Old)
+      Cells.insert_or_assign(U.Address, std::make_pair(U.Width, *U.Old));
+    else
+      Cells.erase(U.Address);
+  }
 }

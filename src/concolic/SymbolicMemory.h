@@ -12,6 +12,10 @@
 /// keeps S small); region death (frame pop, free) scrubs the region's
 /// address range.
 ///
+/// An optional undo journal records every mutation in reverse form; the
+/// checkpoint layer replays a journal suffix backwards to roll a run's
+/// final S back to any branch position (rollback()).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DART_CONCOLIC_SYMBOLICMEMORY_H
@@ -22,11 +26,22 @@
 
 #include <map>
 #include <optional>
+#include <vector>
 
 namespace dart {
 
+/// One reverse-mutation record: how to undo a single cell change.
+struct SymMemUndo {
+  Addr Address = 0;
+  unsigned Width = 0;
+  /// The cell's previous value — reinsert on undo; nullopt means the cell
+  /// did not exist (undo = erase).
+  std::optional<SymValue> Old;
+};
+
 class SymbolicMemory {
 public:
+  using Journal = std::vector<SymMemUndo>;
   /// Binds S[Address] (a \p SizeBytes-wide cell) to \p Value. Constant
   /// values erase instead (concrete fallback).
   void set(Addr Address, unsigned SizeBytes, SymValue Value);
@@ -50,9 +65,23 @@ public:
     return Cells;
   }
 
+  /// Starts (non-null) or stops (null) journaling mutations into \p J.
+  /// The journal pointer is not owned and must outlive the recording.
+  void setJournal(Journal *J) { Log = J; }
+
+  /// Replaces the cell map wholesale (checkpoint adoption); journaling
+  /// state is unaffected.
+  void replaceCells(SymbolicMemory &&Other) { Cells = std::move(Other.Cells); }
+
+  /// Undoes every journaled mutation from the end of \p J down to (and
+  /// excluding) position \p Pos, restoring the state S had when the
+  /// journal was \p Pos entries long. Does not journal the undos.
+  void rollback(const Journal &J, size_t Pos);
+
 private:
   /// Address -> (width, value). Cells never overlap: set() scrubs first.
   std::map<Addr, std::pair<unsigned, SymValue>> Cells;
+  Journal *Log = nullptr;
 };
 
 } // namespace dart

@@ -92,22 +92,36 @@ DartEngine::DartEngine(const TranslationUnit &TU,
 
 RunResult dart::executeDartRun(const DartOptions &Options,
                                const TranslationUnit &TU,
-                               TestDriver &Driver, Interp &VM) {
-  Driver.initExternVariables();
+                               TestDriver &Driver, Interp &VM,
+                               CheckpointRecorder *Recorder,
+                               unsigned StartCall, bool ResumeInProgress) {
+  // On resume the restored image already contains the initialized extern
+  // variables (and their inputs are defined in IM); re-initializing would
+  // desync the input-id sequence.
+  if (!ResumeInProgress)
+    Driver.initExternVariables();
   Driver.installExternalModel(TU);
   RunResult Result;
-  for (unsigned Call = 0; Call < Options.Depth; ++Call) {
-    PreparedArgs Args = Driver.prepareToplevelArgs(Call);
-    std::optional<std::vector<Addr>> ParamAddrs =
-        VM.beginCall(Options.ToplevelName, Args.Values);
-    if (!ParamAddrs) {
-      Result.Status = RunStatus::Errored;
-      Result.Error.Kind = RunErrorKind::MissingFunction;
-      Result.Error.Message = Options.ToplevelName;
-      return Result;
+  for (unsigned Call = StartCall; Call < Options.Depth; ++Call) {
+    if (Recorder)
+      Recorder->CallIndex = Call;
+    if (ResumeInProgress && Call == StartCall) {
+      // The checkpoint was captured inside this call; its frames are
+      // already on the restored VM stack.
+      Result = VM.finishResumedCall();
+    } else {
+      PreparedArgs Args = Driver.prepareToplevelArgs(Call);
+      std::optional<std::vector<Addr>> ParamAddrs =
+          VM.beginCall(Options.ToplevelName, Args.Values);
+      if (!ParamAddrs) {
+        Result.Status = RunStatus::Errored;
+        Result.Error.Kind = RunErrorKind::MissingFunction;
+        Result.Error.Message = Options.ToplevelName;
+        return Result;
+      }
+      Driver.bindParams(*ParamAddrs, Args);
+      Result = VM.finishCall();
     }
-    Driver.bindParams(*ParamAddrs, Args);
-    Result = VM.finishCall();
     if (Result.Status != RunStatus::Halted)
       return Result;
   }
@@ -132,6 +146,13 @@ DartReport DartEngine::run() {
     Summary = computeStaticSummary(*Program.Module, Options.ToplevelName);
     Options.Concolic.PrunedSites = &Summary->PrunedSites;
   }
+  // Snapshot-resume state: the previous run's checkpoint pack, and the
+  // materialized resume point for the next directed run (computed at
+  // solve time, before the model is applied).
+  const bool UseSnapshots = Options.Snapshots && !Options.RandomOnly;
+  CheckpointLedger Ledger(Options.SnapshotBudgetBytes);
+  std::optional<MaterializedCheckpoint> Resume;
+
   std::vector<bool> Covered(2 * size_t(Report.BranchSitesTotal), false);
   unsigned CoveredCount = 0;
   auto MergeCoverage = [&](const std::vector<bool> &Bits) {
@@ -148,13 +169,13 @@ DartReport DartEngine::run() {
   while (!Stop && Report.Runs < Options.MaxRuns) {
     // Outer loop of Fig. 2: fresh random search state.
     Inputs.reset();
+    Resume.reset();
     std::vector<BranchRecord> PredictedStack;
     if (Report.Runs > 0)
       ++Report.Restarts;
 
     bool Directed = true;
     while (Directed && Report.Runs < Options.MaxRuns) {
-      Inputs.beginRun();
       Interp VM(*Program.Module, Options.Interp);
       std::unique_ptr<ConcolicRun> Hooks;
       std::unique_ptr<CoverageOnlyHooks> CovHooks;
@@ -167,11 +188,38 @@ DartReport DartEngine::run() {
             std::make_unique<CoverageOnlyHooks>(Report.BranchSitesTotal);
         VM.setHooks(CovHooks.get());
       }
+      std::unique_ptr<CheckpointRecorder> Recorder;
+      if (UseSnapshots && Hooks) {
+        Recorder = std::make_unique<CheckpointRecorder>(
+            VM, [&Inputs] { return Inputs.inputsThisRun(); });
+        Hooks->setCaptureHook(Recorder.get());
+      }
+      unsigned StartCall = 0;
+      bool Resumed = false;
+      if (Resume && Hooks) {
+        // Skip the shared prefix: restore VM + symbolic state as of the
+        // checkpoint and continue input ids past the prefix's.
+        Inputs.resumeRun(Resume->InputsCreated, Resume->RegistryPrefix);
+        VM.resume(Resume->Vm);
+        Hooks->adoptCheckpoint(Resume->BranchIndex,
+                               std::move(Resume->Constraints),
+                               std::move(Resume->S), std::move(Resume->Cov),
+                               Resume->CovCount, Resume->Flags);
+        StartCall = Resume->CallIndex;
+        Resumed = true;
+        ++Report.Snapshot.RunsResumed;
+        Report.Snapshot.InstructionsSkipped += Resume->SkippedSteps;
+      } else {
+        Inputs.beginRun();
+      }
+      Resume.reset();
       TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
                         Hooks.get(), Options.Driver);
-      RunResult Result = executeDartRun(Options, TU, Driver, VM);
+      RunResult Result = executeDartRun(Options, TU, Driver, VM,
+                                        Recorder.get(), StartCall, Resumed);
       ++Report.Runs;
       Report.TotalSteps += Result.Steps;
+      Report.Snapshot.InstructionsExecuted += VM.executedSteps();
       if (Options.LogRuns) {
         std::string Line = "run " + std::to_string(Report.Runs) + ": ";
         switch (Result.Status) {
@@ -243,6 +291,12 @@ DartReport DartEngine::run() {
 
       // solve_path_constraint (Fig. 5).
       PathData Path = Hooks->takePath();
+      std::shared_ptr<CheckpointPack> Pack;
+      if (Recorder) {
+        Pack = Recorder->finalize(*Hooks, Path, Inputs.registry());
+        Report.Snapshot.CheckpointsCaptured += Pack->numEntries();
+        Ledger.admit(Pack);
+      }
       auto DomainOf = [&Inputs, Static = Options.StaticPrune](InputId Id) {
         return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
       };
@@ -252,6 +306,17 @@ DartReport DartEngine::run() {
       if (Outcome.TheoryMisled)
         GlobalFlags.AllLinear = false;
       if (Outcome.Found) {
+        if (Pack) {
+          // Checkpoint validity: compare the model against IM *before* it
+          // is applied — any input the solver perturbed invalidates every
+          // checkpoint captured after that input was created.
+          std::optional<InputId> MinChanged =
+              minChangedInput(Outcome.Model, Inputs.im());
+          if (MinChanged)
+            Resume = Pack->resumeFor(*MinChanged);
+          if (!Resume)
+            ++Report.Snapshot.ResumeMisses;
+        }
         Inputs.applyModel(Outcome.Model);
         PredictedStack = std::move(Outcome.NextStack);
       } else {
@@ -276,5 +341,7 @@ DartReport DartEngine::run() {
   Report.Coverage = std::move(Covered);
   Report.Solver = Solver.stats();
   Report.Arena = Arena.stats();
+  Report.Snapshot.PacksEvicted = Ledger.evictions();
+  Report.Snapshot.PeakResidentBytes = Ledger.peakResidentBytes();
   return Report;
 }

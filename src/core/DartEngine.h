@@ -16,11 +16,13 @@
 #ifndef DART_CORE_DARTENGINE_H
 #define DART_CORE_DARTENGINE_H
 
+#include "concolic/Checkpoint.h"
 #include "concolic/PathSearch.h"
 #include "core/Interface.h"
 #include "core/TestDriver.h"
 #include "ir/Lowering.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +57,17 @@ struct DartOptions {
   /// coverage) is identical with the switch on or off — only solver
   /// traffic changes; off = ablation baseline.
   bool StaticPrune = true;
+  /// Execution snapshot-resume (src/concolic/Checkpoint.*): capture a COW
+  /// VM + symbolic-state checkpoint at every conditional and start each
+  /// directed child run from the deepest checkpoint consistent with its
+  /// solver model, replaying only the path suffix. The search is
+  /// observably identical on or off (same runs, bugs, models, coverage,
+  /// schedules) — only executed-instruction counts change; off = ablation
+  /// baseline. Ignored in RandomOnly mode (no directed children).
+  bool Snapshots = true;
+  /// Byte budget for resident checkpoint packs (approximate, LRU-evicted;
+  /// see CheckpointLedger). 0 = unbounded.
+  uint64_t SnapshotBudgetBytes = uint64_t(64) << 20;
   SearchStrategy Strategy = SearchStrategy::DepthFirst;
   ConcolicOptions Concolic;
   SolverOptions Solver;
@@ -79,6 +92,32 @@ struct BugInfo {
   std::string toString() const;
 };
 
+/// Snapshot-resume statistics for one session (DartOptions::Snapshots).
+struct SnapshotStats {
+  uint64_t CheckpointsCaptured = 0;
+  uint64_t RunsResumed = 0;   ///< directed runs started from a checkpoint
+  uint64_t ResumeMisses = 0;  ///< directed children with no usable entry
+  uint64_t InstructionsExecuted = 0; ///< instructions actually run
+  uint64_t InstructionsSkipped = 0;  ///< prefix instructions resumes avoided
+  uint64_t PacksEvicted = 0;
+  uint64_t PeakResidentBytes = 0;
+
+  /// Fraction of the search's total instruction work that resume skipped.
+  double resumedInstructionFraction() const {
+    uint64_t Total = InstructionsExecuted + InstructionsSkipped;
+    return Total ? double(InstructionsSkipped) / double(Total) : 0.0;
+  }
+  void merge(const SnapshotStats &O) {
+    CheckpointsCaptured += O.CheckpointsCaptured;
+    RunsResumed += O.RunsResumed;
+    ResumeMisses += O.ResumeMisses;
+    InstructionsExecuted += O.InstructionsExecuted;
+    InstructionsSkipped += O.InstructionsSkipped;
+    PacksEvicted += O.PacksEvicted;
+    PeakResidentBytes = std::max(PeakResidentBytes, O.PeakResidentBytes);
+  }
+};
+
 /// Session outcome and statistics.
 struct DartReport {
   unsigned Runs = 0;
@@ -100,6 +139,10 @@ struct DartReport {
   PredArenaStats Arena;
   uint64_t SolverCalls = 0;
   uint64_t TotalSteps = 0;
+  /// Snapshot-resume accounting. TotalSteps stays replay-identical with
+  /// snapshots on or off (a resumed run reports the full path's step
+  /// count); Snapshot.InstructionsExecuted is the work actually done.
+  SnapshotStats Snapshot;
   /// One line per run when DartOptions::LogRuns is set.
   std::vector<std::string> RunLog;
   /// Cumulative covered branch directions after each run, when
@@ -118,10 +161,16 @@ VarDomain staticInputDomain(const InputManager &Inputs, InputId Id);
 
 /// Executes one instrumented run: DartOptions::Depth calls of the toplevel
 /// over driver-prepared arguments. Shared by the sequential engine and the
-/// parallel workers.
+/// parallel workers. With a non-null \p Recorder its CallIndex tracks the
+/// call loop. When \p ResumeInProgress is set, the VM was resumed from a
+/// checkpoint mid-call \p StartCall: extern-variable init is skipped (the
+/// restored image contains it) and the first call continues via
+/// finishResumedCall.
 RunResult executeDartRun(const DartOptions &Options,
                          const TranslationUnit &TU, TestDriver &Driver,
-                         Interp &VM);
+                         Interp &VM, CheckpointRecorder *Recorder = nullptr,
+                         unsigned StartCall = 0,
+                         bool ResumeInProgress = false);
 
 /// Drives DART over one lowered program. The TranslationUnit and
 /// LoweredProgram must outlive the engine.

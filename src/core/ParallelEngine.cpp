@@ -48,6 +48,12 @@ struct WorkItem {
   /// may legitimately re-explore paths an earlier tree already saw (the
   /// sequential outer loop does exactly that).
   uint64_t TreeSalt = 0;
+  /// Parent run's checkpoint pack (immutable, shared across siblings) and
+  /// the smallest input id the solver model perturbed — computed against
+  /// the parent's IM at push time, so the resume decision is a pure
+  /// function of the item, independent of worker scheduling.
+  std::shared_ptr<CheckpointPack> Pack;
+  std::optional<InputId> MinChanged;
 };
 
 /// FNV-1a over the (site, direction) sequence of a predicted stack,
@@ -190,6 +196,12 @@ struct SharedState {
   std::atomic<bool> Stop{false};
   std::atomic<bool> Truncated{false};
 
+  std::atomic<uint64_t> CheckpointsCaptured{0};
+  std::atomic<uint64_t> RunsResumed{0};
+  std::atomic<uint64_t> ResumeMisses{0};
+  std::atomic<uint64_t> InstructionsExecuted{0};
+  std::atomic<uint64_t> InstructionsSkipped{0};
+
   std::mutex ReportMutex;
   std::vector<unsigned> CoverageTimeline;
   std::vector<std::string> RunLog;
@@ -319,6 +331,8 @@ DartReport ParallelDartEngine::runDirected() {
   SessionUnsatCache SessCache;
   PredArena Arena;
   PrefixFilter Seen;
+  const bool UseSnapshots = Options.Snapshots;
+  CheckpointLedger Ledger(Options.SnapshotBudgetBytes);
 
   // Drain bookkeeping (only ever touched by the drain handler, which the
   // frontier runs under its lock with no busy workers — single-threaded).
@@ -359,16 +373,52 @@ DartReport ParallelDartEngine::runDirected() {
     Rng R(Item.RngSeed);
     InputManager Inputs(R);
     Inputs.setIM(std::move(Item.IM));
-    Inputs.beginRun();
     Interp VM(*Program.Module, Options.Interp);
     auto Hooks = std::make_unique<ConcolicRun>(
         Inputs.registry(), Arena, std::move(Item.Stack), Options.Concolic);
     VM.setHooks(Hooks.get());
+    std::unique_ptr<CheckpointRecorder> Recorder;
+    if (UseSnapshots) {
+      Recorder = std::make_unique<CheckpointRecorder>(
+          VM, [&Inputs] { return Inputs.inputsThisRun(); });
+      Hooks->setCaptureHook(Recorder.get());
+    }
+    unsigned StartCall = 0;
+    bool Resumed = false;
+    if (Item.Pack) {
+      // Resume from the parent's deepest checkpoint consistent with the
+      // model. The replayed prefix consumes no random bits (all its
+      // inputs are IM-defined), so a fresh Rng(Item.RngSeed) reaches the
+      // suffix in the same state either way.
+      std::optional<MaterializedCheckpoint> Resume;
+      if (Item.MinChanged)
+        Resume = Item.Pack->resumeFor(*Item.MinChanged);
+      if (Resume) {
+        Inputs.resumeRun(Resume->InputsCreated, Resume->RegistryPrefix);
+        VM.resume(Resume->Vm);
+        Hooks->adoptCheckpoint(Resume->BranchIndex,
+                               std::move(Resume->Constraints),
+                               std::move(Resume->S), std::move(Resume->Cov),
+                               Resume->CovCount, Resume->Flags);
+        StartCall = Resume->CallIndex;
+        Resumed = true;
+        Shared.RunsResumed.fetch_add(1);
+        Shared.InstructionsSkipped.fetch_add(Resume->SkippedSteps);
+      } else {
+        Shared.ResumeMisses.fetch_add(1);
+        Inputs.beginRun();
+      }
+      Item.Pack.reset();
+    } else {
+      Inputs.beginRun();
+    }
     TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
                       Hooks.get(), Options.Driver);
-    RunResult Result = executeDartRun(Options, TU, Driver, VM);
+    RunResult Result = executeDartRun(Options, TU, Driver, VM,
+                                      Recorder.get(), StartCall, Resumed);
 
     Shared.TotalSteps.fetch_add(Result.Steps);
+    Shared.InstructionsExecuted.fetch_add(VM.executedSteps());
     if (!Hooks->flags().AllLinear)
       Shared.AllLinear.store(false);
     if (!Hooks->flags().AllLocsDefinite)
@@ -412,6 +462,12 @@ DartReport ParallelDartEngine::runDirected() {
     // Speculative expansion: solve the negation of every not-done branch
     // of this path and push all satisfiable flips.
     PathData Path = Hooks->takePath();
+    std::shared_ptr<CheckpointPack> Pack;
+    if (Recorder) {
+      Pack = Recorder->finalize(*Hooks, Path, Inputs.registry());
+      Shared.CheckpointsCaptured.fetch_add(Pack->numEntries());
+      Ledger.admit(Pack);
+    }
     auto DomainOf = [&Inputs, Static = Options.StaticPrune](InputId Id) {
       return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
     };
@@ -432,6 +488,10 @@ DartReport ParallelDartEngine::runDirected() {
       for (size_t I = 0; I + 1 < Child.Stack.size(); ++I)
         Child.Stack[I].Done = true;
       Child.IM = Inputs.im();
+      if (Pack) {
+        Child.Pack = Pack;
+        Child.MinChanged = minChangedInput(Cand.Model, Inputs.im());
+      }
       for (const auto &[Id, V] : Cand.Model)
         Child.IM[Id] = V;
       Child.RngSeed = mixSeed(Item.RngSeed, Cand.FlippedIndex + 1);
@@ -487,6 +547,13 @@ DartReport ParallelDartEngine::runDirected() {
   Report.Coverage = Shared.coverageBits();
   Report.Arena = Arena.stats();
   Report.TotalSteps = Shared.TotalSteps.load();
+  Report.Snapshot.CheckpointsCaptured = Shared.CheckpointsCaptured.load();
+  Report.Snapshot.RunsResumed = Shared.RunsResumed.load();
+  Report.Snapshot.ResumeMisses = Shared.ResumeMisses.load();
+  Report.Snapshot.InstructionsExecuted = Shared.InstructionsExecuted.load();
+  Report.Snapshot.InstructionsSkipped = Shared.InstructionsSkipped.load();
+  Report.Snapshot.PacksEvicted = Ledger.evictions();
+  Report.Snapshot.PeakResidentBytes = Ledger.peakResidentBytes();
   Report.CoverageTimeline = std::move(Shared.CoverageTimeline);
   Report.RunLog = std::move(Shared.RunLog);
   for (WorkerResult &WR : Results) {

@@ -45,6 +45,18 @@ public:
   /// Starts a new run: input ids restart from 0; IM persists.
   void beginRun() { NextId = 0; }
 
+  /// Starts a run that resumes a recorded execution prefix: ids continue
+  /// at \p NextInputId (the prefix's inputs are already defined in IM —
+  /// valueFor never draws randomness for them), and the registry adopts
+  /// the recorded run's first entries, which the skipped replay would
+  /// have (re)created identically. Entries past the prefix regrow as the
+  /// suffix executes.
+  void resumeRun(InputId NextInputId,
+                 const std::vector<InputInfo> &RegistryPrefix) {
+    Registry.assign(RegistryPrefix.begin(), RegistryPrefix.end());
+    NextId = NextInputId;
+  }
+
   /// Registers the next input. If a previous run already created an input
   /// with this id, the registry entry is overwritten (ids are positional).
   InputId createInput(InputKind Kind, ValType VT, std::string Name);

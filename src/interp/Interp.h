@@ -193,6 +193,35 @@ struct InterpOptions {
 
 class Interp : public EvalContext {
 public:
+  /// One activation record. Public so snapshots can carry the call stack;
+  /// the addresses reference regions of the Memory captured alongside.
+  struct Frame {
+    const IRFunction *Fn = nullptr;
+    unsigned PC = 0;
+    std::vector<Addr> SlotAddrs;
+    Addr RetDest = 0; // 0 = discard return value
+    ValType RetVT = ValType::int32();
+  };
+
+  /// Everything needed to re-enter a run mid-execution: the COW memory
+  /// image plus the VM registers (pc lives in the frames). Immutable once
+  /// captured; copies are O(call depth + memory chunks). Valid for any
+  /// Interp over the same IRModule instance (frames hold IRFunction
+  /// pointers).
+  struct Snapshot {
+    Memory::Snapshot Mem;
+    std::vector<Frame> Stack;
+    std::vector<Addr> GlobalAddrs;
+    uint64_t Steps = 0;
+
+    size_t approxBytes() const {
+      size_t B = sizeof(*this) + Mem.approxBytes();
+      for (const Frame &F : Stack)
+        B += sizeof(Frame) + F.SlotAddrs.size() * sizeof(Addr);
+      return B;
+    }
+  };
+
   Interp(const IRModule &M, InterpOptions Options = {});
 
   /// Registers a native library function (malloc/free/abort come built in).
@@ -214,6 +243,25 @@ public:
   /// Executes the frame pushed by beginCall until it returns.
   RunResult finishCall();
 
+  /// Captures the full VM state. Legal at any point, including from inside
+  /// a hook fired mid-instruction (the snapshot-resume layer captures at
+  /// branch hooks with the pc still on the CondJump).
+  Snapshot snapshot() const;
+
+  /// Replaces this VM's state with \p S. The VM must have been constructed
+  /// over the same IRModule. Follow with finishResumedCall() when the
+  /// snapshot was taken mid-call.
+  void resume(const Snapshot &S);
+
+  /// Continues executing the call stack installed by resume() until the
+  /// outermost restored frame returns (the counterpart of finishCall for a
+  /// resumed run).
+  RunResult finishResumedCall();
+
+  /// Instructions this VM actually executed — unlike Steps, never
+  /// rewound by resume(), so it measures real work done (snapshot stats).
+  uint64_t executedSteps() const { return ExecutedSteps; }
+
   Memory &memory() { return Mem; }
   const IRModule &module() const { return M; }
 
@@ -232,17 +280,10 @@ public:
   }
 
 private:
-  struct Frame {
-    const IRFunction *Fn = nullptr;
-    unsigned PC = 0;
-    std::vector<Addr> SlotAddrs;
-    Addr RetDest = 0; // 0 = discard return value
-    ValType RetVT = ValType::int32();
-  };
-
   void materializeGlobals();
-  /// Core interpreter loop; returns when the initial frame returns.
-  RunResult runLoop();
+  /// Core interpreter loop; returns when the frame at \p BaseDepth
+  /// returns.
+  RunResult runLoop(size_t BaseDepth);
   /// Evaluates a pure expression; on fault sets Err and returns 0.
   int64_t eval(const IRExpr *E, RunError &Err, bool &Failed);
   bool execCall(const CallInstr &Call, RunResult &Result);
@@ -257,7 +298,8 @@ private:
   std::map<std::string, NativeFn> Natives;
   ExecHooks *Hooks = nullptr;
   std::vector<Frame> Stack;
-  uint64_t Steps = 0;
+  uint64_t Steps = 0;         ///< run-position step counter (restored by resume)
+  uint64_t ExecutedSteps = 0; ///< monotone work counter (never restored)
 };
 
 } // namespace dart

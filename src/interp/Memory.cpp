@@ -1,4 +1,4 @@
-//===- Memory.cpp - Region-based RAM for the concrete VM ------------------===//
+//===- Memory.cpp - Copy-on-write region RAM for the concrete VM ----------===//
 //
 // Part of the DART reproduction. MIT license.
 //
@@ -6,6 +6,7 @@
 
 #include "interp/Memory.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -33,33 +34,68 @@ const char *dart::memFaultName(MemFault F) {
   return "memory fault";
 }
 
+const std::shared_ptr<Memory::Page> &Memory::zeroPage() {
+  static const std::shared_ptr<Page> Z = std::make_shared<Page>();
+  return Z;
+}
+
+Memory::Region &Memory::mutableRegionAt(uint32_t Id) {
+  std::shared_ptr<Chunk> &C = Chunks[Id / kRegionsPerChunk];
+  // use_count() == 1 means this Memory holds the only reference, so no
+  // snapshot (or resumed sibling) can observe the mutation; a reference
+  // that is private cannot be copied concurrently, which makes the check
+  // race-free without atomics beyond shared_ptr's own.
+  if (C.use_count() > 1) {
+    C = std::make_shared<Chunk>(*C);
+    ++St.ChunkClones;
+  }
+  return C->R[Id % kRegionsPerChunk];
+}
+
+uint8_t *Memory::mutablePage(Region &R, size_t PageIndex) {
+  std::shared_ptr<Page> &P = R.Pages[PageIndex];
+  if (P.use_count() > 1) { // always true for the shared zero page
+    P = std::make_shared<Page>(*P);
+    ++St.PageClones;
+  }
+  return P->B.data();
+}
+
 Addr Memory::allocate(uint64_t Size, RegionKind Kind, std::string Name,
                       bool ReadOnly) {
-  assert(Regions.size() < UINT32_MAX && "region space exhausted");
-  Region R;
-  R.Bytes.resize(Size, 0);
+  assert(NumRegions < UINT32_MAX && "region space exhausted");
+  uint32_t Id = static_cast<uint32_t>(NumRegions++);
+  if (Id % kRegionsPerChunk == 0)
+    Chunks.push_back(std::make_shared<Chunk>());
+  // After a restore, the tail chunk's unused slots are pristine (the
+  // snapshot was taken before they were ever written), so assigning every
+  // field rebuilds the slot exactly.
+  Region &R = mutableRegionAt(Id);
+  R.Size = Size;
   R.Kind = Kind;
-  R.Name = std::move(Name);
+  R.Alive = true;
   R.ReadOnly = ReadOnly;
-  Regions.push_back(std::move(R));
+  R.Name = std::move(Name);
+  R.Pages.assign((Size + kPageSize - 1) / kPageSize, zeroPage());
   if (Kind == RegionKind::Heap)
     HeapInUse += Size;
-  return makeAddr(static_cast<uint32_t>(Regions.size() - 1), 0);
+  return makeAddr(Id, 0);
 }
 
 MemFault Memory::free(Addr Base) {
   if (isNullAddr(Base))
     return MemFault::None; // free(NULL) is a no-op, as in C
   uint32_t Id = addrRegion(Base);
-  if (Id >= Regions.size())
+  if (Id >= NumRegions)
     return MemFault::BadRegion;
-  Region &R = Regions[Id];
-  if (R.Kind != RegionKind::Heap || addrOffset(Base) != 0)
+  const Region &RC = regionAt(Id);
+  if (RC.Kind != RegionKind::Heap || addrOffset(Base) != 0)
     return MemFault::BadFree;
-  if (!R.Alive)
+  if (!RC.Alive)
     return MemFault::DoubleFree;
+  Region &R = mutableRegionAt(Id);
   R.Alive = false;
-  HeapInUse -= R.Bytes.size();
+  HeapInUse -= R.Size;
   return MemFault::None;
 }
 
@@ -67,9 +103,9 @@ void Memory::releaseStack(Addr Base) {
   if (isNullAddr(Base))
     return;
   uint32_t Id = addrRegion(Base);
-  assert(Id < Regions.size() && Regions[Id].Kind == RegionKind::Stack &&
+  assert(Id < NumRegions && regionAt(Id).Kind == RegionKind::Stack &&
          "releaseStack on a non-stack region");
-  Regions[Id].Alive = false;
+  mutableRegionAt(Id).Alive = false;
 }
 
 const Memory::Region *Memory::access(Addr A, uint64_t Size,
@@ -79,17 +115,17 @@ const Memory::Region *Memory::access(Addr A, uint64_t Size,
     return nullptr;
   }
   uint32_t Id = addrRegion(A);
-  if (Id >= Regions.size()) {
+  if (Id >= NumRegions) {
     Fault = MemFault::BadRegion;
     return nullptr;
   }
-  const Region &R = Regions[Id];
+  const Region &R = regionAt(Id);
   if (!R.Alive) {
     Fault = MemFault::UseAfterFree;
     return nullptr;
   }
   uint64_t Offset = addrOffset(A);
-  if (Offset + Size > R.Bytes.size()) {
+  if (Offset + Size > R.Size) {
     Fault = MemFault::OutOfBounds;
     return nullptr;
   }
@@ -97,15 +133,50 @@ const Memory::Region *Memory::access(Addr A, uint64_t Size,
   return &R;
 }
 
+void Memory::readBytes(const Region &R, uint64_t Off, uint8_t *Out,
+                       uint64_t N) const {
+  while (N > 0) {
+    size_t PageIndex = Off / kPageSize;
+    uint64_t InPage = Off % kPageSize;
+    uint64_t Run = std::min(N, kPageSize - InPage);
+    std::memcpy(Out, R.Pages[PageIndex]->B.data() + InPage, Run);
+    Off += Run;
+    Out += Run;
+    N -= Run;
+  }
+}
+
+void Memory::writeBytes(Region &R, uint64_t Off, const uint8_t *In,
+                        uint64_t N) {
+  while (N > 0) {
+    size_t PageIndex = Off / kPageSize;
+    uint64_t InPage = Off % kPageSize;
+    uint64_t Run = std::min(N, kPageSize - InPage);
+    std::memcpy(mutablePage(R, PageIndex) + InPage, In, Run);
+    Off += Run;
+    In += Run;
+    N -= Run;
+  }
+}
+
 MemFault Memory::load(Addr A, unsigned Size, uint64_t &Out) const {
   MemFault Fault;
   const Region *R = access(A, Size, Fault);
   if (!R)
     return Fault;
+  uint64_t Off = addrOffset(A);
+  uint64_t InPage = Off % kPageSize;
   uint64_t Value = 0;
-  const uint8_t *Src = R->Bytes.data() + addrOffset(A);
-  for (unsigned I = 0; I < Size; ++I)
-    Value |= static_cast<uint64_t>(Src[I]) << (8 * I);
+  if (InPage + Size <= kPageSize) {
+    const uint8_t *Src = R->Pages[Off / kPageSize]->B.data() + InPage;
+    for (unsigned I = 0; I < Size; ++I)
+      Value |= static_cast<uint64_t>(Src[I]) << (8 * I);
+  } else {
+    uint8_t Buf[8];
+    readBytes(*R, Off, Buf, Size);
+    for (unsigned I = 0; I < Size; ++I)
+      Value |= static_cast<uint64_t>(Buf[I]) << (8 * I);
+  }
   Out = Value;
   return MemFault::None;
 }
@@ -117,10 +188,11 @@ MemFault Memory::store(Addr A, unsigned Size, uint64_t Value) {
     return Fault;
   if (RC->ReadOnly)
     return MemFault::ReadOnlyWrite;
-  Region &R = Regions[addrRegion(A)];
-  uint8_t *Dst = R.Bytes.data() + addrOffset(A);
+  Region &R = mutableRegionAt(addrRegion(A));
+  uint8_t Buf[8];
   for (unsigned I = 0; I < Size; ++I)
-    Dst[I] = static_cast<uint8_t>((Value >> (8 * I)) & 0xff);
+    Buf[I] = static_cast<uint8_t>((Value >> (8 * I)) & 0xff);
+  writeBytes(R, addrOffset(A), Buf, Size);
   return MemFault::None;
 }
 
@@ -136,19 +208,22 @@ MemFault Memory::copy(Addr Dst, Addr Src, uint64_t Size) {
     return Fault;
   if (DstRC->ReadOnly)
     return MemFault::ReadOnlyWrite;
-  // memmove semantics within one region.
-  Region &DstR = Regions[addrRegion(Dst)];
-  std::memmove(DstR.Bytes.data() + addrOffset(Dst),
-               SrcR->Bytes.data() + addrOffset(Src), Size);
+  // Stage through a buffer: this gives memmove semantics for overlapping
+  // same-region copies and keeps the page walk simple.
+  std::vector<uint8_t> Buf(Size);
+  readBytes(*SrcR, addrOffset(Src), Buf.data(), Size);
+  Region &DstR = mutableRegionAt(addrRegion(Dst));
+  writeBytes(DstR, addrOffset(Dst), Buf.data(), Size);
   return MemFault::None;
 }
 
 void Memory::writeInitialImage(Addr Base, const std::vector<uint8_t> &Bytes) {
-  assert(!isNullAddr(Base) && addrRegion(Base) < Regions.size() &&
+  assert(!isNullAddr(Base) && addrRegion(Base) < NumRegions &&
          "bad region for initial image");
-  Region &R = Regions[addrRegion(Base)];
-  assert(Bytes.size() <= R.Bytes.size() && "initial image too large");
-  std::memcpy(R.Bytes.data(), Bytes.data(), Bytes.size());
+  Region &R = mutableRegionAt(addrRegion(Base));
+  assert(Bytes.size() <= R.Size && "initial image too large");
+  if (!Bytes.empty())
+    writeBytes(R, 0, Bytes.data(), Bytes.size());
 }
 
 bool Memory::isReadable(Addr A, uint64_t Size) const {
@@ -157,14 +232,29 @@ bool Memory::isReadable(Addr A, uint64_t Size) const {
 }
 
 uint64_t Memory::regionSize(Addr A) const {
-  if (isNullAddr(A) || addrRegion(A) >= Regions.size())
+  if (isNullAddr(A) || addrRegion(A) >= NumRegions)
     return 0;
-  return Regions[addrRegion(A)].Bytes.size();
+  return regionAt(addrRegion(A)).Size;
 }
 
 bool Memory::isHeapBase(Addr A) const {
-  if (isNullAddr(A) || addrRegion(A) >= Regions.size())
+  if (isNullAddr(A) || addrRegion(A) >= NumRegions)
     return false;
-  const Region &R = Regions[addrRegion(A)];
+  const Region &R = regionAt(addrRegion(A));
   return R.Kind == RegionKind::Heap && addrOffset(A) == 0 && R.Alive;
+}
+
+Memory::Snapshot Memory::snapshot() const {
+  Snapshot S;
+  S.Chunks = Chunks;
+  S.NumRegions = NumRegions;
+  S.HeapInUse = HeapInUse;
+  ++St.SnapshotsTaken;
+  return S;
+}
+
+void Memory::restore(const Snapshot &S) {
+  Chunks = S.Chunks;
+  NumRegions = S.NumRegions;
+  HeapInUse = S.HeapInUse;
 }

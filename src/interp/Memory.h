@@ -1,4 +1,4 @@
-//===- Memory.h - Region-based RAM for the concrete VM ---------*- C++ -*-===//
+//===- Memory.h - Copy-on-write region RAM for the concrete VM --*- C++ -*-===//
 //
 // Part of the DART reproduction. MIT license.
 //
@@ -13,12 +13,23 @@
 /// bad free, and writes to read-only data (§4.3's oSIP crashes are NULL
 /// dereferences found exactly this way).
 ///
+/// Storage is copy-on-write to support the snapshot-resume search: the
+/// region table is chunked (kRegionsPerChunk regions per refcounted chunk)
+/// and region bytes are paged (kPageSize bytes per refcounted page).
+/// snapshot() is O(chunks) pointer copies; after a snapshot, the first
+/// write to a chunk or page clones just that chunk or page. Snapshots are
+/// immutable and may be restored into any Memory of the same module, from
+/// any thread (restore clones the COW roots; writers never mutate shared
+/// chunks or pages).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DART_INTERP_MEMORY_H
 #define DART_INTERP_MEMORY_H
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,7 +59,7 @@ enum class MemFault {
   BadRegion,     // address names a region that never existed
   BadFree,       // free() of a non-heap or non-base pointer
   DoubleFree,    // free() of an already-freed region
-  ReadOnlyWrite, // store into a string literal
+  ReadOnlyWrite, // write into a string literal
 };
 
 const char *memFaultName(MemFault F);
@@ -57,6 +68,53 @@ const char *memFaultName(MemFault F);
 /// pointers reliably fault instead of aliasing new objects.
 class Memory {
 public:
+  static constexpr uint64_t kPageSize = 256;
+  static constexpr size_t kRegionsPerChunk = 32;
+
+  /// Copy-on-write sharing counters (tests and snapshot accounting).
+  struct CowStats {
+    uint64_t ChunkClones = 0;    ///< region-table chunks copied on write
+    uint64_t PageClones = 0;     ///< pages copied on write (incl. the
+                                 ///< shared zero page materializing)
+    uint64_t SnapshotsTaken = 0;
+  };
+
+private:
+  struct Page {
+    std::array<uint8_t, kPageSize> B{};
+  };
+
+  struct Region {
+    uint64_t Size = 0;
+    RegionKind Kind = RegionKind::Global;
+    bool Alive = true;
+    bool ReadOnly = false;
+    std::string Name;
+    std::vector<std::shared_ptr<Page>> Pages; ///< ceil(Size / kPageSize)
+  };
+
+  struct Chunk {
+    std::array<Region, kRegionsPerChunk> R;
+  };
+
+public:
+  /// An immutable point-in-time image: shared chunk pointers plus the
+  /// allocator cursors. Copying one is O(chunks); holding one pins the
+  /// pages it references.
+  class Snapshot {
+    friend class Memory;
+    std::vector<std::shared_ptr<Chunk>> Chunks;
+    size_t NumRegions = 0;
+    uint64_t HeapInUse = 0;
+
+  public:
+    /// Incremental footprint estimate (the shared pages are accounted to
+    /// whoever dirtied them, not to every snapshot that references them).
+    size_t approxBytes() const {
+      return sizeof(*this) + Chunks.size() * sizeof(Chunks[0]);
+    }
+  };
+
   /// Creates a new region of \p Size bytes (zero-filled) and returns its
   /// base address. Zero-size regions are valid (their base can be compared
   /// but not dereferenced).
@@ -92,22 +150,44 @@ public:
 
   /// Total bytes currently allocated in live heap regions.
   uint64_t heapBytesInUse() const { return HeapInUse; }
-  size_t numRegions() const { return Regions.size(); }
+  size_t numRegions() const { return NumRegions; }
+
+  /// Captures the current state. O(chunks); nothing is copied until a
+  /// subsequent write.
+  Snapshot snapshot() const;
+
+  /// Rewinds this memory to \p S. Regions allocated after the snapshot
+  /// vanish; writes made after it are undone. The snapshot stays valid
+  /// (restore adopts its COW roots, it does not consume them).
+  void restore(const Snapshot &S);
+
+  const CowStats &cowStats() const { return St; }
 
 private:
-  struct Region {
-    std::vector<uint8_t> Bytes;
-    RegionKind Kind;
-    std::string Name;
-    bool Alive = true;
-    bool ReadOnly = false;
-  };
-
   /// Checks the access and returns the region, or null with \p Fault set.
   const Region *access(Addr A, uint64_t Size, MemFault &Fault) const;
 
-  std::vector<Region> Regions;
+  const Region &regionAt(uint32_t Id) const {
+    return Chunks[Id / kRegionsPerChunk]->R[Id % kRegionsPerChunk];
+  }
+  /// Region slot for mutation; clones the owning chunk if it is shared
+  /// with a snapshot (or another Memory resumed from one).
+  Region &mutableRegionAt(uint32_t Id);
+  /// Writable bytes of one page; clones the page if it is shared.
+  uint8_t *mutablePage(Region &R, size_t PageIndex);
+
+  void readBytes(const Region &R, uint64_t Off, uint8_t *Out,
+                 uint64_t N) const;
+  void writeBytes(Region &R, uint64_t Off, const uint8_t *In, uint64_t N);
+
+  /// The process-wide all-zero page fresh regions start from; never
+  /// written (its use_count is always > 1, so writers always clone).
+  static const std::shared_ptr<Page> &zeroPage();
+
+  std::vector<std::shared_ptr<Chunk>> Chunks;
+  size_t NumRegions = 0;
   uint64_t HeapInUse = 0;
+  mutable CowStats St;
 };
 
 } // namespace dart

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 using namespace dart;
 
 TEST(Memory, AddressEncoding) {
@@ -176,4 +178,147 @@ TEST(Memory, IsReadable) {
   EXPECT_TRUE(M.isReadable(A, 4));
   EXPECT_FALSE(M.isReadable(A, 5));
   EXPECT_FALSE(M.isReadable(0, 1));
+}
+
+TEST(MemoryCow, WriteAfterSnapshotIsolation) {
+  Memory M;
+  Addr A = M.allocate(8, RegionKind::Heap, "a");
+  M.store(A, 8, 0x1111111111111111ULL);
+  Memory::Snapshot S = M.snapshot();
+  M.store(A, 8, 0x2222222222222222ULL);
+  uint64_t V;
+  M.load(A, 8, V);
+  EXPECT_EQ(V, 0x2222222222222222ULL);
+  M.restore(S);
+  M.load(A, 8, V);
+  EXPECT_EQ(V, 0x1111111111111111ULL) << "snapshot saw the later write";
+}
+
+TEST(MemoryCow, SnapshotIsO1UntilWrite) {
+  Memory M;
+  Addr A = M.allocate(4 * Memory::kPageSize, RegionKind::Heap, "big");
+  M.store(A, 8, 7); // materialize one page
+  uint64_t PagesBefore = M.cowStats().PageClones;
+  Memory::Snapshot S = M.snapshot();
+  uint64_t V;
+  M.load(A, 8, V); // reads never clone
+  EXPECT_EQ(M.cowStats().PageClones, PagesBefore);
+  M.store(A, 8, 8); // first write clones exactly one chunk + one page
+  EXPECT_EQ(M.cowStats().PageClones, PagesBefore + 1);
+  M.store(A + 4, 4, 9); // same page, now exclusively owned: no clone
+  EXPECT_EQ(M.cowStats().PageClones, PagesBefore + 1);
+  M.restore(S);
+  M.load(A, 8, V);
+  EXPECT_EQ(V, 7u);
+}
+
+TEST(MemoryCow, DeepSnapshotChain) {
+  // A chain of snapshots at states 0..N; each must independently preserve
+  // its own state, restorable in any order.
+  Memory M;
+  Addr A = M.allocate(16, RegionKind::Global, "g");
+  std::vector<Memory::Snapshot> Chain;
+  for (uint64_t I = 0; I < 24; ++I) {
+    M.store(A, 8, I);
+    M.store(A + 8, 8, I * I);
+    Chain.push_back(M.snapshot());
+  }
+  for (uint64_t I : {23u, 0u, 11u, 17u, 4u, 11u}) {
+    M.restore(Chain[I]);
+    uint64_t V;
+    M.load(A, 8, V);
+    EXPECT_EQ(V, I);
+    M.load(A + 8, 8, V);
+    EXPECT_EQ(V, I * I);
+    // Mutating after a restore must not corrupt the chain.
+    M.store(A, 8, 999);
+  }
+}
+
+TEST(MemoryCow, RestoreDropsLaterAllocations) {
+  Memory M;
+  Addr A = M.allocate(8, RegionKind::Heap, "a");
+  Memory::Snapshot S = M.snapshot();
+  Addr B = M.allocate(8, RegionKind::Heap, "b");
+  EXPECT_EQ(M.numRegions(), 2u);
+  EXPECT_EQ(M.heapBytesInUse(), 16u);
+  M.restore(S);
+  EXPECT_EQ(M.numRegions(), 1u);
+  EXPECT_EQ(M.heapBytesInUse(), 8u);
+  uint64_t V;
+  EXPECT_EQ(M.load(B, 8, V), MemFault::BadRegion)
+      << "region allocated after the snapshot must vanish";
+  EXPECT_EQ(M.load(A, 8, V), MemFault::None);
+}
+
+TEST(MemoryCow, RestoreRevivesFreedRegion) {
+  Memory M;
+  Addr A = M.allocate(8, RegionKind::Heap, "a");
+  Memory::Snapshot S = M.snapshot();
+  EXPECT_EQ(M.free(A), MemFault::None);
+  uint64_t V;
+  EXPECT_EQ(M.load(A, 8, V), MemFault::UseAfterFree);
+  M.restore(S);
+  EXPECT_EQ(M.load(A, 8, V), MemFault::None) << "snapshot predates the free";
+  EXPECT_EQ(M.heapBytesInUse(), 8u);
+  // And the converse: a free captured by the snapshot stays freed.
+  EXPECT_EQ(M.free(A), MemFault::None);
+  Memory::Snapshot S2 = M.snapshot();
+  M.restore(S2);
+  EXPECT_EQ(M.load(A, 8, V), MemFault::UseAfterFree);
+  EXPECT_EQ(M.free(A), MemFault::DoubleFree);
+}
+
+TEST(MemoryCow, PageStraddlingAccessUnderSnapshot) {
+  Memory M;
+  Addr A = M.allocate(2 * Memory::kPageSize, RegionKind::Heap, "straddle");
+  Addr Edge = A + Memory::kPageSize - 4; // 8-byte access spans two pages
+  M.store(Edge, 8, 0x0102030405060708ULL);
+  Memory::Snapshot S = M.snapshot();
+  M.store(Edge, 8, 0xf1f2f3f4f5f6f7f8ULL);
+  M.restore(S);
+  uint64_t V;
+  M.load(Edge, 8, V);
+  EXPECT_EQ(V, 0x0102030405060708ULL);
+  M.load(Edge + 4, 4, V);
+  EXPECT_EQ(V, 0x01020304u) << "high half lives on the second page";
+}
+
+TEST(MemoryCow, FreshRegionsShareTheZeroPage) {
+  Memory M;
+  uint64_t Before = M.cowStats().PageClones;
+  M.allocate(64 * Memory::kPageSize, RegionKind::Global, "huge");
+  EXPECT_EQ(M.cowStats().PageClones, Before)
+      << "allocation must not materialize pages";
+  uint64_t V;
+  Addr A = M.allocate(8, RegionKind::Heap, "a");
+  M.load(A, 8, V);
+  EXPECT_EQ(V, 0u);
+  EXPECT_EQ(M.cowStats().PageClones, Before) << "reads of zero pages are free";
+}
+
+TEST(MemoryCow, SnapshotSurvivesSourceMutation) {
+  // The pack-sharing pattern: materialize a snapshot into a *different*
+  // Memory while the original keeps running.
+  Memory M;
+  Addr A = M.allocate(8, RegionKind::Heap, "a");
+  M.store(A, 8, 42);
+  Memory::Snapshot S = M.snapshot();
+  M.store(A, 8, 43);
+  M.allocate(8, RegionKind::Heap, "later");
+
+  Memory Clone;
+  Clone.restore(S);
+  uint64_t V;
+  Clone.load(A, 8, V);
+  EXPECT_EQ(V, 42u);
+  EXPECT_EQ(Clone.numRegions(), 1u);
+  // Writes in the clone never leak back into M or the snapshot.
+  Clone.store(A, 8, 77);
+  M.load(A, 8, V);
+  EXPECT_EQ(V, 43u);
+  Memory Again;
+  Again.restore(S);
+  Again.load(A, 8, V);
+  EXPECT_EQ(V, 42u);
 }

@@ -1,0 +1,250 @@
+//===- snapshot_diff_test.cpp - Snapshot-resume search equivalence --------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Snapshot-resume (DartOptions::Snapshots) is a pure performance lever:
+// with checkpoints on and off, a DART session over the same program and
+// seed must produce the *same* bug sets, coverage bitmaps, run counts, and
+// solver schedules — a resumed run is the replayed run, minus the prefix
+// instructions. This suite pins that down over the paper's example
+// programs, the examples/minic sources, and the §4 workloads, at --jobs 1
+// (byte-exact, including every model value and run number) and --jobs 4
+// (content-identical), plus under a tiny eviction budget where most packs
+// are released before their children pop.
+//
+// Parallel comparisons use scenarios whose exploration *completes* within
+// the run budget: a budget-truncated parallel search processes a
+// schedule-dependent subset of the frontier, so its observables vary
+// between identical invocations with snapshots on or off (pre-existing
+// behaviour, pinned by pipeline_diff_test's scenario choices too).
+// Truncated deep searches are compared at --jobs 1, where the schedule is
+// the sequential one and the comparison stays byte-exact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dart;
+using namespace dart::test;
+
+namespace {
+
+struct Scenario {
+  std::string Name;
+  std::string Source;
+  std::string Toplevel;
+  unsigned Depth;
+  uint64_t Seed;
+  unsigned MaxRuns;
+};
+
+std::string readExample(const std::string &FileName) {
+  std::ifstream In(std::string(DART_MINIC_DIR) + "/" + FileName);
+  EXPECT_TRUE(In.good()) << "cannot read example " << FileName;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+const char *introSource() {
+  return R"(
+    int f(int x) { return 2 * x; }
+    int h(int x, int y) {
+      if (x != y)
+        if (f(x) == x + 10)
+          abort();
+      return 0;
+    }
+  )";
+}
+
+/// §4 workloads and intro examples whose exploration completes within the
+/// budget: safe at any job count.
+std::vector<Scenario> completingScenarios() {
+  return {
+      {"intro", introSource(), "h", 1, 42, 200},
+      {"ac_controller", workloads::acControllerSource(), "ac_controller", 2,
+       2005, 2000},
+      {"ac_controller_deep", workloads::acControllerSource(),
+       "ac_controller", 4, 2005, 2000},
+      {"minisip_get_host", workloads::miniSipSource(), "sip_uri_get_host", 1,
+       11, 300},
+      {"minisip_receive", workloads::miniSipSource(), "sip_receive", 1, 11,
+       300},
+  };
+}
+
+/// Deep, budget-truncated searches: --jobs 1 only (see file comment).
+std::vector<Scenario> truncatedDeepScenarios() {
+  return {
+      {"ac_controller_d8", workloads::acControllerSource(), "ac_controller",
+       8, 2005, 1500},
+      {"minisip_receive_d32", workloads::miniSipSource(), "sip_receive", 32,
+       11, 400},
+  };
+}
+
+/// The shipped examples/minic sources (read from the source tree); these
+/// complete, so they run at both job counts.
+std::vector<Scenario> minicScenarios() {
+  return {
+      {"filters_route", readExample("filters.c"), "route", 4, 2005, 1000},
+      {"lint_clean_clamp", readExample("lint_clean.c"), "clamp", 4, 7, 500},
+      {"lint_seeded", readExample("lint_seeded.c"), "seeded", 1, 3, 200},
+  };
+}
+
+DartReport runSnap(const Scenario &S, bool Snapshots, unsigned Jobs,
+                   uint64_t BudgetBytes = uint64_t(64) << 20) {
+  auto D = compile(S.Source);
+  DartOptions Opts;
+  Opts.ToplevelName = S.Toplevel;
+  Opts.Depth = S.Depth;
+  Opts.Seed = S.Seed;
+  Opts.MaxRuns = S.MaxRuns;
+  Opts.Jobs = Jobs;
+  Opts.StopAtFirstError = false; // collect every distinct error path
+  Opts.Snapshots = Snapshots;
+  Opts.SnapshotBudgetBytes = BudgetBytes;
+  return D->run(Opts);
+}
+
+/// Every bug, with its exact inputs. Run numbers are only meaningful at
+/// --jobs 1 (the parallel numbering follows the worker schedule).
+std::vector<std::string> bugList(const DartReport &R, bool WithRunNumbers) {
+  std::vector<std::string> Out;
+  for (const BugInfo &B : R.Bugs) {
+    if (WithRunNumbers) {
+      Out.push_back(B.toString());
+      continue;
+    }
+    std::string Sig = B.Error.toString();
+    for (const auto &[InputName, Value] : B.Inputs)
+      Sig += " " + InputName + "=" + std::to_string(Value);
+    Out.push_back(std::move(Sig));
+  }
+  return Out;
+}
+
+void expectIdentical(const DartReport &On, const DartReport &Off,
+                     const std::string &Name, bool WithRunNumbers) {
+  EXPECT_EQ(On.Runs, Off.Runs) << Name;
+  EXPECT_EQ(On.Restarts, Off.Restarts) << Name;
+  EXPECT_EQ(On.ForcingMismatches, Off.ForcingMismatches) << Name;
+  EXPECT_EQ(On.BugFound, Off.BugFound) << Name;
+  EXPECT_EQ(bugList(On, WithRunNumbers), bugList(Off, WithRunNumbers))
+      << Name;
+  EXPECT_EQ(On.CompleteExploration, Off.CompleteExploration) << Name;
+  EXPECT_EQ(On.BranchDirectionsCovered, Off.BranchDirectionsCovered) << Name;
+  EXPECT_EQ(On.Coverage, Off.Coverage) << Name << ": coverage bitmap";
+  EXPECT_EQ(On.SolverCalls, Off.SolverCalls) << Name;
+  // A resumed run reports the full path's step count, so even the step
+  // totals agree.
+  EXPECT_EQ(On.TotalSteps, Off.TotalSteps) << Name;
+}
+
+} // namespace
+
+TEST(SnapshotDiff, SequentialByteIdenticalAcrossModes) {
+  uint64_t TotalResumed = 0;
+  uint64_t ExecOn = 0, ExecOff = 0;
+  std::vector<Scenario> All = completingScenarios();
+  for (Scenario &S : truncatedDeepScenarios())
+    All.push_back(std::move(S));
+  for (const Scenario &S : All) {
+    DartReport On = runSnap(S, /*Snapshots=*/true, /*Jobs=*/1);
+    DartReport Off = runSnap(S, /*Snapshots=*/false, /*Jobs=*/1);
+    expectIdentical(On, Off, S.Name, /*WithRunNumbers=*/true);
+    // The off baseline must truly not checkpoint.
+    EXPECT_EQ(Off.Snapshot.CheckpointsCaptured, 0u) << S.Name;
+    EXPECT_EQ(Off.Snapshot.InstructionsSkipped, 0u) << S.Name;
+    TotalResumed += On.Snapshot.RunsResumed;
+    ExecOn += On.Snapshot.InstructionsExecuted;
+    ExecOff += Off.Snapshot.InstructionsExecuted;
+  }
+  EXPECT_GT(TotalResumed, 0u) << "snapshot-resume was never exercised";
+  EXPECT_LT(ExecOn, ExecOff) << "resume must skip instruction work";
+}
+
+TEST(SnapshotDiff, ParallelIdenticalAcrossModes) {
+  for (const Scenario &S : completingScenarios()) {
+    DartReport On = runSnap(S, /*Snapshots=*/true, /*Jobs=*/4);
+    DartReport Off = runSnap(S, /*Snapshots=*/false, /*Jobs=*/4);
+    expectIdentical(On, Off, S.Name, /*WithRunNumbers=*/false);
+  }
+}
+
+TEST(SnapshotDiff, ParallelSnapshotModeIsDeterministic) {
+  for (const Scenario &S : completingScenarios()) {
+    DartReport A = runSnap(S, /*Snapshots=*/true, /*Jobs=*/4);
+    DartReport B = runSnap(S, /*Snapshots=*/true, /*Jobs=*/4);
+    expectIdentical(A, B, S.Name, /*WithRunNumbers=*/false);
+  }
+}
+
+TEST(SnapshotDiff, MinicExamplesIdenticalAtBothJobCounts) {
+  for (const Scenario &S : minicScenarios()) {
+    DartReport On1 = runSnap(S, /*Snapshots=*/true, /*Jobs=*/1);
+    DartReport Off1 = runSnap(S, /*Snapshots=*/false, /*Jobs=*/1);
+    expectIdentical(On1, Off1, S.Name + "/j1", /*WithRunNumbers=*/true);
+    DartReport On4 = runSnap(S, /*Snapshots=*/true, /*Jobs=*/4);
+    DartReport Off4 = runSnap(S, /*Snapshots=*/false, /*Jobs=*/4);
+    expectIdentical(On4, Off4, S.Name + "/j4", /*WithRunNumbers=*/false);
+  }
+}
+
+TEST(SnapshotDiff, DeepSearchResumesMostWork) {
+  // The headline claim: on a depth-32 workload the directed search redoes
+  // at most half the instruction work with snapshots on.
+  Scenario S{"filters_route_d32", readExample("filters.c"), "route", 32,
+             2005, 1000};
+  DartReport On = runSnap(S, /*Snapshots=*/true, /*Jobs=*/1);
+  DartReport Off = runSnap(S, /*Snapshots=*/false, /*Jobs=*/1);
+  expectIdentical(On, Off, S.Name, /*WithRunNumbers=*/true);
+  EXPECT_GT(On.Snapshot.RunsResumed, 0u);
+  EXPECT_LE(2 * On.Snapshot.InstructionsExecuted,
+            Off.Snapshot.InstructionsExecuted)
+      << "expected a >=2x executed-instruction reduction at depth 32";
+}
+
+TEST(SnapshotDiff, TinyBudgetEvictsButStaysEquivalent) {
+  // A 4 KiB budget evicts nearly every pack before its children pop; every
+  // miss falls back to a full replay, and the search must not notice.
+  for (unsigned Jobs : {1u, 4u}) {
+    Scenario S{"ac_controller_deep", workloads::acControllerSource(),
+               "ac_controller", 4, 2005, 2000};
+    DartReport Tiny =
+        runSnap(S, /*Snapshots=*/true, Jobs, /*BudgetBytes=*/4096);
+    DartReport Off = runSnap(S, /*Snapshots=*/false, Jobs);
+    expectIdentical(Tiny, Off, S.Name, /*WithRunNumbers=*/Jobs == 1);
+    EXPECT_GT(Tiny.Snapshot.PacksEvicted, 0u) << "budget never bound";
+    EXPECT_GT(Tiny.Snapshot.PeakResidentBytes, 0u);
+  }
+}
+
+TEST(SnapshotDiff, RandomOnlyIgnoresSnapshots) {
+  Scenario S{"minisip_receive", workloads::miniSipSource(), "sip_receive", 4,
+             11, 200};
+  auto D = compile(S.Source);
+  DartOptions Opts;
+  Opts.ToplevelName = S.Toplevel;
+  Opts.Depth = S.Depth;
+  Opts.Seed = S.Seed;
+  Opts.MaxRuns = S.MaxRuns;
+  Opts.RandomOnly = true;
+  Opts.StopAtFirstError = false;
+  Opts.Snapshots = true;
+  DartReport R = D->run(Opts);
+  EXPECT_EQ(R.Snapshot.CheckpointsCaptured, 0u);
+  EXPECT_EQ(R.Snapshot.RunsResumed, 0u);
+}

@@ -64,9 +64,17 @@ int usage() {
       "                        branches with statically Unsat negations\n"
       "                        never reach the solver (default on; bug\n"
       "                        sets, models and coverage are unchanged)\n"
+      "  --snapshot <on|off>   resume directed runs from copy-on-write VM\n"
+      "                        checkpoints, replaying only the path suffix\n"
+      "                        (default on; the search is observably\n"
+      "                        identical either way)\n"
+      "  --snapshot-budget <mib>  resident checkpoint byte budget in MiB,\n"
+      "                        LRU-evicted; 0 = unbounded (default 64)\n"
       "  --log-runs            print a one-line summary of every run\n"
-      "  --stats               print constraint-pipeline statistics\n"
-      "                        (arena, sessions, caches) after the run\n");
+      "  --stats               print constraint-pipeline and snapshot\n"
+      "                        statistics after the run (for audit:\n"
+      "                        aggregated over all functions, including\n"
+      "                        sessions that ended at a found bug)\n");
   return 2;
 }
 
@@ -152,6 +160,21 @@ CliOptions parseArgs(int argc, char **argv) {
         Cli.Ok = false;
         return Cli;
       }
+    } else if (Arg == "--snapshot") {
+      const char *V = Next();
+      if (V && std::strcmp(V, "off") == 0)
+        Cli.Dart.Snapshots = false;
+      else if (V && std::strcmp(V, "on") == 0)
+        Cli.Dart.Snapshots = true;
+      else {
+        std::fprintf(stderr, "--snapshot expects 'on' or 'off'\n");
+        Cli.Ok = false;
+        return Cli;
+      }
+    } else if (Arg == "--snapshot-budget") {
+      const char *V = Next();
+      Cli.Dart.SnapshotBudgetBytes =
+          V ? strtoull(V, nullptr, 10) << 20 : Cli.Dart.SnapshotBudgetBytes;
     } else if (Arg == "--log-runs") {
       Cli.Dart.LogRuns = true;
     } else if (Arg == "--stats") {
@@ -193,6 +216,21 @@ void printPipelineStats(const DartReport &R) {
   std::printf("  batch query cache: %llu hits, %llu misses\n",
               (unsigned long long)S.CacheHits,
               (unsigned long long)S.CacheMisses);
+  const SnapshotStats &Snap = R.Snapshot;
+  std::printf("snapshot stats:\n");
+  std::printf("  checkpoints captured: %llu, packs evicted: %llu\n",
+              (unsigned long long)Snap.CheckpointsCaptured,
+              (unsigned long long)Snap.PacksEvicted);
+  std::printf("  runs resumed: %llu, resume misses: %llu\n",
+              (unsigned long long)Snap.RunsResumed,
+              (unsigned long long)Snap.ResumeMisses);
+  std::printf("  instructions: %llu executed, %llu skipped (%.1f%% "
+              "resumed)\n",
+              (unsigned long long)Snap.InstructionsExecuted,
+              (unsigned long long)Snap.InstructionsSkipped,
+              100.0 * Snap.resumedInstructionFraction());
+  std::printf("  peak resident checkpoint bytes: %llu\n",
+              (unsigned long long)Snap.PeakResidentBytes);
 }
 
 int runTest(Dart &D, CliOptions &Cli) {
@@ -217,12 +255,21 @@ int runTest(Dart &D, CliOptions &Cli) {
 
 int runAudit(Dart &D, CliOptions &Cli) {
   unsigned Crashed = 0, Total = 0;
+  // Aggregated across every per-function session — crashing ones
+  // included, so --stats reflects the whole audit even when sessions end
+  // at a found bug.
+  DartReport Agg;
   for (const std::string &Fn : D.definedFunctions()) {
     ++Total;
     DartOptions Opts = Cli.Dart;
     Opts.ToplevelName = Fn;
     Opts.Interp.MaxSteps = 1u << 18;
     DartReport R = D.run(Opts);
+    Agg.Solver.merge(R.Solver);
+    Agg.Arena.Size += R.Arena.Size;
+    Agg.Arena.Interns += R.Arena.Interns;
+    Agg.Arena.Hits += R.Arena.Hits;
+    Agg.Snapshot.merge(R.Snapshot);
     if (R.BugFound) {
       ++Crashed;
       std::printf("%-32s CRASH (run %u): %s\n", Fn.c_str(),
@@ -234,6 +281,8 @@ int runAudit(Dart &D, CliOptions &Cli) {
   }
   std::printf("\n%u/%u functions crashed (%.0f%%)\n", Crashed, Total,
               Total ? 100.0 * Crashed / Total : 0.0);
+  if (Cli.Stats)
+    printPipelineStats(Agg);
   return Crashed ? 1 : 0;
 }
 
