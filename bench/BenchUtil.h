@@ -152,6 +152,52 @@ inline void writeStaticPruneJson(const std::string &Path,
   std::printf("wrote %s\n", Path.c_str());
 }
 
+/// One row of the search-strategy ablation: the same directed session
+/// under the default depth-first order and the static branch-distance
+/// order, at one worker count. The axis metric is iterations (runs) to
+/// reach the search's terminal coverage.
+struct DistanceRow {
+  std::string Workload;
+  unsigned Jobs = 1;
+  unsigned Coverage = 0;      ///< terminal branch-direction coverage (both)
+  unsigned RunsToCoverDfs = 0;
+  unsigned RunsToCoverDistance = 0;
+  unsigned RunsDfs = 0;       ///< total runs each session performed
+  unsigned RunsDistance = 0;
+  double ElapsedDfsSec = 0.0;
+  double ElapsedDistanceSec = 0.0;
+  bool SameCoverage = false; ///< both orders reach the same terminal set
+};
+
+/// Emits the machine-readable strategy ablation (BENCH_distance.json)
+/// that EXPERIMENTS.md's distance-strategy table is generated from.
+inline void writeDistanceJson(const std::string &Path,
+                              const std::vector<DistanceRow> &Rows) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"axis\": \"search_strategy\",\n  \"results\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const DistanceRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"workload\": \"%s\", \"jobs\": %u, "
+                 "\"coverage\": %u, \"runs_to_cover_dfs\": %u, "
+                 "\"runs_to_cover_distance\": %u, \"runs_dfs\": %u, "
+                 "\"runs_distance\": %u, \"elapsed_dfs_sec\": %.6f, "
+                 "\"elapsed_distance_sec\": %.6f, \"same_coverage\": %s}%s\n",
+                 R.Workload.c_str(), R.Jobs, R.Coverage, R.RunsToCoverDfs,
+                 R.RunsToCoverDistance, R.RunsDfs, R.RunsDistance,
+                 R.ElapsedDfsSec, R.ElapsedDistanceSec,
+                 R.SameCoverage ? "true" : "false",
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
 /// One row of the snapshot-resume ablation: the same directed session
 /// with checkpoint resume on and off, at one worker count.
 struct SnapshotRow {

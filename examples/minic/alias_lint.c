@@ -1,0 +1,52 @@
+/* Pointer-heavy fixture that must stay finding-free: every value flows
+ * through an alias at least once, so a lint pass that ignored points-to
+ * facts would report false dead stores and uninitialized reads here.
+ * Regression companion of the alias-aware dataflow layer. */
+
+int bias = 3;
+
+int deref(int *p) { return *p; }
+
+void bump(int *p, int by) { *p = *p + by; }
+
+int alias_roundtrip(int n) {
+  int cell;
+  int *p;
+  cell = n + bias; /* only ever read through the alias below */
+  p = &cell;
+  bump(p, 2);
+  return deref(p);
+}
+
+int swap_if_greater(int x, int y) {
+  int lo;
+  int hi;
+  int *a;
+  int *b;
+  int t;
+  lo = x;
+  hi = y;
+  a = &lo;
+  b = &hi;
+  if (*a > *b) {
+    t = *a;
+    *a = *b;
+    *b = t;
+  }
+  return lo - hi;
+}
+
+int pick_one(int which, int x) {
+  int left;
+  int right;
+  int *sel;
+  left = x + 1;
+  right = x - 1;
+  if (which) {
+    sel = &left;
+  } else {
+    sel = &right;
+  }
+  *sel = *sel + bias; /* may-alias store: kills no liveness fact */
+  return left + right;
+}

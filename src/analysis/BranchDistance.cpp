@@ -1,0 +1,126 @@
+//===- BranchDistance.cpp - Static distance-to-uncovered metric ------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BranchDistance.h"
+#include "analysis/CallGraph.h"
+#include "analysis/Cfg.h"
+
+#include <deque>
+
+using namespace dart;
+
+BranchDistanceMap BranchDistanceMap::build(const IRModule &M) {
+  BranchDistanceMap BD;
+  unsigned NumFns = static_cast<unsigned>(M.functions().size());
+  std::vector<Cfg> Cfgs;
+  Cfgs.reserve(NumFns);
+  std::vector<unsigned> BlockBase(NumFns, 0);
+  unsigned NumBlocks = 0;
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    Cfgs.push_back(Cfg::build(*M.functions()[Fn]));
+    BlockBase[Fn] = NumBlocks;
+    NumBlocks += Cfgs.back().numBlocks();
+  }
+  BD.RevAdj.assign(NumBlocks, {});
+
+  // Intra-function CFG edges.
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    const Cfg &G = Cfgs[Fn];
+    for (unsigned B = 0; B < G.numBlocks(); ++B)
+      for (unsigned S : G.block(B).Succs)
+        BD.RevAdj[BlockBase[Fn] + S].push_back(BlockBase[Fn] + B);
+  }
+  // Call edges: the calling block can reach the callee's entry block.
+  CallGraph CG = CallGraph::build(M);
+  for (const CallGraphSite &S : CG.sites()) {
+    if (S.CalleeFn == CallGraph::kExternal)
+      continue;
+    const Cfg &Caller = Cfgs[S.CallerFn];
+    unsigned B = Caller.blockOf(S.InstrIndex);
+    if (B == Cfg::kUnset)
+      continue;
+    BD.RevAdj[BlockBase[S.CalleeFn] + Cfgs[S.CalleeFn].entry()].push_back(
+        BlockBase[S.CallerFn] + B);
+  }
+
+  // Site metadata: where each CondJump sits and where each direction
+  // lands.
+  unsigned MaxSite = 0;
+  bool AnySite = false;
+  for (const auto &F : M.functions())
+    for (const InstrPtr &I : F->Instrs)
+      if (const auto *CJ = dyn_cast<CondJumpInstr>(I.get())) {
+        MaxSite = std::max(MaxSite, CJ->siteId());
+        AnySite = true;
+      }
+  BD.NumSites = AnySite ? MaxSite + 1 : 0;
+  BD.SiteBlock.assign(BD.NumSites, kNoBlock);
+  BD.LandingBlock.assign(2 * BD.NumSites, kNoBlock);
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    const Cfg &G = Cfgs[Fn];
+    for (unsigned I = 0; I < F.Instrs.size(); ++I) {
+      const auto *CJ = dyn_cast<CondJumpInstr>(F.Instrs[I].get());
+      if (!CJ)
+        continue;
+      unsigned S = CJ->siteId();
+      unsigned B = G.blockOf(I);
+      if (B != Cfg::kUnset)
+        BD.SiteBlock[S] = BlockBase[Fn] + B;
+      unsigned FalseB = G.blockOf(CJ->falseTarget());
+      unsigned TrueB = G.blockOf(CJ->trueTarget());
+      if (FalseB != Cfg::kUnset)
+        BD.LandingBlock[2 * S] = BlockBase[Fn] + FalseB;
+      if (TrueB != Cfg::kUnset)
+        BD.LandingBlock[2 * S + 1] = BlockBase[Fn] + TrueB;
+    }
+  }
+  return BD;
+}
+
+std::vector<uint32_t>
+BranchDistanceMap::priorities(const std::vector<bool> &Covered) const {
+  auto BitCovered = [&](unsigned Bit) {
+    return Bit < Covered.size() && Covered[Bit];
+  };
+
+  // Multi-source backward BFS: distance from each block to the nearest
+  // block whose CondJump still has an uncovered direction.
+  std::vector<uint32_t> Dist(RevAdj.size(), kUnreachablePriority);
+  std::deque<unsigned> Worklist;
+  for (unsigned S = 0; S < NumSites; ++S) {
+    if (SiteBlock[S] == kNoBlock)
+      continue;
+    if (BitCovered(2 * S) && BitCovered(2 * S + 1))
+      continue;
+    if (Dist[SiteBlock[S]] == kUnreachablePriority) {
+      Dist[SiteBlock[S]] = 0;
+      Worklist.push_back(SiteBlock[S]);
+    }
+  }
+  while (!Worklist.empty()) {
+    unsigned B = Worklist.front();
+    Worklist.pop_front();
+    for (unsigned P : RevAdj[B])
+      if (Dist[P] == kUnreachablePriority) {
+        Dist[P] = Dist[B] + 1;
+        Worklist.push_back(P);
+      }
+  }
+
+  std::vector<uint32_t> Prio(2 * NumSites, kUnreachablePriority);
+  for (unsigned Bit = 0; Bit < Prio.size(); ++Bit) {
+    if (!BitCovered(Bit)) {
+      Prio[Bit] = 0;
+      continue;
+    }
+    unsigned Land = LandingBlock[Bit];
+    if (Land == kNoBlock || Dist[Land] == kUnreachablePriority)
+      continue;
+    Prio[Bit] = 1 + Dist[Land];
+  }
+  return Prio;
+}

@@ -1,0 +1,78 @@
+//===- BranchDistance.h - Static distance-to-uncovered metric ---*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static branch-distance metric for frontier ordering: for every
+/// branch-site direction, the shortest path (in blocks, over the
+/// interprocedural block graph) from the direction's landing block to any
+/// branch site that still has an uncovered direction. The paper's search
+/// (§2.3) is depth-first; `--strategy distance` instead flips the frontier
+/// candidate whose negated branch is statically closest to uncovered
+/// code — a cheap, recomputable-per-iteration hint, not a soundness
+/// mechanism.
+///
+/// The block graph is built once per module: every function's CFG edges,
+/// plus an edge from each calling block to the callee's entry block.
+/// Distances are then a multi-source backward BFS from the blocks whose
+/// terminating CondJump has an uncovered direction, re-run from the
+/// current coverage bitmap each time the engine asks — O(blocks + edges),
+/// trivially cheap next to a solver call.
+///
+/// Priorities (lower = more urgent), indexed by `2*site + direction`:
+///
+///   0                      the direction itself is uncovered
+///   1 + dist(landing)      covered; its landing block reaches uncovered
+///                          code in `dist` edges
+///   kUnreachablePriority   covered and no uncovered branch is reachable
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_BRANCHDISTANCE_H
+#define DART_ANALYSIS_BRANCHDISTANCE_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dart {
+
+class BranchDistanceMap {
+public:
+  static constexpr uint32_t kUnreachablePriority = ~0u;
+
+  /// Build the interprocedural block graph and the per-site landing
+  /// blocks. \p M must outlive the map.
+  static BranchDistanceMap build(const IRModule &M);
+
+  unsigned numSites() const { return NumSites; }
+  unsigned numBlocks() const {
+    return static_cast<unsigned>(RevAdj.size());
+  }
+
+  /// Compute the priority of every (site, direction) pair from the
+  /// coverage bitmap (bit `2*site + taken`, the engines' encoding). The
+  /// result has `2 * numSites()` entries; sites beyond the bitmap are
+  /// treated as uncovered.
+  std::vector<uint32_t> priorities(const std::vector<bool> &Covered) const;
+
+private:
+  unsigned NumSites = 0;
+  /// Reversed block-graph adjacency: RevAdj[v] = blocks with an edge
+  /// into v.
+  std::vector<std::vector<unsigned>> RevAdj;
+  /// Global block id of the CondJump for each site (kNoBlock if the site
+  /// id never appears in the module).
+  std::vector<unsigned> SiteBlock;
+  /// Global block id each direction lands in, indexed by 2*site + dir.
+  std::vector<unsigned> LandingBlock;
+
+  static constexpr unsigned kNoBlock = ~0u;
+};
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_BRANCHDISTANCE_H

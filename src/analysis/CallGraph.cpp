@@ -1,0 +1,67 @@
+//===- CallGraph.cpp - Explicit call graph over the IR ---------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace dart;
+
+CallGraph CallGraph::build(const IRModule &M) {
+  CallGraph CG;
+  unsigned NumFns = static_cast<unsigned>(M.functions().size());
+  CG.Callees.resize(NumFns);
+  CG.Callers.resize(NumFns);
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn)
+    CG.IndexOf[M.functions()[Fn]->Name] = Fn;
+
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    for (unsigned I = 0; I < F.Instrs.size(); ++I) {
+      const auto *C = dyn_cast<CallInstr>(F.Instrs[I].get());
+      if (!C)
+        continue;
+      auto It = CG.IndexOf.find(C->callee());
+      unsigned Callee = It != CG.IndexOf.end() ? It->second : kExternal;
+      CG.Sites.push_back({Fn, I, Callee});
+      if (Callee != kExternal) {
+        CG.Callees[Fn].push_back(Callee);
+        CG.Callers[Callee].push_back(Fn);
+      }
+    }
+  }
+  auto Dedup = [](std::vector<unsigned> &V) {
+    std::sort(V.begin(), V.end());
+    V.erase(std::unique(V.begin(), V.end()), V.end());
+  };
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    Dedup(CG.Callees[Fn]);
+    Dedup(CG.Callers[Fn]);
+  }
+  return CG;
+}
+
+unsigned CallGraph::indexOf(const std::string &Name) const {
+  auto It = IndexOf.find(Name);
+  return It != IndexOf.end() ? It->second : kExternal;
+}
+
+std::vector<bool> CallGraph::transitiveCallees(unsigned Fn) const {
+  std::vector<bool> Reached(numFunctions(), false);
+  std::deque<unsigned> Worklist{Fn};
+  Reached[Fn] = true;
+  while (!Worklist.empty()) {
+    unsigned F = Worklist.front();
+    Worklist.pop_front();
+    for (unsigned C : Callees[F])
+      if (!Reached[C]) {
+        Reached[C] = true;
+        Worklist.push_back(C);
+      }
+  }
+  return Reached;
+}

@@ -1,0 +1,77 @@
+//===- CallGraph.h - Explicit call graph over the IR ------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module-level companion of Cfg: which functions call which, at
+/// which instructions. The paper's interprocedural handling (§3.3) walks
+/// call edges dynamically; the static layer needs them ahead of any run —
+/// the points-to constraint generator wires argument/return flow along
+/// them, mod/ref summaries close over them, and the branch-distance
+/// metric treats a call as an edge from the calling block into the
+/// callee's entry.
+///
+/// Call targets are resolved by name with the interpreter's precedence:
+/// a program function shadows natives and externals. Calls to names
+/// outside the module (native library or external environment functions)
+/// have no callee index and appear only in `sites()`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_CALLGRAPH_H
+#define DART_ANALYSIS_CALLGRAPH_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dart {
+
+/// One Call instruction, resolved.
+struct CallGraphSite {
+  unsigned CallerFn = 0;
+  unsigned InstrIndex = 0;
+  /// Module index of the callee, or kExternal for native/external names.
+  unsigned CalleeFn = 0;
+};
+
+class CallGraph {
+public:
+  static constexpr unsigned kExternal = ~0u;
+
+  /// Build the call graph for \p M. \p M must outlive the graph.
+  static CallGraph build(const IRModule &M);
+
+  unsigned numFunctions() const {
+    return static_cast<unsigned>(Callees.size());
+  }
+  /// Module index of \p Name, or kExternal if it is not a program function.
+  unsigned indexOf(const std::string &Name) const;
+  /// Deduplicated internal callee / caller indices.
+  const std::vector<unsigned> &callees(unsigned Fn) const {
+    return Callees[Fn];
+  }
+  const std::vector<unsigned> &callers(unsigned Fn) const {
+    return Callers[Fn];
+  }
+  /// Every Call instruction in the module, in function/instruction order.
+  const std::vector<CallGraphSite> &sites() const { return Sites; }
+
+  /// Functions reachable from \p Fn along call edges, including \p Fn
+  /// itself (bit per module index) — the closure mod/ref folds over.
+  std::vector<bool> transitiveCallees(unsigned Fn) const;
+
+private:
+  std::vector<std::vector<unsigned>> Callees;
+  std::vector<std::vector<unsigned>> Callers;
+  std::vector<CallGraphSite> Sites;
+  std::unordered_map<std::string, unsigned> IndexOf;
+};
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_CALLGRAPH_H

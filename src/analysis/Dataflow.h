@@ -30,6 +30,7 @@
 #include "analysis/Cfg.h"
 
 #include <deque>
+#include <unordered_set>
 #include <vector>
 
 namespace dart {
@@ -106,6 +107,83 @@ DataflowResult<Problem> solveDataflow(const Cfg &G, Problem &P) {
   }
   return R;
 }
+
+/// The CFG-free companion of solveDataflow: a worklist fixpoint over an
+/// *inclusion-constraint graph*. Nodes carry lattice elements, a directed
+/// edge From -> To is the constraint `Value[To] ⊇ Value[From]`, and a
+/// visit callback may add edges while the solve runs — which is exactly
+/// the shape of Andersen-style points-to resolution, where `*p = q` and
+/// `q = *p` constraints materialize copy edges as p's set grows.
+///
+/// `Join(Into, From)` has the same contract as Problem::join above:
+/// monotone, returns "Into changed". Termination follows from values only
+/// growing and the edge set being bounded (duplicates are rejected).
+template <typename Value> class ConstraintGraph {
+public:
+  explicit ConstraintGraph(unsigned NumNodes)
+      : Vals(NumNodes), Succs(NumNodes) {}
+
+  unsigned numNodes() const { return static_cast<unsigned>(Vals.size()); }
+  unsigned addNode() {
+    Vals.emplace_back();
+    Succs.emplace_back();
+    return numNodes() - 1;
+  }
+  Value &value(unsigned N) { return Vals[N]; }
+  const Value &value(unsigned N) const { return Vals[N]; }
+  unsigned numEdges() const {
+    return static_cast<unsigned>(EdgeSet.size());
+  }
+
+  /// Record the constraint `Value[To] ⊇ Value[From]`; false if it was
+  /// already present.
+  bool addEdge(unsigned From, unsigned To) {
+    if (!EdgeSet.insert(uint64_t(From) << 32 | To).second)
+      return false;
+    Succs[From].push_back(To);
+    return true;
+  }
+
+  /// Iterate to a fixpoint. \p Visit(N, Grow) is called whenever node N's
+  /// element may have grown; it may call Grow(From, To) to add derived
+  /// edges (their source values propagate immediately). Returns the
+  /// number of node visits.
+  template <typename JoinFn, typename VisitFn>
+  unsigned solve(JoinFn Join, VisitFn Visit) {
+    std::deque<unsigned> Worklist;
+    std::vector<bool> InList(numNodes(), false);
+    auto Push = [&](unsigned N) {
+      if (N < InList.size() && !InList[N]) {
+        InList[N] = true;
+        Worklist.push_back(N);
+      }
+    };
+    for (unsigned N = 0; N < numNodes(); ++N)
+      Push(N);
+
+    unsigned Visits = 0;
+    auto Grow = [&](unsigned From, unsigned To) {
+      if (addEdge(From, To) && Join(Vals[To], Vals[From]))
+        Push(To);
+    };
+    while (!Worklist.empty()) {
+      unsigned N = Worklist.front();
+      Worklist.pop_front();
+      InList[N] = false;
+      ++Visits;
+      Visit(N, Grow);
+      for (unsigned S : Succs[N])
+        if (Join(Vals[S], Vals[N]))
+          Push(S);
+    }
+    return Visits;
+  }
+
+private:
+  std::vector<Value> Vals;
+  std::vector<std::vector<unsigned>> Succs;
+  std::unordered_set<uint64_t> EdgeSet;
+};
 
 } // namespace dart
 

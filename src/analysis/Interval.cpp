@@ -190,14 +190,22 @@ Interval applyCmpInterval(CmpPred Pred, Interval A, Interval B,
 IntervalAnalysis::IntervalAnalysis(const IRModule &M, const Cfg &G,
                                    const TaintResult &T, unsigned FnIndex,
                                    Config C)
-    : M(M), G(G), T(T), FnIndex(FnIndex), C(C), F(G.function()) {}
+    : M(M), G(G), T(T), FnIndex(FnIndex), C(C), F(G.function()) {
+  if (T.PT) {
+    Trackable = aliasTrackableSlots(M, FnIndex, *T.PT);
+  } else {
+    Trackable.assign(F.Slots.size(), false);
+    for (unsigned S = 0; S < F.Slots.size(); ++S)
+      Trackable[S] = !T.SlotEscaped[FnIndex][S];
+  }
+}
 
 AbsState IntervalAnalysis::entryState() const {
   AbsState S;
   S.Reachable = true;
   S.Slots.assign(F.Slots.size(), std::nullopt);
   for (unsigned P = 0; P < F.NumParams && P < F.Slots.size(); ++P) {
-    if (T.SlotEscaped[FnIndex][P])
+    if (!Trackable[P])
       continue;
     ValType VT = P < F.ParamVTs.size() ? F.ParamVTs[P] : ValType::int32();
     if (F.Slots[P].SizeBytes != VT.SizeBytes)
@@ -311,10 +319,21 @@ void IntervalAnalysis::transferInstr(AbsState &S, const Instr &I) const {
   case Instr::Kind::Store: {
     const auto *St = cast<StoreInstr>(&I);
     const auto *FA = dyn_cast<FrameAddrExpr>(St->address());
-    if (!FA)
-      return; // computed stores only reach escaped (untracked) storage
+    if (!FA) {
+      // Computed store: kill every may-aliased trackable slot. An empty
+      // target set means the VM traps — no cell changes.
+      if (T.PT)
+        for (unsigned O : T.PT->addressTargets(FnIndex, St->address()))
+          if (T.PT->kindOf(O) == PointsToResult::LocKind::Slot &&
+              T.PT->ownerFn(O) == FnIndex) {
+            unsigned Slot = T.PT->slotIndexOf(O);
+            if (Slot < S.Slots.size())
+              S.Slots[Slot].reset();
+          }
+      return;
+    }
     unsigned Slot = FA->slotIndex();
-    if (Slot >= S.Slots.size() || T.SlotEscaped[FnIndex][Slot])
+    if (Slot >= S.Slots.size() || !Trackable[Slot])
       return;
     ValType VT = St->valType();
     if (F.Slots[Slot].SizeBytes != VT.SizeBytes) {
@@ -326,10 +345,24 @@ void IntervalAnalysis::transferInstr(AbsState &S, const Instr &I) const {
   }
   case Instr::Kind::Call: {
     const auto *C = cast<CallInstr>(&I);
+    // An internal callee (or anything it transitively calls) may write
+    // through an alias into this frame — only possible under recursion
+    // for trackable slots (their addresses never leave the function, but
+    // a recursive activation shares the conflated abstract frame).
+    if (T.PT) {
+      unsigned Callee = T.PT->callGraph().indexOf(C->callee());
+      if (Callee != CallGraph::kExternal)
+        for (unsigned Slot = 0; Slot < S.Slots.size(); ++Slot)
+          if (S.Slots[Slot] &&
+              T.PT->mayMod(Callee,
+                           T.PT->slotLoc(FnIndex,
+                                         static_cast<unsigned>(Slot))))
+            S.Slots[Slot].reset();
+    }
     if (!C->destSlot())
       return;
     unsigned Slot = *C->destSlot();
-    if (Slot >= S.Slots.size() || T.SlotEscaped[FnIndex][Slot])
+    if (Slot >= S.Slots.size() || !Trackable[Slot])
       return;
     ValType VT = C->retValType();
     if (F.Slots[Slot].SizeBytes != VT.SizeBytes) {
@@ -343,7 +376,8 @@ void IntervalAnalysis::transferInstr(AbsState &S, const Instr &I) const {
     return;
   }
   case Instr::Kind::Copy:
-    // Copy operands are escaped by construction: nothing tracked moves.
+    // Copy operands (direct or via may-alias) are untrackable by
+    // aliasTrackableSlots, so no tracked fact can change here.
     return;
   default:
     return;

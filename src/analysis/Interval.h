@@ -102,6 +102,14 @@ public:
 
   void run();
 
+  /// May this slot carry a precise whole-slot fact? Alias-aware: locally
+  /// aliased slots are trackable (computed accesses are resolved through
+  /// the points-to layer at each instruction); without the alias layer,
+  /// falls back to "never escaped".
+  bool trackable(unsigned S) const {
+    return S < Trackable.size() && Trackable[S];
+  }
+
   /// False when the fixpoint hit MaxBlockVisits; all queries then return
   /// their conservative answers.
   bool converged() const { return Ok; }
@@ -129,6 +137,7 @@ private:
   unsigned FnIndex;
   Config C;
   const IRFunction &F;
+  std::vector<bool> Trackable;
   bool Ok = true;
   std::vector<AbsState> In;
   std::vector<unsigned> Visits;

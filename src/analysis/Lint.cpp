@@ -8,9 +8,13 @@
 #include "analysis/Cfg.h"
 #include "analysis/Interval.h"
 #include "analysis/Liveness.h"
+#include "analysis/PointsTo.h"
 #include "analysis/Taint.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -21,6 +25,7 @@ namespace {
 /// One finding, keyed for deterministic function/instruction ordering.
 struct Finding {
   unsigned InstrIndex;
+  LintKind Kind;
   SourceLocation Loc;
   std::string Message;
 };
@@ -145,6 +150,160 @@ void forEachUninitUse(const IRExpr *E, const std::vector<bool> &DU,
   }
 }
 
+/// Does \p E mention any object address (FrameAddr/GlobalAddr)?
+bool mentionsAddress(const IRExpr *E) {
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+    return false;
+  case IRExpr::Kind::FrameAddr:
+  case IRExpr::Kind::GlobalAddr:
+    return true;
+  case IRExpr::Kind::Load:
+    // A loaded value can carry a pointer, but its interval is then the
+    // full range and the OOB check is vacuous — no need to treat it as a
+    // base.
+    return false;
+  case IRExpr::Kind::Unary:
+    return mentionsAddress(cast<UnaryIRExpr>(E)->operand());
+  case IRExpr::Kind::Binary:
+    return mentionsAddress(cast<BinaryIRExpr>(E)->lhs()) ||
+           mentionsAddress(cast<BinaryIRExpr>(E)->rhs());
+  case IRExpr::Kind::Cmp:
+    return false;
+  case IRExpr::Kind::Cast:
+    return mentionsAddress(cast<CastIRExpr>(E)->operand());
+  }
+  return false;
+}
+
+/// `base + offset` view of an address expression: the object's size and
+/// name plus the byte-offset interval, when the base is a syntactically
+/// known slot or global.
+struct BaseOffset {
+  uint64_t Size = 0;
+  std::string Name;
+  Interval Off;
+};
+
+std::optional<BaseOffset> decomposeAddress(const IRModule &M,
+                                           const IRFunction &F,
+                                           const IntervalAnalysis &IA,
+                                           const AbsState &S,
+                                           const IRExpr *E) {
+  switch (E->kind()) {
+  case IRExpr::Kind::FrameAddr: {
+    unsigned Slot = cast<FrameAddrExpr>(E)->slotIndex();
+    if (Slot >= F.Slots.size())
+      return std::nullopt;
+    return BaseOffset{F.Slots[Slot].SizeBytes, F.Slots[Slot].Name,
+                      {0, 0, false}};
+  }
+  case IRExpr::Kind::GlobalAddr: {
+    const IRGlobal &G = M.globals()[cast<GlobalAddrExpr>(E)->globalIndex()];
+    return BaseOffset{G.SizeBytes, G.Name, {0, 0, false}};
+  }
+  case IRExpr::Kind::Cast:
+    return decomposeAddress(M, F, IA, S, cast<CastIRExpr>(E)->operand());
+  case IRExpr::Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(E);
+    if (B->op() != IRBinOp::Add && B->op() != IRBinOp::Sub)
+      return std::nullopt;
+    const IRExpr *BaseE = B->lhs(), *OffE = B->rhs();
+    if (B->op() == IRBinOp::Add && !mentionsAddress(BaseE) &&
+        mentionsAddress(OffE))
+      std::swap(BaseE, OffE);
+    if (mentionsAddress(OffE))
+      return std::nullopt; // two bases (or base on the subtrahend side)
+    auto Base = decomposeAddress(M, F, IA, S, BaseE);
+    if (!Base)
+      return std::nullopt;
+    Interval O = IA.evalExpr(S, OffE);
+    __int128 Lo = Base->Off.Lo, Hi = Base->Off.Hi;
+    if (B->op() == IRBinOp::Add) {
+      Lo += O.Lo;
+      Hi += O.Hi;
+    } else {
+      Lo -= O.Hi;
+      Hi -= O.Lo;
+    }
+    if (Lo < INT64_MIN || Hi > INT64_MAX)
+      return std::nullopt;
+    Base->Off = {static_cast<int64_t>(Lo), static_cast<int64_t>(Hi), false};
+    return Base;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Per-function lint context for the memory-safety checks.
+struct MemCheck {
+  const IRModule &M;
+  const IRFunction &F;
+  unsigned FnIndex;
+  const IntervalAnalysis &IA;
+  const PointsToResult *PT;
+
+  /// Is every may-target of \p V a slot of this function (and at least
+  /// one)? Then the value can only be a dangling address once the frame
+  /// dies.
+  bool onlyLocalTargets(const IRExpr *V) const {
+    if (!PT)
+      return false;
+    std::vector<unsigned> T = PT->addressTargets(FnIndex, V);
+    if (T.empty())
+      return false;
+    for (unsigned O : T)
+      if (PT->kindOf(O) != PointsToResult::LocKind::Slot ||
+          PT->ownerFn(O) != FnIndex)
+        return false;
+    return true;
+  }
+
+  /// Does storing through \p Addr write memory that outlives this frame
+  /// (a global, the heap, the external world, or another function's
+  /// frame)?
+  bool destOutlivesFrame(const IRExpr *Addr) const {
+    if (isa<FrameAddrExpr>(Addr))
+      return false;
+    if (isa<GlobalAddrExpr>(Addr))
+      return true;
+    if (!PT)
+      return false;
+    for (unsigned O : PT->addressTargets(FnIndex, Addr))
+      if (PT->kindOf(O) != PointsToResult::LocKind::Slot ||
+          PT->ownerFn(O) != FnIndex)
+        return true;
+    return false;
+  }
+};
+
+} // namespace
+
+const char *dart::lintKindName(LintKind K) {
+  switch (K) {
+  case LintKind::UnreachableCode:
+    return "unreachable-code";
+  case LintKind::DivisionByZero:
+    return "division-by-zero";
+  case LintKind::AssertAlwaysFails:
+    return "assert-always-fails";
+  case LintKind::UninitializedRead:
+    return "uninitialized-read";
+  case LintKind::DeadStore:
+    return "dead-store";
+  case LintKind::OutOfBoundsAccess:
+    return "out-of-bounds";
+  case LintKind::NullDereference:
+    return "null-dereference";
+  case LintKind::StackAddressEscape:
+    return "stack-address-escape";
+  }
+  return "unknown";
+}
+
+namespace {
+
 void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
                   std::vector<Finding> &Out) {
   const IRFunction &F = *M.functions()[FnIndex];
@@ -154,10 +313,11 @@ void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
   IntervalAnalysis IA(M, G, T, FnIndex, IntervalAnalysis::Config());
   IA.run();
   LivenessResult LV = runLivenessAnalysis(G, T, FnIndex);
+  MemCheck MC{M, F, FnIndex, IA, T.PT.get()};
 
-  auto Report = [&](unsigned InstrIndex, std::string Msg) {
-    Out.push_back({InstrIndex, F.Instrs[InstrIndex]->loc(),
-                   std::move(Msg)});
+  auto Report = [&](unsigned InstrIndex, LintKind Kind, std::string Msg) {
+    Out.push_back(
+        {InstrIndex, Kind, F.Instrs[InstrIndex]->loc(), std::move(Msg)});
   };
 
   // 1. Unreachable code: entries of statically infeasible regions. Only
@@ -180,10 +340,72 @@ void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
         unsigned Index = G.block(B).Begin;
         while (F.Instrs[Index].get() != I)
           ++Index;
-        Report(Index, "unreachable code in '" + F.Name + "'");
+        Report(Index, LintKind::UnreachableCode,
+               "unreachable code in '" + F.Name + "'");
       }
     }
   }
+
+  // 6/7. Out-of-bounds and null-dereference checks on a computed
+  // Load/Store address in state S.
+  auto CheckAccess = [&](unsigned InstrIndex, const IRExpr *Addr,
+                         uint64_t Width, const AbsState &S) {
+    if (!IA.converged())
+      return;
+    Interval AI = IA.evalExpr(S, Addr);
+    if (AI.Lo == 0 && AI.Hi == 0) {
+      Report(InstrIndex, LintKind::NullDereference,
+             "null dereference: address is always 0");
+      return;
+    }
+    auto BO = decomposeAddress(M, F, IA, S, Addr);
+    if (!BO || BO->Size == 0 || Width > BO->Size)
+      return;
+    int64_t MaxOff = static_cast<int64_t>(BO->Size - Width);
+    if (BO->Off.Hi < 0 || BO->Off.Lo > MaxOff) {
+      std::ostringstream OS;
+      OS << "out-of-bounds access";
+      if (!BO->Name.empty())
+        OS << " of '" << BO->Name << "'";
+      OS << ": offset " << BO->Off.toString() << " outside [0," << MaxOff
+         << "]";
+      Report(InstrIndex, LintKind::OutOfBoundsAccess, OS.str());
+    }
+  };
+  // Walk every Load with a computed address inside \p E.
+  auto CheckLoads = [&](unsigned InstrIndex, const IRExpr *Root,
+                        const AbsState &S) {
+    std::function<void(const IRExpr *)> Walk = [&](const IRExpr *E) {
+      switch (E->kind()) {
+      case IRExpr::Kind::Load: {
+        const auto *L = cast<LoadExpr>(E);
+        if (!isa<FrameAddrExpr>(L->address()) &&
+            !isa<GlobalAddrExpr>(L->address())) {
+          CheckAccess(InstrIndex, L->address(), L->valType().SizeBytes, S);
+          Walk(L->address());
+        }
+        return;
+      }
+      case IRExpr::Kind::Unary:
+        Walk(cast<UnaryIRExpr>(E)->operand());
+        return;
+      case IRExpr::Kind::Cast:
+        Walk(cast<CastIRExpr>(E)->operand());
+        return;
+      case IRExpr::Kind::Binary:
+        Walk(cast<BinaryIRExpr>(E)->lhs());
+        Walk(cast<BinaryIRExpr>(E)->rhs());
+        return;
+      case IRExpr::Kind::Cmp:
+        Walk(cast<CmpExpr>(E)->lhs());
+        Walk(cast<CmpExpr>(E)->rhs());
+        return;
+      default:
+        return;
+      }
+    };
+    Walk(Root);
+  };
 
   std::set<unsigned> UninitReported; // one report per slot
   for (unsigned B = 0; B < G.numBlocks(); ++B) {
@@ -192,11 +414,12 @@ void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
     AbsState S = IA.inState(B);
     for (unsigned I = G.block(B).Begin; I < G.block(B).End; ++I) {
       const Instr &In = *F.Instrs[I];
+      bool UserVisible = In.loc().Line > 0;
 
       // 2. Guaranteed division by zero.
-      if (IA.converged() && In.loc().Line > 0 &&
-          instrDividesByZero(IA, S, In))
-        Report(I, "division by zero: divisor is always 0");
+      if (IA.converged() && UserVisible && instrDividesByZero(IA, S, In))
+        Report(I, LintKind::DivisionByZero,
+               "division by zero: divisor is always 0");
 
       // 3. Guaranteed assert failure: an assert lowers to a CondJump
       // whose false edge jumps to an Abort(AssertFailure) block.
@@ -208,7 +431,8 @@ void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
             const BasicBlock &FB = G.block(G.blockOf(CJ->falseTarget()));
             const auto *A = dyn_cast<AbortInstr>(F.Instrs[FB.Begin].get());
             if (A && A->why() == AbortKind::AssertFailure)
-              Report(I, "assertion always fails");
+              Report(I, LintKind::AssertAlwaysFails,
+                     "assertion always fails");
           }
         }
       }
@@ -218,8 +442,9 @@ void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
       auto ReportUninit = [&](unsigned Slot) {
         if (F.Slots[Slot].Name.empty() || !UninitReported.insert(Slot).second)
           return;
-        Report(I, "'" + F.Slots[Slot].Name +
-                      "' is read before it is ever assigned");
+        Report(I, LintKind::UninitializedRead,
+               "'" + F.Slots[Slot].Name +
+                   "' is read before it is ever assigned");
       };
       switch (In.kind()) {
       case Instr::Kind::Store:
@@ -250,10 +475,56 @@ void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
         if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address())) {
           unsigned Slot = FA->slotIndex();
           if (Slot < LV.Tracked.size() && LV.Tracked[Slot] &&
-              !F.Slots[Slot].Name.empty() && In.loc().Line > 0 &&
+              !F.Slots[Slot].Name.empty() && UserVisible &&
               !LV.LiveAfter[I][Slot])
-            Report(I, "value stored to '" + F.Slots[Slot].Name +
-                          "' is never read");
+            Report(I, LintKind::DeadStore,
+                   "value stored to '" + F.Slots[Slot].Name +
+                       "' is never read");
+        }
+      }
+
+      // 6/7. Guaranteed out-of-bounds / null dereference.
+      if (UserVisible) {
+        switch (In.kind()) {
+        case Instr::Kind::Store: {
+          const auto *St = cast<StoreInstr>(&In);
+          if (!isa<FrameAddrExpr>(St->address()) &&
+              !isa<GlobalAddrExpr>(St->address())) {
+            CheckAccess(I, St->address(), St->valType().SizeBytes, S);
+            CheckLoads(I, St->address(), S);
+          }
+          CheckLoads(I, St->value(), S);
+          break;
+        }
+        case Instr::Kind::CondJump:
+          CheckLoads(I, cast<CondJumpInstr>(&In)->cond(), S);
+          break;
+        case Instr::Kind::Call:
+          for (const IRExprPtr &A : cast<CallInstr>(&In)->args())
+            CheckLoads(I, A.get(), S);
+          break;
+        case Instr::Kind::Ret:
+          if (const IRExpr *V = cast<RetInstr>(&In)->value())
+            CheckLoads(I, V, S);
+          break;
+        default:
+          break;
+        }
+      }
+
+      // 8. Stack addresses that outlive the frame: returned, or stored
+      // into longer-lived memory.
+      if (UserVisible) {
+        if (const auto *Ret = dyn_cast<RetInstr>(&In)) {
+          if (Ret->value() && MC.onlyLocalTargets(Ret->value()))
+            Report(I, LintKind::StackAddressEscape,
+                   "'" + F.Name + "' returns the address of a local");
+        } else if (const auto *St = dyn_cast<StoreInstr>(&In)) {
+          if (MC.onlyLocalTargets(St->value()) &&
+              MC.destOutlivesFrame(St->address()))
+            Report(I, LintKind::StackAddressEscape,
+                   "address of a local in '" + F.Name +
+                       "' is stored where it outlives the frame");
         }
       }
 
@@ -266,20 +537,72 @@ void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
   });
 }
 
+std::string jsonEscape(const std::string &S) {
+  std::ostringstream OS;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  return OS.str();
+}
+
 } // namespace
 
-unsigned dart::runLintPass(const IRModule &M, DiagnosticsEngine &Diags) {
+std::vector<LintFinding> dart::runLintAnalysis(const IRModule &M) {
   // Lint runs without a toplevel: no parameter is an input seed, so the
-  // taint result only contributes escape and stored-global facts.
+  // taint result only contributes alias, escape, and stored-global facts.
   TaintResult T = runTaintAnalysis(M, "");
-  unsigned Count = 0;
+  std::vector<LintFinding> Result;
   for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
     std::vector<Finding> Findings;
     lintFunction(M, Fn, T, Findings);
-    for (const Finding &F : Findings) {
-      Diags.warning(F.Loc, F.Message);
-      ++Count;
-    }
+    for (Finding &F : Findings)
+      Result.push_back({F.Kind, M.functions()[Fn]->Name, F.Loc,
+                        std::move(F.Message)});
   }
-  return Count;
+  return Result;
+}
+
+unsigned dart::runLintPass(const IRModule &M, DiagnosticsEngine &Diags) {
+  std::vector<LintFinding> Findings = runLintAnalysis(M);
+  for (const LintFinding &F : Findings)
+    Diags.warning(F.Loc, F.Message);
+  return static_cast<unsigned>(Findings.size());
+}
+
+std::string dart::lintFindingsToJson(const std::string &File,
+                                     const std::vector<LintFinding> &Fs) {
+  std::ostringstream OS;
+  OS << "{\"file\":\"" << jsonEscape(File) << "\",\"findings\":[";
+  for (size_t I = 0; I < Fs.size(); ++I) {
+    const LintFinding &F = Fs[I];
+    if (I)
+      OS << ",";
+    OS << "{\"kind\":\"" << lintKindName(F.Kind) << "\",\"function\":\""
+       << jsonEscape(F.Function) << "\",\"line\":" << F.Loc.Line
+       << ",\"column\":" << F.Loc.Column << ",\"message\":\""
+       << jsonEscape(F.Message) << "\"}";
+  }
+  OS << "]}";
+  return OS.str();
 }

@@ -6,15 +6,19 @@
 ///
 /// \file
 /// The user-facing face of the dataflow framework (`dart analyze`):
-/// whole-program static defect reports via Diagnostics, one warning per
-/// finding, with source locations from the lowered IR. Five defect
-/// classes, each backed by one of the analyses:
+/// whole-program static defect reports with source locations from the
+/// lowered IR. Eight defect classes, each backed by one of the analyses:
 ///
 ///   unreachable code        executable-edge reachability (Interval.h)
 ///   division by zero        divisor interval is exactly [0,0]
 ///   assert always fails     assert condition interval is exactly [0,0]
 ///   uninitialized read      definite assignment (Liveness.h)
 ///   dead store              backward liveness (Liveness.h)
+///   out-of-bounds access    base+offset decomposition: the offset
+///                           interval lies entirely outside the object
+///   null dereference        address interval is exactly [0,0]
+///   stack address escape    points-to: a returned or outliving-stored
+///                           value can only target the frame's own slots
 ///
 /// Every report is a *guarantee* (true on all executions reaching the
 /// program point), never a heuristic: the pass aims for zero false
@@ -28,11 +32,46 @@
 #include "ir/IR.h"
 #include "support/Diagnostics.h"
 
+#include <string>
+#include <vector>
+
 namespace dart {
 
-/// Analyze every function in \p M, appending one warning per finding to
-/// \p Diags (in function/instruction order). Returns the finding count.
+enum class LintKind {
+  UnreachableCode,
+  DivisionByZero,
+  AssertAlwaysFails,
+  UninitializedRead,
+  DeadStore,
+  OutOfBoundsAccess,
+  NullDereference,
+  StackAddressEscape,
+};
+
+/// Stable kebab-case identifier ("unreachable-code", "out-of-bounds",
+/// ...), the `kind` field of --format json output.
+const char *lintKindName(LintKind K);
+
+/// One structured finding, in function/instruction order.
+struct LintFinding {
+  LintKind Kind;
+  std::string Function;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Analyze every function in \p M and return the structured findings.
+std::vector<LintFinding> runLintAnalysis(const IRModule &M);
+
+/// Compatibility wrapper: append one warning per finding to \p Diags and
+/// return the finding count.
 unsigned runLintPass(const IRModule &M, DiagnosticsEngine &Diags);
+
+/// Render findings as a machine-readable JSON document:
+/// {"file": ..., "findings": [{"kind","function","line","column",
+/// "message"}, ...]}.
+std::string lintFindingsToJson(const std::string &File,
+                               const std::vector<LintFinding> &Findings);
 
 } // namespace dart
 

@@ -11,9 +11,40 @@ using namespace dart;
 
 namespace {
 
-/// Invoke \p Use for every tracked slot a direct Load in \p E reads.
+/// Shared context for the use/def walkers. PT may be null (no alias
+/// layer): tracking then falls back to never-escaped slots, which no
+/// computed access can reach.
+struct Ctx {
+  const IRFunction &F;
+  const std::vector<bool> &Tracked;
+  const PointsToResult *PT;
+  unsigned Fn;
+  /// Frame conflation: in a self-recursive function a may-alias
+  /// singleton can denote another activation's slot, so computed stores
+  /// are never strong defs.
+  bool SelfRecursive;
+};
+
+/// Invoke \p Use for every tracked slot the address expression \p Addr
+/// may denote (a computed read/write reaches them through the alias
+/// layer).
 template <typename Fn>
-void forEachUse(const IRExpr *E, const std::vector<bool> &Tracked, Fn Use) {
+void forEachAliasedSlot(const Ctx &C, const IRExpr *Addr, Fn Use) {
+  if (!C.PT)
+    return;
+  for (unsigned O : C.PT->addressTargets(C.Fn, Addr))
+    if (C.PT->kindOf(O) == PointsToResult::LocKind::Slot &&
+        C.PT->ownerFn(O) == C.Fn) {
+      unsigned S = C.PT->slotIndexOf(O);
+      if (S < C.Tracked.size() && C.Tracked[S])
+        Use(S);
+    }
+}
+
+/// Invoke \p Use for every tracked slot a Load in \p E reads — directly,
+/// or as a may-alias target of a computed address.
+template <typename Fn>
+void forEachUse(const Ctx &C, const IRExpr *E, Fn Use) {
   switch (E->kind()) {
   case IRExpr::Kind::Const:
   case IRExpr::Kind::FrameAddr:
@@ -23,56 +54,69 @@ void forEachUse(const IRExpr *E, const std::vector<bool> &Tracked, Fn Use) {
     const auto *L = cast<LoadExpr>(E);
     if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address())) {
       unsigned S = FA->slotIndex();
-      if (S < Tracked.size() && Tracked[S])
+      if (S < C.Tracked.size() && C.Tracked[S])
         Use(S);
       return;
     }
-    forEachUse(L->address(), Tracked, Use);
+    forEachAliasedSlot(C, L->address(), Use);
+    forEachUse(C, L->address(), Use);
     return;
   }
   case IRExpr::Kind::Unary:
-    forEachUse(cast<UnaryIRExpr>(E)->operand(), Tracked, Use);
+    forEachUse(C, cast<UnaryIRExpr>(E)->operand(), Use);
     return;
   case IRExpr::Kind::Binary:
-    forEachUse(cast<BinaryIRExpr>(E)->lhs(), Tracked, Use);
-    forEachUse(cast<BinaryIRExpr>(E)->rhs(), Tracked, Use);
+    forEachUse(C, cast<BinaryIRExpr>(E)->lhs(), Use);
+    forEachUse(C, cast<BinaryIRExpr>(E)->rhs(), Use);
     return;
   case IRExpr::Kind::Cmp:
-    forEachUse(cast<CmpExpr>(E)->lhs(), Tracked, Use);
-    forEachUse(cast<CmpExpr>(E)->rhs(), Tracked, Use);
+    forEachUse(C, cast<CmpExpr>(E)->lhs(), Use);
+    forEachUse(C, cast<CmpExpr>(E)->rhs(), Use);
     return;
   case IRExpr::Kind::Cast:
-    forEachUse(cast<CastIRExpr>(E)->operand(), Tracked, Use);
+    forEachUse(C, cast<CastIRExpr>(E)->operand(), Use);
     return;
   }
 }
 
-/// Invoke \p Use for every tracked slot instruction \p I reads.
+/// Invoke \p Use for every tracked slot instruction \p I reads,
+/// including reads a callee may perform through an alias (recursion).
 template <typename Fn>
-void forEachInstrUse(const Instr &I, const std::vector<bool> &Tracked,
-                     Fn Use) {
+void forEachInstrUse(const Ctx &C, const Instr &I, Fn Use) {
   switch (I.kind()) {
   case Instr::Kind::Store: {
     const auto *St = cast<StoreInstr>(&I);
     if (!isa<FrameAddrExpr>(St->address()))
-      forEachUse(St->address(), Tracked, Use);
-    forEachUse(St->value(), Tracked, Use);
+      forEachUse(C, St->address(), Use);
+    forEachUse(C, St->value(), Use);
     return;
   }
   case Instr::Kind::Copy:
-    forEachUse(cast<CopyInstr>(&I)->dst(), Tracked, Use);
-    forEachUse(cast<CopyInstr>(&I)->src(), Tracked, Use);
+    // Copy operand cells are untrackable by construction; only the
+    // address computations themselves can read tracked slots.
+    forEachUse(C, cast<CopyInstr>(&I)->dst(), Use);
+    forEachUse(C, cast<CopyInstr>(&I)->src(), Use);
     return;
   case Instr::Kind::CondJump:
-    forEachUse(cast<CondJumpInstr>(&I)->cond(), Tracked, Use);
+    forEachUse(C, cast<CondJumpInstr>(&I)->cond(), Use);
     return;
-  case Instr::Kind::Call:
-    for (const IRExprPtr &A : cast<CallInstr>(&I)->args())
-      forEachUse(A.get(), Tracked, Use);
+  case Instr::Kind::Call: {
+    const auto *Ca = cast<CallInstr>(&I);
+    for (const IRExprPtr &A : Ca->args())
+      forEachUse(C, A.get(), Use);
+    if (C.PT) {
+      unsigned Callee = C.PT->callGraph().indexOf(Ca->callee());
+      if (Callee != CallGraph::kExternal)
+        for (unsigned S = 0; S < C.Tracked.size(); ++S)
+          if (C.Tracked[S] &&
+              C.PT->mayRef(Callee, C.PT->slotLoc(C.Fn, S)))
+            Use(S);
+    }
     return;
+  }
   case Instr::Kind::Ret:
     if (const IRExpr *V = cast<RetInstr>(&I)->value())
-      forEachUse(V, Tracked, Use);
+      forEachUse(C, V, Use);
     return;
   case Instr::Kind::Jump:
   case Instr::Kind::Abort:
@@ -81,24 +125,61 @@ void forEachInstrUse(const Instr &I, const std::vector<bool> &Tracked,
   }
 }
 
-/// The tracked slot instruction \p I fully overwrites, if any.
-int defOf(const Instr &I, const std::vector<bool> &Tracked) {
+/// The tracked slot instruction \p I *fully and certainly* overwrites,
+/// if any: a direct width-matching Store, a Call destination, or a
+/// computed Store whose address must-aliases exactly one same-function
+/// slot (singleton target, matching width, no recursion).
+int strongDefOf(const Ctx &C, const Instr &I) {
   if (const auto *St = dyn_cast<StoreInstr>(&I)) {
     if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address())) {
       unsigned S = FA->slotIndex();
-      if (S < Tracked.size() && Tracked[S])
+      if (S < C.Tracked.size() && C.Tracked[S])
         return static_cast<int>(S);
+      return -1;
+    }
+    if (C.PT && !C.SelfRecursive) {
+      std::vector<unsigned> T = C.PT->addressTargets(C.Fn, St->address());
+      if (T.size() == 1 &&
+          C.PT->kindOf(T[0]) == PointsToResult::LocKind::Slot &&
+          C.PT->ownerFn(T[0]) == C.Fn) {
+        unsigned S = C.PT->slotIndexOf(T[0]);
+        if (S < C.Tracked.size() && C.Tracked[S] &&
+            C.F.Slots[S].SizeBytes == St->valType().SizeBytes)
+          return static_cast<int>(S);
+      }
     }
     return -1;
   }
-  if (const auto *C = dyn_cast<CallInstr>(&I)) {
-    if (C->destSlot()) {
-      unsigned S = *C->destSlot();
-      if (S < Tracked.size() && Tracked[S])
+  if (const auto *Ca = dyn_cast<CallInstr>(&I)) {
+    if (Ca->destSlot()) {
+      unsigned S = *Ca->destSlot();
+      if (S < C.Tracked.size() && C.Tracked[S])
         return static_cast<int>(S);
     }
   }
   return -1;
+}
+
+/// Invoke \p Def for every tracked slot instruction \p I *may* write —
+/// computed-store may-alias targets and callee mod sets. Weak defs never
+/// kill liveness, but they do clear "definitely unassigned" (the
+/// false-positive-free direction for the uninit-read lint).
+template <typename Fn>
+void forEachWeakDef(const Ctx &C, const Instr &I, Fn Def) {
+  if (!C.PT)
+    return;
+  if (const auto *St = dyn_cast<StoreInstr>(&I)) {
+    if (!isa<FrameAddrExpr>(St->address()))
+      forEachAliasedSlot(C, St->address(), Def);
+    return;
+  }
+  if (const auto *Ca = dyn_cast<CallInstr>(&I)) {
+    unsigned Callee = C.PT->callGraph().indexOf(Ca->callee());
+    if (Callee != CallGraph::kExternal)
+      for (unsigned S = 0; S < C.Tracked.size(); ++S)
+        if (C.Tracked[S] && C.PT->mayMod(Callee, C.PT->slotLoc(C.Fn, S)))
+          Def(S);
+  }
 }
 
 struct LivenessProblem {
@@ -106,7 +187,7 @@ struct LivenessProblem {
   static constexpr bool IsForward = false;
 
   const Cfg &G;
-  const std::vector<bool> &Tracked;
+  const Ctx &C;
   size_t NumSlots;
 
   Value initial() { return Value(NumSlots, false); }
@@ -128,10 +209,10 @@ struct LivenessProblem {
     const IRFunction &F = G.function();
     for (unsigned I = BB.End; I > BB.Begin; --I) {
       const Instr &In = *F.Instrs[I - 1];
-      int D = defOf(In, Tracked);
+      int D = strongDefOf(C, In);
       if (D >= 0)
         Live[D] = false;
-      forEachInstrUse(In, Tracked, [&](unsigned S) { Live[S] = true; });
+      forEachInstrUse(C, In, [&](unsigned S) { Live[S] = true; });
     }
     return Live;
   }
@@ -143,7 +224,7 @@ struct DefiniteAssignmentProblem {
   static constexpr bool IsForward = true;
 
   const Cfg &G;
-  const std::vector<bool> &Tracked;
+  const Ctx &C;
   size_t NumSlots;
   unsigned NumParams;
 
@@ -151,7 +232,7 @@ struct DefiniteAssignmentProblem {
   Value boundary() {
     Value V(NumSlots, false);
     for (size_t S = NumParams; S < NumSlots; ++S)
-      V[S] = Tracked[S];
+      V[S] = C.Tracked[S];
     return V;
   }
 
@@ -170,9 +251,11 @@ struct DefiniteAssignmentProblem {
     const BasicBlock &BB = G.block(B);
     const IRFunction &F = G.function();
     for (unsigned I = BB.Begin; I < BB.End; ++I) {
-      int D = defOf(*F.Instrs[I], Tracked);
+      const Instr &Ins = *F.Instrs[I];
+      int D = strongDefOf(C, Ins);
       if (D >= 0)
         V[D] = false;
+      forEachWeakDef(C, Ins, [&](unsigned S) { V[S] = false; });
     }
     return V;
   }
@@ -187,11 +270,15 @@ LivenessResult dart::runLivenessAnalysis(const Cfg &G, const TaintResult &T,
   size_t NumInstrs = F.Instrs.size();
 
   LivenessResult R;
-  R.Tracked.assign(NumSlots, false);
-  for (size_t S = 0; S < NumSlots; ++S) {
-    uint64_t Sz = F.Slots[S].SizeBytes;
-    R.Tracked[S] = !T.SlotEscaped[FnIndex][S] &&
-                   (Sz == 1 || Sz == 4 || Sz == 8);
+  if (T.PT) {
+    R.Tracked = aliasTrackableSlots(T.PT->module(), FnIndex, *T.PT);
+  } else {
+    R.Tracked.assign(NumSlots, false);
+    for (size_t S = 0; S < NumSlots; ++S) {
+      uint64_t Sz = F.Slots[S].SizeBytes;
+      R.Tracked[S] = !T.SlotEscaped[FnIndex][S] &&
+                     (Sz == 1 || Sz == 4 || Sz == 8);
+    }
   }
 
   R.LiveAfter.assign(NumInstrs, std::vector<bool>(NumSlots, false));
@@ -200,9 +287,12 @@ LivenessResult dart::runLivenessAnalysis(const Cfg &G, const TaintResult &T,
   if (G.numBlocks() == 0)
     return R;
 
-  LivenessProblem LP{G, R.Tracked, NumSlots};
+  Ctx C{F, R.Tracked, T.PT.get(), FnIndex,
+        T.PT ? T.PT->selfRecursive(FnIndex) : true};
+
+  LivenessProblem LP{G, C, NumSlots};
   auto Live = solveDataflow(G, LP);
-  DefiniteAssignmentProblem DP{G, R.Tracked, NumSlots, F.NumParams};
+  DefiniteAssignmentProblem DP{G, C, NumSlots, F.NumParams};
   auto Def = solveDataflow(G, DP);
 
   // Expand block fixpoints to per-instruction boundaries.
@@ -213,10 +303,10 @@ LivenessResult dart::runLivenessAnalysis(const Cfg &G, const TaintResult &T,
     for (unsigned I = BB.End; I > BB.Begin; --I) {
       R.LiveAfter[I - 1] = Live_;
       const Instr &In = *F.Instrs[I - 1];
-      int D = defOf(In, R.Tracked);
+      int D = strongDefOf(C, In);
       if (D >= 0)
         Live_[D] = false;
-      forEachInstrUse(In, R.Tracked, [&](unsigned S) { Live_[S] = true; });
+      forEachInstrUse(C, In, [&](unsigned S) { Live_[S] = true; });
     }
     // Forward: Def.In[b] is the state before the block's first
     // instruction; unreachable blocks keep the optimistic all-true value,
@@ -224,9 +314,11 @@ LivenessResult dart::runLivenessAnalysis(const Cfg &G, const TaintResult &T,
     std::vector<bool> DU = G.isReachable(B) ? Def.In[B] : DP.initial();
     for (unsigned I = BB.Begin; I < BB.End; ++I) {
       R.DefinitelyUnassignedBefore[I] = DU;
-      int D = defOf(*F.Instrs[I], R.Tracked);
+      const Instr &Ins = *F.Instrs[I];
+      int D = strongDefOf(C, Ins);
       if (D >= 0)
         DU[D] = false;
+      forEachWeakDef(C, Ins, [&](unsigned S) { DU[S] = false; });
     }
   }
   return R;

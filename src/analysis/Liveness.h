@@ -7,9 +7,13 @@
 /// \file
 /// Two classic bitvector problems over the CFG, instantiated on the
 /// generic worklist solver (Dataflow.h), both restricted to
-/// *trackable* slots — scalar frame slots whose address never escapes
-/// (see Taint.h): for those, every access in the IR is a direct
-/// width-matching Load/Store, so use/def sets are exact.
+/// *trackable* slots (see aliasTrackableSlots in PointsTo.h): scalar
+/// frame slots that are at most locally aliased. Direct accesses give
+/// exact use/def sets; computed accesses are resolved through the
+/// points-to layer — a may-alias load is a use, a may-alias store is a
+/// weak def (never kills liveness, but clears "definitely unassigned"),
+/// and a must-alias store (singleton target, matching width, no
+/// recursion) is as strong as a direct one.
 ///
 ///  - Backward liveness: a Store to a slot that is dead afterwards is a
 ///    dead store (reported by the lint pass for named slots).
@@ -37,7 +41,7 @@ struct LivenessResult {
   /// DefinitelyUnassignedBefore[i][s]: no path from the entry to
   /// instruction i assigns slot s. Parameters count as assigned.
   std::vector<std::vector<bool>> DefinitelyUnassignedBefore;
-  /// Which slots the analyses track (scalar, non-escaped).
+  /// Which slots the analyses track (scalar, at most locally aliased).
   std::vector<bool> Tracked;
 };
 

@@ -1,0 +1,665 @@
+//===- PointsTo.cpp - Andersen-style points-to analysis --------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointsTo.h"
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <sstream>
+
+using namespace dart;
+
+namespace {
+
+/// The node lattice: a bitset over abstract locations. Kept as a plain
+/// vector<bool> sized lazily by the join (temp nodes usually stay empty).
+using LocSet = std::vector<bool>;
+
+bool joinLocSet(LocSet &Into, const LocSet &From) {
+  if (Into.size() < From.size())
+    Into.resize(From.size(), false);
+  bool Changed = false;
+  for (size_t I = 0; I < From.size(); ++I)
+    if (From[I] && !Into[I]) {
+      Into[I] = true;
+      Changed = true;
+    }
+  return Changed;
+}
+
+template <typename Fn> void forEachBit(const LocSet &S, Fn F) {
+  for (size_t I = 0; I < S.size(); ++I)
+    if (S[I])
+      F(static_cast<unsigned>(I));
+}
+
+/// The interpreter's native library (src/interp): only malloc produces a
+/// program-visible object; the rest neither read nor write program memory
+/// through their arguments.
+bool isKnownNative(const std::string &Name) {
+  return Name == "malloc" || Name == "free" || Name == "abort" ||
+         Name == "assert" || Name == "exit";
+}
+
+/// Constraint generation state.
+struct Generator {
+  const IRModule &M;
+  PointsToResult &R;
+  ConstraintGraph<LocSet> &G;
+  /// Complex constraints: for pointer node N, LoadCons[N] are nodes D
+  /// with `D ⊇ *N`, StoreCons[N] are nodes S with `*N ⊇ S`.
+  std::vector<std::vector<unsigned>> LoadCons, StoreCons;
+  /// Cached address-of nodes, one per taken location.
+  std::vector<int> AddrNodeOf;
+  unsigned RetBase;
+  unsigned ComplexCount = 0;
+
+  Generator(const IRModule &M, PointsToResult &R, ConstraintGraph<LocSet> &G,
+            unsigned RetBase)
+      : M(M), R(R), G(G), AddrNodeOf(R.numLocs(), -1), RetBase(RetBase) {}
+
+  void seed(unsigned Node, unsigned Loc) {
+    LocSet &V = G.value(Node);
+    if (V.size() <= Loc)
+      V.resize(Loc + 1, false);
+    V[Loc] = true;
+  }
+
+  unsigned freshNode() {
+    unsigned N = G.addNode();
+    LoadCons.resize(N + 1);
+    StoreCons.resize(N + 1);
+    return N;
+  }
+
+  unsigned addrNode(unsigned Loc) {
+    if (AddrNodeOf[Loc] < 0) {
+      unsigned N = freshNode();
+      seed(N, Loc);
+      AddrNodeOf[Loc] = static_cast<int>(N);
+    }
+    return static_cast<unsigned>(AddrNodeOf[Loc]);
+  }
+
+  void addLoadCons(unsigned Ptr, unsigned Dst) {
+    LoadCons[Ptr].push_back(Dst);
+    ++ComplexCount;
+  }
+  void addStoreCons(unsigned Ptr, unsigned Src) {
+    StoreCons[Ptr].push_back(Src);
+    ++ComplexCount;
+  }
+
+  /// Node computing the pointer content of \p E, or -1 when the value can
+  /// never carry an object address (integers, comparisons, constants).
+  int genExpr(unsigned Fn, const IRExpr *E) {
+    switch (E->kind()) {
+    case IRExpr::Kind::Const:
+    case IRExpr::Kind::Cmp:
+      return -1;
+    case IRExpr::Kind::FrameAddr:
+      return static_cast<int>(
+          addrNode(R.slotLoc(Fn, cast<FrameAddrExpr>(E)->slotIndex())));
+    case IRExpr::Kind::GlobalAddr:
+      return static_cast<int>(
+          addrNode(R.globalLoc(cast<GlobalAddrExpr>(E)->globalIndex())));
+    case IRExpr::Kind::Load: {
+      int Addr = genExpr(Fn, cast<LoadExpr>(E)->address());
+      if (Addr < 0)
+        return -1; // constant address: the VM traps before any load
+      unsigned T = freshNode();
+      addLoadCons(static_cast<unsigned>(Addr), T);
+      return static_cast<int>(T);
+    }
+    case IRExpr::Kind::Unary:
+      return genExpr(Fn, cast<UnaryIRExpr>(E)->operand());
+    case IRExpr::Kind::Cast:
+      return genExpr(Fn, cast<CastIRExpr>(E)->operand());
+    case IRExpr::Kind::Binary: {
+      // Pointer arithmetic in either operand position; unioning both is
+      // sound for every operator (the result can only address an object
+      // one operand already addressed — the VM's region model traps on
+      // anything conjured from pure integers).
+      int L = genExpr(Fn, cast<BinaryIRExpr>(E)->lhs());
+      int Rh = genExpr(Fn, cast<BinaryIRExpr>(E)->rhs());
+      if (L < 0)
+        return Rh;
+      if (Rh < 0)
+        return L;
+      unsigned T = freshNode();
+      G.addEdge(static_cast<unsigned>(L), T);
+      G.addEdge(static_cast<unsigned>(Rh), T);
+      return static_cast<int>(T);
+    }
+    }
+    return -1;
+  }
+
+  /// The node holding what flows *into* the cells a Store/Copy writes.
+  void genWrite(unsigned Fn, const IRExpr *Address, int ValueNode) {
+    if (ValueNode < 0)
+      return;
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(Address)) {
+      G.addEdge(static_cast<unsigned>(ValueNode),
+                R.slotLoc(Fn, FA->slotIndex()));
+      return;
+    }
+    if (const auto *GA = dyn_cast<GlobalAddrExpr>(Address)) {
+      G.addEdge(static_cast<unsigned>(ValueNode),
+                R.globalLoc(GA->globalIndex()));
+      return;
+    }
+    int Addr = genExpr(Fn, Address);
+    if (Addr >= 0)
+      addStoreCons(static_cast<unsigned>(Addr),
+                   static_cast<unsigned>(ValueNode));
+  }
+
+  void genInstr(unsigned Fn, unsigned InstrIdx, const Instr &I) {
+    switch (I.kind()) {
+    case Instr::Kind::Store: {
+      const auto *St = cast<StoreInstr>(&I);
+      genWrite(Fn, St->address(), genExpr(Fn, St->value()));
+      return;
+    }
+    case Instr::Kind::Copy: {
+      // Bytewise copy: any pointer stored in the source blob may end up
+      // in the destination blob.
+      const auto *C = cast<CopyInstr>(&I);
+      int SrcV;
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(C->src()))
+        SrcV = static_cast<int>(R.slotLoc(Fn, FA->slotIndex()));
+      else if (const auto *GA = dyn_cast<GlobalAddrExpr>(C->src()))
+        SrcV = static_cast<int>(R.globalLoc(GA->globalIndex()));
+      else {
+        int Ns = genExpr(Fn, C->src());
+        if (Ns < 0)
+          return;
+        unsigned T = freshNode();
+        addLoadCons(static_cast<unsigned>(Ns), T);
+        SrcV = static_cast<int>(T);
+      }
+      genWrite(Fn, C->dst(), SrcV);
+      return;
+    }
+    case Instr::Kind::Call: {
+      const auto *C = cast<CallInstr>(&I);
+      unsigned Callee = R.callGraph().indexOf(C->callee());
+      if (Callee != CallGraph::kExternal) {
+        const IRFunction &CF = *M.functions()[Callee];
+        for (unsigned A = 0; A < C->args().size() && A < CF.NumParams; ++A) {
+          int Na = genExpr(Fn, C->args()[A].get());
+          if (Na >= 0)
+            G.addEdge(static_cast<unsigned>(Na), R.slotLoc(Callee, A));
+        }
+        if (C->destSlot())
+          G.addEdge(RetBase + Callee, R.slotLoc(Fn, *C->destSlot()));
+        return;
+      }
+      if (C->callee() == "malloc") {
+        int H = R.heapLoc(Fn, InstrIdx);
+        if (H >= 0 && C->destSlot())
+          seed(R.slotLoc(Fn, *C->destSlot()), static_cast<unsigned>(H));
+        return;
+      }
+      if (isKnownNative(C->callee()))
+        return; // free/abort/assert/exit: no memory flow
+      // External environment function: argument addresses escape into the
+      // driver-owned world, pointer results target driver-owned cells.
+      for (const IRExprPtr &A : C->args()) {
+        int Na = genExpr(Fn, A.get());
+        if (Na >= 0)
+          G.addEdge(static_cast<unsigned>(Na), R.externalLoc());
+      }
+      if (C->destSlot() && C->retValType().IsPointer)
+        seed(R.slotLoc(Fn, *C->destSlot()), R.externalLoc());
+      return;
+    }
+    case Instr::Kind::Ret: {
+      if (const IRExpr *V = cast<RetInstr>(&I)->value()) {
+        int Nv = genExpr(Fn, V);
+        if (Nv >= 0)
+          G.addEdge(static_cast<unsigned>(Nv), RetBase + Fn);
+      }
+      return;
+    }
+    case Instr::Kind::CondJump:
+    case Instr::Kind::Jump:
+    case Instr::Kind::Abort:
+    case Instr::Kind::Halt:
+      return;
+    }
+  }
+};
+
+} // namespace
+
+std::string PointsToStats::toString() const {
+  std::ostringstream OS;
+  OS << "points-to: " << NumLocs << " abstract locations, " << NumConstraints
+     << " constraints, " << SolverIterations << " solver iterations, "
+     << WallMicros << " us";
+  return OS.str();
+}
+
+int PointsToResult::heapLoc(unsigned Fn, unsigned InstrIndex) const {
+  auto It = HeapLocOf.find(uint64_t(Fn) << 32 | InstrIndex);
+  return It != HeapLocOf.end() ? static_cast<int>(It->second) : -1;
+}
+
+PointsToResult::LocKind PointsToResult::kindOf(unsigned Loc) const {
+  if (Loc == 0)
+    return LocKind::External;
+  if (Loc <= NumGlobals)
+    return LocKind::Global;
+  if (Loc < HeapBase)
+    return LocKind::Slot;
+  return LocKind::Heap;
+}
+
+unsigned PointsToResult::ownerFn(unsigned Loc) const {
+  if (kindOf(Loc) == LocKind::Heap)
+    return HeapSiteOf[Loc - HeapBase].first;
+  // Slot: find the owning function by base offset.
+  unsigned Fn = 0;
+  for (unsigned I = 0; I < SlotBase.size(); ++I)
+    if (SlotBase[I] <= Loc)
+      Fn = I;
+  return Fn;
+}
+
+unsigned PointsToResult::slotIndexOf(unsigned Loc) const {
+  return Loc - SlotBase[ownerFn(Loc)];
+}
+
+unsigned PointsToResult::globalIndexOf(unsigned Loc) const {
+  return Loc - 1;
+}
+
+uint64_t PointsToResult::locSize(unsigned Loc) const {
+  switch (kindOf(Loc)) {
+  case LocKind::Global:
+    return M->globals()[globalIndexOf(Loc)].SizeBytes;
+  case LocKind::Slot: {
+    unsigned Fn = ownerFn(Loc);
+    return M->functions()[Fn]->Slots[Loc - SlotBase[Fn]].SizeBytes;
+  }
+  case LocKind::External:
+  case LocKind::Heap:
+    return 0;
+  }
+  return 0;
+}
+
+std::string PointsToResult::locName(unsigned Loc) const {
+  switch (kindOf(Loc)) {
+  case LocKind::External:
+    return "<external>";
+  case LocKind::Global:
+    return "g:" + M->globals()[globalIndexOf(Loc)].Name;
+  case LocKind::Slot: {
+    unsigned Fn = ownerFn(Loc);
+    unsigned S = Loc - SlotBase[Fn];
+    const FrameSlot &Slot = M->functions()[Fn]->Slots[S];
+    return M->functions()[Fn]->Name + ":" +
+           (Slot.Name.empty() ? "#" + std::to_string(S) : Slot.Name);
+  }
+  case LocKind::Heap: {
+    auto [Fn, I] = HeapSiteOf[Loc - HeapBase];
+    return "heap:" + M->functions()[Fn]->Name + "@" + std::to_string(I);
+  }
+  }
+  return "?";
+}
+
+void PointsToResult::unionInto(std::vector<unsigned> &Out,
+                               const std::vector<unsigned> &Add) const {
+  for (unsigned L : Add)
+    Out.push_back(L);
+}
+
+std::vector<unsigned> PointsToResult::addressTargets(unsigned Fn,
+                                                     const IRExpr *E) const {
+  std::vector<unsigned> Out;
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+  case IRExpr::Kind::Cmp:
+    break;
+  case IRExpr::Kind::FrameAddr:
+    Out.push_back(slotLoc(Fn, cast<FrameAddrExpr>(E)->slotIndex()));
+    break;
+  case IRExpr::Kind::GlobalAddr:
+    Out.push_back(globalLoc(cast<GlobalAddrExpr>(E)->globalIndex()));
+    break;
+  case IRExpr::Kind::Load:
+    for (unsigned O : addressTargets(Fn, cast<LoadExpr>(E)->address()))
+      unionInto(Out, Pts[O]);
+    break;
+  case IRExpr::Kind::Unary:
+    return addressTargets(Fn, cast<UnaryIRExpr>(E)->operand());
+  case IRExpr::Kind::Cast:
+    return addressTargets(Fn, cast<CastIRExpr>(E)->operand());
+  case IRExpr::Kind::Binary: {
+    Out = addressTargets(Fn, cast<BinaryIRExpr>(E)->lhs());
+    unionInto(Out, addressTargets(Fn, cast<BinaryIRExpr>(E)->rhs()));
+    break;
+  }
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+bool PointsToResult::addressTaken(unsigned Fn, unsigned S) const {
+  unsigned Loc = slotLoc(Fn, S);
+  return Loc < Holders.size() && !Holders[Loc].empty();
+}
+
+bool PointsToResult::onlyLocallyAliased(unsigned Fn, unsigned S) const {
+  unsigned Loc = slotLoc(Fn, S);
+  if (Loc >= Holders.size())
+    return true;
+  for (unsigned H : Holders[Loc]) {
+    if (H >= NumLocs)
+      return false; // held in a return value: leaves the frame
+    if (kindOf(H) != LocKind::Slot || ownerFn(H) != Fn)
+      return false;
+  }
+  return true;
+}
+
+PointsToResult dart::runPointsToAnalysis(const IRModule &M,
+                                         const std::string &ToplevelName) {
+  auto T0 = std::chrono::steady_clock::now();
+  PointsToResult R;
+  R.M = &M;
+  R.CG = CallGraph::build(M);
+  unsigned NumFns = static_cast<unsigned>(M.functions().size());
+  R.NumGlobals = static_cast<unsigned>(M.globals().size());
+
+  // Location layout: External, globals, slots (per function), heap sites.
+  unsigned Next = 1 + R.NumGlobals;
+  R.SlotBase.resize(NumFns);
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    R.SlotBase[Fn] = Next;
+    Next += static_cast<unsigned>(M.functions()[Fn]->Slots.size());
+  }
+  R.HeapBase = Next;
+  for (const CallGraphSite &S : R.CG.sites()) {
+    if (S.CalleeFn != CallGraph::kExternal)
+      continue;
+    const auto *C =
+        cast<CallInstr>(M.functions()[S.CallerFn]->Instrs[S.InstrIndex].get());
+    if (C->callee() == "malloc") {
+      R.HeapLocOf[uint64_t(S.CallerFn) << 32 | S.InstrIndex] = Next++;
+      R.HeapSiteOf.push_back({S.CallerFn, S.InstrIndex});
+    }
+  }
+  R.NumLocs = Next;
+
+  // Node layout: [0, NumLocs) memory locations, then per-function return
+  // nodes, then expression temporaries.
+  ConstraintGraph<LocSet> G(R.NumLocs + NumFns);
+  unsigned RetBase = R.NumLocs;
+  Generator Gen(M, R, G, RetBase);
+  Gen.LoadCons.resize(G.numNodes());
+  Gen.StoreCons.resize(G.numNodes());
+
+  // Seeds: the driver's world points at itself; the toplevel's parameters
+  // and every extern-input global may hold driver-owned addresses (§3.1's
+  // input pointers always target fresh driver cells, never program
+  // objects).
+  Gen.seed(R.externalLoc(), R.externalLoc());
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    if (F.Name == ToplevelName)
+      for (unsigned P = 0; P < F.NumParams && P < F.Slots.size(); ++P)
+        Gen.seed(R.slotLoc(Fn, P), R.externalLoc());
+  }
+  for (unsigned Gi = 0; Gi < R.NumGlobals; ++Gi)
+    if (M.globals()[Gi].IsExternInput)
+      Gen.seed(R.globalLoc(Gi), R.externalLoc());
+
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    for (unsigned I = 0; I < F.Instrs.size(); ++I)
+      Gen.genInstr(Fn, I, *F.Instrs[I]);
+  }
+
+  unsigned Visits = G.solve(joinLocSet, [&](unsigned N, auto Grow) {
+    const LocSet Val = G.value(N); // copy: Grow may reallocate values
+    for (unsigned Dst : Gen.LoadCons[N])
+      forEachBit(Val, [&](unsigned O) { Grow(O, Dst); });
+    for (unsigned Src : Gen.StoreCons[N])
+      forEachBit(Val, [&](unsigned O) { Grow(Src, O); });
+  });
+
+  // Extract memory-location and return-node sets; drop the temporaries.
+  R.Pts.assign(R.NumLocs, {});
+  for (unsigned L = 0; L < R.NumLocs; ++L)
+    forEachBit(G.value(L), [&](unsigned O) { R.Pts[L].push_back(O); });
+  R.RetPts.assign(NumFns, {});
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn)
+    forEachBit(G.value(RetBase + Fn),
+               [&](unsigned O) { R.RetPts[Fn].push_back(O); });
+
+  // Holder index: where is each location's address stored? Return nodes
+  // count (ids >= NumLocs) — an address held in a return value escapes
+  // its frame.
+  R.Holders.assign(R.NumLocs, {});
+  for (unsigned L = 0; L < R.NumLocs; ++L)
+    for (unsigned O : R.Pts[L])
+      R.Holders[O].push_back(L);
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn)
+    for (unsigned O : R.RetPts[Fn])
+      R.Holders[O].push_back(RetBase + Fn);
+
+  // Mod/ref: the objects each function may write/read through computed
+  // addresses (plus direct global accesses), closed over the call graph.
+  std::vector<std::vector<bool>> ModLocal(NumFns,
+                                          std::vector<bool>(R.NumLocs, false));
+  std::vector<std::vector<bool>> RefLocal = ModLocal;
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    auto AddTargets = [&](std::vector<bool> &Set, const IRExpr *Addr) {
+      for (unsigned O : R.addressTargets(Fn, Addr))
+        Set[O] = true;
+    };
+    // Every Load in an expression tree is a read.
+    std::function<void(const IRExpr *)> WalkReads = [&](const IRExpr *E) {
+      switch (E->kind()) {
+      case IRExpr::Kind::Load: {
+        const auto *L = cast<LoadExpr>(E);
+        if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address()))
+          RefLocal[Fn][R.globalLoc(GA->globalIndex())] = true;
+        else if (!isa<FrameAddrExpr>(L->address())) {
+          AddTargets(RefLocal[Fn], L->address());
+          WalkReads(L->address());
+        }
+        return;
+      }
+      case IRExpr::Kind::Unary:
+        WalkReads(cast<UnaryIRExpr>(E)->operand());
+        return;
+      case IRExpr::Kind::Cast:
+        WalkReads(cast<CastIRExpr>(E)->operand());
+        return;
+      case IRExpr::Kind::Binary:
+        WalkReads(cast<BinaryIRExpr>(E)->lhs());
+        WalkReads(cast<BinaryIRExpr>(E)->rhs());
+        return;
+      case IRExpr::Kind::Cmp:
+        WalkReads(cast<CmpExpr>(E)->lhs());
+        WalkReads(cast<CmpExpr>(E)->rhs());
+        return;
+      default:
+        return;
+      }
+    };
+    auto WalkWrite = [&](const IRExpr *Addr) {
+      if (const auto *GA = dyn_cast<GlobalAddrExpr>(Addr))
+        ModLocal[Fn][R.globalLoc(GA->globalIndex())] = true;
+      else if (!isa<FrameAddrExpr>(Addr)) {
+        AddTargets(ModLocal[Fn], Addr);
+        WalkReads(Addr);
+      }
+    };
+    for (const InstrPtr &IP : F.Instrs) {
+      const Instr &I = *IP;
+      switch (I.kind()) {
+      case Instr::Kind::Store:
+        WalkWrite(cast<StoreInstr>(&I)->address());
+        WalkReads(cast<StoreInstr>(&I)->value());
+        break;
+      case Instr::Kind::Copy: {
+        const auto *C = cast<CopyInstr>(&I);
+        WalkWrite(C->dst());
+        if (const auto *GA = dyn_cast<GlobalAddrExpr>(C->src()))
+          RefLocal[Fn][R.globalLoc(GA->globalIndex())] = true;
+        else if (!isa<FrameAddrExpr>(C->src())) {
+          AddTargets(RefLocal[Fn], C->src());
+          WalkReads(C->src());
+        }
+        break;
+      }
+      case Instr::Kind::CondJump:
+        WalkReads(cast<CondJumpInstr>(&I)->cond());
+        break;
+      case Instr::Kind::Call:
+        for (const IRExprPtr &A : cast<CallInstr>(&I)->args())
+          WalkReads(A.get());
+        break;
+      case Instr::Kind::Ret:
+        if (const IRExpr *V = cast<RetInstr>(&I)->value())
+          WalkReads(V);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  R.Mod.assign(NumFns, std::vector<bool>(R.NumLocs, false));
+  R.Ref = R.Mod;
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    std::vector<bool> Reached = R.CG.transitiveCallees(Fn);
+    for (unsigned Cal = 0; Cal < NumFns; ++Cal) {
+      if (!Reached[Cal])
+        continue;
+      for (unsigned L = 0; L < R.NumLocs; ++L) {
+        if (ModLocal[Cal][L])
+          R.Mod[Fn][L] = true;
+        if (RefLocal[Cal][L])
+          R.Ref[Fn][L] = true;
+      }
+    }
+  }
+
+  R.Stats.NumLocs = R.NumLocs;
+  R.Stats.NumConstraints = G.numEdges() + Gen.ComplexCount;
+  R.Stats.SolverIterations = Visits;
+  R.Stats.WallMicros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  return R;
+}
+
+std::vector<bool> dart::aliasTrackableSlots(const IRModule &M, unsigned Fn,
+                                            const PointsToResult &PT) {
+  const IRFunction &F = *M.functions()[Fn];
+  size_t NumSlots = F.Slots.size();
+  std::vector<bool> T(NumSlots, false);
+  for (size_t S = 0; S < NumSlots; ++S) {
+    uint64_t Sz = F.Slots[S].SizeBytes;
+    T[S] = (Sz == 1 || Sz == 4 || Sz == 8) &&
+           PT.onlyLocallyAliased(Fn, static_cast<unsigned>(S));
+  }
+  auto Untrack = [&](unsigned S) {
+    if (S < NumSlots)
+      T[S] = false;
+  };
+  // Direct accesses must be width-matching (a partial read/write breaks
+  // the whole-slot fact model), and bytewise Copy operands are out.
+  std::function<void(const IRExpr *)> Walk = [&](const IRExpr *E) {
+    switch (E->kind()) {
+    case IRExpr::Kind::Load: {
+      const auto *L = cast<LoadExpr>(E);
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address())) {
+        unsigned S = FA->slotIndex();
+        if (S < NumSlots && F.Slots[S].SizeBytes != L->valType().SizeBytes)
+          Untrack(S);
+        return;
+      }
+      Walk(L->address());
+      return;
+    }
+    case IRExpr::Kind::Unary:
+      Walk(cast<UnaryIRExpr>(E)->operand());
+      return;
+    case IRExpr::Kind::Cast:
+      Walk(cast<CastIRExpr>(E)->operand());
+      return;
+    case IRExpr::Kind::Binary:
+      Walk(cast<BinaryIRExpr>(E)->lhs());
+      Walk(cast<BinaryIRExpr>(E)->rhs());
+      return;
+    case IRExpr::Kind::Cmp:
+      Walk(cast<CmpExpr>(E)->lhs());
+      Walk(cast<CmpExpr>(E)->rhs());
+      return;
+    default:
+      return;
+    }
+  };
+  auto UntrackCopyOperand = [&](const IRExpr *Op) {
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(Op)) {
+      Untrack(FA->slotIndex());
+      return;
+    }
+    for (unsigned O : PT.addressTargets(Fn, Op))
+      if (PT.kindOf(O) == PointsToResult::LocKind::Slot &&
+          PT.ownerFn(O) == Fn)
+        Untrack(PT.slotIndexOf(O));
+    Walk(Op);
+  };
+  for (const InstrPtr &IP : F.Instrs) {
+    const Instr &I = *IP;
+    switch (I.kind()) {
+    case Instr::Kind::Store: {
+      const auto *St = cast<StoreInstr>(&I);
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address())) {
+        unsigned S = FA->slotIndex();
+        if (S < NumSlots && F.Slots[S].SizeBytes != St->valType().SizeBytes)
+          Untrack(S);
+      } else {
+        Walk(St->address());
+      }
+      Walk(St->value());
+      break;
+    }
+    case Instr::Kind::Copy:
+      UntrackCopyOperand(cast<CopyInstr>(&I)->dst());
+      UntrackCopyOperand(cast<CopyInstr>(&I)->src());
+      break;
+    case Instr::Kind::CondJump:
+      Walk(cast<CondJumpInstr>(&I)->cond());
+      break;
+    case Instr::Kind::Call:
+      for (const IRExprPtr &A : cast<CallInstr>(&I)->args())
+        Walk(A.get());
+      break;
+    case Instr::Kind::Ret:
+      if (const IRExpr *V = cast<RetInstr>(&I)->value())
+        Walk(V);
+      break;
+    default:
+      break;
+    }
+  }
+  return T;
+}

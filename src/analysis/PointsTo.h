@@ -1,0 +1,190 @@
+//===- PointsTo.h - Andersen-style points-to over the IR --------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flow-insensitive, field-insensitive, inclusion-based (Andersen)
+/// points-to analysis over the RAM-machine IR. The paper's machine deals
+/// in raw addresses (§2.2); the PR-4 dataflow layer was alias-blind —
+/// any store through a computed address either killed precision
+/// wholesale (taint: every escaped slot is permanently symbolic) or was
+/// ignored as unreachable (intervals). This analysis gives every pass a
+/// common answer to "which objects can this address expression denote?".
+///
+/// Abstract locations (one blob per object — field-insensitive):
+///
+///   External      everything the driver owns: the cells backing pointer
+///                 inputs, external-function return targets, and anything
+///                 handed to a native/external callee. External is its own
+///                 points-to member (driver cells point at driver cells).
+///   Global(g)     one per module global (arrays included).
+///   Slot(f,s)     one per frame slot, conflating frames of f (recursion).
+///   Heap(f,i)     one per malloc call site (function f, instruction i).
+///
+/// Each location carries a points-to set: the locations a pointer stored
+/// *in* it may target. Per-function Ret nodes carry the points-to set of
+/// returned values. Constraints are generated once per instruction and
+/// resolved by the inclusion-constraint worklist solver in Dataflow.h
+/// (`ConstraintGraph`); `*p = q` / `x = *p` constraints add copy edges as
+/// p's set grows, the classic Andersen complex-constraint rule.
+///
+/// Soundness contract (checked by tests/pointsto_property_test.cpp): for
+/// every Store the VM executes, the concrete target cell's abstract
+/// location is a member of `addressTargets` of the Store's address
+/// expression. Address arithmetic is handled conservatively — a Binary
+/// over pointers unions both operand target sets, and the VM's region
+/// model guarantees in-bounds arithmetic never crosses objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_POINTSTO_H
+#define DART_ANALYSIS_POINTSTO_H
+
+#include "analysis/CallGraph.h"
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dart {
+
+/// Solver-shape counters for the --stats PointsTo block.
+struct PointsToStats {
+  /// Abstract locations (External + globals + slots + heap sites).
+  unsigned NumLocs = 0;
+  /// Inclusion constraints in the solved graph (base + derived edges).
+  unsigned NumConstraints = 0;
+  /// Node visits the worklist fixpoint performed.
+  unsigned SolverIterations = 0;
+  /// Wall time of constraint generation + solving, microseconds.
+  uint64_t WallMicros = 0;
+
+  void merge(const PointsToStats &O) {
+    NumLocs += O.NumLocs;
+    NumConstraints += O.NumConstraints;
+    SolverIterations += O.SolverIterations;
+    WallMicros += O.WallMicros;
+  }
+  std::string toString() const;
+};
+
+class PointsToResult {
+public:
+  enum class LocKind { External, Global, Slot, Heap };
+
+  /// The abstract location id space. External is always id 0.
+  unsigned externalLoc() const { return 0; }
+  unsigned globalLoc(unsigned G) const { return 1 + G; }
+  unsigned slotLoc(unsigned Fn, unsigned S) const {
+    return SlotBase[Fn] + S;
+  }
+  /// The heap location of the malloc at (\p Fn, \p InstrIndex), if that
+  /// instruction is a malloc call site.
+  int heapLoc(unsigned Fn, unsigned InstrIndex) const;
+
+  unsigned numLocs() const { return NumLocs; }
+  LocKind kindOf(unsigned Loc) const;
+  /// Owning function of a Slot/Heap location.
+  unsigned ownerFn(unsigned Loc) const;
+  /// Slot index of a Slot location / global index of a Global location.
+  unsigned slotIndexOf(unsigned Loc) const;
+  unsigned globalIndexOf(unsigned Loc) const;
+  /// Object size in bytes (0 for External and Heap, whose size is
+  /// per-run).
+  uint64_t locSize(unsigned Loc) const;
+  std::string locName(unsigned Loc) const;
+
+  /// The points-to set of location \p Loc: sorted location ids a pointer
+  /// stored in the object may target.
+  const std::vector<unsigned> &pointsTo(unsigned Loc) const {
+    return Pts[Loc];
+  }
+  /// The points-to set of values returned by function \p Fn.
+  const std::vector<unsigned> &returnPointsTo(unsigned Fn) const {
+    return RetPts[Fn];
+  }
+
+  /// The objects the *value* of \p E (evaluated in \p Fn) may point at —
+  /// for an address expression, the objects a Load/Store through it may
+  /// touch. Empty means "no tracked object": the value is null, a pure
+  /// integer, or an address the VM would trap on.
+  std::vector<unsigned> addressTargets(unsigned Fn, const IRExpr *E) const;
+
+  /// Is slot \p S's address ever held anywhere? (Member of some memory
+  /// location's or return node's points-to set.)
+  bool addressTaken(unsigned Fn, unsigned S) const;
+  /// True when every holder of slot \p S's address is a slot of the same
+  /// function — the address never reaches a global, the heap, a return
+  /// value, another function's frame, or the external world. Such slots
+  /// are still precisely trackable per-frame: no other frame or callee
+  /// can concretely reach them.
+  bool onlyLocallyAliased(unsigned Fn, unsigned S) const;
+
+  /// May a call to \p Fn (or any transitive callee) write / read the
+  /// object at \p Loc through a pointer? Direct accesses to the callee's
+  /// own frame are excluded — they touch the *callee's* frame instance,
+  /// which is invisible to the caller unless aliased (and then the
+  /// computed-access rule records it).
+  bool mayMod(unsigned Fn, unsigned Loc) const { return Mod[Fn][Loc]; }
+  bool mayRef(unsigned Fn, unsigned Loc) const { return Ref[Fn][Loc]; }
+
+  const IRModule &module() const { return *M; }
+  const CallGraph &callGraph() const { return CG; }
+  const PointsToStats &stats() const { return Stats; }
+
+  /// Is \p Fn reachable from itself along call edges? Frame conflation
+  /// makes must-alias reasoning about its slots unsound (an aliased
+  /// singleton target may belong to another live activation).
+  bool selfRecursive(unsigned Fn) const {
+    for (unsigned C : CG.callees(Fn))
+      if (CG.transitiveCallees(C)[Fn])
+        return true;
+    return false;
+  }
+
+private:
+  friend PointsToResult runPointsToAnalysis(const IRModule &M,
+                                            const std::string &ToplevelName);
+
+  const IRModule *M = nullptr;
+  CallGraph CG;
+  unsigned NumLocs = 0;
+  unsigned NumGlobals = 0;
+  std::vector<unsigned> SlotBase; // per function
+  std::unordered_map<uint64_t, unsigned> HeapLocOf; // (fn,instr) -> loc
+  /// (fn, instr) of each Heap location, indexed by loc - HeapBase.
+  std::vector<std::pair<unsigned, unsigned>> HeapSiteOf;
+  unsigned HeapBase = 0;
+  std::vector<std::vector<unsigned>> Pts;    // per location
+  std::vector<std::vector<unsigned>> RetPts; // per function
+  std::vector<std::vector<bool>> Mod, Ref; // per function, per location
+  /// Per location: node ids holding its address (memory locations, or
+  /// RetBase + fn for return nodes).
+  std::vector<std::vector<unsigned>> Holders;
+  PointsToStats Stats;
+
+  void unionInto(std::vector<unsigned> &Out,
+                 const std::vector<unsigned> &Add) const;
+};
+
+/// Build the call graph, generate constraints, and solve. \p ToplevelName
+/// seeds the external world: its parameters (and every extern-input
+/// global) may hold driver-owned addresses.
+PointsToResult runPointsToAnalysis(const IRModule &M,
+                                   const std::string &ToplevelName);
+
+/// The slots of \p Fn the alias-aware scalar analyses (Interval.h,
+/// Liveness.h) may track precisely: scalar-sized, every direct access
+/// width-matching, never an operand of a bytewise Copy, and
+/// onlyLocallyAliased. Computed accesses to them are resolved through
+/// \p PT at each instruction.
+std::vector<bool> aliasTrackableSlots(const IRModule &M, unsigned Fn,
+                                      const PointsToResult &PT);
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_POINTSTO_H

@@ -40,6 +40,8 @@ StaticSummary dart::computeStaticSummary(const IRModule &M,
   Sum.PrunedSites.assign(Sum.NumBranchSites, false);
 
   TaintResult T = runTaintAnalysis(M, ToplevelName);
+  if (T.PT)
+    Sum.PointsTo = T.PT->stats();
 
   for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
     const IRFunction &F = *M.functions()[Fn];

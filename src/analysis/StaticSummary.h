@@ -34,6 +34,7 @@
 #define DART_ANALYSIS_STATICSUMMARY_H
 
 #include "analysis/Interval.h"
+#include "analysis/PointsTo.h"
 #include "analysis/Taint.h"
 #include "ir/IR.h"
 
@@ -44,6 +45,9 @@ namespace dart {
 
 struct StaticSummary {
   unsigned NumBranchSites = 0;
+  /// Solver-shape counters of the points-to analysis the verdicts are
+  /// built on (surfaced by --stats).
+  PointsToStats PointsTo;
   /// Site may observe a symbolic input (conservative default: true).
   std::vector<bool> SiteTainted;
   /// Interval analysis proved a single truth value on every execution.

@@ -118,11 +118,28 @@ struct Builder {
   /// One propagation sweep; returns true if any taint bit was added.
   bool propagate() {
     bool Changed = false;
-    auto TaintSlot = [&](unsigned Fn, unsigned S) {
-      if (S < R.SlotTainted[Fn].size() && !R.SlotTainted[Fn][S]) {
-        R.SlotTainted[Fn][S] = true;
+    const PointsToResult &PT = *R.PT;
+    auto TaintLoc = [&](unsigned Loc) {
+      if (Loc < R.LocTainted.size() && !R.LocTainted[Loc]) {
+        R.LocTainted[Loc] = true;
         Changed = true;
       }
+    };
+    auto TaintSlot = [&](unsigned Fn, unsigned S) {
+      if (S < M.functions()[Fn]->Slots.size())
+        TaintLoc(PT.slotLoc(Fn, S));
+    };
+    // Store/Copy through a computed address: taint exactly the may-alias
+    // targets. An empty target set means the VM would trap — no cell to
+    // taint.
+    auto TaintWrite = [&](unsigned Fn, const IRExpr *Addr) {
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(Addr))
+        TaintSlot(Fn, FA->slotIndex());
+      else if (const auto *GA = dyn_cast<GlobalAddrExpr>(Addr))
+        TaintLoc(PT.globalLoc(GA->globalIndex()));
+      else
+        for (unsigned O : PT.addressTargets(Fn, Addr))
+          TaintLoc(O);
     };
     for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
       const IRFunction &F = *M.functions()[Fn];
@@ -131,18 +148,22 @@ struct Builder {
         switch (I.kind()) {
         case Instr::Kind::Store: {
           const auto *St = cast<StoreInstr>(&I);
-          if (!R.exprTainted(Fn, St->value()))
-            break;
-          if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address()))
-            TaintSlot(Fn, FA->slotIndex());
-          else if (const auto *GA = dyn_cast<GlobalAddrExpr>(St->address())) {
-            if (!R.GlobalTainted[GA->globalIndex()]) {
-              R.GlobalTainted[GA->globalIndex()] = true;
-              Changed = true;
-            }
-          }
-          // Computed-address stores only reach escaped storage, which is
-          // already permanently tainted.
+          if (R.exprTainted(Fn, St->value()))
+            TaintWrite(Fn, St->address());
+          break;
+        }
+        case Instr::Kind::Copy: {
+          // Bytewise copy: tainted iff some source cell may be tainted.
+          const auto *C = cast<CopyInstr>(&I);
+          bool SrcTainted;
+          if (const auto *FA = dyn_cast<FrameAddrExpr>(C->src()))
+            SrcTainted = R.LocTainted[PT.slotLoc(Fn, FA->slotIndex())];
+          else if (const auto *GA = dyn_cast<GlobalAddrExpr>(C->src()))
+            SrcTainted = R.LocTainted[PT.globalLoc(GA->globalIndex())];
+          else
+            SrcTainted = R.anyTargetTainted(Fn, C->src());
+          if (SrcTainted)
+            TaintWrite(Fn, C->dst());
           break;
         }
         case Instr::Kind::Call: {
@@ -184,6 +205,17 @@ struct Builder {
 
 } // namespace
 
+bool TaintResult::anyTargetTainted(unsigned FnIndex,
+                                   const IRExpr *Addr) const {
+  std::vector<unsigned> Targets = PT->addressTargets(FnIndex, Addr);
+  if (Targets.empty())
+    return true;
+  for (unsigned O : Targets)
+    if (O < LocTainted.size() && LocTainted[O])
+      return true;
+  return false;
+}
+
 bool TaintResult::exprTainted(unsigned FnIndex, const IRExpr *E) const {
   switch (E->kind()) {
   case IRExpr::Kind::Const:
@@ -194,11 +226,18 @@ bool TaintResult::exprTainted(unsigned FnIndex, const IRExpr *E) const {
     const auto *L = cast<LoadExpr>(E);
     if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address())) {
       unsigned S = FA->slotIndex();
-      return S >= SlotTainted[FnIndex].size() || SlotTainted[FnIndex][S];
+      if (S >= SlotTainted[FnIndex].size())
+        return true;
+      return PT ? LocTainted[PT->slotLoc(FnIndex, S)]
+                : SlotTainted[FnIndex][S];
     }
     if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address()))
-      return GlobalTainted[GA->globalIndex()];
-    return true; // computed address: arrays, pointers, heap
+      return PT ? LocTainted[PT->globalLoc(GA->globalIndex())]
+                : GlobalTainted[GA->globalIndex()];
+    // Computed address: tainted iff some may-target cell is (or the
+    // address is untracked). Without the alias layer, conservatively
+    // tainted.
+    return !PT || anyTargetTainted(FnIndex, L->address());
   }
   case IRExpr::Kind::Unary:
     return exprTainted(FnIndex, cast<UnaryIRExpr>(E)->operand());
@@ -231,26 +270,36 @@ TaintResult dart::runTaintAnalysis(const IRModule &M,
   R.GlobalEscaped.assign(NumGlobals, false);
   R.InternallyCalled.assign(NumFns, false);
 
+  R.PT = std::make_shared<PointsToResult>(runPointsToAnalysis(M, ToplevelName));
+  R.LocTainted.assign(R.PT->numLocs(), false);
+
   Builder B(M, R);
   B.escapePass();
 
   // Seeds: the driver binds fresh inputs to the toplevel's parameters and
-  // to every extern variable each run (§3.1); escaped storage may be
-  // handed a symbolic value through any alias.
+  // to every extern variable each run (§3.1), and owns everything behind
+  // the External location. Escaped storage is NOT blanket-tainted any
+  // more — the propagation sweep taints exactly the may-alias targets of
+  // each tainted store.
+  R.LocTainted[R.PT->externalLoc()] = true;
   for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
     const IRFunction &F = *M.functions()[Fn];
     if (F.Name == ToplevelName)
       for (unsigned P = 0; P < F.NumParams && P < F.Slots.size(); ++P)
-        R.SlotTainted[Fn][P] = true;
-    for (unsigned S = 0; S < F.Slots.size(); ++S)
-      if (R.SlotEscaped[Fn][S])
-        R.SlotTainted[Fn][S] = true;
+        R.LocTainted[R.PT->slotLoc(Fn, P)] = true;
   }
   for (unsigned G = 0; G < NumGlobals; ++G)
-    if (M.globals()[G].IsExternInput || R.GlobalEscaped[G])
-      R.GlobalTainted[G] = true;
+    if (M.globals()[G].IsExternInput)
+      R.LocTainted[R.PT->globalLoc(G)] = true;
 
   while (B.propagate()) {
   }
+
+  // Mirror the location bits into the legacy per-slot/per-global views.
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn)
+    for (unsigned S = 0; S < M.functions()[Fn]->Slots.size(); ++S)
+      R.SlotTainted[Fn][S] = R.LocTainted[R.PT->slotLoc(Fn, S)];
+  for (unsigned G = 0; G < NumGlobals; ++G)
+    R.GlobalTainted[G] = R.LocTainted[R.PT->globalLoc(G)];
   return R;
 }

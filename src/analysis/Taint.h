@@ -21,35 +21,55 @@
 /// is the safety requirement — a location is marked tainted unless no
 /// execution can make it symbolic:
 ///
-///  - Slots whose address escapes (a FrameAddr used as anything other than
-///    the direct, width-matching address of a Load/Store, including
-///    address-of arguments and struct Copy operands) are tainted: a callee
-///    or aliased pointer may write an input into them.
-///  - Loads from computed addresses (arrays, pointers, heap) are tainted.
-///  - Globals behave likewise; an `extern` global is a seed input.
+///  - Taint lives on *abstract locations* (see PointsTo.h): a store
+///    through a computed address taints exactly the locations the address
+///    may target; a load through one is tainted iff some may-target is.
+///    Before the alias layer, every escaped slot was permanently tainted
+///    and every computed load was tainted — pointer-heavy programs
+///    degenerated to "everything symbolic".
+///  - Globals behave likewise; an `extern` global is a seed input, and so
+///    is everything reachable from the driver-owned External location.
 ///  - Call edges propagate argument taint into callee parameter slots and
 ///    callee return taint into the destination slot; external and native
 ///    calls taint their destination unconditionally.
+///
+/// The object-level property is the right one for pruning: "untainted"
+/// means the cell can never *hold* a symbolic value. A load of a concrete
+/// cell through a tainted index still yields a concrete value (the VM
+/// concretizes addresses), so a branch reading only untainted cells
+/// records the trivially-true predicate on every run.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DART_ANALYSIS_TAINT_H
 #define DART_ANALYSIS_TAINT_H
 
+#include "analysis/PointsTo.h"
 #include "ir/IR.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace dart {
 
 struct TaintResult {
+  /// The points-to analysis taint is layered on; always set by
+  /// runTaintAnalysis. Shared so downstream consumers (intervals,
+  /// liveness, lints, stats) reuse one solve.
+  std::shared_ptr<const PointsToResult> PT;
+  /// Per abstract location (PointsToResult id space): can the object hold
+  /// a symbolic value on some run? The authoritative result; the
+  /// Slot/Global vectors below are mirrors.
+  std::vector<bool> LocTainted;
   /// Per function (module index), per frame slot: can the slot hold a
   /// symbolic value on some run?
   std::vector<std::vector<bool>> SlotTainted;
   /// Per function, per slot: does the slot's address escape direct
-  /// width-matching Load/Store use? Escaped slots are always tainted and
-  /// are skipped by the slot-precise interval and liveness analyses.
+  /// width-matching Load/Store use (syntactically)? No longer implies
+  /// taint — the points-to layer decides what an escaped address can
+  /// actually reach. Kept for consumers that want the cheap syntactic
+  /// bit; the alias-aware analyses use aliasTrackableSlots instead.
   std::vector<std::vector<bool>> SlotEscaped;
   /// Per function: can its return value be symbolic?
   std::vector<bool> RetTainted;
@@ -68,6 +88,11 @@ struct TaintResult {
 
   /// Can evaluating \p E in function \p FnIndex observe a symbolic value?
   bool exprTainted(unsigned FnIndex, const IRExpr *E) const;
+
+  /// Conservative taint of the cells address expression \p Addr may
+  /// denote: true when the target set is empty (an address the VM would
+  /// trap on — stay safe) or when any may-target is tainted.
+  bool anyTargetTainted(unsigned FnIndex, const IRExpr *Addr) const;
 };
 
 /// Run the whole-program taint fixpoint. \p ToplevelName's parameters are

@@ -21,6 +21,8 @@ const char *dart::searchStrategyName(SearchStrategy S) {
     return "bfs";
   case SearchStrategy::RandomBranch:
     return "random";
+  case SearchStrategy::Distance:
+    return "distance";
   }
   return "?";
 }
@@ -88,8 +90,13 @@ bool unrealizable(
 
 /// Candidate branch indices of \p Path (not yet done), in strategy order;
 /// depth-first (descending index) reproduces Fig. 5's recursion exactly.
+/// Distance stably sorts by the static priority of the *negated*
+/// direction — the side the flip would newly take — with depth-first
+/// order as the tie-break (and as the fallback when no priorities were
+/// supplied).
 std::vector<size_t> candidateOrder(const PathData &Path,
-                                   SearchStrategy Strategy, Rng &Rng) {
+                                   SearchStrategy Strategy, Rng &Rng,
+                                   const std::vector<uint32_t> *SitePriorities) {
   std::vector<size_t> Candidates;
   for (size_t I = 0; I < Path.Stack.size(); ++I)
     if (!Path.Stack[I].Done)
@@ -104,6 +111,23 @@ std::vector<size_t> candidateOrder(const PathData &Path,
     for (size_t I = Candidates.size(); I > 1; --I)
       std::swap(Candidates[I - 1], Candidates[Rng.nextBelow(I)]);
     break;
+  case SearchStrategy::Distance: {
+    std::reverse(Candidates.begin(), Candidates.end());
+    if (SitePriorities) {
+      auto PriorityOf = [&](size_t I) -> uint32_t {
+        // Flipping branch I lands on the opposite direction of the
+        // recorded one; bits beyond the map are unknown sites, treated
+        // as uncovered (priority 0).
+        size_t Bit = 2 * size_t(Path.Stack[I].SiteId) +
+                     (Path.Stack[I].Branch ? 0 : 1);
+        return Bit < SitePriorities->size() ? (*SitePriorities)[Bit] : 0;
+      };
+      std::stable_sort(
+          Candidates.begin(), Candidates.end(),
+          [&](size_t A, size_t B) { return PriorityOf(A) < PriorityOf(B); });
+    }
+    break;
+  }
   }
   return Candidates;
 }
@@ -254,10 +278,12 @@ CandidateSet dart::solveCandidates(
     const PathData &Path, PredArena &Arena, LinearSolver &Solver,
     const std::function<VarDomain(InputId)> &DomainOf,
     const std::map<InputId, int64_t> &Hint, SearchStrategy Strategy,
-    Rng &Rng, unsigned MaxCandidates) {
+    Rng &Rng, unsigned MaxCandidates,
+    const std::vector<uint32_t> *SitePriorities) {
   assert(Path.Stack.size() == Path.Constraints.size() &&
          "stack and path constraint must stay aligned");
-  std::vector<size_t> Candidates = candidateOrder(Path, Strategy, Rng);
+  std::vector<size_t> Candidates =
+      candidateOrder(Path, Strategy, Rng, SitePriorities);
   if (Solver.options().IncrementalSessions)
     return solveWithSession(Path, Arena, Solver, DomainOf, Hint, Candidates,
                             MaxCandidates);
@@ -269,9 +295,9 @@ SolveOutcome dart::solvePathConstraint(
     const PathData &Path, PredArena &Arena, LinearSolver &Solver,
     const std::function<VarDomain(InputId)> &DomainOf,
     const std::map<InputId, int64_t> &Hint, SearchStrategy Strategy,
-    Rng &Rng) {
+    Rng &Rng, const std::vector<uint32_t> *SitePriorities) {
   CandidateSet Set = solveCandidates(Path, Arena, Solver, DomainOf, Hint,
-                                     Strategy, Rng, 1);
+                                     Strategy, Rng, 1, SitePriorities);
   SolveOutcome Outcome;
   Outcome.SolverCalls = Set.SolverCalls;
   if (!Set.Candidates.empty()) {

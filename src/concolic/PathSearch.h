@@ -25,7 +25,10 @@
 namespace dart {
 
 /// Branch-selection order for the directed search (paper footnote 4).
-enum class SearchStrategy { DepthFirst, BreadthFirst, RandomBranch };
+/// Distance picks the flip whose landing block is statically closest to
+/// a not-yet-covered branch (see analysis/BranchDistance.h), with
+/// depth-first order as the tie-break.
+enum class SearchStrategy { DepthFirst, BreadthFirst, RandomBranch, Distance };
 
 const char *searchStrategyName(SearchStrategy S);
 
@@ -51,11 +54,16 @@ struct SolveOutcome {
 /// Fig. 5. \p Arena is the arena the path's constraint ids live in. \p Hint
 /// is the previous IM restricted to known inputs: solutions prefer old
 /// values so unrelated inputs stay put (IM + IM').
+/// \p SitePriorities (Distance strategy only) maps coverage bit
+/// `2*site + direction` to its static distance priority; null keeps every
+/// strategy's historical order byte-identical.
 SolveOutcome solvePathConstraint(const PathData &Path, PredArena &Arena,
                                  LinearSolver &Solver,
                                  const std::function<VarDomain(InputId)> &DomainOf,
                                  const std::map<InputId, int64_t> &Hint,
-                                 SearchStrategy Strategy, Rng &Rng);
+                                 SearchStrategy Strategy, Rng &Rng,
+                                 const std::vector<uint32_t> *SitePriorities =
+                                     nullptr);
 
 /// Every satisfiable branch flip of one path (speculative frontier
 /// expansion, footnote 4's strategy freedom taken to its limit).
@@ -94,7 +102,9 @@ CandidateSet solveCandidates(const PathData &Path, PredArena &Arena,
                              const std::function<VarDomain(InputId)> &DomainOf,
                              const std::map<InputId, int64_t> &Hint,
                              SearchStrategy Strategy, Rng &Rng,
-                             unsigned MaxCandidates);
+                             unsigned MaxCandidates,
+                             const std::vector<uint32_t> *SitePriorities =
+                                 nullptr);
 
 } // namespace dart
 

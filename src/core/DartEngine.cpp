@@ -6,6 +6,7 @@
 
 #include "core/DartEngine.h"
 
+#include "analysis/BranchDistance.h"
 #include "analysis/Interval.h"
 #include "analysis/StaticSummary.h"
 
@@ -145,7 +146,14 @@ DartReport DartEngine::run() {
   if (!Options.RandomOnly && Options.StaticPrune) {
     Summary = computeStaticSummary(*Program.Module, Options.ToplevelName);
     Options.Concolic.PrunedSites = &Summary->PrunedSites;
+    Report.PointsTo = Summary->PointsTo;
   }
+  // Distance strategy: the static block graph is built once; priorities
+  // are recomputed from the coverage bitmap before every solve (cheap,
+  // O(blocks + edges)) so the search chases whatever is still uncovered.
+  std::optional<BranchDistanceMap> DistMap;
+  if (!Options.RandomOnly && Options.Strategy == SearchStrategy::Distance)
+    DistMap = BranchDistanceMap::build(*Program.Module);
   // Snapshot-resume state: the previous run's checkpoint pack, and the
   // materialized resume point for the next directed run (computed at
   // solve time, before the model is applied).
@@ -300,8 +308,15 @@ DartReport DartEngine::run() {
       auto DomainOf = [&Inputs, Static = Options.StaticPrune](InputId Id) {
         return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
       };
-      SolveOutcome Outcome = solvePathConstraint(
-          Path, Arena, Solver, DomainOf, Inputs.im(), Options.Strategy, R);
+      std::vector<uint32_t> Priorities;
+      const std::vector<uint32_t> *PriorityPtr = nullptr;
+      if (DistMap) {
+        Priorities = DistMap->priorities(Covered);
+        PriorityPtr = &Priorities;
+      }
+      SolveOutcome Outcome =
+          solvePathConstraint(Path, Arena, Solver, DomainOf, Inputs.im(),
+                              Options.Strategy, R, PriorityPtr);
       Report.SolverCalls += Outcome.SolverCalls;
       if (Outcome.TheoryMisled)
         GlobalFlags.AllLinear = false;

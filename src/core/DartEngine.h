@@ -16,6 +16,7 @@
 #ifndef DART_CORE_DARTENGINE_H
 #define DART_CORE_DARTENGINE_H
 
+#include "analysis/PointsTo.h"
 #include "concolic/Checkpoint.h"
 #include "concolic/PathSearch.h"
 #include "core/Interface.h"
@@ -137,6 +138,9 @@ struct DartReport {
   SolverStats Solver;
   /// Predicate-interning arena statistics for the session.
   PredArenaStats Arena;
+  /// Points-to analysis shape of the static summary (zeroed when
+  /// StaticPrune is off or in random-only mode; surfaced by --stats).
+  PointsToStats PointsTo;
   uint64_t SolverCalls = 0;
   uint64_t TotalSteps = 0;
   /// Snapshot-resume accounting. TotalSteps stays replay-identical with

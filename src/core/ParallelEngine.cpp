@@ -6,6 +6,7 @@
 
 #include "core/ParallelEngine.h"
 
+#include "analysis/BranchDistance.h"
 #include "analysis/StaticSummary.h"
 
 #include <algorithm>
@@ -54,6 +55,10 @@ struct WorkItem {
   /// function of the item, independent of worker scheduling.
   std::shared_ptr<CheckpointPack> Pack;
   std::optional<InputId> MinChanged;
+  /// Distance strategy only: static priority of the direction the item's
+  /// flip newly takes, computed at push time (0 = lands on an uncovered
+  /// direction). The frontier pops the minimum first.
+  uint32_t Priority = 0;
 };
 
 /// FNV-1a over the (site, direction) sequence of a predicted stack,
@@ -97,7 +102,10 @@ class Frontier {
 public:
   using DrainFn = std::function<std::vector<WorkItem>()>;
 
-  explicit Frontier(DrainFn OnDrain) : OnDrain(std::move(OnDrain)) {}
+  /// \p ByPriority (distance strategy): pop() claims the minimum-priority
+  /// item instead of FIFO order, with FIFO as the tie-break.
+  explicit Frontier(DrainFn OnDrain, bool ByPriority = false)
+      : OnDrain(std::move(OnDrain)), ByPriority(ByPriority) {}
 
   void push(WorkItem I) {
     std::lock_guard<std::mutex> L(M);
@@ -114,8 +122,14 @@ public:
       if (Closed)
         return std::nullopt;
       if (!Items.empty()) {
-        WorkItem I = std::move(Items.front());
-        Items.pop_front();
+        auto It = Items.begin();
+        if (ByPriority)
+          It = std::min_element(Items.begin(), Items.end(),
+                                [](const WorkItem &A, const WorkItem &B) {
+                                  return A.Priority < B.Priority;
+                                });
+        WorkItem I = std::move(*It);
+        Items.erase(It);
         ++Busy;
         return I;
       }
@@ -151,6 +165,7 @@ public:
 
 private:
   DrainFn OnDrain;
+  bool ByPriority;
   std::mutex M;
   std::condition_variable CV;
   std::deque<WorkItem> Items;
@@ -324,7 +339,14 @@ DartReport ParallelDartEngine::runDirected() {
   if (Options.StaticPrune) {
     Summary = computeStaticSummary(*Program.Module, Options.ToplevelName);
     Options.Concolic.PrunedSites = &Summary->PrunedSites;
+    Report.PointsTo = Summary->PointsTo;
   }
+
+  // Distance strategy: one shared static block graph; workers recompute
+  // priorities from the shared coverage bitmap before each solve.
+  std::optional<BranchDistanceMap> DistMap;
+  if (Options.Strategy == SearchStrategy::Distance)
+    DistMap = BranchDistanceMap::build(*Program.Module);
 
   SharedState Shared(Report.BranchSitesTotal);
   SolverQueryCache Cache;
@@ -359,7 +381,7 @@ DartReport ParallelDartEngine::runDirected() {
     W.RngSeed = mixSeed(Options.Seed, 0x517cc1b7ULL + Restarts);
     W.TreeSalt = W.RngSeed;
     return {std::move(W)};
-  });
+  }, Options.Strategy == SearchStrategy::Distance);
 
   auto ProcessItem = [&](WorkItem Item, LinearSolver &Solver,
                          std::vector<BugInfo> &LocalBugs,
@@ -471,9 +493,16 @@ DartReport ParallelDartEngine::runDirected() {
     auto DomainOf = [&Inputs, Static = Options.StaticPrune](InputId Id) {
       return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
     };
-    CandidateSet Set =
-        solveCandidates(Path, Arena, Solver, DomainOf, Inputs.im(),
-                        Options.Strategy, R, Options.MaxSpeculativePerRun);
+    std::vector<uint32_t> Priorities;
+    const std::vector<uint32_t> *PriorityPtr = nullptr;
+    if (DistMap) {
+      Priorities = DistMap->priorities(Shared.coverageBits());
+      PriorityPtr = &Priorities;
+    }
+    CandidateSet Set = solveCandidates(Path, Arena, Solver, DomainOf,
+                                       Inputs.im(), Options.Strategy, R,
+                                       Options.MaxSpeculativePerRun,
+                                       PriorityPtr);
     LocalSolverCalls += Set.SolverCalls;
     if (Set.Truncated)
       Shared.Truncated.store(true);
@@ -496,6 +525,13 @@ DartReport ParallelDartEngine::runDirected() {
         Child.IM[Id] = V;
       Child.RngSeed = mixSeed(Item.RngSeed, Cand.FlippedIndex + 1);
       Child.TreeSalt = Item.TreeSalt;
+      if (PriorityPtr && !Child.Stack.empty()) {
+        // The flipped record's direction is what the child will newly
+        // take; its priority decides the frontier pop order.
+        const BranchRecord &Flip = Child.Stack.back();
+        size_t Bit = 2 * size_t(Flip.SiteId) + (Flip.Branch ? 1 : 0);
+        Child.Priority = Bit < Priorities.size() ? Priorities[Bit] : 0;
+      }
       if (Seen.insert(prefixHash(Child.Stack, Child.TreeSalt)))
         Queue.push(std::move(Child));
     }

@@ -265,6 +265,11 @@ public:
   Memory &memory() { return Mem; }
   const IRModule &module() const { return M; }
 
+  /// The live call stack, outermost frame first. Read-only view for
+  /// observers (e.g. the points-to soundness property test resolves
+  /// concrete addresses to frame slots through it).
+  const std::vector<Frame> &frames() const { return Stack; }
+
   /// Address of global \p Index's storage.
   Addr globalAddr(unsigned Index) const { return GlobalAddrs[Index]; }
 

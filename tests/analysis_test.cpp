@@ -15,17 +15,22 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
+#include "analysis/BranchDistance.h"
 #include "analysis/Cfg.h"
 #include "analysis/Dataflow.h"
 #include "analysis/Interval.h"
 #include "analysis/Lint.h"
 #include "analysis/Liveness.h"
+#include "analysis/PointsTo.h"
 #include "analysis/StaticSummary.h"
 #include "analysis/Taint.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +43,30 @@ const IRFunction *findFn(const Dart &D, const std::string &Name) {
   const IRFunction *F = D.module().findFunction(Name);
   EXPECT_NE(F, nullptr) << Name;
   return F;
+}
+
+unsigned fnIndex(const IRModule &M, const std::string &Name) {
+  for (unsigned I = 0; I < M.functions().size(); ++I)
+    if (M.functions()[I]->Name == Name)
+      return I;
+  ADD_FAILURE() << "no function named " << Name;
+  return 0;
+}
+
+unsigned slotIndex(const IRFunction &F, const std::string &Name) {
+  for (unsigned S = 0; S < F.Slots.size(); ++S)
+    if (F.Slots[S].Name == Name)
+      return S;
+  ADD_FAILURE() << "no slot named " << Name << " in " << F.Name;
+  return 0;
+}
+
+std::string readFixture(const char *Name) {
+  std::ifstream In(std::string(DART_MINIC_DIR) + "/" + Name);
+  EXPECT_TRUE(In.good()) << Name;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
 }
 
 /// The CondJump instructions of \p F in instruction order.
@@ -478,6 +507,299 @@ TEST(Lint, NoFalsePositivesOnCleanProgramsAndWorkloads) {
 }
 
 //===----------------------------------------------------------------------===//
+// Points-to
+//===----------------------------------------------------------------------===//
+
+TEST(PointsTo, AddressFlowsThroughParamsReturnsAndModRef) {
+  auto D = compile(R"(
+    int *id(int *p) { return p; }
+    void set(int *p, int v) { *p = v; }
+    int use(int n) {
+      int local;
+      int *q;
+      local = 0;
+      q = id(&local);
+      set(q, n);
+      return local;
+    }
+  )");
+  const IRModule &M = D->module();
+  PointsToResult PT = runPointsToAnalysis(M, "use");
+  unsigned Use = fnIndex(M, "use"), Id = fnIndex(M, "id"),
+           Set = fnIndex(M, "set");
+  unsigned Local = PT.slotLoc(Use, slotIndex(*M.functions()[Use], "local"));
+  unsigned Q = PT.slotLoc(Use, slotIndex(*M.functions()[Use], "q"));
+
+  // &local flows into id's parameter, back out through its return node,
+  // and lands in q.
+  const std::vector<unsigned> &IdRet = PT.returnPointsTo(Id);
+  EXPECT_NE(std::find(IdRet.begin(), IdRet.end(), Local), IdRet.end());
+  const std::vector<unsigned> &QPts = PT.pointsTo(Q);
+  EXPECT_NE(std::find(QPts.begin(), QPts.end(), Local), QPts.end());
+
+  // set writes through its pointer parameter; id only moves the value.
+  EXPECT_TRUE(PT.mayMod(Set, Local));
+  EXPECT_FALSE(PT.mayMod(Id, Local));
+  // use calls set, so its transitive mod set includes local too.
+  EXPECT_TRUE(PT.mayMod(Use, Local));
+
+  // local's address escapes use's frame, q's never does.
+  EXPECT_TRUE(PT.addressTaken(Use, slotIndex(*M.functions()[Use], "local")));
+  EXPECT_FALSE(PT.onlyLocallyAliased(
+      Use, slotIndex(*M.functions()[Use], "local")));
+  std::vector<bool> Trackable = aliasTrackableSlots(M, Use, PT);
+  EXPECT_FALSE(Trackable[slotIndex(*M.functions()[Use], "local")]);
+  EXPECT_TRUE(Trackable[slotIndex(*M.functions()[Use], "q")]);
+
+  // Shape stats exist (surfaced by --stats).
+  EXPECT_GT(PT.stats().NumLocs, 0u);
+  EXPECT_GT(PT.stats().NumConstraints, 0u);
+  EXPECT_GT(PT.stats().SolverIterations, 0u);
+}
+
+TEST(PointsTo, MallocSitesGetDistinctHeapLocations) {
+  auto D = compile(R"(
+    int *ga;
+    int *gb;
+    int *mk(void) { return malloc(8); }
+    void build(void) {
+      ga = mk();
+      gb = malloc(4);
+    }
+  )");
+  const IRModule &M = D->module();
+  PointsToResult PT = runPointsToAnalysis(M, "build");
+  unsigned Mk = fnIndex(M, "mk"), Build = fnIndex(M, "build");
+
+  auto MallocSite = [&](unsigned Fn) -> int {
+    const IRFunction &F = *M.functions()[Fn];
+    for (unsigned I = 0; I < F.Instrs.size(); ++I)
+      if (const auto *C = dyn_cast<CallInstr>(F.Instrs[I].get()))
+        if (C->callee() == "malloc")
+          return PT.heapLoc(Fn, I);
+    return -1;
+  };
+  int HeapMk = MallocSite(Mk), HeapBuild = MallocSite(Build);
+  ASSERT_GE(HeapMk, 0);
+  ASSERT_GE(HeapBuild, 0);
+  EXPECT_NE(HeapMk, HeapBuild) << "per-site heap objects must be distinct";
+  EXPECT_EQ(PT.kindOf(unsigned(HeapMk)), PointsToResult::LocKind::Heap);
+
+  // ga holds mk's heap object (through the return node), gb the direct
+  // allocation.
+  unsigned Ga = PT.globalLoc(0), Gb = PT.globalLoc(1);
+  const std::vector<unsigned> &GaPts = PT.pointsTo(Ga);
+  const std::vector<unsigned> &GbPts = PT.pointsTo(Gb);
+  EXPECT_NE(std::find(GaPts.begin(), GaPts.end(), unsigned(HeapMk)),
+            GaPts.end());
+  EXPECT_NE(std::find(GbPts.begin(), GbPts.end(), unsigned(HeapBuild)),
+            GbPts.end());
+}
+
+TEST(PointsTo, SelfRecursionIsDetected) {
+  auto D = compile(R"(
+    int fact(int n) {
+      if (n < 2)
+        return 1;
+      return n * fact(n - 1);
+    }
+    int plain(int n) { return fact(n) + 1; }
+  )");
+  const IRModule &M = D->module();
+  PointsToResult PT = runPointsToAnalysis(M, "plain");
+  EXPECT_TRUE(PT.selfRecursive(fnIndex(M, "fact")));
+  EXPECT_FALSE(PT.selfRecursive(fnIndex(M, "plain")));
+}
+
+//===----------------------------------------------------------------------===//
+// Branch distance
+//===----------------------------------------------------------------------===//
+
+TEST(BranchDistance, PrioritiesTrackTheCoverageFrontier) {
+  auto D = compile(R"(
+    int chain(int x) {
+      if (x > 10) {
+        if (x > 100) {
+          return 2;
+        }
+        return 1;
+      }
+      return 0;
+    }
+  )");
+  const IRModule &M = D->module();
+  BranchDistanceMap Map = BranchDistanceMap::build(M);
+  ASSERT_EQ(Map.numSites(), 2u);
+  const IRFunction *F = findFn(*D, "chain");
+  std::vector<const CondJumpInstr *> CJs = condJumps(*F);
+  ASSERT_EQ(CJs.size(), 2u);
+  unsigned Outer = CJs[0]->siteId(), Inner = CJs[1]->siteId();
+
+  // Nothing covered: every direction is priority 0 (itself uncovered).
+  std::vector<uint32_t> P = Map.priorities(std::vector<bool>(4, false));
+  ASSERT_EQ(P.size(), 2 * Map.numSites());
+  for (uint32_t V : P)
+    EXPECT_EQ(V, 0u);
+
+  // Outer fully covered, inner untouched: the outer-taken direction lands
+  // in the block holding the inner site (finite, small distance); the
+  // outer-false direction leads straight to `return 0` and can never
+  // reach uncovered code.
+  std::vector<bool> Covered(4, false);
+  Covered[2 * Outer] = Covered[2 * Outer + 1] = true;
+  P = Map.priorities(Covered);
+  EXPECT_GE(P[2 * Outer + 1], 1u);
+  EXPECT_LT(P[2 * Outer + 1], BranchDistanceMap::kUnreachablePriority);
+  EXPECT_EQ(P[2 * Outer], BranchDistanceMap::kUnreachablePriority);
+  EXPECT_EQ(P[2 * Inner], 0u);
+  EXPECT_EQ(P[2 * Inner + 1], 0u);
+
+  // Everything covered: nothing is urgent anywhere.
+  P = Map.priorities(std::vector<bool>(4, true));
+  for (uint32_t V : P)
+    EXPECT_EQ(V, BranchDistanceMap::kUnreachablePriority);
+}
+
+//===----------------------------------------------------------------------===//
+// New lint checks and the JSON format
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, GuaranteedMemorySafetyDefectsAreFound) {
+  const char *Bad = "int *keep;\n"          // 1
+                    "int *leak(void) {\n"   // 2
+                    "  int local;\n"        // 3
+                    "  local = 5;\n"        // 4
+                    "  return &local;\n"    // 5
+                    "}\n"                   // 6
+                    "void stash(void) {\n"  // 7
+                    "  int cell;\n"         // 8
+                    "  cell = 1;\n"         // 9
+                    "  keep = &cell;\n"     // 10
+                    "}\n"                   // 11
+                    "int oob(int i) {\n"    // 12
+                    "  int a[4];\n"         // 13
+                    "  a[0] = i;\n"         // 14
+                    "  a[6] = 2;\n"         // 15
+                    "  return a[0];\n"      // 16
+                    "}\n"                   // 17
+                    "int nullread(void) {\n" // 18
+                    "  int *p;\n"            // 19
+                    "  p = 0;\n"             // 20
+                    "  return *p;\n"         // 21
+                    "}\n";
+  auto D = compile(Bad);
+  std::vector<LintFinding> Fs = runLintAnalysis(D->module());
+  auto Has = [&](LintKind K, unsigned Line) {
+    return std::any_of(Fs.begin(), Fs.end(), [&](const LintFinding &F) {
+      return F.Kind == K && F.Loc.Line == Line;
+    });
+  };
+  EXPECT_TRUE(Has(LintKind::StackAddressEscape, 5)) << "returned &local";
+  EXPECT_TRUE(Has(LintKind::StackAddressEscape, 10)) << "stored &cell";
+  EXPECT_TRUE(Has(LintKind::OutOfBoundsAccess, 15)) << "a[6] of int[4]";
+  EXPECT_TRUE(Has(LintKind::NullDereference, 21)) << "*p with p == 0";
+}
+
+TEST(Lint, AliasFixtureAndCleanFixtureStayFindingFree) {
+  for (const char *Name : {"alias_lint.c", "lint_clean.c"}) {
+    auto D = compile(readFixture(Name));
+    std::vector<LintFinding> Fs = runLintAnalysis(D->module());
+    for (const LintFinding &F : Fs)
+      ADD_FAILURE() << Name << ": " << lintKindName(F.Kind) << " at line "
+                    << F.Loc.Line << ": " << F.Message;
+  }
+}
+
+TEST(Lint, JsonOutputParsesAndMatchesTextFindings) {
+  auto D = compile(readFixture("lint_seeded.c"));
+  std::vector<LintFinding> Fs = runLintAnalysis(D->module());
+  ASSERT_FALSE(Fs.empty());
+
+  // Text mode (the diagnostics wrapper) sees exactly the same findings.
+  DiagnosticsEngine Diags;
+  EXPECT_EQ(runLintPass(D->module(), Diags), Fs.size());
+
+  std::string Json = lintFindingsToJson("lint_seeded.c", Fs);
+  ASSERT_FALSE(Json.empty());
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.back(), '}');
+  // Structurally well formed: braces balance and never go negative, and
+  // unescaped quotes come in pairs.
+  int Depth = 0;
+  unsigned Quotes = 0;
+  bool InString = false;
+  for (size_t I = 0; I < Json.size(); ++I) {
+    char C = Json[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"') {
+        InString = false;
+        ++Quotes;
+      }
+      continue;
+    }
+    if (C == '"') {
+      InString = true;
+      ++Quotes;
+    } else if (C == '{' || C == '[') {
+      ++Depth;
+    } else if (C == '}' || C == ']') {
+      ASSERT_GT(Depth, 0);
+      --Depth;
+    }
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_FALSE(InString);
+  EXPECT_EQ(Quotes % 2, 0u);
+
+  // Every finding appears with its kind and line; one object per finding.
+  size_t KindCount = 0;
+  for (size_t Pos = Json.find("\"kind\":"); Pos != std::string::npos;
+       Pos = Json.find("\"kind\":", Pos + 1))
+    ++KindCount;
+  EXPECT_EQ(KindCount, Fs.size());
+  EXPECT_NE(Json.find("\"file\":\"lint_seeded.c\""), std::string::npos);
+  for (const LintFinding &F : Fs) {
+    EXPECT_NE(Json.find(std::string("\"kind\":\"") + lintKindName(F.Kind) +
+                        "\""),
+              std::string::npos)
+        << lintKindName(F.Kind);
+    EXPECT_NE(Json.find("\"line\":" + std::to_string(F.Loc.Line)),
+              std::string::npos)
+        << F.Loc.Line;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Distance strategy
+//===----------------------------------------------------------------------===//
+
+TEST(DistanceStrategy, MatchesDfsCoverageSequentialAndParallel) {
+  // The distance order is a heuristic over the same candidate set: it may
+  // reorder the exploration but must land on the same final coverage and
+  // the same (empty) bug set on a bounded, fully explorable workload.
+  auto RunWith = [&](SearchStrategy Strategy, unsigned Jobs) {
+    auto D = compile(workloads::acControllerSource());
+    DartOptions Opts;
+    Opts.ToplevelName = "ac_controller";
+    Opts.Depth = 1;
+    Opts.Seed = 2005;
+    Opts.MaxRuns = 500;
+    Opts.Jobs = Jobs;
+    Opts.Strategy = Strategy;
+    return D->run(Opts);
+  };
+  for (unsigned Jobs : {1u, 4u}) {
+    DartReport Dfs = RunWith(SearchStrategy::DepthFirst, Jobs);
+    DartReport Dist = RunWith(SearchStrategy::Distance, Jobs);
+    EXPECT_EQ(Dist.BranchDirectionsCovered, Dfs.BranchDirectionsCovered)
+        << "jobs " << Jobs;
+    EXPECT_EQ(Dist.BugFound, Dfs.BugFound) << "jobs " << Jobs;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // End to end: StaticPrune only removes solver traffic
 //===----------------------------------------------------------------------===//
 
@@ -550,6 +872,10 @@ std::vector<Scenario> scenarios() {
       {"minisip_get_host", workloads::miniSipSource(), "sip_uri_get_host", 1,
        11, 300},
       {"minisip_receive", workloads::miniSipSource(), "sip_receive", 1, 11,
+       300},
+      {"alias_pick_one", readFixture("alias_lint.c"), "pick_one", 1, 2005,
+       300},
+      {"alias_swap", readFixture("alias_lint.c"), "swap_if_greater", 1, 2005,
        300},
   };
 }

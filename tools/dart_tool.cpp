@@ -9,10 +9,10 @@
 // harness code" workflow the paper advertises.
 //
 //   dart test   <file.c> --toplevel f [--depth N] [--seed S] [--runs N]
-//               [--random-only] [--strategy dfs|bfs|random]
+//               [--random-only] [--strategy dfs|bfs|random|distance]
 //               [--all-errors] [--symbolic-pointers]
 //   dart audit  <file.c> [--runs N]      # every defined function (§4.3)
-//   dart analyze <file.c>                # static lint over the IR dataflow
+//   dart analyze <file.c> [--format text|json]  # static lint over the IR
 //   dart iface  <file.c> --toplevel f    # extracted interface (§3.1)
 //   dart driver <file.c> --toplevel f [--depth N]  # Fig. 7 driver source
 //   dart ir     <file.c>                 # RAM-machine IR dump
@@ -42,8 +42,10 @@ int usage() {
       "  test    run a DART session on --toplevel\n"
       "  audit   run DART on every defined function (library audit)\n"
       "  analyze static lint: unreachable code, guaranteed division by\n"
-      "          zero or assert failure, uninitialized reads, dead stores\n"
-      "          (exit 1 when any finding is reported)\n"
+      "          zero or assert failure, uninitialized reads, dead\n"
+      "          stores, guaranteed out-of-bounds accesses and null\n"
+      "          dereferences, stack-address escapes (exit 1 when any\n"
+      "          finding is reported)\n"
       "  iface   print the extracted external interface\n"
       "  driver  print the generated test driver source\n"
       "  ir      print the lowered RAM-machine IR\n"
@@ -56,7 +58,10 @@ int usage() {
       "  --runs <n>            run budget (default 10000)\n"
       "  --jobs <n>            worker threads; >1 uses the parallel\n"
       "                        frontier engine (default 1, sequential)\n"
-      "  --strategy <s>        dfs | bfs | random (default dfs)\n"
+      "  --strategy <s>        dfs | bfs | random | distance (default\n"
+      "                        dfs; distance prefers flips statically\n"
+      "                        closest to uncovered branches)\n"
+      "  --format <f>          analyze output: text | json (default text)\n"
       "  --random-only         pure random testing (no directed search)\n"
       "  --all-errors          keep searching after the first bug\n"
       "  --symbolic-pointers   CUTE-style pointer-choice solving\n"
@@ -94,6 +99,7 @@ struct CliOptions {
   std::string Toplevel;
   DartOptions Dart;
   bool Stats = false;
+  bool JsonFormat = false;
   bool Ok = true;
 };
 
@@ -141,8 +147,21 @@ CliOptions parseArgs(int argc, char **argv) {
         Cli.Dart.Strategy = SearchStrategy::BreadthFirst;
       else if (V && std::strcmp(V, "random") == 0)
         Cli.Dart.Strategy = SearchStrategy::RandomBranch;
+      else if (V && std::strcmp(V, "distance") == 0)
+        Cli.Dart.Strategy = SearchStrategy::Distance;
       else
         Cli.Dart.Strategy = SearchStrategy::DepthFirst;
+    } else if (Arg == "--format") {
+      const char *V = Next();
+      if (V && std::strcmp(V, "json") == 0)
+        Cli.JsonFormat = true;
+      else if (V && std::strcmp(V, "text") == 0)
+        Cli.JsonFormat = false;
+      else {
+        std::fprintf(stderr, "--format expects 'text' or 'json'\n");
+        Cli.Ok = false;
+        return Cli;
+      }
     } else if (Arg == "--random-only") {
       Cli.Dart.RandomOnly = true;
     } else if (Arg == "--all-errors") {
@@ -193,6 +212,7 @@ CliOptions parseArgs(int argc, char **argv) {
 /// Unsat caches.
 void printPipelineStats(const DartReport &R) {
   const SolverStats &S = R.Solver;
+  std::printf("%s\n", R.PointsTo.toString().c_str());
   std::printf("constraint pipeline stats:\n");
   std::printf("  arena: %zu predicates, %llu interns, %.1f%% hit rate\n",
               R.Arena.Size, (unsigned long long)R.Arena.Interns,
@@ -270,6 +290,7 @@ int runAudit(Dart &D, CliOptions &Cli) {
     Agg.Arena.Interns += R.Arena.Interns;
     Agg.Arena.Hits += R.Arena.Hits;
     Agg.Snapshot.merge(R.Snapshot);
+    Agg.PointsTo.merge(R.PointsTo);
     if (R.BugFound) {
       ++Crashed;
       std::printf("%-32s CRASH (run %u): %s\n", Fn.c_str(),
@@ -287,6 +308,12 @@ int runAudit(Dart &D, CliOptions &Cli) {
 }
 
 int runAnalyze(Dart &D, CliOptions &Cli) {
+  if (Cli.JsonFormat) {
+    std::vector<LintFinding> Findings = runLintAnalysis(D.module());
+    std::printf("%s\n",
+                lintFindingsToJson(Cli.File, Findings).c_str());
+    return Findings.empty() ? 0 : 1;
+  }
   DiagnosticsEngine Diags;
   unsigned Findings = runLintPass(D.module(), Diags);
   for (const Diagnostic &Diag : Diags.diagnostics())
