@@ -100,10 +100,12 @@ inline void writeParallelBenchJson(const std::string &Path,
     const ParallelBenchRow &R = Rows[I];
     std::fprintf(F,
                  "    {\"workers\": %u, \"runs\": %u, "
-                 "\"elapsed_sec\": %.6f, \"runs_per_sec\": %.1f, "
+                 "\"elapsed_sec\": %.6f, \"elapsed_ms\": %.3f, "
+                 "\"runs_per_sec\": %.1f, "
                  "\"solver_cache_hit_rate\": %.4f}%s\n",
-                 R.Workers, R.Runs, R.ElapsedSec, R.RunsPerSec,
-                 R.CacheHitRate, I + 1 < Rows.size() ? "," : "");
+                 R.Workers, R.Runs, R.ElapsedSec, R.ElapsedSec * 1e3,
+                 R.RunsPerSec, R.CacheHitRate,
+                 I + 1 < Rows.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
@@ -139,11 +141,13 @@ inline void writeStaticPruneJson(const std::string &Path,
                  "    {\"workload\": \"%s\", \"solver_calls_on\": %llu, "
                  "\"solver_calls_off\": %llu, \"runs\": %u, "
                  "\"coverage\": %u, \"elapsed_on_sec\": %.6f, "
-                 "\"elapsed_off_sec\": %.6f, \"identical_search\": %s}%s\n",
+                 "\"elapsed_off_sec\": %.6f, \"elapsed_on_ms\": %.3f, "
+                 "\"elapsed_off_ms\": %.3f, \"identical_search\": %s}%s\n",
                  R.Workload.c_str(),
                  static_cast<unsigned long long>(R.SolverCallsOn),
                  static_cast<unsigned long long>(R.SolverCallsOff), R.Runs,
                  R.Coverage, R.ElapsedOnSec, R.ElapsedOffSec,
+                 R.ElapsedOnSec * 1e3, R.ElapsedOffSec * 1e3,
                  R.Identical ? "true" : "false",
                  I + 1 < Rows.size() ? "," : "");
   }
@@ -186,10 +190,12 @@ inline void writeDistanceJson(const std::string &Path,
                  "\"coverage\": %u, \"runs_to_cover_dfs\": %u, "
                  "\"runs_to_cover_distance\": %u, \"runs_dfs\": %u, "
                  "\"runs_distance\": %u, \"elapsed_dfs_sec\": %.6f, "
-                 "\"elapsed_distance_sec\": %.6f, \"same_coverage\": %s}%s\n",
+                 "\"elapsed_distance_sec\": %.6f, \"elapsed_dfs_ms\": %.3f, "
+                 "\"elapsed_distance_ms\": %.3f, \"same_coverage\": %s}%s\n",
                  R.Workload.c_str(), R.Jobs, R.Coverage, R.RunsToCoverDfs,
                  R.RunsToCoverDistance, R.RunsDfs, R.RunsDistance,
                  R.ElapsedDfsSec, R.ElapsedDistanceSec,
+                 R.ElapsedDfsSec * 1e3, R.ElapsedDistanceSec * 1e3,
                  R.SameCoverage ? "true" : "false",
                  I + 1 < Rows.size() ? "," : "");
   }
@@ -238,6 +244,7 @@ inline void writeSnapshotJson(const std::string &Path,
                  "\"resume_misses\": %llu, \"reduction\": %.2f, "
                  "\"peak_resident_bytes\": %llu, "
                  "\"elapsed_on_sec\": %.6f, \"elapsed_off_sec\": %.6f, "
+                 "\"elapsed_on_ms\": %.3f, \"elapsed_off_ms\": %.3f, "
                  "\"identical_search\": %s}%s\n",
                  R.Workload.c_str(), R.Jobs, R.Runs,
                  static_cast<unsigned long long>(R.ExecutedOn),
@@ -247,7 +254,60 @@ inline void writeSnapshotJson(const std::string &Path,
                  static_cast<unsigned long long>(R.ResumeMisses),
                  R.reduction(),
                  static_cast<unsigned long long>(R.PeakResidentBytes),
-                 R.ElapsedOnSec, R.ElapsedOffSec,
+                 R.ElapsedOnSec, R.ElapsedOffSec, R.ElapsedOnSec * 1e3,
+                 R.ElapsedOffSec * 1e3, R.Identical ? "true" : "false",
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
+/// One row of the execution-tier ablation: the same session with the
+/// baseline JIT on and off, at one worker count. The JIT is a pure
+/// performance lever (jit_diff_test pins byte-identity), so the axis
+/// metric is wall-clock alone.
+struct JitRow {
+  std::string Workload;
+  std::string Mode = "directed"; ///< "directed" or "random"
+  unsigned Jobs = 1;
+  unsigned Runs = 0;
+  uint64_t NativeInstrs = 0; ///< instructions retired in compiled code
+  uint64_t Executed = 0;     ///< total instructions the session executed
+  double ElapsedOnMs = 0.0;
+  double ElapsedOffMs = 0.0;
+  bool Identical = false; ///< search observables match across the axis
+
+  double nativeShare() const {
+    return Executed ? double(NativeInstrs) / double(Executed) : 0.0;
+  }
+  double speedup() const {
+    return ElapsedOnMs > 0.0 ? ElapsedOffMs / ElapsedOnMs : 0.0;
+  }
+};
+
+/// Emits the machine-readable execution-tier ablation (BENCH_jit.json)
+/// that EXPERIMENTS.md's JIT table is generated from.
+inline void writeJitJson(const std::string &Path,
+                         const std::vector<JitRow> &Rows) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"axis\": \"jit\",\n  \"results\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const JitRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"workload\": \"%s\", \"mode\": \"%s\", \"jobs\": %u, "
+                 "\"runs\": %u, \"native_instrs\": %llu, "
+                 "\"executed_instrs\": %llu, \"native_share\": %.4f, "
+                 "\"elapsed_on_ms\": %.3f, \"elapsed_off_ms\": %.3f, "
+                 "\"speedup\": %.2f, \"identical_search\": %s}%s\n",
+                 R.Workload.c_str(), R.Mode.c_str(), R.Jobs, R.Runs,
+                 static_cast<unsigned long long>(R.NativeInstrs),
+                 static_cast<unsigned long long>(R.Executed),
+                 R.nativeShare(), R.ElapsedOnMs, R.ElapsedOffMs, R.speedup(),
                  R.Identical ? "true" : "false",
                  I + 1 < Rows.size() ? "," : "");
   }

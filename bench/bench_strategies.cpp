@@ -14,7 +14,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "jit/Jit.h"
 #include "workloads/Workloads.h"
+
+#include <chrono>
 
 using namespace dart;
 using namespace dart::bench;
@@ -111,6 +114,96 @@ void printSymbolicPointerTable() {
   }
 }
 
+/// Execution-tier ablation: the same session with the baseline JIT on and
+/// off. The random-testing rows are the interpreter-bound ones — no solver
+/// in the loop, so wall-clock is dominated by instruction dispatch, which
+/// is exactly what the native tier replaces. Each side is timed three
+/// times and the fastest repetition is kept. Emits BENCH_jit.json.
+void printJitAblation() {
+  printHeader("Execution-tier ablation - wall-clock with JIT on/off");
+  if (!jit::jitSupported())
+    std::printf("(native execution unavailable in this build: both sides "
+                "run the interpreter)\n");
+  std::printf("%-22s %-9s %-5s %-7s %-13s %-13s %-9s %-8s %s\n", "workload",
+              "mode", "jobs", "runs", "on(ms)", "off(ms)", "speedup",
+              "native", "identical search");
+
+  struct Case {
+    const char *Name;
+    std::string Source;
+    const char *Toplevel;
+    unsigned Depth;
+    unsigned MaxRuns;
+    bool RandomOnly;
+    unsigned Jobs;
+  };
+  std::vector<Case> Cases = {
+      // §4.1 random-testing baseline: depth-64 message sequences, pure
+      // interpretation — the headline speedup row.
+      {"ac_controller", workloads::acControllerSource(), "ac_controller",
+       64, 2000, true, 1},
+      {"ac_controller", workloads::acControllerSource(), "ac_controller",
+       64, 2000, true, 4},
+      // Directed sessions: the solver and bookkeeping share the clock, so
+      // the native tier buys less end-to-end.
+      {"ac_controller", workloads::acControllerSource(), "ac_controller", 4,
+       2000, false, 1},
+      {"minisip_receive", workloads::miniSipSource(), "sip_receive", 1, 300,
+       false, 1},
+  };
+
+  std::vector<JitRow> Rows;
+  for (const Case &C : Cases) {
+    auto D = compileOrDie(C.Source, C.Name);
+    auto TimeOne = [&](bool Jit, DartReport &R) {
+      DartOptions Opts;
+      Opts.ToplevelName = C.Toplevel;
+      Opts.Depth = C.Depth;
+      Opts.MaxRuns = C.MaxRuns;
+      Opts.Seed = 2005;
+      Opts.StopAtFirstError = false;
+      Opts.RandomOnly = C.RandomOnly;
+      Opts.Jobs = C.Jobs;
+      Opts.Jit = Jit;
+      auto Start = std::chrono::steady_clock::now();
+      R = D->run(Opts);
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+          .count();
+    };
+    JitRow Row;
+    Row.Workload = C.Name;
+    Row.Mode = C.RandomOnly ? "random" : "directed";
+    Row.Jobs = C.Jobs;
+    // The two sides alternate within each repetition so background-load
+    // drift hits both equally; the fastest repetition per side is kept.
+    DartReport On, Off;
+    Row.ElapsedOnMs = Row.ElapsedOffMs = 1e30;
+    for (int Rep = 0; Rep < 5; ++Rep) {
+      Row.ElapsedOnMs = std::min(Row.ElapsedOnMs, TimeOne(true, On));
+      Row.ElapsedOffMs = std::min(Row.ElapsedOffMs, TimeOne(false, Off));
+    }
+    Row.Runs = On.Runs;
+    Row.NativeInstrs = On.Jit.NativeInstrs;
+    Row.Executed = On.Snapshot.InstructionsExecuted;
+    Row.Identical = On.Runs == Off.Runs && On.BugFound == Off.BugFound &&
+                    On.BranchDirectionsCovered ==
+                        Off.BranchDirectionsCovered &&
+                    On.Coverage == Off.Coverage &&
+                    On.TotalSteps == Off.TotalSteps;
+    Rows.push_back(Row);
+    char Speedup[32], Native[32];
+    std::snprintf(Speedup, sizeof(Speedup), "%.2fx", Row.speedup());
+    std::snprintf(Native, sizeof(Native), "%.0f%%",
+                  100.0 * Row.nativeShare());
+    std::printf("%-22s %-9s %-5u %-7u %-13.1f %-13.1f %-9s %-8s %s\n",
+                Row.Workload.c_str(), Row.Mode.c_str(), Row.Jobs, Row.Runs,
+                Row.ElapsedOnMs, Row.ElapsedOffMs, Speedup, Native,
+                Row.Identical ? "yes" : "NO (bug!)");
+  }
+  writeJitJson("BENCH_jit.json", Rows);
+}
+
 void BM_StrategyDfsDeepFilter(benchmark::State &State) {
   auto D = compileOrDie(DeepFilter, "deep filter");
   for (auto _ : State) {
@@ -166,6 +259,7 @@ int main(int argc, char **argv) {
   printStrategyTable();
   printConcreteBranchTable();
   printSymbolicPointerTable();
+  printJitAblation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

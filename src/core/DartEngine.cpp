@@ -9,6 +9,7 @@
 #include "analysis/BranchDistance.h"
 #include "analysis/Interval.h"
 #include "analysis/StaticSummary.h"
+#include "jit/Jit.h"
 
 #include <algorithm>
 #include <cassert>
@@ -99,10 +100,18 @@ RunResult dart::executeDartRun(const DartOptions &Options,
   // On resume the restored image already contains the initialized extern
   // variables (and their inputs are defined in IM); re-initializing would
   // desync the input-id sequence.
+  RunResult Result;
+  const IRFunction *Toplevel = VM.findFunction(Options.ToplevelName);
+  if (!Toplevel) {
+    Result.Status = RunStatus::Errored;
+    Result.Error.Kind = RunErrorKind::MissingFunction;
+    Result.Error.Message = Options.ToplevelName;
+    return Result;
+  }
   if (!ResumeInProgress)
     Driver.initExternVariables();
   Driver.installExternalModel(TU);
-  RunResult Result;
+  PreparedArgs Args; // buffers reused across the per-call loop
   for (unsigned Call = StartCall; Call < Options.Depth; ++Call) {
     if (Recorder)
       Recorder->CallIndex = Call;
@@ -111,16 +120,10 @@ RunResult dart::executeDartRun(const DartOptions &Options,
       // already on the restored VM stack.
       Result = VM.finishResumedCall();
     } else {
-      PreparedArgs Args = Driver.prepareToplevelArgs(Call);
-      std::optional<std::vector<Addr>> ParamAddrs =
-          VM.beginCall(Options.ToplevelName, Args.Values);
-      if (!ParamAddrs) {
-        Result.Status = RunStatus::Errored;
-        Result.Error.Kind = RunErrorKind::MissingFunction;
-        Result.Error.Message = Options.ToplevelName;
-        return Result;
-      }
-      Driver.bindParams(*ParamAddrs, Args);
+      Driver.prepareToplevelArgs(Call, Args);
+      const std::vector<Addr> &ParamAddrs =
+          VM.beginCall(*Toplevel, Args.Values);
+      Driver.bindParams(ParamAddrs, Args);
       Result = VM.finishCall();
     }
     if (Result.Status != RunStatus::Halted)
@@ -135,6 +138,9 @@ DartReport DartEngine::run() {
 
   Rng R(Options.Seed);
   InputManager Inputs(R);
+  // Pure random testing never carries input values across runs, so the
+  // per-draw IM inserts can be skipped entirely.
+  Inputs.setEphemeralDraws(Options.RandomOnly);
   PredArena Arena;
   LinearSolver Solver(Options.Solver);
   CompletenessFlags GlobalFlags;
@@ -157,6 +163,17 @@ DartReport DartEngine::run() {
   // Snapshot-resume state: the previous run's checkpoint pack, and the
   // materialized resume point for the next directed run (computed at
   // solve time, before the model is applied).
+  // Native execution tier: compiled once per session, shared read-only by
+  // every run's VM. Null (pure interpretation) when disabled/unsupported.
+  std::unique_ptr<const jit::JitProgram> Jit;
+  if (Options.Jit)
+    Jit = jit::JitProgram::build(*Program.Module, Options.ToplevelName);
+  if (Jit) {
+    Report.Jit.Enabled = true;
+    Report.Jit.BlocksCompiled = Jit->stats().BlocksCompiled;
+    Report.Jit.UnitsCompiled = Jit->stats().UnitsCompiled;
+    Report.Jit.CodeBytes = Jit->stats().CodeBytes;
+  }
   const bool UseSnapshots = Options.Snapshots && !Options.RandomOnly;
   CheckpointLedger Ledger(Options.SnapshotBudgetBytes);
   std::optional<MaterializedCheckpoint> Resume;
@@ -185,6 +202,8 @@ DartReport DartEngine::run() {
     bool Directed = true;
     while (Directed && Report.Runs < Options.MaxRuns) {
       Interp VM(*Program.Module, Options.Interp);
+      if (Jit)
+        VM.setJit(Jit.get());
       std::unique_ptr<ConcolicRun> Hooks;
       std::unique_ptr<CoverageOnlyHooks> CovHooks;
       if (!Options.RandomOnly) {
@@ -228,6 +247,7 @@ DartReport DartEngine::run() {
       ++Report.Runs;
       Report.TotalSteps += Result.Steps;
       Report.Snapshot.InstructionsExecuted += VM.executedSteps();
+      Report.Jit.merge(VM.jitStats());
       if (Options.LogRuns) {
         std::string Line = "run " + std::to_string(Report.Runs) + ": ";
         switch (Result.Status) {
@@ -246,10 +266,9 @@ DartReport DartEngine::run() {
                   " conditionals";
         Line += ", inputs:";
         for (InputId Id = 0; Id < Inputs.inputsThisRun(); ++Id) {
-          auto It = Inputs.im().find(Id);
-          if (It != Inputs.im().end())
+          if (const int64_t *V = Inputs.lookup(Id))
             Line += " " + Inputs.registry()[Id].Name + "=" +
-                    std::to_string(It->second);
+                    std::to_string(*V);
         }
         Report.RunLog.push_back(std::move(Line));
       }
@@ -269,10 +288,8 @@ DartReport DartEngine::run() {
         Bug.Error = Result.Error;
         Bug.FoundAtRun = Report.Runs;
         for (InputId Id = 0; Id < Inputs.inputsThisRun(); ++Id) {
-          auto It = Inputs.im().find(Id);
-          if (It != Inputs.im().end())
-            Bug.Inputs.emplace_back(Inputs.registry()[Id].Name,
-                                    It->second);
+          if (const int64_t *V = Inputs.lookup(Id))
+            Bug.Inputs.emplace_back(Inputs.registry()[Id].Name, *V);
         }
         Report.Bugs.push_back(std::move(Bug));
         Report.BugFound = true;
@@ -292,8 +309,9 @@ DartReport DartEngine::run() {
       }
 
       if (Options.RandomOnly) {
-        // Fresh random inputs every run; no directed component.
-        Inputs.reset();
+        // Fresh random inputs every run; no directed component. The
+        // registry storage survives the restart (positional overwrite).
+        Inputs.restartRandom();
         continue;
       }
 

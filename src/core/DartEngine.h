@@ -69,6 +69,13 @@ struct DartOptions {
   /// Byte budget for resident checkpoint packs (approximate, LRU-evicted;
   /// see CheckpointLedger). 0 = unbounded.
   uint64_t SnapshotBudgetBytes = uint64_t(64) << 20;
+  /// Native-tier execution (src/jit): compile straight-line IR to x86-64
+  /// machine code, keeping the interpreter as the oracle. A pure
+  /// performance lever — the search is byte-identical on or off (same
+  /// runs, bugs, models, coverage, step counts). Silently degrades to the
+  /// interpreter on unsupported hosts, under sanitizers, and in
+  /// -DDART_JIT=OFF builds.
+  bool Jit = true;
   SearchStrategy Strategy = SearchStrategy::DepthFirst;
   ConcolicOptions Concolic;
   SolverOptions Solver;
@@ -119,6 +126,29 @@ struct SnapshotStats {
   }
 };
 
+/// Native-tier statistics for one session (DartOptions::Jit): build-time
+/// counts from the JitProgram plus runtime counters merged across every VM
+/// (and every parallel worker).
+struct JitStats {
+  bool Enabled = false; ///< a JitProgram was built and installed
+  uint64_t BlocksCompiled = 0;
+  uint64_t UnitsCompiled = 0;
+  uint64_t CodeBytes = 0;
+  uint64_t BlockEntries = 0;
+  uint64_t NativeInstrs = 0;
+  uint64_t Deopts = 0;
+
+  /// Share of all executed instructions that retired in machine code.
+  double nativeFraction(uint64_t TotalExecuted) const {
+    return TotalExecuted ? double(NativeInstrs) / double(TotalExecuted) : 0.0;
+  }
+  void merge(const JitRunStats &R) {
+    BlockEntries += R.BlockEntries;
+    NativeInstrs += R.NativeInstrs;
+    Deopts += R.Deopts;
+  }
+};
+
 /// Session outcome and statistics.
 struct DartReport {
   unsigned Runs = 0;
@@ -147,6 +177,8 @@ struct DartReport {
   /// snapshots on or off (a resumed run reports the full path's step
   /// count); Snapshot.InstructionsExecuted is the work actually done.
   SnapshotStats Snapshot;
+  /// Native-tier accounting (zeroed when the JIT is off or unsupported).
+  JitStats Jit;
   /// One line per run when DartOptions::LogRuns is set.
   std::vector<std::string> RunLog;
   /// Cumulative covered branch directions after each run, when

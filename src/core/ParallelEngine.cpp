@@ -8,6 +8,7 @@
 
 #include "analysis/BranchDistance.h"
 #include "analysis/StaticSummary.h"
+#include "jit/Jit.h"
 
 #include <algorithm>
 #include <atomic>
@@ -217,6 +218,20 @@ struct SharedState {
   std::atomic<uint64_t> InstructionsExecuted{0};
   std::atomic<uint64_t> InstructionsSkipped{0};
 
+  std::atomic<uint64_t> JitBlockEntries{0};
+  std::atomic<uint64_t> JitNativeInstrs{0};
+  std::atomic<uint64_t> JitDeopts{0};
+
+  /// Folds one VM's native-tier counters in after its run.
+  void mergeJit(const JitRunStats &S) {
+    if (S.BlockEntries)
+      JitBlockEntries.fetch_add(S.BlockEntries);
+    if (S.NativeInstrs)
+      JitNativeInstrs.fetch_add(S.NativeInstrs);
+    if (S.Deopts)
+      JitDeopts.fetch_add(S.Deopts);
+  }
+
   std::mutex ReportMutex;
   std::vector<unsigned> CoverageTimeline;
   std::vector<std::string> RunLog;
@@ -288,10 +303,9 @@ std::string describeRun(unsigned RunNumber, const RunResult &Result,
             " conditionals";
   Line += ", inputs:";
   for (InputId Id = 0; Id < Inputs.inputsThisRun(); ++Id) {
-    auto It = Inputs.im().find(Id);
-    if (It != Inputs.im().end())
+    if (const int64_t *V = Inputs.lookup(Id))
       Line += " " + Inputs.registry()[Id].Name + "=" +
-              std::to_string(It->second);
+              std::to_string(*V);
   }
   return Line;
 }
@@ -300,9 +314,8 @@ std::vector<std::pair<std::string, int64_t>>
 collectBugInputs(const InputManager &Inputs) {
   std::vector<std::pair<std::string, int64_t>> Out;
   for (InputId Id = 0; Id < Inputs.inputsThisRun(); ++Id) {
-    auto It = Inputs.im().find(Id);
-    if (It != Inputs.im().end())
-      Out.emplace_back(Inputs.registry()[Id].Name, It->second);
+    if (const int64_t *V = Inputs.lookup(Id))
+      Out.emplace_back(Inputs.registry()[Id].Name, *V);
   }
   return Out;
 }
@@ -347,6 +360,18 @@ DartReport ParallelDartEngine::runDirected() {
   std::optional<BranchDistanceMap> DistMap;
   if (Options.Strategy == SearchStrategy::Distance)
     DistMap = BranchDistanceMap::build(*Program.Module);
+
+  // One compiled image for the whole session; immutable, so every worker
+  // shares it without synchronization.
+  std::unique_ptr<const jit::JitProgram> Jit;
+  if (Options.Jit)
+    Jit = jit::JitProgram::build(*Program.Module, Options.ToplevelName);
+  if (Jit) {
+    Report.Jit.Enabled = true;
+    Report.Jit.BlocksCompiled = Jit->stats().BlocksCompiled;
+    Report.Jit.UnitsCompiled = Jit->stats().UnitsCompiled;
+    Report.Jit.CodeBytes = Jit->stats().CodeBytes;
+  }
 
   SharedState Shared(Report.BranchSitesTotal);
   SolverQueryCache Cache;
@@ -396,6 +421,8 @@ DartReport ParallelDartEngine::runDirected() {
     InputManager Inputs(R);
     Inputs.setIM(std::move(Item.IM));
     Interp VM(*Program.Module, Options.Interp);
+    if (Jit)
+      VM.setJit(Jit.get());
     auto Hooks = std::make_unique<ConcolicRun>(
         Inputs.registry(), Arena, std::move(Item.Stack), Options.Concolic);
     VM.setHooks(Hooks.get());
@@ -441,6 +468,7 @@ DartReport ParallelDartEngine::runDirected() {
 
     Shared.TotalSteps.fetch_add(Result.Steps);
     Shared.InstructionsExecuted.fetch_add(VM.executedSteps());
+    Shared.mergeJit(VM.jitStats());
     if (!Hooks->flags().AllLinear)
       Shared.AllLinear.store(false);
     if (!Hooks->flags().AllLocsDefinite)
@@ -590,6 +618,9 @@ DartReport ParallelDartEngine::runDirected() {
   Report.Snapshot.InstructionsSkipped = Shared.InstructionsSkipped.load();
   Report.Snapshot.PacksEvicted = Ledger.evictions();
   Report.Snapshot.PeakResidentBytes = Ledger.peakResidentBytes();
+  Report.Jit.BlockEntries = Shared.JitBlockEntries.load();
+  Report.Jit.NativeInstrs = Shared.JitNativeInstrs.load();
+  Report.Jit.Deopts = Shared.JitDeopts.load();
   Report.CoverageTimeline = std::move(Shared.CoverageTimeline);
   Report.RunLog = std::move(Shared.RunLog);
   for (WorkerResult &WR : Results) {
@@ -607,6 +638,16 @@ DartReport ParallelDartEngine::runRandomOnly() {
   const unsigned NumWorkers = Options.Jobs;
   DartReport Report;
   Report.BranchSitesTotal = Program.Module->numBranchSites();
+
+  std::unique_ptr<const jit::JitProgram> Jit;
+  if (Options.Jit)
+    Jit = jit::JitProgram::build(*Program.Module, Options.ToplevelName);
+  if (Jit) {
+    Report.Jit.Enabled = true;
+    Report.Jit.BlocksCompiled = Jit->stats().BlocksCompiled;
+    Report.Jit.UnitsCompiled = Jit->stats().UnitsCompiled;
+    Report.Jit.CodeBytes = Jit->stats().CodeBytes;
+  }
 
   SharedState Shared(Report.BranchSitesTotal);
 
@@ -629,8 +670,11 @@ DartReport ParallelDartEngine::runRandomOnly() {
         // runs is the same for any worker count.
         Rng R(mixSeed(Options.Seed, Slot));
         InputManager Inputs(R);
+        Inputs.setEphemeralDraws(true);
         Inputs.beginRun();
         Interp VM(*Program.Module, Options.Interp);
+        if (Jit)
+          VM.setJit(Jit.get());
         std::unique_ptr<RandomCoverageHooks> CovHooks;
         if (Options.TrackCoverageTimeline) {
           CovHooks = std::make_unique<RandomCoverageHooks>(
@@ -641,6 +685,8 @@ DartReport ParallelDartEngine::runRandomOnly() {
                           nullptr, Options.Driver);
         RunResult Result = executeDartRun(Options, TU, Driver, VM);
         Shared.TotalSteps.fetch_add(Result.Steps);
+        Shared.InstructionsExecuted.fetch_add(VM.executedSteps());
+        Shared.mergeJit(VM.jitStats());
         if (CovHooks)
           Shared.mergeCoverage(CovHooks->Covered);
         unsigned RunNumber;
@@ -675,6 +721,10 @@ DartReport ParallelDartEngine::runRandomOnly() {
   Report.BranchDirectionsCovered = Shared.CoveredCount.load();
   Report.Coverage = Shared.coverageBits();
   Report.TotalSteps = Shared.TotalSteps.load();
+  Report.Snapshot.InstructionsExecuted = Shared.InstructionsExecuted.load();
+  Report.Jit.BlockEntries = Shared.JitBlockEntries.load();
+  Report.Jit.NativeInstrs = Shared.JitNativeInstrs.load();
+  Report.Jit.Deopts = Shared.JitDeopts.load();
   Report.CoverageTimeline = std::move(Shared.CoverageTimeline);
   Report.RunLog = std::move(Shared.RunLog);
   for (WorkerResult &WR : Results)

@@ -18,37 +18,65 @@ using namespace dart;
 //===----------------------------------------------------------------------===//
 
 InputId InputManager::createInput(InputKind Kind, ValType VT,
-                                  std::string Name) {
+                                  const std::string &Name) {
   InputId Id = NextId++;
+  if (Id < Registry.size()) {
+    // Positional overwrite (the common case after the first run): assign
+    // into the existing entry so its string keeps — and usually reuses —
+    // its allocation. Runs once per input per call.
+    InputInfo &Slot = Registry[Id];
+    Slot.Kind = Kind;
+    Slot.VT = VT;
+    if (Slot.Name != Name)
+      Slot.Name = Name;
+    return Id;
+  }
   InputInfo Info;
   Info.Kind = Kind;
   Info.VT = VT;
-  Info.Name = std::move(Name);
-  if (Id < Registry.size())
-    Registry[Id] = std::move(Info);
-  else
-    Registry.push_back(std::move(Info));
+  Info.Name = Name;
+  Registry.push_back(std::move(Info));
   return Id;
 }
 
 int64_t InputManager::valueFor(InputId Id) {
-  auto It = IM.find(Id);
-  if (It != IM.end())
-    return It->second;
-  assert(Id < Registry.size() && "value requested for unregistered input");
-  const InputInfo &Info = Registry[Id];
+  if (Id < RunDefined.size() && RunDefined[Id])
+    return RunValues[Id];
+  // Ids are handed out in increasing order, so a fresh input (one with no
+  // solver-preset value) belongs at the map's end; reusing the lower_bound
+  // position turns the find-then-insert pair into a single walk with an
+  // O(1) insert — this runs once per input per call.
+  auto It = IM.lower_bound(Id);
   int64_t V;
-  if (Info.Kind == InputKind::PointerChoice)
-    V = R.coinToss() ? 1 : 0; // Fig. 8's fair coin
-  else
-    V = R.nextBits(Info.VT.bits());
-  IM[Id] = V;
+  if (It != IM.end() && It->first == Id) {
+    V = It->second;
+  } else {
+    assert(Id < Registry.size() && "value requested for unregistered input");
+    const InputInfo &Info = Registry[Id];
+    if (Info.Kind == InputKind::PointerChoice)
+      V = R.coinToss() ? 1 : 0; // Fig. 8's fair coin
+    else
+      V = R.nextBits(Info.VT.bits());
+    if (!EphemeralDraws)
+      IM.emplace_hint(It, Id, V);
+  }
+  if (Id >= RunValues.size()) {
+    RunValues.resize(Id + 1);
+    RunDefined.resize(Id + 1, 0);
+  }
+  RunValues[Id] = V;
+  RunDefined[Id] = 1;
   return V;
 }
 
 void InputManager::applyModel(const std::map<InputId, int64_t> &Model) {
-  for (const auto &[Id, V] : Model)
+  for (const auto &[Id, V] : Model) {
     IM[Id] = V;
+    // Drop the stale per-run cache entry so the next valueFor re-reads
+    // the preset from IM.
+    if (Id < RunDefined.size())
+      RunDefined[Id] = 0;
+  }
 }
 
 VarDomain InputManager::domainOf(InputId Id) const {
@@ -130,15 +158,37 @@ void TestDriver::initExternVariables() {
   }
 }
 
-PreparedArgs TestDriver::prepareToplevelArgs(unsigned CallIndex) {
-  PreparedArgs Args;
-  const std::string Prefix =
-      Interface.Toplevel->name() + "#" + std::to_string(CallIndex) + ".";
+/// Appends the decimal digits of \p V without the std::to_string
+/// temporary (one of these runs per toplevel call).
+static void appendUnsigned(std::string &S, unsigned V) {
+  char Buf[10];
+  char *End = Buf + sizeof(Buf);
+  char *P = End;
+  do {
+    *--P = static_cast<char>('0' + V % 10);
+    V /= 10;
+  } while (V);
+  S.append(P, static_cast<size_t>(End - P));
+}
+
+void TestDriver::prepareToplevelArgs(unsigned CallIndex, PreparedArgs &Args) {
+  Args.Values.clear();
+  Args.Bindings.clear();
+  NameScratch.assign(Interface.Toplevel->name());
+  NameScratch += '#';
+  appendUnsigned(NameScratch, CallIndex);
+  NameScratch += '.';
+  const size_t PrefixLen = NameScratch.size();
   unsigned Index = 0;
   for (const VarDecl *P : Interface.ToplevelParams) {
-    const std::string Name =
-        Prefix + (P->name().empty() ? "arg" + std::to_string(Index)
-                                    : P->name());
+    NameScratch.resize(PrefixLen);
+    if (P->name().empty()) {
+      NameScratch += "arg";
+      appendUnsigned(NameScratch, Index);
+    } else {
+      NameScratch += P->name();
+    }
+    const std::string &Name = NameScratch;
     const Type *Ty = P->type();
     if (Ty->isInteger()) {
       ValType VT = valTypeFor(Ty);
@@ -155,7 +205,6 @@ PreparedArgs TestDriver::prepareToplevelArgs(unsigned CallIndex) {
     }
     ++Index;
   }
-  return Args;
 }
 
 void TestDriver::bindParams(const std::vector<Addr> &ParamAddrs,

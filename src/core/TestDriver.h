@@ -31,6 +31,7 @@
 #include "solver/LinearSolver.h"
 #include "support/Rng.h"
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <vector>
@@ -43,7 +44,10 @@ public:
   explicit InputManager(Rng &R) : R(R) {}
 
   /// Starts a new run: input ids restart from 0; IM persists.
-  void beginRun() { NextId = 0; }
+  void beginRun() {
+    NextId = 0;
+    std::fill(RunDefined.begin(), RunDefined.end(), uint8_t(0));
+  }
 
   /// Starts a run that resumes a recorded execution prefix: ids continue
   /// at \p NextInputId (the prefix's inputs are already defined in IM —
@@ -55,11 +59,12 @@ public:
                  const std::vector<InputInfo> &RegistryPrefix) {
     Registry.assign(RegistryPrefix.begin(), RegistryPrefix.end());
     NextId = NextInputId;
+    std::fill(RunDefined.begin(), RunDefined.end(), uint8_t(0));
   }
 
   /// Registers the next input. If a previous run already created an input
   /// with this id, the registry entry is overwritten (ids are positional).
-  InputId createInput(InputKind Kind, ValType VT, std::string Name);
+  InputId createInput(InputKind Kind, ValType VT, const std::string &Name);
 
   /// The concrete value for input \p Id this run: IM[Id] if defined, else
   /// fresh random bits (memoized into IM).
@@ -71,13 +76,41 @@ public:
   /// Installs a saved input vector wholesale: parallel frontier items
   /// restore the parent run's IM (plus the candidate's model) into a
   /// fresh worker-local manager.
-  void setIM(std::map<InputId, int64_t> M) { IM = std::move(M); }
+  void setIM(std::map<InputId, int64_t> M) {
+    IM = std::move(M);
+    std::fill(RunDefined.begin(), RunDefined.end(), uint8_t(0));
+  }
 
   /// Fresh random restart (outer loop of Fig. 2).
   void reset() {
     IM.clear();
     Registry.clear();
     NextId = 0;
+    RunValues.clear();
+    RunDefined.clear();
+  }
+
+  /// Between-run restart for pure random testing: forgets the values but
+  /// keeps the registry storage — the next run's identical createInput
+  /// sequence overwrites the entries positionally, reusing their strings
+  /// instead of freeing and reallocating them every run.
+  void restartRandom() {
+    IM.clear();
+    NextId = 0;
+  }
+
+  /// In pure random testing nothing carries IM across runs, so valueFor
+  /// can skip the per-draw map insert (the node allocations dominate
+  /// short-call workloads); bug reports read the dense per-run cache.
+  void setEphemeralDraws(bool E) { EphemeralDraws = E; }
+
+  /// The value input \p Id took this run, if it was drawn or preset
+  /// (bug reports and run logs).
+  const int64_t *lookup(InputId Id) const {
+    if (Id < RunDefined.size() && RunDefined[Id])
+      return &RunValues[Id];
+    auto It = IM.find(Id);
+    return It == IM.end() ? nullptr : &It->second;
   }
 
   VarDomain domainOf(InputId Id) const;
@@ -90,7 +123,13 @@ private:
   Rng &R;
   std::vector<InputInfo> Registry;
   std::map<InputId, int64_t> IM;
+  /// Dense per-run cache of every value valueFor handed out, parallel to
+  /// the registry (cleared by beginRun). Repeat queries and end-of-run
+  /// reporting read it without touching the map.
+  std::vector<int64_t> RunValues;
+  std::vector<uint8_t> RunDefined;
   InputId NextId = 0;
+  bool EphemeralDraws = false;
 };
 
 /// Driver options (see DartOptions for the engine-level view).
@@ -127,7 +166,9 @@ public:
   void initExternVariables();
 
   /// Creates the inputs for one toplevel call (\p CallIndex for naming).
-  PreparedArgs prepareToplevelArgs(unsigned CallIndex);
+  /// Fills \p Args in place so callers can reuse its buffers across the
+  /// per-call loop.
+  void prepareToplevelArgs(unsigned CallIndex, PreparedArgs &Args);
 
   /// Binds the deferred parameter inputs; call right after beginCall.
   void bindParams(const std::vector<Addr> &ParamAddrs,
@@ -156,6 +197,10 @@ private:
   DriverOptions Options;
   /// Return types of external functions, by name (for pointer returns).
   std::map<std::string, const Type *> ExternalReturnTypes;
+  /// Reused buffer for per-call input names ("fn#3.param"): the registry
+  /// copies it once, instead of this rebuilding it from temporaries on the
+  /// per-call hot path.
+  std::string NameScratch;
 };
 
 /// Emits the MiniC source of the Fig. 7-style driver (main + random_init

@@ -5,10 +5,33 @@
 //===----------------------------------------------------------------------===//
 
 #include "interp/Interp.h"
+#include "jit/Jit.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace dart;
+
+namespace {
+
+/// Resolves a compiled fragment's cell keys to raw host byte pointers.
+/// Re-derived at every native entry: write pointers pin pages private (the
+/// COW rule), and any snapshot taken between entries re-shares them.
+void deriveCells(Memory &Mem, const std::vector<Addr> &GlobalAddrs,
+                 const Interp::Frame &F,
+                 const std::vector<jit::SlotKey> &Keys, uint8_t **Cells) {
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    Addr A = Keys[I].IsGlobal ? GlobalAddrs[Keys[I].Index]
+                              : F.SlotAddrs[Keys[I].Index];
+    Cells[I] = Mem.jitCellPtr(A, Keys[I].Write);
+  }
+}
+
+/// Step budget handed to a whole-function unit. Clamped so the native
+/// signed budget check (`sub rsi, K; js`) never sees a negative input.
+constexpr uint64_t kMaxNativeBudget = uint64_t(1) << 30;
+
+} // namespace
 
 std::string RunError::toString() const {
   std::string Out;
@@ -277,11 +300,20 @@ void Interp::pushFrame(const IRFunction &Fn, const std::vector<int64_t> &Args,
   F.PC = 0;
   F.RetDest = RetDest;
   F.RetVT = RetVT;
+  if (!SlotAddrsPool.empty()) {
+    F.SlotAddrs = std::move(SlotAddrsPool.back());
+    SlotAddrsPool.pop_back();
+    F.SlotAddrs.clear();
+  }
   F.SlotAddrs.reserve(Fn.Slots.size());
   for (const FrameSlot &Slot : Fn.Slots)
-    F.SlotAddrs.push_back(Mem.allocate(
-        Slot.SizeBytes, RegionKind::Stack,
-        Fn.Name + "." + (Slot.Name.empty() ? "tmp" : Slot.Name)));
+    // The slot's bare name is enough to identify the region in a debugger,
+    // and (unlike a fn.slot concatenation) it copies without allocating —
+    // this runs once per slot per call, which dominates short-call
+    // workloads.
+    F.SlotAddrs.push_back(
+        Mem.allocate(Slot.SizeBytes, RegionKind::Stack,
+                     Slot.Name.empty() ? std::string("tmp") : Slot.Name));
   Stack.push_back(std::move(F));
   // Parameter values: stored raw here; the caller-side onStore hook has
   // already recorded their symbolic images.
@@ -300,6 +332,7 @@ void Interp::popFrame() {
       Hooks->onRegionDead(Base, F.Fn->Slots[I].SizeBytes);
     Mem.releaseStack(Base);
   }
+  SlotAddrsPool.push_back(std::move(F.SlotAddrs));
   Stack.pop_back();
 }
 
@@ -429,9 +462,91 @@ RunResult Interp::runLoop(size_t BaseDepth) {
       &&Op_Store, &&Op_Copy, &&Op_CondJump, &&Op_Jump,
       &&Op_Call,  &&Op_Ret,  &&Op_Abort,    &&Op_Halt};
 #endif
+  const IRFunction *JitCachedFn = nullptr;
+  const jit::FnJit *JitTbl = nullptr;
   while (true) {
     Frame &F = Stack.back();
     assert(F.PC < F.Fn->Instrs.size() && "fell off the instruction stream");
+
+    // Native-tier dispatch. Both paths leave the VM in exactly the state
+    // the interpreter would have produced (PC, Steps, memory, hooks fired),
+    // so a session is byte-identical with the JIT on or off.
+    if (Jit) {
+      if (F.Fn != JitCachedFn) {
+        JitCachedFn = F.Fn;
+        JitTbl = Jit->fnJit(F.Fn);
+      }
+      if (JitTbl && !Hooks && JitTbl->Unit.Base && Steps < Options.MaxSteps) {
+        // Hook-free tier: run the whole function natively until it reaches
+        // a non-compilable instruction or the step budget runs dry.
+        int32_t Entry = F.PC < JitTbl->Unit.EntryOff.size()
+                            ? JitTbl->Unit.EntryOff[F.PC]
+                            : -1;
+        if (Entry >= 0) {
+          uint64_t Budget =
+              std::min(Options.MaxSteps - Steps, kMaxNativeBudget);
+          uint8_t *Cells[jit::kMaxCells];
+          deriveCells(Mem, GlobalAddrs, F, JitTbl->Unit.Keys, Cells);
+          auto Unit =
+              reinterpret_cast<jit::UnitFn>(JitTbl->Unit.Base + Entry);
+          jit::FnExit Exit = Unit(Cells, Budget);
+          uint64_t Consumed = Budget - Exit.BudgetLeft;
+          Steps += Consumed;
+          ExecutedSteps += Consumed;
+          F.PC = static_cast<unsigned>(Exit.PC);
+          if (Consumed != 0) {
+            ++JitStats.BlockEntries;
+            JitStats.NativeInstrs += Consumed;
+            bool AtNativeEntry = Exit.PC < JitTbl->Unit.EntryOff.size() &&
+                                 JitTbl->Unit.EntryOff[Exit.PC] >= 0;
+            if (!AtNativeEntry)
+              ++JitStats.Deopts;
+            continue;
+          }
+          // Budget below the first straight-line run: nothing retired
+          // natively — fall through so the interpreter (owner of the exact
+          // per-instruction StepLimit semantics) executes this PC.
+        }
+      } else if (JitTbl && Hooks && JitTbl->HasBlocks &&
+                 F.PC < JitTbl->Blocks.size()) {
+        // Hook-safe tier: one block, ending at (not past) any instruction
+        // that must reach the instrumentation.
+        const jit::CompiledBlock *B = JitTbl->Blocks[F.PC];
+        if (B && Steps + B->NumInstrs <= Options.MaxSteps) {
+          uint8_t *Cells[jit::kMaxCells];
+          deriveCells(Mem, GlobalAddrs, F, B->Keys, Cells);
+          int64_t Cond = B->Code(Cells);
+          Steps += B->NumInstrs;
+          ExecutedSteps += B->NumInstrs;
+          ++JitStats.BlockEntries;
+          JitStats.NativeInstrs += B->NumInstrs;
+          if (B->Kind == jit::CompiledBlock::Term::Jump) {
+            F.PC = B->JumpTarget;
+            continue;
+          }
+          if (B->Kind == jit::CompiledBlock::Term::CondBranch) {
+            // Hook contract: the pc rests on the CondJump while onBranch
+            // runs (checkpoint capture reads it from the frame).
+            F.PC = B->TermPC;
+            bool Taken = Cond != 0;
+            if (!Hooks->onBranch(*this, *B->CJ, Taken)) {
+              Result.Status = RunStatus::ForcingMismatch;
+              while (Stack.size() > BaseDepth)
+                popFrame();
+              return Result;
+            }
+            F.PC = Taken ? B->CJ->trueTarget() : B->CJ->falseTarget();
+            continue;
+          }
+          // FallThrough: deopt to the interpreter at the first
+          // non-compilable instruction.
+          F.PC = B->TermPC;
+          ++JitStats.Deopts;
+          continue;
+        }
+      }
+    }
+
     const Instr &I = *F.Fn->Instrs[F.PC];
 
     ++ExecutedSteps;
@@ -584,17 +699,18 @@ RunResult Interp::callFunction(const std::string &Name,
   return finishCall();
 }
 
-std::optional<std::vector<Addr>>
+const std::vector<Addr> *
 Interp::beginCall(const std::string &Name, const std::vector<int64_t> &Args) {
   const IRFunction *Fn = M.findFunction(Name);
   if (!Fn)
-    return std::nullopt;
-  pushFrame(*Fn, Args, /*RetDest=*/0, Fn->RetVT);
-  std::vector<Addr> ParamAddrs;
-  ParamAddrs.reserve(Fn->NumParams);
-  for (unsigned I = 0; I < Fn->NumParams; ++I)
-    ParamAddrs.push_back(Stack.back().SlotAddrs[I]);
-  return ParamAddrs;
+    return nullptr;
+  return &beginCall(*Fn, Args);
+}
+
+const std::vector<Addr> &Interp::beginCall(const IRFunction &Fn,
+                                           const std::vector<int64_t> &Args) {
+  pushFrame(Fn, Args, /*RetDest=*/0, Fn.RetVT);
+  return Stack.back().SlotAddrs;
 }
 
 RunResult Interp::finishCall() {

@@ -33,6 +33,20 @@
 
 namespace dart {
 
+namespace jit {
+class JitProgram;
+struct FnJit;
+} // namespace jit
+
+/// Native-tier runtime counters for one VM (one run). Zero when no
+/// JitProgram is installed or nothing dispatched natively.
+struct JitRunStats {
+  uint64_t BlockEntries = 0; ///< native fragment entries (blocks and units)
+  uint64_t NativeInstrs = 0; ///< instructions retired in machine code
+  uint64_t Deopts = 0;       ///< native exits back into the interpreter at a
+                             ///< non-compilable instruction
+};
+
 /// Why a run ended abnormally. Together with MemFault details this covers
 /// the error classes DART reports: crashes, assertion violations, and
 /// non-termination (paper §1, §4.3).
@@ -228,6 +242,12 @@ public:
   void registerNative(const std::string &Name, NativeFn Fn);
   void setHooks(ExecHooks *H) { Hooks = H; }
 
+  /// Installs a compiled image (shared, read-only) for native-tier
+  /// dispatch. Null reverts to pure interpretation. The program must have
+  /// been built from this VM's IRModule instance and must outlive the VM.
+  void setJit(const jit::JitProgram *P) { Jit = P; }
+  const JitRunStats &jitStats() const { return JitStats; }
+
   /// Calls a program function with the given argument values and runs to
   /// completion (of that call). May be invoked repeatedly; memory persists
   /// across calls within this Interp (= one DART run of depth > 1).
@@ -235,11 +255,21 @@ public:
                          const std::vector<int64_t> &Args);
 
   /// Two-phase variant for test drivers: pushes the frame and returns the
-  /// parameter slot addresses (so the driver can bind symbolic inputs to
-  /// them), without starting execution. Returns nullopt if the function is
-  /// unknown. Must be followed by finishCall().
-  std::optional<std::vector<Addr>> beginCall(const std::string &Name,
-                                             const std::vector<int64_t> &Args);
+  /// addresses of its slots — the first NumParams entries are the
+  /// parameters (so the driver can bind symbolic inputs to them) — without
+  /// starting execution. Returns null if the function is unknown. Must be
+  /// followed by finishCall(); the pointer is into the frame and only
+  /// valid until the call starts executing.
+  const std::vector<Addr> *beginCall(const std::string &Name,
+                                     const std::vector<int64_t> &Args);
+  /// Same, with the function already resolved — per-call driver loops
+  /// hoist the name lookup out of the loop.
+  const std::vector<Addr> &beginCall(const IRFunction &Fn,
+                                     const std::vector<int64_t> &Args);
+  /// Resolves a function of the module by name (null if unknown).
+  const IRFunction *findFunction(const std::string &Name) const {
+    return M.findFunction(Name);
+  }
   /// Executes the frame pushed by beginCall until it returns.
   RunResult finishCall();
 
@@ -302,7 +332,13 @@ private:
   std::vector<Addr> GlobalAddrs;
   std::map<std::string, NativeFn> Natives;
   ExecHooks *Hooks = nullptr;
+  const jit::JitProgram *Jit = nullptr;
+  JitRunStats JitStats;
   std::vector<Frame> Stack;
+  /// Spare SlotAddrs buffers from popped frames; pushFrame reuses them so
+  /// the per-call push/pop pair stops allocating (short-call random
+  /// testing pushes and pops one frame per toplevel call).
+  std::vector<std::vector<Addr>> SlotAddrsPool;
   uint64_t Steps = 0;         ///< run-position step counter (restored by resume)
   uint64_t ExecutedSteps = 0; ///< monotone work counter (never restored)
 };

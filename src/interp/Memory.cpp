@@ -39,6 +39,37 @@ const std::shared_ptr<Memory::Page> &Memory::zeroPage() {
   return Z;
 }
 
+/// Recycled region-table chunks. Random testing tears down a Memory per
+/// run, and each run allocates a handful of chunks (32 regions each);
+/// recycling them turns the per-run make_shared/dispose pair — and the
+/// construction of 32 Region objects inside — into a pool pop/push.
+/// Thread-local: parallel workers each keep their own pool.
+std::vector<std::shared_ptr<Memory::Chunk>> &Memory::chunkPool() {
+  thread_local std::vector<std::shared_ptr<Chunk>> Pool;
+  return Pool;
+}
+
+std::shared_ptr<Memory::Chunk> Memory::takeChunk() {
+  auto &Pool = chunkPool();
+  if (!Pool.empty()) {
+    std::shared_ptr<Chunk> C = std::move(Pool.back());
+    Pool.pop_back();
+    return C;
+  }
+  return std::make_shared<Chunk>();
+}
+
+Memory::~Memory() {
+  constexpr size_t kChunkPoolMax = 64;
+  auto &Pool = chunkPool();
+  for (std::shared_ptr<Chunk> &C : Chunks)
+    // Only privately owned chunks may be recycled: a snapshot (or a
+    // Memory resumed from one) still observes shared ones. Stale slots
+    // are fully reassigned by allocate() before anyone reads them.
+    if (C.use_count() == 1 && Pool.size() < kChunkPoolMax)
+      Pool.push_back(std::move(C));
+}
+
 Memory::Region &Memory::mutableRegionAt(uint32_t Id) {
   std::shared_ptr<Chunk> &C = Chunks[Id / kRegionsPerChunk];
   // use_count() == 1 means this Memory holds the only reference, so no
@@ -66,7 +97,7 @@ Addr Memory::allocate(uint64_t Size, RegionKind Kind, std::string Name,
   assert(NumRegions < UINT32_MAX && "region space exhausted");
   uint32_t Id = static_cast<uint32_t>(NumRegions++);
   if (Id % kRegionsPerChunk == 0)
-    Chunks.push_back(std::make_shared<Chunk>());
+    Chunks.push_back(takeChunk());
   // After a restore, the tail chunk's unused slots are pristine (the
   // snapshot was taken before they were ever written), so assigning every
   // field rebuilds the slot exactly.

@@ -84,13 +84,41 @@ private:
     std::array<uint8_t, kPageSize> B{};
   };
 
+  /// A region's page table with page 0 stored inline: stack slots and
+  /// scalar globals fit one page, and a fresh table is built per region
+  /// on the per-call hot path — keeping the common case out of the heap
+  /// removes an allocation per frame slot per call.
+  class PageList {
+  public:
+    void assign(size_t Count, const std::shared_ptr<Page> &P) {
+      N = Count;
+      One = Count >= 1 ? P : nullptr;
+      if (Count > 1)
+        Rest.assign(Count - 1, P);
+      else
+        Rest.clear();
+    }
+    size_t size() const { return N; }
+    std::shared_ptr<Page> &operator[](size_t I) {
+      return I == 0 ? One : Rest[I - 1];
+    }
+    const std::shared_ptr<Page> &operator[](size_t I) const {
+      return I == 0 ? One : Rest[I - 1];
+    }
+
+  private:
+    std::shared_ptr<Page> One;               ///< page 0
+    std::vector<std::shared_ptr<Page>> Rest; ///< pages 1.. (large regions)
+    size_t N = 0;
+  };
+
   struct Region {
     uint64_t Size = 0;
     RegionKind Kind = RegionKind::Global;
     bool Alive = true;
     bool ReadOnly = false;
     std::string Name;
-    std::vector<std::shared_ptr<Page>> Pages; ///< ceil(Size / kPageSize)
+    PageList Pages; ///< ceil(Size / kPageSize) entries
   };
 
   struct Chunk {
@@ -114,6 +142,12 @@ public:
       return sizeof(*this) + Chunks.size() * sizeof(Chunks[0]);
     }
   };
+
+  Memory() = default;
+  Memory(const Memory &) = default;
+  Memory &operator=(const Memory &) = default;
+  /// Returns privately owned chunks to the thread-local recycling pool.
+  ~Memory();
 
   /// Creates a new region of \p Size bytes (zero-filled) and returns its
   /// base address. Zero-size regions are valid (their base can be compared
@@ -163,6 +197,25 @@ public:
 
   const CowStats &cowStats() const { return St; }
 
+  /// Raw host pointer to the byte at \p A, for the JIT's cell table. The
+  /// caller (Interp's JIT dispatch) guarantees the region is alive, the
+  /// access stays within one page, and read-only regions are never asked
+  /// for with \p ForWrite. Writable pointers pin the page private first
+  /// (the same COW rule every interpreted store follows), so pointers stay
+  /// valid exactly until the next snapshot/restore — the runtime re-derives
+  /// them at every native entry.
+  uint8_t *jitCellPtr(Addr A, bool ForWrite) {
+    uint32_t Off = addrOffset(A);
+    size_t PageIndex = Off / kPageSize;
+    if (ForWrite) {
+      Region &R = mutableRegionAt(addrRegion(A));
+      return mutablePage(R, PageIndex) + Off % kPageSize;
+    }
+    const Region &R = regionAt(addrRegion(A));
+    return const_cast<uint8_t *>(R.Pages[PageIndex]->B.data()) +
+           Off % kPageSize;
+  }
+
 private:
   /// Checks the access and returns the region, or null with \p Fault set.
   const Region *access(Addr A, uint64_t Size, MemFault &Fault) const;
@@ -183,6 +236,11 @@ private:
   /// The process-wide all-zero page fresh regions start from; never
   /// written (its use_count is always > 1, so writers always clone).
   static const std::shared_ptr<Page> &zeroPage();
+
+  /// Thread-local pool of recycled region-table chunks (see Memory.cpp).
+  static std::vector<std::shared_ptr<Chunk>> &chunkPool();
+  /// A fresh or recycled chunk for the region table.
+  static std::shared_ptr<Chunk> takeChunk();
 
   std::vector<std::shared_ptr<Chunk>> Chunks;
   size_t NumRegions = 0;

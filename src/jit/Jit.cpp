@@ -1,0 +1,625 @@
+//===- Jit.cpp - Baseline JIT block/unit compilers --------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Jit.h"
+#include "analysis/Taint.h"
+#include "jit/X64Emitter.h"
+#include "support/Casting.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define DART_JIT_HAVE_MMAP 1
+#endif
+
+using namespace dart;
+using namespace dart::jit;
+
+bool dart::jit::jitSupported() {
+#if defined(DART_JIT_DISABLED) || !defined(__x86_64__) ||                      \
+    !defined(DART_JIT_HAVE_MMAP)
+  return false;
+#elif defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  return false;
+#else
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) ||     \
+    __has_feature(memory_sanitizer)
+  return false;
+#endif
+#endif
+  return true;
+#endif
+}
+
+namespace {
+
+/// Per-fragment table of the cells native code touches, deduplicated by
+/// (IsGlobal, Index); a later write upgrades an earlier read-only entry.
+class CellTable {
+public:
+  /// Index of the cell's pointer in the runtime table, or -1 when adding it
+  /// would exceed kMaxCells.
+  int keyFor(bool IsGlobal, unsigned Index, bool Write) {
+    for (size_t I = 0; I < Keys.size(); ++I)
+      if (Keys[I].IsGlobal == IsGlobal && Keys[I].Index == Index) {
+        Keys[I].Write |= Write;
+        return static_cast<int>(I);
+      }
+    if (Keys.size() >= kMaxCells)
+      return -1;
+    Keys.push_back({IsGlobal, Write, Index});
+    return static_cast<int>(Keys.size() - 1);
+  }
+
+  /// How many cells of \p Cells are not yet in the table.
+  size_t
+  countNew(const std::vector<std::pair<bool, unsigned>> &Cells) const {
+    size_t New = 0;
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      bool Seen = false;
+      for (const SlotKey &K : Keys)
+        if (K.IsGlobal == Cells[I].first && K.Index == Cells[I].second)
+          Seen = true;
+      for (size_t J = 0; J < I && !Seen; ++J)
+        Seen = Cells[J] == Cells[I];
+      if (!Seen)
+        ++New;
+    }
+    return New;
+  }
+
+  size_t size() const { return Keys.size(); }
+  std::vector<SlotKey> take() { return std::move(Keys); }
+
+private:
+  std::vector<SlotKey> Keys;
+};
+
+/// Shared per-function compile context.
+struct FnCtx {
+  const IRModule &M;
+  const IRFunction &F;
+  unsigned FnIndex;
+  const TaintResult &Taint;
+};
+
+/// Is \p E in the compiled expression subset? Only direct, in-bounds scalar
+/// loads (a frame slot or global at offset 0), fault-free arithmetic, and
+/// comparisons qualify. Bare FrameAddr/GlobalAddr values are excluded: VM
+/// virtual addresses are allocated per run and unknowable at compile time.
+bool exprCompilable(const FnCtx &C, const IRExpr *E) {
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+    return true;
+  case IRExpr::Kind::GlobalAddr:
+  case IRExpr::Kind::FrameAddr:
+    return false;
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    uint64_t Need = L->valType().SizeBytes;
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address()))
+      return C.F.Slots[FA->slotIndex()].SizeBytes >= Need;
+    if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address()))
+      return C.M.globals()[GA->globalIndex()].SizeBytes >= Need;
+    return false;
+  }
+  case IRExpr::Kind::Unary:
+    return exprCompilable(C, cast<UnaryIRExpr>(E)->operand());
+  case IRExpr::Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(E);
+    if (B->op() == IRBinOp::Div || B->op() == IRBinOp::Rem)
+      return false; // divide-by-zero fault path stays in the interpreter
+    return exprCompilable(C, B->lhs()) && exprCompilable(C, B->rhs());
+  }
+  case IRExpr::Kind::Cmp: {
+    const auto *Cm = cast<CmpExpr>(E);
+    return exprCompilable(C, Cm->lhs()) && exprCompilable(C, Cm->rhs());
+  }
+  case IRExpr::Kind::Cast:
+    return exprCompilable(C, cast<CastIRExpr>(E)->operand());
+  }
+  return false;
+}
+
+/// A store the JIT can execute: direct dest cell big enough for the value,
+/// not read-only, compilable value expression.
+bool storeCompilable(const FnCtx &C, const StoreInstr *S) {
+  uint64_t Need = S->valType().SizeBytes;
+  if (const auto *FA = dyn_cast<FrameAddrExpr>(S->address())) {
+    if (C.F.Slots[FA->slotIndex()].SizeBytes < Need)
+      return false;
+  } else if (const auto *GA = dyn_cast<GlobalAddrExpr>(S->address())) {
+    const IRGlobal &G = C.M.globals()[GA->globalIndex()];
+    if (G.ReadOnly || G.SizeBytes < Need)
+      return false;
+  } else {
+    return false;
+  }
+  return exprCompilable(C, S->value());
+}
+
+/// In the hook-safe tier a store may additionally only compile when taint
+/// analysis proves neither the destination cell nor the stored value can
+/// ever be symbolic — then ConcolicRun::onStore is a provable no-op and
+/// skipping it cannot perturb the search.
+bool storeHookSafe(const FnCtx &C, const StoreInstr *S) {
+  if (const auto *FA = dyn_cast<FrameAddrExpr>(S->address())) {
+    if (C.Taint.SlotTainted[C.FnIndex][FA->slotIndex()])
+      return false;
+  } else if (const auto *GA = dyn_cast<GlobalAddrExpr>(S->address())) {
+    if (C.Taint.GlobalTainted[GA->globalIndex()])
+      return false;
+  }
+  return !C.Taint.exprTainted(C.FnIndex, S->value());
+}
+
+/// Collects the distinct cells \p E reads into \p Out (dups allowed; the
+/// table dedups).
+void collectCells(const IRExpr *E,
+                  std::vector<std::pair<bool, unsigned>> &Out) {
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+  case IRExpr::Kind::GlobalAddr:
+  case IRExpr::Kind::FrameAddr:
+    return;
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address()))
+      Out.emplace_back(false, FA->slotIndex());
+    else if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address()))
+      Out.emplace_back(true, GA->globalIndex());
+    return;
+  }
+  case IRExpr::Kind::Unary:
+    collectCells(cast<UnaryIRExpr>(E)->operand(), Out);
+    return;
+  case IRExpr::Kind::Binary:
+    collectCells(cast<BinaryIRExpr>(E)->lhs(), Out);
+    collectCells(cast<BinaryIRExpr>(E)->rhs(), Out);
+    return;
+  case IRExpr::Kind::Cmp:
+    collectCells(cast<CmpExpr>(E)->lhs(), Out);
+    collectCells(cast<CmpExpr>(E)->rhs(), Out);
+    return;
+  case IRExpr::Kind::Cast:
+    collectCells(cast<CastIRExpr>(E)->operand(), Out);
+    return;
+  }
+}
+
+void collectStoreCells(const StoreInstr *S,
+                       std::vector<std::pair<bool, unsigned>> &Out) {
+  if (const auto *FA = dyn_cast<FrameAddrExpr>(S->address()))
+    Out.emplace_back(false, FA->slotIndex());
+  else if (const auto *GA = dyn_cast<GlobalAddrExpr>(S->address()))
+    Out.emplace_back(true, GA->globalIndex());
+  collectCells(S->value(), Out);
+}
+
+/// Emits \p Ex, leaving the canonical result in rax. Mirrors Interp::eval
+/// bit-for-bit: every intermediate is canonicalized to its ValType in the
+/// full 64-bit register, operands evaluate left-to-right.
+void emitExpr(X64Emitter &E, CellTable &T, const IRExpr *Ex) {
+  switch (Ex->kind()) {
+  case IRExpr::Kind::Const:
+    E.movRaxImm(cast<ConstExpr>(Ex)->value());
+    return;
+  case IRExpr::Kind::GlobalAddr:
+  case IRExpr::Kind::FrameAddr:
+    return; // unreachable: rejected by exprCompilable
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(Ex);
+    int Key;
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address()))
+      Key = T.keyFor(false, FA->slotIndex(), /*Write=*/false);
+    else
+      Key = T.keyFor(true, cast<GlobalAddrExpr>(L->address())->globalIndex(),
+                     /*Write=*/false);
+    E.movRcxCellPtr(static_cast<unsigned>(Key));
+    E.loadRaxFromRcx(L->valType());
+    return;
+  }
+  case IRExpr::Kind::Unary: {
+    const auto *U = cast<UnaryIRExpr>(Ex);
+    emitExpr(E, T, U->operand());
+    if (U->op() == IRUnOp::Neg)
+      E.negRax();
+    else
+      E.notRax();
+    E.canonRax(U->valType());
+    return;
+  }
+  case IRExpr::Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(Ex);
+    ValType VT = B->valType();
+    emitExpr(E, T, B->lhs());
+    E.pushRax();
+    emitExpr(E, T, B->rhs());
+    E.popRcx(); // lhs in rcx, rhs in rax
+    switch (B->op()) {
+    case IRBinOp::Add:
+      E.addRaxRcx();
+      break;
+    case IRBinOp::Sub:
+      E.subRcxRax();
+      E.movRaxRcx();
+      break;
+    case IRBinOp::Mul:
+      E.imulRaxRcx();
+      break;
+    case IRBinOp::And:
+      E.andRaxRcx();
+      break;
+    case IRBinOp::Or:
+      E.orRaxRcx();
+      break;
+    case IRBinOp::Xor:
+      E.xorRaxRcx();
+      break;
+    case IRBinOp::Shl:
+      E.xchgRaxRcx(); // lhs back in rax, count in rcx
+      E.andEcxImm8(static_cast<uint8_t>(VT.bits() - 1));
+      E.shlRaxCl();
+      break;
+    case IRBinOp::Shr:
+      E.xchgRaxRcx();
+      E.andEcxImm8(static_cast<uint8_t>(VT.bits() - 1));
+      if (VT.Signed) {
+        E.sarRaxCl(); // arithmetic shift of the raw canonical value
+      } else {
+        // The interpreter zero-truncates the LHS to the value width before
+        // a logical shift; rax may hold a sign-extended narrower value.
+        E.canonRax(ValType{VT.SizeBytes, false, false});
+        E.shrRaxCl();
+      }
+      break;
+    case IRBinOp::Div:
+    case IRBinOp::Rem:
+      break; // unreachable: rejected by exprCompilable
+    }
+    E.canonRax(VT);
+    return;
+  }
+  case IRExpr::Kind::Cmp: {
+    const auto *Cm = cast<CmpExpr>(Ex);
+    emitExpr(E, T, Cm->lhs());
+    E.pushRax();
+    emitExpr(E, T, Cm->rhs());
+    E.popRcx(); // lhs in rcx, rhs in rax
+    E.cmpRcxRax();
+    E.setccRax(cmpConditionCode(Cm->pred(), Cm->operandValType()));
+    return;
+  }
+  case IRExpr::Kind::Cast:
+    emitExpr(E, T, cast<CastIRExpr>(Ex)->operand());
+    E.canonRax(Ex->valType());
+    return;
+  }
+}
+
+void emitStore(X64Emitter &E, CellTable &T, const StoreInstr *S) {
+  emitExpr(E, T, S->value());
+  int Key;
+  if (const auto *FA = dyn_cast<FrameAddrExpr>(S->address()))
+    Key = T.keyFor(false, FA->slotIndex(), /*Write=*/true);
+  else
+    Key = T.keyFor(true, cast<GlobalAddrExpr>(S->address())->globalIndex(),
+                   /*Write=*/true);
+  E.movRcxCellPtr(static_cast<unsigned>(Key));
+  E.storeRaxToRcx(S->valType());
+}
+
+/// Instruction classification shared by both tiers.
+enum class IKind : uint8_t {
+  NativeStore, ///< compiled store
+  Jump,        ///< unconditional jump (free in both tiers)
+  NativeCond,  ///< CondJump with a compilable condition
+  Exit         ///< everything else: interpreter only
+};
+
+std::vector<IKind> classify(const FnCtx &C, bool HookSafe) {
+  std::vector<IKind> K(C.F.Instrs.size(), IKind::Exit);
+  for (size_t P = 0; P < C.F.Instrs.size(); ++P) {
+    const Instr *I = C.F.Instrs[P].get();
+    if (const auto *S = dyn_cast<StoreInstr>(I)) {
+      if (storeCompilable(C, S) && (!HookSafe || storeHookSafe(C, S)))
+        K[P] = IKind::NativeStore;
+    } else if (isa<JumpInstr>(I)) {
+      K[P] = IKind::Jump;
+    } else if (const auto *CJ = dyn_cast<CondJumpInstr>(I)) {
+      if (exprCompilable(C, CJ->cond()))
+        K[P] = IKind::NativeCond;
+    }
+  }
+  return K;
+}
+
+/// Leader PCs: entry, every branch target, and the instruction after any
+/// interpreter-only instruction (where native execution could resume).
+std::vector<bool> computeLeaders(const FnCtx &C, const std::vector<IKind> &K) {
+  size_t N = C.F.Instrs.size();
+  std::vector<bool> Leader(N, false);
+  if (N == 0)
+    return Leader;
+  Leader[0] = true;
+  for (size_t P = 0; P < N; ++P) {
+    const Instr *I = C.F.Instrs[P].get();
+    if (const auto *CJ = dyn_cast<CondJumpInstr>(I)) {
+      Leader[CJ->trueTarget()] = true;
+      Leader[CJ->falseTarget()] = true;
+    } else if (const auto *J = dyn_cast<JumpInstr>(I)) {
+      Leader[J->target()] = true;
+    }
+    if (K[P] == IKind::Exit && P + 1 < N)
+      Leader[P + 1] = true;
+  }
+  return Leader;
+}
+
+//===----------------------------------------------------------------------===//
+// Hook-safe tier: per-block compilation
+//===----------------------------------------------------------------------===//
+
+/// Compiles the hook-safe block starting at leader \p Start, or returns
+/// false when no instruction there compiles. The block body is emitted into
+/// \p E; descriptor fields (all but Code) are filled in \p B.
+bool compileBlock(const FnCtx &C, const std::vector<IKind> &K, size_t Start,
+                  X64Emitter &E, CompiledBlock &B) {
+  CellTable T;
+  size_t N = C.F.Instrs.size();
+  size_t PC = Start;
+  unsigned NumInstrs = 0;
+  B.Kind = CompiledBlock::Term::FallThrough;
+
+  while (PC < N) {
+    const Instr *I = C.F.Instrs[PC].get();
+    // Reserve this instruction's cells up front so emission can't overflow
+    // the runtime pointer table mid-instruction.
+    std::vector<std::pair<bool, unsigned>> Cells;
+    if (K[PC] == IKind::NativeStore)
+      collectStoreCells(cast<StoreInstr>(I), Cells);
+    else if (K[PC] == IKind::NativeCond)
+      collectCells(cast<CondJumpInstr>(I)->cond(), Cells);
+    bool Fits = T.size() + T.countNew(Cells) <= kMaxCells;
+
+    if (K[PC] == IKind::NativeStore && Fits) {
+      emitStore(E, T, cast<StoreInstr>(I));
+      ++NumInstrs;
+      ++PC;
+      continue;
+    }
+    if (K[PC] == IKind::Jump) {
+      ++NumInstrs;
+      B.Kind = CompiledBlock::Term::Jump;
+      B.JumpTarget = cast<JumpInstr>(I)->target();
+      B.TermPC = static_cast<unsigned>(PC);
+      break;
+    }
+    if (K[PC] == IKind::NativeCond && Fits) {
+      const auto *CJ = cast<CondJumpInstr>(I);
+      emitExpr(E, T, CJ->cond());
+      ++NumInstrs; // the branch itself retires natively; hooks fire after
+      B.Kind = CompiledBlock::Term::CondBranch;
+      B.TermPC = static_cast<unsigned>(PC);
+      B.CJ = CJ;
+      break;
+    }
+    // Interpreter-only instruction (or cell table full): deopt here.
+    B.Kind = CompiledBlock::Term::FallThrough;
+    B.TermPC = static_cast<unsigned>(PC);
+    break;
+  }
+  if (NumInstrs == 0 || PC >= N)
+    return false; // well-formed IR always breaks at a terminator
+
+  if (B.Kind != CompiledBlock::Term::CondBranch)
+    E.xorEaxEax(); // no condition value to report
+  E.ret();
+  B.NumInstrs = NumInstrs;
+  B.Keys = T.take();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Hook-free tier: whole-function units
+//===----------------------------------------------------------------------===//
+
+/// Compiles the whole function as one native unit with internal jumps.
+/// Returns false when the function would exceed kMaxCells or contains
+/// nothing worth running natively.
+bool compileUnit(const FnCtx &C, X64Emitter &E, FnUnit &U) {
+  size_t N = C.F.Instrs.size();
+  if (N == 0)
+    return false;
+  std::vector<IKind> K = classify(C, /*HookSafe=*/false);
+
+  bool AnyNative = false;
+  CellTable Probe;
+  std::vector<std::pair<bool, unsigned>> AllCells;
+  for (size_t P = 0; P < N; ++P) {
+    if (K[P] == IKind::NativeStore) {
+      collectStoreCells(cast<StoreInstr>(C.F.Instrs[P].get()), AllCells);
+      AnyNative = true;
+    } else if (K[P] == IKind::NativeCond) {
+      collectCells(cast<CondJumpInstr>(C.F.Instrs[P].get())->cond(),
+                   AllCells);
+      AnyNative = true;
+    }
+  }
+  if (!AnyNative || Probe.countNew(AllCells) > kMaxCells)
+    return false;
+
+  std::vector<bool> Leader = computeLeaders(C, K);
+  CellTable T;
+  std::vector<size_t> Off(N, 0);
+  struct Fixup {
+    size_t Pos;
+    unsigned TargetPC;
+  };
+  std::vector<Fixup> Fixups;
+  struct BudgetStub {
+    size_t JsPos;
+    unsigned PC;
+    int32_t Steps;
+  };
+  std::vector<BudgetStub> Stubs;
+  U.EntryOff.assign(N, -1);
+
+  for (size_t P = 0; P < N; ++P) {
+    Off[P] = E.size();
+    // A leader that runs natively opens with a step-budget check covering
+    // its whole straight-line run (stores never trap, so once the check
+    // passes every instruction of the run retires).
+    if (Leader[P] && K[P] != IKind::Exit) {
+      U.EntryOff[P] = static_cast<int32_t>(E.size());
+      int32_t Run = 0;
+      for (size_t Q = P;; ++Q) {
+        ++Run;
+        if (K[Q] == IKind::Jump || K[Q] == IKind::NativeCond)
+          break; // run ends with its own control transfer
+        if (Q + 1 >= N || K[Q + 1] == IKind::Exit || Leader[Q + 1])
+          break;
+      }
+      E.subRsiImm32(Run);
+      Stubs.push_back({E.jccRel32(0x8), static_cast<unsigned>(P), Run});
+    }
+    switch (K[P]) {
+    case IKind::NativeStore:
+      emitStore(E, T, cast<StoreInstr>(C.F.Instrs[P].get()));
+      break;
+    case IKind::Jump:
+      Fixups.push_back(
+          {E.jmpRel32(), cast<JumpInstr>(C.F.Instrs[P].get())->target()});
+      break;
+    case IKind::NativeCond: {
+      const auto *CJ = cast<CondJumpInstr>(C.F.Instrs[P].get());
+      emitExpr(E, T, CJ->cond());
+      E.testRaxRax();
+      Fixups.push_back({E.jccRel32(0x5), CJ->trueTarget()}); // jnz taken
+      Fixups.push_back({E.jmpRel32(), CJ->falseTarget()});
+      break;
+    }
+    case IKind::Exit:
+      // Return to the interpreter at this PC, budget untouched.
+      E.movEaxImm32(static_cast<uint32_t>(P));
+      E.movRdxRsi();
+      E.ret();
+      break;
+    }
+  }
+  // Budget-exhausted stubs: refund the whole run (nothing of it executed)
+  // and hand the PC back to the interpreter, which owns the exact
+  // per-instruction StepLimit semantics.
+  for (const BudgetStub &S : Stubs) {
+    E.patchRel32(S.JsPos, E.size());
+    E.addRsiImm32(S.Steps);
+    E.movEaxImm32(S.PC);
+    E.movRdxRsi();
+    E.ret();
+  }
+  for (const Fixup &F : Fixups)
+    E.patchRel32(F.Pos, Off[F.TargetPC]);
+  U.Keys = T.take();
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JitProgram assembly
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<const JitProgram>
+JitProgram::build(const IRModule &M, const std::string &ToplevelName) {
+  if (!jitSupported())
+    return nullptr;
+#if !DART_JIT_HAVE_MMAP
+  return nullptr;
+#else
+  TaintResult Taint = runTaintAnalysis(M, ToplevelName);
+
+  std::unique_ptr<JitProgram> P(new JitProgram());
+  std::vector<uint8_t> Image;
+  auto Align16 = [&Image] {
+    while (Image.size() % 16 != 0)
+      Image.push_back(0xcc); // int3 padding between fragments
+  };
+
+  for (size_t FI = 0; FI < M.functions().size(); ++FI) {
+    const IRFunction &F = *M.functions()[FI];
+    FnCtx C{M, F, static_cast<unsigned>(FI), Taint};
+    P->Fns.emplace_back();
+    FnJit &FJ = P->Fns.back();
+    FJ.Blocks.assign(F.Instrs.size(), nullptr);
+
+    // Hook-safe blocks: one per leader whose first instruction compiles.
+    std::vector<IKind> KSafe = classify(C, /*HookSafe=*/true);
+    std::vector<bool> Leader = computeLeaders(C, KSafe);
+    for (size_t PC = 0; PC < F.Instrs.size(); ++PC) {
+      if (!Leader[PC])
+        continue;
+      X64Emitter E;
+      CompiledBlock B;
+      if (!compileBlock(C, KSafe, PC, E, B))
+        continue;
+      Align16();
+      B.CodeOff = Image.size();
+      Image.insert(Image.end(), E.Code.begin(), E.Code.end());
+      P->BlockStore.push_back(std::move(B));
+      FJ.Blocks[PC] = &P->BlockStore.back();
+      FJ.HasBlocks = true;
+      ++P->Stats.BlocksCompiled;
+    }
+
+    // Hook-free whole-function unit.
+    X64Emitter UE;
+    if (compileUnit(C, UE, FJ.Unit)) {
+      Align16();
+      FJ.Unit.CodeOff = Image.size();
+      FJ.Unit.CodeLen = UE.Code.size();
+      Image.insert(Image.end(), UE.Code.begin(), UE.Code.end());
+      ++P->Stats.UnitsCompiled;
+    }
+
+    if (FJ.HasBlocks || FJ.Unit.CodeLen != 0)
+      P->Index[&F] = P->Fns.size() - 1;
+  }
+
+  if (Image.empty())
+    return nullptr; // nothing compiled anywhere — run pure interpreter
+
+  // One contiguous W^X image: map writable, copy, then flip to RX.
+  void *Mem = mmap(nullptr, Image.size(), PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return nullptr;
+  std::memcpy(Mem, Image.data(), Image.size());
+  if (mprotect(Mem, Image.size(), PROT_READ | PROT_EXEC) != 0) {
+    munmap(Mem, Image.size());
+    return nullptr;
+  }
+  P->ExecBase = static_cast<uint8_t *>(Mem);
+  P->ExecSize = Image.size();
+  P->Stats.CodeBytes = Image.size();
+
+  for (CompiledBlock &B : P->BlockStore)
+    B.Code = reinterpret_cast<BlockFn>(P->ExecBase + B.CodeOff);
+  for (FnJit &FJ : P->Fns)
+    if (FJ.Unit.CodeLen != 0)
+      FJ.Unit.Base = P->ExecBase + FJ.Unit.CodeOff;
+
+  return P;
+#endif
+}
+
+JitProgram::~JitProgram() {
+#if DART_JIT_HAVE_MMAP
+  if (ExecBase)
+    munmap(ExecBase, ExecSize);
+#endif
+}

@@ -1,0 +1,168 @@
+//===- Jit.h - Baseline JIT: IR blocks as native x86-64 code ----*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution-tier layer: straight-line arithmetic, direct scalar
+/// loads/stores and branches of the RAM-machine IR compile to x86-64
+/// machine code; everything else (calls, copies, returns, computed
+/// addresses, div/rem fault paths, symbolic stores) trampolines back into
+/// the interpreter, which remains the semantic oracle. A DART session is
+/// byte-identical with the JIT on or off — same runs, bugs, models,
+/// coverage, step counts — because the compiled subset replicates
+/// Interp::eval exactly and every conditional still reaches the
+/// instrumentation hooks.
+///
+/// Two tiers are compiled per function:
+///
+///  - **Blocks** (hook-safe): used whenever ExecHooks are installed, i.e.
+///    every concolic run. A block covers a maximal run of compilable
+///    instructions from a leader PC and ends *at* a conditional — the
+///    branch value is computed natively, then the runtime fires onBranch
+///    (checkpoint capture, Fig. 4 stack update) exactly as the interpreter
+///    would. Stores compile only when the interprocedural taint analysis
+///    (src/analysis/Taint.h, layered on aliasTrackableSlots points-to)
+///    proves both the destination cell and the stored expression can never
+///    be symbolic: for such stores ConcolicRun::onStore is a no-op
+///    (evaluate returns concrete, eraseRange touches no cells), so
+///    skipping the hook is invisible.
+///
+///  - **Units** (hook-free): used when no hooks are installed — the §4.1
+///    random-testing baseline. The whole function body becomes one native
+///    unit with internal jumps; conditionals branch natively, and the unit
+///    only exits at non-compilable instructions or when the remaining step
+///    budget can't cover the next straight-line run (preserving the exact
+///    StepLimit semantics of the per-instruction interpreter counter).
+///
+/// Cell addressing: the compiled subset only touches direct frame slots
+/// and globals — each is its own COW region at offset 0, so the runtime
+/// passes an array of raw host byte pointers (derived fresh at every
+/// native entry via Memory::jitCellPtr, which pins written pages private
+/// ahead of the write — the COW page rule snapshots rely on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_JIT_JIT_H
+#define DART_JIT_JIT_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dart::jit {
+
+/// Is native execution available in this build on this machine? False on
+/// non-x86-64 hosts, under sanitizers, and when configured with
+/// -DDART_JIT=OFF — callers fall back to the interpreter silently.
+bool jitSupported();
+
+/// One cell a compiled fragment reads or writes: a frame slot of the
+/// function (IsGlobal false) or a module global. The runtime resolves the
+/// key to a raw host pointer at every native entry.
+struct SlotKey {
+  bool IsGlobal = false;
+  bool Write = false;
+  unsigned Index = 0;
+};
+
+/// Hard cap on distinct cells per compiled fragment (the runtime derives
+/// pointers into a fixed-size stack array).
+inline constexpr size_t kMaxCells = 64;
+
+/// Hook-safe tier: int64_t (*)(cell pointers) returning the condition
+/// value for CondBranch terminators (unused otherwise).
+using BlockFn = int64_t (*)(uint8_t *const *Cells);
+
+struct CompiledBlock {
+  BlockFn Code = nullptr;
+  /// Interpreter steps the block retires, including a Jump/CondJump
+  /// terminator (FallThrough terminators are not executed natively).
+  unsigned NumInstrs = 0;
+  /// FallThrough: first PC the interpreter must execute. CondBranch: the
+  /// conditional's own PC (the pc the branch hook contract requires).
+  unsigned TermPC = 0;
+  enum class Term : uint8_t { FallThrough, Jump, CondBranch };
+  Term Kind = Term::FallThrough;
+  unsigned JumpTarget = 0;           ///< Term::Jump
+  const CondJumpInstr *CJ = nullptr; ///< Term::CondBranch
+  std::vector<SlotKey> Keys;
+  size_t CodeOff = 0; ///< build-time offset into the code image
+};
+
+/// Hook-free tier exit descriptor, returned in rax:rdx.
+struct FnExit {
+  uint64_t PC;         ///< where the interpreter resumes
+  uint64_t BudgetLeft; ///< unspent step budget (consumed = in - out)
+};
+using UnitFn = FnExit (*)(uint8_t *const *Cells, uint64_t Budget);
+
+/// Hook-free tier: the whole function as one native unit.
+struct FnUnit {
+  const uint8_t *Base = nullptr;
+  /// Per PC: offset of its native entry point (a step-budget check), or -1
+  /// when that PC must be entered through the interpreter.
+  std::vector<int32_t> EntryOff;
+  std::vector<SlotKey> Keys;
+  size_t CodeOff = 0, CodeLen = 0; ///< build-time
+};
+
+/// Both tiers for one function.
+struct FnJit {
+  /// Hook-safe blocks indexed by leader PC (null = no block starts here).
+  std::vector<const CompiledBlock *> Blocks;
+  bool HasBlocks = false;
+  /// Hook-free whole-function unit (Base null when not compiled, e.g. the
+  /// function touches more than kMaxCells cells).
+  FnUnit Unit;
+};
+
+/// Compile-time statistics (per session; runtime counters live in the VM).
+struct JitBuildStats {
+  uint64_t BlocksCompiled = 0;
+  uint64_t UnitsCompiled = 0;
+  uint64_t CodeBytes = 0;
+};
+
+/// The compiled image of one module: immutable after build, shared
+/// read-only by every VM (and every parallel worker) of the session.
+class JitProgram {
+public:
+  /// Compiles every function of \p M. \p ToplevelName seeds the taint
+  /// analysis that decides which stores are hook-safe. Returns null when
+  /// native execution is unsupported or executable memory is unavailable.
+  static std::unique_ptr<const JitProgram> build(const IRModule &M,
+                                                 const std::string &ToplevelName);
+
+  /// The compiled tiers for \p F, or null if nothing compiled.
+  const FnJit *fnJit(const IRFunction *F) const {
+    auto It = Index.find(F);
+    return It == Index.end() ? nullptr : &Fns[It->second];
+  }
+
+  const JitBuildStats &stats() const { return Stats; }
+
+  ~JitProgram();
+  JitProgram(const JitProgram &) = delete;
+  JitProgram &operator=(const JitProgram &) = delete;
+
+private:
+  JitProgram() = default;
+
+  std::unordered_map<const IRFunction *, size_t> Index;
+  std::deque<FnJit> Fns;
+  std::deque<CompiledBlock> BlockStore;
+  JitBuildStats Stats;
+  uint8_t *ExecBase = nullptr;
+  size_t ExecSize = 0;
+};
+
+} // namespace dart::jit
+
+#endif // DART_JIT_JIT_H

@@ -1,0 +1,231 @@
+//===- X64Emitter.h - Minimal x86-64 encoder for the baseline JIT -*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough of an x86-64 assembler for the template JIT: an accumulator
+/// scheme over rax (current value) and rcx (scratch/left operand), with the
+/// cell-pointer table in rdi and the step budget in rsi. Every helper
+/// appends its encoding to a plain byte vector; the JitProgram copies the
+/// bytes into executable memory once the whole module is compiled, so no
+/// relocation beyond unit-local rel32 fixups is ever needed.
+///
+/// The emitted code must replicate the interpreter bit-for-bit, so the
+/// helpers mirror Interp's eval() contract: every expression result is held
+/// canonicalized (ValType::canonicalize) in the full 64-bit register.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_JIT_X64EMITTER_H
+#define DART_JIT_X64EMITTER_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace dart::jit {
+
+class X64Emitter {
+public:
+  std::vector<uint8_t> Code;
+
+  size_t size() const { return Code.size(); }
+
+  void byte(uint8_t B) { Code.push_back(B); }
+  void bytes(std::initializer_list<uint8_t> Bs) {
+    Code.insert(Code.end(), Bs);
+  }
+  void imm32(int32_t V) {
+    for (int I = 0; I < 4; ++I)
+      byte(static_cast<uint8_t>((static_cast<uint32_t>(V) >> (8 * I)) & 0xff));
+  }
+  void imm64(int64_t V) {
+    for (int I = 0; I < 8; ++I)
+      byte(static_cast<uint8_t>((static_cast<uint64_t>(V) >> (8 * I)) & 0xff));
+  }
+  /// Patches a previously emitted rel32 at \p Pos to land on \p Target
+  /// (both are offsets into Code).
+  void patchRel32(size_t Pos, size_t Target) {
+    int32_t Rel = static_cast<int32_t>(static_cast<int64_t>(Target) -
+                                       (static_cast<int64_t>(Pos) + 4));
+    for (int I = 0; I < 4; ++I)
+      Code[Pos + I] =
+          static_cast<uint8_t>((static_cast<uint32_t>(Rel) >> (8 * I)) & 0xff);
+  }
+
+  // --- Loading the accumulator -------------------------------------------
+
+  void movRaxImm(int64_t V) {
+    if (V >= INT32_MIN && V <= INT32_MAX) {
+      bytes({0x48, 0xc7, 0xc0}); // mov rax, imm32 (sign-extended)
+      imm32(static_cast<int32_t>(V));
+    } else {
+      bytes({0x48, 0xb8}); // movabs rax, imm64
+      imm64(V);
+    }
+  }
+
+  /// rcx <- Cells[Key] (the cell-pointer table lives in rdi).
+  void movRcxCellPtr(unsigned Key) {
+    int32_t Disp = static_cast<int32_t>(8 * Key);
+    if (Disp == 0) {
+      bytes({0x48, 0x8b, 0x0f}); // mov rcx, [rdi]
+    } else if (Disp < 128) {
+      bytes({0x48, 0x8b, 0x4f, static_cast<uint8_t>(Disp)});
+    } else {
+      bytes({0x48, 0x8b, 0x8f}); // mov rcx, [rdi+disp32]
+      imm32(Disp);
+    }
+  }
+
+  /// rax <- canonical load of \p VT from [rcx] (matches Mem.load +
+  /// ValType::canonicalize: little-endian bytes, then sign/zero-extend).
+  void loadRaxFromRcx(ValType VT) {
+    switch (VT.SizeBytes) {
+    case 1:
+      if (VT.Signed)
+        bytes({0x48, 0x0f, 0xbe, 0x01}); // movsx rax, byte [rcx]
+      else
+        bytes({0x48, 0x0f, 0xb6, 0x01}); // movzx rax, byte [rcx]
+      break;
+    case 4:
+      if (VT.Signed)
+        bytes({0x48, 0x63, 0x01}); // movsxd rax, dword [rcx]
+      else
+        bytes({0x8b, 0x01}); // mov eax, [rcx] (zero-extends)
+      break;
+    default:
+      bytes({0x48, 0x8b, 0x01}); // mov rax, [rcx]
+      break;
+    }
+  }
+
+  /// [rcx] <- low VT.SizeBytes of rax (matches Mem.store's little-endian
+  /// truncation; rax already holds the canonical value).
+  void storeRaxToRcx(ValType VT) {
+    switch (VT.SizeBytes) {
+    case 1:
+      bytes({0x88, 0x01}); // mov [rcx], al
+      break;
+    case 4:
+      bytes({0x89, 0x01}); // mov [rcx], eax
+      break;
+    default:
+      bytes({0x48, 0x89, 0x01}); // mov [rcx], rax
+      break;
+    }
+  }
+
+  // --- ALU (operands per the interpreter's applyBinary) ------------------
+
+  void pushRax() { byte(0x50); }
+  void popRcx() { byte(0x59); }
+  void movRaxRcx() { bytes({0x48, 0x89, 0xc8}); } // mov rax, rcx
+  void xchgRaxRcx() { bytes({0x48, 0x91}); }
+  void negRax() { bytes({0x48, 0xf7, 0xd8}); }
+  void notRax() { bytes({0x48, 0xf7, 0xd0}); }
+  void addRaxRcx() { bytes({0x48, 0x01, 0xc8}); }
+  void subRcxRax() { bytes({0x48, 0x29, 0xc1}); } // rcx -= rax
+  void imulRaxRcx() { bytes({0x48, 0x0f, 0xaf, 0xc1}); }
+  void andRaxRcx() { bytes({0x48, 0x21, 0xc8}); }
+  void orRaxRcx() { bytes({0x48, 0x09, 0xc8}); }
+  void xorRaxRcx() { bytes({0x48, 0x31, 0xc8}); }
+  void andEcxImm8(uint8_t Mask) { bytes({0x83, 0xe1, Mask}); }
+  void shlRaxCl() { bytes({0x48, 0xd3, 0xe0}); }
+  void sarRaxCl() { bytes({0x48, 0xd3, 0xf8}); }
+  void shrRaxCl() { bytes({0x48, 0xd3, 0xe8}); }
+  void cmpRcxRax() { bytes({0x48, 0x39, 0xc1}); }
+  void testRaxRax() { bytes({0x48, 0x85, 0xc0}); }
+  void xorEaxEax() { bytes({0x31, 0xc0}); }
+  void ret() { byte(0xc3); }
+
+  /// setcc al; movzx eax, al — leaves the 0/1 comparison result canonical.
+  /// \p CC is the x86 condition-code nibble (e.g. 0x4 = e, 0xC = l).
+  void setccRax(uint8_t CC) {
+    bytes({0x0f, static_cast<uint8_t>(0x90 | CC), 0xc0}); // setcc al
+    bytes({0x0f, 0xb6, 0xc0});                            // movzx eax, al
+  }
+
+  /// Re-canonicalizes rax to \p VT in place (the interpreter's
+  /// ValType::canonicalize after every arithmetic step).
+  void canonRax(ValType VT) {
+    switch (VT.SizeBytes) {
+    case 1:
+      if (VT.Signed)
+        bytes({0x48, 0x0f, 0xbe, 0xc0}); // movsx rax, al
+      else
+        bytes({0x0f, 0xb6, 0xc0}); // movzx eax, al
+      break;
+    case 4:
+      if (VT.Signed)
+        bytes({0x48, 0x63, 0xc0}); // movsxd rax, eax
+      else
+        bytes({0x89, 0xc0}); // mov eax, eax
+      break;
+    default:
+      break; // 8-byte values are already canonical
+    }
+  }
+
+  // --- Step budget (whole-function units; budget counter in rsi) ---------
+
+  void subRsiImm32(int32_t K) {
+    bytes({0x48, 0x81, 0xee});
+    imm32(K);
+  }
+  void addRsiImm32(int32_t K) {
+    bytes({0x48, 0x81, 0xc6});
+    imm32(K);
+  }
+  /// mov eax, imm32 (zero-extends into rax — exit PCs fit 32 bits).
+  void movEaxImm32(uint32_t V) {
+    byte(0xb8);
+    imm32(static_cast<int32_t>(V));
+  }
+  void movRdxRsi() { bytes({0x48, 0x89, 0xf2}); }
+
+  /// jmp rel32; returns the offset of the rel32 for patching.
+  size_t jmpRel32() {
+    byte(0xe9);
+    size_t Pos = size();
+    imm32(0);
+    return Pos;
+  }
+  /// jcc rel32; \p CC is the condition-code nibble (0x5 = nz, 0x8 = s).
+  size_t jccRel32(uint8_t CC) {
+    bytes({0x0f, static_cast<uint8_t>(0x80 | CC)});
+    size_t Pos = size();
+    imm32(0);
+    return Pos;
+  }
+};
+
+/// x86 condition-code nibble for an IR comparison under \p OperandVT's
+/// signedness rule (pointers and unsigned types compare unsigned —
+/// mirroring the interpreter's applyCmp on canonical 64-bit values).
+inline uint8_t cmpConditionCode(CmpPred P, ValType OperandVT) {
+  bool Uns = OperandVT.IsPointer || !OperandVT.Signed;
+  switch (P) {
+  case CmpPred::Eq:
+    return 0x4; // e
+  case CmpPred::Ne:
+    return 0x5; // ne
+  case CmpPred::Lt:
+    return Uns ? 0x2 : 0xc; // b : l
+  case CmpPred::Le:
+    return Uns ? 0x6 : 0xe; // be : le
+  case CmpPred::Gt:
+    return Uns ? 0x7 : 0xf; // a : g
+  case CmpPred::Ge:
+    return Uns ? 0x3 : 0xd; // ae : ge
+  }
+  return 0x4;
+}
+
+} // namespace dart::jit
+
+#endif // DART_JIT_X64EMITTER_H

@@ -53,8 +53,8 @@ struct ConcolicHarness {
                                           std::move(Predicted), Options);
     VM = std::make_unique<Interp>(*Program.Module);
     VM->setHooks(Hooks.get());
-    auto ParamAddrs = VM->beginCall(Fn, Args);
-    ASSERT_TRUE(ParamAddrs.has_value());
+    auto *ParamAddrs = VM->beginCall(Fn, Args);
+    ASSERT_NE(ParamAddrs, nullptr);
     for (size_t I = 0; I < Args.size(); ++I)
       Hooks->bindInput((*ParamAddrs)[I], ValType::int32(),
                        static_cast<InputId>(I));

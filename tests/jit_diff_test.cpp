@@ -1,0 +1,238 @@
+//===- jit_diff_test.cpp - JIT-vs-interpreter search equivalence ----------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The native tier (DartOptions::Jit) is a pure performance lever: with the
+// JIT on and off, a DART session over the same program and seed must
+// produce the *same* bug sets, coverage bitmaps, run counts, solver
+// schedules, and step totals — compiled fragments replicate the
+// interpreter bit-for-bit and every conditional still reaches the
+// instrumentation hooks. This suite pins that down over the §4 workloads
+// and the examples/minic sources, at --jobs 1 (byte-exact, including every
+// model value and run number) and --jobs 4 (content-identical), in random
+// and directed modes, and with snapshot-resume both on and off (compiled
+// blocks end *at* checkpoint sites, so the interaction matters).
+//
+// When jitSupported() is false, the --jit on sessions silently run the
+// interpreter; the comparisons then still hold trivially, so the suite
+// stays green on non-x86-64 and sanitizer builds (the "degrades with a
+// warning, not an error" contract).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "jit/Jit.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dart;
+using namespace dart::test;
+
+namespace {
+
+struct Scenario {
+  std::string Name;
+  std::string Source;
+  std::string Toplevel;
+  unsigned Depth;
+  uint64_t Seed;
+  unsigned MaxRuns;
+};
+
+std::string readExample(const std::string &FileName) {
+  std::ifstream In(std::string(DART_MINIC_DIR) + "/" + FileName);
+  EXPECT_TRUE(In.good()) << "cannot read example " << FileName;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+const char *introSource() {
+  return R"(
+    int f(int x) { return 2 * x; }
+    int h(int x, int y) {
+      if (x != y)
+        if (f(x) == x + 10)
+          abort();
+      return 0;
+    }
+  )";
+}
+
+/// §4 workloads whose exploration completes within the budget: safe at any
+/// job count.
+std::vector<Scenario> completingScenarios() {
+  return {
+      {"intro", introSource(), "h", 1, 42, 200},
+      {"ac_controller", workloads::acControllerSource(), "ac_controller", 2,
+       2005, 2000},
+      {"ac_controller_deep", workloads::acControllerSource(),
+       "ac_controller", 4, 2005, 2000},
+      {"minisip_get_host", workloads::miniSipSource(), "sip_uri_get_host", 1,
+       11, 300},
+      {"minisip_receive", workloads::miniSipSource(), "sip_receive", 1, 11,
+       300},
+  };
+}
+
+/// Deep, budget-truncated searches: --jobs 1 only (a truncated parallel
+/// frontier is schedule-dependent; see snapshot_diff_test's file comment).
+std::vector<Scenario> truncatedDeepScenarios() {
+  return {
+      {"ac_controller_d8", workloads::acControllerSource(), "ac_controller",
+       8, 2005, 1500},
+      {"minisip_receive_d32", workloads::miniSipSource(), "sip_receive", 32,
+       11, 400},
+  };
+}
+
+/// The shipped examples/minic sources (read from the source tree).
+std::vector<Scenario> minicScenarios() {
+  return {
+      {"filters_route", readExample("filters.c"), "route", 4, 2005, 1000},
+      {"lint_clean_clamp", readExample("lint_clean.c"), "clamp", 4, 7, 500},
+      {"lint_seeded", readExample("lint_seeded.c"), "seeded", 1, 3, 200},
+  };
+}
+
+DartReport runJit(const Scenario &S, bool Jit, unsigned Jobs,
+                  bool RandomOnly = false, bool Snapshots = true) {
+  auto D = compile(S.Source);
+  DartOptions Opts;
+  Opts.ToplevelName = S.Toplevel;
+  Opts.Depth = S.Depth;
+  Opts.Seed = S.Seed;
+  Opts.MaxRuns = S.MaxRuns;
+  Opts.Jobs = Jobs;
+  Opts.StopAtFirstError = false; // collect every distinct error path
+  Opts.Jit = Jit;
+  Opts.RandomOnly = RandomOnly;
+  Opts.Snapshots = Snapshots;
+  return D->run(Opts);
+}
+
+/// Every bug, with its exact inputs. Run numbers are only meaningful at
+/// --jobs 1 (the parallel numbering follows the worker schedule).
+std::vector<std::string> bugList(const DartReport &R, bool WithRunNumbers) {
+  std::vector<std::string> Out;
+  for (const BugInfo &B : R.Bugs) {
+    if (WithRunNumbers) {
+      Out.push_back(B.toString());
+      continue;
+    }
+    std::string Sig = B.Error.toString();
+    for (const auto &[InputName, Value] : B.Inputs)
+      Sig += " " + InputName + "=" + std::to_string(Value);
+    Out.push_back(std::move(Sig));
+  }
+  return Out;
+}
+
+void expectIdentical(const DartReport &On, const DartReport &Off,
+                     const std::string &Name, bool WithRunNumbers) {
+  EXPECT_EQ(On.Runs, Off.Runs) << Name;
+  EXPECT_EQ(On.Restarts, Off.Restarts) << Name;
+  EXPECT_EQ(On.ForcingMismatches, Off.ForcingMismatches) << Name;
+  EXPECT_EQ(On.BugFound, Off.BugFound) << Name;
+  EXPECT_EQ(bugList(On, WithRunNumbers), bugList(Off, WithRunNumbers))
+      << Name;
+  EXPECT_EQ(On.CompleteExploration, Off.CompleteExploration) << Name;
+  EXPECT_EQ(On.BranchDirectionsCovered, Off.BranchDirectionsCovered) << Name;
+  EXPECT_EQ(On.Coverage, Off.Coverage) << Name << ": coverage bitmap";
+  EXPECT_EQ(On.SolverCalls, Off.SolverCalls) << Name;
+  // Native fragments only retire instructions the interpreter would have
+  // retired: even the step totals agree.
+  EXPECT_EQ(On.TotalSteps, Off.TotalSteps) << Name;
+  // And the interpreter baseline must truly not have dispatched natively.
+  EXPECT_FALSE(Off.Jit.Enabled) << Name;
+  EXPECT_EQ(Off.Jit.NativeInstrs, 0u) << Name;
+}
+
+} // namespace
+
+TEST(JitDiff, SequentialByteIdenticalAcrossTiers) {
+  uint64_t TotalNative = 0;
+  std::vector<Scenario> All = completingScenarios();
+  for (Scenario &S : truncatedDeepScenarios())
+    All.push_back(std::move(S));
+  for (const Scenario &S : All) {
+    DartReport On = runJit(S, /*Jit=*/true, /*Jobs=*/1);
+    DartReport Off = runJit(S, /*Jit=*/false, /*Jobs=*/1);
+    expectIdentical(On, Off, S.Name, /*WithRunNumbers=*/true);
+    TotalNative += On.Jit.NativeInstrs;
+  }
+  if (jit::jitSupported()) {
+    EXPECT_GT(TotalNative, 0u) << "the native tier was never exercised";
+  }
+}
+
+TEST(JitDiff, ParallelIdenticalAcrossTiers) {
+  for (const Scenario &S : completingScenarios()) {
+    DartReport On = runJit(S, /*Jit=*/true, /*Jobs=*/4);
+    DartReport Off = runJit(S, /*Jit=*/false, /*Jobs=*/4);
+    expectIdentical(On, Off, S.Name, /*WithRunNumbers=*/false);
+  }
+}
+
+TEST(JitDiff, MinicExamplesIdenticalAtBothJobCounts) {
+  for (const Scenario &S : minicScenarios()) {
+    DartReport On1 = runJit(S, /*Jit=*/true, /*Jobs=*/1);
+    DartReport Off1 = runJit(S, /*Jit=*/false, /*Jobs=*/1);
+    expectIdentical(On1, Off1, S.Name + "/j1", /*WithRunNumbers=*/true);
+    DartReport On4 = runJit(S, /*Jit=*/true, /*Jobs=*/4);
+    DartReport Off4 = runJit(S, /*Jit=*/false, /*Jobs=*/4);
+    expectIdentical(On4, Off4, S.Name + "/j4", /*WithRunNumbers=*/false);
+  }
+}
+
+TEST(JitDiff, IdenticalWithSnapshotResumeOnAndOff) {
+  // Checkpoint interaction: compiled blocks end *at* conditionals, where
+  // checkpoints capture, so the four (jit, snapshots) combinations must
+  // all agree — resumed runs re-enter native code mid-path.
+  std::vector<Scenario> Some = {completingScenarios()[1],
+                                completingScenarios()[4]};
+  for (const Scenario &S : Some) {
+    for (unsigned Jobs : {1u, 4u}) {
+      bool Exact = Jobs == 1;
+      DartReport JitSnap = runJit(S, true, Jobs, false, /*Snapshots=*/true);
+      DartReport JitNoSnap =
+          runJit(S, true, Jobs, false, /*Snapshots=*/false);
+      DartReport IntSnap = runJit(S, false, Jobs, false, /*Snapshots=*/true);
+      expectIdentical(JitSnap, IntSnap, S.Name + "/snap", Exact);
+      EXPECT_EQ(JitSnap.Runs, JitNoSnap.Runs) << S.Name;
+      EXPECT_EQ(JitSnap.TotalSteps, JitNoSnap.TotalSteps) << S.Name;
+      EXPECT_EQ(bugList(JitSnap, Exact), bugList(JitNoSnap, Exact))
+          << S.Name;
+      if (jit::jitSupported() && Jobs == 1) {
+        EXPECT_GT(JitSnap.Jit.NativeInstrs, 0u) << S.Name;
+      }
+    }
+  }
+}
+
+TEST(JitDiff, RandomOnlyIdenticalAcrossTiers) {
+  // The §4.1 random-testing baseline takes the hook-free whole-function
+  // tier — a different code path from the hook-safe blocks.
+  Scenario S{"ac_controller_random", workloads::acControllerSource(),
+             "ac_controller", 6, 2005, 4000};
+  for (unsigned Jobs : {1u, 4u}) {
+    DartReport On = runJit(S, /*Jit=*/true, Jobs, /*RandomOnly=*/true);
+    DartReport Off = runJit(S, /*Jit=*/false, Jobs, /*RandomOnly=*/true);
+    std::string Name = S.Name + "/j" + std::to_string(Jobs);
+    EXPECT_EQ(On.Runs, Off.Runs) << Name;
+    EXPECT_EQ(On.BugFound, Off.BugFound) << Name;
+    EXPECT_EQ(bugList(On, Jobs == 1), bugList(Off, Jobs == 1)) << Name;
+    EXPECT_EQ(On.TotalSteps, Off.TotalSteps) << Name;
+    if (jit::jitSupported()) {
+      EXPECT_GT(On.Jit.NativeInstrs, 0u) << Name;
+    }
+  }
+}

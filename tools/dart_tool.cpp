@@ -21,6 +21,7 @@
 
 #include "analysis/Lint.h"
 #include "core/Dart.h"
+#include "jit/Jit.h"
 #include "support/Diagnostics.h"
 
 #include <cstdio>
@@ -75,6 +76,10 @@ int usage() {
       "                        identical either way)\n"
       "  --snapshot-budget <mib>  resident checkpoint byte budget in MiB,\n"
       "                        LRU-evicted; 0 = unbounded (default 64)\n"
+      "  --jit <on|off>        native x86-64 execution tier (default on;\n"
+      "                        the search is byte-identical either way —\n"
+      "                        degrades to the interpreter with a warning\n"
+      "                        on unsupported hosts and sanitizer builds)\n"
       "  --log-runs            print a one-line summary of every run\n"
       "  --stats               print constraint-pipeline and snapshot\n"
       "                        statistics after the run (for audit:\n"
@@ -194,6 +199,22 @@ CliOptions parseArgs(int argc, char **argv) {
       const char *V = Next();
       Cli.Dart.SnapshotBudgetBytes =
           V ? strtoull(V, nullptr, 10) << 20 : Cli.Dart.SnapshotBudgetBytes;
+    } else if (Arg == "--jit") {
+      const char *V = Next();
+      if (V && std::strcmp(V, "off") == 0) {
+        Cli.Dart.Jit = false;
+      } else if (V && std::strcmp(V, "on") == 0) {
+        Cli.Dart.Jit = true;
+        if (!jit::jitSupported())
+          std::fprintf(stderr,
+                       "warning: --jit on, but native execution is "
+                       "unavailable in this build (non-x86-64, sanitizer, "
+                       "or -DDART_JIT=OFF); using the interpreter\n");
+      } else {
+        std::fprintf(stderr, "--jit expects 'on' or 'off'\n");
+        Cli.Ok = false;
+        return Cli;
+      }
     } else if (Arg == "--log-runs") {
       Cli.Dart.LogRuns = true;
     } else if (Arg == "--stats") {
@@ -251,6 +272,25 @@ void printPipelineStats(const DartReport &R) {
               100.0 * Snap.resumedInstructionFraction());
   std::printf("  peak resident checkpoint bytes: %llu\n",
               (unsigned long long)Snap.PeakResidentBytes);
+  const JitStats &J = R.Jit;
+  std::printf("jit stats:\n");
+  if (!J.Enabled) {
+    std::printf("  disabled (interpreter only)\n");
+    return;
+  }
+  std::printf("  compiled: %llu blocks, %llu whole-function units, %llu "
+              "code bytes\n",
+              (unsigned long long)J.BlocksCompiled,
+              (unsigned long long)J.UnitsCompiled,
+              (unsigned long long)J.CodeBytes);
+  std::printf("  native entries: %llu, deopts to interpreter: %llu\n",
+              (unsigned long long)J.BlockEntries,
+              (unsigned long long)J.Deopts);
+  uint64_t Total = Snap.InstructionsExecuted;
+  std::printf("  instructions: %llu native of %llu executed (%.1f%% "
+              "native share)\n",
+              (unsigned long long)J.NativeInstrs, (unsigned long long)Total,
+              100.0 * J.nativeFraction(Total));
 }
 
 int runTest(Dart &D, CliOptions &Cli) {
