@@ -27,11 +27,33 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace dart::bench {
 
 inline bool fullMode() {
   const char *Env = std::getenv("DART_BENCH_FULL");
   return Env && Env[0] == '1';
+}
+
+/// Peak resident set size of this process in MiB (0.0 where getrusage is
+/// unavailable). Monotone over the process lifetime, so a row records the
+/// high-water mark up to the point it was measured.
+inline double peakRssMib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage U;
+  if (getrusage(RUSAGE_SELF, &U) != 0)
+    return 0.0;
+#if defined(__APPLE__)
+  return double(U.ru_maxrss) / (1024.0 * 1024.0); // bytes
+#else
+  return double(U.ru_maxrss) / 1024.0; // KiB
+#endif
+#else
+  return 0.0;
+#endif
 }
 
 inline std::unique_ptr<Dart> compileOrDie(const std::string &Source,
@@ -73,6 +95,7 @@ struct ParallelBenchRow {
   double ElapsedSec = 0.0;
   double RunsPerSec = 0.0;
   double CacheHitRate = 0.0;
+  double PeakRssMib = 0.0;
 };
 
 /// Fraction of solver queries answered from a shared Unsat cache — the
@@ -102,9 +125,11 @@ inline void writeParallelBenchJson(const std::string &Path,
                  "    {\"workers\": %u, \"runs\": %u, "
                  "\"elapsed_sec\": %.6f, \"elapsed_ms\": %.3f, "
                  "\"runs_per_sec\": %.1f, "
-                 "\"solver_cache_hit_rate\": %.4f}%s\n",
+                 "\"solver_cache_hit_rate\": %.4f, "
+                 "\"peak_rss_mib\": %.1f}%s\n",
                  R.Workers, R.Runs, R.ElapsedSec, R.ElapsedSec * 1e3,
                  R.RunsPerSec, R.CacheHitRate,
+                 R.PeakRssMib > 0.0 ? R.PeakRssMib : peakRssMib(),
                  I + 1 < Rows.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");
@@ -122,6 +147,7 @@ struct StaticPruneRow {
   unsigned Coverage = 0;
   double ElapsedOnSec = 0.0;
   double ElapsedOffSec = 0.0;
+  double PeakRssMib = 0.0;
   bool Identical = false; ///< runs/bugs/coverage match across the axis
 };
 
@@ -142,12 +168,14 @@ inline void writeStaticPruneJson(const std::string &Path,
                  "\"solver_calls_off\": %llu, \"runs\": %u, "
                  "\"coverage\": %u, \"elapsed_on_sec\": %.6f, "
                  "\"elapsed_off_sec\": %.6f, \"elapsed_on_ms\": %.3f, "
-                 "\"elapsed_off_ms\": %.3f, \"identical_search\": %s}%s\n",
+                 "\"elapsed_off_ms\": %.3f, \"peak_rss_mib\": %.1f, "
+                 "\"identical_search\": %s}%s\n",
                  R.Workload.c_str(),
                  static_cast<unsigned long long>(R.SolverCallsOn),
                  static_cast<unsigned long long>(R.SolverCallsOff), R.Runs,
                  R.Coverage, R.ElapsedOnSec, R.ElapsedOffSec,
                  R.ElapsedOnSec * 1e3, R.ElapsedOffSec * 1e3,
+                 R.PeakRssMib > 0.0 ? R.PeakRssMib : peakRssMib(),
                  R.Identical ? "true" : "false",
                  I + 1 < Rows.size() ? "," : "");
   }
@@ -170,6 +198,7 @@ struct DistanceRow {
   unsigned RunsDistance = 0;
   double ElapsedDfsSec = 0.0;
   double ElapsedDistanceSec = 0.0;
+  double PeakRssMib = 0.0;
   bool SameCoverage = false; ///< both orders reach the same terminal set
 };
 
@@ -191,11 +220,13 @@ inline void writeDistanceJson(const std::string &Path,
                  "\"runs_to_cover_distance\": %u, \"runs_dfs\": %u, "
                  "\"runs_distance\": %u, \"elapsed_dfs_sec\": %.6f, "
                  "\"elapsed_distance_sec\": %.6f, \"elapsed_dfs_ms\": %.3f, "
-                 "\"elapsed_distance_ms\": %.3f, \"same_coverage\": %s}%s\n",
+                 "\"elapsed_distance_ms\": %.3f, \"peak_rss_mib\": %.1f, "
+                 "\"same_coverage\": %s}%s\n",
                  R.Workload.c_str(), R.Jobs, R.Coverage, R.RunsToCoverDfs,
                  R.RunsToCoverDistance, R.RunsDfs, R.RunsDistance,
                  R.ElapsedDfsSec, R.ElapsedDistanceSec,
                  R.ElapsedDfsSec * 1e3, R.ElapsedDistanceSec * 1e3,
+                 R.PeakRssMib > 0.0 ? R.PeakRssMib : peakRssMib(),
                  R.SameCoverage ? "true" : "false",
                  I + 1 < Rows.size() ? "," : "");
   }
@@ -218,6 +249,7 @@ struct SnapshotRow {
   uint64_t PeakResidentBytes = 0;
   double ElapsedOnSec = 0.0;
   double ElapsedOffSec = 0.0;
+  double PeakRssMib = 0.0;
   bool Identical = false; ///< search observables match across the axis
 
   double reduction() const {
@@ -245,7 +277,7 @@ inline void writeSnapshotJson(const std::string &Path,
                  "\"peak_resident_bytes\": %llu, "
                  "\"elapsed_on_sec\": %.6f, \"elapsed_off_sec\": %.6f, "
                  "\"elapsed_on_ms\": %.3f, \"elapsed_off_ms\": %.3f, "
-                 "\"identical_search\": %s}%s\n",
+                 "\"peak_rss_mib\": %.1f, \"identical_search\": %s}%s\n",
                  R.Workload.c_str(), R.Jobs, R.Runs,
                  static_cast<unsigned long long>(R.ExecutedOn),
                  static_cast<unsigned long long>(R.ExecutedOff),
@@ -255,7 +287,9 @@ inline void writeSnapshotJson(const std::string &Path,
                  R.reduction(),
                  static_cast<unsigned long long>(R.PeakResidentBytes),
                  R.ElapsedOnSec, R.ElapsedOffSec, R.ElapsedOnSec * 1e3,
-                 R.ElapsedOffSec * 1e3, R.Identical ? "true" : "false",
+                 R.ElapsedOffSec * 1e3,
+                 R.PeakRssMib > 0.0 ? R.PeakRssMib : peakRssMib(),
+                 R.Identical ? "true" : "false",
                  I + 1 < Rows.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");
@@ -276,6 +310,7 @@ struct JitRow {
   uint64_t Executed = 0;     ///< total instructions the session executed
   double ElapsedOnMs = 0.0;
   double ElapsedOffMs = 0.0;
+  double PeakRssMib = 0.0;
   bool Identical = false; ///< search observables match across the axis
 
   double nativeShare() const {
@@ -303,11 +338,13 @@ inline void writeJitJson(const std::string &Path,
                  "\"runs\": %u, \"native_instrs\": %llu, "
                  "\"executed_instrs\": %llu, \"native_share\": %.4f, "
                  "\"elapsed_on_ms\": %.3f, \"elapsed_off_ms\": %.3f, "
-                 "\"speedup\": %.2f, \"identical_search\": %s}%s\n",
+                 "\"speedup\": %.2f, \"peak_rss_mib\": %.1f, "
+                 "\"identical_search\": %s}%s\n",
                  R.Workload.c_str(), R.Mode.c_str(), R.Jobs, R.Runs,
                  static_cast<unsigned long long>(R.NativeInstrs),
                  static_cast<unsigned long long>(R.Executed),
                  R.nativeShare(), R.ElapsedOnMs, R.ElapsedOffMs, R.speedup(),
+                 R.PeakRssMib > 0.0 ? R.PeakRssMib : peakRssMib(),
                  R.Identical ? "true" : "false",
                  I + 1 < Rows.size() ? "," : "");
   }

@@ -363,8 +363,25 @@ void printSnapshotAblation() {
       SnapshotRow Row;
       Row.Workload = C.Name;
       Row.Jobs = Jobs;
-      DartReport On = Run(true, Row.ElapsedOnSec);
-      DartReport Off = Run(false, Row.ElapsedOffSec);
+      // Instruction counts are deterministic per configuration; wall-clock
+      // is not at the millisecond scale these sessions run at. Interleave
+      // on/off repetitions and report the median elapsed of each arm so
+      // the table reflects the axis, not scheduler noise.
+      constexpr int kElapsedReps = 5;
+      std::vector<double> ElapsedOn, ElapsedOff;
+      DartReport On, Off;
+      for (int Rep = 0; Rep < kElapsedReps; ++Rep) {
+        double SecOn = 0.0, SecOff = 0.0;
+        On = Run(true, SecOn);
+        Off = Run(false, SecOff);
+        ElapsedOn.push_back(SecOn);
+        ElapsedOff.push_back(SecOff);
+      }
+      std::sort(ElapsedOn.begin(), ElapsedOn.end());
+      std::sort(ElapsedOff.begin(), ElapsedOff.end());
+      Row.ElapsedOnSec = ElapsedOn[kElapsedReps / 2];
+      Row.ElapsedOffSec = ElapsedOff[kElapsedReps / 2];
+      Row.PeakRssMib = peakRssMib();
       Row.Runs = On.Runs;
       Row.ExecutedOn = On.Snapshot.InstructionsExecuted;
       Row.ExecutedOff = Off.Snapshot.InstructionsExecuted;

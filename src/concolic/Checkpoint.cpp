@@ -8,110 +8,213 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace dart;
 
-void CheckpointRecorder::captureAt(size_t K, const CompletenessFlags &Flags,
-                                   size_t SymLogPos, size_t CovLogPos) {
+static uint64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CheckpointRecorder::reset() {
+  Entries.clear();
+  MemBase = Memory::Snapshot();
+  GlobalAddrs.clear();
+  CowBase = VM.memory().cowStats();
+  LastLevel = 0;
+  LevelStride = 1;
+  DeferCount = 0;
+  HasCapture = false;
+  CallIndex = 0;
+}
+
+bool CheckpointRecorder::captureAt(size_t K, const CompletenessFlags &Flags,
+                                   size_t SymLogPos, size_t CovLogPos,
+                                   const BranchSiteInfo &Site) {
+  InputId Level = InputsCreated();
+  if (!Policy.CaptureAllConditionals) {
+    // Level gating: resumeFor only ever selects the deepest entry of an
+    // input level (see the file comment in Checkpoint.h), so conditionals
+    // within an already-captured level are provably useless to capture.
+    if (HasCapture && Level < LastLevel + LevelStride)
+      return false;
+    // Frontier feedback: within the level, prefer to sit just before a
+    // branch whose negation the search can still schedule toward fresh
+    // coverage — entries anywhere in a level serve the same children, and
+    // deeper placement shortens every replay. Bounded deferral so levels
+    // whose branches are all settled still get their entry (it serves
+    // children resuming *past* this level too).
+    bool Worthy = Site.NegationSchedulable && !Site.NegationCovered;
+    if (Worthy && NegationPriorities &&
+        Site.NegationBit < NegationPriorities->size() &&
+        (*NegationPriorities)[Site.NegationBit] == UINT32_MAX)
+      Worthy = false; // distance prior: flip cannot reach uncovered code
+    if (!Worthy && DeferCount < Policy.MaxDeferConditionals) {
+      ++DeferCount;
+      return false;
+    }
+    // Demand feedback: skip levels no scheduled child has ever resumed
+    // into (after warmup). A mispredicted skip only makes some future
+    // child resume one level shallower or replay fully — never wrong.
+    if (Demand && Demand->warm(Policy.DemandWarmup) &&
+        !Demand->anyDemandIn(Level, Level + Policy.DemandWindow)) {
+      LastLevel = Level;
+      HasCapture = true;
+      DeferCount = 0;
+      ++SkippedByDemandTotal;
+      return false;
+    }
+  }
+
+  uint64_t T0 = nowNanos();
   CheckpointEntry E;
-  E.Vm = VM.snapshot();
+  E.Vm = VM.snapshotDelta(MemBase);
   // The branch hook fires mid-CondJump, after the step counter already
   // ticked for it. Store the pre-instruction count so the resumed run
   // re-executes the CondJump and reproduces identical step totals.
   assert(E.Vm.Steps > 0 && "branch hook before any step?");
   --E.Vm.Steps;
   E.BranchIndex = K;
-  E.InputsCreated = InputsCreated();
+  E.InputsCreated = Level;
   E.CallIndex = CallIndex;
   E.Flags = Flags;
   E.SymLogPos = SymLogPos;
   E.CovLogPos = CovLogPos;
+  if (Entries.empty())
+    GlobalAddrs = VM.globalAddrs();
+
+  if (Entries.size() >= Policy.MaxEntriesPerRun && Entries.size() >= 2) {
+    // Geometric thinning: fold every second entry into its successor
+    // (delta composition keeps the chain replayable) and double the level
+    // stride, so entry spacing grows with run depth while staying under
+    // the cap. The final entry always survives — MemBase anchors there.
+    std::vector<CheckpointEntry> Kept;
+    Kept.reserve(Entries.size() / 2 + 1);
+    size_t I = 0;
+    for (; I + 1 < Entries.size(); I += 2) {
+      CheckpointEntry &Drop = Entries[I];
+      CheckpointEntry &Keep = Entries[I + 1];
+      Memory::composeDelta(Drop.Vm.Mem, std::move(Keep.Vm.Mem));
+      Keep.Vm.Mem = std::move(Drop.Vm.Mem);
+      Kept.push_back(std::move(Keep));
+    }
+    if (I < Entries.size())
+      Kept.push_back(std::move(Entries[I]));
+    Entries = std::move(Kept);
+    if (LevelStride < (InputId(1) << 24))
+      LevelStride *= 2;
+  }
+
   Entries.push_back(std::move(E));
+  HasCapture = true;
+  LastLevel = Level;
+  DeferCount = 0;
+  if (Policy.LevelStrideGrowth > 1 && LevelStride < (InputId(1) << 24))
+    LevelStride *= Policy.LevelStrideGrowth;
+  CaptureNanosTotal += nowNanos() - T0;
+  return true;
 }
 
 std::shared_ptr<CheckpointPack>
 CheckpointRecorder::finalize(ConcolicRun &Run, const PathData &Path,
                              std::vector<InputInfo> Registry) {
   auto Pack = std::make_shared<CheckpointPack>();
-  Pack->Entries = std::move(Entries);
+  auto C = std::make_shared<CheckpointPack::Contents>();
+  C->Entries = std::move(Entries);
   Entries.clear();
-  Pack->FinalCovCount = Run.coveredCount();
-  Pack->FinalS = Run.takeSymbolicMemory();
-  Pack->SymLog = Run.takeSymJournal();
-  Pack->CovLog = Run.takeCovLog();
-  Pack->FinalCov = Run.takeCoveredBits();
-  Pack->ConstraintTrace = Path.Constraints;
-  Pack->Registry = std::move(Registry);
-  Pack->NumEntries = Pack->Entries.size();
+  C->GlobalAddrs = std::move(GlobalAddrs);
+  GlobalAddrs.clear();
+  MemBase = Memory::Snapshot();
+  C->FinalCovCount = Run.coveredCount();
+  C->FinalS = Run.takeSymbolicMemory();
+  C->SymLog = Run.takeSymJournal();
+  C->CovLog = Run.takeCovLog();
+  C->FinalCov = Run.takeCoveredBits();
+  C->ConstraintTrace = Path.Constraints;
+  C->Registry = std::move(Registry);
+  Pack->NumEntries = C->Entries.size();
 
-  // Rough resident-byte estimate for the eviction ledger: per-entry
-  // snapshot roots, the shared logs/state, and the pages this run dirtied
-  // (pinned by the entry snapshots even after the run's Memory dies).
-  size_t B = sizeof(CheckpointPack);
-  for (const CheckpointEntry &E : Pack->Entries)
+  // Resident-byte estimate for the eviction ledger: per-entry deltas (the
+  // pairs plus the chunk clones they pin), the shared logs/state, and the
+  // pages *this run* dirtied (pinned by the entry deltas even after the
+  // run's Memory moves on) — a per-run clone delta, not the session
+  // cumulative, so pooled VMs stay accurately accounted.
+  size_t B = sizeof(CheckpointPack) + sizeof(CheckpointPack::Contents);
+  for (const CheckpointEntry &E : C->Entries)
     B += sizeof(CheckpointEntry) + E.Vm.approxBytes();
-  B += Pack->SymLog.size() * (sizeof(SymMemUndo) + 32);
-  B += Pack->FinalS.size() * 64;
-  B += Pack->CovLog.capacity() * sizeof(uint32_t);
-  B += Pack->FinalCov.size() / 8;
-  B += Pack->ConstraintTrace.size() * sizeof(PredId);
-  B += Pack->Registry.size() * sizeof(InputInfo);
-  B += VM.memory().cowStats().PageClones * Memory::kPageSize;
+  B += C->SymLog.size() * (sizeof(SymMemUndo) + 32);
+  B += C->FinalS.size() * 64;
+  B += C->CovLog.capacity() * sizeof(uint32_t);
+  B += C->FinalCov.size() / 8;
+  B += C->ConstraintTrace.size() * sizeof(PredId);
+  B += C->Registry.size() * sizeof(InputInfo);
+  B += C->GlobalAddrs.size() * sizeof(Addr);
+  const Memory::CowStats &Now = VM.memory().cowStats();
+  B += (Now.PageClones - CowBase.PageClones) * Memory::kPageSize;
+  CowBase = Now;
   Pack->ApproxBytes = B;
+  Pack->C = std::move(C);
   return Pack;
 }
 
 std::optional<MaterializedCheckpoint>
 CheckpointPack::resumeFor(InputId MinChangedId) const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  if (Evicted || Entries.empty())
+  // Pin the contents, then materialize without the lock: immutable after
+  // finalize, and the pin keeps an eviction from freeing them mid-read.
+  std::shared_ptr<const Contents> P;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    P = C;
+  }
+  if (!P || P->Entries.empty())
     return std::nullopt;
   // Deepest entry whose inputs all predate every changed input. Entries
   // are in capture order, so InputsCreated is nondecreasing.
   auto It = std::upper_bound(
-      Entries.begin(), Entries.end(), MinChangedId,
+      P->Entries.begin(), P->Entries.end(), MinChangedId,
       [](InputId Id, const CheckpointEntry &E) { return Id < E.InputsCreated; });
-  if (It == Entries.begin())
+  if (It == P->Entries.begin())
     return std::nullopt; // even the first conditional saw a changed input
   const CheckpointEntry &E = *std::prev(It);
 
   MaterializedCheckpoint M;
-  M.Vm = E.Vm; // COW roots: O(chunks + call depth)
-  M.S = FinalS;
-  M.S.rollback(SymLog, E.SymLogPos);
-  M.Cov = FinalCov;
-  for (size_t I = E.CovLogPos; I < CovLog.size(); ++I)
-    M.Cov[CovLog[I]] = false;
+  // Compose the delta chain forward into a full image. O(sum of delta
+  // sizes up to the entry) — bounded by MaxEntriesPerRun small deltas.
+  for (auto I = P->Entries.begin(); I != It; ++I)
+    Memory::applyDelta(M.Vm.Mem, I->Vm.Mem);
+  M.Vm.Stack = E.Vm.Stack;
+  M.Vm.GlobalAddrs = P->GlobalAddrs;
+  M.Vm.Steps = E.Vm.Steps;
+  M.S = P->FinalS;
+  M.S.rollback(P->SymLog, E.SymLogPos);
+  M.Cov = P->FinalCov;
+  for (size_t I = E.CovLogPos; I < P->CovLog.size(); ++I)
+    M.Cov[P->CovLog[I]] = false;
   M.CovCount =
-      FinalCovCount - static_cast<unsigned>(CovLog.size() - E.CovLogPos);
-  M.Constraints.assign(ConstraintTrace.begin(),
-                       ConstraintTrace.begin() + E.BranchIndex);
+      P->FinalCovCount - static_cast<unsigned>(P->CovLog.size() - E.CovLogPos);
+  M.Constraints.assign(P->ConstraintTrace.begin(),
+                       P->ConstraintTrace.begin() + E.BranchIndex);
   M.BranchIndex = E.BranchIndex;
   M.InputsCreated = E.InputsCreated;
   M.CallIndex = E.CallIndex;
   M.Flags = E.Flags;
   M.SkippedSteps = E.Vm.Steps;
-  M.RegistryPrefix.assign(Registry.begin(),
-                          Registry.begin() + E.InputsCreated);
+  M.RegistryPrefix.assign(P->Registry.begin(),
+                          P->Registry.begin() + E.InputsCreated);
   return M;
 }
 
 void CheckpointPack::release() {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Evicted = true;
-  Entries.clear();
-  Entries.shrink_to_fit();
-  FinalS = SymbolicMemory();
-  SymLog.clear();
-  SymLog.shrink_to_fit();
-  CovLog.clear();
-  CovLog.shrink_to_fit();
-  FinalCov.clear();
-  FinalCov.shrink_to_fit();
-  ConstraintTrace.clear();
-  ConstraintTrace.shrink_to_fit();
-  Registry.clear();
-  Registry.shrink_to_fit();
+  std::shared_ptr<const Contents> Dead;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Dead = std::move(C);
+    C = nullptr;
+  }
+  // Dead destroys outside the lock (and only once the last concurrent
+  // resumeFor drops its pin).
 }
 
 std::optional<InputId>
@@ -130,20 +233,39 @@ dart::minChangedInput(const std::map<InputId, int64_t> &Model,
 void CheckpointLedger::admit(std::shared_ptr<CheckpointPack> Pack) {
   std::lock_guard<std::mutex> Lock(Mu);
   // Drop packs nothing references any more (no queued child can resume
-  // from them); they are free memory, not evictions.
-  for (auto It = Live.begin(); It != Live.end();) {
-    if (It->use_count() == 1) {
-      Resident -= (*It)->approxBytes();
-      It = Live.erase(It);
-    } else {
-      ++It;
+  // from them); they are free memory, not evictions. The sweep is
+  // amortized — O(live) work only when the list doubled since the last
+  // sweep — so admits stay O(1) on average even when a parallel frontier
+  // keeps hundreds of packs alive (a per-admit sweep under this global
+  // mutex serializes the workers).
+  if (Live.size() >= SweepWatermark) {
+    for (auto It = Live.begin(); It != Live.end();) {
+      if (It->use_count() == 1) {
+        Resident -= (*It)->approxBytes();
+        It = Live.erase(It);
+      } else {
+        ++It;
+      }
     }
+    SweepWatermark = std::max<size_t>(kMinSweepWatermark, 2 * Live.size());
   }
   Resident += Pack->approxBytes();
   Live.push_back(std::move(Pack));
   Peak = std::max(Peak, Resident);
   if (Budget == 0)
     return;
+  if (Resident > Budget) {
+    // Over budget: free dead packs before sacrificing live ones.
+    for (auto It = Live.begin(); It != Live.end();) {
+      if (It->use_count() == 1) {
+        Resident -= (*It)->approxBytes();
+        It = Live.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    SweepWatermark = std::max<size_t>(kMinSweepWatermark, 2 * Live.size());
+  }
   // Oldest-first eviction; a single over-budget pack evicts itself (the
   // search then just replays fully — still correct, never wrong).
   while (Resident > Budget && !Live.empty()) {

@@ -16,14 +16,26 @@
 ///   model changed has id >= N_i (inputs are created in execution order,
 ///   and the prefix before conditional i only ever reads inputs < N_i).
 ///
-/// CheckpointRecorder captures one CheckpointEntry per conditional of a
-/// run (VM snapshot via the COW Memory, O(chunks); symbolic state via log
-/// positions into undo journals) and finalizes them into an immutable
-/// CheckpointPack. resumeFor(minChangedId) picks the deepest valid entry
-/// and materializes a complete resume state: VM image, symbolic memory S
-/// (final S rolled back through the journal), coverage bitmap (final
-/// bitmap with later-set bits cleared), constraint prefix (stable PredIds
-/// in the shared arena), and the input-registry prefix.
+/// CheckpointRecorder captures CheckpointEntries *selectively* (see
+/// CheckpointPolicy: one entry per input level, deferred to schedulable
+/// frontier sites, geometrically thinned under a per-run cap) as chunk
+/// deltas against the previous entry (Memory::snapshotDelta, O(dirty));
+/// symbolic state rides as log positions into undo journals. finalize
+/// seals everything into an immutable CheckpointPack.
+/// resumeFor(minChangedId) picks the deepest valid entry and materializes
+/// a complete resume state: VM image (delta chain composed forward),
+/// symbolic memory S (final S rolled back through the journal), coverage
+/// bitmap (final bitmap with later-set bits cleared), constraint prefix
+/// (stable PredIds in the shared arena), and the input-registry prefix.
+///
+/// Why input levels are the only capture points that matter: resumeFor
+/// selects the deepest entry with InputsCreated <= minChanged, and a
+/// child flipping conditional j always has minChanged strictly below
+/// InputsCreated(j) (the model must perturb an input the flipped
+/// constraint reads, and those were all created before j executed). So
+/// among entries sharing an InputsCreated value, only the deepest can
+/// ever be selected — capturing once per distinct value loses almost
+/// nothing, and cuts capture work from O(conditionals) to O(inputs).
 ///
 /// Packs are shared by value (shared_ptr) across parallel workers:
 /// contents are immutable after finalize, materialization copies COW
@@ -40,6 +52,8 @@
 #include "interp/Interp.h"
 #include "symbolic/SymExpr.h"
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -52,16 +66,88 @@
 namespace dart {
 
 /// One capture point: the state "about to execute conditional
-/// BranchIndex". Scalars plus log positions; the bulky shared state
-/// (final S, journals, constraint trace) lives once per pack.
+/// BranchIndex", stored as a memory delta against the previous entry
+/// (entry 0's delta is a full image). Scalars plus log positions; the
+/// bulky shared state (final S, journals, constraint trace, global
+/// addresses) lives once per pack.
 struct CheckpointEntry {
-  Interp::Snapshot Vm;    ///< VM mid-CondJump; Steps excludes the CondJump
+  Interp::SnapshotDelta Vm; ///< VM mid-CondJump; Steps excludes the CondJump
   size_t BranchIndex = 0; ///< K at capture
   InputId InputsCreated = 0; ///< inputs existing before this conditional
   unsigned CallIndex = 0; ///< driver toplevel-call loop position (§3.2)
   CompletenessFlags Flags;
   size_t SymLogPos = 0; ///< S undo-journal length at capture
   size_t CovLogPos = 0; ///< coverage log length at capture
+};
+
+/// Capture cost model knobs (see DESIGN.md "The capture cost model").
+struct CheckpointPolicy {
+  /// Hard cap on entries per run. Reaching it folds every second entry
+  /// into its successor (composeDelta) and doubles LevelStride, so entry
+  /// spacing grows geometrically with run depth.
+  unsigned MaxEntriesPerRun = 96;
+  /// After each capture the minimum input-level gap to the next capture
+  /// is multiplied by this factor (the gap resets to 1 each run), so a
+  /// run contributes O(log depth) entries at geometrically spaced levels.
+  /// Sparse tails are a feature, not just a saving: a child resuming
+  /// shallow re-executes more prefix and thereby re-captures the low
+  /// levels *its* children gate on — levels a deep resume would have
+  /// skipped right past and never recorded. 1 = capture every level.
+  unsigned LevelStrideGrowth = 2;
+  /// A new input level normally triggers a capture at its first
+  /// conditional; when that branch's negation is unschedulable or already
+  /// covered, the capture is deferred up to this many conditionals in the
+  /// hope of landing just before a branch the search can still flip
+  /// (entries within a level serve the same children; deeper = shorter
+  /// replays). 0 = never defer.
+  unsigned MaxDeferConditionals = 3;
+  /// Cross-run demand feedback: once this many minChanged samples were
+  /// observed, levels whose first DemandWindow input ids were never the
+  /// gate of any scheduled child are skipped entirely. 0 = never skip.
+  unsigned DemandWarmup = 64;
+  /// Input-id window a level's entry is credited for (see above).
+  unsigned DemandWindow = 32;
+  /// Escape hatch: capture at every conditional like the original
+  /// implementation (ablation/debugging; deltas and caps still apply).
+  bool CaptureAllConditionals = false;
+};
+
+/// Session-wide, lock-free record of which input ids have acted as the
+/// resume gate (minChangedInput) of a scheduled child. Engines record;
+/// recorders consult it to skip capturing levels no child ever resumes
+/// into. Purely heuristic: a stale or missed bit only shifts which
+/// resumes hit, never the search.
+class CaptureDemand {
+public:
+  static constexpr InputId kTrackedIds = 4096;
+
+  void record(InputId Id) {
+    Samples.fetch_add(1, std::memory_order_relaxed);
+    if (Id < kTrackedIds)
+      Bits[Id / 64].fetch_or(uint64_t(1) << (Id % 64),
+                             std::memory_order_relaxed);
+  }
+  bool warm(uint64_t Warmup) const {
+    return Warmup != 0 && Samples.load(std::memory_order_relaxed) >= Warmup;
+  }
+  /// True if any id in [Lo, Hi) was ever recorded. Ids beyond the tracked
+  /// range are conservatively treated as demanded.
+  bool anyDemandIn(InputId Lo, InputId Hi) const {
+    if (Hi > kTrackedIds)
+      return true;
+    for (InputId I = Lo; I < Hi;) {
+      uint64_t Word = Bits[I / 64].load(std::memory_order_relaxed);
+      InputId WordEnd = (I / 64 + 1) * 64;
+      for (; I < Hi && I < WordEnd; ++I)
+        if (Word & (uint64_t(1) << (I % 64)))
+          return true;
+    }
+    return false;
+  }
+
+private:
+  std::array<std::atomic<uint64_t>, kTrackedIds / 64> Bits{};
+  std::atomic<uint64_t> Samples{0};
 };
 
 /// A fully reconstructed resume point, independent of the pack it came
@@ -81,8 +167,10 @@ struct MaterializedCheckpoint {
 };
 
 /// All checkpoints of one run, immutable once finalized. Thread-safe:
-/// resumeFor and release serialize on an internal mutex, so a ledger on
-/// one thread can evict while workers on others attempt resumes.
+/// the contents live behind one shared_ptr swapped under a mutex, so
+/// resumeFor grabs a reference in O(1) and materializes lock-free —
+/// speculative siblings resuming from the same parent never serialize —
+/// while a ledger eviction on another thread stays safe.
 class CheckpointPack {
 public:
   /// Deepest entry valid for a child whose model changed no input below
@@ -101,36 +189,58 @@ public:
 private:
   friend class CheckpointRecorder;
 
-  std::vector<CheckpointEntry> Entries;
-  SymbolicMemory FinalS;
-  SymbolicMemory::Journal SymLog;
-  std::vector<uint32_t> CovLog; ///< bits set by the run, in order
-  std::vector<bool> FinalCov;
-  unsigned FinalCovCount = 0;
-  std::vector<PredId> ConstraintTrace; ///< the run's full constraint list
-  std::vector<InputInfo> Registry;     ///< input registry at end of run
+  /// Everything materialization reads; immutable after finalize.
+  struct Contents {
+    std::vector<CheckpointEntry> Entries; ///< delta chain, capture order
+    std::vector<Addr> GlobalAddrs; ///< immutable within a run; stored once
+    SymbolicMemory FinalS;
+    SymbolicMemory::Journal SymLog;
+    std::vector<uint32_t> CovLog; ///< bits set by the run, in order
+    std::vector<bool> FinalCov;
+    unsigned FinalCovCount = 0;
+    std::vector<PredId> ConstraintTrace; ///< the run's full constraint list
+    std::vector<InputInfo> Registry;     ///< input registry at end of run
+  };
+
+  std::shared_ptr<const Contents> C; ///< null once evicted
   size_t ApproxBytes = 0;
   size_t NumEntries = 0;
-  bool Evicted = false;
-  mutable std::mutex Mu;
+  mutable std::mutex Mu; ///< guards the C swap only, never the reads
 };
 
-/// The BranchCaptureHook implementation one run carries: snapshots the VM
-/// at every conditional and assembles the pack when the run ends.
+/// The BranchCaptureHook implementation one run carries: applies the
+/// capture cost model at each conditional, snapshots deltas at the chosen
+/// ones, and assembles the pack when the run ends. Pooled engines keep
+/// one recorder per worker and reset() it between runs.
 class CheckpointRecorder : public BranchCaptureHook {
 public:
   /// \p InputsCreated reports the driver's inputs-created-so-far counter
   /// (InputManager::inputsThisRun) — a callback to keep this layer free of
-  /// a dependency on the driver.
-  CheckpointRecorder(Interp &VM, std::function<InputId()> InputsCreated)
-      : VM(VM), InputsCreated(std::move(InputsCreated)) {}
+  /// a dependency on the driver. \p Demand (optional) feeds cross-run
+  /// level-demand feedback; \p NegationPriorities (optional, distance
+  /// strategy) lets the recorder treat flips the distance map proved
+  /// unreachable-from-uncovered as unschedulable. Both must outlive the
+  /// recorder; the priorities vector may be reassigned between runs.
+  CheckpointRecorder(Interp &VM, std::function<InputId()> InputsCreated,
+                     CheckpointPolicy Policy = {},
+                     const CaptureDemand *Demand = nullptr,
+                     const std::vector<uint32_t> *NegationPriorities = nullptr)
+      : VM(VM), InputsCreated(std::move(InputsCreated)), Policy(Policy),
+        Demand(Demand), NegationPriorities(NegationPriorities) {
+    CowBase = VM.memory().cowStats();
+  }
 
   /// Driver loop position, updated by executeDartRun before each toplevel
   /// call so captures know where to resume the call loop.
   unsigned CallIndex = 0;
 
-  void captureAt(size_t K, const CompletenessFlags &Flags, size_t SymLogPos,
-                 size_t CovLogPos) override;
+  /// Rewinds per-run state for the next run (cumulative counters like
+  /// captureNanos survive). Also re-baselines the COW clone counters used
+  /// for the pinned-page estimate, so pooled VMs account per run.
+  void reset();
+
+  bool captureAt(size_t K, const CompletenessFlags &Flags, size_t SymLogPos,
+                 size_t CovLogPos, const BranchSiteInfo &Site) override;
 
   /// Consumes \p Run's final state (symbolic memory, journals, coverage)
   /// plus the completed path's constraint trace and the input registry,
@@ -141,11 +251,27 @@ public:
                                            std::vector<InputInfo> Registry);
 
   size_t numCaptured() const { return Entries.size(); }
+  /// Cumulative wall time spent capturing (across resets).
+  uint64_t captureNanos() const { return CaptureNanosTotal; }
+  /// Cumulative levels skipped by demand feedback (across resets).
+  uint64_t levelsSkippedByDemand() const { return SkippedByDemandTotal; }
 
 private:
   Interp &VM;
   std::function<InputId()> InputsCreated;
+  CheckpointPolicy Policy;
+  const CaptureDemand *Demand;
+  const std::vector<uint32_t> *NegationPriorities;
   std::vector<CheckpointEntry> Entries;
+  Memory::Snapshot MemBase; ///< memory image as of the last entry
+  std::vector<Addr> GlobalAddrs; ///< grabbed at the run's first capture
+  Memory::CowStats CowBase; ///< cowStats at reset (per-run clone deltas)
+  InputId LastLevel = 0;    ///< InputsCreated at the last capture/skip
+  InputId LevelStride = 1;  ///< min level advance between captures
+  unsigned DeferCount = 0;  ///< conditionals deferred within this level
+  bool HasCapture = false;  ///< some capture/skip decision was made
+  uint64_t CaptureNanosTotal = 0;
+  uint64_t SkippedByDemandTotal = 0;
 };
 
 /// Smallest input id whose model value differs from the parent run's
@@ -174,11 +300,14 @@ public:
   uint64_t evictions() const;
 
 private:
+  static constexpr size_t kMinSweepWatermark = 32;
+
   uint64_t Budget;
   mutable std::mutex Mu;
   uint64_t Resident = 0;
   uint64_t Peak = 0;
   uint64_t Evictions = 0;
+  size_t SweepWatermark = kMinSweepWatermark; ///< amortized-sweep trigger
   std::list<std::shared_ptr<CheckpointPack>> Live; ///< admission order
 };
 

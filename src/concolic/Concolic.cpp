@@ -300,16 +300,48 @@ void ConcolicRun::onCopy(EvalContext &Ctx, Addr Dst, Addr Src,
 
 bool ConcolicRun::onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
                            bool Taken) {
-  // Checkpoint capture: before any of this branch's effects (constraint,
-  // coverage bit, stack update, flag fallbacks) commit, so a resumed run
-  // re-executes conditional K itself and reproduces them identically.
-  if (Capture)
-    Capture->captureAt(K, Flags, SymJournal.size(), CovLog.size());
-
-  // Path constraint contribution (Fig. 3, conditional case).
+  // Path constraint contribution (Fig. 3, conditional case). Evaluated
+  // before the capture hook — the evaluation reads VM memory and S but
+  // mutates neither (only Flags, saved below), so the capture still
+  // describes the state "about to execute conditional K" while knowing
+  // whether the branch is flippable.
+  CompletenessFlags PreFlags = Flags;
   std::optional<SymPred> C =
       Eval.branchPredicate(Ctx, Branch.cond(), Taken, Flags);
   bool Flippable = C.has_value();
+
+  // Checkpoint capture: before any of this branch's effects (constraint,
+  // coverage bit, stack update, flag fallbacks) commit, so a resumed run
+  // re-executes conditional K itself and reproduces them identically.
+  if (Capture) {
+    BranchSiteInfo Site;
+    size_t NegBit = 2 * size_t(Branch.siteId()) + (Taken ? 0 : 1);
+    Site.Flippable = Flippable;
+    Site.NegationBit = static_cast<uint32_t>(NegBit);
+    Site.NegationCovered = NegBit < CoveredBits.size() && CoveredBits[NegBit];
+    if (K < Stack.size()) {
+      // Prefix position: the prediction's record says whether the search
+      // may still flip it (the flip position itself becomes done below).
+      Site.NegationSchedulable =
+          Flippable && !Stack[K].Done && K + 1 != Stack.size();
+    } else {
+      bool BornDone =
+          (Options.MarkConcreteBranchesDone && !Flippable) ||
+          (Options.PrunedSites &&
+           Branch.siteId() < Options.PrunedSites->size() &&
+           (*Options.PrunedSites)[Branch.siteId()]);
+      Site.NegationSchedulable = Flippable && !BornDone;
+    }
+    if (Capture->captureAt(K, PreFlags, SymJournal.size(), CovLog.size(),
+                           Site) &&
+        !Journaling) {
+      // First capture of this run: start journaling here. Everything the
+      // materializer can roll back to lies at or after this position, so
+      // records from before the first capture would never be replayed.
+      Journaling = true;
+      S.setJournal(&SymJournal);
+    }
+  }
   if (!Flippable && !Options.MarkConcreteBranchesDone) {
     // Literal Fig. 3: conditions outside the theory contribute their
     // concrete truth value — a constant predicate whose negation the
@@ -324,7 +356,7 @@ bool ConcolicRun::onBranch(EvalContext &Ctx, const CondJumpInstr &Branch,
   if (!CoveredBits[Bit]) {
     CoveredBits[Bit] = true;
     ++CoveredCount;
-    if (Capture)
+    if (Capture && Journaling)
       CovLog.push_back(static_cast<uint32_t>(Bit));
   }
 

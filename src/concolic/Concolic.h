@@ -29,6 +29,7 @@
 #include "symbolic/PredArena.h"
 #include "symbolic/SymExpr.h"
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -101,15 +102,40 @@ private:
   const ConcolicOptions &Options;
 };
 
-/// Observer the checkpoint layer installs on a run: fired at the top of
-/// every branch hook, *before* the branch's constraint, coverage bit, or
-/// Fig. 4 bookkeeping commit, so a capture describes the state "about to
-/// execute conditional K". The log positions let the observer mark where
-/// in the run's undo journal / coverage log this branch sits.
+/// What the run knows about the conditional it is about to execute —
+/// frontier feedback for the checkpoint layer's capture cost model. All
+/// fields describe the *negation* of the direction being taken, i.e. the
+/// flip a future child run could schedule here.
+struct BranchSiteInfo {
+  /// The branch carried a solvable constraint (a flip is expressible).
+  bool Flippable = false;
+  /// The search may still schedule the flip of this position: the
+  /// constraint is flippable and the position's record is not already
+  /// done (explored, born-done concrete, or statically pruned).
+  bool NegationSchedulable = false;
+  /// The negated direction's coverage bit is already set in this run's
+  /// bitmap (an under-approximation of global coverage).
+  bool NegationCovered = false;
+  /// Coverage-bitmap bit of the negated direction (2*site + direction),
+  /// for BranchDistance priority lookups.
+  uint32_t NegationBit = 0;
+};
+
+/// Observer the checkpoint layer installs on a run: fired in the branch
+/// hook *before* the branch's constraint, coverage bit, or Fig. 4
+/// bookkeeping commit, so a capture describes the state "about to execute
+/// conditional K" (\p Flags is the pre-branch flag state; the predicate
+/// has been evaluated — a pure read — to fill \p Site). The log positions
+/// let the observer mark where in the run's undo journal / coverage log
+/// this branch sits. Returns whether a capture was actually recorded —
+/// the run starts journaling S mutations and coverage flips at the first
+/// true (undo records older than the first capture can never be
+/// replayed, so journaling before it would be pure overhead).
 class BranchCaptureHook {
 public:
-  virtual void captureAt(size_t K, const CompletenessFlags &Flags,
-                         size_t SymLogPos, size_t CovLogPos) = 0;
+  virtual bool captureAt(size_t K, const CompletenessFlags &Flags,
+                         size_t SymLogPos, size_t CovLogPos,
+                         const BranchSiteInfo &Site) = 0;
   virtual ~BranchCaptureHook() = default;
 };
 
@@ -142,6 +168,34 @@ public:
       : Inputs(Inputs), Arena(Arena), Options(Options),
         Eval(S, Inputs, Options), Stack(std::move(PredictedStack)),
         CoveredBits(2 * size_t(Options.NumBranchSites), false) {}
+
+  /// Rewinds this object to the state a freshly constructed run would
+  /// have, with \p PredictedStack as the new prediction. Pooled engines
+  /// call this between runs instead of reconstructing, keeping the
+  /// capacity of the per-run vectors. Reinstall the capture hook (and the
+  /// external model) afterwards.
+  void reset(std::vector<BranchRecord> PredictedStack) {
+    S.setJournal(nullptr);
+    S.clear();
+    Flags = CompletenessFlags();
+    Stack = std::move(PredictedStack);
+    Constraints.clear();
+    K = 0;
+    ForcingOk = true;
+    CoveredBits.assign(2 * size_t(Options.NumBranchSites), false);
+    CoveredCount = 0;
+    PendingArgs.clear();
+    Capture = nullptr;
+    Journaling = false;
+    // finalize() steals the journal vectors into the run's pack, so their
+    // capacity is gone by the time a pooled run is reset. Re-reserving the
+    // high-water mark turns ~log2(entries) mid-run reallocations per run
+    // into one up-front allocation.
+    SymJournal.clear();
+    SymJournal.reserve(SymJournalHint);
+    CovLog.clear();
+    CovLog.reserve(CovLogHint);
+  }
 
   /// Environment model for external functions, installed by the driver:
   /// must return the concrete value and perform any input bookkeeping
@@ -176,12 +230,15 @@ public:
 
   // --- Checkpoint support (src/concolic/Checkpoint.*) ---------------------
 
-  /// Installs \p H and starts journaling S mutations and coverage-bit
-  /// flips so the observer's captures can later be materialized from the
-  /// run's final state. Call before execution starts.
+  /// Installs \p H. Journaling of S mutations and coverage-bit flips —
+  /// what lets the observer's captures be materialized from the run's
+  /// final state — starts lazily at the first actual capture: rollback
+  /// only ever replays the journal suffix at or after the first entry's
+  /// position, so earlier records would be dead weight. Call before
+  /// execution starts.
   void setCaptureHook(BranchCaptureHook *H) {
     Capture = H;
-    S.setJournal(H ? &SymJournal : nullptr);
+    S.setJournal(nullptr);
   }
 
   /// Rewinds this *fresh* run onto a checkpoint: the first \p KStart
@@ -207,9 +264,15 @@ public:
     S.setJournal(nullptr);
     return std::move(S);
   }
-  SymbolicMemory::Journal takeSymJournal() { return std::move(SymJournal); }
+  SymbolicMemory::Journal takeSymJournal() {
+    SymJournalHint = std::max(SymJournalHint, SymJournal.size());
+    return std::move(SymJournal);
+  }
   /// Indices of coverage bits freshly set by this run, in set order.
-  std::vector<uint32_t> takeCovLog() { return std::move(CovLog); }
+  std::vector<uint32_t> takeCovLog() {
+    CovLogHint = std::max(CovLogHint, CovLog.size());
+    return std::move(CovLog);
+  }
   std::vector<bool> takeCoveredBits() { return std::move(CoveredBits); }
 
   // --- ExecHooks ----------------------------------------------------------
@@ -247,8 +310,13 @@ private:
 
   // Checkpoint recording (active only when Capture is installed).
   BranchCaptureHook *Capture = nullptr;
+  /// Set at the run's first actual capture (see setCaptureHook).
+  bool Journaling = false;
   SymbolicMemory::Journal SymJournal;
   std::vector<uint32_t> CovLog;
+  /// High-water marks of the journals across pooled runs (reserve hints).
+  size_t SymJournalHint = 0;
+  size_t CovLogHint = 0;
 };
 
 } // namespace dart

@@ -25,7 +25,10 @@ void SymbolicMemory::eraseRange(Addr Address, uint64_t SizeBytes) {
     Addr CellEnd = CellBegin + It->second.first;
     if (CellEnd > Address && CellBegin < End) {
       if (Log)
-        Log->push_back({CellBegin, It->second.first, It->second.second});
+        // The cell is erased right below, so its value can be moved into
+        // the undo record instead of deep-copied.
+        Log->push_back(
+            {CellBegin, It->second.first, std::move(It->second.second)});
       It = Cells.erase(It);
     } else {
       ++It;

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <optional>
 #include <utility>
 
@@ -176,6 +177,7 @@ DartReport DartEngine::run() {
   }
   const bool UseSnapshots = Options.Snapshots && !Options.RandomOnly;
   CheckpointLedger Ledger(Options.SnapshotBudgetBytes);
+  CaptureDemand Demand;
   std::optional<MaterializedCheckpoint> Resume;
 
   std::vector<bool> Covered(2 * size_t(Report.BranchSitesTotal), false);
@@ -190,6 +192,42 @@ DartReport DartEngine::run() {
       }
   };
 
+  // Per-run machinery is pooled for the whole session: one VM resumed
+  // from its pristine post-construction image each run (byte-identical to
+  // reconstructing — resume() restores memory, stack, globals, and the
+  // step counter wholesale), one ConcolicRun reset() between runs, one
+  // recorder, one driver. Run-level stats come from counter deltas since
+  // the VM's cumulative counters now span the session.
+  Interp VM(*Program.Module, Options.Interp);
+  if (Jit)
+    VM.setJit(Jit.get());
+  const Interp::Snapshot Pristine = VM.snapshot();
+  std::optional<ConcolicRun> Hooks;
+  std::optional<CoverageOnlyHooks> CovHooks;
+  if (!Options.RandomOnly) {
+    Hooks.emplace(Inputs.registry(), Arena, std::vector<BranchRecord>(),
+                  Options.Concolic);
+    VM.setHooks(&*Hooks);
+  } else if (Options.TrackCoverageTimeline) {
+    // Coverage bits merge idempotently, so one accumulating hook object
+    // serves every random run.
+    CovHooks.emplace(Report.BranchSitesTotal);
+    VM.setHooks(&*CovHooks);
+  }
+  // Session-lifetime so the recorder can watch the distance priorities
+  // recomputed before each solve.
+  std::vector<uint32_t> Priorities;
+  std::optional<CheckpointRecorder> Recorder;
+  if (UseSnapshots && Hooks)
+    Recorder.emplace(
+        VM, [&Inputs] { return Inputs.inputsThisRun(); }, Options.Capture,
+        &Demand, DistMap ? &Priorities : nullptr);
+  TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
+                    Hooks ? &*Hooks : nullptr, Options.Driver);
+  uint64_t PrevExecuted = 0;
+  JitRunStats PrevJit;
+  uint64_t MaterializeNanos = 0;
+
   bool Stop = false;
   while (!Stop && Report.Runs < Options.MaxRuns) {
     // Outer loop of Fig. 2: fresh random search state.
@@ -201,25 +239,12 @@ DartReport DartEngine::run() {
 
     bool Directed = true;
     while (Directed && Report.Runs < Options.MaxRuns) {
-      Interp VM(*Program.Module, Options.Interp);
-      if (Jit)
-        VM.setJit(Jit.get());
-      std::unique_ptr<ConcolicRun> Hooks;
-      std::unique_ptr<CoverageOnlyHooks> CovHooks;
-      if (!Options.RandomOnly) {
-        Hooks = std::make_unique<ConcolicRun>(
-            Inputs.registry(), Arena, PredictedStack, Options.Concolic);
-        VM.setHooks(Hooks.get());
-      } else if (Options.TrackCoverageTimeline) {
-        CovHooks =
-            std::make_unique<CoverageOnlyHooks>(Report.BranchSitesTotal);
-        VM.setHooks(CovHooks.get());
-      }
-      std::unique_ptr<CheckpointRecorder> Recorder;
-      if (UseSnapshots && Hooks) {
-        Recorder = std::make_unique<CheckpointRecorder>(
-            VM, [&Inputs] { return Inputs.inputsThisRun(); });
-        Hooks->setCaptureHook(Recorder.get());
+      if (Hooks)
+        Hooks->reset(std::move(PredictedStack));
+      PredictedStack = std::vector<BranchRecord>();
+      if (Recorder) {
+        Recorder->reset();
+        Hooks->setCaptureHook(&*Recorder);
       }
       unsigned StartCall = 0;
       bool Resumed = false;
@@ -237,17 +262,26 @@ DartReport DartEngine::run() {
         ++Report.Snapshot.RunsResumed;
         Report.Snapshot.InstructionsSkipped += Resume->SkippedSteps;
       } else {
+        VM.resume(Pristine);
         Inputs.beginRun();
       }
       Resume.reset();
-      TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
-                        Hooks.get(), Options.Driver);
       RunResult Result = executeDartRun(Options, TU, Driver, VM,
-                                        Recorder.get(), StartCall, Resumed);
+                                        Recorder ? &*Recorder : nullptr,
+                                        StartCall, Resumed);
       ++Report.Runs;
       Report.TotalSteps += Result.Steps;
-      Report.Snapshot.InstructionsExecuted += VM.executedSteps();
-      Report.Jit.merge(VM.jitStats());
+      Report.Snapshot.InstructionsExecuted += VM.executedSteps() - PrevExecuted;
+      PrevExecuted = VM.executedSteps();
+      {
+        JitRunStats JS = VM.jitStats();
+        JitRunStats D;
+        D.BlockEntries = JS.BlockEntries - PrevJit.BlockEntries;
+        D.NativeInstrs = JS.NativeInstrs - PrevJit.NativeInstrs;
+        D.Deopts = JS.Deopts - PrevJit.Deopts;
+        Report.Jit.merge(D);
+        PrevJit = JS;
+      }
       if (Options.LogRuns) {
         std::string Line = "run " + std::to_string(Report.Runs) + ": ";
         switch (Result.Status) {
@@ -326,7 +360,6 @@ DartReport DartEngine::run() {
       auto DomainOf = [&Inputs, Static = Options.StaticPrune](InputId Id) {
         return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
       };
-      std::vector<uint32_t> Priorities;
       const std::vector<uint32_t> *PriorityPtr = nullptr;
       if (DistMap) {
         Priorities = DistMap->priorities(Covered);
@@ -345,8 +378,15 @@ DartReport DartEngine::run() {
           // checkpoint captured after that input was created.
           std::optional<InputId> MinChanged =
               minChangedInput(Outcome.Model, Inputs.im());
-          if (MinChanged)
+          if (MinChanged) {
+            Demand.record(*MinChanged);
+            auto T0 = std::chrono::steady_clock::now();
             Resume = Pack->resumeFor(*MinChanged);
+            MaterializeNanos +=
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+          }
           if (!Resume)
             ++Report.Snapshot.ResumeMisses;
         }
@@ -376,5 +416,10 @@ DartReport DartEngine::run() {
   Report.Arena = Arena.stats();
   Report.Snapshot.PacksEvicted = Ledger.evictions();
   Report.Snapshot.PeakResidentBytes = Ledger.peakResidentBytes();
+  Report.Snapshot.MaterializeNanos = MaterializeNanos;
+  if (Recorder) {
+    Report.Snapshot.CaptureNanos = Recorder->captureNanos();
+    Report.Snapshot.LevelsSkippedByDemand = Recorder->levelsSkippedByDemand();
+  }
   return Report;
 }

@@ -58,17 +58,22 @@ struct DartOptions {
   /// coverage) is identical with the switch on or off — only solver
   /// traffic changes; off = ablation baseline.
   bool StaticPrune = true;
-  /// Execution snapshot-resume (src/concolic/Checkpoint.*): capture a COW
-  /// VM + symbolic-state checkpoint at every conditional and start each
-  /// directed child run from the deepest checkpoint consistent with its
-  /// solver model, replaying only the path suffix. The search is
-  /// observably identical on or off (same runs, bugs, models, coverage,
-  /// schedules) — only executed-instruction counts change; off = ablation
-  /// baseline. Ignored in RandomOnly mode (no directed children).
+  /// Execution snapshot-resume (src/concolic/Checkpoint.*): capture COW
+  /// VM + symbolic-state checkpoints at selected conditionals (see
+  /// Capture) and start each directed child run from the deepest
+  /// checkpoint consistent with its solver model, replaying only the path
+  /// suffix. The search is observably identical on or off (same runs,
+  /// bugs, models, coverage, schedules) — only executed-instruction
+  /// counts change; off = ablation baseline. Ignored in RandomOnly mode
+  /// (no directed children).
   bool Snapshots = true;
   /// Byte budget for resident checkpoint packs (approximate, LRU-evicted;
   /// see CheckpointLedger). 0 = unbounded.
   uint64_t SnapshotBudgetBytes = uint64_t(64) << 20;
+  /// Capture cost model: which conditionals get a checkpoint entry.
+  /// Changing these knobs only shifts which resumes hit (deeper/shallower
+  /// entries, more/fewer full replays), never the search itself.
+  CheckpointPolicy Capture;
   /// Native-tier execution (src/jit): compile straight-line IR to x86-64
   /// machine code, keeping the interpreter as the oracle. A pure
   /// performance lever — the search is byte-identical on or off (same
@@ -109,6 +114,9 @@ struct SnapshotStats {
   uint64_t InstructionsSkipped = 0;  ///< prefix instructions resumes avoided
   uint64_t PacksEvicted = 0;
   uint64_t PeakResidentBytes = 0;
+  uint64_t CaptureNanos = 0;     ///< wall time spent taking checkpoints
+  uint64_t MaterializeNanos = 0; ///< wall time spent reconstructing resumes
+  uint64_t LevelsSkippedByDemand = 0; ///< captures elided by demand feedback
 
   /// Fraction of the search's total instruction work that resume skipped.
   double resumedInstructionFraction() const {
@@ -123,6 +131,9 @@ struct SnapshotStats {
     InstructionsSkipped += O.InstructionsSkipped;
     PacksEvicted += O.PacksEvicted;
     PeakResidentBytes = std::max(PeakResidentBytes, O.PeakResidentBytes);
+    CaptureNanos += O.CaptureNanos;
+    MaterializeNanos += O.MaterializeNanos;
+    LevelsSkippedByDemand += O.LevelsSkippedByDemand;
   }
 };
 

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -123,7 +124,13 @@ public:
       if (Closed)
         return std::nullopt;
       if (!Items.empty()) {
-        auto It = Items.begin();
+        // Newest-first (depth-first) claim order: a pack's children are
+        // consumed soon after their parent enqueues them, so the set of
+        // live checkpoint packs tracks the frontier *depth*, not the whole
+        // breadth of pending work. FIFO order kept nearly every pack of
+        // the session pinned simultaneously (tens of MB on branchy
+        // workloads) and churned the allocator accordingly.
+        auto It = std::prev(Items.end());
         if (ByPriority)
           It = std::min_element(Items.begin(), Items.end(),
                                 [](const WorkItem &A, const WorkItem &B) {
@@ -217,6 +224,9 @@ struct SharedState {
   std::atomic<uint64_t> ResumeMisses{0};
   std::atomic<uint64_t> InstructionsExecuted{0};
   std::atomic<uint64_t> InstructionsSkipped{0};
+  std::atomic<uint64_t> CaptureNanos{0};
+  std::atomic<uint64_t> MaterializeNanos{0};
+  std::atomic<uint64_t> LevelsSkippedByDemand{0};
 
   std::atomic<uint64_t> JitBlockEntries{0};
   std::atomic<uint64_t> JitNativeInstrs{0};
@@ -380,6 +390,7 @@ DartReport ParallelDartEngine::runDirected() {
   PrefixFilter Seen;
   const bool UseSnapshots = Options.Snapshots;
   CheckpointLedger Ledger(Options.SnapshotBudgetBytes);
+  CaptureDemand Demand;
 
   // Drain bookkeeping (only ever touched by the drain handler, which the
   // frontier runs under its lock with no busy workers — single-threaded).
@@ -408,163 +419,6 @@ DartReport ParallelDartEngine::runDirected() {
     return {std::move(W)};
   }, Options.Strategy == SearchStrategy::Distance);
 
-  auto ProcessItem = [&](WorkItem Item, LinearSolver &Solver,
-                         std::vector<BugInfo> &LocalBugs,
-                         uint64_t &LocalSolverCalls) {
-    unsigned Slot = Shared.RunsClaimed.fetch_add(1);
-    if (Slot >= Options.MaxRuns) {
-      Queue.close();
-      return;
-    }
-
-    Rng R(Item.RngSeed);
-    InputManager Inputs(R);
-    Inputs.setIM(std::move(Item.IM));
-    Interp VM(*Program.Module, Options.Interp);
-    if (Jit)
-      VM.setJit(Jit.get());
-    auto Hooks = std::make_unique<ConcolicRun>(
-        Inputs.registry(), Arena, std::move(Item.Stack), Options.Concolic);
-    VM.setHooks(Hooks.get());
-    std::unique_ptr<CheckpointRecorder> Recorder;
-    if (UseSnapshots) {
-      Recorder = std::make_unique<CheckpointRecorder>(
-          VM, [&Inputs] { return Inputs.inputsThisRun(); });
-      Hooks->setCaptureHook(Recorder.get());
-    }
-    unsigned StartCall = 0;
-    bool Resumed = false;
-    if (Item.Pack) {
-      // Resume from the parent's deepest checkpoint consistent with the
-      // model. The replayed prefix consumes no random bits (all its
-      // inputs are IM-defined), so a fresh Rng(Item.RngSeed) reaches the
-      // suffix in the same state either way.
-      std::optional<MaterializedCheckpoint> Resume;
-      if (Item.MinChanged)
-        Resume = Item.Pack->resumeFor(*Item.MinChanged);
-      if (Resume) {
-        Inputs.resumeRun(Resume->InputsCreated, Resume->RegistryPrefix);
-        VM.resume(Resume->Vm);
-        Hooks->adoptCheckpoint(Resume->BranchIndex,
-                               std::move(Resume->Constraints),
-                               std::move(Resume->S), std::move(Resume->Cov),
-                               Resume->CovCount, Resume->Flags);
-        StartCall = Resume->CallIndex;
-        Resumed = true;
-        Shared.RunsResumed.fetch_add(1);
-        Shared.InstructionsSkipped.fetch_add(Resume->SkippedSteps);
-      } else {
-        Shared.ResumeMisses.fetch_add(1);
-        Inputs.beginRun();
-      }
-      Item.Pack.reset();
-    } else {
-      Inputs.beginRun();
-    }
-    TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
-                      Hooks.get(), Options.Driver);
-    RunResult Result = executeDartRun(Options, TU, Driver, VM,
-                                      Recorder.get(), StartCall, Resumed);
-
-    Shared.TotalSteps.fetch_add(Result.Steps);
-    Shared.InstructionsExecuted.fetch_add(VM.executedSteps());
-    Shared.mergeJit(VM.jitStats());
-    if (!Hooks->flags().AllLinear)
-      Shared.AllLinear.store(false);
-    if (!Hooks->flags().AllLocsDefinite)
-      Shared.AllLocsDefinite.store(false);
-    Shared.mergeCoverage(Hooks->coveredBits());
-
-    unsigned RunNumber;
-    {
-      std::lock_guard<std::mutex> L(Shared.ReportMutex);
-      RunNumber = Shared.RunsDone.fetch_add(1) + 1;
-      if (Options.TrackCoverageTimeline)
-        Shared.CoverageTimeline.push_back(Shared.CoveredCount.load());
-      if (Options.LogRuns)
-        Shared.RunLog.push_back(
-            describeRun(RunNumber, Result, Hooks.get(), Inputs));
-    }
-
-    if (Result.Status == RunStatus::Errored) {
-      BugInfo Bug;
-      Bug.Error = Result.Error;
-      Bug.FoundAtRun = RunNumber;
-      Bug.Inputs = collectBugInputs(Inputs);
-      LocalBugs.push_back(std::move(Bug));
-      Shared.BugFound.store(true);
-      if (Options.StopAtFirstError) {
-        Shared.Stop.store(true);
-        Queue.close();
-        return;
-      }
-      // The errored path is terminal but its prefix still gets expanded,
-      // exactly like the sequential fall-through to solve_path_constraint.
-    } else if (Result.Status == RunStatus::ForcingMismatch) {
-      // A prior incompleteness misled the prediction; the item is dropped
-      // and — as in the sequential engine — completeness is forfeited, so
-      // the drain handler will schedule a random restart.
-      Shared.ForcingMismatches.fetch_add(1);
-      Shared.AllLinear.store(false);
-      return;
-    }
-
-    // Speculative expansion: solve the negation of every not-done branch
-    // of this path and push all satisfiable flips.
-    PathData Path = Hooks->takePath();
-    std::shared_ptr<CheckpointPack> Pack;
-    if (Recorder) {
-      Pack = Recorder->finalize(*Hooks, Path, Inputs.registry());
-      Shared.CheckpointsCaptured.fetch_add(Pack->numEntries());
-      Ledger.admit(Pack);
-    }
-    auto DomainOf = [&Inputs, Static = Options.StaticPrune](InputId Id) {
-      return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
-    };
-    std::vector<uint32_t> Priorities;
-    const std::vector<uint32_t> *PriorityPtr = nullptr;
-    if (DistMap) {
-      Priorities = DistMap->priorities(Shared.coverageBits());
-      PriorityPtr = &Priorities;
-    }
-    CandidateSet Set = solveCandidates(Path, Arena, Solver, DomainOf,
-                                       Inputs.im(), Options.Strategy, R,
-                                       Options.MaxSpeculativePerRun,
-                                       PriorityPtr);
-    LocalSolverCalls += Set.SolverCalls;
-    if (Set.Truncated)
-      Shared.Truncated.store(true);
-    if (Set.TheoryMisled)
-      Shared.AllLinear.store(false);
-    for (SolveOutcome &Cand : Set.Candidates) {
-      WorkItem Child;
-      Child.Stack = std::move(Cand.NextStack);
-      // Generational: the child only expands branches deeper than the
-      // flip — everything shallower belongs to this item's other
-      // candidates. This makes the expansion a partition of the tree.
-      for (size_t I = 0; I + 1 < Child.Stack.size(); ++I)
-        Child.Stack[I].Done = true;
-      Child.IM = Inputs.im();
-      if (Pack) {
-        Child.Pack = Pack;
-        Child.MinChanged = minChangedInput(Cand.Model, Inputs.im());
-      }
-      for (const auto &[Id, V] : Cand.Model)
-        Child.IM[Id] = V;
-      Child.RngSeed = mixSeed(Item.RngSeed, Cand.FlippedIndex + 1);
-      Child.TreeSalt = Item.TreeSalt;
-      if (PriorityPtr && !Child.Stack.empty()) {
-        // The flipped record's direction is what the child will newly
-        // take; its priority decides the frontier pop order.
-        const BranchRecord &Flip = Child.Stack.back();
-        size_t Bit = 2 * size_t(Flip.SiteId) + (Flip.Branch ? 1 : 0);
-        Child.Priority = Bit < Priorities.size() ? Priorities[Bit] : 0;
-      }
-      if (Seen.insert(prefixHash(Child.Stack, Child.TreeSalt)))
-        Queue.push(std::move(Child));
-    }
-  };
-
   // Seed the frontier with the root of the first restart tree.
   {
     WorkItem Root;
@@ -587,15 +441,218 @@ DartReport ParallelDartEngine::runDirected() {
       Solver.setSharedCache(&Cache);
       Solver.setSharedSessionCache(&SessCache);
       WorkerResult &Mine = Results[W];
+
+      // Per-worker pooled machinery (mirrors the sequential engine): one
+      // VM resumed from its pristine image per item, one ConcolicRun
+      // reset() per item, one recorder, one driver, one re-seeded Rng.
+      // Every WorkItem fully determines its run (seed, IM, stack), so
+      // pooling is schedule-invariant by the same argument as before.
+      Rng R(0);
+      InputManager Inputs(R);
+      Interp VM(*Program.Module, Options.Interp);
+      if (Jit)
+        VM.setJit(Jit.get());
+      const Interp::Snapshot Pristine = VM.snapshot();
+      ConcolicRun Hooks(Inputs.registry(), Arena, std::vector<BranchRecord>(),
+                        Options.Concolic);
+      VM.setHooks(&Hooks);
+      std::vector<uint32_t> Priorities; // worker-lifetime: recorder watches it
+      std::optional<CheckpointRecorder> Recorder;
+      if (UseSnapshots)
+        Recorder.emplace(
+            VM, [&Inputs] { return Inputs.inputsThisRun(); }, Options.Capture,
+            &Demand, DistMap ? &Priorities : nullptr);
+      TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM, &Hooks,
+                        Options.Driver);
+      uint64_t PrevExecuted = 0;
+      JitRunStats PrevJit;
+      uint64_t LocalMaterializeNanos = 0;
+
+      auto ProcessItem = [&](WorkItem Item) {
+        unsigned Slot = Shared.RunsClaimed.fetch_add(1);
+        if (Slot >= Options.MaxRuns) {
+          Queue.close();
+          return;
+        }
+
+        R.setState(Item.RngSeed);
+        Inputs.reset();
+        Inputs.setIM(std::move(Item.IM));
+        Hooks.reset(std::move(Item.Stack));
+        if (Recorder) {
+          Recorder->reset();
+          Hooks.setCaptureHook(&*Recorder);
+        }
+        unsigned StartCall = 0;
+        bool Resumed = false;
+        if (Item.Pack) {
+          // Resume from the parent's deepest checkpoint consistent with
+          // the model. The replayed prefix consumes no random bits (all
+          // its inputs are IM-defined), so a re-seeded Rng reaches the
+          // suffix in the same state either way.
+          std::optional<MaterializedCheckpoint> Resume;
+          if (Item.MinChanged) {
+            auto T0 = std::chrono::steady_clock::now();
+            Resume = Item.Pack->resumeFor(*Item.MinChanged);
+            LocalMaterializeNanos +=
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+          }
+          if (Resume) {
+            Inputs.resumeRun(Resume->InputsCreated, Resume->RegistryPrefix);
+            VM.resume(Resume->Vm);
+            Hooks.adoptCheckpoint(Resume->BranchIndex,
+                                  std::move(Resume->Constraints),
+                                  std::move(Resume->S),
+                                  std::move(Resume->Cov), Resume->CovCount,
+                                  Resume->Flags);
+            StartCall = Resume->CallIndex;
+            Resumed = true;
+            Shared.RunsResumed.fetch_add(1);
+            Shared.InstructionsSkipped.fetch_add(Resume->SkippedSteps);
+          } else {
+            Shared.ResumeMisses.fetch_add(1);
+            VM.resume(Pristine);
+            Inputs.beginRun();
+          }
+          Item.Pack.reset();
+        } else {
+          VM.resume(Pristine);
+          Inputs.beginRun();
+        }
+        RunResult Result = executeDartRun(Options, TU, Driver, VM,
+                                          Recorder ? &*Recorder : nullptr,
+                                          StartCall, Resumed);
+
+        Shared.TotalSteps.fetch_add(Result.Steps);
+        Shared.InstructionsExecuted.fetch_add(VM.executedSteps() -
+                                              PrevExecuted);
+        PrevExecuted = VM.executedSteps();
+        {
+          JitRunStats JS = VM.jitStats();
+          JitRunStats D;
+          D.BlockEntries = JS.BlockEntries - PrevJit.BlockEntries;
+          D.NativeInstrs = JS.NativeInstrs - PrevJit.NativeInstrs;
+          D.Deopts = JS.Deopts - PrevJit.Deopts;
+          Shared.mergeJit(D);
+          PrevJit = JS;
+        }
+        if (!Hooks.flags().AllLinear)
+          Shared.AllLinear.store(false);
+        if (!Hooks.flags().AllLocsDefinite)
+          Shared.AllLocsDefinite.store(false);
+        Shared.mergeCoverage(Hooks.coveredBits());
+
+        unsigned RunNumber;
+        {
+          std::lock_guard<std::mutex> L(Shared.ReportMutex);
+          RunNumber = Shared.RunsDone.fetch_add(1) + 1;
+          if (Options.TrackCoverageTimeline)
+            Shared.CoverageTimeline.push_back(Shared.CoveredCount.load());
+          if (Options.LogRuns)
+            Shared.RunLog.push_back(
+                describeRun(RunNumber, Result, &Hooks, Inputs));
+        }
+
+        if (Result.Status == RunStatus::Errored) {
+          BugInfo Bug;
+          Bug.Error = Result.Error;
+          Bug.FoundAtRun = RunNumber;
+          Bug.Inputs = collectBugInputs(Inputs);
+          Mine.Bugs.push_back(std::move(Bug));
+          Shared.BugFound.store(true);
+          if (Options.StopAtFirstError) {
+            Shared.Stop.store(true);
+            Queue.close();
+            return;
+          }
+          // The errored path is terminal but its prefix still gets
+          // expanded, exactly like the sequential fall-through to
+          // solve_path_constraint.
+        } else if (Result.Status == RunStatus::ForcingMismatch) {
+          // A prior incompleteness misled the prediction; the item is
+          // dropped and — as in the sequential engine — completeness is
+          // forfeited, so the drain handler will schedule a random
+          // restart.
+          Shared.ForcingMismatches.fetch_add(1);
+          Shared.AllLinear.store(false);
+          return;
+        }
+
+        // Speculative expansion: solve the negation of every not-done
+        // branch of this path and push all satisfiable flips.
+        PathData Path = Hooks.takePath();
+        std::shared_ptr<CheckpointPack> Pack;
+        if (Recorder) {
+          Pack = Recorder->finalize(Hooks, Path, Inputs.registry());
+          Shared.CheckpointsCaptured.fetch_add(Pack->numEntries());
+          Ledger.admit(Pack);
+        }
+        auto DomainOf = [&Inputs, Static = Options.StaticPrune](InputId Id) {
+          return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
+        };
+        const std::vector<uint32_t> *PriorityPtr = nullptr;
+        if (DistMap) {
+          Priorities = DistMap->priorities(Shared.coverageBits());
+          PriorityPtr = &Priorities;
+        }
+        CandidateSet Set = solveCandidates(Path, Arena, Solver, DomainOf,
+                                           Inputs.im(), Options.Strategy, R,
+                                           Options.MaxSpeculativePerRun,
+                                           PriorityPtr);
+        Mine.SolverCalls += Set.SolverCalls;
+        if (Set.Truncated)
+          Shared.Truncated.store(true);
+        if (Set.TheoryMisled)
+          Shared.AllLinear.store(false);
+        for (SolveOutcome &Cand : Set.Candidates) {
+          WorkItem Child;
+          Child.Stack = std::move(Cand.NextStack);
+          // Generational: the child only expands branches deeper than the
+          // flip — everything shallower belongs to this item's other
+          // candidates. This makes the expansion a partition of the tree.
+          for (size_t I = 0; I + 1 < Child.Stack.size(); ++I)
+            Child.Stack[I].Done = true;
+          Child.IM = Inputs.im();
+          if (Pack) {
+            Child.Pack = Pack;
+            Child.MinChanged = minChangedInput(Cand.Model, Inputs.im());
+            // Feed the capture cost model: this id is the gate a future
+            // resume will test, so its level is worth capturing.
+            if (Child.MinChanged)
+              Demand.record(*Child.MinChanged);
+          }
+          for (const auto &[Id, V] : Cand.Model)
+            Child.IM[Id] = V;
+          Child.RngSeed = mixSeed(Item.RngSeed, Cand.FlippedIndex + 1);
+          Child.TreeSalt = Item.TreeSalt;
+          if (PriorityPtr && !Child.Stack.empty()) {
+            // The flipped record's direction is what the child will newly
+            // take; its priority decides the frontier pop order.
+            const BranchRecord &Flip = Child.Stack.back();
+            size_t Bit = 2 * size_t(Flip.SiteId) + (Flip.Branch ? 1 : 0);
+            Child.Priority = Bit < Priorities.size() ? Priorities[Bit] : 0;
+          }
+          if (Seen.insert(prefixHash(Child.Stack, Child.TreeSalt)))
+            Queue.push(std::move(Child));
+        }
+      };
+
       for (;;) {
         std::optional<WorkItem> Item = Queue.pop();
         if (!Item)
           break;
-        ProcessItem(std::move(*Item), Solver, Mine.Bugs,
-                    Mine.SolverCalls);
+        ProcessItem(std::move(*Item));
         Queue.taskDone();
       }
       Mine.Solver = Solver.stats();
+      Shared.MaterializeNanos.fetch_add(LocalMaterializeNanos);
+      if (Recorder) {
+        Shared.CaptureNanos.fetch_add(Recorder->captureNanos());
+        Shared.LevelsSkippedByDemand.fetch_add(
+            Recorder->levelsSkippedByDemand());
+      }
     });
   }
   for (std::thread &T : Workers)
@@ -618,6 +675,9 @@ DartReport ParallelDartEngine::runDirected() {
   Report.Snapshot.InstructionsSkipped = Shared.InstructionsSkipped.load();
   Report.Snapshot.PacksEvicted = Ledger.evictions();
   Report.Snapshot.PeakResidentBytes = Ledger.peakResidentBytes();
+  Report.Snapshot.CaptureNanos = Shared.CaptureNanos.load();
+  Report.Snapshot.MaterializeNanos = Shared.MaterializeNanos.load();
+  Report.Snapshot.LevelsSkippedByDemand = Shared.LevelsSkippedByDemand.load();
   Report.Jit.BlockEntries = Shared.JitBlockEntries.load();
   Report.Jit.NativeInstrs = Shared.JitNativeInstrs.load();
   Report.Jit.Deopts = Shared.JitDeopts.load();
@@ -660,33 +720,51 @@ DartReport ParallelDartEngine::runRandomOnly() {
   for (unsigned W = 0; W < NumWorkers; ++W) {
     Workers.emplace_back([&, W]() {
       WorkerResult &Mine = Results[W];
+      // Per-worker pooled VM / inputs / driver; each run re-seeds the Rng
+      // by slot and resumes the pristine image, so the set of runs stays
+      // the same for any worker count.
+      Rng R(0);
+      InputManager Inputs(R);
+      Inputs.setEphemeralDraws(true);
+      Interp VM(*Program.Module, Options.Interp);
+      if (Jit)
+        VM.setJit(Jit.get());
+      const Interp::Snapshot Pristine = VM.snapshot();
+      std::optional<RandomCoverageHooks> CovHooks;
+      if (Options.TrackCoverageTimeline) {
+        // One accumulating bitmap per worker: mergeCoverage ORs, so
+        // re-merging earlier runs' bits is idempotent.
+        CovHooks.emplace(Report.BranchSitesTotal);
+        VM.setHooks(&*CovHooks);
+      }
+      TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
+                        nullptr, Options.Driver);
+      uint64_t PrevExecuted = 0;
+      JitRunStats PrevJit;
       for (;;) {
         if (Shared.Stop.load())
           break;
         unsigned Slot = Shared.RunsClaimed.fetch_add(1);
         if (Slot >= Options.MaxRuns)
           break;
-        // Every random run is independent: seed by slot, so the set of
-        // runs is the same for any worker count.
-        Rng R(mixSeed(Options.Seed, Slot));
-        InputManager Inputs(R);
-        Inputs.setEphemeralDraws(true);
+        R.setState(mixSeed(Options.Seed, Slot));
+        Inputs.restartRandom();
         Inputs.beginRun();
-        Interp VM(*Program.Module, Options.Interp);
-        if (Jit)
-          VM.setJit(Jit.get());
-        std::unique_ptr<RandomCoverageHooks> CovHooks;
-        if (Options.TrackCoverageTimeline) {
-          CovHooks = std::make_unique<RandomCoverageHooks>(
-              Report.BranchSitesTotal);
-          VM.setHooks(CovHooks.get());
-        }
-        TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
-                          nullptr, Options.Driver);
+        VM.resume(Pristine);
         RunResult Result = executeDartRun(Options, TU, Driver, VM);
         Shared.TotalSteps.fetch_add(Result.Steps);
-        Shared.InstructionsExecuted.fetch_add(VM.executedSteps());
-        Shared.mergeJit(VM.jitStats());
+        Shared.InstructionsExecuted.fetch_add(VM.executedSteps() -
+                                              PrevExecuted);
+        PrevExecuted = VM.executedSteps();
+        {
+          JitRunStats JS = VM.jitStats();
+          JitRunStats D;
+          D.BlockEntries = JS.BlockEntries - PrevJit.BlockEntries;
+          D.NativeInstrs = JS.NativeInstrs - PrevJit.NativeInstrs;
+          D.Deopts = JS.Deopts - PrevJit.Deopts;
+          Shared.mergeJit(D);
+          PrevJit = JS;
+        }
         if (CovHooks)
           Shared.mergeCoverage(CovHooks->Covered);
         unsigned RunNumber;

@@ -236,6 +236,23 @@ public:
     }
   };
 
+  /// Incremental snapshot: the memory delta against a caller-maintained
+  /// base plus a full copy of the (small) call stack. GlobalAddrs is
+  /// immutable within a run, so delta consumers store it once, not per
+  /// capture.
+  struct SnapshotDelta {
+    Memory::SnapshotDelta Mem;
+    std::vector<Frame> Stack;
+    uint64_t Steps = 0;
+
+    size_t approxBytes() const {
+      size_t B = sizeof(*this) + Mem.approxBytes();
+      for (const Frame &F : Stack)
+        B += sizeof(Frame) + F.SlotAddrs.size() * sizeof(Addr);
+      return B;
+    }
+  };
+
   Interp(const IRModule &M, InterpOptions Options = {});
 
   /// Registers a native library function (malloc/free/abort come built in).
@@ -278,6 +295,16 @@ public:
   /// branch hooks with the pc still on the CondJump).
   Snapshot snapshot() const;
 
+  /// Incremental capture against \p MemBase (advanced in place; see
+  /// Memory::snapshotDelta). Legal wherever snapshot() is.
+  SnapshotDelta snapshotDelta(Memory::Snapshot &MemBase) const {
+    SnapshotDelta D;
+    D.Mem = Mem.snapshotDelta(MemBase);
+    D.Stack = Stack;
+    D.Steps = Steps;
+    return D;
+  }
+
   /// Replaces this VM's state with \p S. The VM must have been constructed
   /// over the same IRModule. Follow with finishResumedCall() when the
   /// snapshot was taken mid-call.
@@ -302,6 +329,9 @@ public:
 
   /// Address of global \p Index's storage.
   Addr globalAddr(unsigned Index) const { return GlobalAddrs[Index]; }
+  /// All global addresses (immutable between materialization and the next
+  /// resume(); the checkpoint layer stores them once per run).
+  const std::vector<Addr> &globalAddrs() const { return GlobalAddrs; }
 
   /// Allocates a heap region honouring the heap limit; 0 (NULL) on
   /// exhaustion — the failure mode behind the paper's oSIP parser attack.

@@ -284,6 +284,61 @@ Memory::Snapshot Memory::snapshot() const {
   return S;
 }
 
+Memory::SnapshotDelta Memory::snapshotDelta(Snapshot &Base) const {
+  SnapshotDelta D;
+  D.NumChunks = static_cast<uint32_t>(Chunks.size());
+  D.NumRegions = NumRegions;
+  D.HeapInUse = HeapInUse;
+  // Within a run the chunk vector only grows (restore happens before the
+  // recorder's first delta), so Base never has chunks this Memory lacks.
+  assert(Base.Chunks.size() <= Chunks.size() && "base ahead of memory");
+  if (Base.Chunks.size() < Chunks.size())
+    Base.Chunks.resize(Chunks.size());
+  for (size_t I = 0; I < Chunks.size(); ++I)
+    if (Base.Chunks[I] != Chunks[I]) {
+      D.Changed.emplace_back(static_cast<uint32_t>(I), Chunks[I]);
+      Base.Chunks[I] = Chunks[I];
+    }
+  Base.NumRegions = NumRegions;
+  Base.HeapInUse = HeapInUse;
+  ++St.SnapshotsTaken;
+  return D;
+}
+
+void Memory::applyDelta(Snapshot &S, const SnapshotDelta &D) {
+  S.Chunks.resize(D.NumChunks);
+  for (const auto &[Index, C] : D.Changed)
+    S.Chunks[Index] = C;
+  S.NumRegions = D.NumRegions;
+  S.HeapInUse = D.HeapInUse;
+}
+
+void Memory::composeDelta(SnapshotDelta &Into, SnapshotDelta &&Later) {
+  // Both Changed lists are in ascending index order; merge with the later
+  // delta winning on equal indices.
+  std::vector<std::pair<uint32_t, std::shared_ptr<Chunk>>> Merged;
+  Merged.reserve(Into.Changed.size() + Later.Changed.size());
+  size_t A = 0, B = 0;
+  while (A < Into.Changed.size() && B < Later.Changed.size()) {
+    if (Into.Changed[A].first < Later.Changed[B].first)
+      Merged.push_back(std::move(Into.Changed[A++]));
+    else if (Later.Changed[B].first < Into.Changed[A].first)
+      Merged.push_back(std::move(Later.Changed[B++]));
+    else {
+      Merged.push_back(std::move(Later.Changed[B++]));
+      ++A;
+    }
+  }
+  for (; A < Into.Changed.size(); ++A)
+    Merged.push_back(std::move(Into.Changed[A]));
+  for (; B < Later.Changed.size(); ++B)
+    Merged.push_back(std::move(Later.Changed[B]));
+  Into.Changed = std::move(Merged);
+  Into.NumChunks = Later.NumChunks;
+  Into.NumRegions = Later.NumRegions;
+  Into.HeapInUse = Later.HeapInUse;
+}
+
 void Memory::restore(const Snapshot &S) {
   Chunks = S.Chunks;
   NumRegions = S.NumRegions;

@@ -143,6 +143,27 @@ public:
     }
   };
 
+  /// The chunks that changed since a base snapshot — the incremental form
+  /// of Snapshot the checkpoint layer stores per entry. A delta chain is
+  /// replayed with applyDelta (entry 0's delta is taken against an empty
+  /// base, so it is a full image) and adjacent deltas can be merged with
+  /// composeDelta when entries are thinned.
+  class SnapshotDelta {
+    friend class Memory;
+    /// (chunk index, chunk) pairs in ascending index order.
+    std::vector<std::pair<uint32_t, std::shared_ptr<Chunk>>> Changed;
+    uint32_t NumChunks = 0;
+    size_t NumRegions = 0;
+    uint64_t HeapInUse = 0;
+
+  public:
+    size_t changedChunks() const { return Changed.size(); }
+    /// Footprint of the delta itself plus the chunk clones it pins.
+    size_t approxBytes() const {
+      return sizeof(*this) + Changed.size() * (sizeof(Changed[0]) + sizeof(Chunk));
+    }
+  };
+
   Memory() = default;
   Memory(const Memory &) = default;
   Memory &operator=(const Memory &) = default;
@@ -189,6 +210,21 @@ public:
   /// Captures the current state. O(chunks); nothing is copied until a
   /// subsequent write.
   Snapshot snapshot() const;
+
+  /// Captures the chunks that differ from \p Base and advances \p Base to
+  /// the current state. Sound because \p Base holds a reference to every
+  /// chunk it records, so any later mutation of one of those chunks goes
+  /// through the COW clone path and changes the pointer the next delta
+  /// compares against. O(chunks) pointer compares, O(dirty) copies.
+  SnapshotDelta snapshotDelta(Snapshot &Base) const;
+
+  /// Replays \p D on top of \p S (which must be the base the delta chain
+  /// was taken against — empty for a chain's first delta).
+  static void applyDelta(Snapshot &S, const SnapshotDelta &D);
+
+  /// Merges two adjacent deltas of a chain: \p Into becomes
+  /// "\p Into then \p Later" (later entries win per chunk index).
+  static void composeDelta(SnapshotDelta &Into, SnapshotDelta &&Later);
 
   /// Rewinds this memory to \p S. Regions allocated after the snapshot
   /// vanish; writes made after it are undone. The snapshot stays valid

@@ -24,7 +24,10 @@
 #include "jit/Jit.h"
 #include "support/Diagnostics.h"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -75,7 +78,8 @@ int usage() {
       "                        (default on; the search is observably\n"
       "                        identical either way)\n"
       "  --snapshot-budget <mib>  resident checkpoint byte budget in MiB,\n"
-      "                        LRU-evicted; 0 = unbounded (default 64)\n"
+      "                        evicted oldest-first; 0 = unbounded\n"
+      "                        (default 64)\n"
       "  --jit <on|off>        native x86-64 execution tier (default on;\n"
       "                        the search is byte-identical either way —\n"
       "                        degrades to the interpreter with a warning\n"
@@ -86,6 +90,42 @@ int usage() {
       "                        aggregated over all functions, including\n"
       "                        sessions that ended at a found bug)\n");
   return 2;
+}
+
+/// Strict numeric option parsing: the whole token must be a decimal
+/// number within [Min, Max]. A typo like `--runs 1e6`, `--depth=4` passed
+/// as one token, or a negative value is a hard error instead of silently
+/// truncating to whatever atoi salvages.
+bool parseU64(const char *Flag, const char *Text, uint64_t Min, uint64_t Max,
+              uint64_t &Out) {
+  if (!Text || !*Text) {
+    std::fprintf(stderr, "%s expects a number\n", Flag);
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = strtoull(Text, &End, 10);
+  if (*End != '\0' || Text[0] == '-' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: '%s' is not a valid non-negative integer\n",
+                 Flag, Text);
+    return false;
+  }
+  if (V < Min || V > Max) {
+    std::fprintf(stderr, "%s: %llu out of range [%llu, %llu]\n", Flag, V,
+                 (unsigned long long)Min, (unsigned long long)Max);
+    return false;
+  }
+  Out = V;
+  return true;
+}
+
+bool parseUnsigned(const char *Flag, const char *Text, uint64_t Min,
+                   uint64_t Max, unsigned &Out) {
+  uint64_t V = 0;
+  if (!parseU64(Flag, Text, Min, Max, V))
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -133,19 +173,25 @@ CliOptions parseArgs(int argc, char **argv) {
       }
       Cli.Toplevel = V;
     } else if (Arg == "--depth") {
-      const char *V = Next();
-      Cli.Dart.Depth = V ? static_cast<unsigned>(atoi(V)) : 1;
+      if (!parseUnsigned("--depth", Next(), 1, 1u << 20, Cli.Dart.Depth)) {
+        Cli.Ok = false;
+        return Cli;
+      }
     } else if (Arg == "--seed") {
-      const char *V = Next();
-      Cli.Dart.Seed = V ? strtoull(V, nullptr, 10) : 2005;
+      if (!parseU64("--seed", Next(), 0, UINT64_MAX, Cli.Dart.Seed)) {
+        Cli.Ok = false;
+        return Cli;
+      }
     } else if (Arg == "--runs") {
-      const char *V = Next();
-      Cli.Dart.MaxRuns = V ? static_cast<unsigned>(atoi(V)) : 10000;
+      if (!parseUnsigned("--runs", Next(), 1, UINT32_MAX, Cli.Dart.MaxRuns)) {
+        Cli.Ok = false;
+        return Cli;
+      }
     } else if (Arg == "--jobs") {
-      const char *V = Next();
-      Cli.Dart.Jobs = V ? static_cast<unsigned>(atoi(V)) : 1;
-      if (Cli.Dart.Jobs == 0)
-        Cli.Dart.Jobs = 1;
+      if (!parseUnsigned("--jobs", Next(), 1, 1024, Cli.Dart.Jobs)) {
+        Cli.Ok = false;
+        return Cli;
+      }
     } else if (Arg == "--strategy") {
       const char *V = Next();
       if (V && std::strcmp(V, "bfs") == 0)
@@ -196,9 +242,13 @@ CliOptions parseArgs(int argc, char **argv) {
         return Cli;
       }
     } else if (Arg == "--snapshot-budget") {
-      const char *V = Next();
-      Cli.Dart.SnapshotBudgetBytes =
-          V ? strtoull(V, nullptr, 10) << 20 : Cli.Dart.SnapshotBudgetBytes;
+      uint64_t Mib = 0;
+      // 0 = unbounded; cap the MiB count so << 20 cannot overflow.
+      if (!parseU64("--snapshot-budget", Next(), 0, uint64_t(1) << 40, Mib)) {
+        Cli.Ok = false;
+        return Cli;
+      }
+      Cli.Dart.SnapshotBudgetBytes = Mib << 20;
     } else if (Arg == "--jit") {
       const char *V = Next();
       if (V && std::strcmp(V, "off") == 0) {
@@ -272,6 +322,10 @@ void printPipelineStats(const DartReport &R) {
               100.0 * Snap.resumedInstructionFraction());
   std::printf("  peak resident checkpoint bytes: %llu\n",
               (unsigned long long)Snap.PeakResidentBytes);
+  std::printf("  capture time: %.3f ms, materialize time: %.3f ms\n",
+              Snap.CaptureNanos / 1e6, Snap.MaterializeNanos / 1e6);
+  std::printf("  levels skipped by demand feedback: %llu\n",
+              (unsigned long long)Snap.LevelsSkippedByDemand);
   const JitStats &J = R.Jit;
   std::printf("jit stats:\n");
   if (!J.Enabled) {
