@@ -16,6 +16,7 @@
 #include "concolic/PathSearch.h"
 #include "solver/LinearSolver.h"
 #include "symbolic/PredArena.h"
+#include "workloads/Workloads.h"
 
 #include <chrono>
 
@@ -185,6 +186,108 @@ void incrementalGrid() {
   writeIncrementalJson("BENCH_solver_incremental.json", Rows);
 }
 
+struct SliceRow {
+  std::string Workload;
+  unsigned Depth = 0;
+  double FullMedian = 0.0;  ///< median conjuncts per query before slicing
+  double SentMedian = 0.0;  ///< median conjuncts actually sent
+  uint64_t FullPreds = 0;
+  uint64_t SentPreds = 0;
+  double ElapsedOnMs = 0.0;
+  double ElapsedOffMs = 0.0;
+};
+
+void writeSliceJson(const std::string &Path,
+                    const std::vector<SliceRow> &Rows) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"experiment\": \"solver_slice\",\n  \"results\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const SliceRow &R = Rows[I];
+    std::fprintf(
+        F,
+        "    {\"workload\": \"%s\", \"depth\": %u, "
+        "\"median_preds_full\": %.1f, \"median_preds_sent\": %.1f, "
+        "\"median_reduction\": %.2f, \"preds_full\": %llu, "
+        "\"preds_sent\": %llu, \"elapsed_on_ms\": %.1f, "
+        "\"elapsed_off_ms\": %.1f}%s\n",
+        R.Workload.c_str(), R.Depth, R.FullMedian, R.SentMedian,
+        R.SentMedian > 0 ? R.FullMedian / R.SentMedian : 0.0,
+        (unsigned long long)R.FullPreds, (unsigned long long)R.SentPreds,
+        R.ElapsedOnMs, R.ElapsedOffMs, I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
+/// Sliced vs full-prefix queries (--slice) over whole DART sessions: the
+/// search is observably identical either way (tests/slice_diff_test.cpp),
+/// so the axis is pure query-size and wall-clock. The protocol workload's
+/// per-call scalar messages slice hard; the SIP parser's global state
+/// couples calls, so its sound slices stay larger.
+void sliceGrid() {
+  printHeader("Sliced vs full solver queries (--slice, whole sessions)");
+  std::printf("%-24s %-6s %-12s %-12s %-10s %-12s %-12s\n", "workload",
+              "depth", "median full", "median sent", "reduction", "on",
+              "off");
+  struct Scenario {
+    const char *Name;
+    std::string Source;
+    const char *Toplevel;
+    unsigned Depth;
+    uint64_t Seed;
+    unsigned MaxRuns;
+  };
+  std::vector<Scenario> Scenarios = {
+      {"ac_controller", workloads::acControllerSource(), "ac_controller", 8,
+       2005, 1500},
+      {"minisip_receive", workloads::miniSipSource(), "sip_receive", 32, 11,
+       400},
+  };
+  std::vector<SliceRow> Rows;
+  for (const Scenario &S : Scenarios) {
+    auto D = compileOrDie(S.Source, S.Name);
+    auto Run = [&](bool Slice, SolverStats &Stats) {
+      DartOptions Opts;
+      Opts.ToplevelName = S.Toplevel;
+      Opts.Depth = S.Depth;
+      Opts.Seed = S.Seed;
+      Opts.MaxRuns = S.MaxRuns;
+      Opts.StopAtFirstError = false;
+      Opts.Solver.SliceQueries = Slice;
+      auto T0 = std::chrono::steady_clock::now();
+      DartReport R = D->run(Opts);
+      Stats = R.Solver;
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+          .count();
+    };
+    SliceRow Row;
+    Row.Workload = S.Name;
+    Row.Depth = S.Depth;
+    SolverStats On, Off;
+    // Interleave a warmup pair so neither mode pays first-touch costs.
+    Run(true, On);
+    Run(false, Off);
+    Row.ElapsedOnMs = Run(true, On);
+    Row.ElapsedOffMs = Run(false, Off);
+    Row.FullMedian = SolverStats::histogramMedian(On.QuerySizeFull);
+    Row.SentMedian = SolverStats::histogramMedian(On.QuerySizeSent);
+    Row.FullPreds = On.SliceFullPreds;
+    Row.SentPreds = On.SliceSentPreds;
+    std::printf("%-24s %-6u %11.1f %11.1f %9.2fx %9.1f ms %9.1f ms\n",
+                S.Name, S.Depth, Row.FullMedian, Row.SentMedian,
+                Row.SentMedian > 0 ? Row.FullMedian / Row.SentMedian : 0.0,
+                Row.ElapsedOnMs, Row.ElapsedOffMs);
+    Rows.push_back(std::move(Row));
+  }
+  writeSliceJson("BENCH_slice.json", Rows);
+}
+
 void BM_SolveCandidatesBatchD64C8(benchmark::State &State) {
   PredArena Arena;
   PathData P = deepPath(Arena, 64);
@@ -264,6 +367,7 @@ BENCHMARK(BM_SolverDisequalityBranching);
 int main(int argc, char **argv) {
   printTable();
   incrementalGrid();
+  sliceGrid();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,5 +1,8 @@
 /* One seeded defect per lint class, each on a known line. The smoke test
- * expects `dart analyze` to report exactly these (and exit 1):
+ * expects `dart analyze` to report exactly these (and exit 1 under
+ * --exit-code; with --toplevel seeded the dependence layer adds a
+ * seventh finding, control-unreachable-bug, on the line-23 assert —
+ * no input can steer whether it fires):
  *
  *   line 17  dead store          'unread' is never read
  *   line 18  division by zero    mode - 3 is always 0

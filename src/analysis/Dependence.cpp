@@ -1,0 +1,566 @@
+//===- Dependence.cpp - Interprocedural data+control dependence -----------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <unordered_map>
+
+using namespace dart;
+
+namespace {
+
+/// Per-function control-dependence scaffolding: post-dominators on the
+/// reverse CFG with a virtual exit, then the FOW edge walk.
+struct PostDoms {
+  /// Immediate post-dominator per block; kExit for blocks whose only
+  /// post-dominator is the virtual exit, Cfg::kUnset for blocks that
+  /// cannot reach function exit (infinite loops — handled conservatively
+  /// by the caller).
+  std::vector<unsigned> Ipdom;
+  unsigned Exit = 0; ///< virtual exit id (== numBlocks)
+
+  static PostDoms build(const Cfg &G) {
+    unsigned N = G.numBlocks();
+    PostDoms P;
+    P.Exit = N;
+    P.Ipdom.assign(N + 1, Cfg::kUnset);
+
+    // Reverse graph: node ids 0..N-1 plus the virtual exit N. An edge
+    // A->B of the forward CFG is B->A here; every block without forward
+    // successors feeds the exit, so the exit is the reverse entry.
+    std::vector<std::vector<unsigned>> RevSuccs(N + 1), RevPreds(N + 1);
+    for (unsigned B = 0; B < N; ++B) {
+      const BasicBlock &BB = G.block(B);
+      if (BB.Succs.empty()) {
+        RevSuccs[N].push_back(B);
+        RevPreds[B].push_back(N);
+      }
+      for (unsigned S : BB.Succs) {
+        RevSuccs[S].push_back(B);
+        RevPreds[B].push_back(S);
+      }
+    }
+
+    // RPO of the reverse graph from the exit.
+    std::vector<unsigned> Rpo, RpoIndex(N + 1, Cfg::kUnset);
+    {
+      std::vector<uint8_t> State(N + 1, 0);
+      std::vector<std::pair<unsigned, size_t>> Stack{{N, 0}};
+      State[N] = 1;
+      while (!Stack.empty()) {
+        auto &[B, I] = Stack.back();
+        if (I < RevSuccs[B].size()) {
+          unsigned S = RevSuccs[B][I++];
+          if (!State[S]) {
+            State[S] = 1;
+            Stack.push_back({S, 0});
+          }
+        } else {
+          Rpo.push_back(B);
+          Stack.pop_back();
+        }
+      }
+      std::reverse(Rpo.begin(), Rpo.end());
+      for (unsigned I = 0; I < Rpo.size(); ++I)
+        RpoIndex[Rpo[I]] = I;
+    }
+
+    // Cooper-Harvey-Kennedy on the reverse graph.
+    P.Ipdom[N] = N;
+    auto Intersect = [&](unsigned A, unsigned B) {
+      while (A != B) {
+        while (RpoIndex[A] > RpoIndex[B])
+          A = P.Ipdom[A];
+        while (RpoIndex[B] > RpoIndex[A])
+          B = P.Ipdom[B];
+      }
+      return A;
+    };
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned B : Rpo) {
+        if (B == N)
+          continue;
+        unsigned NewIpdom = Cfg::kUnset;
+        for (unsigned Pr : RevPreds[B]) {
+          if (P.Ipdom[Pr] == Cfg::kUnset)
+            continue;
+          NewIpdom = NewIpdom == Cfg::kUnset ? Pr : Intersect(NewIpdom, Pr);
+        }
+        if (NewIpdom != Cfg::kUnset && P.Ipdom[B] != NewIpdom) {
+          P.Ipdom[B] = NewIpdom;
+          Changed = true;
+        }
+      }
+    }
+    return P;
+  }
+};
+
+struct Builder {
+  const IRModule &M;
+  DependenceResult &R;
+  unsigned NumSources;
+  /// Set before the joint fixpoint: per-function CFGs for mapping a
+  /// writing instruction to its block's control sources.
+  const std::vector<Cfg> *Cfgs = nullptr;
+  std::unordered_map<std::string, unsigned> FnIndexOf;
+
+  Builder(const IRModule &M, DependenceResult &R, unsigned NumSources)
+      : M(M), R(R), NumSources(NumSources) {
+    for (unsigned I = 0; I < M.functions().size(); ++I)
+      FnIndexOf[M.functions()[I]->Name] = I;
+  }
+
+  SourceSet top() const { return SourceSet::all(NumSources); }
+
+  /// The control sources of the block holding instruction \p II —
+  /// implicit-flow widening: whether a write executes at all is decided
+  /// by the branches its block is control-dependent on, so the written
+  /// cell *depends on* their sources even when the stored value is a
+  /// constant (`if (input) g = 1;` makes g depend on input). Taint omits
+  /// implicit flows (the shadow VM only tracks values); dependence must
+  /// not, or the control-unreachable-bug lint would call g's readers
+  /// input-independent.
+  SourceSet ctrlOf(unsigned Fn, unsigned II) const {
+    SourceSet S(NumSources);
+    if (!Cfgs || Fn >= R.BlockCtrlSources.size())
+      return S;
+    unsigned Bk = (*Cfgs)[Fn].blockOf(II);
+    if (Bk == Cfg::kUnset || Bk >= R.BlockCtrlSources[Fn].size())
+      return S;
+    return R.BlockCtrlSources[Fn][Bk];
+  }
+
+  /// One data-propagation sweep; returns true if any source bit moved.
+  /// The sweep mirrors Taint.cpp's, generalized from bool to SourceSet,
+  /// with two deliberate widenings beyond taint. First: a Store/Copy
+  /// through a computed address also flows the *address expression's*
+  /// sources into the written cells (which cell gets written depends on
+  /// the index), and a Load through a computed address carries the
+  /// index's sources too. Second: every write carries its block's
+  /// control sources (see ctrlOf). Taint omits both (the VM concretizes
+  /// addresses and values, so the cell never *holds* a symbolic value
+  /// through either channel) — but the lints need influence, not
+  /// symbolic-ness: an input used only as an array index or a guard
+  /// still steers observable behaviour.
+  bool propagate() {
+    bool Changed = false;
+    const PointsToResult &PT = *R.PT;
+    auto FlowIntoLoc = [&](unsigned Loc, const SourceSet &S) {
+      if (Loc < R.LocSources.size() && R.LocSources[Loc].unionWith(S))
+        Changed = true;
+    };
+    auto FlowIntoSlot = [&](unsigned Fn, unsigned S, const SourceSet &Src) {
+      if (S < M.functions()[Fn]->Slots.size())
+        FlowIntoLoc(PT.slotLoc(Fn, S), Src);
+    };
+    auto FlowIntoWrite = [&](unsigned Fn, const IRExpr *Addr,
+                             const SourceSet &Src) {
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(Addr))
+        FlowIntoSlot(Fn, FA->slotIndex(), Src);
+      else if (const auto *GA = dyn_cast<GlobalAddrExpr>(Addr))
+        FlowIntoLoc(PT.globalLoc(GA->globalIndex()), Src);
+      else
+        for (unsigned O : PT.addressTargets(Fn, Addr))
+          FlowIntoLoc(O, Src);
+    };
+    for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+      const IRFunction &F = *M.functions()[Fn];
+      for (unsigned II = 0; II < F.Instrs.size(); ++II) {
+        const Instr &I = *F.Instrs[II];
+        switch (I.kind()) {
+        case Instr::Kind::Store: {
+          const auto *St = cast<StoreInstr>(&I);
+          SourceSet Src = R.exprSources(Fn, St->value());
+          if (!isa<FrameAddrExpr>(St->address()) &&
+              !isa<GlobalAddrExpr>(St->address()))
+            Src.unionWith(R.exprSources(Fn, St->address()));
+          Src.unionWith(ctrlOf(Fn, II));
+          if (Src.any())
+            FlowIntoWrite(Fn, St->address(), Src);
+          break;
+        }
+        case Instr::Kind::Copy: {
+          const auto *C = cast<CopyInstr>(&I);
+          SourceSet Src(NumSources);
+          if (const auto *FA = dyn_cast<FrameAddrExpr>(C->src()))
+            Src = R.LocSources[PT.slotLoc(Fn, FA->slotIndex())];
+          else if (const auto *GA = dyn_cast<GlobalAddrExpr>(C->src()))
+            Src = R.LocSources[PT.globalLoc(GA->globalIndex())];
+          else {
+            std::vector<unsigned> Targets = PT.addressTargets(Fn, C->src());
+            if (Targets.empty())
+              Src = top();
+            for (unsigned O : Targets)
+              Src.unionWith(R.LocSources[O]);
+            Src.unionWith(R.exprSources(Fn, C->src()));
+          }
+          if (!isa<FrameAddrExpr>(C->dst()) && !isa<GlobalAddrExpr>(C->dst()))
+            Src.unionWith(R.exprSources(Fn, C->dst()));
+          Src.unionWith(ctrlOf(Fn, II));
+          if (Src.any())
+            FlowIntoWrite(Fn, C->dst(), Src);
+          break;
+        }
+        case Instr::Kind::Call: {
+          const auto *C = cast<CallInstr>(&I);
+          SourceSet Ctrl = ctrlOf(Fn, II);
+          auto It = FnIndexOf.find(C->callee());
+          if (It != FnIndexOf.end()) {
+            unsigned Callee = It->second;
+            const IRFunction &CF = *M.functions()[Callee];
+            for (unsigned A = 0; A < C->args().size() && A < CF.NumParams;
+                 ++A) {
+              SourceSet S = R.exprSources(Fn, C->args()[A].get());
+              S.unionWith(Ctrl);
+              if (S.any())
+                FlowIntoSlot(Callee, A, S);
+            }
+            if (C->destSlot()) {
+              SourceSet S = R.RetSources[Callee];
+              S.unionWith(Ctrl);
+              FlowIntoSlot(Fn, *C->destSlot(), S);
+            }
+          } else if (C->destSlot()) {
+            // Native or external callee: externals return fresh inputs
+            // (§3.1) — the ExternalWorld source — and natives are opaque
+            // transforms of their arguments.
+            SourceSet S(NumSources);
+            S.set(0);
+            for (const IRExprPtr &A : C->args())
+              S.unionWith(R.exprSources(Fn, A.get()));
+            S.unionWith(Ctrl);
+            FlowIntoSlot(Fn, *C->destSlot(), S);
+          }
+          break;
+        }
+        case Instr::Kind::Ret: {
+          const auto *Ret = cast<RetInstr>(&I);
+          if (!Ret->value())
+            break;
+          SourceSet S = R.exprSources(Fn, Ret->value());
+          S.unionWith(ctrlOf(Fn, II));
+          if (R.RetSources[Fn].unionWith(S))
+            Changed = true;
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+SourceSet DependenceResult::exprSources(unsigned Fn, const IRExpr *E) const {
+  unsigned N = static_cast<unsigned>(Sources.size());
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+  case IRExpr::Kind::FrameAddr:
+  case IRExpr::Kind::GlobalAddr:
+    return SourceSet(N); // addresses are concrete
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address()))
+      return LocSources[PT->slotLoc(Fn, FA->slotIndex())];
+    if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address()))
+      return LocSources[PT->globalLoc(GA->globalIndex())];
+    // Computed address: the loaded value carries the sources of every
+    // may-target cell plus the index's own (which cell is read depends
+    // on it). An empty target set means the VM would trap — stay ⊤.
+    std::vector<unsigned> Targets = PT->addressTargets(Fn, L->address());
+    if (Targets.empty())
+      return SourceSet::all(N);
+    SourceSet S = exprSources(Fn, L->address());
+    for (unsigned O : Targets)
+      S.unionWith(LocSources[O]);
+    return S;
+  }
+  case IRExpr::Kind::Unary:
+    return exprSources(Fn, cast<UnaryIRExpr>(E)->operand());
+  case IRExpr::Kind::Binary: {
+    SourceSet S = exprSources(Fn, cast<BinaryIRExpr>(E)->lhs());
+    S.unionWith(exprSources(Fn, cast<BinaryIRExpr>(E)->rhs()));
+    return S;
+  }
+  case IRExpr::Kind::Cmp: {
+    SourceSet S = exprSources(Fn, cast<CmpExpr>(E)->lhs());
+    S.unionWith(exprSources(Fn, cast<CmpExpr>(E)->rhs()));
+    return S;
+  }
+  case IRExpr::Kind::Cast:
+    return exprSources(Fn, cast<CastIRExpr>(E)->operand());
+  }
+  return SourceSet::all(N);
+}
+
+std::string DependenceStats::toString() const {
+  std::ostringstream OS;
+  OS << "Dependence: " << NumSources << " input sources, " << NumBranchSites
+     << " branch sites (" << SitesNoDataDeps << " with no input data deps), "
+     << CtrlDepEdges << " control-dep edges";
+  if (NumBranchSites)
+    OS << ", mean relevant inputs/site "
+       << (double(RelevantInputsTotal) / NumBranchSites);
+  OS << ", " << WallMicros << " us";
+  return OS.str();
+}
+
+DependenceResult
+dart::runDependenceAnalysis(const IRModule &M, const std::string &ToplevelName,
+                            std::shared_ptr<const PointsToResult> PT) {
+  auto T0 = std::chrono::steady_clock::now();
+  DependenceResult R;
+  R.PT = PT ? std::move(PT)
+            : std::make_shared<PointsToResult>(
+                  runPointsToAnalysis(M, ToplevelName));
+  unsigned NumFns = static_cast<unsigned>(M.functions().size());
+  unsigned NumGlobals = static_cast<unsigned>(M.globals().size());
+
+  // Source universe: ExternalWorld is id 0, then the toplevel's
+  // parameters in slot order, then extern-input globals in index order.
+  R.Sources.push_back({InputSource::Kind::ExternalWorld, 0, 0, "<external>"});
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    if (F.Name == ToplevelName) {
+      R.ToplevelFn = Fn;
+      for (unsigned P = 0; P < F.NumParams && P < F.Slots.size(); ++P)
+        R.Sources.push_back({InputSource::Kind::Param, Fn, P,
+                             F.Name + ":param" + std::to_string(P)});
+    }
+  }
+  for (unsigned G = 0; G < NumGlobals; ++G)
+    if (M.globals()[G].IsExternInput)
+      R.Sources.push_back(
+          {InputSource::Kind::ExternGlobal, 0, G, M.globals()[G].Name});
+  unsigned NumSources = static_cast<unsigned>(R.Sources.size());
+
+  R.LocSources.assign(R.PT->numLocs(), SourceSet(NumSources));
+  R.RetSources.assign(NumFns, SourceSet(NumSources));
+
+  // Seeds mirror runTaintAnalysis: the External location holds the world
+  // source; each toplevel parameter slot and extern-input global holds
+  // its own source bit.
+  R.LocSources[R.PT->externalLoc()].set(0);
+  for (unsigned S = 1; S < NumSources; ++S) {
+    const InputSource &Src = R.Sources[S];
+    if (Src.K == InputSource::Kind::Param)
+      R.LocSources[R.PT->slotLoc(Src.Fn, Src.Index)].set(S);
+    else
+      R.LocSources[R.PT->globalLoc(Src.Index)].set(S);
+  }
+
+  Builder B(M, R, NumSources);
+
+  // --- Control-dependence structure (CFGs, post-dominators, FOW edges) ---
+  const CallGraph &CG = R.PT->callGraph();
+  R.ReachableFromToplevel.assign(NumFns, false);
+  if (R.ToplevelFn != ~0u)
+    R.ReachableFromToplevel = CG.transitiveCallees(R.ToplevelFn);
+
+  R.BlockCtrlSources.resize(NumFns);
+  R.BlockGuarded.resize(NumFns);
+  R.CtrlDepBranches.resize(NumFns);
+  std::vector<Cfg> Cfgs;
+  Cfgs.reserve(NumFns);
+  std::vector<std::vector<bool>> RevReachable(NumFns);
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    Cfgs.push_back(Cfg::build(F));
+    const Cfg &G = Cfgs.back();
+    unsigned N = G.numBlocks();
+    R.BlockCtrlSources[Fn].assign(N, SourceSet(NumSources));
+    R.BlockGuarded[Fn].assign(N, false);
+    R.CtrlDepBranches[Fn].assign(N, {});
+    RevReachable[Fn].assign(N, false);
+
+    PostDoms P = PostDoms::build(G);
+    for (unsigned Bk = 0; Bk < N; ++Bk)
+      RevReachable[Fn][Bk] = P.Ipdom[Bk] != Cfg::kUnset;
+    // FOW: for each branch edge A->S with S not post-dominating A, every
+    // block on the post-dominator path from S up to (excluding) ipdom(A)
+    // is control-dependent on A's terminator.
+    for (unsigned A = 0; A < N; ++A) {
+      const Instr *T = G.terminator(A);
+      if (!T || T->kind() != Instr::Kind::CondJump)
+        continue;
+      if (P.Ipdom[A] == Cfg::kUnset)
+        continue; // branch cannot reach exit; blocks below stay ⊤ anyway
+      unsigned BranchInstr = G.block(A).End - 1;
+      for (unsigned S : G.block(A).Succs) {
+        unsigned X = S;
+        while (X != P.Ipdom[A] && X != P.Exit && X != Cfg::kUnset) {
+          std::vector<unsigned> &Deps = R.CtrlDepBranches[Fn][X];
+          if (std::find(Deps.begin(), Deps.end(), BranchInstr) == Deps.end()) {
+            Deps.push_back(BranchInstr);
+            ++R.Stats.CtrlDepEdges;
+          }
+          X = P.Ipdom[X];
+        }
+      }
+    }
+  }
+
+  // Interprocedural closure: a function's blocks inherit the control
+  // context of its call sites. FnCtrlSources is a may-union over call
+  // sites; FnGuarded is a must-AND (one unguarded call chain means the
+  // body can execute unconditionally) solved as a greatest fixpoint.
+  std::vector<SourceSet> FnCtrlSources(NumFns, SourceSet(NumSources));
+  std::vector<bool> FnGuarded(NumFns, true);
+  if (R.ToplevelFn != ~0u)
+    FnGuarded[R.ToplevelFn] = false;
+
+  auto BlockFixpoint = [&](unsigned Fn) {
+    const Cfg &G = Cfgs[Fn];
+    unsigned N = G.numBlocks();
+    bool Any = false;
+    for (unsigned Bk = 0; Bk < N; ++Bk) {
+      if (!RevReachable[Fn][Bk]) {
+        // Cannot reach function exit (or forward-unreachable): stay ⊤,
+        // guarded — conservative toward not-reporting and full slices.
+        if (R.BlockCtrlSources[Fn][Bk].unionWith(B.top()))
+          Any = true;
+        R.BlockGuarded[Fn][Bk] = true;
+        continue;
+      }
+      if (R.BlockCtrlSources[Fn][Bk].unionWith(FnCtrlSources[Fn]))
+        Any = true;
+    }
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned Bk = 0; Bk < N; ++Bk) {
+        if (!RevReachable[Fn][Bk])
+          continue;
+        for (unsigned BranchInstr : R.CtrlDepBranches[Fn][Bk]) {
+          const auto *CJ =
+              cast<CondJumpInstr>(M.functions()[Fn]->Instrs[BranchInstr].get());
+          SourceSet S = R.exprSources(Fn, CJ->cond());
+          S.unionWith(R.BlockCtrlSources[Fn][G.blockOf(BranchInstr)]);
+          if (R.BlockCtrlSources[Fn][Bk].unionWith(S))
+            Changed = Any = true;
+        }
+      }
+    }
+    return Any;
+  };
+
+  // Joint fixpoint. Data sources feed branch conditions, whose sources
+  // feed the control closure; control sources feed back into the data
+  // sweep through the implicit-flow widening at writes (Builder::ctrlOf:
+  // `if (input) g = 1;` makes g depend on input). Both lattices are
+  // finite and every step is monotone, so alternating the two sweeps to
+  // mutual quiescence terminates.
+  B.Cfgs = &Cfgs;
+  bool AnyChanged = true;
+  while (AnyChanged) {
+    AnyChanged = false;
+    while (B.propagate())
+      AnyChanged = true;
+    bool InterChanged = true;
+    while (InterChanged) {
+      InterChanged = false;
+      for (unsigned Fn = 0; Fn < NumFns; ++Fn)
+        if (BlockFixpoint(Fn))
+          InterChanged = true;
+      for (const CallGraphSite &Site : CG.sites()) {
+        if (Site.CalleeFn == CallGraph::kExternal)
+          continue;
+        if (!R.ReachableFromToplevel.empty() &&
+            !R.ReachableFromToplevel[Site.CallerFn])
+          continue;
+        unsigned Bk = Cfgs[Site.CallerFn].blockOf(Site.InstrIndex);
+        if (FnCtrlSources[Site.CalleeFn].unionWith(
+                R.BlockCtrlSources[Site.CallerFn][Bk]))
+          InterChanged = true;
+      }
+      if (InterChanged)
+        AnyChanged = true;
+    }
+  }
+
+  // FnGuarded greatest fixpoint: start at "guarded" and lower a callee
+  // whenever some reachable call site executes unconditionally.
+  bool GuardChanged = true;
+  while (GuardChanged) {
+    GuardChanged = false;
+    for (const CallGraphSite &Site : CG.sites()) {
+      if (Site.CalleeFn == CallGraph::kExternal || !FnGuarded[Site.CalleeFn])
+        continue;
+      if (!R.ReachableFromToplevel.empty() &&
+          !R.ReachableFromToplevel[Site.CallerFn])
+        continue;
+      unsigned Bk = Cfgs[Site.CallerFn].blockOf(Site.InstrIndex);
+      bool SiteGuarded = !R.CtrlDepBranches[Site.CallerFn][Bk].empty() ||
+                         !RevReachable[Site.CallerFn][Bk] ||
+                         FnGuarded[Site.CallerFn];
+      if (!SiteGuarded) {
+        FnGuarded[Site.CalleeFn] = false;
+        GuardChanged = true;
+      }
+    }
+  }
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn)
+    for (unsigned Bk = 0; Bk < Cfgs[Fn].numBlocks(); ++Bk)
+      if (RevReachable[Fn][Bk])
+        R.BlockGuarded[Fn][Bk] =
+            !R.CtrlDepBranches[Fn][Bk].empty() || FnGuarded[Fn];
+
+  // --- Per-site tables and the dead-input evidence set ---
+  unsigned MaxSite = 0;
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn)
+    for (const InstrPtr &IP : M.functions()[Fn]->Instrs)
+      if (const auto *CJ = dyn_cast<CondJumpInstr>(IP.get()))
+        MaxSite = std::max(MaxSite, CJ->siteId() + 1);
+  R.SiteDataInputs.assign(MaxSite, SourceSet(NumSources));
+  R.SiteRelevant.assign(MaxSite, SourceSet(NumSources));
+  R.UsedSources = SourceSet(NumSources);
+  R.UsedSources.unionWith(R.LocSources[R.PT->externalLoc()]);
+  if (R.ToplevelFn != ~0u)
+    R.UsedSources.unionWith(R.RetSources[R.ToplevelFn]);
+
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    for (unsigned II = 0; II < F.Instrs.size(); ++II) {
+      const Instr &I = *F.Instrs[II];
+      if (const auto *CJ = dyn_cast<CondJumpInstr>(&I)) {
+        unsigned Site = CJ->siteId();
+        R.SiteDataInputs[Site] = R.exprSources(Fn, CJ->cond());
+        R.SiteRelevant[Site] = R.SiteDataInputs[Site];
+        R.SiteRelevant[Site].unionWith(
+            R.BlockCtrlSources[Fn][Cfgs[Fn].blockOf(II)]);
+        R.UsedSources.unionWith(R.SiteDataInputs[Site]);
+      } else if (const auto *C = dyn_cast<CallInstr>(&I)) {
+        // Arguments handed to the outside world are observable outputs.
+        if (CG.indexOf(C->callee()) == CallGraph::kExternal)
+          for (const IRExprPtr &A : C->args())
+            R.UsedSources.unionWith(R.exprSources(Fn, A.get()));
+      }
+    }
+  }
+
+  R.Stats.NumSources = NumSources;
+  R.Stats.NumBranchSites = MaxSite;
+  for (unsigned S = 0; S < MaxSite; ++S) {
+    if (!R.SiteDataInputs[S].any())
+      ++R.Stats.SitesNoDataDeps;
+    R.Stats.RelevantInputsTotal += R.SiteRelevant[S].count();
+  }
+  R.Stats.WallMicros = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - T0)
+                           .count();
+  return R;
+}

@@ -1,0 +1,188 @@
+//===- Dependence.h - Interprocedural data+control dependence ---*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Which *inputs* can influence each branch site — as a set, not a bit?
+/// Taint.h answers "can this condition observe any symbolic value";
+/// pruning only needs that bool, but the sliced solver mode, the
+/// dependence lints, and --stats need to know *which* of the program's
+/// input sources reach each site, and whether a site's very execution
+/// (not just its condition) is steered by inputs.
+///
+/// Input sources are the places the generated driver injects fresh
+/// values each run (§3.1): one source per toplevel parameter, one per
+/// extern-input global, and a single ExternalWorld source standing for
+/// everything behind the driver-owned External location (pointer input
+/// cells, external-function returns). Sources form a finite universe, so
+/// dependence is a bitset lattice — the fixpoint generalizes the taint
+/// sweep from bool to SourceSet and reuses the same alias discipline
+/// (stores through computed addresses touch exactly their may-targets),
+/// widened with index flows (an input used only as an array index still
+/// steers which cell is touched) and implicit flows (a write carries the
+/// sources of the branches controlling whether it executes — the data
+/// and control fixpoints are solved jointly).
+///
+/// Control dependence is the classic Ferrante-Ottenstein-Warren
+/// construction on post-dominators (computed here on each function's
+/// reverse CFG with a virtual exit, since Cfg only carries forward
+/// dominators). Interprocedural closure: a callee's blocks inherit the
+/// control context of every call site. A branch site's *relevant-input
+/// set* is the data sources of its condition unioned with the sources
+/// controlling whether the site executes at all — the set the sliced
+/// search uses, because whether a conjunct appears in the path
+/// constraint is itself input-dependent (see DESIGN.md §3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_DEPENDENCE_H
+#define DART_ANALYSIS_DEPENDENCE_H
+
+#include "analysis/PointsTo.h"
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// A set over the program's input sources (small, dense ids).
+class SourceSet {
+public:
+  SourceSet() = default;
+  explicit SourceSet(unsigned Universe) : W((Universe + 63) / 64, 0) {}
+
+  /// The full set over a universe of \p Universe sources (the ⊤ the
+  /// analysis degrades to at untracked addresses).
+  static SourceSet all(unsigned Universe) {
+    SourceSet S(Universe);
+    for (unsigned I = 0; I < Universe; ++I)
+      S.set(I);
+    return S;
+  }
+
+  void set(unsigned I) { W[I / 64] |= uint64_t(1) << (I % 64); }
+  bool test(unsigned I) const {
+    return I / 64 < W.size() && (W[I / 64] >> (I % 64)) & 1;
+  }
+  /// Union \p O into this set; returns true if any bit was added.
+  bool unionWith(const SourceSet &O) {
+    bool Changed = false;
+    for (size_t I = 0; I < O.W.size() && I < W.size(); ++I) {
+      uint64_t New = W[I] | O.W[I];
+      if (New != W[I]) {
+        W[I] = New;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+  bool any() const {
+    for (uint64_t X : W)
+      if (X)
+        return true;
+    return false;
+  }
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t X : W)
+      for (; X; X &= X - 1)
+        ++N;
+    return N;
+  }
+
+private:
+  std::vector<uint64_t> W;
+};
+
+/// One input source: where the driver injects a fresh value each run.
+struct InputSource {
+  enum class Kind { ExternalWorld, Param, ExternGlobal };
+  Kind K = Kind::ExternalWorld;
+  unsigned Fn = 0;    ///< Param: toplevel module index
+  unsigned Index = 0; ///< Param: slot index / ExternGlobal: global index
+  std::string Name;   ///< parameter or global name ("<external>" for world)
+};
+
+/// Analysis-shape counters for the --stats Dependence block.
+struct DependenceStats {
+  unsigned NumSources = 0;     ///< input sources in the universe
+  unsigned NumBranchSites = 0;
+  unsigned SitesNoDataDeps = 0; ///< sites whose condition depends on no input
+  unsigned CtrlDepEdges = 0;    ///< direct FOW control-dependence edges
+  /// Sum over branch sites of |relevant-input set| (data + control);
+  /// divide by NumBranchSites for the mean --stats prints.
+  uint64_t RelevantInputsTotal = 0;
+  uint64_t WallMicros = 0;
+
+  void merge(const DependenceStats &O) {
+    NumSources += O.NumSources;
+    NumBranchSites += O.NumBranchSites;
+    SitesNoDataDeps += O.SitesNoDataDeps;
+    CtrlDepEdges += O.CtrlDepEdges;
+    RelevantInputsTotal += O.RelevantInputsTotal;
+    WallMicros += O.WallMicros;
+  }
+  std::string toString() const;
+};
+
+struct DependenceResult {
+  /// The alias layer the location lattice is built on; always set.
+  std::shared_ptr<const PointsToResult> PT;
+  /// The source universe. Id 0 is always ExternalWorld.
+  std::vector<InputSource> Sources;
+  /// Per abstract location (PointsToResult id space): which sources may
+  /// flow a value into the object.
+  std::vector<SourceSet> LocSources;
+  /// Per function: which sources may flow into its return value.
+  std::vector<SourceSet> RetSources;
+  /// Per branch site id (CondJumpInstr::siteId): data sources of the
+  /// condition expression.
+  std::vector<SourceSet> SiteDataInputs;
+  /// Per branch site: the relevant-input set — data sources of the
+  /// condition plus every source controlling whether the site executes
+  /// (intraprocedural control deps + interprocedural call context).
+  std::vector<SourceSet> SiteRelevant;
+  /// Per function, per CFG block: sources of every branch the block is
+  /// transitively control-dependent on, including call context.
+  std::vector<std::vector<SourceSet>> BlockCtrlSources;
+  /// Per function, per block: is the block control-dependent on at least
+  /// one branch (or called only from guarded contexts)? Toplevel entry
+  /// blocks that execute unconditionally report false.
+  std::vector<std::vector<bool>> BlockGuarded;
+  /// Per function, per block: direct FOW control-dependence edges — the
+  /// CondJump instruction indices (in the same function) the block is
+  /// directly control-dependent on. Slice.cpp walks these.
+  std::vector<std::vector<std::vector<unsigned>>> CtrlDepBranches;
+  /// Per function: is it reachable from the toplevel along call edges?
+  std::vector<bool> ReachableFromToplevel;
+  /// Union of: data sources of every branch condition, sources of every
+  /// argument to an external/native call, sources of the toplevel's
+  /// return value, and sources reaching the External location. A source
+  /// absent from this set influences no branch, output, or bug site —
+  /// the dead-input lint's evidence.
+  SourceSet UsedSources;
+  DependenceStats Stats;
+
+  /// Which sources may the value of \p E (evaluated in \p Fn) carry?
+  SourceSet exprSources(unsigned Fn, const IRExpr *E) const;
+
+  /// The toplevel's module index, or ~0u when the name resolved to no
+  /// program function.
+  unsigned ToplevelFn = ~0u;
+};
+
+/// Run the whole-program dependence fixpoint. \p ToplevelName seeds the
+/// source universe (its parameters become Param sources) exactly as
+/// runTaintAnalysis seeds taint. When \p PT is non-null the alias solve
+/// is reused instead of recomputed.
+DependenceResult
+runDependenceAnalysis(const IRModule &M, const std::string &ToplevelName,
+                      std::shared_ptr<const PointsToResult> PT = nullptr);
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_DEPENDENCE_H

@@ -6,6 +6,7 @@
 
 #include "analysis/Lint.h"
 #include "analysis/Cfg.h"
+#include "analysis/Dependence.h"
 #include "analysis/Interval.h"
 #include "analysis/Liveness.h"
 #include "analysis/PointsTo.h"
@@ -298,6 +299,12 @@ const char *dart::lintKindName(LintKind K) {
     return "null-dereference";
   case LintKind::StackAddressEscape:
     return "stack-address-escape";
+  case LintKind::DeadInput:
+    return "dead-input";
+  case LintKind::WriteOnlyVariable:
+    return "write-only-variable";
+  case LintKind::ControlUnreachableBug:
+    return "control-unreachable-bug";
   }
   return "unknown";
 }
@@ -537,9 +544,17 @@ void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
   });
 }
 
+/// RFC 8259 string escaping over raw bytes. Besides the two mandatory
+/// escapes, every control character and every byte outside printable
+/// ASCII is emitted as \u00XX (bytes-as-Latin-1: identifiers from
+/// unparseable sources can carry arbitrary bytes, and escaping them
+/// keeps the document pure ASCII and parseable by any conforming
+/// reader). The byte must pass through snprintf as an unsigned value —
+/// a plain char promotes negatively for bytes >= 0x80 and would print
+/// garbage like ￿ffe9.
 std::string jsonEscape(const std::string &S) {
   std::ostringstream OS;
-  for (char C : S) {
+  for (unsigned char C : S) {
     switch (C) {
     case '"':
       OS << "\\\"";
@@ -553,24 +568,255 @@ std::string jsonEscape(const std::string &S) {
     case '\t':
       OS << "\\t";
       break;
+    case '\r':
+      OS << "\\r";
+      break;
     default:
-      if (static_cast<unsigned char>(C) < 0x20) {
+      if (C < 0x20 || C >= 0x7f) {
         char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", static_cast<unsigned>(C));
         OS << Buf;
       } else {
-        OS << C;
+        OS << static_cast<char>(C);
       }
     }
   }
   return OS.str();
 }
 
+/// Apply \p F to every IRExpr node under \p E, including \p E itself.
+template <typename Fn> void forEachExprNode(const IRExpr *E, Fn F) {
+  F(E);
+  switch (E->kind()) {
+  case IRExpr::Kind::Load:
+    forEachExprNode(cast<LoadExpr>(E)->address(), F);
+    return;
+  case IRExpr::Kind::Unary:
+    forEachExprNode(cast<UnaryIRExpr>(E)->operand(), F);
+    return;
+  case IRExpr::Kind::Binary:
+    forEachExprNode(cast<BinaryIRExpr>(E)->lhs(), F);
+    forEachExprNode(cast<BinaryIRExpr>(E)->rhs(), F);
+    return;
+  case IRExpr::Kind::Cmp:
+    forEachExprNode(cast<CmpExpr>(E)->lhs(), F);
+    forEachExprNode(cast<CmpExpr>(E)->rhs(), F);
+    return;
+  case IRExpr::Kind::Cast:
+    forEachExprNode(cast<CastIRExpr>(E)->operand(), F);
+    return;
+  default:
+    return;
+  }
+}
+
+/// Apply \p F to every top-level expression operand of \p I.
+template <typename Fn> void forEachInstrExpr(const Instr &I, Fn F) {
+  switch (I.kind()) {
+  case Instr::Kind::Store:
+    F(cast<StoreInstr>(&I)->address());
+    F(cast<StoreInstr>(&I)->value());
+    return;
+  case Instr::Kind::Copy:
+    F(cast<CopyInstr>(&I)->dst());
+    F(cast<CopyInstr>(&I)->src());
+    return;
+  case Instr::Kind::CondJump:
+    F(cast<CondJumpInstr>(&I)->cond());
+    return;
+  case Instr::Kind::Call:
+    for (const IRExprPtr &A : cast<CallInstr>(&I)->args())
+      F(A.get());
+    return;
+  case Instr::Kind::Ret:
+    if (const IRExpr *V = cast<RetInstr>(&I)->value())
+      F(V);
+    return;
+  default:
+    return;
+  }
+}
+
+/// 9. Write-only globals. A named, writable, non-input global whose
+/// address occurs in the whole module *only* as the direct destination of
+/// stores can never be read (taking its address — the only other way to
+/// reach it — would itself be a disqualifying occurrence), so every value
+/// written to it is lost. Purely syntactic and therefore a guarantee;
+/// writes through a computed address (g[i] = ...) leave the global's
+/// address visible in the index expression and conservatively disqualify.
+void lintWriteOnlyGlobals(const IRModule &M, std::vector<LintFinding> &Out) {
+  size_t NumG = M.globals().size();
+  std::vector<bool> StoredDirect(NumG, false), OtherUse(NumG, false);
+  std::vector<SourceLocation> StoreLoc(NumG);
+  std::vector<unsigned> StoreFn(NumG, 0);
+  for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    for (const auto &IP : F.Instrs) {
+      const Instr &In = *IP;
+      const IRExpr *WriteAddr = nullptr;
+      unsigned WriteG = 0;
+      if (const auto *St = dyn_cast<StoreInstr>(&In)) {
+        if (const auto *GA = dyn_cast<GlobalAddrExpr>(St->address())) {
+          WriteAddr = St->address();
+          WriteG = GA->globalIndex();
+        }
+      } else if (const auto *Cp = dyn_cast<CopyInstr>(&In)) {
+        if (const auto *GA = dyn_cast<GlobalAddrExpr>(Cp->dst())) {
+          WriteAddr = Cp->dst();
+          WriteG = GA->globalIndex();
+        }
+      }
+      if (WriteAddr) {
+        if (!StoredDirect[WriteG] ||
+            (StoreLoc[WriteG].Line == 0 && In.loc().Line > 0)) {
+          StoreLoc[WriteG] = In.loc();
+          StoreFn[WriteG] = Fn;
+        }
+        StoredDirect[WriteG] = true;
+      }
+      forEachInstrExpr(In, [&](const IRExpr *Root) {
+        forEachExprNode(Root, [&](const IRExpr *E) {
+          if (E == WriteAddr)
+            return;
+          if (const auto *GA = dyn_cast<GlobalAddrExpr>(E))
+            OtherUse[GA->globalIndex()] = true;
+        });
+      });
+    }
+  }
+  for (unsigned G = 0; G < NumG; ++G) {
+    const IRGlobal &Gl = M.globals()[G];
+    if (StoredDirect[G] && !OtherUse[G] && !Gl.Name.empty() &&
+        !Gl.ReadOnly && !Gl.IsExternInput)
+      Out.push_back({LintKind::WriteOnlyVariable,
+                     M.functions()[StoreFn[G]]->Name, StoreLoc[G],
+                     "global '" + Gl.Name + "' is written but never read"});
+  }
+}
+
+/// 10/11. The dependence-powered input lints. Only meaningful when a
+/// toplevel names the function the driver calls: its parameters are the
+/// Param sources and call-edge reachability is anchored there.
+void lintDependence(const IRModule &M, const std::string &ToplevelName,
+                    std::vector<LintFinding> &Out) {
+  // A fresh points-to solve anchored at the toplevel — the per-function
+  // lints' solve is anchored at no function, so its pointer parameters
+  // have no targets and reusing it would drop flows through them.
+  DependenceResult Dep = runDependenceAnalysis(M, ToplevelName);
+  if (Dep.ToplevelFn == ~0u)
+    return;
+
+  // 10. Dead inputs. UsedSources covers branches, outputs (toplevel
+  // return, external-call arguments) and external-world stores; a bug can
+  // also surface as a runtime trap, so extend the set with the sources of
+  // every divisor and every computed access address before calling an
+  // input influence-free. Absence from this may-set is a guarantee.
+  SourceSet Used = Dep.UsedSources;
+  for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    for (const auto &IP : F.Instrs) {
+      forEachInstrExpr(*IP, [&](const IRExpr *Root) {
+        forEachExprNode(Root, [&](const IRExpr *E) {
+          if (const auto *B = dyn_cast<BinaryIRExpr>(E)) {
+            if (B->op() == IRBinOp::Div || B->op() == IRBinOp::Rem)
+              Used.unionWith(Dep.exprSources(Fn, B->rhs()));
+          } else if (const auto *L = dyn_cast<LoadExpr>(E)) {
+            if (!isa<FrameAddrExpr>(L->address()) &&
+                !isa<GlobalAddrExpr>(L->address()))
+              Used.unionWith(Dep.exprSources(Fn, L->address()));
+          }
+        });
+      });
+      if (const auto *St = dyn_cast<StoreInstr>(IP.get())) {
+        if (!isa<FrameAddrExpr>(St->address()) &&
+            !isa<GlobalAddrExpr>(St->address()))
+          Used.unionWith(Dep.exprSources(Fn, St->address()));
+      } else if (const auto *Cp = dyn_cast<CopyInstr>(IP.get())) {
+        if (!isa<FrameAddrExpr>(Cp->dst()) && !isa<GlobalAddrExpr>(Cp->dst()))
+          Used.unionWith(Dep.exprSources(Fn, Cp->dst()));
+        if (!isa<FrameAddrExpr>(Cp->src()) && !isa<GlobalAddrExpr>(Cp->src()))
+          Used.unionWith(Dep.exprSources(Fn, Cp->src()));
+      }
+    }
+  }
+  for (unsigned Id = 1; Id < Dep.Sources.size(); ++Id) {
+    if (Used.test(Id))
+      continue;
+    const InputSource &S = Dep.Sources[Id];
+    if (S.K == InputSource::Kind::Param) {
+      const IRFunction &F = *M.functions()[S.Fn];
+      std::string Name = S.Index < F.Slots.size() &&
+                                 !F.Slots[S.Index].Name.empty()
+                             ? F.Slots[S.Index].Name
+                             : S.Name;
+      SourceLocation Loc{};
+      for (const auto &IP : F.Instrs)
+        if (IP->loc().Line > 0) {
+          Loc = IP->loc();
+          break;
+        }
+      Out.push_back({LintKind::DeadInput, F.Name, Loc,
+                     "input parameter '" + Name + "' of '" + F.Name +
+                         "' influences no branch, output, or trapping "
+                         "operation"});
+    } else if (S.K == InputSource::Kind::ExternGlobal) {
+      Out.push_back({LintKind::DeadInput, ToplevelName, SourceLocation{},
+                     "extern input '" + S.Name +
+                         "' influences no branch, output, or trapping "
+                         "operation"});
+    }
+  }
+
+  // 11. Control-unreachable bug sites. A guarded abort/assert whose
+  // transitive controlling branches (including the call contexts that
+  // reach its function) all have input-independent conditions executes —
+  // or not — identically on every run: no input choice steers execution
+  // toward or away from it, so the directed search can never target it.
+  // Blocks in reverse-unreachable regions carry the full source set and
+  // are skipped automatically.
+  for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+    if (Fn >= Dep.ReachableFromToplevel.size() ||
+        !Dep.ReachableFromToplevel[Fn])
+      continue;
+    const IRFunction &F = *M.functions()[Fn];
+    if (F.Instrs.empty())
+      continue;
+    bool HasAbort = false;
+    for (const auto &IP : F.Instrs)
+      if (isa<AbortInstr>(IP.get()))
+        HasAbort = true;
+    if (!HasAbort)
+      continue;
+    Cfg G = Cfg::build(F);
+    for (unsigned I = 0; I < F.Instrs.size(); ++I) {
+      const auto *A = dyn_cast<AbortInstr>(F.Instrs[I].get());
+      if (!A)
+        continue;
+      unsigned B = G.blockOf(I);
+      if (B == Cfg::kUnset || !G.isReachable(B))
+        continue;
+      if (!Dep.BlockGuarded[Fn][B] || Dep.BlockCtrlSources[Fn][B].any())
+        continue;
+      const char *What =
+          A->why() == AbortKind::AssertFailure ? "assertion" : "abort";
+      Out.push_back({LintKind::ControlUnreachableBug, F.Name,
+                     F.Instrs[I]->loc(),
+                     std::string(What) + " in '" + F.Name +
+                         "' is guarded only by input-independent branches: "
+                         "no input choice affects whether it executes"});
+    }
+  }
+}
+
 } // namespace
 
-std::vector<LintFinding> dart::runLintAnalysis(const IRModule &M) {
-  // Lint runs without a toplevel: no parameter is an input seed, so the
-  // taint result only contributes alias, escape, and stored-global facts.
+std::vector<LintFinding>
+dart::runLintAnalysis(const IRModule &M, const std::string &ToplevelName) {
+  // The per-function lints run taint without a toplevel: no parameter is
+  // an input seed, so the taint result only contributes alias, escape,
+  // and stored-global facts and the findings do not depend on which
+  // function the driver calls. The dependence lints re-seed from the
+  // toplevel on the same points-to solve.
   TaintResult T = runTaintAnalysis(M, "");
   std::vector<LintFinding> Result;
   for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
@@ -580,11 +826,15 @@ std::vector<LintFinding> dart::runLintAnalysis(const IRModule &M) {
       Result.push_back({F.Kind, M.functions()[Fn]->Name, F.Loc,
                         std::move(F.Message)});
   }
+  lintWriteOnlyGlobals(M, Result);
+  if (!ToplevelName.empty())
+    lintDependence(M, ToplevelName, Result);
   return Result;
 }
 
-unsigned dart::runLintPass(const IRModule &M, DiagnosticsEngine &Diags) {
-  std::vector<LintFinding> Findings = runLintAnalysis(M);
+unsigned dart::runLintPass(const IRModule &M, DiagnosticsEngine &Diags,
+                           const std::string &ToplevelName) {
+  std::vector<LintFinding> Findings = runLintAnalysis(M, ToplevelName);
   for (const LintFinding &F : Findings)
     Diags.warning(F.Loc, F.Message);
   return static_cast<unsigned>(Findings.size());

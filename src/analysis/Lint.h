@@ -7,7 +7,7 @@
 /// \file
 /// The user-facing face of the dataflow framework (`dart analyze`):
 /// whole-program static defect reports with source locations from the
-/// lowered IR. Eight defect classes, each backed by one of the analyses:
+/// lowered IR. Eleven defect classes, each backed by one of the analyses:
 ///
 ///   unreachable code        executable-edge reachability (Interval.h)
 ///   division by zero        divisor interval is exactly [0,0]
@@ -19,6 +19,20 @@
 ///   null dereference        address interval is exactly [0,0]
 ///   stack address escape    points-to: a returned or outliving-stored
 ///                           value can only target the frame's own slots
+///   dead input              dependence (Dependence.h): a DART input
+///                           source influences no branch, no output, and
+///                           no potentially-trapping operation
+///   write-only variable     a named global is stored directly but its
+///                           address never occurs anywhere else, so the
+///                           stored values are never read
+///   control-unreachable bug dependence: a guarded abort/assert site all
+///                           of whose (interprocedural) controlling
+///                           branches are input-independent — no input
+///                           choice affects whether it executes
+///
+/// The dead-input and control-unreachable-bug classes need to know which
+/// function the test driver calls; they only run when a toplevel name is
+/// supplied (dart analyze --toplevel).
 ///
 /// Every report is a *guarantee* (true on all executions reaching the
 /// program point), never a heuristic: the pass aims for zero false
@@ -46,6 +60,9 @@ enum class LintKind {
   OutOfBoundsAccess,
   NullDereference,
   StackAddressEscape,
+  DeadInput,
+  WriteOnlyVariable,
+  ControlUnreachableBug,
 };
 
 /// Stable kebab-case identifier ("unreachable-code", "out-of-bounds",
@@ -61,11 +78,17 @@ struct LintFinding {
 };
 
 /// Analyze every function in \p M and return the structured findings.
-std::vector<LintFinding> runLintAnalysis(const IRModule &M);
+/// A non-empty \p ToplevelName names the function the generated driver
+/// calls and enables the dependence-powered input lints (dead-input,
+/// control-unreachable-bug); with no toplevel those classes are skipped
+/// because no parameter is an input and reachability is undefined.
+std::vector<LintFinding> runLintAnalysis(const IRModule &M,
+                                         const std::string &ToplevelName = "");
 
 /// Compatibility wrapper: append one warning per finding to \p Diags and
 /// return the finding count.
-unsigned runLintPass(const IRModule &M, DiagnosticsEngine &Diags);
+unsigned runLintPass(const IRModule &M, DiagnosticsEngine &Diags,
+                     const std::string &ToplevelName = "");
 
 /// Render findings as a machine-readable JSON document:
 /// {"file": ..., "findings": [{"kind","function","line","column",

@@ -1,0 +1,249 @@
+//===- Slice.cpp - Statement-level backward slicing -----------------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Slice.h"
+
+#include "analysis/Cfg.h"
+
+#include <vector>
+
+using namespace dart;
+
+namespace {
+
+struct Slicer {
+  const IRModule &M;
+  const DependenceResult &Dep;
+  const PointsToResult &PT;
+  SliceResult R;
+  /// Demanded abstract locations: a definition of any of these can
+  /// influence the criterion.
+  std::vector<bool> Demanded;
+  /// Per function: is its return value demanded?
+  std::vector<bool> DemandedRet;
+  /// Per function: is any of its instructions marked (so its call sites
+  /// join the slice as control context)?
+  std::vector<bool> FnEntered;
+  std::vector<Cfg> Cfgs;
+  bool Changed = false;
+
+  Slicer(const IRModule &M, const DependenceResult &Dep)
+      : M(M), Dep(Dep), PT(*Dep.PT) {
+    unsigned NumFns = static_cast<unsigned>(M.functions().size());
+    R.InSlice.resize(NumFns);
+    for (unsigned Fn = 0; Fn < NumFns; ++Fn)
+      R.InSlice[Fn].assign(M.functions()[Fn]->Instrs.size(), false);
+    Demanded.assign(PT.numLocs(), false);
+    DemandedRet.assign(NumFns, false);
+    FnEntered.assign(NumFns, false);
+    Cfgs.reserve(NumFns);
+    for (unsigned Fn = 0; Fn < NumFns; ++Fn)
+      Cfgs.push_back(Cfg::build(*M.functions()[Fn]));
+  }
+
+  void demandLoc(unsigned Loc) {
+    if (Loc < Demanded.size() && !Demanded[Loc]) {
+      Demanded[Loc] = true;
+      Changed = true;
+    }
+  }
+
+  void demandAll() {
+    for (unsigned L = 0; L < Demanded.size(); ++L)
+      demandLoc(L);
+  }
+
+  /// Demand every location a read inside \p E may observe.
+  void demandExpr(unsigned Fn, const IRExpr *E) {
+    switch (E->kind()) {
+    case IRExpr::Kind::Const:
+    case IRExpr::Kind::FrameAddr:
+    case IRExpr::Kind::GlobalAddr:
+      return;
+    case IRExpr::Kind::Load: {
+      const auto *L = cast<LoadExpr>(E);
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address())) {
+        demandLoc(PT.slotLoc(Fn, FA->slotIndex()));
+        return;
+      }
+      if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address())) {
+        demandLoc(PT.globalLoc(GA->globalIndex()));
+        return;
+      }
+      std::vector<unsigned> Targets = PT.addressTargets(Fn, L->address());
+      if (Targets.empty())
+        demandAll(); // untracked address: stay conservative
+      for (unsigned O : Targets)
+        demandLoc(O);
+      demandExpr(Fn, L->address());
+      return;
+    }
+    case IRExpr::Kind::Unary:
+      demandExpr(Fn, cast<UnaryIRExpr>(E)->operand());
+      return;
+    case IRExpr::Kind::Binary:
+      demandExpr(Fn, cast<BinaryIRExpr>(E)->lhs());
+      demandExpr(Fn, cast<BinaryIRExpr>(E)->rhs());
+      return;
+    case IRExpr::Kind::Cmp:
+      demandExpr(Fn, cast<CmpExpr>(E)->lhs());
+      demandExpr(Fn, cast<CmpExpr>(E)->rhs());
+      return;
+    case IRExpr::Kind::Cast:
+      demandExpr(Fn, cast<CastIRExpr>(E)->operand());
+      return;
+    }
+  }
+
+  /// Locations instruction (\p Fn, \p II) may define.
+  std::vector<unsigned> defLocs(unsigned Fn, unsigned II) const {
+    const Instr &I = *M.functions()[Fn]->Instrs[II];
+    auto WriteTargets = [&](const IRExpr *Addr) -> std::vector<unsigned> {
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(Addr))
+        return {PT.slotLoc(Fn, FA->slotIndex())};
+      if (const auto *GA = dyn_cast<GlobalAddrExpr>(Addr))
+        return {PT.globalLoc(GA->globalIndex())};
+      return PT.addressTargets(Fn, Addr);
+    };
+    switch (I.kind()) {
+    case Instr::Kind::Store:
+      return WriteTargets(cast<StoreInstr>(&I)->address());
+    case Instr::Kind::Copy:
+      return WriteTargets(cast<CopyInstr>(&I)->dst());
+    case Instr::Kind::Call: {
+      const auto *C = cast<CallInstr>(&I);
+      std::vector<unsigned> Locs;
+      const CallGraph &CG = PT.callGraph();
+      unsigned Callee = CG.indexOf(C->callee());
+      if (C->destSlot())
+        Locs.push_back(PT.slotLoc(Fn, *C->destSlot()));
+      if (Callee != CallGraph::kExternal) {
+        const IRFunction &CF = *M.functions()[Callee];
+        for (unsigned A = 0; A < C->args().size() && A < CF.NumParams; ++A)
+          Locs.push_back(PT.slotLoc(Callee, A));
+        // Callee side-effect writes happen at the callee's own Store
+        // instructions, which the module-wide definition scan marks
+        // directly — no need to fold mayMod in here.
+      } else {
+        // External/native callee: may write through every pointer
+        // argument and into the driver-owned world.
+        Locs.push_back(PT.externalLoc());
+        for (const IRExprPtr &A : C->args())
+          for (unsigned O : PT.addressTargets(Fn, A.get()))
+            Locs.push_back(O);
+      }
+      return Locs;
+    }
+    default:
+      return {};
+    }
+  }
+
+  void mark(unsigned Fn, unsigned II) {
+    if (R.InSlice[Fn][II])
+      return;
+    R.InSlice[Fn][II] = true;
+    Changed = true;
+    if (!FnEntered[Fn]) {
+      FnEntered[Fn] = true;
+      // Control context: whether this function runs at all is decided at
+      // its call sites.
+      for (const CallGraphSite &Site : PT.callGraph().sites())
+        if (Site.CalleeFn == Fn)
+          mark(Site.CallerFn, Site.InstrIndex);
+    }
+    // Intraprocedural control dependence.
+    unsigned Bk = Cfgs[Fn].blockOf(II);
+    if (Fn < Dep.CtrlDepBranches.size() &&
+        Bk < Dep.CtrlDepBranches[Fn].size())
+      for (unsigned Br : Dep.CtrlDepBranches[Fn][Bk])
+        mark(Fn, Br);
+    // Data demand of the instruction's own reads.
+    const Instr &I = *M.functions()[Fn]->Instrs[II];
+    switch (I.kind()) {
+    case Instr::Kind::Store: {
+      const auto *St = cast<StoreInstr>(&I);
+      demandExpr(Fn, St->value());
+      demandExpr(Fn, St->address());
+      break;
+    }
+    case Instr::Kind::Copy: {
+      const auto *C = cast<CopyInstr>(&I);
+      demandExpr(Fn, C->src());
+      demandExpr(Fn, C->dst());
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(C->src()))
+        demandLoc(PT.slotLoc(Fn, FA->slotIndex()));
+      else if (const auto *GA = dyn_cast<GlobalAddrExpr>(C->src()))
+        demandLoc(PT.globalLoc(GA->globalIndex()));
+      else
+        for (unsigned O : PT.addressTargets(Fn, C->src()))
+          demandLoc(O);
+      break;
+    }
+    case Instr::Kind::CondJump:
+      demandExpr(Fn, cast<CondJumpInstr>(&I)->cond());
+      break;
+    case Instr::Kind::Call: {
+      const auto *C = cast<CallInstr>(&I);
+      for (const IRExprPtr &A : C->args())
+        demandExpr(Fn, A.get());
+      unsigned Callee = PT.callGraph().indexOf(C->callee());
+      if (Callee != CallGraph::kExternal && C->destSlot() &&
+          !DemandedRet[Callee]) {
+        DemandedRet[Callee] = true;
+        Changed = true;
+      }
+      break;
+    }
+    case Instr::Kind::Ret:
+      if (const IRExpr *V = cast<RetInstr>(&I)->value())
+        demandExpr(Fn, V);
+      break;
+    default:
+      break;
+    }
+  }
+
+  SliceResult run(SliceCriterion C) {
+    if (C.Fn >= R.InSlice.size() || C.InstrIndex >= R.InSlice[C.Fn].size())
+      return std::move(R);
+    mark(C.Fn, C.InstrIndex);
+    // Fixpoint: marking demands locations; any instruction defining a
+    // demanded location joins the slice, which may demand more.
+    bool Again = true;
+    while (Again) {
+      Changed = false;
+      for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+        const IRFunction &F = *M.functions()[Fn];
+        for (unsigned II = 0; II < F.Instrs.size(); ++II) {
+          if (R.InSlice[Fn][II])
+            continue;
+          const Instr &I = *F.Instrs[II];
+          if (I.kind() == Instr::Kind::Ret && DemandedRet[Fn]) {
+            mark(Fn, II);
+            continue;
+          }
+          for (unsigned Loc : defLocs(Fn, II))
+            if (Loc < Demanded.size() && Demanded[Loc]) {
+              mark(Fn, II);
+              break;
+            }
+        }
+      }
+      Again = Changed;
+    }
+    return std::move(R);
+  }
+};
+
+} // namespace
+
+SliceResult dart::computeBackwardSlice(const IRModule &M,
+                                       const DependenceResult &Dep,
+                                       SliceCriterion C) {
+  Slicer S(M, Dep);
+  return S.run(C);
+}

@@ -1,0 +1,69 @@
+//===- Slice.h - Statement-level backward slicing ---------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Which statements can influence a given statement? The backward slice
+/// of a criterion instruction is the set of instructions whose removal
+/// could change what the criterion computes or whether it executes:
+/// transitive data flow through the abstract-location lattice (alias-
+/// aware via PointsTo) plus control dependence (Dependence.h's FOW
+/// edges), closed over call edges — a marked call site pulls in its
+/// callee's return computation, a marked callee pulls in every call site
+/// that decides whether it runs.
+///
+/// The slice is flow-insensitive on memory (one demanded-location set
+/// for the whole program, like the points-to and taint fixpoints it sits
+/// on), which over-approximates: everything that may influence the
+/// criterion is in the slice, statements outside it provably cannot.
+/// That direction is the useful one — the lints and the sliced solver
+/// mode both reason from *absence*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_SLICE_H
+#define DART_ANALYSIS_SLICE_H
+
+#include "analysis/Dependence.h"
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace dart {
+
+/// The statement to slice from: instruction \p InstrIndex of function
+/// module-index \p Fn.
+struct SliceCriterion {
+  unsigned Fn = 0;
+  unsigned InstrIndex = 0;
+};
+
+struct SliceResult {
+  /// Per function (module index), per instruction: is it in the slice?
+  std::vector<std::vector<bool>> InSlice;
+
+  bool contains(unsigned Fn, unsigned InstrIndex) const {
+    return Fn < InSlice.size() && InstrIndex < InSlice[Fn].size() &&
+           InSlice[Fn][InstrIndex];
+  }
+  unsigned size() const {
+    unsigned N = 0;
+    for (const auto &F : InSlice)
+      for (bool B : F)
+        N += B;
+    return N;
+  }
+};
+
+/// Compute the backward slice of \p C. \p Dep supplies the alias layer
+/// and the control-dependence edges (one runDependenceAnalysis serves
+/// any number of slices).
+SliceResult computeBackwardSlice(const IRModule &M,
+                                 const DependenceResult &Dep,
+                                 SliceCriterion C);
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_SLICE_H

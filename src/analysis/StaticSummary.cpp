@@ -43,6 +43,18 @@ StaticSummary dart::computeStaticSummary(const IRModule &M,
   if (T.PT)
     Sum.PointsTo = T.PT->stats();
 
+  // Dependence layer, reusing the taint pass's points-to solve. Sites
+  // whose condition has an empty data-source set join the prune fold
+  // below; the relevant-input sets and control edges feed the sliced
+  // search's statistics, the lints, and the slice API.
+  auto Dep = std::make_shared<DependenceResult>(
+      runDependenceAnalysis(M, ToplevelName, T.PT));
+  Sum.SiteNoInputDeps.assign(Sum.NumBranchSites, false);
+  for (unsigned S = 0;
+       S < Sum.NumBranchSites && S < Dep->SiteDataInputs.size(); ++S)
+    Sum.SiteNoInputDeps[S] = !Dep->SiteDataInputs[S].any();
+  Sum.Dependence = Dep;
+
   for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
     const IRFunction &F = *M.functions()[Fn];
     Cfg G = Cfg::build(F);
@@ -71,7 +83,8 @@ StaticSummary dart::computeStaticSummary(const IRModule &M,
   }
 
   for (unsigned S = 0; S < Sum.NumBranchSites; ++S)
-    Sum.PrunedSites[S] = !Sum.SiteTainted[S] || Sum.SiteUnreachable[S] ||
+    Sum.PrunedSites[S] = !Sum.SiteTainted[S] || Sum.SiteNoInputDeps[S] ||
+                         Sum.SiteUnreachable[S] ||
                          (Sum.SiteMonovalent[S] && Sum.SiteExact[S]);
   return Sum;
 }

@@ -33,11 +33,13 @@
 #ifndef DART_ANALYSIS_STATICSUMMARY_H
 #define DART_ANALYSIS_STATICSUMMARY_H
 
+#include "analysis/Dependence.h"
 #include "analysis/Interval.h"
 #include "analysis/PointsTo.h"
 #include "analysis/Taint.h"
 #include "ir/IR.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,8 +50,17 @@ struct StaticSummary {
   /// Solver-shape counters of the points-to analysis the verdicts are
   /// built on (surfaced by --stats).
   PointsToStats PointsTo;
+  /// Interprocedural dependence layer: per-site relevant-input sets,
+  /// control-dependence edges, and the source universe. Shared (one
+  /// solve) with the lints, the slice API, and --stats.
+  std::shared_ptr<const DependenceResult> Dependence;
   /// Site may observe a symbolic input (conservative default: true).
   std::vector<bool> SiteTainted;
+  /// The dependence layer found no input source among the condition's
+  /// data dependences: the condition can depend on no symbolic input, so
+  /// its negated path constraint is statically Unsat (same argument as
+  /// taint-freeness, reached through the set-valued lattice).
+  std::vector<bool> SiteNoInputDeps;
   /// Interval analysis proved a single truth value on every execution.
   std::vector<bool> SiteMonovalent;
   /// The monovalence proof is wrap-free (transfers to the ideal theory).

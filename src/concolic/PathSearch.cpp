@@ -146,6 +146,31 @@ SolveOutcome makeOutcome(const PathData &Path, size_t J,
   return Outcome;
 }
 
+/// Cumulative non-null constraint counts: element J = number of stack
+/// positions H < J carrying a real (non-kNoPred) conjunct. Lets the query
+/// paths report full-system sizes in O(1) per candidate.
+std::vector<unsigned> cumulativeConjuncts(const PathData &Path) {
+  std::vector<unsigned> Cum(Path.Constraints.size() + 1, 0);
+  for (size_t I = 0; I < Path.Constraints.size(); ++I)
+    Cum[I + 1] = Cum[I] + (Path.Constraints[I] != kNoPred ? 1 : 0);
+  return Cum;
+}
+
+/// Do two sorted input-id lists share an element?
+bool sortedIntersects(const std::vector<InputId> &A,
+                      const std::vector<InputId> &B) {
+  size_t I = 0, J = 0;
+  while (I < A.size() && J < B.size()) {
+    if (A[I] < B[J])
+      ++I;
+    else if (B[J] < A[I])
+      ++J;
+    else
+      return true;
+  }
+  return false;
+}
+
 /// Incremental mode: one SolverSession holds the propagated prefix; the
 /// walk from candidate to candidate pushes/pops only the delta, and each
 /// probe is push(negation)/solve/pop. DFS and BFS orders make the total
@@ -158,7 +183,8 @@ CandidateSet solveWithSession(
     const std::vector<size_t> &Candidates, unsigned MaxCandidates) {
   CandidateSet Result;
   SolverSession Session(Solver, Arena, DomainOf);
-  Session.setHint(&Hint); // once per batch, not once per candidate
+  Session.setHint(&Hint);
+  std::vector<unsigned> Cum = cumulativeConjuncts(Path); // once per batch, not once per candidate
 
   // Number of stack positions currently reflected in the session (null
   // constraints occupy a position but push nothing).
@@ -190,6 +216,7 @@ CandidateSet solveWithSession(
     SyncPrefix(J);
     PredId NegId = Arena.negatedId(Path.Constraints[J]);
     Session.push(NegId);
+    Solver.noteQuerySlice(Cum[J] + 1, Cum[J] + 1);
     auto ForEachPred = [&](const std::function<void(const SymPred &)> &Fn) {
       for (size_t H = 0; H < J; ++H)
         if (Path.Constraints[H] != kNoPred)
@@ -219,6 +246,137 @@ CandidateSet solveWithSession(
       Model = std::move(Retry);
     }
     Session.pop();
+    Result.Candidates.push_back(makeOutcome(Path, J, std::move(Model)));
+  }
+  return Result;
+}
+
+/// Sliced mode (SolverOptions::SliceQueries, rides the session path):
+/// per candidate, only the union-find closure of prefix conjuncts that
+/// transitively share input variables with the negated predicate is sent
+/// to the solver. Everything outside the closure mentions only variables
+/// disjoint from the slice and is already satisfied by the hint (the
+/// recorded run's own inputs), so dropping it cannot change the verdict;
+/// on Sat, inputs outside the slice simply keep their previous concrete
+/// values (*solution completion* — the model omits them and every model
+/// consumer falls back to the previous IM, which is exactly the value
+/// the hint-preferring unsliced solve would have returned for them).
+/// Conjuncts without a normal form (solver must answer Unknown) or with
+/// a constant normal form (possible ConstFalse/Unsat) stay in every
+/// slice so verdicts match the full system exactly. The
+/// unrealizable-model check always walks the *full* prefix, and the
+/// no-hint retry re-solves the full system — an unanchored solve may
+/// move any prefix variable, so slicing it would complete differently
+/// than the unsliced baseline. Observable equivalence with unsliced mode
+/// is pinned by tests/slice_diff_test.cpp.
+CandidateSet solveSliced(const PathData &Path, PredArena &Arena,
+                         LinearSolver &Solver,
+                         const std::function<VarDomain(InputId)> &DomainOf,
+                         const std::map<InputId, int64_t> &Hint,
+                         const std::vector<size_t> &Candidates,
+                         unsigned MaxCandidates) {
+  CandidateSet Result;
+  SolverSession Session(Solver, Arena, DomainOf);
+  Session.setHint(&Hint);
+  std::vector<unsigned> Cum = cumulativeConjuncts(Path);
+
+  // Per-position conjunct metadata, gathered once per path.
+  struct Conjunct {
+    PredId Id = kNoPred;
+    uint64_t Sig = 0;
+    bool Always = false; ///< kept in every slice (no norm, or constant)
+  };
+  std::vector<Conjunct> Prefix(Path.Constraints.size());
+  for (size_t I = 0; I < Path.Constraints.size(); ++I) {
+    PredId Id = Path.Constraints[I];
+    if (Id == kNoPred)
+      continue;
+    Prefix[I].Id = Id;
+    Prefix[I].Sig = Arena.inputSig(Id);
+    Prefix[I].Always = !Arena.norm(Id) || Arena.inputs(Id).empty();
+  }
+
+  std::vector<uint8_t> InSlice;
+  std::vector<InputId> SliceVars, Merged;
+  for (size_t J : Candidates) {
+    if (Path.Constraints[J] == kNoPred)
+      continue;
+    if (MaxCandidates && Result.Candidates.size() >= MaxCandidates) {
+      Result.Truncated = true;
+      break;
+    }
+    while (Session.depth())
+      Session.pop();
+
+    PredId NegId = Arena.negatedId(Path.Constraints[J]);
+
+    // The negation's variables seed the component; a sweep to fixpoint
+    // pulls in every conjunct transitively sharing a variable with it.
+    // Bloom signatures reject disjoint conjuncts without touching the
+    // exact sorted lists.
+    InSlice.assign(J, 0);
+    SliceVars = Arena.inputs(NegId);
+    uint64_t SliceSig = Arena.inputSig(NegId);
+    unsigned Sent = 0;
+    bool Grew = true;
+    while (Grew) {
+      Grew = false;
+      for (size_t H = 0; H < J; ++H) {
+        const Conjunct &C = Prefix[H];
+        if (C.Id == kNoPred || InSlice[H])
+          continue;
+        bool Take = C.Always;
+        if (!Take && (C.Sig & SliceSig))
+          Take = sortedIntersects(Arena.inputs(C.Id), SliceVars);
+        if (!Take)
+          continue;
+        InSlice[H] = 1;
+        ++Sent;
+        Grew = true;
+        const std::vector<InputId> &In = Arena.inputs(C.Id);
+        Merged.clear();
+        std::set_union(SliceVars.begin(), SliceVars.end(), In.begin(),
+                       In.end(), std::back_inserter(Merged));
+        SliceVars.swap(Merged);
+        SliceSig |= C.Sig;
+      }
+    }
+
+    for (size_t H = 0; H < J; ++H)
+      if (InSlice[H])
+        Session.push(Prefix[H].Id);
+    Session.push(NegId);
+    Solver.noteQuerySlice(Cum[J] + 1, Sent + 1);
+
+    // Realizability is always judged against the full prefix: the VM
+    // replays every recorded conditional, sliced or not.
+    auto ForEachPred = [&](const std::function<void(const SymPred &)> &Fn) {
+      for (size_t H = 0; H < J; ++H)
+        if (Path.Constraints[H] != kNoPred)
+          Fn(Arena.pred(Path.Constraints[H]));
+      Fn(Arena.pred(NegId));
+    };
+
+    std::map<InputId, int64_t> Model;
+    ++Result.SolverCalls;
+    if (Session.solve(Model) != SolveStatus::Sat)
+      continue;
+    if (unrealizable(Model, Hint, DomainOf, ForEachPred)) {
+      while (Session.depth())
+        Session.pop();
+      for (size_t H = 0; H < J; ++H)
+        if (Path.Constraints[H] != kNoPred)
+          Session.push(Path.Constraints[H]);
+      Session.push(NegId);
+      std::map<InputId, int64_t> Retry;
+      ++Result.SolverCalls;
+      if (Session.solveNoHint(Retry) != SolveStatus::Sat ||
+          unrealizable(Retry, Hint, DomainOf, ForEachPred)) {
+        Result.TheoryMisled = true;
+        continue;
+      }
+      Model = std::move(Retry);
+    }
     Result.Candidates.push_back(makeOutcome(Path, J, std::move(Model)));
   }
   return Result;
@@ -255,6 +413,7 @@ CandidateSet solveBatch(const PathData &Path, PredArena &Arena,
 
     std::map<InputId, int64_t> Model;
     ++Result.SolverCalls;
+    Solver.noteQuerySlice(System.size(), System.size());
     if (Solver.solve(System, DomainOf, Hint, Model) != SolveStatus::Sat)
       continue;
     if (unrealizable(Model, Hint, DomainOf, ForEachPred)) {
@@ -284,9 +443,13 @@ CandidateSet dart::solveCandidates(
          "stack and path constraint must stay aligned");
   std::vector<size_t> Candidates =
       candidateOrder(Path, Strategy, Rng, SitePriorities);
-  if (Solver.options().IncrementalSessions)
+  if (Solver.options().IncrementalSessions) {
+    if (Solver.options().SliceQueries)
+      return solveSliced(Path, Arena, Solver, DomainOf, Hint, Candidates,
+                         MaxCandidates);
     return solveWithSession(Path, Arena, Solver, DomainOf, Hint, Candidates,
                             MaxCandidates);
+  }
   return solveBatch(Path, Arena, Solver, DomainOf, Hint, Candidates,
                     MaxCandidates);
 }

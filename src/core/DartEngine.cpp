@@ -154,6 +154,8 @@ DartReport DartEngine::run() {
     Summary = computeStaticSummary(*Program.Module, Options.ToplevelName);
     Options.Concolic.PrunedSites = &Summary->PrunedSites;
     Report.PointsTo = Summary->PointsTo;
+    if (Summary->Dependence)
+      Report.Dependence = Summary->Dependence->Stats;
   }
   // Distance strategy: the static block graph is built once; priorities
   // are recomputed from the coverage bitmap before every solve (cheap,

@@ -16,6 +16,7 @@
 #ifndef DART_CORE_DARTENGINE_H
 #define DART_CORE_DARTENGINE_H
 
+#include "analysis/Dependence.h"
 #include "analysis/PointsTo.h"
 #include "concolic/Checkpoint.h"
 #include "concolic/PathSearch.h"
@@ -182,6 +183,9 @@ struct DartReport {
   /// Points-to analysis shape of the static summary (zeroed when
   /// StaticPrune is off or in random-only mode; surfaced by --stats).
   PointsToStats PointsTo;
+  /// Dependence-analysis shape (sources, relevant-input sets, control
+  /// edges; zeroed under the same conditions as PointsTo).
+  DependenceStats Dependence;
   uint64_t SolverCalls = 0;
   uint64_t TotalSteps = 0;
   /// Snapshot-resume accounting. TotalSteps stays replay-identical with

@@ -363,6 +363,8 @@ DartReport ParallelDartEngine::runDirected() {
     Summary = computeStaticSummary(*Program.Module, Options.ToplevelName);
     Options.Concolic.PrunedSites = &Summary->PrunedSites;
     Report.PointsTo = Summary->PointsTo;
+    if (Summary->Dependence)
+      Report.Dependence = Summary->Dependence->Stats;
   }
 
   // Distance strategy: one shared static block graph; workers recompute

@@ -465,6 +465,30 @@ void SolverStats::merge(const SolverStats &Other) {
   SessionCacheHits += Other.SessionCacheHits;
   SessionCacheMisses += Other.SessionCacheMisses;
   HintSeeds += Other.HintSeeds;
+  for (size_t I = 0; I < kQuerySizeBuckets; ++I) {
+    QuerySizeFull[I] += Other.QuerySizeFull[I];
+    QuerySizeSent[I] += Other.QuerySizeSent[I];
+  }
+  SlicedQueries += Other.SlicedQueries;
+  SliceFullPreds += Other.SliceFullPreds;
+  SliceSentPreds += Other.SliceSentPreds;
+}
+
+double SolverStats::histogramMedian(
+    const std::array<uint64_t, kQuerySizeBuckets> &H) {
+  uint64_t Total = 0;
+  for (uint64_t C : H)
+    Total += C;
+  if (!Total)
+    return 0.0;
+  // Lower median: the size at cumulative count ceil(Total/2).
+  uint64_t Need = (Total + 1) / 2, Seen = 0;
+  for (size_t I = 0; I < H.size(); ++I) {
+    Seen += H[I];
+    if (Seen >= Need)
+      return double(I);
+  }
+  return double(H.size() - 1);
 }
 
 bool SessionUnsatCache::contains(uint64_t Lo, uint64_t Hi) {

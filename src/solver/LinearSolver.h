@@ -34,6 +34,7 @@
 
 #include "symbolic/SymExpr.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -74,6 +75,13 @@ struct SolverOptions {
   /// whole conjunction per candidate. Behaviourally identical to the batch
   /// path — this is a pure performance/ablation lever.
   bool IncrementalSessions = true;
+  /// Sliced candidate queries (--slice): solveCandidates sends only the
+  /// union-find closure of path-constraint conjuncts sharing inputs with
+  /// the negated predicate; inputs outside the slice keep their previous
+  /// concrete values (solution completion). Observably identical to
+  /// unsliced — same verdicts, bugs, coverage, run schedules — only the
+  /// per-query constraint count changes; off = ablation baseline.
+  bool SliceQueries = true;
 };
 
 struct SolverStats {
@@ -101,6 +109,22 @@ struct SolverStats {
   /// Hint assignments constructed by solveCandidates (one per batch after
   /// the hoist; previously one per candidate).
   uint64_t HintSeeds = 0;
+  /// Query-size accounting (--stats histogram, BENCH_slice.json): one
+  /// sample per candidate-negation solve, recording the full prefix
+  /// conjunct count and the count actually sent (equal when slicing is
+  /// off). Bucket B counts queries of exactly B predicates; the last
+  /// bucket absorbs everything >= kQuerySizeBuckets-1.
+  static constexpr size_t kQuerySizeBuckets = 129;
+  std::array<uint64_t, kQuerySizeBuckets> QuerySizeFull{};
+  std::array<uint64_t, kQuerySizeBuckets> QuerySizeSent{};
+  uint64_t SlicedQueries = 0;    ///< queries whose sent set was a strict
+                                 ///< subset of the full prefix
+  uint64_t SliceFullPreds = 0;   ///< sum of full prefix sizes
+  uint64_t SliceSentPreds = 0;   ///< sum of sent (sliced) sizes
+
+  /// Median of a query-size histogram (0 when empty).
+  static double histogramMedian(
+      const std::array<uint64_t, kQuerySizeBuckets> &H);
 
   /// Accumulates \p Other into this (parallel per-worker stats merge).
   void merge(const SolverStats &Other);
@@ -183,6 +207,19 @@ public:
   }
 
   const SolverOptions &options() const { return Options; }
+
+  /// Records one candidate-negation query's size before/after slicing
+  /// (equal sizes when slicing is off) for the --stats histogram.
+  void noteQuerySlice(size_t FullPreds, size_t SentPreds) {
+    ++Stats.QuerySizeFull[std::min(FullPreds,
+                                   SolverStats::kQuerySizeBuckets - 1)];
+    ++Stats.QuerySizeSent[std::min(SentPreds,
+                                   SolverStats::kQuerySizeBuckets - 1)];
+    if (SentPreds != FullPreds)
+      ++Stats.SlicedQueries;
+    Stats.SliceFullPreds += FullPreds;
+    Stats.SliceSentPreds += SentPreds;
+  }
 
   const SolverStats &stats() const { return Stats; }
   void resetStats() { Stats = SolverStats(); }

@@ -68,6 +68,9 @@ PredId PredArena::intern(const SymPred &P) {
     E.Norm = std::move(*N);
     E.HasNorm = true;
     E.Multivar = E.Norm.L.coeffs().size() > 1;
+    E.Inputs = E.Norm.L.inputs(); // already sorted by InputId
+    for (InputId Id : E.Inputs)
+      E.InputSig |= uint64_t(1) << (Id % 64);
   }
   S.Index.emplace(H, Index);
   return makeId(H & (NumShards - 1), Index);

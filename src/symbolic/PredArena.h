@@ -87,6 +87,18 @@ public:
   /// predicates fall off the incremental fast path).
   bool multivariate(PredId Id) const { return entry(Id).Multivar; }
 
+  /// The sorted input-variable ids of \p Id's normal form, interned once.
+  /// Empty for predicates without a normal form — those relate to *every*
+  /// input (the sliced solver mode keeps them in every slice).
+  const std::vector<InputId> &inputs(PredId Id) const {
+    return entry(Id).Inputs;
+  }
+
+  /// 64-bit Bloom signature of inputs(\p Id): bit (id mod 64) per input.
+  /// Two predicates with disjoint signatures certainly share no input;
+  /// overlapping signatures fall back to the exact sorted lists.
+  uint64_t inputSig(PredId Id) const { return entry(Id).InputSig; }
+
   /// The id of negated(\p Id); interned (and cached on the entry) on first
   /// use. Thread-safe.
   PredId negatedId(PredId Id);
@@ -98,6 +110,8 @@ private:
   struct Entry {
     SymPred P;
     NormPred Norm;
+    std::vector<InputId> Inputs;
+    uint64_t InputSig = 0;
     bool HasNorm = false;
     bool Multivar = false;
     std::atomic<PredId> NegId{kNoPred};

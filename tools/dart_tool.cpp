@@ -48,8 +48,10 @@ int usage() {
       "  analyze static lint: unreachable code, guaranteed division by\n"
       "          zero or assert failure, uninitialized reads, dead\n"
       "          stores, guaranteed out-of-bounds accesses and null\n"
-      "          dereferences, stack-address escapes (exit 1 when any\n"
-      "          finding is reported)\n"
+      "          dereferences, stack-address escapes, write-only\n"
+      "          globals; with --toplevel also dead inputs and\n"
+      "          control-unreachable bug sites (exit 0 regardless of\n"
+      "          findings unless --exit-code)\n"
       "  iface   print the extracted external interface\n"
       "  driver  print the generated test driver source\n"
       "  ir      print the lowered RAM-machine IR\n"
@@ -66,6 +68,8 @@ int usage() {
       "                        dfs; distance prefers flips statically\n"
       "                        closest to uncovered branches)\n"
       "  --format <f>          analyze output: text | json (default text)\n"
+      "  --exit-code           analyze: exit 1 when any finding is\n"
+      "                        reported (for CI gating; default exits 0)\n"
       "  --random-only         pure random testing (no directed search)\n"
       "  --all-errors          keep searching after the first bug\n"
       "  --symbolic-pointers   CUTE-style pointer-choice solving\n"
@@ -73,6 +77,12 @@ int usage() {
       "                        branches with statically Unsat negations\n"
       "                        never reach the solver (default on; bug\n"
       "                        sets, models and coverage are unchanged)\n"
+      "  --slice <on|off>      send the solver only the path-constraint\n"
+      "                        conjuncts sharing inputs (transitively)\n"
+      "                        with the negated predicate; inputs outside\n"
+      "                        the slice keep their previous values\n"
+      "                        (default on; the search is observably\n"
+      "                        identical either way)\n"
       "  --snapshot <on|off>   resume directed runs from copy-on-write VM\n"
       "                        checkpoints, replaying only the path suffix\n"
       "                        (default on; the search is observably\n"
@@ -145,6 +155,7 @@ struct CliOptions {
   DartOptions Dart;
   bool Stats = false;
   bool JsonFormat = false;
+  bool ExitCode = false;
   bool Ok = true;
 };
 
@@ -230,6 +241,17 @@ CliOptions parseArgs(int argc, char **argv) {
         Cli.Ok = false;
         return Cli;
       }
+    } else if (Arg == "--slice") {
+      const char *V = Next();
+      if (V && std::strcmp(V, "off") == 0)
+        Cli.Dart.Solver.SliceQueries = false;
+      else if (V && std::strcmp(V, "on") == 0)
+        Cli.Dart.Solver.SliceQueries = true;
+      else {
+        std::fprintf(stderr, "--slice expects 'on' or 'off'\n");
+        Cli.Ok = false;
+        return Cli;
+      }
     } else if (Arg == "--snapshot") {
       const char *V = Next();
       if (V && std::strcmp(V, "off") == 0)
@@ -265,6 +287,8 @@ CliOptions parseArgs(int argc, char **argv) {
         Cli.Ok = false;
         return Cli;
       }
+    } else if (Arg == "--exit-code") {
+      Cli.ExitCode = true;
     } else if (Arg == "--log-runs") {
       Cli.Dart.LogRuns = true;
     } else if (Arg == "--stats") {
@@ -284,6 +308,7 @@ CliOptions parseArgs(int argc, char **argv) {
 void printPipelineStats(const DartReport &R) {
   const SolverStats &S = R.Solver;
   std::printf("%s\n", R.PointsTo.toString().c_str());
+  std::printf("%s\n", R.Dependence.toString().c_str());
   std::printf("constraint pipeline stats:\n");
   std::printf("  arena: %zu predicates, %llu interns, %.1f%% hit rate\n",
               R.Arena.Size, (unsigned long long)R.Arena.Interns,
@@ -301,6 +326,18 @@ void printPipelineStats(const DartReport &R) {
                         : 0.0);
   std::printf("  hint seeds: %llu (one per candidate batch)\n",
               (unsigned long long)S.HintSeeds);
+  uint64_t QuerySamples = 0;
+  for (uint64_t N : S.QuerySizeFull)
+    QuerySamples += N;
+  std::printf("  query size: median %.1f predicates before slicing, %.1f "
+              "sent (%llu of %llu queries sliced, %llu of %llu predicates "
+              "elided)\n",
+              SolverStats::histogramMedian(S.QuerySizeFull),
+              SolverStats::histogramMedian(S.QuerySizeSent),
+              (unsigned long long)S.SlicedQueries,
+              (unsigned long long)QuerySamples,
+              (unsigned long long)(S.SliceFullPreds - S.SliceSentPreds),
+              (unsigned long long)S.SliceFullPreds);
   std::printf("  session unsat cache: %llu hits, %llu misses\n",
               (unsigned long long)S.SessionCacheHits,
               (unsigned long long)S.SessionCacheMisses);
@@ -402,21 +439,30 @@ int runAudit(Dart &D, CliOptions &Cli) {
 }
 
 int runAnalyze(Dart &D, CliOptions &Cli) {
+  // A lint report is information, not failure: exit 0 regardless of
+  // findings so scripted pipelines don't conflate "found something" with
+  // "broke". CI gating opts into exit 1 with --exit-code.
+  if (!Cli.Toplevel.empty() && !D.ast().findFunction(Cli.Toplevel)) {
+    std::fprintf(stderr, "error: no function named '%s'\n",
+                 Cli.Toplevel.c_str());
+    return 2;
+  }
+  unsigned NumFindings = 0;
   if (Cli.JsonFormat) {
-    std::vector<LintFinding> Findings = runLintAnalysis(D.module());
+    std::vector<LintFinding> Findings =
+        runLintAnalysis(D.module(), Cli.Toplevel);
+    NumFindings = static_cast<unsigned>(Findings.size());
     std::printf("%s\n",
                 lintFindingsToJson(Cli.File, Findings).c_str());
-    return Findings.empty() ? 0 : 1;
+  } else {
+    DiagnosticsEngine Diags;
+    NumFindings = runLintPass(D.module(), Diags, Cli.Toplevel);
+    for (const Diagnostic &Diag : Diags.diagnostics())
+      std::printf("%s:%s\n", Cli.File.c_str(), Diag.toString().c_str());
+    if (NumFindings == 0)
+      std::printf("%s: no findings\n", Cli.File.c_str());
   }
-  DiagnosticsEngine Diags;
-  unsigned Findings = runLintPass(D.module(), Diags);
-  for (const Diagnostic &Diag : Diags.diagnostics())
-    std::printf("%s:%s\n", Cli.File.c_str(), Diag.toString().c_str());
-  if (Findings == 0) {
-    std::printf("%s: no findings\n", Cli.File.c_str());
-    return 0;
-  }
-  return 1;
+  return Cli.ExitCode && NumFindings ? 1 : 0;
 }
 
 } // namespace
