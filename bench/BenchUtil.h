@@ -184,28 +184,28 @@ inline void writeStaticPruneJson(const std::string &Path,
   std::printf("wrote %s\n", Path.c_str());
 }
 
-/// One row of the search-strategy ablation: the same directed session
-/// under the default depth-first order and the static branch-distance
-/// order, at one worker count. The axis metric is iterations (runs) to
-/// reach the search's terminal coverage.
-struct DistanceRow {
+/// One row of the search-strategy ablation: one (workload, strategy,
+/// worker count) cell. Wall-clock is the median of five interleaved
+/// repetitions; runs-to-cover is the run index at which the session first
+/// reached its own terminal coverage (from DartReport::CoverageTimeline).
+struct StrategyRow {
   std::string Workload;
+  std::string Strategy;
   unsigned Jobs = 1;
-  unsigned Coverage = 0;      ///< terminal branch-direction coverage (both)
-  unsigned RunsToCoverDfs = 0;
-  unsigned RunsToCoverDistance = 0;
-  unsigned RunsDfs = 0;       ///< total runs each session performed
-  unsigned RunsDistance = 0;
-  double ElapsedDfsSec = 0.0;
-  double ElapsedDistanceSec = 0.0;
+  unsigned Runs = 0;          ///< total runs the session performed
+  unsigned RunsToCover = 0;   ///< runs to reach this row's terminal coverage
+  unsigned Coverage = 0;      ///< terminal branch-direction coverage
+  unsigned CoverageTotal = 0; ///< 2 * branch sites
+  bool BugFound = false;
+  bool StoppedEarly = false;  ///< coverable-direction early exit fired
+  double MedianMs = 0.0;      ///< median-of-5 interleaved wall-clock
   double PeakRssMib = 0.0;
-  bool SameCoverage = false; ///< both orders reach the same terminal set
 };
 
-/// Emits the machine-readable strategy ablation (BENCH_distance.json)
-/// that EXPERIMENTS.md's distance-strategy table is generated from.
-inline void writeDistanceJson(const std::string &Path,
-                              const std::vector<DistanceRow> &Rows) {
+/// Emits the machine-readable strategy ablation (BENCH_strategy.json)
+/// that EXPERIMENTS.md's strategy-portfolio table is generated from.
+inline void writeStrategyJson(const std::string &Path,
+                              const std::vector<StrategyRow> &Rows) {
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -213,21 +213,18 @@ inline void writeDistanceJson(const std::string &Path,
   }
   std::fprintf(F, "{\n  \"axis\": \"search_strategy\",\n  \"results\": [\n");
   for (size_t I = 0; I < Rows.size(); ++I) {
-    const DistanceRow &R = Rows[I];
+    const StrategyRow &R = Rows[I];
     std::fprintf(F,
-                 "    {\"workload\": \"%s\", \"jobs\": %u, "
-                 "\"coverage\": %u, \"runs_to_cover_dfs\": %u, "
-                 "\"runs_to_cover_distance\": %u, \"runs_dfs\": %u, "
-                 "\"runs_distance\": %u, \"elapsed_dfs_sec\": %.6f, "
-                 "\"elapsed_distance_sec\": %.6f, \"elapsed_dfs_ms\": %.3f, "
-                 "\"elapsed_distance_ms\": %.3f, \"peak_rss_mib\": %.1f, "
-                 "\"same_coverage\": %s}%s\n",
-                 R.Workload.c_str(), R.Jobs, R.Coverage, R.RunsToCoverDfs,
-                 R.RunsToCoverDistance, R.RunsDfs, R.RunsDistance,
-                 R.ElapsedDfsSec, R.ElapsedDistanceSec,
-                 R.ElapsedDfsSec * 1e3, R.ElapsedDistanceSec * 1e3,
+                 "    {\"workload\": \"%s\", \"strategy\": \"%s\", "
+                 "\"jobs\": %u, \"runs\": %u, \"runs_to_cover\": %u, "
+                 "\"coverage\": %u, \"coverage_total\": %u, "
+                 "\"bug_found\": %s, \"stopped_early\": %s, "
+                 "\"wall_clock_ms\": %.3f, \"peak_rss_mib\": %.1f}%s\n",
+                 R.Workload.c_str(), R.Strategy.c_str(), R.Jobs, R.Runs,
+                 R.RunsToCover, R.Coverage, R.CoverageTotal,
+                 R.BugFound ? "true" : "false",
+                 R.StoppedEarly ? "true" : "false", R.MedianMs,
                  R.PeakRssMib > 0.0 ? R.PeakRssMib : peakRssMib(),
-                 R.SameCoverage ? "true" : "false",
                  I + 1 < Rows.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");

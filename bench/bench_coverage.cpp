@@ -221,96 +221,6 @@ void printStaticPruneAblation() {
   writeStaticPruneJson("BENCH_static_prune.json", Rows);
 }
 
-/// Search-strategy ablation: the same directed session under the default
-/// depth-first order and under --strategy distance, which sorts candidate
-/// flips by the static distance from their landing block to the nearest
-/// not-yet-covered branch direction. Both orders explore the same
-/// constraint trees, so terminal coverage matches; the distance order
-/// should reach it in fewer iterations. Emits BENCH_distance.json.
-void printDistanceAblation() {
-  printHeader("Distance strategy - iterations to terminal coverage");
-  std::printf("%-22s %-5s %-10s %-17s %-17s %s\n", "workload", "jobs",
-              "coverage", "runs-to-cover(dfs)", "runs-to-cover(dist)",
-              "same coverage");
-
-  struct Case {
-    const char *Name;
-    std::string Source;
-    const char *Toplevel;
-    unsigned Depth;
-    unsigned MaxRuns;
-  };
-  workloads::NsConfig Ns;
-  Ns.DolevYao = false;
-  Ns.Fix = workloads::LoweFix::None;
-  std::vector<Case> Cases = {
-      {"ac_controller", workloads::acControllerSource(), "ac_controller", 2,
-       2000},
-      {"needham_schroeder", workloads::needhamSchroederSource(Ns), "ns_step",
-       2, 1500},
-      {"config_filters", ConfigFilters, "route", 1, 500},
-      {"minisip_auth", workloads::miniSipSource(), "sip_auth_check", 1, 500},
-      {"minisip_receive", workloads::miniSipSource(), "sip_receive", 1, 300},
-  };
-
-  std::vector<DistanceRow> Rows;
-  for (const Case &C : Cases) {
-    auto D = compileOrDie(C.Source, C.Name);
-    for (unsigned Jobs : {1u, 4u}) {
-      auto Run = [&](SearchStrategy Strategy, double &ElapsedSec) {
-        DartOptions Opts;
-        Opts.ToplevelName = C.Toplevel;
-        Opts.Depth = C.Depth;
-        Opts.MaxRuns = C.MaxRuns;
-        Opts.Seed = 2005;
-        Opts.StopAtFirstError = false;
-        Opts.Jobs = Jobs;
-        Opts.Strategy = Strategy;
-        Opts.TrackCoverageTimeline = true;
-        auto Start = std::chrono::steady_clock::now();
-        DartReport R = D->run(Opts);
-        ElapsedSec =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          Start)
-                .count();
-        return R;
-      };
-      DistanceRow Row;
-      Row.Workload = C.Name;
-      Row.Jobs = Jobs;
-      DartReport Dfs = Run(SearchStrategy::DepthFirst, Row.ElapsedDfsSec);
-      DartReport Dist = Run(SearchStrategy::Distance, Row.ElapsedDistanceSec);
-      Row.Coverage = Dfs.BranchDirectionsCovered;
-      Row.SameCoverage =
-          Dfs.BranchDirectionsCovered == Dist.BranchDirectionsCovered;
-      Row.RunsDfs = Dfs.Runs;
-      Row.RunsDistance = Dist.Runs;
-      auto RunsToCover = [](const DartReport &R, unsigned Target) {
-        for (unsigned I = 0; I < R.CoverageTimeline.size(); ++I)
-          if (R.CoverageTimeline[I] >= Target)
-            return I + 1;
-        return unsigned(R.CoverageTimeline.size());
-      };
-      unsigned Target =
-          std::min(Dfs.BranchDirectionsCovered, Dist.BranchDirectionsCovered);
-      Row.RunsToCoverDfs = RunsToCover(Dfs, Target);
-      Row.RunsToCoverDistance = RunsToCover(Dist, Target);
-      Rows.push_back(Row);
-      char CovCell[32];
-      std::snprintf(CovCell, sizeof(CovCell), "%u/%u",
-                    Row.Coverage, 2 * Dfs.BranchSitesTotal);
-      // Unlike the static-prune axis, the strategy axis legitimately
-      // changes the search: when the run budget binds, a different
-      // exploration order can end on a different coverage frontier.
-      std::printf("%-22s %-5u %-10s %-17u %-17u %s\n", Row.Workload.c_str(),
-                  Row.Jobs, CovCell, Row.RunsToCoverDfs,
-                  Row.RunsToCoverDistance,
-                  Row.SameCoverage ? "yes" : "differs (budget-bound)");
-    }
-  }
-  writeDistanceJson("BENCH_distance.json", Rows);
-}
-
 /// Snapshot-resume ablation: the same directed session with checkpoint
 /// resume on and off, at 1 and 4 workers. The search is observably
 /// identical either way (the harness checks runs, coverage and — where
@@ -460,7 +370,6 @@ int main(int argc, char **argv) {
   }
   printParallelScaling();
   printStaticPruneAblation();
-  printDistanceAblation();
   printSnapshotAblation();
   std::printf("\npaper: directed search penetrates input filters and keeps "
               "gaining coverage;\nrandom testing plateaus at the filter "

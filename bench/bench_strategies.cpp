@@ -7,9 +7,10 @@
 // Paper footnote 4: "A depth-first search is used for exposition, but the
 // next branch to be forced could be selected using a different strategy,
 // e.g., randomly or in a breadth-first manner." This harness compares the
-// three strategies and the two other design levers DESIGN.md calls out:
-// marking concrete branches done, and the CUTE-style symbolic-pointer
-// extension.
+// branch-selection strategies (including the distance, diversity and
+// portfolio engines; BENCH_strategy.json) and the two other design levers
+// DESIGN.md calls out: marking concrete branches done, and the CUTE-style
+// symbolic-pointer extension.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +18,7 @@
 #include "jit/Jit.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace dart;
@@ -56,6 +58,150 @@ void printStrategyTable() {
   }
   std::printf("(only depth-first may claim Theorem 1(b) completeness;\n"
               " see DartEngine.cpp)\n");
+}
+
+// A copy of bench_coverage.cpp's config-filters workload: concrete
+// configuration guards in front of input-dependent branches.
+const char *ConfigFilters = R"(
+  int version = 2;
+  int debug = 0;
+  int window = 16;
+  int narrow(char tag) {
+    if (tag < 300) {
+      return tag + 1;
+    }
+    return 0;
+  }
+  int route(char tag, int len) {
+    int acc;
+    acc = 0;
+    if (version != 2) { acc = -1; }
+    if (debug == 1) { acc = acc - 1; }
+    if (window >= 8) { acc = acc + 1; }
+    if (tag < 300) { acc = acc + narrow(tag); }
+    if (len == 42) { acc = acc + 2; }
+    if (len > 100) {
+      if (tag == 7) { acc = acc + 3; }
+    }
+    return acc;
+  }
+)";
+
+/// Strategy-portfolio ablation: the §4 workloads under dfs, distance,
+/// diversity and the portfolio, at 1 and 4 workers. Each cell reports
+/// the median of five interleaved wall-clock repetitions (drift hits
+/// every cell equally), the runs to reach the cell's terminal coverage,
+/// and whether the coverable-direction early exit fired. Emits
+/// BENCH_strategy.json.
+void printStrategyPortfolioTable() {
+  printHeader("Strategy portfolio - wall-clock and runs-to-cover");
+  std::printf("%-20s %-10s %-5s %-7s %-9s %-9s %-5s %-7s %s\n", "workload",
+              "strategy", "jobs", "runs", "to-cover", "coverage", "bug",
+              "early", "median-ms");
+
+  struct Case {
+    const char *Name;
+    std::string Source;
+    const char *Toplevel;
+    unsigned Depth;
+    unsigned MaxRuns;
+  };
+  workloads::NsConfig Ns;
+  Ns.DolevYao = false;
+  Ns.Fix = workloads::LoweFix::None;
+  std::vector<Case> Cases = {
+      {"ac_controller", workloads::acControllerSource(), "ac_controller", 2,
+       2000},
+      {"needham_schroeder", workloads::needhamSchroederSource(Ns), "ns_step",
+       2, 1500},
+      {"config_filters", ConfigFilters, "route", 1, 500},
+      {"minisip_auth", workloads::miniSipSource(), "sip_auth_check", 1, 500},
+      {"minisip_receive", workloads::miniSipSource(), "sip_receive", 1, 300},
+  };
+  const std::vector<SearchStrategy> Strategies = {
+      SearchStrategy::DepthFirst, SearchStrategy::Distance,
+      SearchStrategy::Diversity, SearchStrategy::Portfolio};
+
+  std::vector<StrategyRow> Rows;
+  for (const Case &C : Cases) {
+    auto D = compileOrDie(C.Source, C.Name);
+    struct Cell {
+      SearchStrategy Strategy;
+      unsigned Jobs;
+      std::vector<double> SamplesMs;
+      DartReport Report;
+    };
+    std::vector<Cell> Cells;
+    for (SearchStrategy S : Strategies)
+      for (unsigned Jobs : {1u, 4u})
+        Cells.push_back({S, Jobs, {}, {}});
+    // Interleave: one repetition visits every cell once before any cell
+    // is timed again, so background-load drift is shared.
+    for (int Rep = 0; Rep < 5; ++Rep) {
+      for (Cell &Cell : Cells) {
+        DartOptions Opts;
+        Opts.ToplevelName = C.Toplevel;
+        Opts.Depth = C.Depth;
+        Opts.MaxRuns = C.MaxRuns;
+        Opts.Seed = 2005;
+        Opts.StopAtFirstError = false;
+        Opts.Jobs = Cell.Jobs;
+        Opts.Strategy = Cell.Strategy;
+        Opts.TrackCoverageTimeline = true;
+        auto Start = std::chrono::steady_clock::now();
+        Cell.Report = D->run(Opts);
+        Cell.SamplesMs.push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - Start)
+                .count());
+      }
+    }
+    for (Cell &Cell : Cells) {
+      std::sort(Cell.SamplesMs.begin(), Cell.SamplesMs.end());
+      const DartReport &R = Cell.Report;
+      StrategyRow Row;
+      Row.Workload = C.Name;
+      Row.Strategy = searchStrategyName(Cell.Strategy);
+      Row.Jobs = Cell.Jobs;
+      Row.Runs = R.Runs;
+      Row.Coverage = R.BranchDirectionsCovered;
+      Row.CoverageTotal = 2 * R.BranchSitesTotal;
+      Row.BugFound = R.BugFound;
+      Row.StoppedEarly = R.StoppedEarly;
+      Row.MedianMs = Cell.SamplesMs[Cell.SamplesMs.size() / 2];
+      Row.RunsToCover = R.Runs;
+      for (unsigned I = 0; I < R.CoverageTimeline.size(); ++I)
+        if (R.CoverageTimeline[I] >= R.BranchDirectionsCovered) {
+          Row.RunsToCover = I + 1;
+          break;
+        }
+      Row.PeakRssMib = peakRssMib();
+      Rows.push_back(Row);
+      char CovCell[32];
+      std::snprintf(CovCell, sizeof(CovCell), "%u/%u", Row.Coverage,
+                    Row.CoverageTotal);
+      std::printf("%-20s %-10s %-5u %-7u %-9u %-9s %-5s %-7s %.1f\n",
+                  Row.Workload.c_str(), Row.Strategy.c_str(), Row.Jobs,
+                  Row.Runs, Row.RunsToCover, CovCell,
+                  Row.BugFound ? "yes" : "no",
+                  Row.StoppedEarly ? "yes" : "no", Row.MedianMs);
+    }
+    // The headline claim: the 4-worker portfolio is within noise of the
+    // best single strategy at 4 workers on this workload.
+    double BestSingle = 1e30, Portfolio = 0.0;
+    for (const StrategyRow &Row : Rows) {
+      if (Row.Workload != C.Name || Row.Jobs != 4)
+        continue;
+      if (Row.Strategy == "portfolio")
+        Portfolio = Row.MedianMs;
+      else
+        BestSingle = std::min(BestSingle, Row.MedianMs);
+    }
+    std::printf("  portfolio@4 %.1fms vs best single@4 %.1fms (%.2fx)\n",
+                Portfolio, BestSingle,
+                BestSingle > 0.0 ? Portfolio / BestSingle : 0.0);
+  }
+  writeStrategyJson("BENCH_strategy.json", Rows);
 }
 
 void printConcreteBranchTable() {
@@ -257,6 +403,7 @@ BENCHMARK(BM_ParallelJobsNeedhamSchroeder)->Arg(1)->Arg(2)->Arg(4);
 
 int main(int argc, char **argv) {
   printStrategyTable();
+  printStrategyPortfolioTable();
   printConcreteBranchTable();
   printSymbolicPointerTable();
   printJitAblation();

@@ -81,15 +81,16 @@ BranchDistanceMap BranchDistanceMap::build(const IRModule &M) {
   return BD;
 }
 
-std::vector<uint32_t>
-BranchDistanceMap::priorities(const std::vector<bool> &Covered) const {
+void BranchDistanceMap::computeInto(const std::vector<bool> &Covered,
+                                    std::vector<uint32_t> &Dist,
+                                    std::vector<uint32_t> &Prio) const {
   auto BitCovered = [&](unsigned Bit) {
     return Bit < Covered.size() && Covered[Bit];
   };
 
   // Multi-source backward BFS: distance from each block to the nearest
   // block whose CondJump still has an uncovered direction.
-  std::vector<uint32_t> Dist(RevAdj.size(), kUnreachablePriority);
+  Dist.assign(RevAdj.size(), kUnreachablePriority);
   std::deque<unsigned> Worklist;
   for (unsigned S = 0; S < NumSites; ++S) {
     if (SiteBlock[S] == kNoBlock)
@@ -111,7 +112,7 @@ BranchDistanceMap::priorities(const std::vector<bool> &Covered) const {
       }
   }
 
-  std::vector<uint32_t> Prio(2 * NumSites, kUnreachablePriority);
+  Prio.assign(2 * NumSites, kUnreachablePriority);
   for (unsigned Bit = 0; Bit < Prio.size(); ++Bit) {
     if (!BitCovered(Bit)) {
       Prio[Bit] = 0;
@@ -122,5 +123,55 @@ BranchDistanceMap::priorities(const std::vector<bool> &Covered) const {
       continue;
     Prio[Bit] = 1 + Dist[Land];
   }
+}
+
+std::vector<uint32_t>
+BranchDistanceMap::priorities(const std::vector<bool> &Covered) const {
+  std::vector<uint32_t> Dist, Prio;
+  computeInto(Covered, Dist, Prio);
   return Prio;
+}
+
+DistancePriorityTracker::DistancePriorityTracker(const BranchDistanceMap &Map)
+    : Map(Map), Covered(2 * size_t(Map.numSites()), false) {
+  Map.computeInto(Covered, Dist, Prio);
+}
+
+unsigned DistancePriorityTracker::sync(const std::vector<bool> &Now) {
+  size_t Limit = std::min(Now.size(), Covered.size());
+  FreshBits.clear();
+  bool SiteSaturated = false;
+  for (size_t Bit = 0; Bit < Limit; ++Bit) {
+    if (!Now[Bit] || Covered[Bit])
+      continue;
+    Covered[Bit] = true;
+    FreshBits.push_back(static_cast<uint32_t>(Bit));
+    unsigned S = static_cast<unsigned>(Bit / 2);
+    // A BFS source disappears only when the *other* direction was already
+    // covered and the site actually exists in the block graph.
+    if (Covered[2 * S] && Covered[2 * S + 1] &&
+        Map.SiteBlock[S] != BranchDistanceMap::kNoBlock)
+      SiteSaturated = true;
+  }
+  if (FreshBits.empty())
+    return 0;
+  if (SiteSaturated) {
+    // The source set shrank; distances may grow anywhere. One full BFS.
+    ++FullRecomputes;
+    Map.computeInto(Covered, Dist, Prio);
+    return static_cast<unsigned>(FreshBits.size());
+  }
+  // Source set unchanged (every touched site keeps an uncovered sibling,
+  // so its block stays a BFS source): Dist is untouched and the only
+  // entries that change are the fresh bits' own, from 0 (uncovered) to
+  // their landing-block distance.
+  for (uint32_t Bit : FreshBits) {
+    unsigned Land = Map.LandingBlock[Bit];
+    Prio[Bit] = (Land == BranchDistanceMap::kNoBlock ||
+                 Dist[Land] == BranchDistanceMap::kUnreachablePriority)
+                    ? BranchDistanceMap::kUnreachablePriority
+                    : 1 + Dist[Land];
+    ++IncrementalUpdates;
+  }
+  return static_cast<unsigned>(FreshBits.size());
 }

@@ -11,15 +11,12 @@
 /// branch site that still has an uncovered direction. The paper's search
 /// (§2.3) is depth-first; `--strategy distance` instead flips the frontier
 /// candidate whose negated branch is statically closest to uncovered
-/// code — a cheap, recomputable-per-iteration hint, not a soundness
-/// mechanism.
+/// code — a cheap hint, not a soundness mechanism.
 ///
 /// The block graph is built once per module: every function's CFG edges,
 /// plus an edge from each calling block to the callee's entry block.
-/// Distances are then a multi-source backward BFS from the blocks whose
-/// terminating CondJump has an uncovered direction, re-run from the
-/// current coverage bitmap each time the engine asks — O(blocks + edges),
-/// trivially cheap next to a solver call.
+/// Distances are a multi-source backward BFS from the blocks whose
+/// terminating CondJump has an uncovered direction.
 ///
 /// Priorities (lower = more urgent), indexed by `2*site + direction`:
 ///
@@ -27,6 +24,16 @@
 ///   1 + dist(landing)      covered; its landing block reaches uncovered
 ///                          code in `dist` edges
 ///   kUnreachablePriority   covered and no uncovered branch is reachable
+///
+/// `priorities()` recomputes the whole BFS from a coverage bitmap — the
+/// reference implementation, and the equality oracle the tests pin the
+/// incremental path against. The engines instead keep a
+/// DistancePriorityTracker: coverage only ever grows, and covering one
+/// direction of a site that still has an uncovered sibling leaves the
+/// BFS source set untouched, so the only priority that changes is the
+/// newly covered bit's own (0 -> landing-based) — an O(1) update. Only
+/// when a whole site saturates (both directions covered) does a source
+/// disappear, and the tracker falls back to one full recompute.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,10 +63,19 @@ public:
   /// Compute the priority of every (site, direction) pair from the
   /// coverage bitmap (bit `2*site + taken`, the engines' encoding). The
   /// result has `2 * numSites()` entries; sites beyond the bitmap are
-  /// treated as uncovered.
+  /// treated as uncovered. Full recompute — the incremental tracker's
+  /// equality oracle.
   std::vector<uint32_t> priorities(const std::vector<bool> &Covered) const;
 
 private:
+  friend class DistancePriorityTracker;
+
+  /// The shared BFS body: distances from every block to the nearest
+  /// still-uncovered site, then the per-direction priority table.
+  void computeInto(const std::vector<bool> &Covered,
+                   std::vector<uint32_t> &Dist,
+                   std::vector<uint32_t> &Prio) const;
+
   unsigned NumSites = 0;
   /// Reversed block-graph adjacency: RevAdj[v] = blocks with an edge
   /// into v.
@@ -71,6 +87,38 @@ private:
   std::vector<unsigned> LandingBlock;
 
   static constexpr unsigned kNoBlock = ~0u;
+};
+
+/// Incrementally maintained priority table, equal at every point to
+/// `Map.priorities(Covered)` for the coverage applied so far (coverage
+/// only grows). Covering a direction whose site keeps an uncovered
+/// sibling is an O(1) update; covering the last direction of a site
+/// removes a BFS source and triggers one full recompute. Not thread-safe:
+/// the parallel engine keeps one tracker per worker and re-syncs it from
+/// the shared bitmap only when the coverage generation counter moves.
+class DistancePriorityTracker {
+public:
+  explicit DistancePriorityTracker(const BranchDistanceMap &Map);
+
+  /// Fold in a coverage bitmap (must be a superset of everything applied
+  /// before — the engines' bitmaps only gain bits). Returns the number of
+  /// fresh direction bits applied.
+  unsigned sync(const std::vector<bool> &Now);
+
+  /// The current table; reference stays valid across sync() calls.
+  const std::vector<uint32_t> &priorities() const { return Prio; }
+
+  uint64_t incrementalUpdates() const { return IncrementalUpdates; }
+  uint64_t fullRecomputes() const { return FullRecomputes; }
+
+private:
+  const BranchDistanceMap &Map;
+  std::vector<bool> Covered;
+  std::vector<uint32_t> Dist;
+  std::vector<uint32_t> Prio;
+  std::vector<uint32_t> FreshBits; // scratch, reused across sync() calls
+  uint64_t IncrementalUpdates = 0;
+  uint64_t FullRecomputes = 0;
 };
 
 } // namespace dart

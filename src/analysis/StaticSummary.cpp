@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/StaticSummary.h"
+#include "analysis/CallGraph.h"
 #include "analysis/Cfg.h"
 
 #include <sstream>
@@ -55,6 +56,12 @@ StaticSummary dart::computeStaticSummary(const IRModule &M,
     Sum.SiteNoInputDeps[S] = !Dep->SiteDataInputs[S].any();
   Sum.Dependence = Dep;
 
+  constexpr unsigned kNoFn = ~0u;
+  std::vector<unsigned> SiteFn(Sum.NumBranchSites, kNoFn);
+  // For monovalent sites with a wrap-free proof: the one direction the
+  // condition takes (1 = true); -1 when no such proof exists.
+  std::vector<int8_t> SiteOnlyDir(Sum.NumBranchSites, -1);
+
   for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
     const IRFunction &F = *M.functions()[Fn];
     Cfg G = Cfg::build(F);
@@ -68,6 +75,7 @@ StaticSummary dart::computeStaticSummary(const IRModule &M,
       if (!CJ || CJ->siteId() >= Sum.NumBranchSites)
         continue;
       unsigned Site = CJ->siteId();
+      SiteFn[Site] = Fn;
       Sum.SiteTainted[Site] = T.exprTainted(Fn, CJ->cond());
       if (!IA.converged())
         continue;
@@ -79,6 +87,8 @@ StaticSummary dart::computeStaticSummary(const IRModule &M,
       Interval CI = IA.evalExpr(S, CJ->cond());
       Sum.SiteMonovalent[Site] = !CI.canBeZero() || !CI.canBeNonzero();
       Sum.SiteExact[Site] = CI.Exact;
+      if (Sum.SiteMonovalent[Site] && Sum.SiteExact[Site])
+        SiteOnlyDir[Site] = CI.canBeZero() ? 0 : 1;
     }
   }
 
@@ -86,5 +96,31 @@ StaticSummary dart::computeStaticSummary(const IRModule &M,
     Sum.PrunedSites[S] = !Sum.SiteTainted[S] || Sum.SiteNoInputDeps[S] ||
                          Sum.SiteUnreachable[S] ||
                          (Sum.SiteMonovalent[S] && Sum.SiteExact[S]);
+
+  // The early-exit universe: every direction minus what a proof removes.
+  // Only refutations shrink it — reachability is the call graph's (no
+  // indirect calls in the IR, so the closure is exact), unreachability
+  // and single-direction facts come with the interval analysis'
+  // converged/Exact certificates.
+  CallGraph CG = CallGraph::build(M);
+  unsigned Toplevel = CG.indexOf(ToplevelName);
+  std::vector<bool> FnReachable;
+  if (Toplevel != CallGraph::kExternal)
+    FnReachable = CG.transitiveCallees(Toplevel);
+  Sum.CoverableDirs.assign(2 * size_t(Sum.NumBranchSites), false);
+  for (unsigned S = 0; S < Sum.NumBranchSites; ++S) {
+    if (SiteFn[S] == kNoFn)
+      continue; // site id gap: never executes
+    if (!FnReachable.empty() && !FnReachable[SiteFn[S]])
+      continue; // function never called from the toplevel
+    if (Sum.SiteUnreachable[S])
+      continue;
+    for (unsigned Dir = 0; Dir < 2; ++Dir) {
+      if (SiteOnlyDir[S] >= 0 && unsigned(SiteOnlyDir[S]) != Dir)
+        continue; // proved: the condition never takes this direction
+      Sum.CoverableDirs[2 * S + Dir] = true;
+      ++Sum.CoverableCount;
+    }
+  }
   return Sum;
 }

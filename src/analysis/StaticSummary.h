@@ -69,6 +69,19 @@ struct StaticSummary {
   std::vector<bool> SiteUnreachable;
   /// The engine verdict: never push this site as a flip candidate.
   std::vector<bool> PrunedSites;
+  /// The coverage universe for early exit, bit `2*site + direction` (the
+  /// engines' coverage-bitmap encoding): set when the campaign could
+  /// conceivably cover that direction. Excluded are sites whose id never
+  /// appears in the module, sites in functions the call graph cannot
+  /// reach from the toplevel, statically unreachable sites, and — for
+  /// monovalent sites with a wrap-free proof — the direction the
+  /// condition can never take. Deliberately an *over*approximation
+  /// otherwise: a direction wrongly kept only delays early exit (the run
+  /// budget still bounds the campaign); a direction wrongly dropped
+  /// could stop a search with work left, so only proofs remove bits.
+  std::vector<bool> CoverableDirs;
+  /// Number of set bits in CoverableDirs.
+  unsigned CoverableCount = 0;
 
   unsigned prunedCount() const {
     unsigned N = 0;

@@ -23,8 +23,90 @@ const char *dart::searchStrategyName(SearchStrategy S) {
     return "random";
   case SearchStrategy::Distance:
     return "distance";
+  case SearchStrategy::Diversity:
+    return "diversity";
+  case SearchStrategy::Portfolio:
+    return "portfolio";
   }
   return "?";
+}
+
+namespace {
+
+/// One Bloom bit per (site, direction), spread by a SplitMix64 finalizer
+/// so nearby site ids land on unrelated bits.
+uint64_t branchSigBit(unsigned SiteId, bool Branch) {
+  uint64_t Z = (uint64_t(SiteId) << 1 | (Branch ? 1 : 0)) +
+               0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  Z ^= Z >> 31;
+  return uint64_t(1) << (Z & 63);
+}
+
+/// Signature contribution of stack position I: its taken direction plus
+/// the inputs its constraint touches (negation touches the same inputs,
+/// so this also serves the predicted-child case).
+uint64_t entrySignature(const PathData &Path, size_t I,
+                        const PredArena &Arena) {
+  uint64_t Sig = branchSigBit(Path.Stack[I].SiteId, Path.Stack[I].Branch);
+  if (Path.Constraints[I] != kNoPred)
+    Sig |= Arena.inputSig(Path.Constraints[I]);
+  return Sig;
+}
+
+} // namespace
+
+uint64_t dart::pathSignature(const PathData &Path, const PredArena &Arena) {
+  uint64_t Sig = 0;
+  for (size_t I = 0; I < Path.Stack.size(); ++I)
+    Sig |= entrySignature(Path, I, Arena);
+  return Sig;
+}
+
+uint64_t dart::predictedSignature(const PathData &Path, size_t FlipIndex,
+                                  const PredArena &Arena) {
+  uint64_t Sig = 0;
+  for (size_t I = 0; I < FlipIndex; ++I)
+    Sig |= entrySignature(Path, I, Arena);
+  Sig |= branchSigBit(Path.Stack[FlipIndex].SiteId,
+                      !Path.Stack[FlipIndex].Branch);
+  if (Path.Constraints[FlipIndex] != kNoPred)
+    Sig |= Arena.inputSig(Path.Constraints[FlipIndex]);
+  return Sig;
+}
+
+void DiversitySampler::insert(uint64_t Sig) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Seen;
+  if (Archive.size() < kCapacity) {
+    Archive.push_back(Sig);
+    return;
+  }
+  // Classic reservoir step: the n-th signature replaces a random slot
+  // with probability capacity/n, keeping the archive a uniform sample of
+  // everything seen so far.
+  uint64_t Slot = SampleRng.nextBelow(Seen);
+  if (Slot < kCapacity)
+    Archive[size_t(Slot)] = Sig;
+}
+
+std::vector<uint64_t> DiversitySampler::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Archive;
+}
+
+unsigned DiversitySampler::minDistance(uint64_t Sig,
+                                       const std::vector<uint64_t> &Archive) {
+  if (Archive.empty())
+    return 64;
+  unsigned Best = 64;
+  for (uint64_t A : Archive) {
+    unsigned D = unsigned(__builtin_popcountll(Sig ^ A));
+    if (D < Best)
+      Best = D;
+  }
+  return Best;
 }
 
 namespace {
@@ -93,16 +175,24 @@ bool unrealizable(
 /// Distance stably sorts by the static priority of the *negated*
 /// direction — the side the flip would newly take — with depth-first
 /// order as the tie-break (and as the fallback when no priorities were
-/// supplied).
+/// supplied). Diversity sorts by descending minimum Hamming distance of
+/// the predicted child signature from the executed-path sample, again
+/// with depth-first tie-break (and fallback when no sampler / an empty
+/// archive was supplied). Portfolio never reaches this function with its
+/// own identity — the parallel engine maps it per worker — but degrades
+/// to depth-first if it does.
 std::vector<size_t> candidateOrder(const PathData &Path,
+                                   const PredArena &Arena,
                                    SearchStrategy Strategy, Rng &Rng,
-                                   const std::vector<uint32_t> *SitePriorities) {
+                                   const std::vector<uint32_t> *SitePriorities,
+                                   const DiversitySampler *Sampler) {
   std::vector<size_t> Candidates;
   for (size_t I = 0; I < Path.Stack.size(); ++I)
     if (!Path.Stack[I].Done)
       Candidates.push_back(I);
   switch (Strategy) {
   case SearchStrategy::DepthFirst:
+  case SearchStrategy::Portfolio:
     std::reverse(Candidates.begin(), Candidates.end());
     break;
   case SearchStrategy::BreadthFirst:
@@ -126,6 +216,31 @@ std::vector<size_t> candidateOrder(const PathData &Path,
           Candidates.begin(), Candidates.end(),
           [&](size_t A, size_t B) { return PriorityOf(A) < PriorityOf(B); });
     }
+    break;
+  }
+  case SearchStrategy::Diversity: {
+    std::reverse(Candidates.begin(), Candidates.end());
+    if (!Sampler)
+      break;
+    std::vector<uint64_t> Snap = Sampler->snapshot();
+    if (Snap.empty())
+      break;
+    // Cumulative prefix signatures (Cum[I] = entries 0..I-1) make every
+    // candidate's predicted signature O(1) instead of O(depth).
+    std::vector<uint64_t> Cum(Path.Stack.size() + 1, 0);
+    for (size_t I = 0; I < Path.Stack.size(); ++I)
+      Cum[I + 1] = Cum[I] | entrySignature(Path, I, Arena);
+    std::vector<unsigned> Score(Path.Stack.size(), 0);
+    for (size_t J : Candidates) {
+      uint64_t Sig =
+          Cum[J] | branchSigBit(Path.Stack[J].SiteId, !Path.Stack[J].Branch);
+      if (Path.Constraints[J] != kNoPred)
+        Sig |= Arena.inputSig(Path.Constraints[J]);
+      Score[J] = DiversitySampler::minDistance(Sig, Snap);
+    }
+    std::stable_sort(Candidates.begin(), Candidates.end(), [&](size_t A, size_t B) {
+      return Score[A] > Score[B];
+    });
     break;
   }
   }
@@ -438,11 +553,12 @@ CandidateSet dart::solveCandidates(
     const std::function<VarDomain(InputId)> &DomainOf,
     const std::map<InputId, int64_t> &Hint, SearchStrategy Strategy,
     Rng &Rng, unsigned MaxCandidates,
-    const std::vector<uint32_t> *SitePriorities) {
+    const std::vector<uint32_t> *SitePriorities,
+    const DiversitySampler *Sampler) {
   assert(Path.Stack.size() == Path.Constraints.size() &&
          "stack and path constraint must stay aligned");
   std::vector<size_t> Candidates =
-      candidateOrder(Path, Strategy, Rng, SitePriorities);
+      candidateOrder(Path, Arena, Strategy, Rng, SitePriorities, Sampler);
   if (Solver.options().IncrementalSessions) {
     if (Solver.options().SliceQueries)
       return solveSliced(Path, Arena, Solver, DomainOf, Hint, Candidates,
@@ -458,9 +574,10 @@ SolveOutcome dart::solvePathConstraint(
     const PathData &Path, PredArena &Arena, LinearSolver &Solver,
     const std::function<VarDomain(InputId)> &DomainOf,
     const std::map<InputId, int64_t> &Hint, SearchStrategy Strategy,
-    Rng &Rng, const std::vector<uint32_t> *SitePriorities) {
+    Rng &Rng, const std::vector<uint32_t> *SitePriorities,
+    const DiversitySampler *Sampler) {
   CandidateSet Set = solveCandidates(Path, Arena, Solver, DomainOf, Hint,
-                                     Strategy, Rng, 1, SitePriorities);
+                                     Strategy, Rng, 1, SitePriorities, Sampler);
   SolveOutcome Outcome;
   Outcome.SolverCalls = Set.SolverCalls;
   if (!Set.Candidates.empty()) {

@@ -21,16 +21,81 @@
 #include "support/Rng.h"
 
 #include <map>
+#include <mutex>
 
 namespace dart {
 
 /// Branch-selection order for the directed search (paper footnote 4).
 /// Distance picks the flip whose landing block is statically closest to
 /// a not-yet-covered branch (see analysis/BranchDistance.h), with
-/// depth-first order as the tie-break.
-enum class SearchStrategy { DepthFirst, BreadthFirst, RandomBranch, Distance };
+/// depth-first order as the tie-break. Diversity is adaptive random
+/// testing over path signatures: prefer the flip whose predicted path is
+/// most Hamming-distant from a sample of already-executed paths.
+/// Portfolio is not a branch order at all — the parallel engine maps it
+/// to a per-worker assignment of the single strategies (W0 dfs,
+/// W1 distance, the rest diversity); anywhere a concrete order is
+/// needed it degrades to depth-first.
+enum class SearchStrategy {
+  DepthFirst,
+  BreadthFirst,
+  RandomBranch,
+  Distance,
+  Diversity,
+  Portfolio,
+};
 
 const char *searchStrategyName(SearchStrategy S);
+
+/// 64-bit Bloom signature of an executed path: one hashed bit per
+/// (site, taken-direction) on the branch stack, OR'd with each recorded
+/// constraint's input signature (PredArena::inputSig — which inputs the
+/// path actually constrained). Two paths through different branches or
+/// touching different inputs diverge in the signature with high
+/// probability; Hamming distance over signatures is the ART metric.
+uint64_t pathSignature(const PathData &Path, const PredArena &Arena);
+
+/// Signature of the path a flip at \p FlipIndex forces: the executed
+/// prefix below the flip, plus the flipped direction of the branch
+/// itself. This is computable *before* running the child — it is what
+/// the diversity strategy scores and what the parallel frontier stores
+/// per work item.
+uint64_t predictedSignature(const PathData &Path, size_t FlipIndex,
+                            const PredArena &Arena);
+
+/// Fixed-capacity uniform sample of executed-path signatures (reservoir
+/// sampling), shared by every worker under `--strategy diversity` /
+/// portfolio. Capacity is constant, so scoring a candidate is O(capacity)
+/// and inserting is O(1) — the archive never scans or stores the full
+/// execution history. The reservoir keeps its own deterministic Rng
+/// (seeded once from the campaign seed) so sampling does not perturb the
+/// engines' input-generation streams; at jobs 1 the sample sequence is a
+/// pure function of the run order, keeping single-strategy campaigns
+/// deterministic.
+class DiversitySampler {
+public:
+  static constexpr unsigned kCapacity = 32;
+
+  explicit DiversitySampler(uint64_t Seed) : SampleRng(Seed) {}
+
+  /// Fold one executed path's signature into the reservoir.
+  void insert(uint64_t Sig);
+
+  /// Stable copy of the current sample (thread-safe snapshot; scoring
+  /// walks the copy so a concurrent insert cannot tear a read).
+  std::vector<uint64_t> snapshot() const;
+
+  /// Smallest Hamming distance from \p Sig to any archived signature;
+  /// 64 (the maximum) when the archive is empty, so the first runs rank
+  /// every candidate equally novel.
+  static unsigned minDistance(uint64_t Sig,
+                              const std::vector<uint64_t> &Archive);
+
+private:
+  mutable std::mutex Mu;
+  std::vector<uint64_t> Archive;
+  uint64_t Seen = 0;
+  Rng SampleRng;
+};
 
 /// Outcome of solve_path_constraint.
 struct SolveOutcome {
@@ -56,14 +121,17 @@ struct SolveOutcome {
 /// values so unrelated inputs stay put (IM + IM').
 /// \p SitePriorities (Distance strategy only) maps coverage bit
 /// `2*site + direction` to its static distance priority; null keeps every
-/// strategy's historical order byte-identical.
+/// strategy's historical order byte-identical. \p Sampler (Diversity
+/// only) is the executed-path archive candidates are scored against;
+/// null degrades Diversity to depth-first order.
 SolveOutcome solvePathConstraint(const PathData &Path, PredArena &Arena,
                                  LinearSolver &Solver,
                                  const std::function<VarDomain(InputId)> &DomainOf,
                                  const std::map<InputId, int64_t> &Hint,
                                  SearchStrategy Strategy, Rng &Rng,
                                  const std::vector<uint32_t> *SitePriorities =
-                                     nullptr);
+                                     nullptr,
+                                 const DiversitySampler *Sampler = nullptr);
 
 /// Every satisfiable branch flip of one path (speculative frontier
 /// expansion, footnote 4's strategy freedom taken to its limit).
@@ -104,7 +172,8 @@ CandidateSet solveCandidates(const PathData &Path, PredArena &Arena,
                              SearchStrategy Strategy, Rng &Rng,
                              unsigned MaxCandidates,
                              const std::vector<uint32_t> *SitePriorities =
-                                 nullptr);
+                                 nullptr,
+                             const DiversitySampler *Sampler = nullptr);
 
 } // namespace dart
 

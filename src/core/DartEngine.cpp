@@ -76,6 +76,10 @@ std::string DartReport::toString() const {
     Out += "  " + B.toString() + "\n";
   Out += "complete exploration: " +
          std::string(CompleteExploration ? "yes" : "no") + "\n";
+  // Only emitted when it happened: single-strategy dfs reports must stay
+  // byte-identical with the strategy engine linked in.
+  if (StoppedEarly)
+    Out += "stopped early: yes (all coverable branch directions covered)\n";
   Out += "flags: all_linear=" +
          std::to_string(FinalFlags.AllLinear ? 1 : 0) +
          " all_locs_definite=" +
@@ -157,12 +161,29 @@ DartReport DartEngine::run() {
     if (Summary->Dependence)
       Report.Dependence = Summary->Dependence->Stats;
   }
-  // Distance strategy: the static block graph is built once; priorities
-  // are recomputed from the coverage bitmap before every solve (cheap,
-  // O(blocks + edges)) so the search chases whatever is still uncovered.
+  // Portfolio is a parallel-engine concept (per-worker strategy
+  // assignment); at jobs 1 there is one worker and it runs the paper's
+  // depth-first search, byte-identical with `--strategy dfs`.
+  const SearchStrategy EffStrategy =
+      Options.Strategy == SearchStrategy::Portfolio
+          ? SearchStrategy::DepthFirst
+          : Options.Strategy;
+  // Distance strategy: the static block graph is built once; the
+  // priority table is maintained incrementally from coverage deltas
+  // (BranchDistance.h) instead of re-running the whole-module BFS before
+  // every solve.
   std::optional<BranchDistanceMap> DistMap;
-  if (!Options.RandomOnly && Options.Strategy == SearchStrategy::Distance)
+  std::optional<DistancePriorityTracker> DistTracker;
+  if (!Options.RandomOnly && EffStrategy == SearchStrategy::Distance) {
     DistMap = BranchDistanceMap::build(*Program.Module);
+    DistTracker.emplace(*DistMap);
+  }
+  // Diversity strategy: shared executed-path archive (trivially "shared"
+  // here — one worker); seeded off the campaign seed but on a stream of
+  // its own so reservoir decisions never perturb input generation.
+  std::optional<DiversitySampler> Sampler;
+  if (!Options.RandomOnly && EffStrategy == SearchStrategy::Diversity)
+    Sampler.emplace(Options.Seed ^ 0x9e3779b97f4a7c15ULL);
   // Snapshot-resume state: the previous run's checkpoint pack, and the
   // materialized resume point for the next directed run (computed at
   // solve time, before the model is applied).
@@ -182,8 +203,15 @@ DartReport DartEngine::run() {
   CaptureDemand Demand;
   std::optional<MaterializedCheckpoint> Resume;
 
+  // Early exit (heuristic strategies only): once every direction in the
+  // static coverable universe is covered, further runs can only re-walk
+  // known paths — Theorem 1(b)'s all-paths claim is dfs's business, not
+  // the heuristics'. Needs the static summary for the universe.
+  const bool UseEarlyExit = Summary && Summary->CoverableCount > 0 &&
+                            EffStrategy != SearchStrategy::DepthFirst;
   std::vector<bool> Covered(2 * size_t(Report.BranchSitesTotal), false);
   unsigned CoveredCount = 0;
+  unsigned CoverableCovered = 0;
   auto MergeCoverage = [&](const std::vector<bool> &Bits) {
     if (Bits.size() > Covered.size())
       Covered.resize(Bits.size(), false);
@@ -191,6 +219,9 @@ DartReport DartEngine::run() {
       if (Bits[I] && !Covered[I]) {
         Covered[I] = true;
         ++CoveredCount;
+        if (Summary && I < Summary->CoverableDirs.size() &&
+            Summary->CoverableDirs[I])
+          ++CoverableCovered;
       }
   };
 
@@ -216,14 +247,14 @@ DartReport DartEngine::run() {
     CovHooks.emplace(Report.BranchSitesTotal);
     VM.setHooks(&*CovHooks);
   }
-  // Session-lifetime so the recorder can watch the distance priorities
-  // recomputed before each solve.
-  std::vector<uint32_t> Priorities;
   std::optional<CheckpointRecorder> Recorder;
   if (UseSnapshots && Hooks)
     Recorder.emplace(
         VM, [&Inputs] { return Inputs.inputsThisRun(); }, Options.Capture,
-        &Demand, DistMap ? &Priorities : nullptr);
+        &Demand,
+        // The tracker's table lives for the session and is updated in
+        // place, so the recorder can watch it directly.
+        DistTracker ? &DistTracker->priorities() : nullptr);
   TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM,
                     Hooks ? &*Hooks : nullptr, Options.Driver);
   uint64_t PrevExecuted = 0;
@@ -344,6 +375,15 @@ DartReport DartEngine::run() {
         break;
       }
 
+      if (UseEarlyExit && CoverableCovered >= Summary->CoverableCount) {
+        // Every statically coverable direction is covered: the budget
+        // left would only re-walk known behaviour. Stop on the exact run
+        // that saturated the bitmap.
+        Report.StoppedEarly = true;
+        Stop = true;
+        break;
+      }
+
       if (Options.RandomOnly) {
         // Fresh random inputs every run; no directed component. The
         // registry storage survives the restart (positional overwrite).
@@ -363,13 +403,18 @@ DartReport DartEngine::run() {
         return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
       };
       const std::vector<uint32_t> *PriorityPtr = nullptr;
-      if (DistMap) {
-        Priorities = DistMap->priorities(Covered);
-        PriorityPtr = &Priorities;
+      if (DistTracker) {
+        // Fold this run's coverage delta in: O(1) per fresh bit, full
+        // BFS only when the delta saturated a whole site.
+        DistTracker->sync(Covered);
+        PriorityPtr = &DistTracker->priorities();
       }
+      if (Sampler)
+        Sampler->insert(pathSignature(Path, Arena));
       SolveOutcome Outcome =
           solvePathConstraint(Path, Arena, Solver, DomainOf, Inputs.im(),
-                              Options.Strategy, R, PriorityPtr);
+                              EffStrategy, R, PriorityPtr,
+                              Sampler ? &*Sampler : nullptr);
       Report.SolverCalls += Outcome.SolverCalls;
       if (Outcome.TheoryMisled)
         GlobalFlags.AllLinear = false;
@@ -402,7 +447,7 @@ DartReport DartEngine::run() {
         // unexplored branches of the truncated stack, so those strategies
         // are heuristics and may never claim completeness.
         if (GlobalFlags.allSet() &&
-            Options.Strategy == SearchStrategy::DepthFirst) {
+            EffStrategy == SearchStrategy::DepthFirst) {
           // Theorem 1(b): all feasible paths have been exercised.
           Report.CompleteExploration = true;
           Stop = true;
@@ -419,6 +464,10 @@ DartReport DartEngine::run() {
   Report.Snapshot.PacksEvicted = Ledger.evictions();
   Report.Snapshot.PeakResidentBytes = Ledger.peakResidentBytes();
   Report.Snapshot.MaterializeNanos = MaterializeNanos;
+  if (DistTracker) {
+    Report.DistanceIncrementalUpdates = DistTracker->incrementalUpdates();
+    Report.DistanceFullRecomputes = DistTracker->fullRecomputes();
+  }
   if (Recorder) {
     Report.Snapshot.CaptureNanos = Recorder->captureNanos();
     Report.Snapshot.LevelsSkippedByDemand = Recorder->levelsSkippedByDemand();

@@ -161,6 +161,18 @@ struct JitStats {
   }
 };
 
+/// Per-strategy contribution of a portfolio campaign: one row per single
+/// strategy the parallel engine assigned to at least one worker
+/// (`--strategy portfolio`; empty for single-strategy sessions so their
+/// reports stay byte-identical).
+struct StrategyAttribution {
+  SearchStrategy Strategy = SearchStrategy::DepthFirst;
+  unsigned Workers = 0;         ///< workers running this strategy
+  uint64_t Runs = 0;            ///< instrumented runs they executed
+  uint64_t FreshDirections = 0; ///< branch directions they covered first
+  uint64_t Bugs = 0;            ///< erroring runs they produced
+};
+
 /// Session outcome and statistics.
 struct DartReport {
   unsigned Runs = 0;
@@ -171,6 +183,12 @@ struct DartReport {
   /// Theorem 1(b): the directed search finished with both completeness
   /// flags intact — every feasible path was exercised, no input can abort.
   bool CompleteExploration = false;
+  /// The campaign stopped before exhausting its run budget because every
+  /// statically coverable branch direction (StaticSummary::CoverableDirs)
+  /// was covered. Heuristic strategies only — depth-first keeps running
+  /// toward Theorem 1(b)'s all-paths claim, which coverage saturation
+  /// does not imply.
+  bool StoppedEarly = false;
   CompletenessFlags FinalFlags;
   unsigned BranchSitesTotal = 0;
   unsigned BranchDirectionsCovered = 0;
@@ -194,6 +212,15 @@ struct DartReport {
   SnapshotStats Snapshot;
   /// Native-tier accounting (zeroed when the JIT is off or unsupported).
   JitStats Jit;
+  /// Incremental distance-table maintenance counters (distance strategy
+  /// and portfolio's distance worker; zero otherwise). Updates are O(1)
+  /// per fresh coverage bit; recomputes are whole-module BFS passes.
+  uint64_t DistanceIncrementalUpdates = 0;
+  uint64_t DistanceFullRecomputes = 0;
+  /// Portfolio attribution (`--strategy portfolio` only; surfaced by
+  /// --stats). Sorted by strategy enum order, deterministic at any job
+  /// count.
+  std::vector<StrategyAttribution> StrategyMix;
   /// One line per run when DartOptions::LogRuns is set.
   std::vector<std::string> RunLog;
   /// Cumulative covered branch directions after each run, when

@@ -59,9 +59,19 @@ struct WorkItem {
   std::optional<InputId> MinChanged;
   /// Distance strategy only: static priority of the direction the item's
   /// flip newly takes, computed at push time (0 = lands on an uncovered
-  /// direction). The frontier pops the minimum first.
+  /// direction). Distance-strategy pops claim the minimum first.
   uint32_t Priority = 0;
+  /// Diversity strategy only: predicted path signature of the run this
+  /// item forces (PathSearch::predictedSignature), computed at push time.
+  /// Diversity pops claim the item most Hamming-distant from the
+  /// executed-path sample.
+  uint64_t Sig = 0;
 };
+
+/// How a worker claims its next frontier item; each worker passes its
+/// strategy's policy to pop(), so a portfolio's workers share one queue
+/// but walk it in their own orders.
+enum class PopPolicy { Newest, MinPriority, MaxDiversity };
 
 /// FNV-1a over the (site, direction) sequence of a predicted stack,
 /// salted by the restart tree.
@@ -104,10 +114,11 @@ class Frontier {
 public:
   using DrainFn = std::function<std::vector<WorkItem>()>;
 
-  /// \p ByPriority (distance strategy): pop() claims the minimum-priority
-  /// item instead of FIFO order, with FIFO as the tie-break.
-  explicit Frontier(DrainFn OnDrain, bool ByPriority = false)
-      : OnDrain(std::move(OnDrain)), ByPriority(ByPriority) {}
+  /// \p Sampler (diversity strategy / portfolio): the executed-path
+  /// archive MaxDiversity pops score items against; may be null when no
+  /// worker uses that policy.
+  explicit Frontier(DrainFn OnDrain, const DiversitySampler *Sampler = nullptr)
+      : OnDrain(std::move(OnDrain)), Sampler(Sampler) {}
 
   void push(WorkItem I) {
     std::lock_guard<std::mutex> L(M);
@@ -118,7 +129,7 @@ public:
   }
 
   /// Claims the next item (the caller is then "busy" until taskDone()).
-  std::optional<WorkItem> pop() {
+  std::optional<WorkItem> pop(PopPolicy Policy) {
     std::unique_lock<std::mutex> L(M);
     for (;;) {
       if (Closed)
@@ -131,11 +142,27 @@ public:
         // the session pinned simultaneously (tens of MB on branchy
         // workloads) and churned the allocator accordingly.
         auto It = std::prev(Items.end());
-        if (ByPriority)
+        if (Policy == PopPolicy::MinPriority) {
           It = std::min_element(Items.begin(), Items.end(),
                                 [](const WorkItem &A, const WorkItem &B) {
                                   return A.Priority < B.Priority;
                                 });
+        } else if (Policy == PopPolicy::MaxDiversity && Sampler) {
+          // ART claim order: the pending run most distant from what has
+          // already executed. >= keeps the newest among ties, preserving
+          // the depth-first pack-residency property above.
+          std::vector<uint64_t> Snap = Sampler->snapshot();
+          if (!Snap.empty()) {
+            unsigned Best = 0;
+            for (auto Cur = Items.begin(); Cur != Items.end(); ++Cur) {
+              unsigned D = DiversitySampler::minDistance(Cur->Sig, Snap);
+              if (D >= Best) {
+                Best = D;
+                It = Cur;
+              }
+            }
+          }
+        }
         WorkItem I = std::move(*It);
         Items.erase(It);
         ++Busy;
@@ -173,7 +200,7 @@ public:
 
 private:
   DrainFn OnDrain;
-  bool ByPriority;
+  const DiversitySampler *Sampler;
   std::mutex M;
   std::condition_variable CV;
   std::deque<WorkItem> Items;
@@ -218,6 +245,16 @@ struct SharedState {
   std::atomic<bool> BugFound{false};
   std::atomic<bool> Stop{false};
   std::atomic<bool> Truncated{false};
+  std::atomic<bool> StoppedEarly{false};
+  /// Bumped whenever mergeCoverage lands at least one fresh bit. Workers
+  /// compare it against their last-synced value to decide whether their
+  /// incremental distance tracker needs a sync — the common case (no new
+  /// coverage since the last solve) is one relaxed load, no bitmap walk.
+  std::atomic<uint64_t> CovGen{0};
+  /// Word-form mask of the statically coverable directions
+  /// (StaticSummary::CoverableDirs); empty when early exit is off.
+  std::vector<uint64_t> CoverableWords;
+  std::atomic<unsigned> CoverableCovered{0};
 
   std::atomic<uint64_t> CheckpointsCaptured{0};
   std::atomic<uint64_t> RunsResumed{0};
@@ -246,8 +283,10 @@ struct SharedState {
   std::vector<unsigned> CoverageTimeline;
   std::vector<std::string> RunLog;
 
-  /// Merges one run's coverage bitmap; returns nothing, counts new bits.
-  void mergeCoverage(const std::vector<bool> &Bits) {
+  /// Merges one run's coverage bitmap; returns how many direction bits
+  /// this call covered first (the attribution credit).
+  unsigned mergeCoverage(const std::vector<bool> &Bits) {
+    unsigned FreshCount = 0;
     size_t Limit = std::min(Bits.size(), CovWords.size() * 64);
     for (size_t W = 0; W * 64 < Limit; ++W) {
       uint64_t Mask = 0;
@@ -260,9 +299,20 @@ struct SharedState {
         continue;
       uint64_t Old = CovWords[W].fetch_or(Mask);
       uint64_t Fresh = Mask & ~Old;
-      if (Fresh)
+      if (Fresh) {
+        FreshCount += unsigned(std::popcount(Fresh));
         CoveredCount.fetch_add(unsigned(std::popcount(Fresh)));
+        if (W < CoverableWords.size()) {
+          uint64_t FreshCoverable = Fresh & CoverableWords[W];
+          if (FreshCoverable)
+            CoverableCovered.fetch_add(
+                unsigned(std::popcount(FreshCoverable)));
+        }
+      }
     }
+    if (FreshCount)
+      CovGen.fetch_add(1);
+    return FreshCount;
   }
 
   /// Snapshot of the atomic bitmap as a plain vector<bool> (report form).
@@ -277,6 +327,21 @@ struct SharedState {
     return Bits;
   }
 };
+
+/// Portfolio assignment: worker 0 keeps the paper's depth-first order,
+/// worker 1 chases statically-near uncovered branches, everyone else
+/// diversifies over path signatures. Pure function of the worker index,
+/// so the assignment (and each worker's Rng-free claim policy) is
+/// schedule-independent.
+SearchStrategy strategyForWorker(SearchStrategy S, unsigned W) {
+  if (S != SearchStrategy::Portfolio)
+    return S;
+  if (W == 0)
+    return SearchStrategy::DepthFirst;
+  if (W == 1)
+    return SearchStrategy::Distance;
+  return SearchStrategy::Diversity;
+}
 
 /// Deterministic bug order for the merged report: signature, then inputs,
 /// then run number — so the bug list is independent of worker scheduling.
@@ -367,11 +432,20 @@ DartReport ParallelDartEngine::runDirected() {
       Report.Dependence = Summary->Dependence->Stats;
   }
 
-  // Distance strategy: one shared static block graph; workers recompute
-  // priorities from the shared coverage bitmap before each solve.
+  // Distance strategy / portfolio: one shared static block graph; each
+  // worker maintains its own incremental priority tracker over it and
+  // re-syncs from the shared bitmap only when the coverage generation
+  // counter moves (BranchDistance.h).
   std::optional<BranchDistanceMap> DistMap;
-  if (Options.Strategy == SearchStrategy::Distance)
+  if (Options.Strategy == SearchStrategy::Distance ||
+      Options.Strategy == SearchStrategy::Portfolio)
     DistMap = BranchDistanceMap::build(*Program.Module);
+  // Diversity strategy / portfolio with a diversity worker: one shared
+  // executed-path archive, fed by every worker.
+  std::optional<DiversitySampler> Sampler;
+  if (Options.Strategy == SearchStrategy::Diversity ||
+      (Options.Strategy == SearchStrategy::Portfolio && NumWorkers >= 3))
+    Sampler.emplace(Options.Seed ^ 0x9e3779b97f4a7c15ULL);
 
   // One compiled image for the whole session; immutable, so every worker
   // shares it without synchronization.
@@ -386,6 +460,23 @@ DartReport ParallelDartEngine::runDirected() {
   }
 
   SharedState Shared(Report.BranchSitesTotal);
+  // Early exit for the heuristic strategies: stop once every statically
+  // coverable direction is covered (dfs keeps running toward the
+  // all-paths completeness claim, which coverage saturation does not
+  // imply). ε bound: workers that already claimed a run finish it, so
+  // the overshoot is at most NumWorkers runs.
+  unsigned CoverableTotal = 0;
+  if (Summary && Summary->CoverableCount > 0 &&
+      Options.Strategy != SearchStrategy::DepthFirst) {
+    CoverableTotal = Summary->CoverableCount;
+    Shared.CoverableWords.assign(Shared.CovWords.size(), 0);
+    for (size_t Bit = 0;
+         Bit < Summary->CoverableDirs.size() &&
+         Bit < Shared.CoverableWords.size() * 64;
+         ++Bit)
+      if (Summary->CoverableDirs[Bit])
+        Shared.CoverableWords[Bit / 64] |= uint64_t(1) << (Bit % 64);
+  }
   SolverQueryCache Cache;
   SessionUnsatCache SessCache;
   PredArena Arena;
@@ -405,11 +496,14 @@ DartReport ParallelDartEngine::runDirected() {
     if (Shared.RunsClaimed.load() >= Options.MaxRuns)
       return {};
     if (!Shared.Truncated.load() && Shared.AllLinear.load() &&
-        Shared.AllLocsDefinite.load() &&
-        Options.Strategy == SearchStrategy::DepthFirst) {
+        Shared.AllLocsDefinite.load()) {
       // Theorem 1(b): the generational expansion partitions the path
       // tree, every feasible path of this restart tree was exercised,
-      // and no theory fallback occurred anywhere.
+      // and no theory fallback occurred anywhere. Unlike the sequential
+      // loop — where only depth-first avoids discarding deeper flips —
+      // the frontier pushes every satisfiable flip as its own item, so
+      // exhaustion is independent of the pop order: any strategy (and
+      // the portfolio) inherits the claim.
       Complete = true;
       return {};
     }
@@ -419,7 +513,7 @@ DartReport ParallelDartEngine::runDirected() {
     W.RngSeed = mixSeed(Options.Seed, 0x517cc1b7ULL + Restarts);
     W.TreeSalt = W.RngSeed;
     return {std::move(W)};
-  }, Options.Strategy == SearchStrategy::Distance);
+  }, Sampler ? &*Sampler : nullptr);
 
   // Seed the frontier with the root of the first restart tree.
   {
@@ -433,6 +527,13 @@ DartReport ParallelDartEngine::runDirected() {
     std::vector<BugInfo> Bugs;
     SolverStats Solver;
     uint64_t SolverCalls = 0;
+    // Attribution (portfolio --stats) and tracker maintenance counters.
+    SearchStrategy Strategy = SearchStrategy::DepthFirst;
+    uint64_t Runs = 0;
+    uint64_t FreshDirections = 0;
+    uint64_t BugRuns = 0;
+    uint64_t IncrementalUpdates = 0;
+    uint64_t FullRecomputes = 0;
   };
   std::vector<WorkerResult> Results(NumWorkers);
   std::vector<std::thread> Workers;
@@ -443,6 +544,14 @@ DartReport ParallelDartEngine::runDirected() {
       Solver.setSharedCache(&Cache);
       Solver.setSharedSessionCache(&SessCache);
       WorkerResult &Mine = Results[W];
+      const SearchStrategy MyStrategy =
+          strategyForWorker(Options.Strategy, W);
+      Mine.Strategy = MyStrategy;
+      const PopPolicy MyPolicy =
+          MyStrategy == SearchStrategy::Distance ? PopPolicy::MinPriority
+          : MyStrategy == SearchStrategy::Diversity
+              ? PopPolicy::MaxDiversity
+              : PopPolicy::Newest;
 
       // Per-worker pooled machinery (mirrors the sequential engine): one
       // VM resumed from its pristine image per item, one ConcolicRun
@@ -458,12 +567,30 @@ DartReport ParallelDartEngine::runDirected() {
       ConcolicRun Hooks(Inputs.registry(), Arena, std::vector<BranchRecord>(),
                         Options.Concolic);
       VM.setHooks(&Hooks);
-      std::vector<uint32_t> Priorities; // worker-lifetime: recorder watches it
+      // Every worker keeps a tracker when the block graph exists — even
+      // portfolio's non-distance workers, so the children they push carry
+      // valid frontier priorities for the distance worker's claims. Each
+      // tracker re-syncs from the shared bitmap only when the coverage
+      // generation counter moved since its last sync.
+      std::optional<DistancePriorityTracker> Tracker;
+      uint64_t LastSyncGen = ~uint64_t(0);
+      if (DistMap)
+        Tracker.emplace(*DistMap);
+      auto SyncTracker = [&]() -> const std::vector<uint32_t> * {
+        if (!Tracker)
+          return nullptr;
+        uint64_t Gen = Shared.CovGen.load();
+        if (Gen != LastSyncGen) {
+          Tracker->sync(Shared.coverageBits());
+          LastSyncGen = Gen;
+        }
+        return &Tracker->priorities();
+      };
       std::optional<CheckpointRecorder> Recorder;
       if (UseSnapshots)
         Recorder.emplace(
             VM, [&Inputs] { return Inputs.inputsThisRun(); }, Options.Capture,
-            &Demand, DistMap ? &Priorities : nullptr);
+            &Demand, Tracker ? &Tracker->priorities() : nullptr);
       TestDriver Driver(Interface, Program.GlobalIndexOf, Inputs, VM, &Hooks,
                         Options.Driver);
       uint64_t PrevExecuted = 0;
@@ -544,7 +671,8 @@ DartReport ParallelDartEngine::runDirected() {
           Shared.AllLinear.store(false);
         if (!Hooks.flags().AllLocsDefinite)
           Shared.AllLocsDefinite.store(false);
-        Shared.mergeCoverage(Hooks.coveredBits());
+        ++Mine.Runs;
+        Mine.FreshDirections += Shared.mergeCoverage(Hooks.coveredBits());
 
         unsigned RunNumber;
         {
@@ -563,6 +691,7 @@ DartReport ParallelDartEngine::runDirected() {
           Bug.FoundAtRun = RunNumber;
           Bug.Inputs = collectBugInputs(Inputs);
           Mine.Bugs.push_back(std::move(Bug));
+          ++Mine.BugRuns;
           Shared.BugFound.store(true);
           if (Options.StopAtFirstError) {
             Shared.Stop.store(true);
@@ -582,6 +711,16 @@ DartReport ParallelDartEngine::runDirected() {
           return;
         }
 
+        if (CoverableTotal &&
+            Shared.CoverableCovered.load() >= CoverableTotal) {
+          // Coverage saturated: the remaining budget would only re-walk
+          // known behaviour. Stop the campaign; in-flight runs finish.
+          Shared.StoppedEarly.store(true);
+          Shared.Stop.store(true);
+          Queue.close();
+          return;
+        }
+
         // Speculative expansion: solve the negation of every not-done
         // branch of this path and push all satisfiable flips.
         PathData Path = Hooks.takePath();
@@ -594,15 +733,15 @@ DartReport ParallelDartEngine::runDirected() {
         auto DomainOf = [&Inputs, Static = Options.StaticPrune](InputId Id) {
           return Static ? staticInputDomain(Inputs, Id) : Inputs.domainOf(Id);
         };
-        const std::vector<uint32_t> *PriorityPtr = nullptr;
-        if (DistMap) {
-          Priorities = DistMap->priorities(Shared.coverageBits());
-          PriorityPtr = &Priorities;
-        }
-        CandidateSet Set = solveCandidates(Path, Arena, Solver, DomainOf,
-                                           Inputs.im(), Options.Strategy, R,
-                                           Options.MaxSpeculativePerRun,
-                                           PriorityPtr);
+        if (Sampler)
+          Sampler->insert(pathSignature(Path, Arena));
+        const std::vector<uint32_t> *PriorityPtr = SyncTracker();
+        CandidateSet Set = solveCandidates(
+            Path, Arena, Solver, DomainOf, Inputs.im(), MyStrategy, R,
+            Options.MaxSpeculativePerRun,
+            MyStrategy == SearchStrategy::Distance ? PriorityPtr : nullptr,
+            MyStrategy == SearchStrategy::Diversity && Sampler ? &*Sampler
+                                                               : nullptr);
         Mine.SolverCalls += Set.SolverCalls;
         if (Set.Truncated)
           Shared.Truncated.store(true);
@@ -631,24 +770,31 @@ DartReport ParallelDartEngine::runDirected() {
           Child.TreeSalt = Item.TreeSalt;
           if (PriorityPtr && !Child.Stack.empty()) {
             // The flipped record's direction is what the child will newly
-            // take; its priority decides the frontier pop order.
+            // take; its priority decides the distance worker's pop order.
             const BranchRecord &Flip = Child.Stack.back();
             size_t Bit = 2 * size_t(Flip.SiteId) + (Flip.Branch ? 1 : 0);
-            Child.Priority = Bit < Priorities.size() ? Priorities[Bit] : 0;
+            Child.Priority =
+                Bit < PriorityPtr->size() ? (*PriorityPtr)[Bit] : 0;
           }
+          if (Sampler)
+            Child.Sig = predictedSignature(Path, Cand.FlippedIndex, Arena);
           if (Seen.insert(prefixHash(Child.Stack, Child.TreeSalt)))
             Queue.push(std::move(Child));
         }
       };
 
       for (;;) {
-        std::optional<WorkItem> Item = Queue.pop();
+        std::optional<WorkItem> Item = Queue.pop(MyPolicy);
         if (!Item)
           break;
         ProcessItem(std::move(*Item));
         Queue.taskDone();
       }
       Mine.Solver = Solver.stats();
+      if (Tracker) {
+        Mine.IncrementalUpdates = Tracker->incrementalUpdates();
+        Mine.FullRecomputes = Tracker->fullRecomputes();
+      }
       Shared.MaterializeNanos.fetch_add(LocalMaterializeNanos);
       if (Recorder) {
         Shared.CaptureNanos.fetch_add(Recorder->captureNanos());
@@ -664,6 +810,7 @@ DartReport ParallelDartEngine::runDirected() {
   Report.Restarts = Restarts;
   Report.ForcingMismatches = Shared.ForcingMismatches.load();
   Report.CompleteExploration = Complete;
+  Report.StoppedEarly = Shared.StoppedEarly.load();
   Report.FinalFlags.AllLinear = Shared.AllLinear.load();
   Report.FinalFlags.AllLocsDefinite = Shared.AllLocsDefinite.load();
   Report.BranchDirectionsCovered = Shared.CoveredCount.load();
@@ -688,8 +835,30 @@ DartReport ParallelDartEngine::runDirected() {
   for (WorkerResult &WR : Results) {
     Report.Solver.merge(WR.Solver);
     Report.SolverCalls += WR.SolverCalls;
+    Report.DistanceIncrementalUpdates += WR.IncrementalUpdates;
+    Report.DistanceFullRecomputes += WR.FullRecomputes;
     for (BugInfo &B : WR.Bugs)
       Report.Bugs.push_back(std::move(B));
+  }
+  if (Options.Strategy == SearchStrategy::Portfolio) {
+    // Attribution rows, folded per strategy in enum order so the list is
+    // deterministic for any worker count or schedule.
+    for (SearchStrategy S :
+         {SearchStrategy::DepthFirst, SearchStrategy::Distance,
+          SearchStrategy::Diversity}) {
+      StrategyAttribution Row;
+      Row.Strategy = S;
+      for (const WorkerResult &WR : Results) {
+        if (WR.Strategy != S)
+          continue;
+        ++Row.Workers;
+        Row.Runs += WR.Runs;
+        Row.FreshDirections += WR.FreshDirections;
+        Row.Bugs += WR.BugRuns;
+      }
+      if (Row.Workers)
+        Report.StrategyMix.push_back(Row);
+    }
   }
   Report.BugFound = !Report.Bugs.empty();
   sortBugs(Report.Bugs);

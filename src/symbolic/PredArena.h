@@ -96,7 +96,10 @@ public:
 
   /// 64-bit Bloom signature of inputs(\p Id): bit (id mod 64) per input.
   /// Two predicates with disjoint signatures certainly share no input;
-  /// overlapping signatures fall back to the exact sorted lists.
+  /// overlapping signatures fall back to the exact sorted lists. The
+  /// diversity strategy folds these into its path signatures
+  /// (pathSignature in concolic/PathSearch.h), so paths constrained by
+  /// different inputs score as distant even when they branch alike.
   uint64_t inputSig(PredId Id) const { return entry(Id).InputSig; }
 
   /// The id of negated(\p Id); interned (and cached on the entry) on first

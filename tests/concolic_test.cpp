@@ -522,4 +522,27 @@ TEST(PathSearch, StrategyNames) {
   EXPECT_STREQ(searchStrategyName(SearchStrategy::DepthFirst), "dfs");
   EXPECT_STREQ(searchStrategyName(SearchStrategy::BreadthFirst), "bfs");
   EXPECT_STREQ(searchStrategyName(SearchStrategy::RandomBranch), "random");
+  EXPECT_STREQ(searchStrategyName(SearchStrategy::Distance), "distance");
+  EXPECT_STREQ(searchStrategyName(SearchStrategy::Diversity), "diversity");
+  EXPECT_STREQ(searchStrategyName(SearchStrategy::Portfolio), "portfolio");
+}
+
+TEST(PathSearch, DiversitySamplerReservoirAndDistance) {
+  // Hamming distance to an empty archive is the maximum (64): everything
+  // is maximally novel before the first run lands.
+  DiversitySampler S(2005);
+  EXPECT_EQ(DiversitySampler::minDistance(0x0f, S.snapshot()), 64u);
+
+  S.insert(0x0f);
+  std::vector<uint64_t> Snap = S.snapshot();
+  ASSERT_EQ(Snap.size(), 1u);
+  EXPECT_EQ(DiversitySampler::minDistance(0x0f, Snap), 0u);
+  EXPECT_EQ(DiversitySampler::minDistance(0x0e, Snap), 1u);
+  EXPECT_EQ(DiversitySampler::minDistance(0xff, Snap), 4u);
+
+  // The reservoir never grows past its capacity, whatever the insert
+  // volume; the min distance is taken over the retained sample.
+  for (uint64_t I = 0; I < 1000; ++I)
+    S.insert(I * 0x9e3779b97f4a7c15ULL);
+  EXPECT_LE(S.snapshot().size(), size_t(32));
 }

@@ -1,0 +1,230 @@
+//===- strategy_diff_test.cpp - Strategy engine equivalences --------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The strategy engine's contracts:
+//
+//  * The incrementally maintained distance-priority table
+//    (DistancePriorityTracker) equals the full multi-source BFS
+//    (BranchDistanceMap::priorities) after every grow-only coverage
+//    delta, including site saturations.
+//  * --strategy dfs is untouched by the strategy engine: same report as
+//    the seed (golden values), no early exit, no attribution rows; and
+//    --strategy portfolio at --jobs 1 degrades to exactly dfs.
+//  * Every single strategy is deterministic at --jobs 1: two sessions
+//    over the same seed produce identical run logs.
+//  * The portfolio at --jobs 4 finds the same bug sets as dfs on §4
+//    workloads whose exploration completes within the budget.
+//  * The coverable-direction early exit stops a heuristic session the
+//    moment its coverage saturates (no trailing budget burn), and never
+//    fires for dfs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/BranchDistance.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace dart;
+using namespace dart::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Incremental distance maintenance vs the full-BFS oracle
+//===----------------------------------------------------------------------===//
+
+/// Applies randomized grow-only coverage deltas to a tracker and checks it
+/// against Map.priorities() after every sync. Mixing single bits with
+/// whole-site saturations exercises both the O(1) path and the recompute
+/// fallback.
+void checkTrackerAgainstOracle(const BranchDistanceMap &Map, uint64_t Seed) {
+  const size_t Bits = 2 * size_t(Map.numSites());
+  DistancePriorityTracker Tracker(Map);
+  std::vector<bool> Covered(Bits, false);
+  EXPECT_EQ(Tracker.priorities(), Map.priorities(Covered));
+
+  Rng R(Seed);
+  for (int Delta = 0; Delta < 64; ++Delta) {
+    // Half the deltas cover one random direction, half saturate a random
+    // site; either may be a no-op if the bits are already set (sync must
+    // tolerate that too).
+    if (R.coinToss()) {
+      Covered[R.nextBelow(Bits)] = true;
+    } else {
+      size_t Site = R.nextBelow(Map.numSites());
+      Covered[2 * Site] = Covered[2 * Site + 1] = true;
+    }
+    Tracker.sync(Covered);
+    ASSERT_EQ(Tracker.priorities(), Map.priorities(Covered))
+        << "after delta " << Delta << " (seed " << Seed << ")";
+  }
+  // 64 random deltas over a small module always hit both paths.
+  EXPECT_GT(Tracker.incrementalUpdates() + Tracker.fullRecomputes(), 0u);
+}
+
+TEST(StrategyDiff, IncrementalTrackerMatchesFullRecompute) {
+  auto Toy = compile(R"(
+    int helper(int v) {
+      if (v > 5)
+        return v - 1;
+      return v + 1;
+    }
+    int chain(int x, int y) {
+      if (x > 10) {
+        if (x > 100)
+          return helper(y);
+        return 1;
+      }
+      if (y == 42)
+        return 2;
+      return 0;
+    }
+  )");
+  BranchDistanceMap ToyMap = BranchDistanceMap::build(Toy->module());
+  ASSERT_GT(ToyMap.numSites(), 0u);
+  for (uint64_t Seed : {1ull, 7ull, 2005ull})
+    checkTrackerAgainstOracle(ToyMap, Seed);
+
+  auto Ac = compile(workloads::acControllerSource());
+  BranchDistanceMap AcMap = BranchDistanceMap::build(Ac->module());
+  ASSERT_GT(AcMap.numSites(), 0u);
+  for (uint64_t Seed : {3ull, 11ull, 2005ull})
+    checkTrackerAgainstOracle(AcMap, Seed);
+}
+
+//===----------------------------------------------------------------------===//
+// Session-level equivalences
+//===----------------------------------------------------------------------===//
+
+DartReport runAc(SearchStrategy Strategy, unsigned Jobs, unsigned MaxRuns,
+                 unsigned Depth) {
+  auto D = compile(workloads::acControllerSource());
+  DartOptions Opts;
+  Opts.ToplevelName = "ac_controller";
+  Opts.Depth = Depth;
+  Opts.Seed = 2005;
+  Opts.MaxRuns = MaxRuns;
+  Opts.StopAtFirstError = false;
+  Opts.Jobs = Jobs;
+  Opts.Strategy = Strategy;
+  Opts.LogRuns = Jobs == 1;
+  Opts.TrackCoverageTimeline = true;
+  return D->run(Opts);
+}
+
+TEST(StrategyDiff, DfsIsUntouchedAndPortfolioAtOneJobIsDfs) {
+  DartReport Dfs = runAc(SearchStrategy::DepthFirst, 1, 2000, 2);
+  // The seed's golden dfs session: the strategy engine must not perturb
+  // the default search by a single run.
+  EXPECT_TRUE(Dfs.BugFound);
+  EXPECT_TRUE(Dfs.CompleteExploration);
+  EXPECT_FALSE(Dfs.StoppedEarly);
+  EXPECT_EQ(Dfs.BranchDirectionsCovered, 16u);
+  EXPECT_TRUE(Dfs.StrategyMix.empty());
+  EXPECT_EQ(Dfs.DistanceIncrementalUpdates, 0u);
+  EXPECT_EQ(Dfs.DistanceFullRecomputes, 0u);
+
+  // Portfolio with a single worker has no portfolio to run: it must be
+  // the depth-first session, run log and all.
+  DartReport P1 = runAc(SearchStrategy::Portfolio, 1, 2000, 2);
+  EXPECT_EQ(P1.Runs, Dfs.Runs);
+  EXPECT_EQ(P1.Restarts, Dfs.Restarts);
+  EXPECT_EQ(P1.BugFound, Dfs.BugFound);
+  EXPECT_EQ(P1.CompleteExploration, Dfs.CompleteExploration);
+  EXPECT_FALSE(P1.StoppedEarly);
+  EXPECT_EQ(P1.Coverage, Dfs.Coverage);
+  EXPECT_EQ(P1.RunLog, Dfs.RunLog);
+  EXPECT_TRUE(P1.StrategyMix.empty());
+}
+
+TEST(StrategyDiff, SingleStrategiesDeterministicAtOneJob) {
+  for (SearchStrategy S :
+       {SearchStrategy::DepthFirst, SearchStrategy::BreadthFirst,
+        SearchStrategy::RandomBranch, SearchStrategy::Distance,
+        SearchStrategy::Diversity, SearchStrategy::Portfolio}) {
+    DartReport A = runAc(S, 1, 300, 1);
+    DartReport B = runAc(S, 1, 300, 1);
+    EXPECT_EQ(A.Runs, B.Runs) << searchStrategyName(S);
+    EXPECT_EQ(A.BugFound, B.BugFound) << searchStrategyName(S);
+    EXPECT_EQ(A.StoppedEarly, B.StoppedEarly) << searchStrategyName(S);
+    EXPECT_EQ(A.Coverage, B.Coverage) << searchStrategyName(S);
+    EXPECT_EQ(A.RunLog, B.RunLog) << searchStrategyName(S);
+  }
+}
+
+std::set<std::string> bugSet(const DartReport &R) {
+  std::set<std::string> Set;
+  for (const BugInfo &B : R.Bugs)
+    Set.insert(B.Error.toString());
+  return Set;
+}
+
+TEST(StrategyDiff, PortfolioAtFourJobsMatchesDfsBugSets) {
+  // Workloads whose exploration completes within the budget: the
+  // portfolio must surface exactly the bug set dfs proves exhaustive.
+  {
+    DartReport Dfs = runAc(SearchStrategy::DepthFirst, 4, 2000, 2);
+    DartReport Pf = runAc(SearchStrategy::Portfolio, 4, 2000, 2);
+    EXPECT_EQ(bugSet(Pf), bugSet(Dfs)) << "ac_controller";
+    EXPECT_EQ(Pf.BranchDirectionsCovered, Dfs.BranchDirectionsCovered);
+  }
+  {
+    workloads::NsConfig Ns;
+    Ns.DolevYao = false;
+    Ns.Fix = workloads::LoweFix::None;
+    auto RunNs = [&](SearchStrategy S) {
+      auto D = compile(workloads::needhamSchroederSource(Ns));
+      DartOptions Opts;
+      Opts.ToplevelName = "ns_step";
+      Opts.Depth = 2;
+      Opts.Seed = 2005;
+      Opts.MaxRuns = 1500;
+      Opts.StopAtFirstError = false;
+      Opts.Jobs = 4;
+      Opts.Strategy = S;
+      return D->run(Opts);
+    };
+    DartReport Dfs = RunNs(SearchStrategy::DepthFirst);
+    DartReport Pf = RunNs(SearchStrategy::Portfolio);
+    ASSERT_TRUE(Dfs.CompleteExploration);
+    EXPECT_TRUE(Pf.CompleteExploration);
+    EXPECT_EQ(bugSet(Pf), bugSet(Dfs)) << "needham_schroeder";
+    EXPECT_EQ(Pf.BranchDirectionsCovered, Dfs.BranchDirectionsCovered);
+  }
+}
+
+TEST(StrategyDiff, EarlyExitStopsHeuristicsAtCoverageSaturation) {
+  // Sequential early exit is exact: the session ends on the very run
+  // that covered the last coverable direction (epsilon = 0).
+  DartReport Dist = runAc(SearchStrategy::Distance, 1, 2000, 2);
+  EXPECT_TRUE(Dist.StoppedEarly);
+  EXPECT_EQ(Dist.BranchDirectionsCovered, 16u);
+  ASSERT_EQ(Dist.CoverageTimeline.size(), size_t(Dist.Runs));
+  unsigned FirstSaturated = Dist.Runs;
+  for (unsigned I = 0; I < Dist.CoverageTimeline.size(); ++I)
+    if (Dist.CoverageTimeline[I] >= 16u) {
+      FirstSaturated = I + 1;
+      break;
+    }
+  EXPECT_EQ(Dist.Runs, FirstSaturated);
+  // And the run count beats the budget by an order of magnitude.
+  EXPECT_LT(Dist.Runs, 50u);
+
+  // dfs is exempt: it keeps walking toward the Theorem 1(b) claim, which
+  // coverage saturation does not imply.
+  DartReport Dfs = runAc(SearchStrategy::DepthFirst, 1, 2000, 2);
+  EXPECT_FALSE(Dfs.StoppedEarly);
+  EXPECT_TRUE(Dfs.CompleteExploration);
+}
+
+} // namespace

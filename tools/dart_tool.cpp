@@ -9,7 +9,8 @@
 // harness code" workflow the paper advertises.
 //
 //   dart test   <file.c> --toplevel f [--depth N] [--seed S] [--runs N]
-//               [--random-only] [--strategy dfs|bfs|random|distance]
+//               [--random-only]
+//               [--strategy dfs|bfs|random|distance|diversity|portfolio]
 //               [--all-errors] [--symbolic-pointers]
 //   dart audit  <file.c> [--runs N]      # every defined function (§4.3)
 //   dart analyze <file.c> [--format text|json]  # static lint over the IR
@@ -64,9 +65,12 @@ int usage() {
       "  --runs <n>            run budget (default 10000)\n"
       "  --jobs <n>            worker threads; >1 uses the parallel\n"
       "                        frontier engine (default 1, sequential)\n"
-      "  --strategy <s>        dfs | bfs | random | distance (default\n"
-      "                        dfs; distance prefers flips statically\n"
-      "                        closest to uncovered branches)\n"
+      "  --strategy <s>        dfs | bfs | random | distance | diversity |\n"
+      "                        portfolio (default dfs; distance prefers\n"
+      "                        flips statically closest to uncovered\n"
+      "                        branches, diversity prefers the most novel\n"
+      "                        predicted path, portfolio races dfs +\n"
+      "                        distance + diversity across --jobs workers)\n"
       "  --format <f>          analyze output: text | json (default text)\n"
       "  --exit-code           analyze: exit 1 when any finding is\n"
       "                        reported (for CI gating; default exits 0)\n"
@@ -204,15 +208,29 @@ CliOptions parseArgs(int argc, char **argv) {
         return Cli;
       }
     } else if (Arg == "--strategy") {
+      // Strict like the numeric options: a typo must not silently fall
+      // back to dfs and report a different search than asked for.
       const char *V = Next();
-      if (V && std::strcmp(V, "bfs") == 0)
+      if (V && std::strcmp(V, "dfs") == 0)
+        Cli.Dart.Strategy = SearchStrategy::DepthFirst;
+      else if (V && std::strcmp(V, "bfs") == 0)
         Cli.Dart.Strategy = SearchStrategy::BreadthFirst;
       else if (V && std::strcmp(V, "random") == 0)
         Cli.Dart.Strategy = SearchStrategy::RandomBranch;
       else if (V && std::strcmp(V, "distance") == 0)
         Cli.Dart.Strategy = SearchStrategy::Distance;
-      else
-        Cli.Dart.Strategy = SearchStrategy::DepthFirst;
+      else if (V && std::strcmp(V, "diversity") == 0)
+        Cli.Dart.Strategy = SearchStrategy::Diversity;
+      else if (V && std::strcmp(V, "portfolio") == 0)
+        Cli.Dart.Strategy = SearchStrategy::Portfolio;
+      else {
+        std::fprintf(stderr,
+                     "--strategy: '%s' is not one of dfs|bfs|random|"
+                     "distance|diversity|portfolio\n",
+                     V ? V : "");
+        Cli.Ok = false;
+        return Cli;
+      }
     } else if (Arg == "--format") {
       const char *V = Next();
       if (V && std::strcmp(V, "json") == 0)
@@ -344,6 +362,25 @@ void printPipelineStats(const DartReport &R) {
   std::printf("  batch query cache: %llu hits, %llu misses\n",
               (unsigned long long)S.CacheHits,
               (unsigned long long)S.CacheMisses);
+  if (R.DistanceIncrementalUpdates || R.DistanceFullRecomputes ||
+      !R.StrategyMix.empty()) {
+    std::printf("strategy stats:\n");
+    if (R.DistanceIncrementalUpdates || R.DistanceFullRecomputes)
+      std::printf("  distance table: %llu incremental updates, %llu full "
+                  "recomputes\n",
+                  (unsigned long long)R.DistanceIncrementalUpdates,
+                  (unsigned long long)R.DistanceFullRecomputes);
+    for (const StrategyAttribution &A : R.StrategyMix)
+      std::printf("  %-9s %u worker%s: %llu runs, %llu fresh directions, "
+                  "%llu bug runs\n",
+                  searchStrategyName(A.Strategy), A.Workers,
+                  A.Workers == 1 ? "" : "s", (unsigned long long)A.Runs,
+                  (unsigned long long)A.FreshDirections,
+                  (unsigned long long)A.Bugs);
+    if (R.StoppedEarly)
+      std::printf("  stopped early: all coverable branch directions "
+                  "covered\n");
+  }
   const SnapshotStats &Snap = R.Snapshot;
   std::printf("snapshot stats:\n");
   std::printf("  checkpoints captured: %llu, packs evicted: %llu\n",
