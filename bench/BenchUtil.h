@@ -350,6 +350,58 @@ inline void writeJitJson(const std::string &Path,
   std::printf("wrote %s\n", Path.c_str());
 }
 
+/// One row of the prove-or-test ablation: the same heuristic session
+/// with the verifier's branch-direction proofs applied and withheld.
+/// Proofs shrink the coverable universe, so the early exit (and with it
+/// the completeness certificate) can fire on sessions that would
+/// otherwise burn their whole run budget against infeasible directions.
+struct VerifyRow {
+  std::string Workload;
+  bool VerifyOn = false;
+  unsigned Runs = 0;
+  uint64_t SolverCalls = 0;
+  unsigned Coverage = 0;       ///< branch directions covered
+  unsigned CoverableTotal = 0; ///< universe after proofs (== before, off)
+  unsigned ProvedDirs = 0;     ///< directions proved infeasible
+  bool Certified = false;      ///< branch coverage certified complete
+  bool StoppedEarly = false;   ///< coverable-direction early exit fired
+  double MedianMs = 0.0;       ///< median-of-5 interleaved wall-clock
+  double ProveMs = 0.0;        ///< prover share of the session (on only)
+  double PeakRssMib = 0.0;
+};
+
+/// Emits the machine-readable prove-or-test ablation (BENCH_verify.json)
+/// that EXPERIMENTS.md's triage table is generated from.
+inline void writeVerifyJson(const std::string &Path,
+                            const std::vector<VerifyRow> &Rows) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"axis\": \"verify\",\n  \"results\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const VerifyRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"workload\": \"%s\", \"verify\": %s, \"runs\": %u, "
+                 "\"solver_calls\": %llu, \"coverage\": %u, "
+                 "\"coverable_total\": %u, \"proved_dirs\": %u, "
+                 "\"certified\": %s, \"stopped_early\": %s, "
+                 "\"wall_clock_ms\": %.3f, \"prove_ms\": %.3f, "
+                 "\"peak_rss_mib\": %.1f}%s\n",
+                 R.Workload.c_str(), R.VerifyOn ? "true" : "false", R.Runs,
+                 static_cast<unsigned long long>(R.SolverCalls), R.Coverage,
+                 R.CoverableTotal, R.ProvedDirs,
+                 R.Certified ? "true" : "false",
+                 R.StoppedEarly ? "true" : "false", R.MedianMs, R.ProveMs,
+                 R.PeakRssMib > 0.0 ? R.PeakRssMib : peakRssMib(),
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
 } // namespace dart::bench
 
 #endif // DART_BENCH_BENCHUTIL_H

@@ -1,0 +1,200 @@
+//===- bench_verify.cpp - Prove-or-test ablation (verify on/off) ----------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The prove-or-test verifier's performance claim: branch-direction
+// infeasibility proofs shrink the coverable universe, so a heuristic
+// session saturates (and early-exits with a completeness certificate)
+// instead of spending its remaining run budget soliciting the solver for
+// directions no execution can take. This harness runs the §4 workloads
+// (plus the guard-heavy config-filters fixture, where most of the
+// universe is provable) under --strategy distance with the verifier on
+// and off, and reports runs, solver calls and median-of-5 wall-clock per
+// cell. Emits BENCH_verify.json.
+//
+// dfs sessions are untouched by construction (tests/verify_test.cpp pins
+// report identity), so the axis only measures heuristic strategies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "analysis/StaticSummary.h"
+#include "analysis/Verify.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace dart;
+using namespace dart::bench;
+
+namespace {
+
+// bench_coverage.cpp's config-filters workload: concrete configuration
+// gates and a monovalent range check in front of input-driven branches —
+// the best case for proofs, since most uncovered directions are
+// infeasible and the session cannot saturate without them.
+const char *ConfigFilters = R"(
+  int version = 2;
+  int debug = 0;
+  int window = 16;
+  int narrow(char tag) {
+    if (tag < 300) {
+      return tag + 1;
+    }
+    return 0;
+  }
+  int route(char tag, int len) {
+    int acc;
+    acc = 0;
+    if (version != 2) { acc = -1; }
+    if (debug == 1) { acc = acc - 1; }
+    if (window >= 8) { acc = acc + 1; }
+    if (tag < 300) { acc = acc + narrow(tag); }
+    if (len == 42) { acc = acc + 2; }
+    if (len > 100) {
+      if (tag == 7) { acc = acc + 3; }
+    }
+    return acc;
+  }
+)";
+
+void printVerifyAblation() {
+  printHeader("Prove-or-test ablation - distance strategy, verify on/off");
+  std::printf("%-20s %-7s %-7s %-8s %-9s %-7s %-6s %-7s %s\n", "workload",
+              "verify", "runs", "solver", "coverage", "proved", "cert",
+              "early", "median-ms");
+
+  struct Case {
+    const char *Name;
+    std::string Source;
+    const char *Toplevel;
+    unsigned Depth;
+    unsigned MaxRuns;
+  };
+  workloads::NsConfig Ns;
+  std::vector<Case> Cases = {
+      {"ac_controller", workloads::acControllerSource(), "ac_controller", 1,
+       1000},
+      {"ac_controller_d2", workloads::acControllerSource(), "ac_controller",
+       2, 1000},
+      {"needham_schroeder", workloads::needhamSchroederSource(Ns), "ns_step",
+       1, 1000},
+      {"config_filters", ConfigFilters, "route", 1, 1000},
+      {"minisip_receive", workloads::miniSipSource(), "sip_receive", 1, 300},
+  };
+
+  std::vector<VerifyRow> Rows;
+  for (const Case &C : Cases) {
+    auto D = compileOrDie(C.Source, C.Name);
+    struct Cell {
+      bool VerifyOn;
+      std::vector<double> SamplesMs;
+      DartReport Report;
+    };
+    std::vector<Cell> Cells = {{true, {}, {}}, {false, {}, {}}};
+    // Interleave repetitions so background-load drift is shared.
+    for (int Rep = 0; Rep < 5; ++Rep) {
+      for (Cell &Cell : Cells) {
+        DartOptions Opts;
+        Opts.ToplevelName = C.Toplevel;
+        Opts.Depth = C.Depth;
+        Opts.MaxRuns = C.MaxRuns;
+        Opts.Seed = 2005;
+        Opts.StopAtFirstError = false;
+        Opts.Strategy = SearchStrategy::Distance;
+        Opts.Verify = Cell.VerifyOn;
+        auto Start = std::chrono::steady_clock::now();
+        Cell.Report = D->run(Opts);
+        Cell.SamplesMs.push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - Start)
+                .count());
+      }
+    }
+    // The prover's own share, measured standalone (it runs once per
+    // session, before the first execution).
+    double ProveMs = 0.0;
+    {
+      StaticSummary Sum = computeStaticSummary(D->module(), C.Toplevel);
+      auto Start = std::chrono::steady_clock::now();
+      BranchProofs P = proveBranchDirections(D->module(), C.Toplevel, Sum,
+                                             C.Depth == 1);
+      ProveMs = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+      benchmark::DoNotOptimize(P.ProvedCount);
+    }
+    for (Cell &Cell : Cells) {
+      std::sort(Cell.SamplesMs.begin(), Cell.SamplesMs.end());
+      const DartReport &R = Cell.Report;
+      VerifyRow Row;
+      Row.Workload = C.Name;
+      Row.VerifyOn = Cell.VerifyOn;
+      Row.Runs = R.Runs;
+      Row.SolverCalls = R.SolverCalls;
+      Row.Coverage = R.BranchDirectionsCovered;
+      Row.CoverableTotal = R.CoverableDirsTotal;
+      Row.ProvedDirs = R.DirsProvedInfeasible;
+      Row.Certified = R.CoverageCertified;
+      Row.StoppedEarly = R.StoppedEarly;
+      Row.MedianMs = Cell.SamplesMs[Cell.SamplesMs.size() / 2];
+      Row.ProveMs = Cell.VerifyOn ? ProveMs : 0.0;
+      Row.PeakRssMib = peakRssMib();
+      Rows.push_back(Row);
+      std::printf("%-20s %-7s %-7u %-8llu %-9u %-7u %-6s %-7s %.1f\n",
+                  Row.Workload.c_str(), Row.VerifyOn ? "on" : "off",
+                  Row.Runs,
+                  static_cast<unsigned long long>(Row.SolverCalls),
+                  Row.Coverage, Row.ProvedDirs,
+                  Row.Certified ? "yes" : "no",
+                  Row.StoppedEarly ? "yes" : "no", Row.MedianMs);
+    }
+    const VerifyRow &On = Rows[Rows.size() - 2];
+    const VerifyRow &Off = Rows[Rows.size() - 1];
+    if (On.Runs < Off.Runs || On.SolverCalls < Off.SolverCalls)
+      std::printf("  proofs saved %u runs / %llu solver calls\n",
+                  Off.Runs - On.Runs,
+                  static_cast<unsigned long long>(Off.SolverCalls -
+                                                  On.SolverCalls));
+  }
+  writeVerifyJson("BENCH_verify.json", Rows);
+}
+
+// Prover wall-clock on the largest module (~90 functions): what `dart
+// verify`/--verify on pays before the first run.
+void BM_ProveBranchDirections(benchmark::State &State) {
+  auto D = compileOrDie(workloads::miniSipSource(), "miniSIP");
+  StaticSummary Sum = computeStaticSummary(D->module(), "sip_receive");
+  for (auto _ : State) {
+    BranchProofs P =
+        proveBranchDirections(D->module(), "sip_receive", Sum, true);
+    benchmark::DoNotOptimize(P.ProvedCount);
+  }
+}
+BENCHMARK(BM_ProveBranchDirections);
+
+// Full triage including abort/lint sites — the `dart analyze --triage`
+// static leg.
+void BM_RunVerifier(benchmark::State &State) {
+  auto D = compileOrDie(workloads::miniSipSource(), "miniSIP");
+  StaticSummary Sum = computeStaticSummary(D->module(), "sip_receive");
+  BranchProofs P =
+      proveBranchDirections(D->module(), "sip_receive", Sum, true);
+  for (auto _ : State) {
+    VerifyResult R = runVerifier(D->module(), "sip_receive", Sum, P, true);
+    benchmark::DoNotOptimize(R.Sites.size());
+  }
+}
+BENCHMARK(BM_RunVerifier);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printVerifyAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -70,7 +70,9 @@ Interval fitOrFullVacuous(I128 Lo, I128 Hi, ValType VT) {
   return fullRange(VT, Exact);
 }
 
-int64_t decodeGlobalInit(const IRGlobal &G, ValType VT) {
+} // namespace
+
+int64_t dart::decodeGlobalInit(const IRGlobal &G, ValType VT) {
   uint64_t Raw = 0;
   for (unsigned I = 0; I < VT.SizeBytes; ++I) {
     uint8_t Byte = I < G.Init.size() ? G.Init[I] : 0;
@@ -79,7 +81,8 @@ int64_t decodeGlobalInit(const IRGlobal &G, ValType VT) {
   return VT.canonicalize(static_cast<int64_t>(Raw));
 }
 
-Interval applyBinaryInterval(IRBinOp Op, Interval A, Interval B, ValType VT) {
+Interval dart::applyBinaryInterval(IRBinOp Op, Interval A, Interval B,
+                                   ValType VT) {
   I128 ALo = A.Lo, AHi = A.Hi, BLo = B.Lo, BHi = B.Hi;
   bool BothExact = A.Exact && B.Exact;
   switch (Op) {
@@ -145,8 +148,8 @@ Interval applyBinaryInterval(IRBinOp Op, Interval A, Interval B, ValType VT) {
   return fullRange(VT, false);
 }
 
-Interval applyCmpInterval(CmpPred Pred, Interval A, Interval B,
-                          ValType OperandVT) {
+Interval dart::applyCmpInterval(CmpPred Pred, Interval A, Interval B,
+                                ValType OperandVT) {
   bool Exact = A.Exact && B.Exact;
   // Canonical values order like int64 except raw 8-byte unsigned
   // (pointers, pointer-sized unsigned), where only equality is
@@ -185,7 +188,23 @@ Interval applyCmpInterval(CmpPred Pred, Interval A, Interval B,
   return {Known, Known, Exact};
 }
 
-} // namespace
+Interval dart::applyUnaryInterval(IRUnOp Op, Interval A, ValType VT) {
+  if (Op == IRUnOp::Neg)
+    return fitOrFull(-I128(A.Hi), -I128(A.Lo), VT, A.Exact);
+  // BitNot ~v = -v-1; the evaluator always concretizes it.
+  return fitOrFullVacuous(-I128(A.Hi) - 1, -I128(A.Lo) - 1, VT);
+}
+
+Interval dart::applyCastInterval(Interval A, ValType VT) {
+  int64_t VLo, VHi;
+  vtRange(VT, VLo, VHi);
+  // The concolic evaluator passes casts through symbolically, so
+  // Exactness survives only when the cast is the identity on the whole
+  // operand range.
+  if (A.Lo >= VLo && A.Hi <= VHi)
+    return {A.Lo, A.Hi, A.Exact && !VT.IsPointer};
+  return fullRange(VT, false);
+}
 
 IntervalAnalysis::IntervalAnalysis(const IRModule &M, const Cfg &G,
                                    const TaintResult &T, unsigned FnIndex,

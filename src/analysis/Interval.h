@@ -67,6 +67,18 @@ struct Interval {
 void vtRange(ValType VT, int64_t &Lo, int64_t &Hi);
 Interval fullRange(ValType VT, bool Exact = false);
 
+/// The interval transfer of one operation — the combinators
+/// IntervalAnalysis::evalExpr is built from, exposed so the relational
+/// zone domain (Zone.h) can re-evaluate expressions against sharper
+/// operand bounds without duplicating the wrap-around discipline.
+Interval applyBinaryInterval(IRBinOp Op, Interval A, Interval B, ValType VT);
+Interval applyCmpInterval(CmpPred Pred, Interval A, Interval B,
+                          ValType OperandVT);
+Interval applyUnaryInterval(IRUnOp Op, Interval A, ValType VT);
+Interval applyCastInterval(Interval A, ValType VT);
+/// Canonical value of global \p G's initializer decoded at \p VT.
+int64_t decodeGlobalInit(const IRGlobal &G, ValType VT);
+
 /// Abstract value of one frame slot: the type it was last stored at and
 /// the interval of its canonical value.
 struct SlotFact {

@@ -544,6 +544,8 @@ void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
   });
 }
 
+} // namespace
+
 /// RFC 8259 string escaping over raw bytes. Besides the two mandatory
 /// escapes, every control character and every byte outside printable
 /// ASCII is emitted as \u00XX (bytes-as-Latin-1: identifiers from
@@ -552,7 +554,7 @@ void lintFunction(const IRModule &M, unsigned FnIndex, const TaintResult &T,
 /// reader). The byte must pass through snprintf as an unsigned value —
 /// a plain char promotes negatively for bytes >= 0x80 and would print
 /// garbage like ￿ffe9.
-std::string jsonEscape(const std::string &S) {
+std::string dart::jsonEscape(const std::string &S) {
   std::ostringstream OS;
   for (unsigned char C : S) {
     switch (C) {
@@ -583,6 +585,8 @@ std::string jsonEscape(const std::string &S) {
   }
   return OS.str();
 }
+
+namespace {
 
 /// Apply \p F to every IRExpr node under \p E, including \p E itself.
 template <typename Fn> void forEachExprNode(const IRExpr *E, Fn F) {
@@ -803,7 +807,8 @@ void lintDependence(const IRModule &M, const std::string &ToplevelName,
                      F.Instrs[I]->loc(),
                      std::string(What) + " in '" + F.Name +
                          "' is guarded only by input-independent branches: "
-                         "no input choice affects whether it executes"});
+                         "no input choice affects whether it executes",
+                     Fn, I});
     }
   }
 }
@@ -824,7 +829,7 @@ dart::runLintAnalysis(const IRModule &M, const std::string &ToplevelName) {
     lintFunction(M, Fn, T, Findings);
     for (Finding &F : Findings)
       Result.push_back({F.Kind, M.functions()[Fn]->Name, F.Loc,
-                        std::move(F.Message)});
+                        std::move(F.Message), Fn, F.InstrIndex});
   }
   lintWriteOnlyGlobals(M, Result);
   if (!ToplevelName.empty())
@@ -854,5 +859,36 @@ std::string dart::lintFindingsToJson(const std::string &File,
        << jsonEscape(F.Message) << "\"}";
   }
   OS << "]}";
+  return OS.str();
+}
+
+std::string dart::lintFindingsToSarif(const std::string &File,
+                                      const std::vector<LintFinding> &Fs) {
+  std::ostringstream OS;
+  OS << "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/"
+        "sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{\"name\":"
+        "\"dart-analyze\",\"rules\":[";
+  std::vector<std::string> Rules;
+  for (const LintFinding &F : Fs) {
+    std::string Id = lintKindName(F.Kind);
+    if (std::find(Rules.begin(), Rules.end(), Id) == Rules.end())
+      Rules.push_back(std::move(Id));
+  }
+  for (size_t I = 0; I < Rules.size(); ++I)
+    OS << (I ? "," : "") << "{\"id\":\"" << Rules[I] << "\"}";
+  OS << "]}},\"results\":[";
+  for (size_t I = 0; I < Fs.size(); ++I) {
+    const LintFinding &F = Fs[I];
+    if (I)
+      OS << ",";
+    OS << "{\"ruleId\":\"" << lintKindName(F.Kind)
+       << "\",\"level\":\"warning\",\"message\":{\"text\":\""
+       << jsonEscape(F.Message) << "\"},\"locations\":[{\"physicalLocation\""
+       << ":{\"artifactLocation\":{\"uri\":\"" << jsonEscape(File)
+       << "\"},\"region\":{\"startLine\":" << (F.Loc.Line > 0 ? F.Loc.Line : 1)
+       << ",\"startColumn\":" << (F.Loc.Column > 0 ? F.Loc.Column : 1)
+       << "}}}]}";
+  }
+  OS << "]}]}";
   return OS.str();
 }

@@ -75,6 +75,11 @@ struct LintFinding {
   std::string Function;
   SourceLocation Loc;
   std::string Message;
+  /// IR coordinates of the offending instruction when the producing pass
+  /// knows them (~0u otherwise) — the verifier's anchor for reachability
+  /// proofs.
+  unsigned FnIndex = ~0u;
+  unsigned InstrIndex = ~0u;
 };
 
 /// Analyze every function in \p M and return the structured findings.
@@ -95,6 +100,15 @@ unsigned runLintPass(const IRModule &M, DiagnosticsEngine &Diags,
 /// "message"}, ...]}.
 std::string lintFindingsToJson(const std::string &File,
                                const std::vector<LintFinding> &Findings);
+
+/// Render findings as a minimal SARIF 2.1.0 document (one run, one rule
+/// per lint kind, every result level "warning").
+std::string lintFindingsToSarif(const std::string &File,
+                                const std::vector<LintFinding> &Findings);
+
+/// Escape a string for embedding in a JSON string literal (shared by the
+/// JSON/SARIF renderers here and in Verify.cpp).
+std::string jsonEscape(const std::string &S);
 
 } // namespace dart
 

@@ -40,7 +40,9 @@ StaticSummary dart::computeStaticSummary(const IRModule &M,
   Sum.SiteUnreachable.assign(Sum.NumBranchSites, false);
   Sum.PrunedSites.assign(Sum.NumBranchSites, false);
 
-  TaintResult T = runTaintAnalysis(M, ToplevelName);
+  auto TP = std::make_shared<TaintResult>(runTaintAnalysis(M, ToplevelName));
+  const TaintResult &T = *TP;
+  Sum.Taint = TP;
   if (T.PT)
     Sum.PointsTo = T.PT->stats();
 

@@ -54,6 +54,9 @@ struct StaticSummary {
   /// control-dependence edges, and the source universe. Shared (one
   /// solve) with the lints, the slice API, and --stats.
   std::shared_ptr<const DependenceResult> Dependence;
+  /// The taint/alias solve the verdicts are built on, kept alive so the
+  /// verifier (Verify.h) can reuse it instead of re-running points-to.
+  std::shared_ptr<const TaintResult> Taint;
   /// Site may observe a symbolic input (conservative default: true).
   std::vector<bool> SiteTainted;
   /// The dependence layer found no input source among the condition's

@@ -1,0 +1,1040 @@
+//===- Verify.cpp - Prove-or-test triage ------------------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The prover combines two passes over the zone domain (Zone.h):
+//
+//  * forward: the per-function zone fixpoint. A direction whose branch
+//    condition contradicts the forward state at the site is infeasible
+//    outright.
+//  * backward: weakest-precondition refinement. The condition-in-
+//    direction becomes a *necessary condition* (NC) DBM that is pushed
+//    backward through stores (substitution, wrap-checked against the
+//    forward state), calls (may-mod havoc), and branch edges (the pred's
+//    own condition refines NC). A path is cut when NC meets the forward
+//    state to bottom; crossing a function entry maps NC through every
+//    call site into caller terms. The direction is proved infeasible
+//    when every backward path is cut before reaching the campaign entry
+//    consistently.
+//
+// Soundness: NC is maintained as a necessary condition for "this point
+// leads to the target site in the target direction". Every rewrite only
+// weakens NC (drops unmappable constraints) or conjoins facts true of
+// all executions (forward states, type-range invariants), and wrap
+// checks are made against intervals that bound the executions of
+// interest. ANY budget exhaustion yields UNKNOWN, never a proof.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verify.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/Cfg.h"
+#include "analysis/PointsTo.h"
+#include "analysis/Zone.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <sstream>
+
+using namespace dart;
+
+const char *dart::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Proved:
+    return "PROVED";
+  case Verdict::Bug:
+    return "BUG";
+  case Verdict::Unknown:
+    return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+std::string VerifyStats::toString() const {
+  std::ostringstream OS;
+  OS << "verifier: " << DirsProved << "/" << DirsConsidered
+     << " directions proved infeasible (" << ForwardProofs << " forward, "
+     << WpProofs << " wp; " << WpItems << " wp items), "
+     << FunctionsConverged << "/" << FunctionsAnalyzed
+     << " zone fixpoints converged";
+  return OS.str();
+}
+
+namespace {
+
+/// Per-candidate and module-wide work limits. Exhausting ANY of them
+/// makes the candidate UNKNOWN — a proof must see every path cut.
+struct Budgets {
+  static constexpr unsigned kItemsPerCandidate = 256;
+  static constexpr unsigned kItemsPerModule = 4096;
+  static constexpr unsigned kBlockVisitsPerCandidate = 4;
+  static constexpr unsigned kCallDepth = 3;
+};
+
+struct FnCtx {
+  std::unique_ptr<Cfg> G;
+  std::unique_ptr<ZoneAnalysis> ZA;
+};
+
+/// One backward worklist item: refine NC from instruction \p End
+/// (exclusive) of \p Block in \p Fn down to the block entry, then fan
+/// out to predecessors / call sites.
+struct WpItem {
+  unsigned Fn = 0;
+  unsigned Block = 0;
+  unsigned End = 0; ///< instruction index, exclusive
+  unsigned Depth = 0;
+  ZoneState NC;
+};
+
+class Prover {
+public:
+  Prover(const IRModule &M, const std::string &ToplevelName,
+         const StaticSummary &Sum, bool GlobalsStartAtInit)
+      : M(M), Sum(Sum), T(Sum.Taint.get()),
+        GlobalsStartAtInit(GlobalsStartAtInit) {
+    if (!T || !T->PT)
+      return;
+    const CallGraph &CG = T->PT->callGraph();
+    ToplevelFn = CG.indexOf(ToplevelName);
+    if (ToplevelFn != CallGraph::kExternal)
+      FnReachable = CG.transitiveCallees(ToplevelFn);
+    Ctx.resize(M.functions().size());
+    CallSites.resize(M.functions().size());
+    for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+      if (!reachable(Fn))
+        continue;
+      const IRFunction &F = *M.functions()[Fn];
+      for (unsigned I = 0; I < F.Instrs.size(); ++I)
+        if (const auto *Ca = dyn_cast<CallInstr>(F.Instrs[I].get())) {
+          unsigned Callee = CG.indexOf(Ca->callee());
+          if (Callee != CallGraph::kExternal)
+            CallSites[Callee].push_back({Fn, I});
+        }
+    }
+  }
+
+  bool usable() const { return T && T->PT && ToplevelFn != ~0u; }
+  bool reachable(unsigned Fn) const {
+    return !FnReachable.empty() && Fn < FnReachable.size() &&
+           FnReachable[Fn];
+  }
+
+  VerifyStats &stats() { return Stats; }
+
+  /// The lazily built zone context of \p Fn (nullptr ZA when the
+  /// fixpoint did not converge).
+  const FnCtx &ctx(unsigned Fn) {
+    FnCtx &C = Ctx[Fn];
+    if (!C.G) {
+      const IRFunction &F = *M.functions()[Fn];
+      C.G = std::make_unique<Cfg>(Cfg::build(F));
+      ZoneAnalysis::Config ZC;
+      // Globals-at-init is only sound when (a) each run calls the
+      // toplevel exactly once from fresh memory (GlobalsStartAtInit) and
+      // (b) no program function re-enters it with mutated globals.
+      ZC.GlobalsAtInit = GlobalsStartAtInit && Fn == ToplevelFn &&
+                         !T->InternallyCalled[Fn];
+      C.ZA = std::make_unique<ZoneAnalysis>(M, *C.G, *T, Fn, ZC);
+      C.ZA->run();
+      ++Stats.FunctionsAnalyzed;
+      if (C.ZA->converged())
+        ++Stats.FunctionsConverged;
+    }
+    return C;
+  }
+
+  /// Zone-proved unreachable from the campaign entry? (Used for abort
+  /// and lint sites; branch directions go through proveDirection.)
+  bool provedUnreachable(unsigned Fn, unsigned InstrIndex) {
+    if (!usable())
+      return false;
+    if (!reachable(Fn))
+      return true; // no call chain from the toplevel
+    const FnCtx &C = ctx(Fn);
+    if (!C.ZA->converged())
+      return false;
+    if (!C.ZA->instrReachable(InstrIndex))
+      return true;
+    auto S = C.ZA->stateBefore(InstrIndex);
+    return S && S->isBottom();
+  }
+
+  /// Attempt to prove that branch \p InstrIndex of \p Fn can never
+  /// evaluate in direction \p Dir on any execution from the campaign
+  /// entry. Returns the invariant chain on success.
+  std::optional<std::string> proveDirection(unsigned Fn, unsigned InstrIndex,
+                                            bool Dir) {
+    if (!usable() || !reachable(Fn))
+      return std::nullopt;
+    const FnCtx &C = ctx(Fn);
+    ZoneAnalysis &ZA = *C.ZA;
+    if (!ZA.converged())
+      return std::nullopt;
+    const IRFunction &F = *M.functions()[Fn];
+    const auto *CJ = dyn_cast<CondJumpInstr>(F.Instrs[InstrIndex].get());
+    if (!CJ)
+      return std::nullopt;
+
+    // Forward pass: does the site's forward state tolerate Dir?
+    if (!ZA.instrReachable(InstrIndex)) {
+      ++Stats.ForwardProofs;
+      return std::string("site is zone-unreachable in ") + F.Name;
+    }
+    auto Fw = ZA.stateBefore(InstrIndex);
+    if (!Fw)
+      return std::nullopt; // non-converged guard (shouldn't happen)
+    if (Fw->isBottom()) {
+      ++Stats.ForwardProofs;
+      return std::string("forward zone state is infeasible at the site");
+    }
+    ZoneState Refined = *Fw;
+    bool Expressible = ZA.refineByCond(Refined, CJ->cond(), Dir);
+    if (Refined.isBottom()) {
+      ++Stats.ForwardProofs;
+      return "forward zone state {" + ZA.describe(*Fw) +
+             "} contradicts the branch direction";
+    }
+    if (!Expressible)
+      return std::nullopt; // NC would carry no constraint: nothing to push
+
+    // Backward pass: the condition-in-direction as a necessary
+    // condition, pushed to the campaign entry.
+    ZoneState NC = topWithClamps(ZA);
+    if (!ZA.refineByCond(NC, CJ->cond(), Dir) || NC.isBottom())
+      return std::nullopt;
+    std::vector<std::string> Chain;
+    if (runWp(Fn, InstrIndex, NC, Chain)) {
+      ++Stats.WpProofs;
+      std::ostringstream OS;
+      OS << "all paths cut by weakest-precondition refinement";
+      for (const std::string &S : Chain)
+        OS << "; " << S;
+      return OS.str();
+    }
+    return std::nullopt;
+  }
+
+private:
+  const IRModule &M;
+  const StaticSummary &Sum;
+  const TaintResult *T;
+  bool GlobalsStartAtInit = false;
+  unsigned ToplevelFn = ~0u;
+  std::vector<bool> FnReachable;
+  std::vector<FnCtx> Ctx;
+  /// callee fn -> (caller fn, call instruction) sites, entry-reachable
+  /// callers only.
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> CallSites;
+  VerifyStats Stats;
+
+  static ZoneState topWithClamps(const ZoneAnalysis &ZA) {
+    ZoneState Z = ZoneState::top(ZA.numVars());
+    for (unsigned V = 1; V <= ZA.numVars(); ++V) {
+      int64_t Lo, Hi;
+      vtRange(ZA.varType(V), Lo, Hi);
+      Z.clampRange(V, Lo, Hi);
+    }
+    return Z;
+  }
+
+  static void havocTyped(const ZoneAnalysis &ZA, ZoneState &Z, unsigned V) {
+    Z.havoc(V);
+    int64_t Lo, Hi;
+    vtRange(ZA.varType(V), Lo, Hi);
+    Z.clampRange(V, Lo, Hi);
+  }
+
+  /// Backward transfer of one instruction over NC. \p Fw is the forward
+  /// state just before the instruction (wrap-check context). Returns
+  /// false when the path is cut at this instruction.
+  bool wpInstr(ZoneAnalysis &ZA, unsigned Fn, const Instr &I,
+               const ZoneState &Fw, ZoneState &NC,
+               std::vector<std::string> &Chain) {
+    switch (I.kind()) {
+    case Instr::Kind::Store: {
+      const auto *St = cast<StoreInstr>(&I);
+      unsigned V = 0;
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address()))
+        V = ZA.varOfSlot(FA->slotIndex());
+      else if (const auto *GA = dyn_cast<GlobalAddrExpr>(St->address()))
+        V = ZA.varOfGlobal(GA->globalIndex());
+      else {
+        // May-write through a pointer: constraints on any possible
+        // target can no longer be transported.
+        if (T->PT)
+          for (unsigned O : T->PT->addressTargets(Fn, St->address())) {
+            unsigned W = 0;
+            if (T->PT->kindOf(O) == PointsToResult::LocKind::Slot &&
+                T->PT->ownerFn(O) == Fn)
+              W = ZA.varOfSlot(T->PT->slotIndexOf(O));
+            else if (T->PT->kindOf(O) == PointsToResult::LocKind::Global)
+              W = ZA.varOfGlobal(T->PT->globalIndexOf(O));
+            if (W)
+              havocTyped(ZA, NC, W);
+          }
+        return true;
+      }
+      if (!V)
+        return true;
+      if (!(St->valType() == ZA.varType(V))) {
+        havocTyped(ZA, NC, V);
+        return true;
+      }
+      // Cut check: the stored value's forward interval must intersect
+      // NC's requirement on the cell.
+      Interval Val = ZA.evalInterval(Fw, St->value());
+      Interval Need = NC.varInterval(V);
+      if (Val.Hi < Need.Lo || Need.Hi < Val.Lo) {
+        Chain.push_back("store at " + locStr(I.loc()) +
+                        " can never satisfy the necessary condition");
+        return false;
+      }
+      if (auto A = ZA.matchAtom(Fw, St->value())) {
+        if (A->Var == V)
+          NC.shiftVar(V, -A->Off); // v_after = v_before + Off
+        else if (A->Var == 0)
+          NC.substituteConst(V, A->Off);
+        else
+          NC.substituteOffset(V, A->Var, A->Off);
+        int64_t Lo, Hi;
+        vtRange(ZA.varType(V), Lo, Hi);
+        NC.clampRange(V, Lo, Hi);
+        if (NC.isBottom()) {
+          Chain.push_back("store at " + locStr(I.loc()) +
+                          " contradicts the necessary condition");
+          return false;
+        }
+        return true;
+      }
+      havocTyped(ZA, NC, V);
+      return true;
+    }
+    case Instr::Kind::Copy: {
+      const auto *Cp = cast<CopyInstr>(&I);
+      if (T->PT)
+        for (unsigned O : T->PT->addressTargets(Fn, Cp->dst())) {
+          unsigned W = 0;
+          if (T->PT->kindOf(O) == PointsToResult::LocKind::Slot &&
+              T->PT->ownerFn(O) == Fn)
+            W = ZA.varOfSlot(T->PT->slotIndexOf(O));
+          else if (T->PT->kindOf(O) == PointsToResult::LocKind::Global)
+            W = ZA.varOfGlobal(T->PT->globalIndexOf(O));
+          if (W)
+            havocTyped(ZA, NC, W);
+        }
+      return true;
+    }
+    case Instr::Kind::Call: {
+      const auto *Ca = cast<CallInstr>(&I);
+      if (T->PT) {
+        unsigned Callee = T->PT->callGraph().indexOf(Ca->callee());
+        if (Callee != CallGraph::kExternal) {
+          for (unsigned V = 1; V <= ZA.numVars(); ++V)
+            if (T->PT->mayMod(Callee, cellLoc(ZA, Fn, V)))
+              havocTyped(ZA, NC, V);
+        } else {
+          // Unknown external callee: drop everything it may touch.
+          for (unsigned V = 1; V <= ZA.numVars(); ++V)
+            havocTyped(ZA, NC, V);
+        }
+      }
+      if (Ca->destSlot()) {
+        unsigned V = ZA.varOfSlot(*Ca->destSlot());
+        if (V)
+          havocTyped(ZA, NC, V);
+      }
+      return true;
+    }
+    default:
+      return true; // jumps/ret/abort/halt carry no state effect
+    }
+  }
+
+  unsigned cellLoc(const ZoneAnalysis &ZA, unsigned Fn, unsigned V) const {
+    // The var's cell: probe the slot and global maps.
+    for (unsigned S = 0; S < M.functions()[Fn]->Slots.size(); ++S)
+      if (ZA.varOfSlot(S) == V)
+        return T->PT->slotLoc(Fn, S);
+    for (unsigned G = 0; G < M.globals().size(); ++G)
+      if (ZA.varOfGlobal(G) == V)
+        return T->PT->globalLoc(G);
+    return T->PT->externalLoc();
+  }
+
+  static std::string locStr(SourceLocation L) {
+    return L.isValid() ? L.toString() : "?";
+  }
+
+  void note(std::vector<std::string> &Chain, std::string S) {
+    if (Chain.size() < 4)
+      Chain.push_back(std::move(S));
+  }
+
+  /// The backward search. Returns true when every path from the campaign
+  /// entry to (Fn, TargetInstr) is cut.
+  bool runWp(unsigned Fn, unsigned TargetInstr, const ZoneState &NC0,
+             std::vector<std::string> &Chain) {
+    std::deque<WpItem> Work;
+    {
+      const FnCtx &C = ctx(Fn);
+      WpItem It;
+      It.Fn = Fn;
+      It.Block = C.G->blockOf(TargetInstr);
+      It.End = TargetInstr;
+      It.Depth = 0;
+      It.NC = NC0;
+      Work.push_back(std::move(It));
+    }
+    unsigned Items = 0;
+    std::map<std::pair<unsigned, unsigned>, unsigned> BlockVisits;
+
+    while (!Work.empty()) {
+      WpItem It = std::move(Work.front());
+      Work.pop_front();
+      if (++Items > Budgets::kItemsPerCandidate)
+        return false;
+      if (++Stats.WpItems > Budgets::kItemsPerModule)
+        return false;
+      unsigned &Seen = BlockVisits[{It.Fn, It.Block}];
+      if (++Seen > Budgets::kBlockVisitsPerCandidate)
+        return false;
+
+      const FnCtx &C = ctx(It.Fn);
+      ZoneAnalysis &ZA = *C.ZA;
+      if (!ZA.converged())
+        return false;
+      const IRFunction &F = *M.functions()[It.Fn];
+      const BasicBlock &BB = C.G->block(It.Block);
+
+      // Forward prefix states of the block (for wrap checks and cuts).
+      const auto &InOpt = ZA.inState(It.Block);
+      if (!InOpt) {
+        // The block is forward-unreachable: every path through it is
+        // vacuously cut.
+        note(Chain, "block at " + F.Name + " is zone-unreachable");
+        continue;
+      }
+      std::vector<ZoneState> Prefix;
+      Prefix.reserve(It.End - BB.Begin + 1);
+      Prefix.push_back(*InOpt);
+      bool FwCut = false;
+      for (unsigned I = BB.Begin; I < It.End; ++I) {
+        ZoneState S = Prefix.back();
+        ZA.transferInstr(S, *F.Instrs[I]);
+        if (S.isBottom()) {
+          FwCut = true;
+          break;
+        }
+        Prefix.push_back(std::move(S));
+      }
+      if (FwCut) {
+        note(Chain, "suffix of block in " + F.Name +
+                        " is forward-infeasible");
+        continue;
+      }
+
+      // Walk the block backward.
+      ZoneState NC = std::move(It.NC);
+      bool Cut = false;
+      for (unsigned I = It.End; I > BB.Begin; --I) {
+        const Instr &Ins = *F.Instrs[I - 1];
+        if (!wpInstr(ZA, It.Fn, Ins, Prefix[I - 1 - BB.Begin], NC,
+                     Chain)) {
+          Cut = true;
+          break;
+        }
+        if (NC.isBottom()) {
+          Cut = true;
+          note(Chain, "necessary condition became contradictory in " +
+                          F.Name);
+          break;
+        }
+      }
+      if (Cut)
+        continue;
+
+      // Meet with the forward state at the block entry: executions that
+      // reach this block satisfy both.
+      NC.meetWith(*InOpt);
+      if (NC.isBottom()) {
+        note(Chain, "forward state at block entry of " + F.Name +
+                        " contradicts the necessary condition");
+        continue;
+      }
+
+      if (It.Block == C.G->entry()) {
+        if (!crossFunctionEntry(It, NC, Work, Chain))
+          return false;
+        // Entry blocks can still have loop predecessors — fall through.
+      }
+
+      // Predecessor edges, refined by the pred's own condition.
+      unsigned N = static_cast<unsigned>(F.Instrs.size());
+      for (unsigned P : BB.Preds) {
+        const BasicBlock &PB = C.G->block(P);
+        const Instr *Term = C.G->terminator(P);
+        ZoneState NCP = NC;
+        if (const auto *CJ = dyn_cast_or_null<CondJumpInstr>(Term)) {
+          unsigned TrueBlock = CJ->trueTarget() < N
+                                   ? C.G->blockOf(CJ->trueTarget())
+                                   : Cfg::kUnset;
+          unsigned FalseBlock = CJ->falseTarget() < N
+                                    ? C.G->blockOf(CJ->falseTarget())
+                                    : Cfg::kUnset;
+          bool IsTrue = It.Block == TrueBlock;
+          bool IsFalse = It.Block == FalseBlock;
+          if (IsTrue != IsFalse) {
+            ZA.refineByCond(NCP, CJ->cond(), IsTrue);
+            if (NCP.isBottom()) {
+              note(Chain, "branch into the block in " + F.Name +
+                              " contradicts the necessary condition");
+              continue;
+            }
+          }
+        }
+        WpItem Next;
+        Next.Fn = It.Fn;
+        Next.Block = P;
+        Next.End = PB.End;
+        Next.Depth = It.Depth;
+        Next.NC = std::move(NCP);
+        Work.push_back(std::move(Next));
+      }
+    }
+    return true;
+  }
+
+  /// NC reached the entry of \p It.Fn. For the toplevel: check the
+  /// campaign entry state; for other functions: map NC into every call
+  /// site. Returns false when the candidate must become UNKNOWN.
+  bool crossFunctionEntry(const WpItem &It, const ZoneState &NC,
+                          std::deque<WpItem> &Work,
+                          std::vector<std::string> &Chain) {
+    const FnCtx &C = ctx(It.Fn);
+    ZoneAnalysis &ZA = *C.ZA;
+    if (It.Fn == ToplevelFn) {
+      ZoneState E = ZA.entryState();
+      E.meetWith(NC);
+      if (E.isBottom()) {
+        note(Chain, "campaign entry state contradicts the necessary "
+                    "condition");
+        return true; // this path is cut
+      }
+      return false; // consistent at the campaign entry: no proof
+    }
+    if (It.Depth + 1 > Budgets::kCallDepth)
+      return false;
+    const std::vector<std::pair<unsigned, unsigned>> &Sites =
+        CallSites[It.Fn];
+    if (Sites.empty())
+      return true; // no reachable caller: vacuously cut
+    for (const auto &[CallerFn, CallIdx] : Sites) {
+      const FnCtx &CC = ctx(CallerFn);
+      ZoneAnalysis &CZA = *CC.ZA;
+      if (!CZA.converged())
+        return false;
+      auto CFw = CZA.stateBefore(CallIdx);
+      if (!CFw) {
+        note(Chain, "call site in " +
+                        M.functions()[CallerFn]->Name +
+                        " is zone-unreachable");
+        continue;
+      }
+      if (CFw->isBottom()) {
+        note(Chain, "call site in " +
+                        M.functions()[CallerFn]->Name +
+                        " is forward-infeasible");
+        continue;
+      }
+      auto MappedOpt = mapThroughCall(ZA, NC, CZA, *CFw, It.Fn,
+                                      CallerFn, CallIdx);
+      if (!MappedOpt)
+        return false; // nothing mapped: the search could never cut
+      ZoneState Mapped = std::move(*MappedOpt);
+      if (Mapped.isBottom()) {
+        note(Chain, "argument values at the call in " +
+                        M.functions()[CallerFn]->Name +
+                        " contradict the necessary condition");
+        continue;
+      }
+      ZoneState Met = Mapped;
+      Met.meetWith(*CFw);
+      if (Met.isBottom()) {
+        note(Chain, "forward state at the call in " +
+                        M.functions()[CallerFn]->Name +
+                        " contradicts the necessary condition");
+        continue;
+      }
+      WpItem Next;
+      Next.Fn = CallerFn;
+      Next.Block = CC.G->blockOf(CallIdx);
+      Next.End = CallIdx;
+      Next.Depth = It.Depth + 1;
+      Next.NC = std::move(Met);
+      Work.push_back(std::move(Next));
+    }
+    return true;
+  }
+
+  /// Translate \p NC (callee var space) to the caller var space at one
+  /// call site. Unmappable constraints are dropped (weakening). Returns
+  /// a bottom state when a mapped constraint is immediately
+  /// contradictory, and nullopt when no constraint survived at all (the
+  /// backward search could then never cut: give up early).
+  std::optional<ZoneState>
+  mapThroughCall(const ZoneAnalysis &CalleeZA, const ZoneState &NC,
+                 const ZoneAnalysis &CallerZA, const ZoneState &CallerFw,
+                 unsigned CalleeFn, unsigned CallerFn, unsigned CallIdx) {
+    const IRFunction &Callee = *M.functions()[CalleeFn];
+    const auto *Ca =
+        cast<CallInstr>(M.functions()[CallerFn]->Instrs[CallIdx].get());
+
+    // Callee var -> caller atom (Var 0 + Off encodes a constant).
+    struct Mapping {
+      bool Ok = false;
+      unsigned Var = 0;
+      int64_t Off = 0;
+    };
+    std::vector<Mapping> Map(CalleeZA.numVars() + 1);
+    Map[0] = {true, 0, 0};
+    for (unsigned V = 1; V <= CalleeZA.numVars(); ++V) {
+      // Parameter cells map through the argument expression.
+      bool IsParam = false;
+      for (unsigned P = 0; P < Callee.NumParams; ++P) {
+        if (CalleeZA.varOfSlot(P) != V)
+          continue;
+        IsParam = true;
+        if (P >= Ca->args().size())
+          break;
+        const IRExpr *Arg = Ca->args()[P].get();
+        ValType PVT = P < Callee.ParamVTs.size() ? Callee.ParamVTs[P]
+                                                 : ValType::int32();
+        if (!(Arg->valType() == PVT) || !(CalleeZA.varType(V) == PVT))
+          break;
+        if (auto A = CallerZA.matchAtom(CallerFw, Arg))
+          Map[V] = {true, A->Var, A->Off};
+        break;
+      }
+      if (IsParam)
+        continue;
+      // Global cells map to the caller's cell for the same global.
+      for (unsigned G = 0; G < M.globals().size(); ++G) {
+        if (CalleeZA.varOfGlobal(G) != V)
+          continue;
+        unsigned CV = CallerZA.varOfGlobal(G);
+        if (CV && CallerZA.varType(CV) == CalleeZA.varType(V))
+          Map[V] = {true, CV, 0};
+        break;
+      }
+      // Local (non-param) cells hold arbitrary values at entry: never
+      // mappable.
+    }
+
+    ZoneState Out = ZoneState::top(CallerZA.numVars());
+    for (unsigned V = 1; V <= CallerZA.numVars(); ++V) {
+      int64_t Lo, Hi;
+      vtRange(CallerZA.varType(V), Lo, Hi);
+      Out.clampRange(V, Lo, Hi);
+    }
+    using I128 = __int128;
+    auto Clamp = [](I128 C) -> int64_t {
+      if (C >= ZoneState::kInf)
+        return ZoneState::kInf;
+      if (C <= -I128(ZoneState::kInf))
+        return -ZoneState::kInf + 1;
+      return static_cast<int64_t>(C);
+    };
+    unsigned MappedBounds = 0;
+    for (unsigned I = 0; I <= CalleeZA.numVars(); ++I)
+      for (unsigned J = 0; J <= CalleeZA.numVars(); ++J) {
+        if (I == J || NC.bound(I, J) >= ZoneState::kInf)
+          continue;
+        if (!Map[I].Ok || !Map[J].Ok)
+          continue;
+        // value(I) - value(J) <= c with value(X) = var'(X) + off(X).
+        I128 B = I128(NC.bound(I, J)) - Map[I].Off + Map[J].Off;
+        ++MappedBounds;
+        if (Map[I].Var == Map[J].Var) {
+          if (B < 0) {
+            Out.addBound(0, 0, -1); // constant contradiction -> bottom
+            return Out;
+          }
+          continue;
+        }
+        Out.addBound(Map[I].Var, Map[J].Var, Clamp(B));
+        if (Out.isBottom())
+          return Out;
+      }
+    if (MappedBounds == 0)
+      return std::nullopt;
+    return Out;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Public prover entry points
+//===----------------------------------------------------------------------===//
+
+/// site id -> (function, instruction) for every CondJump in the module.
+std::vector<std::pair<unsigned, unsigned>>
+branchSiteIndex(const IRModule &M) {
+  constexpr unsigned kNoFn = ~0u;
+  std::vector<std::pair<unsigned, unsigned>> SiteAt(M.numBranchSites(),
+                                                    {kNoFn, 0});
+  for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+    const IRFunction &F = *M.functions()[Fn];
+    for (unsigned I = 0; I < F.Instrs.size(); ++I)
+      if (const auto *CJ = dyn_cast<CondJumpInstr>(F.Instrs[I].get()))
+        if (CJ->siteId() < SiteAt.size())
+          SiteAt[CJ->siteId()] = {Fn, I};
+  }
+  return SiteAt;
+}
+
+} // namespace
+
+BranchProofs dart::proveBranchDirections(const IRModule &M,
+                                         const std::string &ToplevelName,
+                                         const StaticSummary &Sum,
+                                         bool GlobalsStartAtInit) {
+  BranchProofs P;
+  P.ProvedDirs.assign(2 * size_t(M.numBranchSites()), false);
+  P.Chains.assign(2 * size_t(M.numBranchSites()), std::string());
+  Prover Pr(M, ToplevelName, Sum, GlobalsStartAtInit);
+  if (!Pr.usable()) {
+    P.Stats = Pr.stats();
+    return P;
+  }
+  auto SiteAt = branchSiteIndex(M);
+  for (unsigned S = 0; S < M.numBranchSites(); ++S) {
+    if (SiteAt[S].first == ~0u)
+      continue;
+    for (unsigned Dir = 0; Dir < 2; ++Dir) {
+      size_t Bit = 2 * size_t(S) + Dir;
+      if (Bit >= Sum.CoverableDirs.size() || !Sum.CoverableDirs[Bit])
+        continue;
+      ++Pr.stats().DirsConsidered;
+      if (auto Chain = Pr.proveDirection(SiteAt[S].first, SiteAt[S].second,
+                                         Dir == 1)) {
+        P.ProvedDirs[Bit] = true;
+        P.Chains[Bit] = std::move(*Chain);
+        ++P.ProvedCount;
+        ++Pr.stats().DirsProved;
+      }
+    }
+  }
+  P.Stats = Pr.stats();
+  return P;
+}
+
+void dart::applyBranchProofs(StaticSummary &Sum, const BranchProofs &P) {
+  for (size_t Bit = 0;
+       Bit < P.ProvedDirs.size() && Bit < Sum.CoverableDirs.size(); ++Bit) {
+    if (!P.ProvedDirs[Bit] || !Sum.CoverableDirs[Bit])
+      continue;
+    Sum.CoverableDirs[Bit] = false;
+    --Sum.CoverableCount;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Full triage
+//===----------------------------------------------------------------------===//
+
+VerifyResult dart::runVerifier(const IRModule &M,
+                               const std::string &ToplevelName,
+                               const StaticSummary &Sum,
+                               const BranchProofs &P,
+                               bool GlobalsStartAtInit) {
+  VerifyResult R;
+  R.Stats = P.Stats;
+  Prover Pr(M, ToplevelName, Sum, GlobalsStartAtInit);
+  auto SiteAt = branchSiteIndex(M);
+
+  // Branch directions.
+  for (unsigned S = 0; S < M.numBranchSites(); ++S) {
+    if (SiteAt[S].first == ~0u)
+      continue; // site id gap: no instruction, nothing to triage
+    unsigned Fn = SiteAt[S].first, Idx = SiteAt[S].second;
+    const IRFunction &F = *M.functions()[Fn];
+    for (unsigned Dir = 0; Dir < 2; ++Dir) {
+      size_t Bit = 2 * size_t(S) + Dir;
+      VerifySite VS;
+      VS.Kind = VerifySiteKind::BranchDir;
+      VS.Function = F.Name;
+      VS.Loc = F.Instrs[Idx]->loc();
+      VS.Site = S;
+      VS.Direction = Dir == 1;
+      if (Bit < P.ProvedDirs.size() && P.ProvedDirs[Bit]) {
+        VS.V = Verdict::Proved;
+        VS.Detail = P.Chains[Bit];
+      } else if (Bit >= Sum.CoverableDirs.size() ||
+                 !Sum.CoverableDirs[Bit]) {
+        VS.V = Verdict::Proved;
+        if (!Pr.usable() || !Pr.reachable(Fn))
+          VS.Detail = "function is unreachable from the toplevel";
+        else if (S < Sum.SiteUnreachable.size() && Sum.SiteUnreachable[S])
+          VS.Detail = "site is statically unreachable (interval)";
+        else
+          VS.Detail = "condition is monovalent with a wrap-free proof "
+                      "(interval): it never takes this direction";
+      } else {
+        VS.V = Verdict::Unknown;
+        VS.Detail = "no proof; candidate for directed testing";
+      }
+      R.Sites.push_back(std::move(VS));
+    }
+  }
+
+  // Abort/assert sites in entry-reachable functions.
+  for (unsigned Fn = 0; Fn < M.functions().size(); ++Fn) {
+    if (Pr.usable() && !Pr.reachable(Fn))
+      continue;
+    const IRFunction &F = *M.functions()[Fn];
+    for (unsigned I = 0; I < F.Instrs.size(); ++I) {
+      const auto *A = dyn_cast<AbortInstr>(F.Instrs[I].get());
+      if (!A)
+        continue;
+      VerifySite VS;
+      VS.Kind = VerifySiteKind::AbortSite;
+      VS.Function = F.Name;
+      VS.Loc = F.Instrs[I]->loc();
+      VS.Detail = A->why() == AbortKind::AssertFailure
+                      ? "assertion failure site"
+                      : "abort call site";
+      if (Pr.provedUnreachable(Fn, I)) {
+        VS.V = Verdict::Proved;
+        VS.Detail += ": proved unreachable";
+      } else {
+        VS.V = Verdict::Unknown;
+      }
+      R.Sites.push_back(std::move(VS));
+    }
+  }
+
+  // Lint candidates.
+  for (LintFinding &L : runLintAnalysis(M, ToplevelName)) {
+    VerifySite VS;
+    VS.Kind = VerifySiteKind::LintSite;
+    VS.Function = L.Function;
+    VS.Loc = L.Loc;
+    VS.Lint = L.Kind;
+    VS.Detail = L.Message;
+    if (L.Kind == LintKind::UnreachableCode) {
+      VS.V = Verdict::Proved; // the finding IS an unreachability proof
+    } else if (L.FnIndex != ~0u && L.InstrIndex != ~0u &&
+               Pr.provedUnreachable(L.FnIndex, L.InstrIndex)) {
+      VS.V = Verdict::Proved;
+      VS.Detail += " (site proved unreachable)";
+    } else {
+      VS.V = Verdict::Unknown;
+    }
+    R.Sites.push_back(std::move(VS));
+  }
+
+  // P's counters describe the branch-direction proofs; add the triage
+  // prover's own reachability work on top (it is a separate instance).
+  R.Stats = P.Stats;
+  R.Stats.WpItems += Pr.stats().WpItems;
+  R.Stats.FunctionsAnalyzed += Pr.stats().FunctionsAnalyzed;
+  R.Stats.FunctionsConverged += Pr.stats().FunctionsConverged;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic evidence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool lintKindTraps(LintKind K) {
+  switch (K) {
+  case LintKind::DivisionByZero:
+  case LintKind::AssertAlwaysFails:
+  case LintKind::NullDereference:
+  case LintKind::OutOfBoundsAccess:
+  case LintKind::ControlUnreachableBug:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string inputsToString(
+    const std::vector<std::pair<std::string, int64_t>> &Inputs) {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    OS << (I ? ", " : "") << Inputs[I].first << " = " << Inputs[I].second;
+  return OS.str();
+}
+
+} // namespace
+
+void dart::mergeDynamicEvidence(VerifyResult &R, const CampaignEvidence &E) {
+  for (VerifySite &S : R.Sites) {
+    if (S.V != Verdict::Unknown)
+      continue;
+    if (S.Kind == VerifySiteKind::BranchDir) {
+      size_t Bit = 2 * size_t(S.Site) + (S.Direction ? 1 : 0);
+      if (Bit < E.Coverage.size() && E.Coverage[Bit]) {
+        S.V = Verdict::Bug;
+        S.Detail = "witnessed: direction covered by the campaign";
+        for (const auto &W : E.Witnesses)
+          if (W.Bit == Bit) {
+            S.WitnessRun = W.Run;
+            S.WitnessInputs = W.Inputs;
+            S.Detail = std::string("witnessed by run ") +
+                       std::to_string(W.Run) +
+                       (W.Directed ? " (directed)" : " (initial/random)");
+            if (!W.Inputs.empty())
+              S.Detail += " with " + inputsToString(W.Inputs);
+            break;
+          }
+      }
+      continue;
+    }
+    // Abort and trap-lint sites match campaign errors by location.
+    if (S.Kind == VerifySiteKind::LintSite && !lintKindTraps(S.Lint))
+      continue;
+    if (!S.Loc.isValid())
+      continue;
+    for (const auto &Err : E.Errors) {
+      if (!(Err.Loc == S.Loc))
+        continue;
+      S.V = Verdict::Bug;
+      S.WitnessRun = Err.Run;
+      S.WitnessInputs = Err.Inputs;
+      S.Detail = "witnessed by run " + std::to_string(Err.Run) + ": " +
+                 Err.Message;
+      if (!Err.Inputs.empty())
+        S.Detail += " with " + inputsToString(Err.Inputs);
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Renderers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string siteLabel(const VerifySite &S) {
+  std::ostringstream OS;
+  switch (S.Kind) {
+  case VerifySiteKind::BranchDir:
+    OS << "branch site " << S.Site << " (" << S.Function << ":"
+       << S.Loc.toString() << ") direction "
+       << (S.Direction ? "true" : "false");
+    break;
+  case VerifySiteKind::AbortSite:
+    OS << "abort site (" << S.Function << ":" << S.Loc.toString() << ")";
+    break;
+  case VerifySiteKind::LintSite:
+    OS << "lint " << lintKindName(S.Lint) << " (" << S.Function << ":"
+       << S.Loc.toString() << ")";
+    break;
+  }
+  return OS.str();
+}
+
+const char *siteKindName(VerifySiteKind K) {
+  switch (K) {
+  case VerifySiteKind::BranchDir:
+    return "branch-dir";
+  case VerifySiteKind::AbortSite:
+    return "abort-site";
+  case VerifySiteKind::LintSite:
+    return "lint-site";
+  }
+  return "branch-dir";
+}
+
+} // namespace
+
+std::string dart::verifyResultToText(const VerifyResult &R) {
+  std::ostringstream OS;
+  for (const VerifySite &S : R.Sites) {
+    OS << verdictName(S.V);
+    for (unsigned Pad = static_cast<unsigned>(
+             std::string(verdictName(S.V)).size());
+         Pad < 8; ++Pad)
+      OS << ' ';
+    OS << ' ' << siteLabel(S);
+    if (!S.Detail.empty())
+      OS << ": " << S.Detail;
+    OS << "\n";
+  }
+  OS << "verify: " << R.Sites.size() << " sites - "
+     << R.count(Verdict::Proved) << " proved, " << R.count(Verdict::Bug)
+     << " bugs, " << R.count(Verdict::Unknown) << " unknown\n";
+  return OS.str();
+}
+
+std::string dart::verifyResultToJson(const VerifyResult &R) {
+  std::ostringstream OS;
+  OS << "{\"sites\":[";
+  for (size_t I = 0; I < R.Sites.size(); ++I) {
+    const VerifySite &S = R.Sites[I];
+    if (I)
+      OS << ",";
+    OS << "{\"verdict\":\"" << verdictName(S.V) << "\",\"kind\":\""
+       << siteKindName(S.Kind) << "\",\"function\":\""
+       << jsonEscape(S.Function) << "\",\"line\":" << S.Loc.Line
+       << ",\"column\":" << S.Loc.Column;
+    if (S.Kind == VerifySiteKind::BranchDir)
+      OS << ",\"site\":" << S.Site << ",\"direction\":"
+         << (S.Direction ? "true" : "false");
+    if (S.Kind == VerifySiteKind::LintSite)
+      OS << ",\"lint\":\"" << lintKindName(S.Lint) << "\"";
+    if (S.WitnessRun)
+      OS << ",\"witnessRun\":" << S.WitnessRun;
+    if (!S.WitnessInputs.empty()) {
+      OS << ",\"witnessInputs\":[";
+      for (size_t J = 0; J < S.WitnessInputs.size(); ++J)
+        OS << (J ? "," : "") << "{\"name\":\""
+           << jsonEscape(S.WitnessInputs[J].first)
+           << "\",\"value\":" << S.WitnessInputs[J].second << "}";
+      OS << "]";
+    }
+    OS << ",\"detail\":\"" << jsonEscape(S.Detail) << "\"}";
+  }
+  OS << "],\"summary\":{\"proved\":" << R.count(Verdict::Proved)
+     << ",\"bugs\":" << R.count(Verdict::Bug)
+     << ",\"unknown\":" << R.count(Verdict::Unknown) << "}}";
+  return OS.str();
+}
+
+std::string dart::verifyResultToSarif(const VerifyResult &R) {
+  std::ostringstream OS;
+  OS << "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/"
+        "sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{\"name\":"
+        "\"dart-verify\",\"rules\":[{\"id\":\"branch-dir\"},{\"id\":"
+        "\"abort-site\"},{\"id\":\"lint-site\"}]}},\"results\":[";
+  for (size_t I = 0; I < R.Sites.size(); ++I) {
+    const VerifySite &S = R.Sites[I];
+    const char *Level = S.V == Verdict::Bug
+                            ? "error"
+                            : S.V == Verdict::Proved ? "note" : "warning";
+    if (I)
+      OS << ",";
+    OS << "{\"ruleId\":\"" << siteKindName(S.Kind) << "\",\"level\":\""
+       << Level << "\",\"message\":{\"text\":\""
+       << jsonEscape(std::string(verdictName(S.V)) + " " + siteLabel(S) +
+                     (S.Detail.empty() ? "" : ": " + S.Detail))
+       << "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\""
+       << ":{\"uri\":\"" << jsonEscape(S.Function)
+       << "\"},\"region\":{\"startLine\":"
+       << (S.Loc.Line > 0 ? S.Loc.Line : 1)
+       << ",\"startColumn\":" << (S.Loc.Column > 0 ? S.Loc.Column : 1)
+       << "}}}]}";
+  }
+  OS << "]}]}";
+  return OS.str();
+}

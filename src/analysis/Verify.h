@@ -1,0 +1,170 @@
+//===- Verify.h - Prove-or-test triage of every site ------------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The prove-or-test layer: every branch direction, abort/assert site,
+/// and lint candidate gets one of three verdicts.
+///
+///   PROVED    a path-sensitive proof (forward zone facts + backward
+///             weakest-precondition refinement over the interprocedural
+///             CFG) shows no machine execution from the campaign entry
+///             can reach the site/direction. The invariant chain that
+///             cuts every path is retained for display.
+///   BUG       a concolic campaign produced a concrete witness: the
+///             direction was covered, or an error stopped a run at the
+///             site's source location. Witness run + inputs retained.
+///   UNKNOWN   neither; these sites are exactly where testing budget
+///             should go, so they become directed-search targets.
+///
+/// Proofs are machine-semantics sound (wrap-around, alias-checked via
+/// points-to) and therefore refine `StaticSummary::CoverableDirs`: a
+/// proved-infeasible direction leaves the early-exit coverage universe,
+/// which turns heuristic saturation into a *completeness certificate* —
+/// when every remaining coverable direction is covered, Theorem 1(b)'s
+/// branch-coverage goal is met for the whole module. Proofs must NOT
+/// feed `PrunedSites`: pruning needs ideal-theory unsatisfiability, and
+/// path-sensitive machine proofs do not transfer (see Zone.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_VERIFY_H
+#define DART_ANALYSIS_VERIFY_H
+
+#include "analysis/Lint.h"
+#include "analysis/StaticSummary.h"
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+enum class Verdict { Proved, Bug, Unknown };
+
+const char *verdictName(Verdict V);
+
+enum class VerifySiteKind { BranchDir, AbortSite, LintSite };
+
+/// One triaged site.
+struct VerifySite {
+  VerifySiteKind Kind = VerifySiteKind::BranchDir;
+  Verdict V = Verdict::Unknown;
+  std::string Function;
+  SourceLocation Loc;
+  /// BranchDir: branch site id and the direction triaged (true = the
+  /// condition evaluates nonzero).
+  unsigned Site = 0;
+  bool Direction = false;
+  /// LintSite: the originating lint kind.
+  LintKind Lint = LintKind::DeadStore;
+  /// Human-readable payload: the proof chain for PROVED, the witness
+  /// summary for BUG, the lint message / missing-proof note otherwise.
+  std::string Detail;
+  /// BUG only: the 1-based campaign run that witnessed the site and the
+  /// input vector that drove it (empty when unavailable).
+  unsigned WitnessRun = 0;
+  std::vector<std::pair<std::string, int64_t>> WitnessInputs;
+};
+
+/// Prover work counters for --stats and the bench axis.
+struct VerifyStats {
+  unsigned DirsConsidered = 0;   ///< coverable directions examined
+  unsigned DirsProved = 0;       ///< directions proved infeasible
+  unsigned ForwardProofs = 0;    ///< cut by forward zone state alone
+  unsigned WpProofs = 0;         ///< needed the backward WP refiner
+  unsigned WpItems = 0;          ///< WP worklist items processed
+  unsigned FunctionsAnalyzed = 0;
+  unsigned FunctionsConverged = 0;
+
+  std::string toString() const;
+};
+
+/// Result of the branch-direction prover alone (what the engines apply
+/// before a campaign).
+struct BranchProofs {
+  /// Bit `2*site + direction` set when that direction is proved
+  /// infeasible from the campaign entry.
+  std::vector<bool> ProvedDirs;
+  unsigned ProvedCount = 0;
+  /// Per proved bit: the invariant chain (indexed by bit; empty strings
+  /// for unproved bits).
+  std::vector<std::string> Chains;
+  VerifyStats Stats;
+};
+
+/// Prove branch directions infeasible. Only directions inside
+/// \p Sum.CoverableDirs are attempted (the rest are already excluded).
+/// Requires \p Sum.Taint (points-to-backed); returns no proofs without
+/// it. \p GlobalsStartAtInit: every toplevel invocation starts from the
+/// module's initial global image — true only for campaigns with one
+/// toplevel call per run (DartOptions::Depth == 1); deeper campaigns
+/// carry global state across calls, so entry must assume arbitrary
+/// type-ranged globals.
+BranchProofs proveBranchDirections(const IRModule &M,
+                                   const std::string &ToplevelName,
+                                   const StaticSummary &Sum,
+                                   bool GlobalsStartAtInit);
+
+/// Remove proved directions from \p Sum's coverage universe. After this,
+/// covering every remaining CoverableDirs bit is a completeness
+/// certificate for branch coverage.
+void applyBranchProofs(StaticSummary &Sum, const BranchProofs &P);
+
+/// Full static triage: every coverable branch direction, every abort
+/// site in an entry-reachable function, every lint finding.
+struct VerifyResult {
+  std::vector<VerifySite> Sites;
+  VerifyStats Stats;
+
+  unsigned count(Verdict V) const {
+    unsigned N = 0;
+    for (const VerifySite &S : Sites)
+      N += S.V == V;
+    return N;
+  }
+};
+
+VerifyResult runVerifier(const IRModule &M, const std::string &ToplevelName,
+                         const StaticSummary &Sum, const BranchProofs &P,
+                         bool GlobalsStartAtInit);
+
+/// What a concolic campaign observed, in analysis-layer terms (the tool
+/// translates the engine's report so this library stays below the core).
+struct CampaignEvidence {
+  /// Final coverage bitmap, bit `2*site + direction`.
+  std::vector<bool> Coverage;
+  struct Error {
+    SourceLocation Loc;
+    unsigned Run = 0;
+    std::vector<std::pair<std::string, int64_t>> Inputs;
+    std::string Message;
+  };
+  std::vector<Error> Errors;
+  /// Per-direction witnesses (which run first covered a bit), when the
+  /// engine captured them.
+  struct DirWitness {
+    uint32_t Bit = 0;
+    unsigned Run = 0;
+    bool Directed = false;
+    std::vector<std::pair<std::string, int64_t>> Inputs;
+  };
+  std::vector<DirWitness> Witnesses;
+};
+
+/// Upgrade UNKNOWN sites to BUG where the campaign witnessed them: a
+/// covered direction for BranchDir sites, a matching error location for
+/// abort sites and trap-kind lint sites.
+void mergeDynamicEvidence(VerifyResult &R, const CampaignEvidence &E);
+
+std::string verifyResultToText(const VerifyResult &R);
+std::string verifyResultToJson(const VerifyResult &R);
+std::string verifyResultToSarif(const VerifyResult &R);
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_VERIFY_H

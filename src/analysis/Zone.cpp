@@ -1,0 +1,978 @@
+//===- Zone.cpp - Difference-bound-matrix zone domain -----------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Zone.h"
+
+#include "analysis/PointsTo.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+using namespace dart;
+
+namespace {
+
+using I128 = __int128;
+
+/// Clamp an extended-precision bound into ZoneState's finite window.
+/// Raising a too-small bound to -kInf+1 only weakens it, which is sound.
+int64_t clamp128(I128 C) {
+  if (C >= ZoneState::kInf)
+    return ZoneState::kInf;
+  if (C <= -I128(ZoneState::kInf))
+    return -ZoneState::kInf + 1;
+  return static_cast<int64_t>(C);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ZoneState
+//===----------------------------------------------------------------------===//
+
+ZoneState ZoneState::top(unsigned NumVars) {
+  ZoneState Z;
+  Z.N = NumVars;
+  Z.D.assign(size_t(NumVars + 1) * (NumVars + 1), kInf);
+  for (unsigned I = 0; I <= NumVars; ++I)
+    Z.at(I, I) = 0;
+  return Z;
+}
+
+void ZoneState::addBound(unsigned I, unsigned J, int64_t C) {
+  if (Bot)
+    return;
+  C = clampBound(C);
+  if (I == J) {
+    if (C < 0)
+      Bot = true;
+    return;
+  }
+  if (C >= at(I, J))
+    return; // no tightening
+  // Incremental closure: the matrix is closed, so every shortest path
+  // using the new edge I->J decomposes as a->I, I->J, J->b with the old
+  // closed distances on the outer legs.
+  for (unsigned A = 0; A <= N; ++A) {
+    int64_t AI = at(A, I);
+    if (AI >= kInf)
+      continue;
+    for (unsigned B = 0; B <= N; ++B) {
+      int64_t JB = at(J, B);
+      if (JB >= kInf)
+        continue;
+      I128 Via = I128(AI) + C + JB; // three finite terms: no overflow
+      if (Via < at(A, B)) {
+        if (A == B && Via < 0) {
+          Bot = true;
+          return;
+        }
+        at(A, B) = clamp128(Via);
+      }
+    }
+  }
+}
+
+Interval ZoneState::varInterval(unsigned V) const {
+  if (V == 0)
+    return {0, 0, false};
+  Interval R;
+  R.Lo = at(0, V) >= kInf ? INT64_MIN : -at(0, V);
+  R.Hi = at(V, 0) >= kInf ? INT64_MAX : at(V, 0);
+  R.Exact = false;
+  return R;
+}
+
+void ZoneState::havoc(unsigned V) {
+  if (Bot)
+    return;
+  // Dropping one node's edges keeps a closed matrix closed: the triangle
+  // inequalities through V become vacuous, the rest are untouched.
+  for (unsigned A = 0; A <= N; ++A) {
+    at(V, A) = kInf;
+    at(A, V) = kInf;
+  }
+  at(V, V) = 0;
+}
+
+void ZoneState::assignConst(unsigned V, int64_t C) {
+  havoc(V);
+  addBound(V, 0, C);
+  addBound(0, V, clamp128(-I128(C)));
+}
+
+void ZoneState::assignOffset(unsigned V, unsigned U, int64_t C) {
+  havoc(V);
+  addBound(V, U, C);
+  addBound(U, V, clamp128(-I128(C)));
+}
+
+void ZoneState::shiftVar(unsigned V, int64_t C) {
+  if (Bot)
+    return;
+  // v := v + c: every bound v - a <= d becomes (new v) - a <= d + c and
+  // a - v <= d becomes a - (new v) <= d - c. Rank-preserving, so the
+  // matrix stays closed.
+  for (unsigned A = 0; A <= N; ++A) {
+    if (A == V)
+      continue;
+    if (at(V, A) < kInf)
+      at(V, A) = clamp128(I128(at(V, A)) + C);
+    if (at(A, V) < kInf)
+      at(A, V) = clamp128(I128(at(A, V)) - C);
+  }
+}
+
+void ZoneState::substituteConst(unsigned V, int64_t C) {
+  if (Bot)
+    return;
+  // Necessary condition after `v := c` becomes one before: every
+  // constraint on v is evaluated at v = c (constraints on the zero row
+  // turn into pure consistency checks via addBound's I==J path).
+  struct Pending {
+    unsigned I, J;
+    I128 C;
+  };
+  std::vector<Pending> Adds;
+  for (unsigned A = 0; A <= N; ++A) {
+    if (A == V)
+      continue;
+    if (at(V, A) < kInf) // c - a <= b  =>  0 - a <= b - c
+      Adds.push_back({0, A, I128(at(V, A)) - C});
+    if (at(A, V) < kInf) // a - c <= b  =>  a - 0 <= b + c
+      Adds.push_back({A, 0, I128(at(A, V)) + C});
+  }
+  havoc(V);
+  for (const Pending &P : Adds) {
+    addBound(P.I, P.J, clamp128(P.C));
+    if (Bot)
+      return;
+  }
+}
+
+void ZoneState::substituteOffset(unsigned V, unsigned U, int64_t C) {
+  if (Bot)
+    return;
+  struct Pending {
+    unsigned I, J;
+    I128 C;
+  };
+  std::vector<Pending> Adds;
+  for (unsigned A = 0; A <= N; ++A) {
+    if (A == V)
+      continue;
+    if (at(V, A) < kInf) // (u + c) - a <= b  =>  u - a <= b - c
+      Adds.push_back({U, A, I128(at(V, A)) - C});
+    if (at(A, V) < kInf) // a - (u + c) <= b  =>  a - u <= b + c
+      Adds.push_back({A, U, I128(at(A, V)) + C});
+  }
+  havoc(V);
+  for (const Pending &P : Adds) {
+    addBound(P.I, P.J, clamp128(P.C));
+    if (Bot)
+      return;
+  }
+}
+
+void ZoneState::clampRange(unsigned V, int64_t Lo, int64_t Hi) {
+  addBound(V, 0, Hi);
+  addBound(0, V, clamp128(-I128(Lo)));
+}
+
+bool ZoneState::joinWith(const ZoneState &O, bool Widen) {
+  bool Changed = false;
+  for (size_t I = 0; I < D.size(); ++I) {
+    if (O.D[I] > D[I]) {
+      D[I] = Widen ? kInf : O.D[I];
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+void ZoneState::meetWith(const ZoneState &O) {
+  if (Bot)
+    return;
+  if (O.Bot) {
+    Bot = true;
+    return;
+  }
+  for (size_t I = 0; I < D.size(); ++I)
+    D[I] = std::min(D[I], O.D[I]);
+  close();
+}
+
+void ZoneState::close() {
+  for (unsigned K = 0; K <= N; ++K)
+    for (unsigned A = 0; A <= N; ++A) {
+      int64_t AK = at(A, K);
+      if (AK >= kInf)
+        continue;
+      for (unsigned B = 0; B <= N; ++B) {
+        int64_t KB = at(K, B);
+        if (KB >= kInf)
+          continue;
+        I128 Via = I128(AK) + KB;
+        if (Via < at(A, B)) {
+          if (A == B && Via < 0) {
+            Bot = true;
+            return;
+          }
+          at(A, B) = clamp128(Via);
+        }
+      }
+    }
+  for (unsigned A = 0; A <= N; ++A)
+    if (at(A, A) < 0) {
+      Bot = true;
+      return;
+    }
+}
+
+std::string ZoneState::toString(
+    const std::function<std::string(unsigned)> &NameOf) const {
+  if (Bot)
+    return "bottom";
+  std::ostringstream OS;
+  bool First = true;
+  auto Sep = [&] {
+    if (!First)
+      OS << "; ";
+    First = false;
+  };
+  for (unsigned V = 1; V <= N; ++V) {
+    int64_t Lo = at(0, V), Hi = at(V, 0);
+    if (Lo >= kInf && Hi >= kInf)
+      continue;
+    Sep();
+    OS << NameOf(V) << " in [";
+    if (Lo >= kInf)
+      OS << "-inf";
+    else
+      OS << -Lo;
+    OS << ",";
+    if (Hi >= kInf)
+      OS << "+inf";
+    else
+      OS << Hi;
+    OS << "]";
+  }
+  for (unsigned I = 1; I <= N; ++I)
+    for (unsigned J = 1; J <= N; ++J) {
+      if (I == J || at(I, J) >= kInf)
+        continue;
+      Sep();
+      OS << NameOf(I) << " - " << NameOf(J) << " <= " << at(I, J);
+    }
+  if (First)
+    OS << "top";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// ZoneAnalysis: cell universe
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Walk every sub-expression of \p E.
+template <typename Fn> void forEachExpr(const IRExpr *E, Fn F) {
+  if (!E)
+    return;
+  F(E);
+  switch (E->kind()) {
+  case IRExpr::Kind::Load:
+    forEachExpr(cast<LoadExpr>(E)->address(), F);
+    break;
+  case IRExpr::Kind::Unary:
+    forEachExpr(cast<UnaryIRExpr>(E)->operand(), F);
+    break;
+  case IRExpr::Kind::Binary:
+    forEachExpr(cast<BinaryIRExpr>(E)->lhs(), F);
+    forEachExpr(cast<BinaryIRExpr>(E)->rhs(), F);
+    break;
+  case IRExpr::Kind::Cmp:
+    forEachExpr(cast<CmpExpr>(E)->lhs(), F);
+    forEachExpr(cast<CmpExpr>(E)->rhs(), F);
+    break;
+  case IRExpr::Kind::Cast:
+    forEachExpr(cast<CastIRExpr>(E)->operand(), F);
+    break;
+  default:
+    break;
+  }
+}
+
+/// Walk every expression operand of \p I.
+template <typename Fn> void forEachInstrExpr(const Instr &I, Fn F) {
+  switch (I.kind()) {
+  case Instr::Kind::Store:
+    forEachExpr(cast<StoreInstr>(&I)->address(), F);
+    forEachExpr(cast<StoreInstr>(&I)->value(), F);
+    break;
+  case Instr::Kind::Copy:
+    forEachExpr(cast<CopyInstr>(&I)->dst(), F);
+    forEachExpr(cast<CopyInstr>(&I)->src(), F);
+    break;
+  case Instr::Kind::CondJump:
+    forEachExpr(cast<CondJumpInstr>(&I)->cond(), F);
+    break;
+  case Instr::Kind::Call:
+    for (const auto &A : cast<CallInstr>(&I)->args())
+      forEachExpr(A.get(), F);
+    break;
+  case Instr::Kind::Ret:
+    forEachExpr(cast<RetInstr>(&I)->value(), F);
+    break;
+  default:
+    break;
+  }
+}
+
+/// Accumulates the single ValType all typed accesses of a cell use, or
+/// marks the cell ineligible when accesses disagree.
+struct AccessTag {
+  bool Seen = false;
+  bool Mixed = false;
+  ValType VT;
+
+  void note(ValType T) {
+    if (!Seen) {
+      Seen = true;
+      VT = T;
+    } else if (!(VT == T)) {
+      Mixed = true;
+    }
+  }
+  bool single() const { return Seen && !Mixed; }
+};
+
+} // namespace
+
+void ZoneAnalysis::buildUniverse() {
+  SlotVar.assign(F.Slots.size(), 0);
+  GlobalVar.assign(M.globals().size(), 0);
+  if (!T.PT)
+    return; // no alias layer: no cells (everything stays unknown)
+
+  // Frame slots: alias-trackable (onlyLocallyAliased, width-matched
+  // direct accesses, no Copy operands), scalar-sized, and every typed
+  // access — loads, stores, call-return writes, the implicit parameter
+  // store — at ONE ValType. That type becomes the cell's permanent tag:
+  // whatever raw bytes land in the cell, the value read back at the tag
+  // type is its canonical value, so `cell in vtRange(tag)` is invariant.
+  std::vector<bool> Trackable = aliasTrackableSlots(M, FnIndex, *T.PT);
+  std::vector<AccessTag> SlotTag(F.Slots.size());
+  for (unsigned P = 0; P < F.NumParams && P < F.Slots.size(); ++P)
+    SlotTag[P].note(P < F.ParamVTs.size() ? F.ParamVTs[P]
+                                          : ValType::int32());
+  for (const auto &IP : F.Instrs) {
+    forEachInstrExpr(*IP, [&](const IRExpr *E) {
+      if (const auto *L = dyn_cast<LoadExpr>(E))
+        if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address()))
+          if (FA->slotIndex() < SlotTag.size())
+            SlotTag[FA->slotIndex()].note(L->valType());
+    });
+    if (const auto *St = dyn_cast<StoreInstr>(IP.get())) {
+      if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address()))
+        if (FA->slotIndex() < SlotTag.size())
+          SlotTag[FA->slotIndex()].note(St->valType());
+    } else if (const auto *Ca = dyn_cast<CallInstr>(IP.get())) {
+      if (Ca->destSlot() && *Ca->destSlot() < SlotTag.size())
+        SlotTag[*Ca->destSlot()].note(Ca->retValType());
+    }
+  }
+
+  auto AddCell = [&](bool IsGlobal, unsigned Index, ValType VT) -> bool {
+    if (VarCell.size() >= C.MaxVars)
+      return false;
+    VarCell.push_back({IsGlobal, Index, VT});
+    unsigned V = static_cast<unsigned>(VarCell.size());
+    (IsGlobal ? GlobalVar[Index] : SlotVar[Index]) = V;
+    return true;
+  };
+
+  for (unsigned S = 0; S < F.Slots.size(); ++S) {
+    if (!Trackable[S] || F.Slots[S].SizeBytes > 8)
+      continue;
+    if (!SlotTag[S].single() || SlotTag[S].VT.IsPointer ||
+        SlotTag[S].VT.SizeBytes != F.Slots[S].SizeBytes)
+      continue;
+    if (!AddCell(false, S, SlotTag[S].VT))
+      return;
+  }
+
+  // Globals: never escaped (their address never leaves direct accesses,
+  // so only direct stores and calls can change them), scalar-sized, one
+  // module-wide access type. Writes through computed addresses resolve
+  // via points-to and havoc the cell; callee writes havoc via mayMod.
+  std::vector<AccessTag> GlobalTag(M.globals().size());
+  std::vector<bool> UsedHere(M.globals().size(), false);
+  for (const auto &FnP : M.functions()) {
+    for (const auto &IP : FnP->Instrs) {
+      forEachInstrExpr(*IP, [&](const IRExpr *E) {
+        if (const auto *L = dyn_cast<LoadExpr>(E))
+          if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address())) {
+            GlobalTag[GA->globalIndex()].note(L->valType());
+            if (FnP.get() == &F)
+              UsedHere[GA->globalIndex()] = true;
+          }
+      });
+      if (const auto *St = dyn_cast<StoreInstr>(IP.get()))
+        if (const auto *GA = dyn_cast<GlobalAddrExpr>(St->address())) {
+          GlobalTag[GA->globalIndex()].note(St->valType());
+          if (FnP.get() == &F)
+            UsedHere[GA->globalIndex()] = true;
+        }
+    }
+  }
+  for (unsigned G = 0; G < M.globals().size(); ++G) {
+    uint64_t Sz = M.globals()[G].SizeBytes;
+    if (!UsedHere[G] || T.GlobalEscaped[G])
+      continue;
+    if (Sz != 1 && Sz != 2 && Sz != 4 && Sz != 8)
+      continue;
+    if (!GlobalTag[G].single() || GlobalTag[G].VT.IsPointer ||
+        GlobalTag[G].VT.SizeBytes != Sz)
+      continue;
+    if (!AddCell(true, G, GlobalTag[G].VT))
+      return;
+  }
+}
+
+ZoneAnalysis::ZoneAnalysis(const IRModule &M, const Cfg &G,
+                           const TaintResult &T, unsigned FnIndex, Config C)
+    : M(M), G(G), T(T), FnIndex(FnIndex), C(C), F(G.function()) {
+  buildUniverse();
+}
+
+std::string ZoneAnalysis::varName(unsigned V) const {
+  const Cell &Ce = VarCell[V - 1];
+  if (Ce.IsGlobal)
+    return M.globals()[Ce.Index].Name;
+  const std::string &N = F.Slots[Ce.Index].Name;
+  if (!N.empty())
+    return N;
+  return "slot#" + std::to_string(Ce.Index);
+}
+
+std::string ZoneAnalysis::describe(const ZoneState &Z) const {
+  return Z.toString([this](unsigned V) { return varName(V); });
+}
+
+ZoneState ZoneAnalysis::entryState() const {
+  ZoneState Z = ZoneState::top(numVars());
+  for (unsigned V = 1; V <= numVars(); ++V) {
+    const Cell &Ce = VarCell[V - 1];
+    int64_t Lo, Hi;
+    vtRange(Ce.VT, Lo, Hi);
+    if (Ce.IsGlobal && C.GlobalsAtInit &&
+        !M.globals()[Ce.Index].IsExternInput) {
+      // Campaign entry: every run starts from the global's initial image
+      // (extern-input globals are fresh inputs — full type range).
+      int64_t Init = decodeGlobalInit(M.globals()[Ce.Index], Ce.VT);
+      Z.clampRange(V, Init, Init);
+    } else {
+      Z.clampRange(V, Lo, Hi);
+    }
+  }
+  return Z;
+}
+
+//===----------------------------------------------------------------------===//
+// ZoneAnalysis: expression evaluation
+//===----------------------------------------------------------------------===//
+
+std::optional<ZoneAnalysis::Atom>
+ZoneAnalysis::matchAtom(const ZoneState &Z, const IRExpr *E) const {
+  switch (E->kind()) {
+  case IRExpr::Kind::Const:
+    return Atom{0, cast<ConstExpr>(E)->value()};
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    unsigned V = 0;
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address()))
+      V = varOfSlot(FA->slotIndex());
+    else if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address()))
+      V = varOfGlobal(GA->globalIndex());
+    if (V && varType(V) == L->valType())
+      return Atom{V, 0};
+    return std::nullopt;
+  }
+  case IRExpr::Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(E);
+    if (B->op() != IRBinOp::Add && B->op() != IRBinOp::Sub)
+      return std::nullopt;
+    const IRExpr *Var = B->lhs(), *Cst = B->rhs();
+    if (B->op() == IRBinOp::Add && isa<ConstExpr>(Var))
+      std::swap(Var, Cst);
+    const auto *CE = dyn_cast<ConstExpr>(Cst);
+    if (!CE)
+      return std::nullopt;
+    // The variable operand's value must be its canonical value at the
+    // result type (else the implicit conversion could rewrap it).
+    if (!(Var->valType() == E->valType()))
+      return std::nullopt;
+    auto A = matchAtom(Z, Var);
+    if (!A)
+      return std::nullopt;
+    I128 Off = I128(A->Off) +
+               (B->op() == IRBinOp::Add ? I128(CE->value())
+                                        : -I128(CE->value()));
+    // Wrap check: the ideal result over the variable's whole current
+    // range must fit the result type, else the machine may canonicalize.
+    Interval VI = Z.varInterval(A->Var);
+    int64_t Lo, Hi;
+    vtRange(E->valType(), Lo, Hi);
+    if (I128(VI.Lo) + Off < Lo || I128(VI.Hi) + Off > Hi)
+      return std::nullopt;
+    return Atom{A->Var, static_cast<int64_t>(Off)};
+  }
+  case IRExpr::Kind::Cast: {
+    auto A = matchAtom(Z, cast<CastIRExpr>(E)->operand());
+    if (!A)
+      return std::nullopt;
+    // Identity cast: the operand's whole value range fits the target
+    // type, so canonicalization is a no-op.
+    Interval VI = Z.varInterval(A->Var);
+    int64_t Lo, Hi;
+    vtRange(E->valType(), Lo, Hi);
+    if (I128(VI.Lo) + A->Off < Lo || I128(VI.Hi) + A->Off > Hi)
+      return std::nullopt;
+    if (E->valType().IsPointer)
+      return std::nullopt;
+    return A;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+Interval ZoneAnalysis::evalInterval(const ZoneState &Z,
+                                    const IRExpr *E) const {
+  ValType VT = E->valType();
+  switch (E->kind()) {
+  case IRExpr::Kind::Const: {
+    int64_t V = cast<ConstExpr>(E)->value();
+    return {V, V, false};
+  }
+  case IRExpr::Kind::FrameAddr:
+  case IRExpr::Kind::GlobalAddr:
+    return fullRange(VT, false);
+  case IRExpr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(L->address())) {
+      unsigned V = varOfSlot(FA->slotIndex());
+      if (V && varType(V) == VT)
+        return Z.varInterval(V);
+      return fullRange(VT, false);
+    }
+    if (const auto *GA = dyn_cast<GlobalAddrExpr>(L->address())) {
+      unsigned V = varOfGlobal(GA->globalIndex());
+      if (V && varType(V) == VT)
+        return Z.varInterval(V);
+      const IRGlobal &Gl = M.globals()[GA->globalIndex()];
+      bool Pure = !T.GlobalStored[GA->globalIndex()] &&
+                  !T.GlobalEscaped[GA->globalIndex()];
+      if (Pure && Gl.SizeBytes == VT.SizeBytes && !VT.IsPointer) {
+        if (Gl.IsExternInput)
+          return fullRange(VT, false);
+        int64_t V2 = decodeGlobalInit(Gl, VT);
+        return {V2, V2, false};
+      }
+      return fullRange(VT, false);
+    }
+    return fullRange(VT, false);
+  }
+  case IRExpr::Kind::Unary: {
+    const auto *U = cast<UnaryIRExpr>(E);
+    return applyUnaryInterval(U->op(), evalInterval(Z, U->operand()), VT);
+  }
+  case IRExpr::Kind::Binary: {
+    const auto *B = cast<BinaryIRExpr>(E);
+    return applyBinaryInterval(B->op(), evalInterval(Z, B->lhs()),
+                               evalInterval(Z, B->rhs()), VT);
+  }
+  case IRExpr::Kind::Cmp: {
+    const auto *Cm = cast<CmpExpr>(E);
+    return applyCmpInterval(Cm->pred(), evalInterval(Z, Cm->lhs()),
+                            evalInterval(Z, Cm->rhs()),
+                            Cm->operandValType());
+  }
+  case IRExpr::Kind::Cast:
+    return applyCastInterval(
+        evalInterval(Z, cast<CastIRExpr>(E)->operand()), VT);
+  }
+  return fullRange(VT, false);
+}
+
+//===----------------------------------------------------------------------===//
+// ZoneAnalysis: transfer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Havoc a cell while keeping its type-range invariant: whatever bytes a
+/// write put there, the value read back at the tag type is canonical.
+void havocToTypeRange(ZoneState &Z, unsigned V, ValType VT) {
+  Z.havoc(V);
+  int64_t Lo, Hi;
+  vtRange(VT, Lo, Hi);
+  Z.clampRange(V, Lo, Hi);
+}
+
+} // namespace
+
+void ZoneAnalysis::transferInstr(ZoneState &Z, const Instr &I) const {
+  if (Z.isBottom() || numVars() == 0)
+    return;
+  switch (I.kind()) {
+  case Instr::Kind::Store: {
+    const auto *St = cast<StoreInstr>(&I);
+    unsigned V = 0;
+    if (const auto *FA = dyn_cast<FrameAddrExpr>(St->address()))
+      V = varOfSlot(FA->slotIndex());
+    else if (const auto *GA = dyn_cast<GlobalAddrExpr>(St->address()))
+      V = varOfGlobal(GA->globalIndex());
+    else {
+      // Computed store: kill every may-aliased cell. (An empty target
+      // set means the VM traps — no cell changes.)
+      if (T.PT)
+        for (unsigned O : T.PT->addressTargets(FnIndex, St->address())) {
+          unsigned W = 0;
+          if (T.PT->kindOf(O) == PointsToResult::LocKind::Slot &&
+              T.PT->ownerFn(O) == FnIndex)
+            W = varOfSlot(T.PT->slotIndexOf(O));
+          else if (T.PT->kindOf(O) == PointsToResult::LocKind::Global)
+            W = varOfGlobal(T.PT->globalIndexOf(O));
+          if (W)
+            havocToTypeRange(Z, W, varType(W));
+        }
+      return;
+    }
+    if (!V)
+      return;
+    if (!(St->valType() == varType(V))) { // single-access-VT should hold
+      havocToTypeRange(Z, V, varType(V));
+      return;
+    }
+    if (auto A = matchAtom(Z, St->value())) {
+      if (A->Var == V)
+        Z.shiftVar(V, A->Off);
+      else if (A->Var == 0)
+        Z.assignConst(V, A->Off);
+      else
+        Z.assignOffset(V, A->Var, A->Off);
+      return;
+    }
+    Interval VI = evalInterval(Z, St->value());
+    Z.havoc(V);
+    Z.clampRange(V, VI.Lo, VI.Hi);
+    return;
+  }
+  case Instr::Kind::Copy: {
+    const auto *Cp = cast<CopyInstr>(&I);
+    if (T.PT)
+      for (unsigned O : T.PT->addressTargets(FnIndex, Cp->dst())) {
+        unsigned W = 0;
+        if (T.PT->kindOf(O) == PointsToResult::LocKind::Slot &&
+            T.PT->ownerFn(O) == FnIndex)
+          W = varOfSlot(T.PT->slotIndexOf(O));
+        else if (T.PT->kindOf(O) == PointsToResult::LocKind::Global)
+          W = varOfGlobal(T.PT->globalIndexOf(O));
+        if (W)
+          havocToTypeRange(Z, W, varType(W));
+      }
+    return;
+  }
+  case Instr::Kind::Call: {
+    const auto *Ca = cast<CallInstr>(&I);
+    if (T.PT) {
+      unsigned Callee = T.PT->callGraph().indexOf(Ca->callee());
+      if (Callee != CallGraph::kExternal) {
+        // An internal callee may write tracked cells only through the
+        // may-mod relation (tracked slots are only locally aliased,
+        // tracked globals never escape, so external/native callees
+        // cannot touch them at all).
+        for (unsigned V = 1; V <= numVars(); ++V) {
+          const Cell &Ce = VarCell[V - 1];
+          unsigned Loc = Ce.IsGlobal
+                             ? T.PT->globalLoc(Ce.Index)
+                             : T.PT->slotLoc(FnIndex, Ce.Index);
+          if (T.PT->mayMod(Callee, Loc))
+            havocToTypeRange(Z, V, Ce.VT);
+        }
+      }
+    }
+    if (Ca->destSlot()) {
+      unsigned V = varOfSlot(*Ca->destSlot());
+      if (V)
+        havocToTypeRange(Z, V, varType(V));
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ZoneAnalysis: branch refinement
+//===----------------------------------------------------------------------===//
+
+bool ZoneAnalysis::refineByCond(ZoneState &Z, const IRExpr *Cond,
+                                bool Dir) const {
+  if (Z.isBottom())
+    return true;
+  // Shared last resort for zone-inexpressible conditions (e.g. a
+  // non-convex Ne over singleton ranges): the whole condition's interval
+  // may still *decide* the direction.
+  auto Fallback = [&]() -> bool {
+    Interval CI = evalInterval(Z, Cond);
+    if (Dir && !CI.canBeNonzero()) {
+      Z.addBound(0, 0, -1);
+      return true;
+    }
+    if (!Dir && !CI.canBeZero()) {
+      Z.addBound(0, 0, -1);
+      return true;
+    }
+    return false;
+  };
+  if (const auto *Cm = dyn_cast<CmpExpr>(Cond)) {
+    ValType OpVT = Cm->operandValType();
+    bool Orderable =
+        OpVT.SizeBytes < 8 || (OpVT.Signed && !OpVT.IsPointer);
+    CmpPred P = Dir ? Cm->pred() : negateCmpPred(Cm->pred());
+    std::optional<Atom> LA, RA;
+    if (Cm->lhs()->valType() == OpVT)
+      LA = matchAtom(Z, Cm->lhs());
+    if (Cm->rhs()->valType() == OpVT)
+      RA = matchAtom(Z, Cm->rhs());
+    // One-sided fallback: a non-atom side contributes its interval
+    // corner (a *necessary* consequence of the comparison).
+    if (LA && !RA) {
+      Interval RI = evalInterval(Z, Cm->rhs());
+      RA = Atom{0, 0};
+      // encode the corner below via a pseudo-const pair per predicate
+      switch (P) {
+      case CmpPred::Lt:
+      case CmpPred::Le:
+      case CmpPred::Eq:
+        RA->Off = RI.Hi; // va <= rhs <= RI.Hi side; Ge/Gt handled sym.
+        break;
+      default:
+        RA->Off = RI.Lo;
+        break;
+      }
+      if (P == CmpPred::Ne)
+        return Fallback();
+      // For Eq we may add both sides; redo with exact corners:
+      if (P == CmpPred::Eq) {
+        bool Added = false;
+        I128 Hi = I128(RI.Hi) - LA->Off, Lo = I128(RI.Lo) - LA->Off;
+        Z.addBound(LA->Var, 0, clamp128(Hi));
+        Z.addBound(0, LA->Var, clamp128(-Lo));
+        Added = true;
+        return Added;
+      }
+    } else if (!LA && RA) {
+      Interval LI = evalInterval(Z, Cm->lhs());
+      LA = Atom{0, 0};
+      switch (P) {
+      case CmpPred::Gt:
+      case CmpPred::Ge:
+      case CmpPred::Eq:
+        LA->Off = LI.Hi;
+        break;
+      default:
+        LA->Off = LI.Lo;
+        break;
+      }
+      if (P == CmpPred::Ne)
+        return Fallback();
+      if (P == CmpPred::Eq) {
+        I128 Hi = I128(LI.Hi) - RA->Off, Lo = I128(LI.Lo) - RA->Off;
+        Z.addBound(RA->Var, 0, clamp128(Hi));
+        Z.addBound(0, RA->Var, clamp128(-Lo));
+        return true;
+      }
+    }
+    if (!LA || !RA)
+      return Fallback();
+    unsigned A = LA->Var, B = RA->Var;
+    I128 CA = LA->Off, CB = RA->Off;
+    switch (P) {
+    case CmpPred::Eq:
+      Z.addBound(A, B, clamp128(CB - CA));
+      Z.addBound(B, A, clamp128(CA - CB));
+      return true;
+    case CmpPred::Ne:
+      if (A == 0 && B == 0) { // constant condition: decide it
+        if (CA == CB)
+          Z.addBound(0, 0, -1); // contradiction -> bottom
+        return true;
+      }
+      return Fallback(); // not convex
+    case CmpPred::Lt:
+      if (!Orderable)
+        return Fallback();
+      Z.addBound(A, B, clamp128(CB - CA - 1));
+      return true;
+    case CmpPred::Le:
+      if (!Orderable)
+        return Fallback();
+      Z.addBound(A, B, clamp128(CB - CA));
+      return true;
+    case CmpPred::Gt:
+      if (!Orderable)
+        return Fallback();
+      Z.addBound(B, A, clamp128(CA - CB - 1));
+      return true;
+    case CmpPred::Ge:
+      if (!Orderable)
+        return Fallback();
+      Z.addBound(B, A, clamp128(CA - CB));
+      return true;
+    }
+    return Fallback();
+  }
+  // Raw truth test: `if (e)`.
+  if (auto A = matchAtom(Z, Cond)) {
+    if (A->Var == 0) { // constant: decide
+      bool Truth = A->Off != 0;
+      if (Truth != Dir)
+        Z.addBound(0, 0, -1);
+      return true;
+    }
+    I128 Val = -I128(A->Off); // e == 0  <=>  var == -Off
+    if (!Dir) {
+      Z.addBound(A->Var, 0, clamp128(Val));
+      Z.addBound(0, A->Var, clamp128(-Val));
+      return true;
+    }
+    // var != -Off: convex only at an interval boundary.
+    Interval VI = Z.varInterval(A->Var);
+    if (Val < VI.Lo || Val > VI.Hi)
+      return true; // already nonzero: condition adds nothing
+    if (I128(VI.Lo) == Val) {
+      Z.addBound(0, A->Var, clamp128(-(Val + 1)));
+      return true;
+    }
+    if (I128(VI.Hi) == Val) {
+      Z.addBound(A->Var, 0, clamp128(Val - 1));
+      return true;
+    }
+    return Fallback();
+  }
+  return Fallback();
+}
+
+//===----------------------------------------------------------------------===//
+// ZoneAnalysis: fixpoint
+//===----------------------------------------------------------------------===//
+
+void ZoneAnalysis::flowOut(unsigned B, const ZoneState &ExitState,
+                           std::vector<std::optional<ZoneState>> &PerSucc)
+    const {
+  const BasicBlock &BB = G.block(B);
+  PerSucc.assign(BB.Succs.size(), std::nullopt);
+  const Instr &Last = *F.Instrs[BB.End - 1];
+  if (const auto *CJ = dyn_cast<CondJumpInstr>(&Last)) {
+    unsigned N = static_cast<unsigned>(F.Instrs.size());
+    unsigned TrueBlock =
+        CJ->trueTarget() < N ? G.blockOf(CJ->trueTarget()) : Cfg::kUnset;
+    unsigned FalseBlock =
+        CJ->falseTarget() < N ? G.blockOf(CJ->falseTarget()) : Cfg::kUnset;
+    for (size_t J = 0; J < BB.Succs.size(); ++J) {
+      bool IsTrue = BB.Succs[J] == TrueBlock;
+      bool IsFalse = BB.Succs[J] == FalseBlock;
+      if (!IsTrue && !IsFalse)
+        continue;
+      ZoneState Z = ExitState;
+      if (IsTrue != IsFalse) // both-directions edge: no refinement
+        refineByCond(Z, CJ->cond(), IsTrue);
+      if (!Z.isBottom())
+        PerSucc[J] = std::move(Z);
+    }
+    return;
+  }
+  for (size_t J = 0; J < BB.Succs.size(); ++J)
+    PerSucc[J] = ExitState;
+}
+
+void ZoneAnalysis::run() {
+  unsigned N = G.numBlocks();
+  In.assign(N, std::nullopt);
+  Visits.assign(N, 0);
+  if (N == 0)
+    return;
+  In[G.entry()] = entryState();
+
+  std::deque<unsigned> Worklist{G.entry()};
+  std::vector<bool> InList(N, false);
+  InList[G.entry()] = true;
+  std::vector<std::optional<ZoneState>> PerSucc;
+  while (!Worklist.empty()) {
+    unsigned B = Worklist.front();
+    Worklist.pop_front();
+    InList[B] = false;
+    if (++Visits[B] > C.MaxBlockVisits) {
+      Ok = false;
+      return;
+    }
+    ZoneState S = *In[B];
+    const BasicBlock &BB = G.block(B);
+    for (unsigned I = BB.Begin; I < BB.End; ++I) {
+      transferInstr(S, *F.Instrs[I]);
+      if (S.isBottom())
+        break;
+    }
+    if (S.isBottom())
+      continue;
+    flowOut(B, S, PerSucc);
+    for (size_t J = 0; J < BB.Succs.size(); ++J) {
+      if (!PerSucc[J])
+        continue;
+      unsigned Succ = BB.Succs[J];
+      bool Changed;
+      if (!In[Succ]) {
+        In[Succ] = std::move(*PerSucc[J]);
+        Changed = true;
+      } else {
+        bool Widen = Visits[Succ] >= C.WidenAfter;
+        Changed = In[Succ]->joinWith(*PerSucc[J], Widen);
+      }
+      if (Changed && !InList[Succ]) {
+        Worklist.push_back(Succ);
+        InList[Succ] = true;
+      }
+    }
+  }
+}
+
+bool ZoneAnalysis::blockReachable(unsigned B) const {
+  return !Ok || In[B].has_value();
+}
+
+bool ZoneAnalysis::instrReachable(unsigned InstrIndex) const {
+  return blockReachable(G.blockOf(InstrIndex));
+}
+
+std::optional<ZoneState>
+ZoneAnalysis::stateBefore(unsigned InstrIndex) const {
+  unsigned B = G.blockOf(InstrIndex);
+  if (!Ok || !In[B])
+    return std::nullopt;
+  ZoneState S = *In[B];
+  for (unsigned I = G.block(B).Begin; I < InstrIndex; ++I) {
+    transferInstr(S, *F.Instrs[I]);
+    if (S.isBottom())
+      break;
+  }
+  return S;
+}

@@ -1,0 +1,225 @@
+//===- Zone.h - Relational zone (DBM) domain over the IR --------*- C++ -*-===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A relational zone domain (difference-bound matrices) layered on the
+/// interval framework: per function, a small universe of *cells* — alias-
+/// trackable frame slots plus never-escaped scalar globals — and a matrix
+/// of bounds `cell_i - cell_j <= c` over their canonical int64 values,
+/// with a pseudo-variable fixed at zero so row/column 0 carry the plain
+/// interval bounds.
+///
+/// Unlike IntervalAnalysis (deliberately path-insensitive: its facts back
+/// the solver-traffic pruning argument), ZoneAnalysis refines state along
+/// CondJump edges, so facts here are *machine-semantics* truths about the
+/// paths that reach a point. They are sound for reachability verdicts and
+/// for the verifier's infeasibility proofs (Verify.h), but must never
+/// feed StaticSummary::PrunedSites — path-dependent proofs do not
+/// transfer to the solver's ideal-integer theory the way the monovalent+
+/// Exact argument does.
+///
+/// Soundness discipline, shared with Interval.h: every relational fact is
+/// recorded only when the producing operation is wrap-free over the
+/// current bounds (checked against vtRange), and every approximation only
+/// *weakens* bounds — finite bounds are clamped toward +inf, never
+/// tightened. Matrices are kept transitively closed by incremental
+/// closure so consistency (no negative cycle) is always decidable by a
+/// diagonal check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DART_ANALYSIS_ZONE_H
+#define DART_ANALYSIS_ZONE_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Interval.h"
+#include "analysis/Taint.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// One difference-bound matrix. Indices run 0..numVars(): index 0 is the
+/// constant-zero pseudo-variable, 1..N the tracked cells (ZoneAnalysis
+/// owns the cell mapping). Entry (I,J) bounds `V_I - V_J <= c`.
+class ZoneState {
+public:
+  /// +infinity sentinel. Finite bounds live in (-kInf, kInf) so three
+  /// bounds always add without int64 overflow; clamping a computed bound
+  /// into that window only ever weakens it (a larger upper bound), which
+  /// is sound.
+  static constexpr int64_t kInf = INT64_MAX / 4;
+
+  ZoneState() = default;
+  /// The no-information state over \p NumVars cells.
+  static ZoneState top(unsigned NumVars);
+
+  bool isBottom() const { return Bot; }
+  unsigned numVars() const { return N; }
+  int64_t bound(unsigned I, unsigned J) const { return at(I, J); }
+
+  /// Add `V_I - V_J <= C` and restore transitive closure incrementally
+  /// (O(n^2)); detects inconsistency (sets bottom).
+  void addBound(unsigned I, unsigned J, int64_t C);
+  /// Interval projection of cell \p V (1-based): [-D[0][V], D[V][0]].
+  Interval varInterval(unsigned V) const;
+  /// Forget everything about \p V (closure is preserved).
+  void havoc(unsigned V);
+  /// Forward assignments: v := c, v := u + c (u != v), v := v + c.
+  void assignConst(unsigned V, int64_t C);
+  void assignOffset(unsigned V, unsigned U, int64_t C);
+  void shiftVar(unsigned V, int64_t C);
+  /// Backward (weakest-precondition) substitutions: rewrite a necessary
+  /// condition that holds *after* `v := c` / `v := u + c` into one that
+  /// holds before (constraints on v are transferred to the source, then
+  /// v is forgotten). U must differ from V; `v := v + c` is shiftVar
+  /// with -C.
+  void substituteConst(unsigned V, int64_t C);
+  void substituteOffset(unsigned V, unsigned U, int64_t C);
+  /// Clamp cell \p V into [Lo, Hi].
+  void clampRange(unsigned V, int64_t Lo, int64_t Hi);
+
+  /// Pointwise max (convex-hull join). Both sides must be non-bottom
+  /// over the same universe. Returns true when this state changed. With
+  /// \p Widen, every grown entry jumps straight to +inf (termination);
+  /// the result may then be weaker than closed, which is sound.
+  bool joinWith(const ZoneState &O, bool Widen);
+  /// Pointwise min + full re-closure (may set bottom).
+  void meetWith(const ZoneState &O);
+
+  /// Render the non-trivial constraints; \p NameOf maps 1-based cell
+  /// indices to names.
+  std::string toString(const std::function<std::string(unsigned)> &NameOf)
+      const;
+
+private:
+  int64_t &at(unsigned I, unsigned J) { return D[I * (N + 1) + J]; }
+  int64_t at(unsigned I, unsigned J) const { return D[I * (N + 1) + J]; }
+  /// Clamp a computed bound into the representable window (weakening).
+  static int64_t clampBound(int64_t C) {
+    if (C >= kInf)
+      return kInf;
+    if (C <= -kInf)
+      return -kInf + 1;
+    return C;
+  }
+  void close();
+
+  unsigned N = 0;
+  bool Bot = false;
+  std::vector<int64_t> D;
+};
+
+/// Forward zone fixpoint over one function's CFG, with path-sensitive
+/// edge refinement. Shares the taint/alias layer (and the wrap-around
+/// interval combinators) with IntervalAnalysis.
+class ZoneAnalysis {
+public:
+  struct Config {
+    /// Cell-universe cap: matrix work is O(MaxVars^2) per constraint.
+    unsigned MaxVars = 24;
+    /// Widen a grown bound to +inf after this many visits (loop heads).
+    unsigned WidenAfter = 6;
+    /// Give up (conservatively: everything reachable, states unknown) if
+    /// any block is visited this many times.
+    unsigned MaxBlockVisits = 48;
+    /// Pin non-extern-input global cells to their initial image at the
+    /// function entry. Only sound for a campaign toplevel the generated
+    /// driver is the sole caller of: each run starts from fresh memory.
+    bool GlobalsAtInit = false;
+  };
+
+  /// An expression that provably equals `value(Var) + Off` (Var == 0:
+  /// the constant Off) wrap-free under the current state.
+  struct Atom {
+    unsigned Var = 0;
+    int64_t Off = 0;
+  };
+
+  ZoneAnalysis(const IRModule &M, const Cfg &G, const TaintResult &T,
+               unsigned FnIndex, Config C);
+
+  void run();
+  bool converged() const { return Ok; }
+
+  unsigned numVars() const { return static_cast<unsigned>(VarCell.size()); }
+  /// 1-based cell index of a slot/global, or 0 when untracked.
+  unsigned varOfSlot(unsigned S) const {
+    return S < SlotVar.size() ? SlotVar[S] : 0;
+  }
+  unsigned varOfGlobal(unsigned G) const {
+    return G < GlobalVar.size() ? GlobalVar[G] : 0;
+  }
+  /// The single ValType every access of this cell uses.
+  ValType varType(unsigned V) const { return VarCell[V - 1].VT; }
+  std::string varName(unsigned V) const;
+
+  /// Is there a statically feasible path from the entry to \p B?
+  /// (Conservative true when the fixpoint did not converge.)
+  bool blockReachable(unsigned B) const;
+  bool instrReachable(unsigned InstrIndex) const;
+
+  /// Fixpoint state at block entry (nullopt: unreached or no fixpoint).
+  const std::optional<ZoneState> &inState(unsigned B) const { return In[B]; }
+  /// State just before \p InstrIndex (walks the block prefix).
+  std::optional<ZoneState> stateBefore(unsigned InstrIndex) const;
+
+  /// Apply \p I's effect on \p Z (public so the verifier can walk block
+  /// prefixes).
+  void transferInstr(ZoneState &Z, const Instr &I) const;
+  /// Refine \p Z with "Cond evaluates in direction \p Dir" (Dir true =
+  /// nonzero). Returns true when at least one constraint was added (the
+  /// condition was zone-expressible); on contradiction \p Z is bottom.
+  bool refineByCond(ZoneState &Z, const IRExpr *Cond, bool Dir) const;
+  /// Interval of \p E under \p Z, through the shared wrap-aware
+  /// combinators (leaf loads of tracked cells project the zone).
+  Interval evalInterval(const ZoneState &Z, const IRExpr *E) const;
+  /// Atom decomposition of \p E under \p Z (see Atom).
+  std::optional<Atom> matchAtom(const ZoneState &Z, const IRExpr *E) const;
+
+  const Cfg &cfg() const { return G; }
+  const IRFunction &function() const { return F; }
+  std::string describe(const ZoneState &Z) const;
+
+  /// The state the fixpoint starts from: top, every cell clamped to its
+  /// type range (public so the verifier can test "consistent at the
+  /// campaign entry").
+  ZoneState entryState() const;
+
+private:
+  struct Cell {
+    bool IsGlobal = false;
+    unsigned Index = 0; ///< slot index or global index
+    ValType VT;
+  };
+
+  const IRModule &M;
+  const Cfg &G;
+  const TaintResult &T;
+  unsigned FnIndex;
+  Config C;
+  const IRFunction &F;
+  std::vector<Cell> VarCell;        ///< cell universe, 1-based via +1
+  std::vector<unsigned> SlotVar;    ///< slot -> var (0 = none)
+  std::vector<unsigned> GlobalVar;  ///< global -> var (0 = none)
+  bool Ok = true;
+  std::vector<std::optional<ZoneState>> In;
+  std::vector<unsigned> Visits;
+
+  void buildUniverse();
+  /// The states this block hands to each CFG successor (refined along
+  /// CondJump edges); nullopt = infeasible edge.
+  void flowOut(unsigned B, const ZoneState &ExitState,
+               std::vector<std::optional<ZoneState>> &PerSucc) const;
+};
+
+} // namespace dart
+
+#endif // DART_ANALYSIS_ZONE_H

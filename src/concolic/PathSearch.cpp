@@ -258,6 +258,10 @@ SolveOutcome makeOutcome(const PathData &Path, size_t J,
   // Done stays false: compare_and_update_stack sets it when the next run
   // actually reaches this conditional (Fig. 4).
   Outcome.NextStack[J].Done = false;
+  // The flipped direction's coverage bit: the original record took
+  // Branch, the next run aims at its negation.
+  Outcome.TargetBit =
+      2 * uint32_t(Path.Stack[J].SiteId) + (Path.Stack[J].Branch ? 0 : 1);
   return Outcome;
 }
 

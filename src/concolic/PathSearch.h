@@ -97,6 +97,9 @@ private:
   Rng SampleRng;
 };
 
+/// Sentinel for SolveOutcome::TargetBit.
+constexpr uint32_t kNoTargetBit = ~uint32_t(0);
+
 /// Outcome of solve_path_constraint.
 struct SolveOutcome {
   /// True if a flippable branch with a satisfiable negation was found.
@@ -114,6 +117,11 @@ struct SolveOutcome {
   /// See CandidateSet::TheoryMisled (propagated so the sequential engine
   /// can clear `all_linear` when a doomed flip was dropped).
   bool TheoryMisled = false;
+  /// Coverage bit `2*site + direction` the flipped branch aims at (the
+  /// direction the *next* run is predicted to take), or kNoTargetBit.
+  /// Lets the engine attribute newly covered directions to the solver
+  /// query that targeted them (verifier witnesses).
+  uint32_t TargetBit = kNoTargetBit;
 };
 
 /// Fig. 5. \p Arena is the arena the path's constraint ids live in. \p Hint

@@ -161,6 +161,20 @@ DartReport DartEngine::run() {
     if (Summary->Dependence)
       Report.Dependence = Summary->Dependence->Stats;
   }
+  // Prove-or-test verifier: remove proved-infeasible directions from the
+  // coverable universe before the search. Proofs never touch PrunedSites
+  // (see Zone.h) — the solver still sees every branch; only the coverage
+  // accounting and the distance targets sharpen.
+  std::optional<BranchProofs> Proofs;
+  if (Summary && Options.Verify) {
+    Proofs = proveBranchDirections(*Program.Module, Options.ToplevelName,
+                                   *Summary, Options.Depth == 1);
+    applyBranchProofs(*Summary, *Proofs);
+    Report.Verify = Proofs->Stats;
+    Report.DirsProvedInfeasible = Proofs->ProvedCount;
+  }
+  if (Summary)
+    Report.CoverableDirsTotal = Summary->CoverableCount;
   // Portfolio is a parallel-engine concept (per-worker strategy
   // assignment); at jobs 1 there is one worker and it runs the paper's
   // depth-first search, byte-identical with `--strategy dfs`.
@@ -212,6 +226,9 @@ DartReport DartEngine::run() {
   std::vector<bool> Covered(2 * size_t(Report.BranchSitesTotal), false);
   unsigned CoveredCount = 0;
   unsigned CoverableCovered = 0;
+  // Coverage bit the most recent solver model aimed at (attributes fresh
+  // coverage to the query that targeted it; witnesses only).
+  uint32_t LastTargetBit = kNoTargetBit;
   auto MergeCoverage = [&](const std::vector<bool> &Bits) {
     if (Bits.size() > Covered.size())
       Covered.resize(Bits.size(), false);
@@ -222,6 +239,16 @@ DartReport DartEngine::run() {
         if (Summary && I < Summary->CoverableDirs.size() &&
             Summary->CoverableDirs[I])
           ++CoverableCovered;
+        if (Options.CaptureWitnesses) {
+          DirectionWitness W;
+          W.Bit = uint32_t(I);
+          W.Run = Report.Runs;
+          W.Directed = uint32_t(I) == LastTargetBit;
+          for (InputId Id = 0; Id < Inputs.inputsThisRun(); ++Id)
+            if (const int64_t *V = Inputs.lookup(Id))
+              W.Inputs.emplace_back(Inputs.registry()[Id].Name, *V);
+          Report.Witnesses.push_back(std::move(W));
+        }
       }
   };
 
@@ -266,6 +293,7 @@ DartReport DartEngine::run() {
     // Outer loop of Fig. 2: fresh random search state.
     Inputs.reset();
     Resume.reset();
+    LastTargetBit = kNoTargetBit;
     std::vector<BranchRecord> PredictedStack;
     if (Report.Runs > 0)
       ++Report.Restarts;
@@ -405,8 +433,19 @@ DartReport DartEngine::run() {
       const std::vector<uint32_t> *PriorityPtr = nullptr;
       if (DistTracker) {
         // Fold this run's coverage delta in: O(1) per fresh bit, full
-        // BFS only when the delta saturated a whole site.
-        DistTracker->sync(Covered);
+        // BFS only when the delta saturated a whole site. Directions the
+        // verifier proved infeasible count as covered here: they are not
+        // targets, so distance-directed effort goes to UNKNOWN sites.
+        if (Proofs && Proofs->ProvedCount) {
+          std::vector<bool> Union = Covered;
+          for (size_t I = 0;
+               I < Proofs->ProvedDirs.size() && I < Union.size(); ++I)
+            if (Proofs->ProvedDirs[I])
+              Union[I] = true;
+          DistTracker->sync(Union);
+        } else {
+          DistTracker->sync(Covered);
+        }
         PriorityPtr = &DistTracker->priorities();
       }
       if (Sampler)
@@ -439,6 +478,7 @@ DartReport DartEngine::run() {
         }
         Inputs.applyModel(Outcome.Model);
         PredictedStack = std::move(Outcome.NextStack);
+        LastTargetBit = Outcome.TargetBit;
       } else {
         // Directed search exhausted.
         Directed = false;
@@ -458,6 +498,11 @@ DartReport DartEngine::run() {
 
   Report.FinalFlags = GlobalFlags;
   Report.BranchDirectionsCovered = CoveredCount;
+  Report.CoverableCovered = CoverableCovered;
+  // Branch-coverage completeness certificate: every direction the
+  // prover could not exclude was dynamically covered.
+  Report.CoverageCertified =
+      Summary && CoverableCovered >= Summary->CoverableCount;
   Report.Coverage = std::move(Covered);
   Report.Solver = Solver.stats();
   Report.Arena = Arena.stats();

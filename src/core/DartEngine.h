@@ -18,6 +18,7 @@
 
 #include "analysis/Dependence.h"
 #include "analysis/PointsTo.h"
+#include "analysis/Verify.h"
 #include "concolic/Checkpoint.h"
 #include "concolic/PathSearch.h"
 #include "core/Interface.h"
@@ -82,6 +83,19 @@ struct DartOptions {
   /// interpreter on unsupported hosts, under sanitizers, and in
   /// -DDART_JIT=OFF builds.
   bool Jit = true;
+  /// Run the prove-or-test verifier (Verify.h) over the static summary
+  /// before the search (needs StaticPrune): directions proved infeasible
+  /// by the path-sensitive zone/WP prover leave the coverable universe —
+  /// heuristic early exit fires sooner and saturation becomes a
+  /// completeness certificate — and count as covered in the distance
+  /// strategy's target table so directed effort goes to UNKNOWN sites.
+  /// With zero proofs the search is byte-identical on or off.
+  bool Verify = true;
+  /// Record which run first covered each branch direction, with its
+  /// input vector, in DartReport::Witnesses (the dynamic evidence `dart
+  /// verify` merges into BUG verdicts). Sequential engine only; off by
+  /// default — it copies the input list per fresh direction.
+  bool CaptureWitnesses = false;
   SearchStrategy Strategy = SearchStrategy::DepthFirst;
   ConcolicOptions Concolic;
   SolverOptions Solver;
@@ -161,6 +175,17 @@ struct JitStats {
   }
 };
 
+/// Which run first covered a branch direction (DartOptions::
+/// CaptureWitnesses): the concrete evidence behind a BUG verdict.
+struct DirectionWitness {
+  uint32_t Bit = 0; ///< coverage bit `2*site + direction`
+  unsigned Run = 0; ///< 1-based run that first covered it
+  /// The covering run came from a solver model that targeted exactly
+  /// this direction (vs. stumbled on during an initial/random run).
+  bool Directed = false;
+  std::vector<std::pair<std::string, int64_t>> Inputs;
+};
+
 /// Per-strategy contribution of a portfolio campaign: one row per single
 /// strategy the parallel engine assigned to at least one worker
 /// (`--strategy portfolio`; empty for single-strategy sessions so their
@@ -217,6 +242,20 @@ struct DartReport {
   /// per fresh coverage bit; recomputes are whole-module BFS passes.
   uint64_t DistanceIncrementalUpdates = 0;
   uint64_t DistanceFullRecomputes = 0;
+  /// Prove-or-test verifier accounting (zeroed when DartOptions::Verify
+  /// is off, StaticPrune is off, or in random-only mode). None of these
+  /// appear in toString(): existing report goldens stay byte-identical.
+  unsigned DirsProvedInfeasible = 0;
+  VerifyStats Verify;
+  /// The post-proof coverable universe and how much of it was covered.
+  unsigned CoverableDirsTotal = 0;
+  unsigned CoverableCovered = 0;
+  /// Every remaining coverable direction was covered: heuristic
+  /// saturation upgraded to a branch-coverage completeness certificate
+  /// (proofs excluded the rest).
+  bool CoverageCertified = false;
+  /// First-coverage witnesses (DartOptions::CaptureWitnesses only).
+  std::vector<DirectionWitness> Witnesses;
   /// Portfolio attribution (`--strategy portfolio` only; surfaced by
   /// --stats). Sorted by strategy enum order, deterministic at any job
   /// count.

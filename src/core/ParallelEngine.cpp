@@ -431,6 +431,19 @@ DartReport ParallelDartEngine::runDirected() {
     if (Summary->Dependence)
       Report.Dependence = Summary->Dependence->Stats;
   }
+  // Prove-or-test verifier, once per session (see DartEngine): proved
+  // directions leave the coverable universe and feed every worker's
+  // distance tracker as pre-covered.
+  std::optional<BranchProofs> Proofs;
+  if (Summary && Options.Verify) {
+    Proofs = proveBranchDirections(*Program.Module, Options.ToplevelName,
+                                   *Summary, Options.Depth == 1);
+    applyBranchProofs(*Summary, *Proofs);
+    Report.Verify = Proofs->Stats;
+    Report.DirsProvedInfeasible = Proofs->ProvedCount;
+  }
+  if (Summary)
+    Report.CoverableDirsTotal = Summary->CoverableCount;
 
   // Distance strategy / portfolio: one shared static block graph; each
   // worker maintains its own incremental priority tracker over it and
@@ -466,9 +479,11 @@ DartReport ParallelDartEngine::runDirected() {
   // imply). ε bound: workers that already claimed a run finish it, so
   // the overshoot is at most NumWorkers runs.
   unsigned CoverableTotal = 0;
-  if (Summary && Summary->CoverableCount > 0 &&
-      Options.Strategy != SearchStrategy::DepthFirst) {
-    CoverableTotal = Summary->CoverableCount;
+  if (Summary && Summary->CoverableCount > 0) {
+    // The mask always feeds the CoverableCovered count (certificate
+    // accounting); only the non-dfs strategies arm the early exit on it.
+    if (Options.Strategy != SearchStrategy::DepthFirst)
+      CoverableTotal = Summary->CoverableCount;
     Shared.CoverableWords.assign(Shared.CovWords.size(), 0);
     for (size_t Bit = 0;
          Bit < Summary->CoverableDirs.size() &&
@@ -581,7 +596,15 @@ DartReport ParallelDartEngine::runDirected() {
           return nullptr;
         uint64_t Gen = Shared.CovGen.load();
         if (Gen != LastSyncGen) {
-          Tracker->sync(Shared.coverageBits());
+          // Verifier-proved directions are not targets: fold them in as
+          // covered so distance priorities aim at UNKNOWN sites only.
+          std::vector<bool> Bits = Shared.coverageBits();
+          if (Proofs && Proofs->ProvedCount)
+            for (size_t I = 0;
+                 I < Proofs->ProvedDirs.size() && I < Bits.size(); ++I)
+              if (Proofs->ProvedDirs[I])
+                Bits[I] = true;
+          Tracker->sync(Bits);
           LastSyncGen = Gen;
         }
         return &Tracker->priorities();
@@ -814,6 +837,9 @@ DartReport ParallelDartEngine::runDirected() {
   Report.FinalFlags.AllLinear = Shared.AllLinear.load();
   Report.FinalFlags.AllLocsDefinite = Shared.AllLocsDefinite.load();
   Report.BranchDirectionsCovered = Shared.CoveredCount.load();
+  Report.CoverableCovered = Shared.CoverableCovered.load();
+  Report.CoverageCertified =
+      Summary && Report.CoverableCovered >= Summary->CoverableCount;
   Report.Coverage = Shared.coverageBits();
   Report.Arena = Arena.stats();
   Report.TotalSteps = Shared.TotalSteps.load();

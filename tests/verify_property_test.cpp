@@ -1,0 +1,215 @@
+//===- verify_property_test.cpp - Proof soundness vs concolic search ------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The soundness contract of the prove-or-test layer, checked dynamically:
+// a PROVED verdict claims no machine execution from the campaign entry
+// can reach the site/direction, so a full dfs campaign — which Theorem 1
+// says explores every feasible path up to its budget — must never
+// contradict one.
+//
+// For each campaign (the §4 workloads plus every defined function of
+// every examples/minic fixture, at jobs 1 and jobs 4):
+//
+//  * no branch direction proved infeasible is ever covered,
+//  * no abort/trap-lint site proved unreachable matches any erroring
+//    run's location,
+//  * after mergeDynamicEvidence, every witnessed site is BUG and no
+//    witnessed site remains UNKNOWN — UNKNOWN ∪ BUG exactly covers what
+//    the campaign concolically hit,
+//  * the merge never changes the number of PROVED sites.
+//
+// Proofs are computed with GlobalsStartAtInit matching the campaign's
+// depth (globals pinned to the initial image only when each run calls
+// the toplevel exactly once), the same coupling the engines use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/StaticSummary.h"
+#include "analysis/Verify.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dart;
+using namespace dart::test;
+
+namespace {
+
+std::string readFixture(const char *Name) {
+  std::ifstream In(std::string(DART_MINIC_DIR) + "/" + Name);
+  EXPECT_TRUE(In.good()) << Name;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+CampaignEvidence evidenceFrom(const DartReport &Rep) {
+  CampaignEvidence E;
+  E.Coverage = Rep.Coverage;
+  for (const BugInfo &B : Rep.Bugs) {
+    CampaignEvidence::Error Err;
+    Err.Loc = B.Error.Loc;
+    Err.Run = B.FoundAtRun;
+    Err.Inputs = B.Inputs;
+    Err.Message = B.Error.toString();
+    E.Errors.push_back(std::move(Err));
+  }
+  for (const DirectionWitness &W : Rep.Witnesses) {
+    CampaignEvidence::DirWitness DW;
+    DW.Bit = W.Bit;
+    DW.Run = W.Run;
+    DW.Directed = W.Directed;
+    DW.Inputs = W.Inputs;
+    E.Witnesses.push_back(std::move(DW));
+  }
+  return E;
+}
+
+/// Trap-kind lints can manifest as runtime errors; informational ones
+/// cannot, so only the former participate in the location cross-check.
+bool trapLike(const VerifySite &S) {
+  if (S.Kind == VerifySiteKind::AbortSite)
+    return true;
+  if (S.Kind != VerifySiteKind::LintSite)
+    return false;
+  switch (S.Lint) {
+  case LintKind::DivisionByZero:
+  case LintKind::AssertAlwaysFails:
+  case LintKind::NullDereference:
+  case LintKind::OutOfBoundsAccess:
+  case LintKind::ControlUnreachableBug:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// One campaign's soundness check: prove, run full dfs, cross-examine.
+void checkCampaign(const Dart &D, const std::string &Toplevel,
+                   unsigned Depth, unsigned Jobs, unsigned MaxRuns,
+                   const std::string &Label) {
+  SCOPED_TRACE(Label + " toplevel=" + Toplevel + " jobs=" +
+               std::to_string(Jobs));
+
+  const bool GlobalsStartAtInit = Depth == 1;
+  StaticSummary Sum = computeStaticSummary(D.module(), Toplevel);
+  BranchProofs P =
+      proveBranchDirections(D.module(), Toplevel, Sum, GlobalsStartAtInit);
+  VerifyResult R =
+      runVerifier(D.module(), Toplevel, Sum, P, GlobalsStartAtInit);
+
+  DartOptions Opts;
+  Opts.ToplevelName = Toplevel;
+  Opts.Depth = Depth;
+  Opts.Seed = 2005;
+  Opts.MaxRuns = MaxRuns;
+  Opts.StopAtFirstError = false;
+  Opts.Jobs = Jobs;
+  Opts.CaptureWitnesses = Jobs == 1;
+  // The campaign itself runs proof-free: the property must hold against
+  // the rawest possible dfs exploration.
+  Opts.Verify = false;
+  DartReport Rep = D.run(Opts);
+
+  // 1. No proved direction is ever covered. (The engine's bitmap is
+  // padded up to a word multiple; the proof vector is exactly 2*sites.)
+  ASSERT_LE(P.ProvedDirs.size(), Rep.Coverage.size());
+  for (size_t Bit = 0; Bit < P.ProvedDirs.size(); ++Bit)
+    EXPECT_FALSE(P.ProvedDirs[Bit] && Rep.Coverage[Bit])
+        << "proved-infeasible direction covered: bit " << Bit << "\n"
+        << P.Chains[Bit];
+
+  // 2. No proved abort/trap site matches an erroring run's location.
+  for (const BugInfo &B : Rep.Bugs)
+    for (const VerifySite &S : R.Sites)
+      if (S.V == Verdict::Proved && trapLike(S) && S.Loc.isValid()) {
+        EXPECT_FALSE(S.Loc == B.Error.Loc)
+            << "proved-unreachable site witnessed at run " << B.FoundAtRun
+            << ": " << B.Error.toString() << "\n"
+            << S.Detail;
+      }
+
+  // 3. After the merge, the campaign's evidence is fully absorbed.
+  unsigned ProvedBefore = R.count(Verdict::Proved);
+  mergeDynamicEvidence(R, evidenceFrom(Rep));
+  EXPECT_EQ(R.count(Verdict::Proved), ProvedBefore);
+  for (const VerifySite &S : R.Sites) {
+    if (S.Kind == VerifySiteKind::BranchDir) {
+      size_t Bit = 2 * size_t(S.Site) + (S.Direction ? 1 : 0);
+      ASSERT_LT(Bit, Rep.Coverage.size());
+      if (Rep.Coverage[Bit])
+        EXPECT_EQ(S.V, Verdict::Bug)
+            << "covered direction not BUG: site " << S.Site;
+      else
+        EXPECT_NE(S.V, Verdict::Bug)
+            << "uncovered direction marked BUG: site " << S.Site;
+    } else if (trapLike(S) && S.V == Verdict::Unknown) {
+      for (const BugInfo &B : Rep.Bugs)
+        EXPECT_FALSE(S.Loc.isValid() && S.Loc == B.Error.Loc)
+            << "witnessed trap site left UNKNOWN: " << S.Function << ":"
+            << S.Loc.toString();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// §4 workloads
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyProperty, AcController) {
+  auto D = compile(workloads::acControllerSource());
+  // Depth 2 reaches Fig. 6's bug (message sequence [0, 3]); globals are
+  // NOT at-init here, which is exactly the soundness coupling under
+  // test.
+  for (unsigned Jobs : {1u, 4u})
+    checkCampaign(*D, "ac_controller", 2, Jobs, 400, "ac");
+  checkCampaign(*D, "ac_controller", 1, 1, 200, "ac-depth1");
+}
+
+TEST(VerifyProperty, NeedhamSchroeder) {
+  workloads::NsConfig Cfg;
+  auto D = compile(workloads::needhamSchroederSource(Cfg));
+  for (unsigned Jobs : {1u, 4u})
+    checkCampaign(*D, "ns_step", 2, Jobs, 300, "ns");
+}
+
+TEST(VerifyProperty, MiniSip) {
+  auto D = compile(workloads::miniSipSource());
+  for (unsigned Jobs : {1u, 4u})
+    checkCampaign(*D, "sip_receive", 1, Jobs, 150, "minisip");
+}
+
+//===----------------------------------------------------------------------===//
+// examples/minic fixtures, every defined function as toplevel
+//===----------------------------------------------------------------------===//
+
+void checkFixture(const char *Name) {
+  auto D = compile(readFixture(Name));
+  ASSERT_NE(D, nullptr) << Name;
+  bool First = true;
+  for (const std::string &Fn : D->definedFunctions()) {
+    checkCampaign(*D, Fn, 1, 1, 120, Name);
+    // The parallel engine shares the proof application path; one
+    // toplevel per fixture at jobs 4 keeps the matrix affordable.
+    if (First)
+      checkCampaign(*D, Fn, 1, 4, 120, Name);
+    First = false;
+  }
+}
+
+TEST(VerifyProperty, FixtureAcController) { checkFixture("ac_controller.c"); }
+TEST(VerifyProperty, FixtureAliasLint) { checkFixture("alias_lint.c"); }
+TEST(VerifyProperty, FixtureFilters) { checkFixture("filters.c"); }
+TEST(VerifyProperty, FixtureLintClean) { checkFixture("lint_clean.c"); }
+TEST(VerifyProperty, FixtureLintSeeded) { checkFixture("lint_seeded.c"); }
+
+} // namespace

@@ -1,0 +1,523 @@
+//===- verify_test.cpp - Zone domain and prove-or-test triage -------------===//
+//
+// Part of the DART reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit coverage for the verification layer:
+//
+//  * ZoneState: incremental closure, bottom detection, havoc, forward
+//    assignments, backward (weakest-precondition) substitutions, join
+//    with widening, meet.
+//  * The branch-direction prover's three proof shapes on one probe
+//    program: forward zone contradiction, disjunctive store WP, and the
+//    interprocedural call-site crossing — plus the globals-at-init
+//    refinement that is only enabled for depth-1 campaigns.
+//  * applyBranchProofs shrinks the coverage universe consistently.
+//  * runVerifier + mergeDynamicEvidence verdict flow (UNKNOWN upgraded
+//    to BUG by campaign witnesses, PROVED never touched).
+//  * --verify on/off leaves a dfs session's observable report unchanged
+//    (proofs only shrink the heuristic early-exit universe).
+//  * JSON/SARIF renderers emit the expected envelopes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/StaticSummary.h"
+#include "analysis/Verify.h"
+#include "analysis/Zone.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace dart;
+using namespace dart::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ZoneState
+//===----------------------------------------------------------------------===//
+
+TEST(ZoneState, BoundsProjectAndClose) {
+  ZoneState Z = ZoneState::top(2);
+  EXPECT_FALSE(Z.isBottom());
+  // v1 <= 10, v1 >= 3.
+  Z.addBound(1, 0, 10);
+  Z.addBound(0, 1, -3);
+  Interval I1 = Z.varInterval(1);
+  EXPECT_EQ(I1.Lo, 3);
+  EXPECT_EQ(I1.Hi, 10);
+  // v1 - v2 <= -1 and v2 <= 5 must close to v1 <= 4 (tighter than the
+  // direct bound 10).
+  Z.addBound(1, 2, -1);
+  Z.addBound(2, 0, 5);
+  EXPECT_EQ(Z.varInterval(1).Hi, 4);
+  EXPECT_FALSE(Z.isBottom());
+}
+
+TEST(ZoneState, NegativeCycleIsBottom) {
+  ZoneState Z = ZoneState::top(2);
+  Z.addBound(1, 2, -1); // v1 < v2
+  Z.addBound(2, 1, 0);  // v2 <= v1
+  EXPECT_TRUE(Z.isBottom());
+
+  ZoneState W = ZoneState::top(1);
+  W.addBound(1, 0, 4);  // v1 <= 4
+  W.addBound(0, 1, -5); // v1 >= 5
+  EXPECT_TRUE(W.isBottom());
+}
+
+TEST(ZoneState, HavocForgetsOneCellOnly) {
+  ZoneState Z = ZoneState::top(2);
+  Z.addBound(1, 0, 7);
+  Z.addBound(0, 1, -7); // v1 == 7
+  Z.addBound(2, 0, 3);
+  Z.havoc(1);
+  // Unbounded rows project to the full int64 range.
+  EXPECT_EQ(Z.varInterval(1).Lo, INT64_MIN);
+  EXPECT_EQ(Z.varInterval(1).Hi, INT64_MAX);
+  EXPECT_EQ(Z.varInterval(2).Hi, 3);
+  EXPECT_FALSE(Z.isBottom());
+}
+
+TEST(ZoneState, ForwardAssignments) {
+  ZoneState Z = ZoneState::top(2);
+  Z.assignConst(1, 7);
+  EXPECT_TRUE(Z.varInterval(1).isSingleton());
+  EXPECT_EQ(Z.varInterval(1).Lo, 7);
+  // v2 := v1 + 5 gives both the relation and the projection.
+  Z.assignOffset(2, 1, 5);
+  EXPECT_EQ(Z.varInterval(2).Lo, 12);
+  EXPECT_EQ(Z.bound(2, 1), 5);
+  EXPECT_EQ(Z.bound(1, 2), -5);
+  // v1 := v1 + 2 shifts both its interval and its relation to v2.
+  Z.shiftVar(1, 2);
+  EXPECT_EQ(Z.varInterval(1).Lo, 9);
+  EXPECT_EQ(Z.bound(2, 1), 3);
+}
+
+TEST(ZoneState, BackwardSubstituteConst) {
+  // NC "v1 >= 7" before `v1 := 3` is unsatisfiable.
+  ZoneState NC = ZoneState::top(1);
+  NC.addBound(0, 1, -7);
+  NC.substituteConst(1, 3);
+  EXPECT_TRUE(NC.isBottom());
+
+  // NC "v1 >= 7" before `v1 := 9` is vacuous (and says nothing about v1).
+  ZoneState NC2 = ZoneState::top(1);
+  NC2.addBound(0, 1, -7);
+  NC2.substituteConst(1, 9);
+  EXPECT_FALSE(NC2.isBottom());
+  EXPECT_EQ(NC2.varInterval(1).Lo, INT64_MIN);
+}
+
+TEST(ZoneState, BackwardSubstituteOffset) {
+  // NC "v1 >= 7" before `v1 := v2 + 5` becomes "v2 >= 2".
+  ZoneState NC = ZoneState::top(2);
+  NC.addBound(0, 1, -7);
+  NC.substituteOffset(1, 2, 5);
+  EXPECT_FALSE(NC.isBottom());
+  EXPECT_EQ(NC.varInterval(2).Lo, 2);
+  // v1 itself is forgotten.
+  EXPECT_EQ(NC.varInterval(1).Hi, INT64_MAX);
+}
+
+TEST(ZoneState, JoinIsConvexHullAndWidens) {
+  ZoneState A = ZoneState::top(1);
+  A.assignConst(1, 1);
+  ZoneState B = ZoneState::top(1);
+  B.assignConst(1, 4);
+  EXPECT_TRUE(A.joinWith(B, /*Widen=*/false));
+  EXPECT_EQ(A.varInterval(1).Lo, 1);
+  EXPECT_EQ(A.varInterval(1).Hi, 4);
+  // A second identical join changes nothing.
+  EXPECT_FALSE(A.joinWith(B, /*Widen=*/false));
+
+  ZoneState C = ZoneState::top(1);
+  C.assignConst(1, 1);
+  ZoneState D = ZoneState::top(1);
+  D.assignConst(1, 4);
+  EXPECT_TRUE(C.joinWith(D, /*Widen=*/true));
+  // Widening jumps the grown upper bound straight to +inf; the stable
+  // lower bound survives.
+  EXPECT_EQ(C.varInterval(1).Hi, INT64_MAX);
+  EXPECT_EQ(C.varInterval(1).Lo, 1);
+}
+
+TEST(ZoneState, MeetIntersectsAndDetectsContradiction) {
+  ZoneState A = ZoneState::top(1);
+  A.addBound(1, 0, 10);
+  A.addBound(0, 1, 0); // v1 in [0,10]
+  ZoneState B = ZoneState::top(1);
+  B.addBound(1, 0, 20);
+  B.addBound(0, 1, -5); // v1 in [5,20]
+  A.meetWith(B);
+  EXPECT_EQ(A.varInterval(1).Lo, 5);
+  EXPECT_EQ(A.varInterval(1).Hi, 10);
+
+  ZoneState C = ZoneState::top(1);
+  C.assignConst(1, 1);
+  ZoneState D = ZoneState::top(1);
+  D.assignConst(1, 2);
+  C.meetWith(D);
+  EXPECT_TRUE(C.isBottom());
+}
+
+//===----------------------------------------------------------------------===//
+// Prover proof shapes
+//===----------------------------------------------------------------------===//
+
+/// One program, four proof shapes:
+///  - `y > 200` under 6 <= x <= 99: forward zone contradiction,
+///  - `v > 200` in helper, only called with y in [7,100]: needs the
+///    interprocedural call-site crossing,
+///  - `s == 2` with s in {1,4}: needs the disjunctive backward WP over
+///    the two stores,
+///  - `g != 1` with g a never-written-before global: needs the
+///    globals-at-init entry refinement (depth-1 campaigns only).
+const char *probeSource() {
+  return R"(
+    int g = 1;
+    int helper(int v) {
+      if (v > 200) { return 0; }
+      return v;
+    }
+    int probe(int x) {
+      int y;
+      int s;
+      if (x > 5) {
+        if (x < 100) {
+          y = x + 1;
+          if (y > 200) { return 1; }
+          helper(y);
+        }
+      }
+      if (x < 0) { s = 1; } else { s = 4; }
+      if (s == 2) { abort(); }
+      if (g != 1) { abort(); }
+      g = 2;
+      return 0;
+    }
+  )";
+}
+
+/// Proved (Function, Direction) pairs from a full triage of the probe.
+std::vector<VerifySite> triageProbe(bool GlobalsStartAtInit,
+                                    VerifyStats *StatsOut = nullptr) {
+  auto D = compile(probeSource());
+  StaticSummary Sum = computeStaticSummary(D->module(), "probe");
+  BranchProofs P = proveBranchDirections(D->module(), "probe", Sum,
+                                         GlobalsStartAtInit);
+  VerifyResult R =
+      runVerifier(D->module(), "probe", Sum, P, GlobalsStartAtInit);
+  if (StatsOut)
+    *StatsOut = R.Stats;
+  return R.Sites;
+}
+
+/// The branch-direction verdict at (Function, Site ordinal within the
+/// function's proved/unknown listing) identified by its detail needle.
+const VerifySite *findDir(const std::vector<VerifySite> &Sites,
+                          const std::string &Fn, bool Direction,
+                          Verdict V) {
+  for (const VerifySite &S : Sites)
+    if (S.Kind == VerifySiteKind::BranchDir && S.Function == Fn &&
+        S.Direction == Direction && S.V == V)
+      return &S;
+  return nullptr;
+}
+
+TEST(Prover, ForwardAndWpProofShapes) {
+  VerifyStats Stats;
+  std::vector<VerifySite> Sites = triageProbe(/*GlobalsStartAtInit=*/true,
+                                              &Stats);
+
+  // Both proof engines fired.
+  EXPECT_GE(Stats.ForwardProofs, 1u);
+  EXPECT_GE(Stats.WpProofs, 1u);
+  EXPECT_EQ(Stats.DirsProved, Stats.ForwardProofs + Stats.WpProofs);
+  EXPECT_GT(Stats.WpItems, 0u);
+  EXPECT_GE(Stats.FunctionsConverged, 2u);
+
+  // helper's `v > 200` true direction is proved interprocedurally.
+  const VerifySite *H = findDir(Sites, "helper", true, Verdict::Proved);
+  ASSERT_NE(H, nullptr);
+  EXPECT_FALSE(H->Detail.empty());
+
+  // In probe, exactly the three infeasible true directions are proved:
+  // `y > 200`, `s == 2`, and `g != 1`.
+  unsigned ProbeProvedTrue = 0;
+  for (const VerifySite &S : Sites)
+    if (S.Kind == VerifySiteKind::BranchDir && S.Function == "probe" &&
+        S.Direction && S.V == Verdict::Proved)
+      ++ProbeProvedTrue;
+  EXPECT_EQ(ProbeProvedTrue, 3u);
+
+  // At least one proof chain cites the forward zone state and one cites
+  // the WP refinement — the chains are the PROVED payload.
+  bool SawForwardChain = false, SawWpChain = false;
+  for (const VerifySite &S : Sites) {
+    if (S.V != Verdict::Proved)
+      continue;
+    SawForwardChain |= S.Detail.find("forward zone state") != std::string::npos;
+    SawWpChain |=
+        S.Detail.find("weakest-precondition") != std::string::npos;
+  }
+  EXPECT_TRUE(SawForwardChain);
+  EXPECT_TRUE(SawWpChain);
+
+  // The abort guarded by `s == 2` is proved unreachable as a site.
+  bool ProvedAbort = false;
+  for (const VerifySite &S : Sites)
+    ProvedAbort |= S.Kind == VerifySiteKind::AbortSite &&
+                   S.V == Verdict::Proved;
+  EXPECT_TRUE(ProvedAbort);
+}
+
+TEST(Prover, GlobalsAtInitOnlyRefinesDepthOneCampaigns) {
+  // With globals pinned to the initial image (depth-1 campaigns), the
+  // `g != 1` direction is provable; without the pin it must stay
+  // unproved — deeper campaigns carry g = 2 across toplevel calls.
+  std::vector<VerifySite> Pinned = triageProbe(true);
+  std::vector<VerifySite> Unpinned = triageProbe(false);
+
+  unsigned PinnedProved = 0, UnpinnedProved = 0;
+  for (const VerifySite &S : Pinned)
+    PinnedProved += S.Kind == VerifySiteKind::BranchDir &&
+                    S.V == Verdict::Proved;
+  for (const VerifySite &S : Unpinned)
+    UnpinnedProved += S.Kind == VerifySiteKind::BranchDir &&
+                      S.V == Verdict::Proved;
+  EXPECT_EQ(PinnedProved, UnpinnedProved + 1);
+  EXPECT_NE(findDir(Unpinned, "probe", true, Verdict::Unknown), nullptr);
+}
+
+TEST(Prover, ApplyBranchProofsShrinksCoverageUniverse) {
+  auto D = compile(probeSource());
+  StaticSummary Sum = computeStaticSummary(D->module(), "probe");
+  BranchProofs P =
+      proveBranchDirections(D->module(), "probe", Sum, true);
+  ASSERT_GT(P.ProvedCount, 0u);
+
+  unsigned Before = Sum.CoverableCount;
+  // Every proved bit was coverable before the proofs.
+  for (size_t Bit = 0; Bit < P.ProvedDirs.size(); ++Bit)
+    if (P.ProvedDirs[Bit]) {
+      EXPECT_TRUE(Sum.CoverableDirs[Bit]) << "bit " << Bit;
+    }
+
+  applyBranchProofs(Sum, P);
+  EXPECT_EQ(Sum.CoverableCount, Before - P.ProvedCount);
+  for (size_t Bit = 0; Bit < P.ProvedDirs.size(); ++Bit)
+    if (P.ProvedDirs[Bit]) {
+      EXPECT_FALSE(Sum.CoverableDirs[Bit]) << "bit " << Bit;
+    }
+
+  // Chains exist exactly for proved bits.
+  for (size_t Bit = 0; Bit < P.ProvedDirs.size(); ++Bit)
+    EXPECT_EQ(!P.Chains[Bit].empty(), bool(P.ProvedDirs[Bit]))
+        << "bit " << Bit;
+}
+
+//===----------------------------------------------------------------------===//
+// Verdict flow: runVerifier + mergeDynamicEvidence
+//===----------------------------------------------------------------------===//
+
+/// Translate a campaign report into analysis-layer evidence, the same
+/// way the `dart verify` command does.
+CampaignEvidence evidenceFrom(const DartReport &Rep) {
+  CampaignEvidence E;
+  E.Coverage = Rep.Coverage;
+  for (const BugInfo &B : Rep.Bugs) {
+    CampaignEvidence::Error Err;
+    Err.Loc = B.Error.Loc;
+    Err.Run = B.FoundAtRun;
+    Err.Inputs = B.Inputs;
+    Err.Message = B.Error.toString();
+    E.Errors.push_back(std::move(Err));
+  }
+  for (const DirectionWitness &W : Rep.Witnesses) {
+    CampaignEvidence::DirWitness DW;
+    DW.Bit = W.Bit;
+    DW.Run = W.Run;
+    DW.Directed = W.Directed;
+    DW.Inputs = W.Inputs;
+    E.Witnesses.push_back(std::move(DW));
+  }
+  return E;
+}
+
+TEST(Verifier, MergeUpgradesWitnessedUnknownsOnly) {
+  const char *Source = R"(
+    int f(int x, int y) {
+      if (x == 77) {
+        return y / (x - 77);
+      }
+      if (x > 5 && x < 3) { abort(); }
+      return 0;
+    }
+  )";
+  auto D = compile(Source);
+  StaticSummary Sum = computeStaticSummary(D->module(), "f");
+  BranchProofs P = proveBranchDirections(D->module(), "f", Sum, true);
+  VerifyResult R = runVerifier(D->module(), "f", Sum, P, true);
+
+  unsigned ProvedBefore = R.count(Verdict::Proved);
+  ASSERT_GT(R.count(Verdict::Unknown), 0u);
+  EXPECT_EQ(R.count(Verdict::Bug), 0u);
+
+  DartOptions Opts;
+  Opts.ToplevelName = "f";
+  Opts.Depth = 1;
+  Opts.Seed = 2005;
+  Opts.MaxRuns = 200;
+  Opts.StopAtFirstError = false;
+  Opts.CaptureWitnesses = true;
+  DartReport Rep = D->run(Opts);
+  ASSERT_GT(Rep.Bugs.size(), 0u); // the division by zero at x == 77
+
+  mergeDynamicEvidence(R, evidenceFrom(Rep));
+
+  // Proofs are never touched by dynamic evidence.
+  EXPECT_EQ(R.count(Verdict::Proved), ProvedBefore);
+  // The concolically-hit division became a BUG with its witness run.
+  unsigned Bugs = 0;
+  for (const VerifySite &S : R.Sites)
+    if (S.V == Verdict::Bug) {
+      ++Bugs;
+      EXPECT_GT(S.WitnessRun, 0u) << S.Detail;
+      EXPECT_FALSE(S.Detail.empty());
+    }
+  EXPECT_GT(Bugs, 0u);
+  // Every covered branch direction is now BUG (covered == witnessed),
+  // every uncovered unproved one stays UNKNOWN.
+  for (const VerifySite &S : R.Sites) {
+    if (S.Kind != VerifySiteKind::BranchDir)
+      continue;
+    size_t Bit = 2 * size_t(S.Site) + (S.Direction ? 1 : 0);
+    if (S.V == Verdict::Unknown) {
+      EXPECT_FALSE(Rep.Coverage[Bit]) << "site " << S.Site;
+    }
+    if (Bit < Rep.Coverage.size() && Rep.Coverage[Bit] &&
+        S.V != Verdict::Proved) {
+      EXPECT_EQ(S.V, Verdict::Bug) << "site " << S.Site;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine integration: --verify off diff-identity for dfs
+//===----------------------------------------------------------------------===//
+
+DartReport runProbe(bool Verify, unsigned Jobs) {
+  auto D = compile(probeSource());
+  DartOptions Opts;
+  Opts.ToplevelName = "probe";
+  Opts.Depth = 1;
+  Opts.Seed = 2005;
+  Opts.MaxRuns = 400;
+  Opts.StopAtFirstError = false;
+  Opts.Jobs = Jobs;
+  Opts.Verify = Verify;
+  return D->run(Opts);
+}
+
+TEST(Verifier, DfsSessionUnchangedByProofs) {
+  DartReport On = runProbe(true, 1);
+  DartReport Off = runProbe(false, 1);
+
+  // dfs never consults the coverable-direction early exit, so proofs
+  // must not perturb the search in any observable way.
+  EXPECT_EQ(On.Runs, Off.Runs);
+  EXPECT_EQ(On.SolverCalls, Off.SolverCalls);
+  EXPECT_EQ(On.Coverage, Off.Coverage);
+  EXPECT_EQ(On.Bugs.size(), Off.Bugs.size());
+  EXPECT_EQ(On.toString(), Off.toString());
+
+  // The report-only verifier fields do differ: proofs shrink the
+  // universe and certify completeness once the rest is covered.
+  EXPECT_GT(On.DirsProvedInfeasible, 0u);
+  EXPECT_EQ(Off.DirsProvedInfeasible, 0u);
+  EXPECT_LT(On.CoverableDirsTotal, Off.CoverableDirsTotal);
+  EXPECT_TRUE(On.CoverageCertified);
+}
+
+TEST(Verifier, CertificateRequiresProofsOnProbe) {
+  // Without proofs the probe can never certify: three directions are
+  // infeasible, so the unproved universe cannot saturate.
+  DartReport Off = runProbe(false, 1);
+  EXPECT_FALSE(Off.CoverageCertified);
+  EXPECT_LT(Off.CoverableCovered, Off.CoverableDirsTotal);
+
+  DartReport On4 = runProbe(true, 4);
+  DartReport Off4 = runProbe(false, 4);
+  EXPECT_EQ(On4.Coverage, Off4.Coverage);
+  EXPECT_EQ(On4.Bugs.size(), Off4.Bugs.size());
+  EXPECT_TRUE(On4.CoverageCertified);
+}
+
+//===----------------------------------------------------------------------===//
+// Renderers
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, JsonAndSarifEnvelopes) {
+  VerifyStats Stats;
+  auto D = compile(probeSource());
+  StaticSummary Sum = computeStaticSummary(D->module(), "probe");
+  BranchProofs P = proveBranchDirections(D->module(), "probe", Sum, true);
+  VerifyResult R = runVerifier(D->module(), "probe", Sum, P, true);
+
+  std::string Text = verifyResultToText(R);
+  EXPECT_NE(Text.find("PROVED"), std::string::npos);
+  EXPECT_NE(Text.find("UNKNOWN"), std::string::npos);
+  EXPECT_NE(Text.find("verify: "), std::string::npos);
+
+  std::string Json = verifyResultToJson(R);
+  ASSERT_FALSE(Json.empty());
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_NE(Json.find("\"sites\""), std::string::npos);
+  EXPECT_NE(Json.find("\"summary\""), std::string::npos);
+  EXPECT_NE(Json.find("\"proved\""), std::string::npos);
+
+  std::string Sarif = verifyResultToSarif(R);
+  ASSERT_FALSE(Sarif.empty());
+  EXPECT_EQ(Sarif.front(), '{');
+  EXPECT_NE(Sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(Sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(Sarif.find("\"results\""), std::string::npos);
+
+  // Braces balance in both (the envelopes carry no string braces except
+  // inside proof chains, which are escaped but still counted — so only
+  // check non-negativity plus final zero on the JSON skeleton of the
+  // SARIF log, which contains no zone chains).
+  auto Balanced = [](const std::string &S) {
+    int Depth = 0;
+    bool InStr = false;
+    for (size_t I = 0; I < S.size(); ++I) {
+      char C = S[I];
+      if (InStr) {
+        if (C == '\\')
+          ++I;
+        else if (C == '"')
+          InStr = false;
+        continue;
+      }
+      if (C == '"')
+        InStr = true;
+      else if (C == '{')
+        ++Depth;
+      else if (C == '}' && --Depth < 0)
+        return false;
+    }
+    return Depth == 0;
+  };
+  EXPECT_TRUE(Balanced(Json));
+  EXPECT_TRUE(Balanced(Sarif));
+}
+
+} // namespace

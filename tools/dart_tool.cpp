@@ -13,7 +13,10 @@
 //               [--strategy dfs|bfs|random|distance|diversity|portfolio]
 //               [--all-errors] [--symbolic-pointers]
 //   dart audit  <file.c> [--runs N]      # every defined function (§4.3)
-//   dart analyze <file.c> [--format text|json]  # static lint over the IR
+//   dart analyze <file.c> [--format text|json|sarif] [--triage]  # static lint
+//   dart verify <file.c> --toplevel f   # prove-or-test triage: static
+//               proofs + a concolic campaign classify every site as
+//               PROVED / BUG / UNKNOWN
 //   dart iface  <file.c> --toplevel f    # extracted interface (§3.1)
 //   dart driver <file.c> --toplevel f [--depth N]  # Fig. 7 driver source
 //   dart ir     <file.c>                 # RAM-machine IR dump
@@ -21,6 +24,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lint.h"
+#include "analysis/StaticSummary.h"
+#include "analysis/Verify.h"
 #include "core/Dart.h"
 #include "jit/Jit.h"
 #include "support/Diagnostics.h"
@@ -53,6 +58,12 @@ int usage() {
       "          globals; with --toplevel also dead inputs and\n"
       "          control-unreachable bug sites (exit 0 regardless of\n"
       "          findings unless --exit-code)\n"
+      "  verify  prove-or-test triage over --toplevel: every branch\n"
+      "          direction, abort/assert site, and lint candidate gets a\n"
+      "          verdict — PROVED (path-sensitive infeasibility proof,\n"
+      "          invariant chain shown), BUG (concolic witness with the\n"
+      "          inputs that reach it), or UNKNOWN (where testing budget\n"
+      "          should go); exit 1 when any BUG was witnessed\n"
       "  iface   print the extracted external interface\n"
       "  driver  print the generated test driver source\n"
       "  ir      print the lowered RAM-machine IR\n"
@@ -71,7 +82,18 @@ int usage() {
       "                        branches, diversity prefers the most novel\n"
       "                        predicted path, portfolio races dfs +\n"
       "                        distance + diversity across --jobs workers)\n"
-      "  --format <f>          analyze output: text | json (default text)\n"
+      "  --format <f>          analyze/verify output: text | json | sarif\n"
+      "                        (default text)\n"
+      "  --triage              analyze: also run the prover and print the\n"
+      "                        PROVED/UNKNOWN triage of every site\n"
+      "                        (requires --toplevel; no campaign, so no\n"
+      "                        BUG verdicts — use `dart verify` for those)\n"
+      "  --verify <on|off>     test/audit: run the prove-or-test verifier\n"
+      "                        before the search; proved-infeasible\n"
+      "                        directions leave the coverable universe\n"
+      "                        (sharper early exit, coverage certificate)\n"
+      "                        and stop attracting distance-strategy\n"
+      "                        effort (default on)\n"
       "  --exit-code           analyze: exit 1 when any finding is\n"
       "                        reported (for CI gating; default exits 0)\n"
       "  --random-only         pure random testing (no directed search)\n"
@@ -152,13 +174,16 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
+enum class OutFormat { Text, Json, Sarif };
+
 struct CliOptions {
   std::string Command;
   std::string File;
   std::string Toplevel;
   DartOptions Dart;
   bool Stats = false;
-  bool JsonFormat = false;
+  OutFormat Format = OutFormat::Text;
+  bool Triage = false;
   bool ExitCode = false;
   bool Ok = true;
 };
@@ -232,13 +257,29 @@ CliOptions parseArgs(int argc, char **argv) {
         return Cli;
       }
     } else if (Arg == "--format") {
+      // Strict like --strategy: junk must not silently print text.
       const char *V = Next();
       if (V && std::strcmp(V, "json") == 0)
-        Cli.JsonFormat = true;
+        Cli.Format = OutFormat::Json;
       else if (V && std::strcmp(V, "text") == 0)
-        Cli.JsonFormat = false;
+        Cli.Format = OutFormat::Text;
+      else if (V && std::strcmp(V, "sarif") == 0)
+        Cli.Format = OutFormat::Sarif;
       else {
-        std::fprintf(stderr, "--format expects 'text' or 'json'\n");
+        std::fprintf(stderr, "--format expects 'text', 'json' or 'sarif'\n");
+        Cli.Ok = false;
+        return Cli;
+      }
+    } else if (Arg == "--triage") {
+      Cli.Triage = true;
+    } else if (Arg == "--verify") {
+      const char *V = Next();
+      if (V && std::strcmp(V, "off") == 0)
+        Cli.Dart.Verify = false;
+      else if (V && std::strcmp(V, "on") == 0)
+        Cli.Dart.Verify = true;
+      else {
+        std::fprintf(stderr, "--verify expects 'on' or 'off'\n");
         Cli.Ok = false;
         return Cli;
       }
@@ -381,6 +422,16 @@ void printPipelineStats(const DartReport &R) {
       std::printf("  stopped early: all coverable branch directions "
                   "covered\n");
   }
+  if (R.Verify.DirsConsidered || R.DirsProvedInfeasible) {
+    std::printf("verifier stats:\n");
+    std::printf("  %s\n", R.Verify.toString().c_str());
+    std::printf("  coverable universe: %u directions after proofs, %u "
+                "covered%s\n",
+                R.CoverableDirsTotal, R.CoverableCovered,
+                R.CoverageCertified
+                    ? " (branch coverage certified complete)"
+                    : "");
+  }
   const SnapshotStats &Snap = R.Snapshot;
   std::printf("snapshot stats:\n");
   std::printf("  checkpoints captured: %llu, packs evicted: %llu\n",
@@ -484,13 +535,40 @@ int runAnalyze(Dart &D, CliOptions &Cli) {
                  Cli.Toplevel.c_str());
     return 2;
   }
+  if (Cli.Triage) {
+    // Static prove-or-test triage: no campaign, so verdicts are PROVED
+    // or UNKNOWN only; `dart verify` adds the BUG evidence.
+    if (Cli.Toplevel.empty()) {
+      std::fprintf(stderr, "error: '--triage' needs --toplevel\n");
+      return 2;
+    }
+    StaticSummary Sum = computeStaticSummary(D.module(), Cli.Toplevel);
+    BranchProofs P = proveBranchDirections(D.module(), Cli.Toplevel, Sum,
+                                           Cli.Dart.Depth == 1);
+    VerifyResult R = runVerifier(D.module(), Cli.Toplevel, Sum, P,
+                                 Cli.Dart.Depth == 1);
+    switch (Cli.Format) {
+    case OutFormat::Text:
+      std::printf("%s", verifyResultToText(R).c_str());
+      break;
+    case OutFormat::Json:
+      std::printf("%s\n", verifyResultToJson(R).c_str());
+      break;
+    case OutFormat::Sarif:
+      std::printf("%s\n", verifyResultToSarif(R).c_str());
+      break;
+    }
+    return Cli.ExitCode && R.count(Verdict::Unknown) ? 1 : 0;
+  }
   unsigned NumFindings = 0;
-  if (Cli.JsonFormat) {
+  if (Cli.Format != OutFormat::Text) {
     std::vector<LintFinding> Findings =
         runLintAnalysis(D.module(), Cli.Toplevel);
     NumFindings = static_cast<unsigned>(Findings.size());
     std::printf("%s\n",
-                lintFindingsToJson(Cli.File, Findings).c_str());
+                Cli.Format == OutFormat::Json
+                    ? lintFindingsToJson(Cli.File, Findings).c_str()
+                    : lintFindingsToSarif(Cli.File, Findings).c_str());
   } else {
     DiagnosticsEngine Diags;
     NumFindings = runLintPass(D.module(), Diags, Cli.Toplevel);
@@ -500,6 +578,66 @@ int runAnalyze(Dart &D, CliOptions &Cli) {
       std::printf("%s: no findings\n", Cli.File.c_str());
   }
   return Cli.ExitCode && NumFindings ? 1 : 0;
+}
+
+int runVerify(Dart &D, CliOptions &Cli) {
+  if (Cli.Toplevel.empty()) {
+    std::fprintf(stderr, "error: 'verify' needs --toplevel\n");
+    return 2;
+  }
+  if (!D.ast().findFunction(Cli.Toplevel)) {
+    std::fprintf(stderr, "error: no function named '%s'\n",
+                 Cli.Toplevel.c_str());
+    return 2;
+  }
+  // Static leg: the prover runs over the pre-proof summary so the triage
+  // can distinguish interval-excluded directions from zone/WP proofs.
+  StaticSummary Sum = computeStaticSummary(D.module(), Cli.Toplevel);
+  BranchProofs P = proveBranchDirections(D.module(), Cli.Toplevel, Sum,
+                                         Cli.Dart.Depth == 1);
+  VerifyResult R = runVerifier(D.module(), Cli.Toplevel, Sum, P,
+                               Cli.Dart.Depth == 1);
+  // Dynamic leg: a full campaign (all errors, witnesses on) provides the
+  // BUG evidence for everything the prover left UNKNOWN.
+  DartOptions Opts = Cli.Dart;
+  Opts.ToplevelName = Cli.Toplevel;
+  Opts.StopAtFirstError = false;
+  Opts.Jobs = 1; // witness capture is sequential-engine only
+  Opts.CaptureWitnesses = true;
+  DartReport Rep = D.run(Opts);
+  CampaignEvidence E;
+  E.Coverage = Rep.Coverage;
+  for (const BugInfo &B : Rep.Bugs) {
+    CampaignEvidence::Error Err;
+    Err.Loc = B.Error.Loc;
+    Err.Run = B.FoundAtRun;
+    Err.Inputs = B.Inputs;
+    Err.Message = B.Error.toString();
+    E.Errors.push_back(std::move(Err));
+  }
+  for (const DirectionWitness &W : Rep.Witnesses) {
+    CampaignEvidence::DirWitness DW;
+    DW.Bit = W.Bit;
+    DW.Run = W.Run;
+    DW.Directed = W.Directed;
+    DW.Inputs = W.Inputs;
+    E.Witnesses.push_back(std::move(DW));
+  }
+  mergeDynamicEvidence(R, E);
+  switch (Cli.Format) {
+  case OutFormat::Text:
+    std::printf("%s", verifyResultToText(R).c_str());
+    break;
+  case OutFormat::Json:
+    std::printf("%s\n", verifyResultToJson(R).c_str());
+    break;
+  case OutFormat::Sarif:
+    std::printf("%s\n", verifyResultToSarif(R).c_str());
+    break;
+  }
+  if (Cli.Stats)
+    printPipelineStats(Rep);
+  return R.count(Verdict::Bug) ? 1 : 0;
 }
 
 } // namespace
@@ -527,6 +665,8 @@ int main(int argc, char **argv) {
     return runAudit(*D, Cli);
   if (Cli.Command == "analyze")
     return runAnalyze(*D, Cli);
+  if (Cli.Command == "verify")
+    return runVerify(*D, Cli);
   if (Cli.Command == "iface") {
     if (Cli.Toplevel.empty()) {
       std::fprintf(stderr, "error: 'iface' needs --toplevel\n");
